@@ -1,0 +1,79 @@
+// Ablation: eviction-and-restart instability (paper Sections 2.1 and 6,
+// citing Jelenkovic's "Is Sharing with Retransmissions Causing
+// Instabilities?").
+//
+// Preemptive-repeat re-executes evicted low-priority jobs from scratch.
+// When the high-priority interrupt rate approaches the low job's service
+// decay rate, the restart transform E[e^{aS}] diverges: the low class
+// becomes unstable even though the *nominal* utilization stays below 1.
+// We sweep the high-priority load and compare
+//   - the analytic restart model (repeat_completion_mean),
+//   - the preemptive-repeat queue simulator,
+//   - the preemptive-resume ideal (always stable here).
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+#include "model/mg1_priority.hpp"
+#include "model/priority_queue_sim.hpp"
+
+int main() {
+  using namespace dias;
+  bench::print_header("Ablation: preempt-repeat instability vs high-priority load");
+
+  // Low-priority jobs: Erlang-4 with mean 8 s (decay rate 0.5/phase).
+  const auto low_service = model::PhaseType::erlang(4, 0.5);
+  const auto high_service = model::PhaseType::exponential(2.0);  // mean 0.5 s
+  const double lambda_low = 0.02;
+
+  std::printf("  %-10s %-10s %13s %22s %14s\n", "lambda_hi", "nominal", "repeat-model",
+              "repeat-sim", "resume-sim");
+  for (double lambda_high : {0.1, 0.2, 0.4, 0.8, 1.2, 1.6, 1.9}) {
+    const double nominal =
+        lambda_low * low_service.mean() + lambda_high * high_service.mean();
+
+    // Analytic completion mean of a low job (busy period from high class).
+    const double rho_high = lambda_high * high_service.mean();
+    const double busy = high_service.mean() / (1.0 - rho_high);
+    const auto completion =
+        model::Mg1PriorityQueue::repeat_completion_mean(low_service, lambda_high, busy);
+
+    const auto arrivals = model::Mmap::marked_poisson({lambda_low, lambda_high});
+    const std::vector<model::PhaseType> services{low_service, high_service};
+    model::PriorityQueueSimOptions options;
+    options.jobs = 120000;
+    options.warmup = 12000;
+    options.seed = 7;
+    options.max_backlog = 20000;
+    options.drain_after_arrivals = false;  // queued low jobs are censored
+    const auto repeat = model::simulate_priority_queue(
+        arrivals, services, model::SimDiscipline::kPreemptiveRepeatIdentical, options);
+    const auto resume = model::simulate_priority_queue(
+        arrivals, services, model::SimDiscipline::kPreemptiveResume, options);
+
+    const double done_ratio =
+        repeat.generated[0] == 0
+            ? 1.0
+            : static_cast<double>(repeat.completed[0]) /
+                  static_cast<double>(repeat.generated[0]);
+    char model_col[32], repeat_col[40];
+    if (completion.has_value()) {
+      std::snprintf(model_col, sizeof(model_col), "%11.1f s", *completion);
+    } else {
+      std::snprintf(model_col, sizeof(model_col), "%13s", "DIVERGED");
+    }
+    if (repeat.truncated || done_ratio < 0.5 || repeat.response[0].count() == 0) {
+      std::snprintf(repeat_col, sizeof(repeat_col), "UNSTABLE (%2.0f%% done)",
+                    100.0 * done_ratio);
+    } else {
+      std::snprintf(repeat_col, sizeof(repeat_col), "%9.1f s (%3.0f%% done)",
+                    repeat.response[0].mean(), 100.0 * done_ratio);
+    }
+    std::printf("  %-10.2f %-10.2f %13s %22s %12.1f s\n", lambda_high, nominal, model_col,
+                repeat_col, resume.response[0].mean());
+  }
+  std::printf("\n  the repeat column blows up long before nominal utilization reaches 1,\n"
+              "  and the analytic transform diverges at the same knee -- the resource\n"
+              "  waste DiAS eliminates is not just overhead but a stability hazard.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: task-level vs wave-level job model (paper Sections 4.1 / 4.2).
+//
+// The task-level CTMC assumes exponential task times; the wave-level model
+// fits per-wave PH distributions from the measured task moments. We
+// validate both against the simulator under two task-time families:
+//   - exponential tasks (the task-level model's home turf),
+//   - near-deterministic lognormal tasks (scv 0.08, what Spark actually
+//     shows) where waves finish almost in lockstep.
+// The wave-level model should win decisively on the lognormal side.
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+#include "common/stats.hpp"
+#include "model/response_time_model.hpp"
+
+namespace {
+
+using namespace dias;
+
+double observed_processing(const workload::ClassWorkloadParams& params, double theta,
+                           cluster::TaskTimeFamily family, std::size_t samples) {
+  std::vector<workload::ClassWorkloadParams> classes{params};
+  workload::TraceGenerator gen(7);
+  auto trace = gen.text_trace(classes, samples);
+  double t = 0.0;
+  for (auto& e : trace) {
+    e.arrival_time = t;
+    t += 1e7;
+  }
+  cluster::ClusterSimulator::Config config;
+  config.slots = bench::kSlots;
+  config.scheduler.theta = {theta};
+  config.task_time_family = family;
+  config.warmup_jobs = 0;
+  config.seed = 23;
+  return cluster::simulate(config, std::move(trace)).per_class[0].execution.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: task-level vs wave-level model accuracy");
+
+  auto params = bench::text_class(0.001, 1117.0, "147");
+  params.size_scv = 0.0;
+
+  struct FamilyCase {
+    const char* name;
+    cluster::TaskTimeFamily family;
+    double model_scv;  // task scv fed to the wave model
+  };
+  const FamilyCase cases[] = {
+      {"exponential tasks", cluster::TaskTimeFamily::kExponential, 1.0},
+      {"lognormal tasks (scv 0.08)", cluster::TaskTimeFamily::kLogNormal, 0.08},
+  };
+
+  for (const auto& c : cases) {
+    std::printf("\n  -- %s --\n", c.name);
+    std::printf("  %-6s  %10s  %10s  %10s  %8s  %8s\n", "theta", "observed", "task-mdl",
+                "wave-mdl", "task-err", "wave-err");
+    auto profile_params = params;
+    profile_params.task_scv = c.model_scv;
+    const auto profile = workload::to_model_profile(profile_params, bench::kSlots);
+    SampleSet task_errs, wave_errs;
+    for (double theta : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      const double observed = observed_processing(params, theta, c.family, 300);
+      const double task_pred = model::ResponseTimeModel::processing_time(
+                                   profile, theta, model::ModelGranularity::kTaskLevel)
+                                   .mean();
+      const double wave_pred = model::ResponseTimeModel::processing_time(
+                                   profile, theta, model::ModelGranularity::kWaveLevel)
+                                   .mean();
+      const double te = relative_error_percent(observed, task_pred);
+      const double we = relative_error_percent(observed, wave_pred);
+      task_errs.add(te);
+      wave_errs.add(we);
+      std::printf("  %-6.1f  %10.1f  %10.1f  %10.1f  %7.1f%%  %7.1f%%\n", theta, observed,
+                  task_pred, wave_pred, te, we);
+    }
+    std::printf("  mean error: task-level %.1f%%, wave-level %.1f%%\n", task_errs.mean(),
+                wave_errs.mean());
+  }
+  std::printf("\n  the task-level CTMC is exact for exponential tasks but overestimates\n"
+              "  makespans of near-deterministic waves (straggler inflation); the\n"
+              "  wave-level PH model tracks both regimes (paper Section 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: stragglers and their mitigations (GRASS, the paper's ref [11]).
+//
+// Inject stragglers (5% of tasks run 4x longer) into the two-priority
+// reference workload and compare, under non-preemptive scheduling:
+//   none        - stragglers stall every stage barrier
+//   speculate   - Spark-style backup copies at stage tails
+//   drop-tail   - GRASS-style: abandon the last in-flight tasks of
+//                 droppable stages (extra approximation instead of waiting)
+//   DA(0,20)    - plain differential approximation, for scale
+// Drop-tail is "approximation applied exactly where stragglers hurt",
+// which is why GRASS frames straggler trimming as an approximation knob.
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+
+int main() {
+  using namespace dias;
+  bench::print_header("Ablation: straggler mitigation (5% tasks 4x slower, 50% nominal load)");
+
+  auto classes = bench::reference_two_priority();
+  bench::calibrate_rates(classes, 0.5, cluster::TaskTimeFamily::kLogNormal,
+                         bench::make_text_trace);
+  workload::TraceGenerator gen(151);
+  const auto trace = gen.text_trace(classes, 16000);
+
+  const auto run = [&](cluster::StragglerConfig::Mitigation mitigation,
+                       std::vector<double> theta) {
+    core::ExperimentConfig config;
+    config.policy = theta.empty() ? core::Policy::kNonPreemptive
+                                  : core::Policy::kDifferentialApprox;
+    config.slots = bench::kSlots;
+    config.theta = std::move(theta);
+    config.task_time_family = cluster::TaskTimeFamily::kLogNormal;
+    config.warmup_jobs = 1600;
+    config.seed = 152;
+    cluster::ClusterSimulator::Config sim_config;
+    // run_experiment has no straggler knob; drive the simulator directly.
+    sim_config.slots = config.slots;
+    sim_config.scheduler.theta = config.theta;
+    sim_config.task_time_family = config.task_time_family;
+    sim_config.warmup_jobs = config.warmup_jobs;
+    sim_config.seed = config.seed;
+    sim_config.stragglers.probability = 0.05;
+    sim_config.stragglers.slowdown = 4.0;
+    sim_config.stragglers.mitigation = mitigation;
+    sim_config.stragglers.tail_drop_ratio = 0.1;
+    return cluster::simulate(sim_config, trace);
+  };
+
+  using M = cluster::StragglerConfig::Mitigation;
+  const auto none = run(M::kNone, {});
+  std::printf("  no mitigation: high mean %.1f s (p95 %.1f), low mean %.1f s (p95 %.1f)\n",
+              none.per_class[1].response.mean(), none.per_class[1].tail_response(),
+              none.per_class[0].response.mean(), none.per_class[0].tail_response());
+  std::printf("  straggler tasks: %zu\n\n", none.straggler_tasks);
+
+  struct Variant {
+    const char* name;
+    M mitigation;
+    std::vector<double> theta;
+  };
+  for (const auto& v : {Variant{"speculate", M::kSpeculate, {}},
+                        Variant{"drop-tail", M::kDropTail, {}},
+                        Variant{"DA(0,20)", M::kNone, {0.2, 0.0}},
+                        Variant{"DA+droptail", M::kDropTail, {0.2, 0.0}}}) {
+    const auto result = run(v.mitigation, v.theta);
+    for (std::size_t k : {1u, 0u}) {
+      bench::print_relative_row(v.name, k == 1 ? "high" : "low",
+                                core::relative_difference(none.per_class[k],
+                                                          result.per_class[k]));
+    }
+    std::printf("  %-12s copies %zu, tail-dropped %zu\n", v.name,
+                result.speculative_copies, result.tail_dropped_tasks);
+  }
+  std::printf("\n  expectation: speculation recovers most of the straggler tail for\n"
+              "  free accuracy; drop-tail buys similar latency at a small bounded\n"
+              "  accuracy cost and composes with differential approximation.\n");
+  return 0;
+}

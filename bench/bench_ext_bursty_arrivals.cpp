@@ -1,0 +1,79 @@
+// Extension: DiAS under bursty (MMPP) arrivals.
+//
+// The paper's model citation (Horvath's MMAP[K]/PH[K]/1) exists precisely
+// because production arrival streams are correlated, not Poisson. This
+// experiment (a) validates our analytic MAP/PH/1 solver against the cluster
+// DES on a single-class bursty stream, and (b) shows how burstiness
+// inflates the priority dynamics and how much of it DA claws back.
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+#include "model/qbd.hpp"
+#include "model/response_time_model.hpp"
+
+int main() {
+  using namespace dias;
+  bench::print_header("Extension: bursty (MMPP) arrivals");
+
+  // --- (a) analytic MAP/PH/1 vs cluster DES, single class ------------------
+  std::printf("  -- MAP/PH/1 validation (single class, mean response [s]) --\n");
+  std::printf("  %-14s %12s %12s\n", "peak/mean", "analytic", "cluster-DES");
+  auto solo = bench::text_class(0.001, 473.0, "solo");
+  solo.size_scv = 0.0;
+  std::vector<workload::ClassWorkloadParams> solo_classes{solo};
+  workload::scale_rates_to_load(solo_classes, bench::kSlots, 0.7);
+  const auto profile = workload::to_model_profile(solo_classes[0], bench::kSlots);
+  const auto service = model::ResponseTimeModel::processing_time(profile, 0.0);
+  for (double peak : {1.0, 1.5, 1.9}) {
+    const double switch_rate = 0.002;  // bursts of ~500 s
+    const auto mmap =
+        workload::TraceGenerator::bursty_mmap(solo_classes, peak, switch_rate);
+    const model::MapPh1Queue analytic(mmap, service);
+
+    workload::TraceGenerator gen(171);
+    auto trace = gen.text_trace_bursty(solo_classes, 20000, peak, switch_rate);
+    cluster::ClusterSimulator::Config config;
+    config.slots = bench::kSlots;
+    config.task_time_family = cluster::TaskTimeFamily::kExponential;
+    config.warmup_jobs = 2000;
+    config.seed = 172;
+    const auto sim = cluster::simulate(config, std::move(trace));
+    std::printf("  %-14.1f %12.1f %12.1f\n", peak, analytic.mean_response_time(),
+                sim.per_class[0].response.mean());
+  }
+
+  // --- (b) two-priority dynamics under burstiness ---------------------------
+  std::printf("\n  -- two-priority latency vs burstiness (mean / p95 [s]) --\n");
+  auto classes = bench::reference_two_priority();
+  bench::calibrate_rates(classes, 0.7, cluster::TaskTimeFamily::kLogNormal,
+                         bench::make_text_trace);
+  std::printf("  %-10s %-10s %18s %18s\n", "peak/mean", "policy", "high", "low");
+  for (double peak : {1.0, 1.8}) {
+    workload::TraceGenerator gen(173);
+    const auto trace = gen.text_trace_bursty(classes, 20000, peak, 0.001);
+    for (const auto& [name, policy, theta] :
+         {std::tuple<const char*, core::Policy, std::vector<double>>{
+              "P", core::Policy::kPreemptive, {}},
+          {"DA(0,20)", core::Policy::kDifferentialApprox, {0.2, 0.0}}}) {
+      core::ExperimentConfig config;
+      config.policy = policy;
+      config.slots = bench::kSlots;
+      config.theta = theta;
+      config.task_time_family = cluster::TaskTimeFamily::kLogNormal;
+      config.warmup_jobs = 2000;
+      config.seed = 174;
+      const auto result = core::run_experiment(config, trace);
+      std::printf("  %-10.1f %-10s %8.1f / %-8.1f %8.1f / %-8.1f\n", peak, name,
+                  result.per_class[1].response.mean(),
+                  result.per_class[1].tail_response(),
+                  result.per_class[0].response.mean(),
+                  result.per_class[0].tail_response());
+    }
+  }
+  std::printf("\n  expectation: the analytic MAP/PH/1 tracks the DES across\n"
+              "  burstiness; bursts inflate every latency (especially tails), and\n"
+              "  deflating low-priority jobs remains effective because shorter\n"
+              "  executions drain the burst backlog faster.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Extension: differential approximation on iterative analytics (PageRank).
+//
+// The paper evaluates single-pass text jobs and the 7-stage triangle count;
+// Spark's flagship workloads are *iterative*. PageRank contributes one
+// droppable contribution stage per iteration, so a per-stage drop ratio
+// compounds over the iteration count -- a stronger version of the paper's
+// Figure 10 compounding argument. We measure the real accuracy/time
+// frontier and the simulated two-priority latency with iteration-shaped
+// jobs.
+#include <cstdio>
+#include <vector>
+
+#include "analytics/page_rank.hpp"
+#include "bench/scenarios.hpp"
+#include "workload/graph_gen.hpp"
+
+int main() {
+  using namespace dias;
+  bench::print_header("Extension: PageRank under per-stage dropping");
+
+  // --- real accuracy/time frontier -----------------------------------------
+  workload::GraphParams gparams;
+  gparams.scale = 12;
+  gparams.edges = 1u << 16;
+  gparams.seed = 141;
+  const auto edges = workload::generate_rmat_graph(gparams);
+  engine::Engine::Options eopts;
+  eopts.workers = 4;
+  eopts.seed = 142;
+  engine::Engine eng(eopts);
+  const auto ds = eng.parallelize(edges, 40);
+
+  analytics::PageRankOptions exact_opts;
+  exact_opts.iterations = 10;
+  const auto exact = analytics::page_rank(eng, ds, exact_opts);
+
+  std::printf("  graph: %zu edges, %d iterations, 40 partitions\n", edges.size(),
+              exact_opts.iterations);
+  std::printf("  %-12s  %12s  %12s  %12s\n", "stage theta", "rank err [%]", "tasks run",
+              "time [ms]");
+  for (double theta : {0.0, 0.05, 0.10, 0.20}) {
+    analytics::PageRankOptions opts = exact_opts;
+    opts.stage_drop_ratio = theta;
+    const auto result = analytics::page_rank(eng, ds, opts);
+    std::printf("  %-12g  %12.1f  %6zu/%-5zu  %12.1f\n", theta,
+                analytics::rank_error_percent(exact.ranks, result.ranks),
+                result.tasks_run, result.tasks_total, 1000.0 * result.duration_s);
+  }
+
+  // --- simulated latency with iteration-shaped jobs -------------------------
+  std::printf("\n  -- latency (cluster sim, 10-stage iterative jobs, 2 priorities) --\n");
+  std::vector<workload::GraphClassParams> classes{
+      bench::graph_class(0.009, "low"),
+      bench::graph_class(0.001, "high"),
+  };
+  for (auto& c : classes) c.shuffle_map_stages = 10;  // one per iteration
+  bench::calibrate_rates(classes, 0.8, cluster::TaskTimeFamily::kLogNormal,
+                         bench::make_graph_trace);
+  workload::TraceGenerator gen(143);
+  const auto trace = gen.graph_trace(classes, 12000);
+
+  const auto run = [&](core::Policy policy, std::vector<double> theta) {
+    core::ExperimentConfig config;
+    config.policy = policy;
+    config.slots = bench::kSlots;
+    config.theta = std::move(theta);
+    config.task_time_family = cluster::TaskTimeFamily::kLogNormal;
+    config.warmup_jobs = 1200;
+    config.seed = 144;
+    return core::run_experiment(config, trace);
+  };
+  const auto p = run(core::Policy::kPreemptive, {});
+  std::printf("  P absolute: high mean %.1f s, low mean %.1f s (waste %.1f%%)\n",
+              p.per_class[1].response.mean(), p.per_class[0].response.mean(),
+              100.0 * p.resource_waste());
+  for (double theta : {0.05, 0.1, 0.2}) {
+    const auto da = run(core::Policy::kDifferentialApprox, {theta, 0.0});
+    char name[32];
+    std::snprintf(name, sizeof(name), "DA(0,%g)", 100.0 * theta);
+    for (std::size_t k : {1u, 0u}) {
+      bench::print_relative_row(name, k == 1 ? "high" : "low",
+                                core::relative_difference(p.per_class[k], da.per_class[k]));
+    }
+  }
+  std::printf("\n  longer stage chains amplify both the per-stage accuracy compounding\n"
+              "  and the latency leverage of small drop ratios.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension: DiAS on a Google-trace-style 12-priority mix.
+//
+// The paper evaluates 2 and 3 priorities but notes the Google trace has 12
+// levels dominated by 2-3 classes (89% of tasks) and that the methodology
+// "can easily be extended to larger number of priorities". This experiment
+// does exactly that: 12 classes, dominant trio at priorities {0, 4, 9},
+// differential drop ratios growing toward priority 0, 80% load.
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+#include "workload/google_trace.hpp"
+
+int main() {
+  using namespace dias;
+  bench::print_header("Extension: 12-priority Google-trace-style mix (80% load)");
+
+  workload::GoogleTraceParams params;
+  params.seed = 131;
+  auto classes = workload::google_trace_classes(params);
+  bench::calibrate_rates(classes, 0.8, cluster::TaskTimeFamily::kLogNormal,
+                         bench::make_text_trace);
+  workload::TraceGenerator gen(131);
+  const auto trace = gen.text_trace(classes, 30000);
+
+  const auto run = [&](core::Policy policy, std::vector<double> theta) {
+    core::ExperimentConfig config;
+    config.policy = policy;
+    config.slots = bench::kSlots;
+    config.theta = std::move(theta);
+    config.task_time_family = cluster::TaskTimeFamily::kLogNormal;
+    config.warmup_jobs = 3000;
+    config.seed = 132;
+    return core::run_experiment(config, trace);
+  };
+
+  const auto p = run(core::Policy::kPreemptive, {});
+  const auto np = run(core::Policy::kNonPreemptive, {});
+  // Exact top three classes; theta rises to 0.4 at priority 0.
+  const auto theta = workload::differential_theta(12, 3, 0.4);
+  const auto da = run(core::Policy::kDifferentialApprox, theta);
+
+  std::printf("  resource waste: P %.1f%%, NP %.1f%%, DA %.1f%%\n\n",
+              100.0 * p.resource_waste(), 100.0 * np.resource_waste(),
+              100.0 * da.resource_waste());
+  std::printf("  %-6s %-7s %12s %14s %14s %14s\n", "prio", "share", "theta",
+              "P mean [s]", "NP vs P", "DA vs P");
+  double total_rate = 0.0;
+  for (const auto& c : classes) total_rate += c.arrival_rate;
+  for (std::size_t k = 12; k-- > 0;) {
+    if (p.per_class[k].completed < 50) continue;  // skip empty niche classes
+    const auto d_np = core::relative_difference(p.per_class[k], np.per_class[k]);
+    const auto d_da = core::relative_difference(p.per_class[k], da.per_class[k]);
+    std::printf("  %-6zu %5.1f%% %12.2f %14.1f %+13.1f%% %+13.1f%%\n", k,
+                100.0 * classes[k].arrival_rate / total_rate, theta[k],
+                p.per_class[k].response.mean(), d_np.mean_percent, d_da.mean_percent);
+  }
+  std::printf("\n  expectation: the dominant low classes gain massively, the top\n"
+              "  classes pay a bounded non-preemption cost, and waste goes to zero --\n"
+              "  DiAS's two/three-priority behaviour generalizes to the full ladder.\n");
+  return 0;
+}

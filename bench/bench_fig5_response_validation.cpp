@@ -1,0 +1,95 @@
+// Figure 5: validation of the response-time model under load.
+//
+// Setup mirrors the paper: two priority classes on different datasets
+// (low-priority jobs 2.36x larger: 1117 MB vs 473 MB), 9:1 low:high mix,
+// arrival rate tuned for ~80% utilization, non-preemptive discipline,
+// sweeping the low-class drop ratio. The paper reports an average model
+// error of 18.7%.
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+#include "common/stats.hpp"
+#include "model/priority_queue_sim.hpp"
+#include "model/response_time_model.hpp"
+
+int main() {
+  using namespace dias;
+  bench::print_header("Figure 5: model vs observed mean response time (80% load)");
+
+  auto classes = bench::reference_two_priority();
+  for (auto& c : classes) c.size_scv = 0.0;  // the model assumes mean sizes
+  workload::scale_rates_to_load(classes, bench::kSlots, 0.8);
+
+  std::vector<model::JobClassProfile> profiles;
+  for (const auto& c : classes) {
+    profiles.push_back(workload::to_model_profile(c, bench::kSlots));
+  }
+
+  std::printf("  %-6s  %11s  %11s  %11s  %11s\n", "theta", "model-high", "obs-high",
+              "model-low", "obs-low");
+  SampleSet errors;
+  for (double theta : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+    const std::vector<double> thetas{theta, 0.0};
+    const auto pred = model::ResponseTimeModel::predict(
+        profiles, thetas, model::Discipline::kNonPreemptive);
+
+    workload::TraceGenerator gen(31);
+    auto trace = gen.text_trace(classes, 20000);
+    core::ExperimentConfig config;
+    config.policy = core::Policy::kDifferentialApprox;
+    config.slots = bench::kSlots;
+    config.theta = thetas;
+    config.task_time_family = cluster::TaskTimeFamily::kExponential;
+    config.warmup_jobs = 2000;
+    config.seed = 41;
+    const auto sim = core::run_experiment(config, std::move(trace));
+
+    const double model_high = pred.per_class[1].mean_response;
+    const double model_low = pred.per_class[0].mean_response;
+    const double obs_high = sim.per_class[1].response.mean();
+    const double obs_low = sim.per_class[0].response.mean();
+    errors.add(relative_error_percent(obs_high, model_high));
+    errors.add(relative_error_percent(obs_low, model_low));
+    std::printf("  %-6.1f  %11.1f  %11.1f  %11.1f  %11.1f\n", theta, model_high, obs_high,
+                model_low, obs_low);
+  }
+  std::printf("  average model error: %.1f%% (paper: 18.7%%)\n", errors.mean());
+
+  // Cross-validation of the tails: the model-plane MMAP/PH/1 queue
+  // simulator (Horvath-style distribution estimation) vs the full cluster
+  // DES, both fed the same task-level PH services.
+  std::printf("\n  p95 cross-validation (queue-level vs cluster-level simulation):\n");
+  std::printf("  %-6s  %12s  %12s  %12s  %12s\n", "theta", "qsim-high", "cluster-high",
+              "qsim-low", "cluster-low");
+  for (double theta : {0.0, 0.2, 0.4}) {
+    const std::vector<double> thetas{theta, 0.0};
+    const std::vector<model::PhaseType> services{
+        model::ResponseTimeModel::processing_time(profiles[0], thetas[0]),
+        model::ResponseTimeModel::processing_time(profiles[1], thetas[1]),
+    };
+    const auto arrivals = model::Mmap::marked_poisson(
+        {profiles[0].arrival_rate, profiles[1].arrival_rate});
+    model::PriorityQueueSimOptions options;
+    options.jobs = 60000;
+    options.warmup = 6000;
+    options.seed = 43;
+    const auto qsim = model::simulate_priority_queue(
+        arrivals, services, model::SimDiscipline::kNonPreemptive, options);
+
+    workload::TraceGenerator gen(31);
+    auto trace = gen.text_trace(classes, 20000);
+    core::ExperimentConfig config;
+    config.policy = core::Policy::kDifferentialApprox;
+    config.slots = bench::kSlots;
+    config.theta = thetas;
+    config.task_time_family = cluster::TaskTimeFamily::kExponential;
+    config.warmup_jobs = 2000;
+    config.seed = 41;
+    const auto sim = core::run_experiment(config, std::move(trace));
+    std::printf("  %-6.1f  %12.1f  %12.1f  %12.1f  %12.1f\n", theta,
+                qsim.response[1].p95(), sim.per_class[1].response.p95(),
+                qsim.response[0].p95(), sim.per_class[0].response.p95());
+  }
+  return 0;
+}

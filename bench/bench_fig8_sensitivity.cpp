@@ -1,0 +1,90 @@
+// Figure 8: sensitivity analysis of differential approximation.
+//
+// Varies one reference parameter at a time (Section 5.2.2):
+//   (a) equal job sizes for both priorities,
+//   (b) inverted mix: 1:9 low:high (high-priority dominant),
+//   (c) 50% system load.
+// Each scenario reports NP / DA(0,10) / DA(0,20) relative to P.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+
+namespace {
+
+using namespace dias;
+
+void run_scenario(const std::string& title,
+                  std::vector<workload::ClassWorkloadParams> classes, double load,
+                  std::uint64_t seed) {
+  bench::print_header(title);
+  bench::calibrate_rates(classes, load, cluster::TaskTimeFamily::kLogNormal,
+                         bench::make_text_trace);
+  workload::TraceGenerator gen(seed);
+  const auto trace = gen.text_trace(classes, 20000);
+
+  const auto run = [&](core::Policy policy, std::vector<double> theta) {
+    core::ExperimentConfig config;
+    config.policy = policy;
+    config.slots = bench::kSlots;
+    config.theta = std::move(theta);
+    config.task_time_family = cluster::TaskTimeFamily::kLogNormal;
+    config.warmup_jobs = 2000;
+    config.seed = seed + 1;
+    return core::run_experiment(config, trace);
+  };
+
+  const auto p = run(core::Policy::kPreemptive, {});
+  std::printf("  P absolute: high mean %.1f s (p95 %.1f), low mean %.1f s (p95 %.1f), "
+              "waste %.1f%%\n",
+              p.per_class[1].response.mean(), p.per_class[1].tail_response(),
+              p.per_class[0].response.mean(), p.per_class[0].tail_response(),
+              100.0 * p.resource_waste());
+
+  struct Variant {
+    const char* name;
+    core::Policy policy;
+    std::vector<double> theta;
+  };
+  for (const auto& v :
+       {Variant{"NP", core::Policy::kNonPreemptive, {}},
+        Variant{"DA(0,10)", core::Policy::kDifferentialApprox, {0.1, 0.0}},
+        Variant{"DA(0,20)", core::Policy::kDifferentialApprox, {0.2, 0.0}}}) {
+    const auto result = run(v.policy, v.theta);
+    for (std::size_t k : {1u, 0u}) {
+      bench::print_relative_row(
+          v.name, k == 1 ? "high" : "low",
+          core::relative_difference(p.per_class[k], result.per_class[k]));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // (a) Equal job sizes: both classes at 473 MB.
+  run_scenario("Figure 8(a): equal job sizes (both 473 MB, 9:1 mix, 80% load)",
+               {bench::text_class(0.009, 473.0, "low"),
+                bench::text_class(0.001, 473.0, "high")},
+               0.8, 71);
+
+  // (b) Inverted mix: 1:9 low:high.
+  run_scenario("Figure 8(b): high-priority dominant (1:9 low:high, 80% load)",
+               {bench::text_class(0.001, 1117.0, "low"),
+                bench::text_class(0.009, 473.0, "high")},
+               0.8, 72);
+
+  // (c) 50% system load.
+  run_scenario("Figure 8(c): 50% system load (reference mix/sizes)",
+               {bench::text_class(0.009, 1117.0, "low"),
+                bench::text_class(0.001, 473.0, "high")},
+               0.5, 73);
+
+  std::printf("\n  paper shape: (a) gains improve for every class (smaller low jobs\n"
+              "  block less); (b) DA's leverage shrinks (only 10%% of jobs are\n"
+              "  deflatable): high-priority latencies rise, low tail gain drops;\n"
+              "  (c) P ~ NP at low load; DA(0,20) keeps most of its gain via the\n"
+              "  dropped third wave of processing.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 9: differential approximation on a three-priority system.
+//
+// Mix high-medium-low = 1-4-5 at ~80% load (the paper uses 2.3 jobs/min on
+// its testbed). Policies: P, NP, DA(0,10,20), DA(0,20,40); subscripts are
+// (high, medium, low) drop ratios. The paper reports ~16% resource waste
+// under P and up to 60% tail-latency reductions for all classes.
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+
+int main() {
+  using namespace dias;
+  bench::print_header("Figure 9: three-priority system (1-4-5 mix, 80% load)");
+
+  // Class order low -> medium -> high (larger index = higher priority).
+  std::vector<workload::ClassWorkloadParams> classes{
+      bench::text_class(0.005, 1117.0, "low"),
+      bench::text_class(0.004, 800.0, "medium"),
+      bench::text_class(0.001, 473.0, "high"),
+  };
+  bench::calibrate_rates(classes, 0.8, cluster::TaskTimeFamily::kLogNormal,
+                         bench::make_text_trace);
+  workload::TraceGenerator gen(81);
+  const auto trace = gen.text_trace(classes, 24000);
+
+  const auto run = [&](core::Policy policy, std::vector<double> theta) {
+    core::ExperimentConfig config;
+    config.policy = policy;
+    config.slots = bench::kSlots;
+    config.theta = std::move(theta);
+    config.task_time_family = cluster::TaskTimeFamily::kLogNormal;
+    config.warmup_jobs = 2000;
+    config.seed = 82;
+    return core::run_experiment(config, trace);
+  };
+
+  const auto p = run(core::Policy::kPreemptive, {});
+  const char* class_names[] = {"low", "middle", "high"};
+  std::printf("  P absolute (waste %.1f%%, paper ~16%%):\n", 100.0 * p.resource_waste());
+  for (std::size_t k = 3; k-- > 0;) {
+    bench::print_absolute_row("P", class_names[k], p.per_class[k].response.mean(),
+                              p.per_class[k].tail_response());
+  }
+
+  struct Variant {
+    const char* name;
+    core::Policy policy;
+    std::vector<double> theta;  // (low, medium, high) order
+  };
+  std::printf("\n  relative difference vs P (negative = better):\n");
+  for (const auto& v :
+       {Variant{"NP", core::Policy::kNonPreemptive, {}},
+        Variant{"DA(0,10,20)", core::Policy::kDifferentialApprox, {0.2, 0.1, 0.0}},
+        Variant{"DA(0,20,40)", core::Policy::kDifferentialApprox, {0.4, 0.2, 0.0}}}) {
+    const auto result = run(v.policy, v.theta);
+    for (std::size_t k = 3; k-- > 0;) {
+      bench::print_relative_row(
+          v.name, class_names[k],
+          core::relative_difference(p.per_class[k], result.per_class[k]));
+    }
+    std::printf("  %-12s waste %.1f%%\n", v.name, 100.0 * result.resource_waste());
+  }
+  std::printf("\n  paper shape: non-preemptive variants eliminate the ~16%% waste;\n"
+              "  DA cuts tail latency for all three classes (up to ~60%%) and mean\n"
+              "  latency more for low than middle, at a small high-priority cost.\n");
+  return 0;
+}

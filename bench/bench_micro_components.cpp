@@ -1,0 +1,123 @@
+// Microbenchmarks (google-benchmark) for the DiAS building blocks: PH
+// algebra, the task-level CTMC construction, the priority-queue MVA, the
+// QBD solver, the discrete-event core, task dropping, and the real engine.
+// These guard the cost of the deflator's model evaluations (the paper
+// argues the models make exhaustive configuration search cheap).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/engine.hpp"
+#include "model/mg1_priority.hpp"
+#include "model/qbd.hpp"
+#include "model/response_time_model.hpp"
+#include "model/task_level_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dias;
+
+std::vector<double> point_pmf(int tasks) {
+  std::vector<double> pmf(static_cast<std::size_t>(tasks), 0.0);
+  pmf.back() = 1.0;
+  return pmf;
+}
+
+void BM_PhaseTypeConvolve(benchmark::State& state) {
+  const auto a = model::PhaseType::erlang(static_cast<int>(state.range(0)), 2.0);
+  const auto b = model::PhaseType::erlang(static_cast<int>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::PhaseType::convolve(a, b).mean());
+  }
+}
+BENCHMARK(BM_PhaseTypeConvolve)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TaskLevelModelBuild(benchmark::State& state) {
+  model::TaskLevelParams p;
+  p.slots = 20;
+  p.map_task_pmf = point_pmf(static_cast<int>(state.range(0)));
+  p.reduce_task_pmf = point_pmf(20);
+  p.theta_map = 0.2;
+  for (auto _ : state) {
+    model::TaskLevelModel model(p);
+    benchmark::DoNotOptimize(model.mean_processing_time());
+  }
+}
+BENCHMARK(BM_TaskLevelModelBuild)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_DeflatorModelEvaluation(benchmark::State& state) {
+  // One full deflator probe: two classes, task-level PH + priority MVA.
+  model::JobClassProfile low;
+  low.arrival_rate = 0.005;
+  low.slots = 20;
+  low.map_task_pmf = point_pmf(50);
+  low.reduce_task_pmf = point_pmf(20);
+  low.map_rate = 1.0 / 20.0;
+  low.reduce_rate = 1.0 / 10.0;
+  low.shuffle_rate = 1.0 / 3.0;
+  low.mean_overhead_theta0 = 8.0;
+  low.mean_overhead_theta90 = 4.0;
+  auto high = low;
+  high.arrival_rate = 0.001;
+  const std::vector<model::JobClassProfile> classes{low, high};
+  const std::vector<double> theta{0.2, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::ResponseTimeModel::predict(
+        classes, theta, model::Discipline::kNonPreemptive));
+  }
+}
+BENCHMARK(BM_DeflatorModelEvaluation);
+
+void BM_QbdSolve(benchmark::State& state) {
+  const auto service = model::PhaseType::erlang(static_cast<int>(state.range(0)), 2.0);
+  for (auto _ : state) {
+    model::MPh1Queue q(0.8 * 2.0 / static_cast<double>(state.range(0)), service);
+    benchmark::DoNotOptimize(q.mean_response_time());
+  }
+}
+BENCHMARK(BM_QbdSolve)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 100000;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) sim.schedule_after(1.0, chain);
+    };
+    sim.schedule_at(0.0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_FindMissingPartitions(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::find_missing_partitions(static_cast<std::size_t>(state.range(0)), 0.2, rng));
+  }
+}
+BENCHMARK(BM_FindMissingPartitions)->Arg(50)->Arg(1000);
+
+void BM_EngineMapStage(benchmark::State& state) {
+  engine::Engine::Options opts;
+  opts.workers = 4;
+  engine::Engine eng(opts);
+  std::vector<int> data(100000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<int>(i);
+  const auto ds = eng.parallelize(std::move(data), 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.map(ds, [](const int& x) { return x * 2 + 1; }));
+    eng.clear_stage_log();
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_EngineMapStage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Shared experiment scenarios and reporting helpers for the per-figure
+// benchmark binaries. Every bench reproduces one table or figure of the
+// paper; the workload constants below are the calibrated stand-ins for the
+// paper's testbed (Section 5.1): 20 computing slots, 50-partition jobs,
+// 9:1 low:high mix, low jobs 2.36x larger (1117 MB vs 473 MB), 80% load.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace dias::bench {
+
+inline constexpr int kSlots = 20;
+
+// --- reference text-analytics classes (Figures 5, 7, 8, 9) ----------------
+
+inline workload::ClassWorkloadParams text_class(double arrival_rate, double size_mb,
+                                                const std::string& label) {
+  workload::ClassWorkloadParams p;
+  p.arrival_rate = arrival_rate;
+  p.mean_size_mb = size_mb;
+  p.size_scv = 0.15;
+  p.map_tasks = 50;
+  p.reduce_tasks = 20;
+  // Calibrated so a 1117 MB job processes in ~100 s on 20 slots, matching
+  // the magnitudes of Figures 4-5.
+  p.map_seconds_per_mb = 0.9;
+  p.reduce_seconds_per_mb = 0.18;
+  p.setup_time_s = 8.0;
+  p.setup_time_theta90_s = 4.0;
+  p.shuffle_time_s = 3.0;
+  p.task_scv = 0.08;
+  p.label = label;
+  return p;
+}
+
+// Reference two-priority setup: 9:1 low:high arrivals, sizes 1117/473 MB.
+inline std::vector<workload::ClassWorkloadParams> reference_two_priority() {
+  return {text_class(0.009, 1117.0, "low"), text_class(0.001, 473.0, "high")};
+}
+
+// --- reference graph-analytics classes (Figures 10, 11, Table 2) ----------
+
+inline workload::GraphClassParams graph_class(double arrival_rate, const std::string& label) {
+  workload::GraphClassParams p;
+  p.arrival_rate = arrival_rate;
+  p.mean_size_mb = 800.0;
+  p.size_scv = 0.10;
+  p.stage_tasks = 50;
+  p.shuffle_map_stages = 6;  // graphx triangle count: 6 ShuffleMap stages
+  // Calibrated for ~150 s non-sprinted execution (Table 2's low class).
+  p.stage_seconds_per_mb = 0.55;
+  p.setup_time_s = 10.0;
+  p.result_time_s = 5.0;
+  p.task_scv = 0.08;
+  p.label = label;
+  return p;
+}
+
+// --- pilot calibration ------------------------------------------------------
+
+// Pilot-simulation calibration (see workload::calibrate_rates_by_pilot):
+// scales arrival rates so the measured offered load hits the target. The
+// TraceFn tag parameters keep old call sites readable.
+struct TextTraceTag {};
+struct GraphTraceTag {};
+
+inline void calibrate_rates(std::vector<workload::ClassWorkloadParams>& classes,
+                            double target_utilization, cluster::TaskTimeFamily family,
+                            TextTraceTag) {
+  workload::calibrate_rates_by_pilot(classes, kSlots, target_utilization, family);
+}
+
+inline void calibrate_rates(std::vector<workload::GraphClassParams>& classes,
+                            double target_utilization, cluster::TaskTimeFamily family,
+                            GraphTraceTag) {
+  workload::calibrate_rates_by_pilot(classes, kSlots, target_utilization, family);
+}
+
+inline constexpr TextTraceTag make_text_trace{};
+inline constexpr GraphTraceTag make_graph_trace{};
+
+// --- reporting ---------------------------------------------------------------
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Prints one figure bar: relative mean/tail difference vs the baseline.
+inline void print_relative_row(const char* policy, const char* cls,
+                               const core::LatencyDelta& delta) {
+  std::printf("  %-12s %-7s mean %+7.1f%%   p95 %+7.1f%%\n", policy, cls,
+              delta.mean_percent, delta.tail_percent);
+}
+
+inline void print_absolute_row(const char* policy, const char* cls, double mean_s,
+                               double p95_s) {
+  std::printf("  %-12s %-7s mean %8.1f s   p95 %8.1f s\n", policy, cls, mean_s, p95_s);
+}
+
+}  // namespace dias::bench

@@ -1,0 +1,98 @@
+// Capacity planner: the paper's Section 5.2.1 use case, automated.
+//
+//   $ ./capacity_planner
+//
+// "Tolerate 30% accuracy loss for low-priority jobs while keeping
+// high-priority mean latency under a cap, with no high-priority accuracy
+// loss." The deflator consults the offline accuracy profile (Figure 6)
+// and the stochastic response-time model (Section 4) to pick the minimum
+// drop ratio that satisfies both constraints; the cluster simulator then
+// verifies the choice.
+#include <cstdio>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/deflator.hpp"
+#include "workload/trace_gen.hpp"
+
+int main() {
+  using namespace dias;
+
+  // Workload profile: the reference 9:1 two-priority setup.
+  workload::ClassWorkloadParams low;
+  low.arrival_rate = 0.009;
+  low.mean_size_mb = 1117.0;
+  low.map_seconds_per_mb = 0.9;
+  low.reduce_seconds_per_mb = 0.18;
+  low.label = "low";
+  auto high = low;
+  high.arrival_rate = 0.001;
+  high.mean_size_mb = 473.0;
+  high.label = "high";
+  std::vector<workload::ClassWorkloadParams> classes{low, high};
+  workload::scale_rates_to_load(classes, 20, 0.8);
+
+  std::vector<model::JobClassProfile> profiles;
+  for (const auto& c : classes) profiles.push_back(workload::to_model_profile(c, 20));
+
+  // Offline profiling: the accuracy-loss curve of the analysis (Figure 6).
+  const auto accuracy = core::AccuracyProfile::paper_word_count();
+  core::Deflator::Options dopts;
+  dopts.estimate_tails = true;  // the paper reports mean AND p95
+  core::Deflator deflator(profiles, accuracy, dopts);
+
+  // Constraints: high class exact with a mean-latency cap; low class may
+  // lose up to 30% accuracy.
+  const auto exact_pred = model::ResponseTimeModel::predict(
+      profiles, std::vector<double>{0.0, 0.0}, model::Discipline::kNonPreemptive);
+  const double cap = 0.95 * exact_pred.per_class[1].mean_response;
+  std::printf("high-priority mean response at theta=0: %.1f s; cap: %.1f s\n",
+              exact_pred.per_class[1].mean_response, cap);
+
+  std::vector<core::ClassConstraint> constraints(2);
+  constraints[0].max_error_percent = 30.0;  // low class
+  constraints[1].max_error_percent = 0.0;   // high class: exact
+  constraints[1].max_mean_response_s = cap;
+
+  const auto plan = deflator.plan(constraints);
+  if (!plan.feasible) {
+    std::printf("no feasible plan under these constraints\n");
+    return 1;
+  }
+  std::printf("deflator plan: theta = {low: %.2f, high: %.2f}; predicted error "
+              "{%.1f%%, %.1f%%}\n",
+              plan.theta[0], plan.theta[1], plan.predicted_error[0],
+              plan.predicted_error[1]);
+  std::printf("predicted mean response: high %.1f s, low %.1f s\n",
+              plan.prediction.per_class[1].mean_response,
+              plan.prediction.per_class[0].mean_response);
+  if (!plan.predicted_p95.empty()) {
+    std::printf("predicted p95 response:  high %.1f s, low %.1f s\n",
+                plan.predicted_p95[1], plan.predicted_p95[0]);
+  }
+
+  // Latency/accuracy frontier for the low class, for the operator to see
+  // the alternatives (the paper suggests weighting to select among them).
+  std::printf("\nlow-class frontier (theta, error%%, predicted mean response):\n");
+  for (const auto& point : deflator.frontier(0, std::vector<double>{0.0, 0.0})) {
+    std::printf("  theta %.2f  error %5.1f%%  response %7.1f s\n", point.theta,
+                point.error_percent, point.mean_response_s);
+  }
+
+  // Verify the plan by simulation.
+  workload::TraceGenerator gen(5);
+  for (auto& c : classes) c.size_scv = 0.0;
+  const auto trace = gen.text_trace(classes, 12000);
+  core::ExperimentConfig config;
+  config.policy = core::Policy::kDifferentialApprox;
+  config.slots = 20;
+  config.theta = plan.theta;
+  config.task_time_family = cluster::TaskTimeFamily::kExponential;
+  config.warmup_jobs = 1200;
+  const auto sim = core::run_experiment(config, trace);
+  std::printf("\nsimulated means with the plan: high %.1f s (cap %.1f), low %.1f s\n",
+              sim.per_class[1].response.mean(), cap, sim.per_class[0].response.mean());
+  std::printf("cap %s by simulation\n",
+              sim.per_class[1].response.mean() <= 1.05 * cap ? "confirmed" : "violated");
+  return 0;
+}

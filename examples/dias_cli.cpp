@@ -1,0 +1,179 @@
+// dias_cli: command-line experiment runner for the simulated cluster.
+//
+//   $ ./dias_cli --policy dias --theta 0.2,0 --load 0.8 --jobs 10000
+//
+// A downstream-user-facing driver: describe a two-priority workload with
+// flags, run any of the paper's policies, and get per-class latency, waste
+// and energy (optionally as CSV for scripting).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+
+using namespace dias;
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --policy <p|np|da|nps|dias>   scheduling policy (default da)\n"
+      "  --theta <low,high,...>        per-class drop ratios (default 0.2,0)\n"
+      "  --load <x>                    target utilization in (0,1) (default 0.8)\n"
+      "  --jobs <n>                    trace length (default 10000)\n"
+      "  --slots <n>                   computing slots (default 20)\n"
+      "  --mix <low:high>              arrival mix (default 9:1)\n"
+      "  --sprint-timeout <s>          high-class sprint timeout (default 0)\n"
+      "  --sprint-budget <J>           sprint budget in Joules (default inf)\n"
+      "  --seed <n>                    RNG seed (default 1)\n"
+      "  --csv                         machine-readable output\n"
+      "  --help                        this text\n",
+      prog);
+}
+
+std::vector<double> parse_list(const std::string& arg) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const auto comma = arg.find(',', pos);
+    out.push_back(std::stod(arg.substr(pos, comma - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::optional<core::Policy> parse_policy(const std::string& name) {
+  if (name == "p") return core::Policy::kPreemptive;
+  if (name == "np") return core::Policy::kNonPreemptive;
+  if (name == "da") return core::Policy::kDifferentialApprox;
+  if (name == "nps") return core::Policy::kNonPreemptiveSprint;
+  if (name == "dias") return core::Policy::kDias;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Policy policy = core::Policy::kDifferentialApprox;
+  std::vector<double> theta{0.2, 0.0};
+  double load = 0.8;
+  std::size_t jobs = 10000;
+  int slots = 20;
+  double mix_low = 9.0, mix_high = 1.0;
+  double sprint_timeout = 0.0;
+  double sprint_budget = std::numeric_limits<double>::infinity();
+  std::uint64_t seed = 1;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--policy") {
+      const auto p = parse_policy(next());
+      if (!p) {
+        std::fprintf(stderr, "unknown policy\n");
+        return 2;
+      }
+      policy = *p;
+    } else if (arg == "--theta") {
+      theta = parse_list(next());
+    } else if (arg == "--load") {
+      load = std::stod(next());
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--slots") {
+      slots = std::stoi(next());
+    } else if (arg == "--mix") {
+      const auto v = next();
+      const auto colon = v.find(':');
+      mix_low = std::stod(v.substr(0, colon));
+      mix_high = colon == std::string::npos ? 1.0 : std::stod(v.substr(colon + 1));
+    } else if (arg == "--sprint-timeout") {
+      sprint_timeout = std::stod(next());
+    } else if (arg == "--sprint-budget") {
+      sprint_budget = std::stod(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Reference workload shapes, mixed and scaled to the requested load.
+  workload::ClassWorkloadParams low;
+  low.arrival_rate = mix_low;
+  low.mean_size_mb = 1117.0;
+  low.map_seconds_per_mb = 0.9;
+  low.reduce_seconds_per_mb = 0.18;
+  low.label = "low";
+  auto high = low;
+  high.arrival_rate = mix_high;
+  high.mean_size_mb = 473.0;
+  high.label = "high";
+  std::vector<workload::ClassWorkloadParams> classes{low, high};
+  workload::calibrate_rates_by_pilot(classes, slots, load,
+                                     cluster::TaskTimeFamily::kLogNormal);
+
+  workload::TraceGenerator gen(seed);
+  auto trace = gen.text_trace(classes, jobs);
+
+  core::ExperimentConfig config;
+  config.policy = policy;
+  config.slots = slots;
+  config.theta = theta;
+  config.sprint.speedup = 2.5;
+  config.sprint.budget_joules = sprint_budget;
+  config.sprint.budget_cap_joules = sprint_budget;
+  config.sprint.timeout_s = {std::numeric_limits<double>::infinity(), sprint_timeout};
+  config.warmup_jobs = jobs / 10;
+  config.seed = seed + 1;
+  const auto result = core::run_experiment(config, std::move(trace));
+
+  if (csv) {
+    std::printf("class,completed,mean_s,p50_s,p95_s,p99_s,queue_s,exec_s\n");
+    for (std::size_t k = result.per_class.size(); k-- > 0;) {
+      const auto& m = result.per_class[k];
+      if (m.completed == 0) continue;
+      std::printf("%zu,%zu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", k, m.completed,
+                  m.response.mean(), m.response.p50(), m.response.p95(),
+                  m.response.p99(), m.queueing.mean(), m.execution.mean());
+    }
+    std::printf("waste,%.4f\nenergy_j,%.0f\nutilization,%.4f\n", result.resource_waste(),
+                result.energy_joules, result.utilization());
+    return 0;
+  }
+
+  std::printf("policy %s, %zu jobs, %d slots, target load %.2f\n",
+              core::to_string(policy), jobs, slots, load);
+  for (std::size_t k = result.per_class.size(); k-- > 0;) {
+    const auto& m = result.per_class[k];
+    if (m.completed == 0) continue;
+    std::printf("  class %zu (%s): %zu jobs, mean %.1f s, p95 %.1f s, queue %.1f s, "
+                "exec %.1f s\n",
+                k, k + 1 == result.per_class.size() ? "high" : "low", m.completed,
+                m.response.mean(), m.response.p95(), m.queueing.mean(),
+                m.execution.mean());
+  }
+  std::printf("  waste %.1f%%, energy %.1f MJ, utilization %.1f%%, evictions %zu\n",
+              100.0 * result.resource_waste(), result.energy_joules / 1e6,
+              100.0 * result.utilization(), result.total_evictions);
+  return 0;
+}

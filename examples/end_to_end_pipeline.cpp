@@ -1,0 +1,182 @@
+// End-to-end DiAS pipeline: every subsystem in one run.
+//
+//   $ ./end_to_end_pipeline
+//
+//   1. synthesize StackExchange-like dumps and load them into the
+//      HDFS-like block store;
+//   2. profile the word-count job on the real engine at theta = 0 and 0.9
+//      (the paper's offline parameterization) to build a model profile;
+//   3. let the deflator pick drop ratios and a sustainable sprint timeout
+//      from an accuracy tolerance and a latency cap;
+//   4. execute a two-priority stream of *real* jobs through the DiAS
+//      dispatcher with the planned thetas, reading from the block store
+//      (dropped tasks skip their block fetches);
+//   5. project cluster-scale latency/energy with the simulator.
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <vector>
+
+#include "analytics/word_count.hpp"
+#include "core/controller.hpp"
+#include "core/deflator.hpp"
+#include "core/dispatcher.hpp"
+#include "core/profiler.hpp"
+#include "storage/engine_io.hpp"
+#include "workload/text_corpus.hpp"
+#include "workload/trace_gen.hpp"
+
+int main() {
+  using namespace dias;
+
+  // --- 1. data into the block store ----------------------------------------
+  const auto root = std::filesystem::temp_directory_path() / "dias_pipeline_store";
+  std::filesystem::remove_all(root);
+  storage::BlockStoreOptions store_opts;
+  store_opts.root = root;
+  store_opts.block_bytes = 16 * 1024;
+  store_opts.replication = 2;
+  storage::BlockStore store(store_opts);
+
+  std::vector<std::string> sites;
+  for (int i = 0; i < 6; ++i) {
+    workload::TextCorpusParams params;
+    params.posts = 2000;
+    params.vocabulary = 2000;
+    params.drift_segments = 8;
+    params.seed = 200 + static_cast<std::uint64_t>(i);
+    const auto corpus =
+        workload::generate_text_corpus("site" + std::to_string(i), params);
+    const auto meta = store.write_lines(corpus.site, corpus.rows);
+    sites.push_back(corpus.site);
+    if (i == 0) {
+      std::printf("stored %s: %zu lines, %zu blocks, %zu bytes (x%d replicas)\n",
+                  meta.name.c_str(), meta.lines, meta.blocks, meta.bytes,
+                  store_opts.replication);
+    }
+  }
+
+  // --- 2. offline profiling -------------------------------------------------
+  engine::Engine::Options eng_opts;
+  eng_opts.workers = 4;
+  engine::Engine eng(eng_opts);
+  core::Profiler profiler(eng);
+  const auto job_body = [&](engine::Engine& e, double theta) {
+    const auto ds = storage::read_lines_dataset(e, store, sites[0], theta);
+    analytics::word_count(e, ds, 16, theta);
+  };
+  auto profile = profiler.build_class_profile(job_body, /*arrival_rate=*/1.0,
+                                              /*slots=*/4, /*repetitions=*/2);
+  std::printf("\nprofiled job: %zu map tasks, mean map task %.2f ms, overhead "
+              "%.2f -> %.2f ms (theta 0 -> 0.9)\n",
+              profile.map_task_pmf.size(), 1000.0 / profile.map_rate,
+              1000.0 * profile.mean_overhead_theta0,
+              1000.0 * profile.mean_overhead_theta90);
+
+  // --- 3. deflator plan ------------------------------------------------------
+  // Load the profiled queue at ~80% with a 5:1 low:high mix, so the
+  // latency-cap search has queueing to work with.
+  const double mean_exec =
+      model::ResponseTimeModel::processing_time(profile, 0.0).mean();
+  profile.arrival_rate = 0.8 / mean_exec * (5.0 / 6.0);
+  auto high_profile = profile;
+  high_profile.arrival_rate = 0.8 / mean_exec * (1.0 / 6.0);
+  core::Deflator::Options dopts;
+  dopts.sprint_speedup = 2.5;
+  dopts.timeout_grid = {0.0, 0.5, 2.0};
+  dopts.sprint_config.budget_joules = 22000.0;
+  dopts.sprint_config.replenish_watts = 24.0;
+  core::Deflator deflator({profile, high_profile},
+                          core::AccuracyProfile::paper_word_count(), dopts);
+  std::vector<core::ClassConstraint> constraints(2);
+  constraints[0].max_error_percent = 15.0;  // low class: tolerate 15% error
+  constraints[1].max_error_percent = 0.0;   // high class: exact
+  // Cap the high class at 97% of its theta = 0 prediction.
+  const auto relaxed = deflator.plan(constraints);
+  if (!relaxed.feasible) {
+    std::printf("workload infeasible\n");
+    return 1;
+  }
+  constraints[1].max_mean_response_s =
+      0.97 * relaxed.prediction.per_class[1].mean_response;
+  const auto plan = deflator.plan(constraints);
+  if (!plan.feasible) {
+    std::printf("no feasible plan under the latency cap\n");
+    return 1;
+  }
+  std::printf("deflator plan: theta = {%.2f, %.2f}, predicted error {%.1f%%, %.1f%%}, "
+              "sprint timeout %.1f s\n",
+              plan.theta[0], plan.theta[1], plan.predicted_error[0],
+              plan.predicted_error[1], plan.sprint_timeout_s[1]);
+
+  // --- 4. real execution through the DiAS dispatcher -------------------------
+  store.reset_io_stats();
+  core::DiasDispatcher dispatcher(plan.theta);
+  std::mutex io_mutex;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const std::size_t priority = i % 3 == 0 ? 1 : 0;
+    const std::string site = sites[i];
+    dispatcher.submit(priority, [&, site, priority](double theta) {
+      const auto ds = storage::read_lines_dataset(eng, store, site, theta);
+      const auto result = analytics::word_count(eng, ds, 16, theta);
+      std::lock_guard lock(io_mutex);
+      std::printf("  %-6s %-5s theta=%.2f  %zu words  %6.1f ms\n", site.c_str(),
+                  priority == 1 ? "high" : "low", theta, result.counts.size(),
+                  1000.0 * result.duration_s);
+    });
+  }
+  const auto records = dispatcher.drain();
+  const auto io = store.io_stats();
+  std::printf("block fetches: %llu blocks / %llu bytes (dropped tasks skipped "
+              "their reads)\n",
+              static_cast<unsigned long long>(io.blocks_read),
+              static_cast<unsigned long long>(io.bytes_read));
+  std::printf("dispatched %zu jobs, all non-preemptive, zero evictions\n",
+              records.size());
+
+  // --- 5. cluster-scale projection -------------------------------------------
+  workload::ClassWorkloadParams low;
+  low.arrival_rate = 0.009;
+  low.mean_size_mb = 1117.0;
+  low.map_seconds_per_mb = 0.9;
+  low.reduce_seconds_per_mb = 0.18;
+  auto high = low;
+  high.arrival_rate = 0.001;
+  high.mean_size_mb = 473.0;
+  std::vector<workload::ClassWorkloadParams> classes{low, high};
+  workload::scale_rates_to_load(classes, 20, 0.8);
+  workload::TraceGenerator gen(11);
+  const auto trace = gen.text_trace(classes, 8000);
+
+  core::ExperimentConfig sim_config;
+  sim_config.policy = core::Policy::kDias;
+  sim_config.slots = 20;
+  sim_config.theta = plan.theta;
+  sim_config.sprint.speedup = 2.5;
+  sim_config.sprint.timeout_s = {std::numeric_limits<double>::infinity(),
+                                 plan.sprint_timeout_s[1]};
+  sim_config.task_time_family = cluster::TaskTimeFamily::kExponential;
+  sim_config.warmup_jobs = 800;
+  const auto projected = core::run_experiment(sim_config, trace);
+  const auto baseline =
+      core::run_experiment([&] {
+        auto c = sim_config;
+        c.policy = core::Policy::kPreemptive;
+        return c;
+      }(), trace);
+  std::printf("\ncluster projection (20 slots, 80%% load): DiAS vs P\n");
+  for (std::size_t k : {1u, 0u}) {
+    std::printf("  %-5s mean %.1f s vs %.1f s (%+.0f%%)\n", k == 1 ? "high" : "low",
+                projected.per_class[k].response.mean(),
+                baseline.per_class[k].response.mean(),
+                100.0 * (projected.per_class[k].response.mean() -
+                         baseline.per_class[k].response.mean()) /
+                    baseline.per_class[k].response.mean());
+  }
+  std::printf("  energy %.1f vs %.1f MJ, waste %.1f%% vs %.1f%%\n",
+              projected.energy_joules / 1e6, baseline.energy_joules / 1e6,
+              100.0 * projected.resource_waste(), 100.0 * baseline.resource_waste());
+
+  std::filesystem::remove_all(root);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Graph analytics: approximate triangle counting with per-stage dropping.
+//
+//   $ ./graph_triangles
+//
+// Runs the real multi-stage triangle-count job (the paper's graphx
+// workload) on an R-MAT power-law graph and shows how the per-stage drop
+// ratio trades count accuracy for execution time.
+#include <cstdio>
+
+#include "analytics/triangle_count.hpp"
+#include "common/stats.hpp"
+#include "engine/engine.hpp"
+#include "workload/graph_gen.hpp"
+
+int main() {
+  using namespace dias;
+
+  // R-MAT stand-in for the Google web graph (scaled down: the paper's
+  // graph has 875'713 nodes and 5'105'039 edges).
+  workload::GraphParams params;
+  params.scale = 13;           // 8192 vertices
+  params.edges = 120000;
+  params.seed = 7;
+  const auto edges = workload::generate_rmat_graph(params);
+  const auto exact = workload::exact_triangle_count(edges);
+  std::printf("graph: %zu unique edges, %llu triangles (exact)\n\n", edges.size(),
+              static_cast<unsigned long long>(exact));
+
+  engine::Engine::Options opts;
+  opts.workers = 4;
+  engine::Engine eng(opts);
+  const auto ds = eng.parallelize(edges, 50);
+
+  std::printf("%-12s  %12s  %10s  %12s  %10s\n", "stage theta", "triangles", "error [%]",
+              "tasks run", "time [ms]");
+  double exact_time = 0.0;
+  for (double theta : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    const auto result = analytics::triangle_count(eng, ds, theta);
+    if (theta == 0.0) exact_time = result.duration_s;
+    std::printf("%-12g  %12llu  %10.1f  %6zu/%-5zu  %10.1f\n", theta,
+                static_cast<unsigned long long>(result.triangles),
+                exact == 0 ? 0.0
+                           : relative_error_percent(static_cast<double>(exact),
+                                                    static_cast<double>(result.triangles)),
+                result.tasks_run, result.tasks_total, 1000.0 * result.duration_s);
+  }
+  std::printf("\nspeedup at theta=0.2 vs exact: measure via the time column (exact run "
+              "%.1f ms).\nEvery ShuffleMap stage drops independently, so the effective "
+              "total drop\ncompounds across the job's stages (paper Section 5.2.4).\n",
+              1000.0 * exact_time);
+  return 0;
+}

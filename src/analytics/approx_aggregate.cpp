@@ -1,0 +1,65 @@
+#include "analytics/approx_aggregate.hpp"
+
+namespace dias::analytics::detail {
+
+ApproxEstimate estimate_total(const std::vector<double>& ys, std::size_t total_partitions) {
+  DIAS_EXPECTS(!ys.empty(), "estimator needs at least one executed partition");
+  DIAS_EXPECTS(ys.size() <= total_partitions, "executed partitions exceed total");
+  const double m = static_cast<double>(ys.size());
+  const double big_m = static_cast<double>(total_partitions);
+
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= m;
+
+  ApproxEstimate out;
+  out.estimate = big_m * mean;
+  out.partitions_total = total_partitions;
+  out.partitions_used = ys.size();
+  if (ys.size() >= 2 && ys.size() < total_partitions) {
+    double s2 = 0.0;
+    for (double y : ys) s2 += (y - mean) * (y - mean);
+    s2 /= (m - 1.0);
+    // Finite population correction: a full census has zero error.
+    const double variance = big_m * big_m * (1.0 - m / big_m) * s2 / m;
+    out.standard_error = std::sqrt(std::max(variance, 0.0));
+  }
+  return out;
+}
+
+ApproxEstimate estimate_ratio(const ClusterSums& sums) {
+  DIAS_EXPECTS(sums.values.size() == sums.counts.size(), "cluster sums misaligned");
+  DIAS_EXPECTS(!sums.values.empty(), "estimator needs at least one executed partition");
+  const double m = static_cast<double>(sums.values.size());
+  const double big_m = static_cast<double>(sums.total_partitions);
+
+  double y_mean = 0.0, x_mean = 0.0;
+  for (std::size_t i = 0; i < sums.values.size(); ++i) {
+    y_mean += sums.values[i];
+    x_mean += sums.counts[i];
+  }
+  y_mean /= m;
+  x_mean /= m;
+  DIAS_EXPECTS(x_mean > 0.0, "ratio estimator needs non-empty sampled partitions");
+  const double ratio = y_mean / x_mean;
+
+  ApproxEstimate out;
+  out.estimate = ratio;
+  out.partitions_total = sums.total_partitions;
+  out.partitions_used = sums.values.size();
+  if (sums.values.size() >= 2 && sums.values.size() < sums.total_partitions) {
+    // Delta method on R = y_bar / x_bar via the residuals e_i = y_i - R x_i:
+    // var(R) ~ (1 - m/M) * s_e^2 / (m * x_bar^2).
+    double s2 = 0.0;
+    for (std::size_t i = 0; i < sums.values.size(); ++i) {
+      const double e = sums.values[i] - ratio * sums.counts[i];
+      s2 += e * e;
+    }
+    s2 /= (m - 1.0);
+    const double variance = (1.0 - m / big_m) * s2 / (m * x_mean * x_mean);
+    out.standard_error = std::sqrt(std::max(variance, 0.0));
+  }
+  return out;
+}
+
+}  // namespace dias::analytics::detail

@@ -1,0 +1,136 @@
+// Approximate aggregation with error bounds (ApproxHadoop / BlinkDB style,
+// the paper's references [18] and [10]).
+//
+// Task dropping is cluster sampling: partitions are clusters, and running
+// ceil(n (1 - theta)) random partitions is sampling m of M clusters
+// without replacement. Classical survey-sampling theory then gives
+// *unbiased* SUM/COUNT estimates with closed-form standard errors, and a
+// delta-method interval for MEAN (a ratio of totals) -- the "bounded
+// errors in bounded response times" contract of approximate engines.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "engine/engine.hpp"
+
+namespace dias::analytics {
+
+struct ApproxEstimate {
+  double estimate = 0.0;
+  double standard_error = 0.0;
+  std::size_t partitions_total = 0;  // M clusters
+  std::size_t partitions_used = 0;   // m sampled clusters
+
+  // 95% normal-approximation confidence interval.
+  double ci_half_width() const { return 1.959964 * standard_error; }
+  double lo() const { return estimate - ci_half_width(); }
+  double hi() const { return estimate + ci_half_width(); }
+  bool contains(double truth) const { return truth >= lo() && truth <= hi(); }
+  // Half-width relative to the estimate, in percent.
+  double relative_error_percent() const {
+    DIAS_EXPECTS(estimate != 0.0, "relative error needs a non-zero estimate");
+    return 100.0 * ci_half_width() / std::abs(estimate);
+  }
+};
+
+namespace detail {
+
+// Per-partition sums of (value, count) produced by a droppable map stage;
+// entries for dropped partitions are absent (empty partitions).
+struct ClusterSums {
+  std::vector<double> values;  // per executed partition: sum of f(record)
+  std::vector<double> counts;  // per executed partition: number of records
+  std::size_t total_partitions = 0;
+};
+
+// Horvitz-Thompson-style estimator for the population total of the
+// per-cluster statistic ys: T_hat = M * mean(ys), with the finite-
+// population-corrected variance M^2 (1 - m/M) s^2 / m.
+ApproxEstimate estimate_total(const std::vector<double>& ys, std::size_t total_partitions);
+
+// Ratio estimator value_total / count_total with a delta-method standard
+// error using the per-cluster covariance.
+ApproxEstimate estimate_ratio(const ClusterSums& sums);
+
+}  // namespace detail
+
+// Runs a droppable aggregation stage over `data` and returns the estimated
+// population SUM of value_fn(record), with its standard error. theta = 0
+// returns the exact sum with zero error.
+template <typename T, typename F>
+ApproxEstimate approx_sum(engine::Engine& eng, const engine::Dataset<T>& data, F value_fn,
+                          double theta, const std::string& name = "approx-sum") {
+  detail::ClusterSums sums;
+  sums.total_partitions = data.partitions();
+  std::vector<double> values(data.partitions(), 0.0);
+  std::vector<double> counts(data.partitions(), 0.0);
+  std::vector<char> executed(data.partitions(), 0);
+  engine::StageOptions opts;
+  opts.name = name;
+  opts.droppable = true;
+  opts.drop_ratio_override = theta;
+  eng.map_partitions_indexed(
+      data,
+      [&](std::size_t p, const std::vector<T>& part) {
+        double acc = 0.0;
+        for (const auto& x : part) acc += value_fn(x);
+        values[p] = acc;
+        counts[p] = static_cast<double>(part.size());
+        executed[p] = 1;
+        return std::vector<int>{};
+      },
+      opts);
+  for (std::size_t p = 0; p < data.partitions(); ++p) {
+    if (executed[p]) {
+      sums.values.push_back(values[p]);
+      sums.counts.push_back(counts[p]);
+    }
+  }
+  return detail::estimate_total(sums.values, sums.total_partitions);
+}
+
+// Estimated record COUNT of the dataset under dropping.
+template <typename T>
+ApproxEstimate approx_count(engine::Engine& eng, const engine::Dataset<T>& data,
+                            double theta) {
+  return approx_sum(eng, data, [](const T&) { return 1.0; }, theta, "approx-count");
+}
+
+// Estimated population MEAN of value_fn(record): a ratio of totals with a
+// delta-method interval (the dominant error source is which partitions
+// were dropped, which cancels partially between numerator and denominator).
+template <typename T, typename F>
+ApproxEstimate approx_mean(engine::Engine& eng, const engine::Dataset<T>& data, F value_fn,
+                           double theta) {
+  detail::ClusterSums sums;
+  sums.total_partitions = data.partitions();
+  std::vector<double> values(data.partitions(), 0.0);
+  std::vector<double> counts(data.partitions(), 0.0);
+  std::vector<char> executed(data.partitions(), 0);
+  engine::StageOptions opts;
+  opts.name = "approx-mean";
+  opts.droppable = true;
+  opts.drop_ratio_override = theta;
+  eng.map_partitions_indexed(
+      data,
+      [&](std::size_t p, const std::vector<T>& part) {
+        double acc = 0.0;
+        for (const auto& x : part) acc += value_fn(x);
+        values[p] = acc;
+        counts[p] = static_cast<double>(part.size());
+        executed[p] = 1;
+        return std::vector<int>{};
+      },
+      opts);
+  for (std::size_t p = 0; p < data.partitions(); ++p) {
+    if (executed[p]) {
+      sums.values.push_back(values[p]);
+      sums.counts.push_back(counts[p]);
+    }
+  }
+  return detail::estimate_ratio(sums);
+}
+
+}  // namespace dias::analytics

@@ -1,0 +1,144 @@
+#include "analytics/page_rank.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::analytics {
+
+PageRankResult page_rank(engine::Engine& eng, const engine::Dataset<workload::Edge>& edges,
+                         const PageRankOptions& options) {
+  DIAS_EXPECTS(options.iterations >= 1, "PageRank needs at least one iteration");
+  DIAS_EXPECTS(options.damping > 0.0 && options.damping < 1.0,
+               "damping must be in (0,1)");
+  eng.clear_stage_log();
+
+  const auto droppable = [&](const std::string& name) {
+    engine::StageOptions opts;
+    opts.name = name;
+    opts.droppable = true;
+    opts.drop_ratio_override = options.stage_drop_ratio;
+    return opts;
+  };
+
+  // Build the (symmetric) adjacency once; this stage is droppable like the
+  // graphx vertex-RDD construction.
+  auto neighbour_pairs = eng.map_partitions(
+      edges,
+      [](const std::vector<workload::Edge>& part) {
+        std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> out;
+        out.reserve(2 * part.size());
+        for (const auto& [u, v] : part) {
+          if (u == v) continue;
+          out.push_back({u, {v}});
+          out.push_back({v, {u}});
+        }
+        return out;
+      },
+      droppable("pagerank/edges"));
+  auto adjacency = eng.reduce_by_key(
+      neighbour_pairs,
+      [](std::vector<std::uint32_t> a, const std::vector<std::uint32_t>& b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      },
+      options.partitions, [] {
+        engine::StageOptions opts;
+        opts.name = "pagerank/adjacency";
+        opts.droppable = false;
+        return opts;
+      }());
+
+  // Vertex count for the teleport term.
+  const std::size_t n_vertices = eng.count(adjacency);
+  DIAS_EXPECTS(n_vertices > 0, "graph has no vertices after dropping");
+  const double teleport =
+      (1.0 - options.damping) / static_cast<double>(n_vertices);
+
+  // Ranks start uniform.
+  RankVector ranks;
+  ranks.reserve(n_vertices);
+  for (std::size_t p = 0; p < adjacency.partitions(); ++p) {
+    for (const auto& [v, nbrs] : adjacency.partition(p)) {
+      ranks.emplace(v, 1.0 / static_cast<double>(n_vertices));
+    }
+  }
+
+  for (int it = 0; it < options.iterations; ++it) {
+    // Contribution stage (droppable ShuffleMap): each vertex spreads its
+    // rank over its neighbours.
+    auto contributions = eng.map_partitions(
+        adjacency,
+        [&ranks](const std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>>&
+                     part) {
+          std::vector<std::pair<std::uint32_t, double>> out;
+          for (const auto& [v, nbrs] : part) {
+            if (nbrs.empty()) continue;
+            const auto it_rank = ranks.find(v);
+            if (it_rank == ranks.end()) continue;
+            const double share = it_rank->second / static_cast<double>(nbrs.size());
+            for (std::uint32_t u : nbrs) out.emplace_back(u, share);
+          }
+          return out;
+        },
+        droppable("pagerank/contrib-" + std::to_string(it)));
+    auto summed = eng.reduce_by_key(
+        contributions, [](double a, double b) { return a + b; }, options.partitions, [&] {
+          engine::StageOptions opts;
+          opts.name = "pagerank/sum-" + std::to_string(it);
+          opts.droppable = false;
+          return opts;
+        }());
+
+    RankVector next;
+    next.reserve(n_vertices);
+    for (const auto& [v, unused] : ranks) {
+      next.emplace(v, teleport);
+      (void)unused;
+    }
+    for (std::size_t p = 0; p < summed.partitions(); ++p) {
+      for (const auto& [v, sum] : summed.partition(p)) {
+        auto [entry, inserted] = next.try_emplace(v, teleport);
+        entry->second = teleport + options.damping * sum;
+        (void)inserted;
+      }
+    }
+    ranks = std::move(next);
+  }
+
+  PageRankResult result;
+  result.ranks = std::move(ranks);
+  result.iterations = options.iterations;
+  result.duration_s = eng.logged_duration();
+  for (const auto& stage : eng.stage_log()) {
+    if (stage.applied_drop_ratio > 0.0 || options.stage_drop_ratio == 0.0) {
+      if (stage.kind == engine::EngineStageKind::kMap) {
+        result.tasks_total += stage.total_partitions;
+        result.tasks_run += stage.executed_partitions;
+      }
+    }
+  }
+  return result;
+}
+
+double rank_error_percent(const RankVector& reference, const RankVector& estimate) {
+  DIAS_EXPECTS(!reference.empty(), "reference ranks must be non-empty");
+  double l1 = 0.0;
+  double mass = 0.0;
+  for (const auto& [v, r] : reference) {
+    const auto it = estimate.find(v);
+    const double e = it != estimate.end() ? it->second : 0.0;
+    l1 += std::abs(r - e);
+    mass += r;
+  }
+  // Estimated vertices missing from the reference also count.
+  for (const auto& [v, e] : estimate) {
+    if (reference.find(v) == reference.end()) l1 += std::abs(e);
+  }
+  DIAS_EXPECTS(mass > 0.0, "reference ranks have no mass");
+  return 100.0 * l1 / mass;
+}
+
+}  // namespace dias::analytics

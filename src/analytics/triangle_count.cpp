@@ -1,0 +1,120 @@
+#include "analytics/triangle_count.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dias::analytics {
+
+TriangleCountResult triangle_count(engine::Engine& eng,
+                                   const engine::Dataset<workload::Edge>& edges,
+                                   double stage_drop_ratio) {
+  eng.clear_stage_log();
+  const auto droppable = [&](const char* name) {
+    engine::StageOptions opts;
+    opts.name = name;
+    opts.droppable = true;
+    opts.drop_ratio_override = stage_drop_ratio;
+    return opts;
+  };
+
+  // Stage 1 (map, droppable): canonicalize edges.
+  auto canonical = eng.map_partitions(
+      edges,
+      [](const std::vector<workload::Edge>& part) {
+        std::vector<workload::Edge> out;
+        out.reserve(part.size());
+        for (auto [u, v] : part) {
+          if (u == v) continue;
+          if (u > v) std::swap(u, v);
+          out.emplace_back(u, v);
+        }
+        return out;
+      },
+      droppable("triangles/canonicalize"));
+
+  // Stage 2 (shuffle-map, droppable): forward adjacency lists keyed by the
+  // smaller endpoint (the "vertex RDD").
+  auto keyed = eng.map_partitions(
+      canonical,
+      [](const std::vector<workload::Edge>& part) {
+        std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> out;
+        out.reserve(part.size());
+        for (const auto& [u, v] : part) out.emplace_back(u, std::vector<std::uint32_t>{v});
+        return out;
+      },
+      droppable("triangles/adjacency"));
+  auto adjacency = eng.reduce_by_key(
+      keyed,
+      [](std::vector<std::uint32_t> a, const std::vector<std::uint32_t>& b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      },
+      keyed.partitions(), [] {
+        engine::StageOptions opts;
+        opts.name = "triangles/group";
+        opts.droppable = false;  // shuffle barrier itself is not dropped
+        return opts;
+      }());
+
+  // Broadcast view: vertex -> sorted forward neighbours.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> adj;
+  for (auto& kv : adjacency.collect()) {
+    auto nbrs = kv.second;
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    adj.emplace(kv.first, std::move(nbrs));
+  }
+
+  // Stage 3 (shuffle-map, droppable): per-edge intersection counts.
+  auto partial = eng.map_partitions(
+      canonical,
+      [&adj](const std::vector<workload::Edge>& part) {
+        const std::vector<std::uint32_t> empty;
+        std::uint64_t count = 0;
+        for (const auto& [u, v] : part) {
+          const auto iu = adj.find(u);
+          const auto iv = adj.find(v);
+          const auto& nu = iu != adj.end() ? iu->second : empty;
+          const auto& nv = iv != adj.end() ? iv->second : empty;
+          auto a = nu.begin();
+          auto b = nv.begin();
+          while (a != nu.end() && b != nv.end()) {
+            if (*a < *b) {
+              ++a;
+            } else if (*b < *a) {
+              ++b;
+            } else {
+              ++count;
+              ++a;
+              ++b;
+            }
+          }
+        }
+        return std::vector<std::uint64_t>{count};
+      },
+      droppable("triangles/intersect"));
+
+  // Stage 4 (result): global sum.
+  engine::StageOptions result_opts;
+  result_opts.name = "triangles/result";
+  result_opts.droppable = false;
+  const std::uint64_t total = eng.aggregate(
+      partial, std::uint64_t{0}, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      result_opts);
+
+  TriangleCountResult result;
+  result.triangles = total;
+  result.duration_s = eng.logged_duration();
+  for (const auto& stage : eng.stage_log()) {
+    if (stage.applied_drop_ratio > 0.0 ||
+        (stage.kind == engine::EngineStageKind::kMap && stage.name != "triangles/result")) {
+      result.tasks_total += stage.total_partitions;
+      result.tasks_run += stage.executed_partitions;
+    }
+  }
+  return result;
+}
+
+}  // namespace dias::analytics

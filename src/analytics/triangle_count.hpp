@@ -1,0 +1,33 @@
+// Approximate triangle counting (paper Section 5.2.4).
+//
+// Mirrors the graphx job the paper runs: a multi-stage pipeline over the
+// (web) graph where every ShuffleMap stage is droppable, so a per-stage
+// drop ratio compounds into the total effective drop ratio. Stages:
+//   1. map          - canonicalize edges (u < v, drop self loops)
+//   2. shuffle-map  - build forward adjacency lists (vertex RDD)
+//   3. shuffle-map  - per-edge intersection counting
+//   4. result       - global sum
+// A triangle u < v < w is counted exactly once, at edge (u, v).
+#pragma once
+
+#include <cstdint>
+
+#include "engine/engine.hpp"
+#include "workload/graph_gen.hpp"
+
+namespace dias::analytics {
+
+struct TriangleCountResult {
+  std::uint64_t triangles = 0;
+  double duration_s = 0.0;
+  std::size_t tasks_total = 0;  // droppable-stage tasks before dropping
+  std::size_t tasks_run = 0;    // after dropping
+};
+
+// Counts triangles with `stage_drop_ratio` applied to every droppable
+// stage (0 = exact result).
+TriangleCountResult triangle_count(engine::Engine& eng,
+                                   const engine::Dataset<workload::Edge>& edges,
+                                   double stage_drop_ratio = 0.0);
+
+}  // namespace dias::analytics

@@ -1,0 +1,93 @@
+#include "analytics/word_count.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stats.hpp"
+#include "workload/text_corpus.hpp"
+
+namespace dias::analytics {
+
+WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::string>& rows,
+                           std::size_t reduce_partitions, double drop_override) {
+  eng.clear_stage_log();
+
+  // Map: parse rows -> (word, 1) pairs. This is the droppable stage.
+  engine::StageOptions map_opts;
+  map_opts.name = "wordcount/map";
+  map_opts.droppable = true;
+  map_opts.drop_ratio_override = drop_override;
+  auto pairs = eng.map_partitions(
+      rows,
+      [](const std::vector<std::string>& part) {
+        std::vector<std::pair<std::string, std::uint64_t>> out;
+        for (const auto& row : part) {
+          const std::string body = workload::extract_post_body(row);
+          for (auto& word : workload::tokenize(body)) {
+            out.emplace_back(std::move(word), 1);
+          }
+        }
+        return out;
+      },
+      map_opts);
+
+  // Shuffle + reduce: sum counts per word.
+  engine::StageOptions reduce_opts;
+  reduce_opts.name = "wordcount";
+  reduce_opts.droppable = false;
+  auto reduced = eng.reduce_by_key(
+      pairs, [](std::uint64_t a, std::uint64_t b) { return a + b; }, reduce_partitions,
+      reduce_opts);
+
+  WordCountResult result;
+  for (const auto& kv : reduced.collect()) result.counts.emplace(kv.first, kv.second);
+  result.duration_s = eng.logged_duration();
+  for (const auto& stage : eng.stage_log()) {
+    if (stage.kind == engine::EngineStageKind::kMap) {
+      result.map_tasks_total += stage.total_partitions;
+      result.map_tasks_run += stage.executed_partitions;
+    }
+  }
+  return result;
+}
+
+WordCounts WordCountResult::rescaled_counts() const {
+  const double fraction = executed_fraction();
+  WordCounts scaled;
+  scaled.reserve(counts.size());
+  for (const auto& [word, count] : counts) {
+    scaled.emplace(word, static_cast<std::uint64_t>(
+                             static_cast<double>(count) / fraction + 0.5));
+  }
+  return scaled;
+}
+
+WordCounts exact_word_count(const std::vector<std::string>& rows) {
+  WordCounts counts;
+  for (const auto& row : rows) {
+    const std::string body = workload::extract_post_body(row);
+    for (const auto& word : workload::tokenize(body)) ++counts[word];
+  }
+  return counts;
+}
+
+double word_count_error(const WordCounts& reference, const WordCounts& estimate,
+                        std::size_t top_k) {
+  DIAS_EXPECTS(!reference.empty(), "reference counts must be non-empty");
+  // Rank reference words by frequency.
+  std::vector<std::pair<std::string, std::uint64_t>> ranked(reference.begin(), reference.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const std::size_t n = std::min(top_k, ranked.size());
+  std::vector<double> ref(n), est(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref[i] = static_cast<double>(ranked[i].second);
+    const auto it = estimate.find(ranked[i].first);
+    est[i] = it != estimate.end() ? static_cast<double>(it->second) : 0.0;
+  }
+  return mean_absolute_percent_error(ref, est);
+}
+
+}  // namespace dias::analytics

@@ -1,0 +1,49 @@
+#include "cluster/job.hpp"
+
+namespace dias::cluster {
+
+bool is_droppable(StageKind kind) {
+  switch (kind) {
+    case StageKind::kMap:
+    case StageKind::kShuffleMap:
+    case StageKind::kReduce:
+      return true;
+    case StageKind::kSetup:
+    case StageKind::kShuffle:
+    case StageKind::kResult:
+      return false;
+  }
+  return false;
+}
+
+const char* to_string(StageKind kind) {
+  switch (kind) {
+    case StageKind::kSetup:
+      return "setup";
+    case StageKind::kMap:
+      return "map";
+    case StageKind::kShuffle:
+      return "shuffle";
+    case StageKind::kShuffleMap:
+      return "shuffle-map";
+    case StageKind::kReduce:
+      return "reduce";
+    case StageKind::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+double JobSpec::total_work() const {
+  double acc = 0.0;
+  for (const auto& s : stages) acc += static_cast<double>(s.tasks) * s.mean_task_time;
+  return acc;
+}
+
+int JobSpec::total_tasks() const {
+  int acc = 0;
+  for (const auto& s : stages) acc += s.tasks;
+  return acc;
+}
+
+}  // namespace dias::cluster

@@ -1,0 +1,53 @@
+// Job and stage descriptions for the simulated cluster.
+//
+// A job is a sequence of stages executed by the engine that currently holds
+// all C computing slots (the paper's single-engine model, Section 4). Map /
+// ShuffleMap stages are droppable: DiAS executes only ceil(n (1 - theta))
+// of their n tasks. Setup, shuffle, and result stages are not droppable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dias::cluster {
+
+enum class StageKind {
+  kSetup,       // job overhead (scheduling, data fetch); single pseudo-task
+  kMap,         // droppable parallel tasks
+  kShuffle,     // synchronization barrier; single pseudo-task
+  kShuffleMap,  // droppable parallel tasks in iterative jobs (graphx-style)
+  kReduce,      // parallel tasks; droppable when theta_reduce is used
+  kResult,      // final aggregation; not droppable
+};
+
+// Whether DiAS may drop tasks of this stage kind.
+bool is_droppable(StageKind kind);
+const char* to_string(StageKind kind);
+
+struct StageSpec {
+  StageKind kind = StageKind::kMap;
+  int tasks = 1;
+  double mean_task_time = 1.0;  // seconds at base frequency
+  double task_time_scv = 0.25;  // squared coefficient of variation
+
+  // Overhead shrink under approximation: the stage's mean task time scales
+  // linearly from 1x at theta = 0 to this factor at theta = 0.9, mirroring
+  // the paper's profiled overhead reduction (Section 4.3). 1.0 = no effect.
+  // Applied to non-droppable stages (setup/shuffle); droppable stages are
+  // deflated by dropping tasks instead.
+  double time_factor_at_theta90 = 1.0;
+};
+
+struct JobSpec {
+  std::size_t priority = 0;  // class index; larger = higher priority
+  std::vector<StageSpec> stages;
+  double size_mb = 0.0;  // informational (drives generators / reports)
+  std::string label;     // e.g. dataset name; informational
+
+  // Total serial work at base speed: sum over stages of tasks * mean time.
+  double total_work() const;
+  int total_tasks() const;
+};
+
+}  // namespace dias::cluster

@@ -1,0 +1,43 @@
+// Per-class and system-wide metrics collected by the cluster simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace dias::cluster {
+
+struct ClassMetrics {
+  SampleSet response;   // arrival -> completion (the paper's latency)
+  SampleSet queueing;   // response minus final execution
+  SampleSet execution;  // duration of the successful (final) attempt
+  std::size_t completed = 0;
+  std::size_t evictions = 0;
+
+  double mean_response() const { return response.mean(); }
+  double tail_response(double q = 0.95) const { return response.quantile(q); }
+};
+
+struct SimResult {
+  std::vector<ClassMetrics> per_class;
+
+  double horizon = 0.0;            // total simulated time
+  double busy_time = 0.0;          // engine-occupied time (all attempts)
+  double wasted_time = 0.0;        // time spent on attempts that were evicted
+  double sprint_time = 0.0;        // time executed at sprint frequency
+  double energy_joules = 0.0;      // integrated power over the horizon
+  std::size_t total_evictions = 0;
+  std::size_t straggler_tasks = 0;     // tasks inflated by straggler injection
+  std::size_t speculative_copies = 0;  // backup copies launched
+  std::size_t tail_dropped_tasks = 0;  // in-flight tasks abandoned (GRASS)
+
+  // Fraction of processing (busy) time spent re-processing evicted work --
+  // the paper's "resource waste".
+  double resource_waste() const {
+    return busy_time > 0.0 ? wasted_time / busy_time : 0.0;
+  }
+  double utilization() const { return horizon > 0.0 ? busy_time / horizon : 0.0; }
+};
+
+}  // namespace dias::cluster

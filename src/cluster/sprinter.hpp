@@ -1,0 +1,86 @@
+// Computational sprinter: DVFS budget accounting (paper Sections 2.3, 3.2).
+//
+// The sprinter owns an energy budget (Joules). While a job sprints, the
+// budget drains at the *extra* power drawn by the high frequency
+// (sprint_power - base_power); while idle it replenishes at a configured
+// rate up to a cap (e.g. "6 sprinting minutes per hour"). A job sprints
+// from its class timeout Tk until it completes or the budget depletes.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dias::cluster {
+
+// When does a job start sprinting?
+enum class SprintPolicy {
+  // Classic time-based policy (the paper's): a class-k job sprints once its
+  // timeout Tk elapses after dispatch.
+  kTimeout,
+  // Drain-pressure extension: additionally, the *running* job sprints as
+  // soon as a strictly-higher-priority job is waiting behind it -- spending
+  // the budget to drain the blocker is what non-preemptive DiAS needs most.
+  // Class timeouts still apply on top.
+  kDrainPressure,
+};
+
+struct SprintConfig {
+  bool enabled = false;
+  SprintPolicy policy = SprintPolicy::kTimeout;
+  // Execution speedup while sprinting (rates multiply by this); the paper
+  // observes up to 60% execution-time reduction, i.e. a 2.5x speedup.
+  double speedup = 2.5;
+  double base_power_w = 180.0;
+  double sprint_power_w = 270.0;
+  // Initial/total budget in Joules; infinity = unlimited sprinting.
+  double budget_joules = std::numeric_limits<double>::infinity();
+  // Replenish rate (Watts) and cap for the budget.
+  double replenish_watts = 0.0;
+  double budget_cap_joules = std::numeric_limits<double>::infinity();
+  // Per-class sprint timeout Tk in seconds since dispatch; infinity = the
+  // class never sprints; 0 = sprint immediately ("unlimited" scenarios).
+  std::vector<double> timeout_s;
+
+  double timeout_for_class(std::size_t priority) const {
+    if (!enabled || priority >= timeout_s.size()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return timeout_s[priority];
+  }
+  double extra_power() const { return sprint_power_w - base_power_w; }
+};
+
+// Tracks the sprint budget lazily: the stored level is valid as of
+// `last_update`; queries advance it using the current drain/replenish rate.
+class SprintBudget {
+ public:
+  SprintBudget(const SprintConfig& config, sim::Time now);
+
+  // Current budget level at simulation time `now`.
+  double level(sim::Time now) const;
+  bool has_budget(sim::Time now) const { return level(now) > 1e-9; }
+
+  // Marks the start of a sprint at `now`. Returns the time at which the
+  // budget will deplete if the sprint never ends (infinity when the
+  // replenish rate covers the drain or the budget is unlimited).
+  sim::Time begin_sprint(sim::Time now);
+  // Marks the end of the sprint at `now`.
+  void end_sprint(sim::Time now);
+
+  bool sprinting() const { return sprinting_; }
+  // Total Joules drained by sprints so far (extra power integrated).
+  double consumed(sim::Time now) const;
+
+ private:
+  void advance(sim::Time now);
+
+  SprintConfig config_;
+  double level_;
+  double consumed_ = 0.0;
+  sim::Time last_update_;
+  bool sprinting_ = false;
+};
+
+}  // namespace dias::cluster

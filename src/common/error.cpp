@@ -1,0 +1,14 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace dias::detail {
+
+void throw_precondition(std::string_view expr, std::string_view file, int line,
+                        std::string_view msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << msg << " [" << expr << " at " << file << ":" << line << "]";
+  throw precondition_error(os.str());
+}
+
+}  // namespace dias::detail

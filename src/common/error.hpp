@@ -1,0 +1,53 @@
+// Error handling primitives shared across the DiAS libraries.
+//
+// We follow the Core Guidelines: exceptions signal failure to perform a
+// required task (I.10); preconditions are stated and checked at the
+// interface (I.5/I.6).  `DIAS_EXPECTS` is our `Expects()`: it throws
+// `precondition_error` so callers can test contract violations, rather than
+// aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dias {
+
+// Base class for all DiAS errors so callers can catch the whole family.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A caller violated a stated precondition.
+class precondition_error : public error {
+ public:
+  explicit precondition_error(const std::string& what) : error(what) {}
+};
+
+// A numeric routine failed to converge or met a singular input.
+class numeric_error : public error {
+ public:
+  explicit numeric_error(const std::string& what) : error(what) {}
+};
+
+// A configuration (experiment, workload, model) is internally inconsistent.
+class config_error : public error {
+ public:
+  explicit config_error(const std::string& what) : error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(std::string_view expr, std::string_view file, int line,
+                                     std::string_view msg);
+}  // namespace detail
+
+}  // namespace dias
+
+// Precondition check: throws dias::precondition_error when `cond` is false.
+#define DIAS_EXPECTS(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::dias::detail::throw_precondition(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,270 @@
+#include "common/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dias {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    DIAS_EXPECTS(r.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::ones_column(std::size_t n) { return Matrix(n, 1, 1.0); }
+
+Matrix Matrix::row(std::initializer_list<double> values) {
+  Matrix m(1, values.size());
+  std::size_t c = 0;
+  for (double v : values) m(0, c++) = v;
+  return m;
+}
+
+Matrix Matrix::row(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  for (std::size_t c = 0; c < values.size(); ++c) m(0, c) = values[c];
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  DIAS_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  DIAS_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  DIAS_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  DIAS_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  DIAS_EXPECTS(lhs.cols_ == rhs.rows_, "matrix shape mismatch in *");
+  Matrix out(lhs.rows_, rhs.cols_);
+  for (std::size_t i = 0; i < lhs.rows_; ++i) {
+    for (std::size_t k = 0; k < lhs.cols_; ++k) {
+      const double a = lhs.data_[i * lhs.cols_ + k];
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.data_[i * out.cols_ + j] += a * rhs.data_[k * rhs.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+double Matrix::sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double Matrix::inf_norm() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) rowsum += std::abs((*this)(i, j));
+    best = std::max(best, rowsum);
+  }
+  return best;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& src) {
+  DIAS_EXPECTS(r0 + src.rows_ <= rows_ && c0 + src.cols_ <= cols_,
+               "set_block target does not fit");
+  for (std::size_t i = 0; i < src.rows_; ++i)
+    for (std::size_t j = 0; j < src.cols_; ++j) (*this)(r0 + i, c0 + j) = src(i, j);
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t rows, std::size_t cols) const {
+  DIAS_EXPECTS(r0 + rows <= rows_ && c0 + cols <= cols_, "block out of range");
+  Matrix out(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) out(i, j) = (*this)(r0 + i, c0 + j);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows_; ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < m.cols_; ++j) {
+      os << m(i, j) << (j + 1 < m.cols_ ? ", " : "");
+    }
+    os << (i + 1 < m.rows_ ? ";\n" : "]");
+  }
+  return os;
+}
+
+namespace {
+
+// In-place partial-pivot LU factorization; returns the pivot permutation.
+// Throws numeric_error for singular matrices.
+std::vector<std::size_t> lu_factorize(Matrix& a) {
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) throw numeric_error("LU factorization: singular matrix");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(perm[k], perm[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a(i, k) /= a(k, k);
+      const double f = a(i, k);
+      if (f == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= f * a(k, j);
+    }
+  }
+  return perm;
+}
+
+Matrix lu_solve(const Matrix& lu, const std::vector<std::size_t>& perm, const Matrix& b) {
+  const std::size_t n = lu.rows();
+  Matrix x(n, b.cols());
+  for (std::size_t col = 0; col < b.cols(); ++col) {
+    // Forward substitution with permuted rhs.
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b(perm[i], col);
+      for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * x(j, col);
+      x(i, col) = acc;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      double acc = x(i, col);
+      for (std::size_t j = i + 1; j < n; ++j) acc -= lu(i, j) * x(j, col);
+      x(i, col) = acc / lu(i, i);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+Matrix solve(const Matrix& a, const Matrix& b) {
+  DIAS_EXPECTS(a.is_square(), "solve() needs a square matrix");
+  DIAS_EXPECTS(a.rows() == b.rows(), "solve() shape mismatch");
+  Matrix lu = a;
+  const auto perm = lu_factorize(lu);
+  return lu_solve(lu, perm, b);
+}
+
+Matrix inverse(const Matrix& a) {
+  DIAS_EXPECTS(a.is_square(), "inverse() needs a square matrix");
+  return solve(a, Matrix::identity(a.rows()));
+}
+
+Matrix expm(const Matrix& a) {
+  DIAS_EXPECTS(a.is_square(), "expm() needs a square matrix");
+  const std::size_t n = a.rows();
+  // Scaling: bring the norm below 0.5 for the Pade approximant.
+  const double norm = a.inf_norm();
+  int squarings = 0;
+  double scale = 1.0;
+  while (norm * scale > 0.5) {
+    scale *= 0.5;
+    ++squarings;
+  }
+  const Matrix as = a * scale;
+
+  // (6,6) Pade approximant of exp(X).
+  // c_j = (2m-j)! m! / ((2m)! j! (m-j)!) for m = 6.
+  static constexpr double kC[] = {1.0,         0.5,           5.0 / 44.0, 1.0 / 66.0,
+                                  1.0 / 792.0, 1.0 / 15840.0, 1.0 / 665280.0};
+  Matrix x2 = as * as;
+  Matrix even = Matrix::identity(n) * kC[0] + x2 * kC[2];
+  Matrix odd = Matrix::identity(n) * kC[1] + x2 * kC[3];
+  Matrix x4 = x2 * x2;
+  even += x4 * kC[4];
+  odd += x4 * kC[5];
+  Matrix x6 = x4 * x2;
+  even += x6 * kC[6];
+  const Matrix odd_x = as * odd;
+  // exp(X) ~ (even - odd_x)^{-1} (even + odd_x)
+  Matrix result = solve(even - odd_x, even + odd_x);
+  for (int i = 0; i < squarings; ++i) result = result * result;
+  return result;
+}
+
+Matrix ctmc_stationary(const Matrix& generator) {
+  DIAS_EXPECTS(generator.is_square(), "generator must be square");
+  const std::size_t n = generator.rows();
+  // Solve pi Q = 0, pi 1 = 1: replace the last column of Q^T's system with
+  // the normalization constraint.
+  Matrix a = generator.transpose();
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  Matrix b(n, 1);
+  b(n - 1, 0) = 1.0;
+  const Matrix x = solve(a, b);
+  return x.transpose();
+}
+
+Matrix dtmc_stationary(const Matrix& transition) {
+  DIAS_EXPECTS(transition.is_square(), "transition matrix must be square");
+  const std::size_t n = transition.rows();
+  // pi (P - I) = 0 with normalization.
+  Matrix a = (transition - Matrix::identity(n)).transpose();
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  Matrix b(n, 1);
+  b(n - 1, 0) = 1.0;
+  const Matrix x = solve(a, b);
+  return x.transpose();
+}
+
+}  // namespace dias

@@ -1,0 +1,87 @@
+// Small dense linear algebra for the matrix-analytic models.
+//
+// The stochastic models in `dias::model` operate on generator matrices of a
+// few hundred phases at most, so a straightforward row-major double matrix
+// with partial-pivot LU and a Pade matrix exponential covers all needs.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace dias {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  // Construct from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  // Column vector of ones.
+  static Matrix ones_column(std::size_t n);
+  // 1 x n row vector from values.
+  static Matrix row(std::initializer_list<double> values);
+  static Matrix row(const std::vector<double>& values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  bool is_square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+  friend Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+
+  Matrix transpose() const;
+
+  // Sum of all entries; handy for probability checks.
+  double sum() const;
+  // Maximum absolute row sum.
+  double inf_norm() const;
+  // Maximum absolute entry.
+  double max_abs() const;
+
+  // Writes a block of `src` at (r0, c0); the block must fit.
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& src);
+  // Extracts the block [r0, r0+rows) x [c0, c0+cols).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t rows, std::size_t cols) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b via partial-pivot LU. A must be square and non-singular;
+// b may have multiple right-hand-side columns.
+Matrix solve(const Matrix& a, const Matrix& b);
+
+// Matrix inverse via LU; throws numeric_error on singular input.
+Matrix inverse(const Matrix& a);
+
+// Matrix exponential exp(A) via scaling-and-squaring with a (6,6) Pade
+// approximant. Suitable for generator matrices of moderate size.
+Matrix expm(const Matrix& a);
+
+// Solves x A = 0 with x 1 = 1 for an irreducible CTMC generator A
+// (stationary distribution as a 1 x n row vector).
+Matrix ctmc_stationary(const Matrix& generator);
+
+// Solves x P = x with x 1 = 1 for an irreducible DTMC transition matrix P.
+Matrix dtmc_stationary(const Matrix& transition);
+
+}  // namespace dias

@@ -1,0 +1,84 @@
+// Random-number generation for simulations and workload synthesis.
+//
+// A single engine type (xoshiro256**) is used everywhere so experiments are
+// reproducible from a seed and independent streams can be split cheaply via
+// jump().  Distribution helpers cover everything the DiAS models need:
+// uniform, exponential, Erlang, hyper-exponential, discrete pmf, Zipf.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dias {
+
+// xoshiro256** by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+// Satisfies UniformRandomBitGenerator so it also works with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  // Advances the state by 2^128 draws; use to derive independent streams.
+  void jump();
+
+  // Returns a new generator whose stream is independent of this one
+  // (this generator is jumped past the returned stream).
+  Rng split();
+
+  // Uniform real in [0, 1).
+  double uniform();
+  // Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  // Exponential with rate `rate` (> 0); mean 1/rate.
+  double exponential(double rate);
+  // Erlang-k: sum of k exponentials with rate `rate`.
+  double erlang(int k, double rate);
+  // Two-branch hyper-exponential: rate r1 w.p. p, else rate r2.
+  double hyper_exponential(double p, double r1, double r2);
+  // Standard normal via Box-Muller (no state caching; simple and adequate).
+  double normal(double mean, double stddev);
+  // Log-normal with the given *underlying* normal parameters.
+  double lognormal(double mu, double sigma);
+
+  // Samples an index from an unnormalized weight vector (all weights >= 0,
+  // at least one positive).
+  std::size_t discrete(std::span<const double> weights);
+
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+// Zipf(s, n) sampler over {1..n} using precomputed CDF inversion
+// (binary search). Exact, O(log n) per draw; construction O(n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  // Draws a rank in [1, n].
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+  // Probability of rank r (1-based).
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace dias

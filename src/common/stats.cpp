@@ -1,0 +1,190 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dias {
+
+void Welford::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  sum_sq_ += x * x;
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  sum_sq_ += other.sum_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Welford::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+double Welford::sample_variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Welford::min() const {
+  DIAS_EXPECTS(n_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double Welford::max() const {
+  DIAS_EXPECTS(n_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+double Welford::second_moment() const {
+  DIAS_EXPECTS(n_ > 0, "second_moment() of empty accumulator");
+  return sum_sq_ / static_cast<double>(n_);
+}
+
+void SampleSet::add(double x) {
+  xs_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const {
+  DIAS_EXPECTS(!xs_.empty(), "mean() of empty sample");
+  return sum() / static_cast<double>(xs_.size());
+}
+
+double SampleSet::sum() const { return std::accumulate(xs_.begin(), xs_.end(), 0.0); }
+
+double SampleSet::variance() const {
+  DIAS_EXPECTS(!xs_.empty(), "variance() of empty sample");
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : xs_) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs_.size());
+}
+
+double SampleSet::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::min() const {
+  DIAS_EXPECTS(!xs_.empty(), "min() of empty sample");
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::max() const {
+  DIAS_EXPECTS(!xs_.empty(), "max() of empty sample");
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = xs_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  DIAS_EXPECTS(!xs_.empty(), "quantile() of empty sample");
+  DIAS_EXPECTS(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+void SampleSet::clear() {
+  xs_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  DIAS_EXPECTS(hi > lo, "histogram range must be non-empty");
+  DIAS_EXPECTS(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  DIAS_EXPECTS(i < counts_.size(), "bin index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  DIAS_EXPECTS(total_ > 0, "quantile() of empty histogram");
+  DIAS_EXPECTS(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double mean_absolute_percent_error(std::span<const double> reference,
+                                   std::span<const double> estimate) {
+  DIAS_EXPECTS(reference.size() == estimate.size(), "MAPE requires equal-length inputs");
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i] == 0.0) continue;
+    acc += std::abs(estimate[i] - reference[i]) / std::abs(reference[i]);
+    ++n;
+  }
+  DIAS_EXPECTS(n > 0, "MAPE requires at least one non-zero reference entry");
+  return 100.0 * acc / static_cast<double>(n);
+}
+
+double relative_error_percent(double reference, double estimate) {
+  DIAS_EXPECTS(reference != 0.0, "relative error needs a non-zero reference");
+  return 100.0 * std::abs(estimate - reference) / std::abs(reference);
+}
+
+}  // namespace dias

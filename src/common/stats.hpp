@@ -1,0 +1,100 @@
+// Streaming and batch statistics used by the simulator, the benches, and the
+// model-validation code: Welford accumulators, exact-percentile samples,
+// fixed-bin histograms, and small helpers (MAPE, relative error).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dias {
+
+// Numerically stable streaming mean/variance (Welford).
+class Welford {
+ public:
+  void add(double x);
+  void merge(const Welford& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  // Population variance of the observed sample (0 for n < 2).
+  double variance() const;
+  double stddev() const;
+  // Unbiased sample variance (0 for n < 2).
+  double sample_variance() const;
+  double min() const;
+  double max() const;
+  // Second raw moment E[X^2] of the observations.
+  double second_moment() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores every observation; provides exact quantiles. Intended for
+// experiment-sized samples (up to a few million doubles).
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // Exact quantile with linear interpolation, q in [0,1].
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  double sum() const;
+
+  std::span<const double> values() const { return xs_; }
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-width-bin histogram over [lo, hi); out-of-range values clamp into
+// the first/last bin. Used for latency distribution reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  // Approximate quantile by linear interpolation within the bin.
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Mean absolute percentage error between predictions and a reference,
+// skipping reference entries equal to zero. Returns a percentage.
+double mean_absolute_percent_error(std::span<const double> reference,
+                                   std::span<const double> estimate);
+
+// |a - b| / |a| as a percentage; a must be non-zero.
+double relative_error_percent(double reference, double estimate);
+
+}  // namespace dias

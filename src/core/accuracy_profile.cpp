@@ -1,0 +1,77 @@
+#include "core/accuracy_profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dias::core {
+
+AccuracyProfile::AccuracyProfile(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  DIAS_EXPECTS(points_.size() >= 2, "accuracy profile needs at least two points");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    DIAS_EXPECTS(points_[i].first >= 0.0 && points_[i].first <= 1.0,
+                 "profile theta out of range");
+    DIAS_EXPECTS(points_[i].second >= 0.0, "profile error must be non-negative");
+    if (i > 0) {
+      DIAS_EXPECTS(points_[i].first > points_[i - 1].first,
+                   "profile thetas must be strictly increasing");
+    }
+  }
+}
+
+double AccuracyProfile::error_at(double theta) const {
+  DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "theta must be in [0,1]");
+  if (theta <= points_.front().first) return points_.front().second;
+  if (theta >= points_.back().first) return points_.back().second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (theta <= points_[i].first) {
+      const auto& [t0, e0] = points_[i - 1];
+      const auto& [t1, e1] = points_[i];
+      const double w = (theta - t0) / (t1 - t0);
+      return e0 * (1.0 - w) + e1 * w;
+    }
+  }
+  return points_.back().second;
+}
+
+double AccuracyProfile::max_theta_for_error(double tolerance_percent) const {
+  DIAS_EXPECTS(tolerance_percent >= 0.0, "tolerance must be non-negative");
+  // The profiled error is monotone in practice, but be safe: scan a fine
+  // grid and keep the largest theta whose error is within tolerance.
+  double best = 0.0;
+  const double t_max = points_.back().first;
+  constexpr int kSteps = 200;
+  for (int i = 0; i <= kSteps; ++i) {
+    const double theta = t_max * static_cast<double>(i) / kSteps;
+    if (error_at(theta) <= tolerance_percent + 1e-12) best = theta;
+  }
+  return best;
+}
+
+AccuracyProfile AccuracyProfile::measure(
+    const std::function<double(double)>& error_percent_at,
+    std::span<const double> theta_grid) {
+  DIAS_EXPECTS(static_cast<bool>(error_percent_at), "error function must be non-empty");
+  DIAS_EXPECTS(!theta_grid.empty(), "theta grid must be non-empty");
+  std::vector<std::pair<double, double>> points;
+  if (theta_grid.front() > 0.0) points.emplace_back(0.0, 0.0);
+  for (double theta : theta_grid) {
+    points.emplace_back(theta, std::max(0.0, error_percent_at(theta)));
+  }
+  return AccuracyProfile(std::move(points));
+}
+
+AccuracyProfile AccuracyProfile::paper_word_count() {
+  return AccuracyProfile({{0.0, 0.0},
+                          {0.1, 8.5},
+                          {0.2, 15.0},
+                          {0.3, 24.0},
+                          {0.4, 32.0},
+                          {0.5, 39.0},
+                          {0.6, 46.0},
+                          {0.7, 54.0},
+                          {0.8, 63.0}});
+}
+
+}  // namespace dias::core

@@ -1,0 +1,45 @@
+// Offline accuracy-loss profile: relative error as a function of the task
+// drop ratio (paper Figure 6). Profiled once per analysis type and consulted
+// by the deflator to translate per-class accuracy tolerances into maximum
+// admissible drop ratios.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dias::core {
+
+class AccuracyProfile {
+ public:
+  // Points are (theta, error_percent), theta strictly increasing, starting
+  // at theta = 0 (error 0 for exact runs is typical but not required).
+  explicit AccuracyProfile(std::vector<std::pair<double, double>> points);
+
+  // Piecewise-linear interpolation; clamps outside the profiled range.
+  double error_at(double theta) const;
+
+  // Largest profiled theta whose interpolated error stays within
+  // `tolerance_percent` (0 when even theta = 0 violates it).
+  double max_theta_for_error(double tolerance_percent) const;
+
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+  // The paper's profiled word-count curve (Figure 6): sub-linear error,
+  // ~8.5% at theta=0.1, ~15% at 0.2, ~32% at 0.4.
+  static AccuracyProfile paper_word_count();
+
+  // Offline profiling (the paper's Figure 6 procedure): evaluates
+  // `error_percent_at(theta)` over the ascending grid -- typically by
+  // running the real analysis on the engine at each drop ratio -- and
+  // builds the piecewise-linear profile. A theta = 0 anchor with zero
+  // error is prepended when the grid does not start at 0.
+  static AccuracyProfile measure(const std::function<double(double)>& error_percent_at,
+                                 std::span<const double> theta_grid);
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace dias::core

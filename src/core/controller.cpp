@@ -1,0 +1,68 @@
+#include "core/controller.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dias::core {
+
+const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kPreemptive:
+      return "P";
+    case Policy::kNonPreemptive:
+      return "NP";
+    case Policy::kDifferentialApprox:
+      return "DA";
+    case Policy::kNonPreemptiveSprint:
+      return "NPS";
+    case Policy::kDias:
+      return "DiAS";
+  }
+  return "?";
+}
+
+bool policy_uses_sprinting(Policy policy) {
+  return policy == Policy::kNonPreemptiveSprint || policy == Policy::kDias;
+}
+
+bool policy_uses_dropping(Policy policy) {
+  return policy == Policy::kDifferentialApprox || policy == Policy::kDias;
+}
+
+cluster::SimResult run_experiment(const ExperimentConfig& config,
+                                  std::vector<cluster::TraceEntry> trace) {
+  cluster::ClusterSimulator::Config sim_config;
+  sim_config.slots = config.slots;
+  sim_config.scheduler.preemptive = config.policy == Policy::kPreemptive;
+  sim_config.scheduler.eviction = config.eviction;
+  sim_config.stragglers = config.stragglers;
+  sim_config.slot_speed_factors = config.slot_speed_factors;
+  if (policy_uses_dropping(config.policy)) {
+    sim_config.scheduler.theta = config.theta;
+  }
+  sim_config.sprint = config.sprint;
+  sim_config.sprint.enabled = policy_uses_sprinting(config.policy);
+  if (!sim_config.sprint.enabled) {
+    // Keep the power model for energy accounting but never fire a sprint.
+    sim_config.sprint.timeout_s.clear();
+  }
+  sim_config.task_time_family = config.task_time_family;
+  sim_config.idle_power_w = config.idle_power_w;
+  sim_config.warmup_jobs = config.warmup_jobs;
+  sim_config.seed = config.seed;
+  return cluster::simulate(sim_config, std::move(trace));
+}
+
+LatencyDelta relative_difference(const cluster::ClassMetrics& baseline,
+                                 const cluster::ClassMetrics& other) {
+  DIAS_EXPECTS(baseline.response.count() > 0 && other.response.count() > 0,
+               "relative difference needs samples on both sides");
+  LatencyDelta delta;
+  delta.mean_percent =
+      100.0 * (other.response.mean() - baseline.response.mean()) / baseline.response.mean();
+  delta.tail_percent = 100.0 * (other.tail_response() - baseline.tail_response()) /
+                       baseline.tail_response();
+  return delta;
+}
+
+}  // namespace dias::core

@@ -1,0 +1,61 @@
+// Experiment controller: maps the paper's named policies onto cluster
+// simulator configurations and provides the comparison helpers used by the
+// evaluation (relative mean/tail latency differences vs the preemptive
+// baseline, Figures 7-11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_simulator.hpp"
+
+namespace dias::core {
+
+// The scheduling policies of the evaluation section.
+enum class Policy {
+  kPreemptive,          // P: evict on higher-priority arrival, re-execute
+  kNonPreemptive,       // NP: never evict, no approximation
+  kDifferentialApprox,  // DA(theta): NP + per-class task dropping
+  kNonPreemptiveSprint, // NPS: NP + sprinting, no approximation
+  kDias,                // DiAS(theta): NP + dropping + sprinting
+};
+
+const char* to_string(Policy policy);
+bool policy_uses_sprinting(Policy policy);
+bool policy_uses_dropping(Policy policy);
+
+struct ExperimentConfig {
+  Policy policy = Policy::kNonPreemptive;
+  int slots = 20;
+  // What eviction costs under the preemptive policy (restart = the paper's
+  // production baseline; resume = Natjam-style task checkpointing).
+  cluster::EvictionMode eviction = cluster::EvictionMode::kRestart;
+  // Per-class drop ratios (ignored unless the policy drops tasks).
+  std::vector<double> theta;
+  // Sprint settings (ignored unless the policy sprints).
+  cluster::SprintConfig sprint;
+  // Straggler injection / mitigation (off by default).
+  cluster::StragglerConfig stragglers;
+  // Optional per-slot speed factors (heterogeneous executors).
+  std::vector<double> slot_speed_factors;
+  cluster::TaskTimeFamily task_time_family = cluster::TaskTimeFamily::kLogNormal;
+  double idle_power_w = 0.0;
+  std::size_t warmup_jobs = 200;
+  std::uint64_t seed = 1;
+};
+
+// Runs one policy over a trace.
+cluster::SimResult run_experiment(const ExperimentConfig& config,
+                                  std::vector<cluster::TraceEntry> trace);
+
+// Relative difference in percent ((other - base) / base * 100) of mean and
+// tail (p95) response times, as plotted in Figures 7-11.
+struct LatencyDelta {
+  double mean_percent = 0.0;
+  double tail_percent = 0.0;
+};
+LatencyDelta relative_difference(const cluster::ClassMetrics& baseline,
+                                 const cluster::ClassMetrics& other);
+
+}  // namespace dias::core

@@ -1,0 +1,195 @@
+#include "core/deflator.hpp"
+
+#include <algorithm>
+
+#include "model/priority_queue_sim.hpp"
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dias::core {
+
+Deflator::Deflator(std::vector<model::JobClassProfile> profiles, AccuracyProfile accuracy,
+                   Options options)
+    : Deflator(std::move(profiles),
+               std::vector<AccuracyProfile>{std::move(accuracy)}, std::move(options)) {}
+
+Deflator::Deflator(std::vector<model::JobClassProfile> profiles,
+                   std::vector<AccuracyProfile> per_class_accuracy, Options options)
+    : profiles_(std::move(profiles)), accuracy_(std::move(per_class_accuracy)),
+      options_(std::move(options)) {
+  DIAS_EXPECTS(!profiles_.empty(), "deflator needs at least one class profile");
+  DIAS_EXPECTS(!accuracy_.empty(), "deflator needs at least one accuracy profile");
+  // A single curve is shared across every class.
+  while (accuracy_.size() < profiles_.size()) accuracy_.push_back(accuracy_.front());
+  DIAS_EXPECTS(accuracy_.size() == profiles_.size(),
+               "one accuracy profile per class (or exactly one shared) required");
+  DIAS_EXPECTS(!options_.theta_grid.empty(), "theta grid must be non-empty");
+  for (double t : options_.theta_grid) {
+    DIAS_EXPECTS(t >= 0.0 && t < 1.0, "grid thetas must be in [0,1)");
+  }
+  DIAS_EXPECTS(options_.sprint_speedup >= 1.0, "sprint speedup must be >= 1");
+}
+
+std::pair<double, double> Deflator::sprint_plan_for_class(std::size_t k) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (options_.sprint_speedup <= 1.0) return {kInf, 1.0};
+  // Non-sprinted mean execution at theta = 0 parameterizes the oracle.
+  const double mean_exec =
+      model::ResponseTimeModel::processing_time(profiles_[k], 0.0).mean();
+  double timeout = options_.sprint_timeout_s;
+  if (!options_.timeout_grid.empty()) {
+    cluster::SprintConfig config = options_.sprint_config;
+    config.speedup = options_.sprint_speedup;
+    timeout = SprintOracle::min_sustainable_timeout(config, profiles_[k].arrival_rate,
+                                                    mean_exec, options_.timeout_grid);
+  }
+  if (!std::isfinite(timeout)) return {kInf, 1.0};
+  return {timeout,
+          SprintOracle::effective_speedup(mean_exec, timeout, options_.sprint_speedup)};
+}
+
+model::Prediction Deflator::predict(std::span<const double> theta,
+                                    const std::vector<bool>& sprint_class) const {
+  std::vector<model::JobClassProfile> profiles = profiles_;
+  if (options_.sprint_speedup > 1.0) {
+    for (std::size_t k = 0; k < profiles.size(); ++k) {
+      if (!sprint_class[k]) continue;
+      const auto [timeout, effective] = sprint_plan_for_class(k);
+      (void)timeout;
+      profiles[k].sprint_speedup = effective;
+    }
+  }
+  return model::ResponseTimeModel::predict(profiles, theta, options_.discipline);
+}
+
+DeflatorPlan Deflator::plan(std::span<const ClassConstraint> constraints) const {
+  DIAS_EXPECTS(constraints.size() == profiles_.size(), "one constraint per class required");
+
+  // (a) accuracy tolerances cap the admissible grid per class.
+  std::vector<std::vector<double>> grids(profiles_.size());
+  for (std::size_t k = 0; k < profiles_.size(); ++k) {
+    const double cap = accuracy_[k].max_theta_for_error(constraints[k].max_error_percent);
+    for (double t : options_.theta_grid) {
+      if (t <= cap + 1e-12) grids[k].push_back(t);
+    }
+    if (grids[k].empty()) grids[k].push_back(0.0);
+    std::sort(grids[k].begin(), grids[k].end());
+  }
+
+  // Sprinting targets the classes the constraints require to run exact
+  // (the paper sprints the high-priority jobs, which carry no error budget).
+  std::vector<bool> sprint_class(profiles_.size(), false);
+  for (std::size_t k = 0; k < profiles_.size(); ++k) {
+    sprint_class[k] = constraints[k].max_error_percent == 0.0;
+  }
+
+  // (b) exhaustive search over the grid product (the paper's procedure).
+  DeflatorPlan best;
+  std::vector<std::size_t> odometer(profiles_.size(), 0);
+  std::vector<double> theta(profiles_.size(), 0.0);
+  for (;;) {
+    for (std::size_t k = 0; k < profiles_.size(); ++k) theta[k] = grids[k][odometer[k]];
+
+    const model::Prediction pred = predict(theta, sprint_class);
+    bool feasible = true;
+    double objective = 0.0;
+    double theta_sum = 0.0;
+    for (std::size_t k = 0; k < profiles_.size(); ++k) {
+      const auto& c = pred.per_class[k];
+      if (!c.stable || c.mean_response > constraints[k].max_mean_response_s) {
+        feasible = false;
+        break;
+      }
+      objective += constraints[k].latency_weight * c.mean_response;
+      theta_sum += theta[k];
+    }
+    if (feasible) {
+      // Prefer the feasible plan with the least dropping; break ties on the
+      // weighted latency objective (Section 5.2.1: pick the *minimum* drop
+      // ratio that already satisfies the latency constraint).
+      const bool better =
+          !best.feasible ||
+          theta_sum < std::accumulate(best.theta.begin(), best.theta.end(), 0.0) - 1e-12 ||
+          (std::abs(theta_sum - std::accumulate(best.theta.begin(), best.theta.end(), 0.0)) <=
+               1e-12 &&
+           objective < best.objective);
+      if (better) {
+        best.feasible = true;
+        best.theta = theta;
+        best.prediction = pred;
+        best.objective = objective;
+      }
+    }
+
+    // Advance the odometer.
+    std::size_t k = 0;
+    while (k < odometer.size() && ++odometer[k] == grids[k].size()) {
+      odometer[k] = 0;
+      ++k;
+    }
+    if (k == odometer.size()) break;
+  }
+
+  if (best.feasible) {
+    best.sprint_timeout_s.assign(profiles_.size(),
+                                 std::numeric_limits<double>::infinity());
+    best.predicted_error.resize(profiles_.size());
+    for (std::size_t k = 0; k < profiles_.size(); ++k) {
+      best.predicted_error[k] = accuracy_[k].error_at(best.theta[k]);
+      if (sprint_class[k] && options_.sprint_speedup > 1.0) {
+        best.sprint_timeout_s[k] = sprint_plan_for_class(k).first;
+      }
+    }
+    if (options_.estimate_tails) {
+      // Tail estimation: simulate the MMAP/PH/1 priority queue with the
+      // plan's per-class PH processing times.
+      std::vector<double> rates;
+      std::vector<model::PhaseType> services;
+      rates.reserve(profiles_.size());
+      services.reserve(profiles_.size());
+      for (std::size_t k = 0; k < profiles_.size(); ++k) {
+        rates.push_back(profiles_[k].arrival_rate);
+        auto profile = profiles_[k];
+        if (sprint_class[k]) profile.sprint_speedup = sprint_plan_for_class(k).second;
+        services.push_back(
+            model::ResponseTimeModel::processing_time(profile, best.theta[k]));
+      }
+      const auto arrivals = model::Mmap::marked_poisson(rates);
+      model::PriorityQueueSimOptions sim_options;
+      sim_options.jobs = options_.tail_sample_jobs;
+      sim_options.warmup = options_.tail_sample_jobs / 10;
+      sim_options.seed = options_.tail_seed;
+      const auto tails = model::simulate_priority_queue(
+          arrivals, services, model::SimDiscipline::kNonPreemptive, sim_options);
+      best.predicted_p95.resize(profiles_.size());
+      for (std::size_t k = 0; k < profiles_.size(); ++k) {
+        best.predicted_p95[k] =
+            tails.response[k].count() > 0 ? tails.response[k].p95() : 0.0;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<FrontierPoint> Deflator::frontier(std::size_t class_index,
+                                              std::span<const double> base_theta) const {
+  DIAS_EXPECTS(class_index < profiles_.size(), "class index out of range");
+  DIAS_EXPECTS(base_theta.size() == profiles_.size(), "one base theta per class required");
+  std::vector<FrontierPoint> points;
+  std::vector<double> theta(base_theta.begin(), base_theta.end());
+  const std::vector<bool> no_sprint(profiles_.size(), false);
+  for (double t : options_.theta_grid) {
+    theta[class_index] = t;
+    const model::Prediction pred = predict(theta, no_sprint);
+    FrontierPoint p;
+    p.theta = t;
+    p.error_percent = accuracy_[class_index].error_at(t);
+    p.mean_response_s = pred.per_class[class_index].mean_response;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace dias::core

@@ -1,0 +1,116 @@
+// The DiAS task deflator (paper Sections 3.2 and 5.2.1).
+//
+// Decides the approximation level theta_k and sprint timeout Tk per
+// priority class by combining
+//   (a) the offline accuracy profile (error vs drop ratio) with per-class
+//       accuracy tolerances, which cap each class's admissible theta, and
+//   (b) the stochastic response-time model, which predicts per-class mean
+//       latencies for each candidate theta vector.
+// The deflator exhaustively searches the candidate grid (the paper's
+// suggested procedure) and returns the feasible configuration minimizing a
+// weighted latency objective, plus the full latency-accuracy frontier so a
+// user can pick a different tradeoff.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/accuracy_profile.hpp"
+#include "core/sprint_oracle.hpp"
+#include "model/response_time_model.hpp"
+
+namespace dias::core {
+
+struct ClassConstraint {
+  // Maximum tolerated relative error in percent (0 = exact).
+  double max_error_percent = 0.0;
+  // Optional cap on the class's predicted mean response time (seconds).
+  double max_mean_response_s = std::numeric_limits<double>::infinity();
+  // Weight of this class's mean response in the deflator objective.
+  double latency_weight = 1.0;
+};
+
+struct DeflatorPlan {
+  bool feasible = false;
+  std::vector<double> theta;            // per class (same order as profiles)
+  std::vector<double> sprint_timeout_s; // per class; +inf = no sprinting
+  model::Prediction prediction;         // model output for the chosen plan
+  std::vector<double> predicted_error;  // accuracy loss per class
+  // Estimated p95 response per class (filled when Options::estimate_tails
+  // is set, via the MMAP/PH/1 queue simulation); empty otherwise.
+  std::vector<double> predicted_p95;
+  double objective = std::numeric_limits<double>::infinity();
+};
+
+// One point of the latency/accuracy frontier for a single class.
+struct FrontierPoint {
+  double theta = 0.0;
+  double error_percent = 0.0;
+  double mean_response_s = 0.0;
+};
+
+class Deflator {
+ public:
+  struct Options {
+    // Candidate drop ratios evaluated per class (the search grid).
+    std::vector<double> theta_grid = {0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6};
+    model::Discipline discipline = model::Discipline::kNonPreemptive;
+    // Sprint timeout assigned to classes whose constraint demands latency
+    // help (finite cap) when sprinting is available; +inf disables.
+    double sprint_timeout_s = std::numeric_limits<double>::infinity();
+    // Effective sprint speedup fed to the model for sprinted classes.
+    double sprint_speedup = 1.0;
+    // When non-empty, the deflator searches this (ascending) timeout grid
+    // per sprinted class: the smallest budget-sustainable timeout wins and
+    // the SprintOracle's effective speedup for it parameterizes the model
+    // (the paper's "combinations of dropping ratios, priorities, and
+    // frequency thresholds" search). `sprint_config` supplies the budget,
+    // power, and replenish rate for the sustainability check.
+    std::vector<double> timeout_grid;
+    cluster::SprintConfig sprint_config;
+    // When true, the chosen plan's per-class p95 response times are
+    // estimated by simulating the MMAP/PH/1 priority queue with the plan's
+    // PH services (the paper's headline results are tail latencies).
+    bool estimate_tails = false;
+    std::size_t tail_sample_jobs = 60000;
+    std::uint64_t tail_seed = 1;
+  };
+
+  // `profiles` are ordered low -> high priority (paper convention). The
+  // single-profile constructors share one accuracy curve across classes;
+  // the vector overload assigns one per class (different analyses lose
+  // accuracy differently under dropping).
+  Deflator(std::vector<model::JobClassProfile> profiles, AccuracyProfile accuracy,
+           Options options);
+  Deflator(std::vector<model::JobClassProfile> profiles, AccuracyProfile accuracy)
+      : Deflator(std::move(profiles), std::move(accuracy), Options{}) {}
+  Deflator(std::vector<model::JobClassProfile> profiles,
+           std::vector<AccuracyProfile> per_class_accuracy, Options options);
+
+  // Searches the grid for the best feasible plan under the constraints
+  // (one per class, same order as the profiles).
+  DeflatorPlan plan(std::span<const ClassConstraint> constraints) const;
+
+  // Latency-accuracy frontier of class `class_index`, holding the other
+  // classes' thetas fixed at `base_theta`.
+  std::vector<FrontierPoint> frontier(std::size_t class_index,
+                                      std::span<const double> base_theta) const;
+
+  const std::vector<model::JobClassProfile>& profiles() const { return profiles_; }
+  // Accuracy curve of class k (all identical for the shared-curve ctors).
+  const AccuracyProfile& accuracy(std::size_t k = 0) const { return accuracy_.at(k); }
+
+ private:
+  model::Prediction predict(std::span<const double> theta,
+                            const std::vector<bool>& sprint_class) const;
+  // Timeout and effective speedup the oracle assigns to class k when it
+  // sprints (theta == 0 classes); {inf, 1.0} when sprinting is off.
+  std::pair<double, double> sprint_plan_for_class(std::size_t k) const;
+
+  std::vector<model::JobClassProfile> profiles_;
+  std::vector<AccuracyProfile> accuracy_;  // one per class
+  Options options_;
+};
+
+}  // namespace dias::core

@@ -1,0 +1,97 @@
+#include "core/dispatcher.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dias::core {
+
+DiasDispatcher::DiasDispatcher(std::vector<double> theta)
+    : theta_(std::move(theta)), epoch_(std::chrono::steady_clock::now()),
+      buffers_(theta_.size()) {
+  DIAS_EXPECTS(!theta_.empty(), "dispatcher needs at least one priority class");
+  for (double t : theta_) {
+    DIAS_EXPECTS(t >= 0.0 && t < 1.0, "drop ratios must be in [0,1)");
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+DiasDispatcher::~DiasDispatcher() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+double DiasDispatcher::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void DiasDispatcher::submit(std::size_t priority, JobFn job) {
+  DIAS_EXPECTS(priority < theta_.size(), "priority out of range");
+  DIAS_EXPECTS(static_cast<bool>(job), "job callable must be non-empty");
+  Pending pending;
+  pending.fn = std::move(job);
+  pending.record.priority = priority;
+  pending.record.arrival_s = now_s();
+  {
+    std::lock_guard lock(mutex_);
+    DIAS_EXPECTS(!stopping_, "submit on a stopping dispatcher");
+    buffers_[priority].push_back(std::move(pending));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+std::vector<DiasDispatcher::JobRecord> DiasDispatcher::drain() {
+  std::unique_lock lock(mutex_);
+  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  auto out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+void DiasDispatcher::dispatcher_loop() {
+  for (;;) {
+    Pending job;
+    bool have_job = false;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        if (stopping_) return true;
+        for (const auto& b : buffers_) {
+          if (!b.empty()) return true;
+        }
+        return false;
+      });
+      // Head of the highest non-empty priority buffer.
+      for (std::size_t k = buffers_.size(); k-- > 0;) {
+        if (!buffers_[k].empty()) {
+          job = std::move(buffers_[k].front());
+          buffers_[k].pop_front();
+          have_job = true;
+          break;
+        }
+      }
+      if (!have_job && stopping_) return;
+    }
+    if (!have_job) continue;
+
+    // Non-preemptive: the job runs to completion before the next dispatch.
+    job.record.start_s = now_s();
+    job.fn(theta_[job.record.priority]);
+    job.record.completion_s = now_s();
+
+    {
+      std::lock_guard lock(mutex_);
+      completed_.push_back(job.record);
+      --in_flight_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace dias::core

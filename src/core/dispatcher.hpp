@@ -1,0 +1,74 @@
+// Real-time DiAS dispatcher (paper Section 3.3, the Go prototype).
+//
+// The production prototype keeps one buffer per priority and a dispatcher
+// thread that launches the job at the head of the highest non-empty buffer
+// into the processing engine, non-preemptively, passing it the class's
+// approximation level. This C++ port drives in-process jobs (callables
+// that receive their drop ratio) instead of external Spark processes, and
+// records arrival / start / completion timestamps per job.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dias::core {
+
+class DiasDispatcher {
+ public:
+  // A job receives the drop ratio the deflator assigned to its class.
+  using JobFn = std::function<void(double theta)>;
+
+  struct JobRecord {
+    std::size_t priority = 0;
+    double arrival_s = 0.0;     // seconds since dispatcher start
+    double start_s = 0.0;       // when the engine picked it up
+    double completion_s = 0.0;  // when it finished
+    double response_s() const { return completion_s - arrival_s; }
+    double queueing_s() const { return start_s - arrival_s; }
+    double execution_s() const { return completion_s - start_s; }
+  };
+
+  // `theta[k]` is the drop ratio handed to priority-k jobs; the number of
+  // priorities equals theta.size().
+  explicit DiasDispatcher(std::vector<double> theta);
+  ~DiasDispatcher();
+  DiasDispatcher(const DiasDispatcher&) = delete;
+  DiasDispatcher& operator=(const DiasDispatcher&) = delete;
+
+  std::size_t priorities() const { return theta_.size(); }
+
+  // Enqueues a job; returns immediately.
+  void submit(std::size_t priority, JobFn job);
+
+  // Blocks until every submitted job completed, then returns the records
+  // in completion order. The dispatcher stays usable afterwards.
+  std::vector<JobRecord> drain();
+
+ private:
+  struct Pending {
+    JobFn fn;
+    JobRecord record;
+  };
+
+  void dispatcher_loop();
+  double now_s() const;
+
+  std::vector<double> theta_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals the dispatcher
+  std::condition_variable drain_cv_;  // signals drain() waiters
+  std::vector<std::deque<Pending>> buffers_;
+  std::vector<JobRecord> completed_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace dias::core

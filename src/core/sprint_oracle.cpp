@@ -1,0 +1,52 @@
+#include "core/sprint_oracle.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dias::core {
+
+double SprintOracle::effective_speedup(double mean_exec_s, double timeout_s,
+                                       double speedup) {
+  DIAS_EXPECTS(mean_exec_s > 0.0, "execution time must be positive");
+  DIAS_EXPECTS(timeout_s >= 0.0, "timeout must be non-negative");
+  DIAS_EXPECTS(speedup >= 1.0, "speedup must be >= 1");
+  if (timeout_s >= mean_exec_s || speedup == 1.0) return 1.0;
+  const double sprinted_exec = timeout_s + (mean_exec_s - timeout_s) / speedup;
+  return mean_exec_s / sprinted_exec;
+}
+
+double SprintOracle::sprint_seconds_per_job(double mean_exec_s, double timeout_s,
+                                            double speedup) {
+  DIAS_EXPECTS(mean_exec_s > 0.0, "execution time must be positive");
+  DIAS_EXPECTS(timeout_s >= 0.0, "timeout must be non-negative");
+  DIAS_EXPECTS(speedup >= 1.0, "speedup must be >= 1");
+  if (timeout_s >= mean_exec_s) return 0.0;
+  return (mean_exec_s - timeout_s) / speedup;
+}
+
+bool SprintOracle::sustainable(const cluster::SprintConfig& config,
+                               double sprint_jobs_per_s, double sprint_seconds_per_job) {
+  DIAS_EXPECTS(sprint_jobs_per_s >= 0.0, "arrival rate must be non-negative");
+  DIAS_EXPECTS(sprint_seconds_per_job >= 0.0, "sprint duration must be non-negative");
+  if (std::isinf(config.budget_joules)) return true;
+  // Average extra power drawn by sprinting vs the replenish rate.
+  const double average_drain =
+      config.extra_power() * sprint_jobs_per_s * sprint_seconds_per_job;
+  return average_drain <= config.replenish_watts + 1e-12;
+}
+
+double SprintOracle::min_sustainable_timeout(const cluster::SprintConfig& config,
+                                             double arrival_rate, double mean_exec_s,
+                                             const std::vector<double>& timeout_grid) {
+  DIAS_EXPECTS(!timeout_grid.empty(), "timeout grid must be non-empty");
+  for (double timeout : timeout_grid) {
+    const double per_job =
+        sprint_seconds_per_job(mean_exec_s, timeout, config.speedup);
+    if (sustainable(config, arrival_rate, per_job)) return timeout;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace dias::core

@@ -1,0 +1,47 @@
+// Sprint-rate oracle (paper Section 4, "Assumptions and notations").
+//
+// The paper's model consumes "effective sprinting rates ... provided by an
+// oracle for each class k and timeout value". This module is that oracle:
+// given a class's non-sprinted mean execution time, a sprint timeout Tk,
+// and the DVFS speedup, it returns the effective speedup factor of the
+// whole execution; and given the workload it checks whether a timeout is
+// sustainable under the replenished energy budget (e.g. "6 sprinting
+// minutes per hour").
+#pragma once
+
+#include <vector>
+
+#include "cluster/sprinter.hpp"
+
+namespace dias::core {
+
+class SprintOracle {
+ public:
+  // Effective whole-execution speedup when a job with non-sprinted mean
+  // execution `mean_exec_s` sprints at `speedup` after `timeout_s`:
+  //   exec' = timeout + (mean_exec - timeout) / speedup,
+  //   effective = mean_exec / exec'.
+  // Returns 1 when the timeout exceeds the execution time.
+  static double effective_speedup(double mean_exec_s, double timeout_s, double speedup);
+
+  // Sprinted seconds per job for the same scenario.
+  static double sprint_seconds_per_job(double mean_exec_s, double timeout_s,
+                                       double speedup);
+
+  // Long-run sustainability: jobs of the sprinting classes arrive at
+  // `sprint_jobs_per_s` and each sprints `sprint_seconds_per_job`; the
+  // budget drains at extra_power while sprinting and replenishes at
+  // replenish_watts continuously. Sustainable iff the average drain does
+  // not exceed the replenish rate (an infinite budget is always
+  // sustainable).
+  static bool sustainable(const cluster::SprintConfig& config, double sprint_jobs_per_s,
+                          double sprint_seconds_per_job);
+
+  // Smallest timeout from `timeout_grid` (ascending) that is sustainable
+  // for the given class workload; +infinity when none is.
+  static double min_sustainable_timeout(const cluster::SprintConfig& config,
+                                        double arrival_rate, double mean_exec_s,
+                                        const std::vector<double>& timeout_grid);
+};
+
+}  // namespace dias::core

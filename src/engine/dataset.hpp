@@ -1,0 +1,47 @@
+// Partitioned in-memory dataset -- the engine's RDD analogue.
+//
+// A Dataset<T> is an immutable list of partitions; the number of partitions
+// bounds the parallelism of any stage that consumes it, exactly like RDD
+// partitions in Spark. Dropped tasks leave empty partitions behind, so
+// partition indices stay stable across stages.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::engine {
+
+template <typename T>
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::vector<T>> partitions)
+      : partitions_(std::move(partitions)) {}
+
+  std::size_t partitions() const { return partitions_.size(); }
+
+  const std::vector<T>& partition(std::size_t i) const {
+    DIAS_EXPECTS(i < partitions_.size(), "partition index out of range");
+    return partitions_[i];
+  }
+
+  std::size_t total_size() const {
+    std::size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  std::vector<T> collect() const {
+    std::vector<T> out;
+    out.reserve(total_size());
+    for (const auto& p : partitions_) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+};
+
+}  // namespace dias::engine

@@ -1,0 +1,60 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dias::engine {
+
+std::vector<std::size_t> find_missing_partitions(std::size_t n, double theta, Rng& rng) {
+  DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratio must be in [0,1]");
+  const auto keep = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n) * (1.0 - theta) - 1e-12));
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  // Partial Fisher-Yates: choose `keep` partitions uniformly at random.
+  for (std::size_t i = 0; i < keep && i + 1 < n; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.uniform_int(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(keep);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind kind,
+                       const std::function<void(std::size_t)>& body) {
+  StageInfo info;
+  info.name = opts.name;
+  info.kind = kind;
+  info.total_partitions = n;
+
+  const double theta = opts.droppable
+                           ? (opts.drop_ratio_override >= 0.0 ? opts.drop_ratio_override
+                                                              : options_.drop_ratio)
+                           : 0.0;
+  info.applied_drop_ratio = theta;
+
+  std::vector<std::size_t> selected;
+  if (theta > 0.0) {
+    selected = find_missing_partitions(n, theta, rng_);
+  } else {
+    selected.resize(n);
+    std::iota(selected.begin(), selected.end(), std::size_t{0});
+  }
+  info.executed_partitions = selected.size();
+  info.task_times_s.assign(selected.size(), 0.0);
+
+  const auto stage_start = std::chrono::steady_clock::now();
+  pool_.run_indexed(selected.size(), [&](std::size_t i) {
+    const auto task_start = std::chrono::steady_clock::now();
+    body(selected[i]);
+    const auto task_end = std::chrono::steady_clock::now();
+    info.task_times_s[i] = std::chrono::duration<double>(task_end - task_start).count();
+  });
+  const auto stage_end = std::chrono::steady_clock::now();
+  info.duration_s = std::chrono::duration<double>(stage_end - stage_start).count();
+  stage_log_.push_back(std::move(info));
+}
+
+}  // namespace dias::engine

@@ -1,0 +1,326 @@
+// Mini MapReduce engine with task dropping (paper Section 3.3).
+//
+// Executes DAGs of map / shuffle-map / reduce stages over partitioned
+// datasets on a thread pool. Approximation works exactly like the paper's
+// Spark patch: before a droppable stage runs, find_missing_partitions()
+// returns only ceil(n (1 - theta)) of its n partitions; the rest are
+// dropped before execution and contribute no data. The engine records a
+// per-stage log (partition counts, wall time, per-task times) used both
+// for accuracy experiments and to parameterize the stochastic models.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/dataset.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace dias::engine {
+
+enum class EngineStageKind { kMap, kShuffleMap, kShuffleWrite, kReduce, kResult };
+
+struct StageInfo {
+  std::string name;
+  EngineStageKind kind = EngineStageKind::kMap;
+  std::size_t total_partitions = 0;
+  std::size_t executed_partitions = 0;
+  double applied_drop_ratio = 0.0;
+  double duration_s = 0.0;             // wall time of the whole stage
+  std::vector<double> task_times_s;    // per executed task
+};
+
+struct StageOptions {
+  std::string name = "stage";
+  // Whether the engine may drop this stage's tasks.
+  bool droppable = true;
+  // Overrides the engine-wide drop ratio when >= 0.
+  double drop_ratio_override = -1.0;
+};
+
+// The paper's modified Spark hook: which of the n partitions still need to
+// be computed under drop ratio theta. Returns a sorted random subset of
+// size ceil(n (1 - theta)).
+std::vector<std::size_t> find_missing_partitions(std::size_t n, double theta, Rng& rng);
+
+class Engine {
+ public:
+  struct Options {
+    std::size_t workers = 4;
+    std::uint64_t seed = 1;
+    // Engine-wide drop ratio applied to droppable stages.
+    double drop_ratio = 0.0;
+  };
+
+  explicit Engine(Options options)
+      : options_(options), pool_(options.workers), rng_(options.seed) {
+    DIAS_EXPECTS(options.drop_ratio >= 0.0 && options.drop_ratio < 1.0,
+                 "drop ratio must be in [0,1)");
+  }
+
+  const Options& options() const { return options_; }
+  void set_drop_ratio(double theta) {
+    DIAS_EXPECTS(theta >= 0.0 && theta < 1.0, "drop ratio must be in [0,1)");
+    options_.drop_ratio = theta;
+  }
+
+  // --- dataset creation ---------------------------------------------------
+  template <typename T>
+  Dataset<T> parallelize(std::vector<T> data, std::size_t num_partitions) {
+    DIAS_EXPECTS(num_partitions >= 1, "need at least one partition");
+    std::vector<std::vector<T>> parts(num_partitions);
+    const std::size_t n = data.size();
+    for (std::size_t p = 0; p < num_partitions; ++p) {
+      const std::size_t lo = n * p / num_partitions;
+      const std::size_t hi = n * (p + 1) / num_partitions;
+      parts[p].assign(std::make_move_iterator(data.begin() + static_cast<std::ptrdiff_t>(lo)),
+                      std::make_move_iterator(data.begin() + static_cast<std::ptrdiff_t>(hi)));
+    }
+    return Dataset<T>(std::move(parts));
+  }
+
+  // --- transformations ----------------------------------------------------
+  // Partition-wise map: f(const std::vector<T>&) -> std::vector<U>.
+  template <typename T, typename F>
+  auto map_partitions(const Dataset<T>& in, F f, StageOptions opts = {})
+      -> Dataset<typename std::invoke_result_t<F, const std::vector<T>&>::value_type> {
+    using U = typename std::invoke_result_t<F, const std::vector<T>&>::value_type;
+    std::vector<std::vector<U>> out(in.partitions());
+    run_stage(in.partitions(), opts, EngineStageKind::kMap,
+              [&](std::size_t p) { out[p] = f(in.partition(p)); });
+    return Dataset<U>(std::move(out));
+  }
+
+  // Index-aware partition map: f(std::size_t partition, const std::vector<T>&)
+  // -> std::vector<U>. Dropped partitions never invoke f.
+  template <typename T, typename F>
+  auto map_partitions_indexed(const Dataset<T>& in, F f, StageOptions opts = {})
+      -> Dataset<typename std::invoke_result_t<F, std::size_t,
+                                               const std::vector<T>&>::value_type> {
+    using U =
+        typename std::invoke_result_t<F, std::size_t, const std::vector<T>&>::value_type;
+    std::vector<std::vector<U>> out(in.partitions());
+    run_stage(in.partitions(), opts, EngineStageKind::kMap,
+              [&](std::size_t p) { out[p] = f(p, in.partition(p)); });
+    return Dataset<U>(std::move(out));
+  }
+
+  // Element-wise map: f(const T&) -> U.
+  template <typename T, typename F>
+  auto map(const Dataset<T>& in, F f, StageOptions opts = {})
+      -> Dataset<std::invoke_result_t<F, const T&>> {
+    using U = std::invoke_result_t<F, const T&>;
+    return map_partitions(
+        in,
+        [&f](const std::vector<T>& part) {
+          std::vector<U> out;
+          out.reserve(part.size());
+          for (const auto& x : part) out.push_back(f(x));
+          return out;
+        },
+        std::move(opts));
+  }
+
+  // Element-wise flat map: f(const T&) -> std::vector<U>.
+  template <typename T, typename F>
+  auto flat_map(const Dataset<T>& in, F f, StageOptions opts = {})
+      -> Dataset<typename std::invoke_result_t<F, const T&>::value_type> {
+    using U = typename std::invoke_result_t<F, const T&>::value_type;
+    return map_partitions(
+        in,
+        [&f](const std::vector<T>& part) {
+          std::vector<U> out;
+          for (const auto& x : part) {
+            auto ys = f(x);
+            out.insert(out.end(), std::make_move_iterator(ys.begin()),
+                       std::make_move_iterator(ys.end()));
+          }
+          return out;
+        },
+        std::move(opts));
+  }
+
+  template <typename T, typename F>
+  Dataset<T> filter(const Dataset<T>& in, F pred, StageOptions opts = {}) {
+    return map_partitions(
+        in,
+        [&pred](const std::vector<T>& part) {
+          std::vector<T> out;
+          for (const auto& x : part) {
+            if (pred(x)) out.push_back(x);
+          }
+          return out;
+        },
+        std::move(opts));
+  }
+
+  // Data-level sampling (ApproxHadoop's second knob: instead of dropping
+  // whole tasks, keep each *record* with probability `fraction`). Runs as a
+  // non-droppable stage; combine with task dropping for two-stage sampling.
+  template <typename T>
+  Dataset<T> sample(const Dataset<T>& in, double fraction, StageOptions opts = {}) {
+    DIAS_EXPECTS(fraction >= 0.0 && fraction <= 1.0, "sample fraction must be in [0,1]");
+    // Derive per-partition seeds up front: stage bodies run concurrently.
+    std::vector<std::uint64_t> seeds(in.partitions());
+    for (auto& s : seeds) s = rng_();
+    opts.droppable = false;
+    std::vector<std::vector<T>> out(in.partitions());
+    run_stage(in.partitions(), opts, EngineStageKind::kMap, [&](std::size_t p) {
+      Rng local(seeds[p]);
+      for (const auto& x : in.partition(p)) {
+        if (local.bernoulli(fraction)) out[p].push_back(x);
+      }
+    });
+    return Dataset<T>(std::move(out));
+  }
+
+  // Per-partition deduplication followed by a global merge partition-wise by
+  // hash, so equal elements collapse across partitions.
+  template <typename T>
+  Dataset<T> distinct(const Dataset<T>& in, std::size_t out_partitions,
+                      StageOptions opts = {}) {
+    DIAS_EXPECTS(out_partitions >= 1, "need at least one output partition");
+    std::vector<std::unordered_set<T>> buckets(out_partitions);
+    std::vector<std::mutex> locks(out_partitions);
+    opts.droppable = false;
+    run_stage(in.partitions(), opts, EngineStageKind::kShuffleWrite, [&](std::size_t p) {
+      std::hash<T> hasher;
+      for (const auto& x : in.partition(p)) {
+        const std::size_t b = hasher(x) % out_partitions;
+        std::lock_guard guard(locks[b]);
+        buckets[b].insert(x);
+      }
+    });
+    std::vector<std::vector<T>> out(out_partitions);
+    for (std::size_t b = 0; b < out_partitions; ++b) {
+      out[b].assign(buckets[b].begin(), buckets[b].end());
+    }
+    return Dataset<T>(std::move(out));
+  }
+
+  // Concatenates the partitions of two datasets (Spark's union).
+  template <typename T>
+  Dataset<T> union_datasets(const Dataset<T>& a, const Dataset<T>& b) {
+    std::vector<std::vector<T>> parts;
+    parts.reserve(a.partitions() + b.partitions());
+    for (std::size_t p = 0; p < a.partitions(); ++p) parts.push_back(a.partition(p));
+    for (std::size_t p = 0; p < b.partitions(); ++p) parts.push_back(b.partition(p));
+    return Dataset<T>(std::move(parts));
+  }
+
+  // Groups values per key (shuffle + gather), like Spark's groupByKey.
+  template <typename K, typename V>
+  Dataset<std::pair<K, std::vector<V>>> group_by_key(const Dataset<std::pair<K, V>>& in,
+                                                     std::size_t out_partitions,
+                                                     StageOptions opts = {}) {
+    auto as_vectors = map(
+        in,
+        [](const std::pair<K, V>& kv) {
+          return std::make_pair(kv.first, std::vector<V>{kv.second});
+        },
+        [&] {
+          StageOptions o = opts;
+          o.name = opts.name + "/lift";
+          o.droppable = false;
+          return o;
+        }());
+    return reduce_by_key(
+        as_vectors,
+        [](std::vector<V> a, const std::vector<V>& b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        },
+        out_partitions, std::move(opts));
+  }
+
+  // Shuffle + reduce: groups (K, V) pairs by key hash into `out_partitions`
+  // buckets, then reduces per key with `reduce` (V, V) -> V. The reduce
+  // side is a separate (optionally droppable) stage.
+  template <typename K, typename V, typename R>
+  Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& in, R reduce,
+                                         std::size_t out_partitions, StageOptions opts = {}) {
+    DIAS_EXPECTS(out_partitions >= 1, "need at least one output partition");
+    // Shuffle (hash partitioning). Runs on the full input; the map side was
+    // already subject to dropping when it produced `in`.
+    std::vector<std::vector<std::pair<K, V>>> buckets(out_partitions);
+    {
+      std::vector<std::mutex> locks(out_partitions);
+      StageOptions shuffle_opts;
+      shuffle_opts.name = opts.name + "/shuffle";
+      shuffle_opts.droppable = false;
+      run_stage(in.partitions(), shuffle_opts, EngineStageKind::kShuffleWrite,
+                [&](std::size_t p) {
+                  std::hash<K> hasher;
+                  for (const auto& kv : in.partition(p)) {
+                    const std::size_t b = hasher(kv.first) % out_partitions;
+                    std::lock_guard guard(locks[b]);
+                    buckets[b].push_back(kv);
+                  }
+                });
+    }
+    // Reduce.
+    std::vector<std::vector<std::pair<K, V>>> out(out_partitions);
+    StageOptions reduce_opts = opts;
+    reduce_opts.name = opts.name + "/reduce";
+    run_stage(out_partitions, reduce_opts, EngineStageKind::kReduce, [&](std::size_t b) {
+      std::unordered_map<K, V> acc;
+      for (auto& kv : buckets[b]) {
+        auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
+        if (!inserted) it->second = reduce(it->second, kv.second);
+      }
+      out[b].reserve(acc.size());
+      for (auto& kv : acc) out[b].emplace_back(kv.first, kv.second);
+    });
+    return Dataset<std::pair<K, V>>(std::move(out));
+  }
+
+  // --- actions -------------------------------------------------------------
+  template <typename T, typename F>
+  T aggregate(const Dataset<T>& in, T init, F combine, StageOptions opts = {}) {
+    std::vector<T> partials(in.partitions(), init);
+    run_stage(in.partitions(), opts, EngineStageKind::kResult, [&](std::size_t p) {
+      T acc = init;
+      for (const auto& x : in.partition(p)) acc = combine(acc, x);
+      partials[p] = acc;
+    });
+    T total = init;
+    for (const auto& x : partials) total = combine(total, x);
+    return total;
+  }
+
+  template <typename T>
+  std::size_t count(const Dataset<T>& in) {
+    std::size_t n = 0;
+    for (std::size_t p = 0; p < in.partitions(); ++p) n += in.partition(p).size();
+    return n;
+  }
+
+  // --- stage log ------------------------------------------------------------
+  const std::vector<StageInfo>& stage_log() const { return stage_log_; }
+  void clear_stage_log() { stage_log_.clear(); }
+  // Total wall time across logged stages.
+  double logged_duration() const {
+    double acc = 0.0;
+    for (const auto& s : stage_log_) acc += s.duration_s;
+    return acc;
+  }
+
+ private:
+  // Runs one stage over `n` partitions, applying dropping when allowed.
+  void run_stage(std::size_t n, const StageOptions& opts, EngineStageKind kind,
+                 const std::function<void(std::size_t)>& body);
+
+  Options options_;
+  ThreadPool pool_;
+  Rng rng_;
+  std::vector<StageInfo> stage_log_;
+};
+
+}  // namespace dias::engine

@@ -1,0 +1,70 @@
+#include "engine/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dias::engine {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  DIAS_EXPECTS(workers >= 1, "thread pool needs at least one worker");
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    DIAS_EXPECTS(!stopping_, "submit on a stopping thread pool");
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::size_t)>& task) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(submit([&task, i] { task(i); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace dias::engine

@@ -1,0 +1,43 @@
+// Fixed-size worker pool used by the mini MapReduce engine to execute the
+// tasks of a stage concurrently, mirroring Spark executors running one task
+// per core.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dias::engine {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  // Enqueues a task; the future resolves when it ran (or rethrows).
+  std::future<void> submit(std::function<void()> task);
+
+  // Runs `count` indexed tasks and waits for all of them; the first
+  // exception (if any) is rethrown after every task finished.
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace dias::engine

@@ -1,0 +1,193 @@
+#include "model/mg1_priority.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+void check_inputs(std::span<const PriorityClassInput> classes) {
+  DIAS_EXPECTS(!classes.empty(), "priority queue needs at least one class");
+  for (const auto& c : classes) {
+    DIAS_EXPECTS(c.arrival_rate >= 0.0, "arrival rates must be non-negative");
+    DIAS_EXPECTS(c.mean_service > 0.0, "mean service must be positive");
+    DIAS_EXPECTS(c.second_moment >= c.mean_service * c.mean_service,
+                 "second moment must satisfy E[S^2] >= E[S]^2");
+  }
+}
+
+// sigma_at_least[i] = total utilization of classes with priority >= class i
+// (i.e. indices >= i under the paper's larger-index-is-higher convention).
+std::vector<double> cumulative_high_utilization(std::span<const PriorityClassInput> classes) {
+  const std::size_t k = classes.size();
+  std::vector<double> sigma(k + 1, 0.0);  // sigma[k] = 0 (nothing higher than top)
+  for (std::size_t i = k; i-- > 0;) {
+    sigma[i] = sigma[i + 1] + classes[i].arrival_rate * classes[i].mean_service;
+  }
+  return sigma;
+}
+
+}  // namespace
+
+PriorityClassInput make_class_input(double arrival_rate, const PhaseType& service) {
+  DIAS_EXPECTS(arrival_rate >= 0.0, "arrival rate must be non-negative");
+  return PriorityClassInput{arrival_rate, service.mean(), service.moment(2)};
+}
+
+std::vector<PriorityClassResult> Mg1PriorityQueue::non_preemptive(
+    std::span<const PriorityClassInput> classes) {
+  check_inputs(classes);
+  const std::size_t k = classes.size();
+  const auto sigma = cumulative_high_utilization(classes);  // sigma[i] = util of >= i
+
+  // Mean residual work at an arrival instant: all classes contribute, since
+  // the job in service is never preempted.
+  double w0 = 0.0;
+  for (const auto& c : classes) w0 += 0.5 * c.arrival_rate * c.second_moment;
+
+  std::vector<PriorityClassResult> out(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    auto& r = out[i];
+    r.utilization = classes[i].arrival_rate * classes[i].mean_service;
+    // Delay for class i: residual work + backlog of classes >= i present at
+    // arrival + higher classes (> i) arriving during the wait.
+    const double denom = (1.0 - sigma[i + 1]) * (1.0 - sigma[i]);
+    if (sigma[i] >= 1.0 || denom <= 0.0) {
+      r.stable = false;
+      r.mean_waiting = std::numeric_limits<double>::infinity();
+      r.mean_response = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    r.mean_waiting = w0 / denom;
+    r.mean_response = r.mean_waiting + classes[i].mean_service;
+  }
+  return out;
+}
+
+std::vector<PriorityClassResult> Mg1PriorityQueue::preemptive_resume(
+    std::span<const PriorityClassInput> classes) {
+  check_inputs(classes);
+  const std::size_t k = classes.size();
+  const auto sigma = cumulative_high_utilization(classes);
+
+  std::vector<PriorityClassResult> out(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    auto& r = out[i];
+    r.utilization = classes[i].arrival_rate * classes[i].mean_service;
+    const double hi = sigma[i + 1];  // strictly higher classes
+    const double hi_or_eq = sigma[i];
+    if (hi_or_eq >= 1.0) {
+      r.stable = false;
+      r.mean_waiting = std::numeric_limits<double>::infinity();
+      r.mean_response = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    // Residual work from classes >= i only (lower classes are transparent).
+    double w0 = 0.0;
+    for (std::size_t j = i; j < k; ++j) w0 += 0.5 * classes[j].arrival_rate * classes[j].second_moment;
+    const double response =
+        classes[i].mean_service / (1.0 - hi) + w0 / ((1.0 - hi) * (1.0 - hi_or_eq));
+    r.mean_response = response;
+    r.mean_waiting = response - classes[i].mean_service;
+  }
+  return out;
+}
+
+std::optional<double> Mg1PriorityQueue::repeat_completion_mean(const PhaseType& service,
+                                                               double interrupt_rate,
+                                                               double busy_period_mean) {
+  DIAS_EXPECTS(interrupt_rate >= 0.0, "interrupt rate must be non-negative");
+  DIAS_EXPECTS(busy_period_mean >= 0.0, "busy period mean must be non-negative");
+  if (interrupt_rate == 0.0) return service.mean();
+  // Own occupancy: E[(e^{aS} - 1)] / a; expected interruptions: E[e^{aS}] - 1;
+  // each interruption inserts a higher-priority busy period.
+  double mgf;
+  try {
+    mgf = service.mgf(interrupt_rate);
+  } catch (const numeric_error&) {
+    return std::nullopt;
+  }
+  if (!std::isfinite(mgf) || mgf <= 0.0) return std::nullopt;
+  const double restarts = mgf - 1.0;
+  return restarts / interrupt_rate + restarts * busy_period_mean;
+}
+
+std::vector<PriorityClassResult> Mg1PriorityQueue::preemptive_repeat(
+    std::span<const RepeatClassInput> classes) {
+  DIAS_EXPECTS(!classes.empty(), "priority queue needs at least one class");
+  const std::size_t k = classes.size();
+
+  // Utilization of strictly-higher classes uses their *completion* load,
+  // computed top-down (the top class is never interrupted).
+  std::vector<PriorityClassResult> out(k);
+  std::vector<double> completion_mean(k, 0.0);
+  double higher_arrival = 0.0;          // sum of lambda_j for j > i
+  double higher_service_weighted = 0.0;  // sum lambda_j E[S_j] for busy periods
+  double higher_util = 0.0;              // completion-load of higher classes
+
+  for (std::size_t i = k; i-- > 0;) {
+    const auto& c = classes[i];
+    DIAS_EXPECTS(c.arrival_rate >= 0.0, "arrival rates must be non-negative");
+    auto& r = out[i];
+
+    // Busy period opened by one higher-priority arrival: initiating job has
+    // the lambda-weighted mean service of higher classes, extended by their
+    // own arrivals: mean = E[S_hi] / (1 - sigma_hi).
+    double busy_mean = 0.0;
+    if (higher_arrival > 0.0) {
+      const double mean_hi_service = higher_service_weighted / higher_arrival;
+      if (higher_util >= 1.0) {
+        r.stable = false;
+      } else {
+        busy_mean = mean_hi_service / (1.0 - higher_util);
+      }
+    }
+    std::optional<double> comp;
+    if (r.stable) comp = repeat_completion_mean(c.service, higher_arrival, busy_mean);
+    if (!comp.has_value()) {
+      r.stable = false;
+      r.mean_waiting = std::numeric_limits<double>::infinity();
+      r.mean_response = std::numeric_limits<double>::infinity();
+      r.utilization = c.arrival_rate * c.service.mean();
+    } else {
+      completion_mean[i] = *comp;
+      r.utilization = c.arrival_rate * *comp;  // effective (completion) load
+    }
+    higher_arrival += c.arrival_rate;
+    higher_service_weighted += c.arrival_rate * c.service.mean();
+    higher_util += r.stable ? out[i].utilization : 1.0;
+  }
+
+  // Waiting via Cobham's formula on completion times (approximation: uses
+  // completion means; the second moment of completion is approximated by
+  // scaling the service SCV onto the completion mean).
+  std::vector<double> sigma(k + 1, 0.0);
+  for (std::size_t i = k; i-- > 0;) {
+    sigma[i] = sigma[i + 1] + (out[i].stable ? out[i].utilization : 1.0);
+  }
+  double w0 = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!out[j].stable) continue;
+    const double scv = classes[j].service.scv();
+    const double m2 = (scv + 1.0) * completion_mean[j] * completion_mean[j];
+    w0 += 0.5 * classes[j].arrival_rate * m2;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    auto& r = out[i];
+    if (!r.stable) continue;
+    const double denom = (1.0 - sigma[i + 1]) * (1.0 - sigma[i]);
+    if (sigma[i] >= 1.0 || denom <= 0.0) {
+      r.stable = false;
+      r.mean_waiting = std::numeric_limits<double>::infinity();
+      r.mean_response = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    r.mean_waiting = w0 / denom;
+    r.mean_response = r.mean_waiting + completion_mean[i];
+  }
+  return out;
+}
+
+}  // namespace dias::model

@@ -1,0 +1,79 @@
+// Mean-value analysis of the M[K]/G/1 priority queue.
+//
+// The paper (Section 4) analyses DiAS as a single-server priority queue
+// whose per-class service times are the PH job processing times built by
+// the task/wave-level models. For Poisson arrivals, exact mean waiting and
+// response times follow from classical M/G/1 priority theory driven by the
+// first two service moments (Cobham / Conway-Maxwell-Miller / Takagi):
+//
+//  * non-preemptive  - what DiAS actually runs (jobs are never evicted);
+//  * preemptive-resume - the idealized preemptive baseline;
+//  * preemptive-repeat (identical) - the eviction-and-re-execution baseline
+//    of production schedulers. Means use the completion-time transform
+//    E[e^{aS}], which may diverge (the instability highlighted by
+//    Jelenkovic); in that case the class is reported unstable.
+//
+// Class convention follows the paper: a *larger* index is a *higher*
+// priority. classes[i] is priority class i+1 of K.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/phase_type.hpp"
+
+namespace dias::model {
+
+struct PriorityClassInput {
+  double arrival_rate = 0.0;    // lambda_k (Poisson)
+  double mean_service = 0.0;    // E[S_k]
+  double second_moment = 0.0;   // E[S_k^2]
+};
+
+struct PriorityClassResult {
+  double utilization = 0.0;     // rho_k = lambda_k E[S_k]
+  double mean_waiting = 0.0;    // E[W_k]: queueing delay before first service
+  double mean_response = 0.0;   // E[T_k]: waiting + (completion) service
+  bool stable = true;           // false when the class backlog diverges
+};
+
+// Builds the two-moment input from a PH service time.
+PriorityClassInput make_class_input(double arrival_rate, const PhaseType& service);
+
+class Mg1PriorityQueue {
+ public:
+  // Exact means under non-preemptive priority (higher index served first,
+  // FCFS within class, job in service always completes).
+  static std::vector<PriorityClassResult> non_preemptive(
+      std::span<const PriorityClassInput> classes);
+
+  // Exact means under preemptive-resume priority.
+  static std::vector<PriorityClassResult> preemptive_resume(
+      std::span<const PriorityClassInput> classes);
+
+  // Approximate means under preemptive-repeat-identical priority (eviction
+  // restarts the job from scratch with the *same* total work, as in the
+  // production traces motivating the paper). Requires the full PH service
+  // distribution to evaluate E[e^{aS}]. Classes whose restart transform
+  // diverges are flagged unstable. The waiting-time term treats completion
+  // times as the effective service in Cobham's non-preemptive formula --
+  // an approximation documented in DESIGN.md; the DES provides exact
+  // numbers.
+  struct RepeatClassInput {
+    double arrival_rate = 0.0;
+    PhaseType service = PhaseType::exponential(1.0);
+  };
+  static std::vector<PriorityClassResult> preemptive_repeat(
+      std::span<const RepeatClassInput> classes);
+
+  // Mean completion time (own restarts + higher-priority busy periods) of a
+  // job with PH service `service`, interrupted by a Poisson stream of rate
+  // `interrupt_rate`, where each interruption opens a busy period of mean
+  // `busy_period_mean`. Returns nullopt when E[e^{aS}] diverges.
+  static std::optional<double> repeat_completion_mean(const PhaseType& service,
+                                                      double interrupt_rate,
+                                                      double busy_period_mean);
+};
+
+}  // namespace dias::model

@@ -1,0 +1,146 @@
+#include "model/mmap.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+
+Mmap::Mmap(Matrix d0, std::vector<Matrix> dk) : d0_(std::move(d0)), dk_(std::move(dk)) {
+  DIAS_EXPECTS(d0_.is_square(), "D0 must be square");
+  DIAS_EXPECTS(!dk_.empty(), "MMAP needs at least one class");
+  const std::size_t n = d0_.rows();
+  for (const auto& d : dk_) {
+    DIAS_EXPECTS(d.rows() == n && d.cols() == n, "Dk shape mismatch");
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        DIAS_EXPECTS(d(i, j) >= 0.0, "Dk entries must be non-negative");
+  }
+  // D = D0 + sum Dk must have zero row sums, non-negative off-diagonals in
+  // D0, and negative diagonals.
+  const Matrix d = generator();
+  for (std::size_t i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      rowsum += d(i, j);
+      if (i != j) DIAS_EXPECTS(d0_(i, j) >= 0.0, "D0 off-diagonal must be non-negative");
+    }
+    DIAS_EXPECTS(std::abs(rowsum) < 1e-9, "D = D0 + sum Dk must be a generator");
+    DIAS_EXPECTS(d0_(i, i) < 0.0, "D0 diagonal must be negative");
+  }
+}
+
+Mmap Mmap::marked_poisson(std::span<const double> rates) {
+  DIAS_EXPECTS(!rates.empty(), "marked Poisson needs at least one class");
+  double total = 0.0;
+  for (double r : rates) {
+    DIAS_EXPECTS(r >= 0.0, "arrival rates must be non-negative");
+    total += r;
+  }
+  DIAS_EXPECTS(total > 0.0, "total arrival rate must be positive");
+  Matrix d0{{-total}};
+  std::vector<Matrix> dk;
+  dk.reserve(rates.size());
+  for (double r : rates) dk.push_back(Matrix{{r}});
+  return Mmap(std::move(d0), std::move(dk));
+}
+
+Mmap Mmap::marked_poisson(std::initializer_list<double> rates) {
+  return marked_poisson(std::span<const double>(rates.begin(), rates.size()));
+}
+
+Mmap Mmap::mmpp2(const std::vector<std::vector<double>>& rates, double r01, double r10) {
+  DIAS_EXPECTS(rates.size() == 2, "mmpp2 needs per-state rate rows for 2 states");
+  DIAS_EXPECTS(r01 > 0.0 && r10 > 0.0, "switching rates must be positive");
+  const std::size_t k = rates[0].size();
+  DIAS_EXPECTS(rates[1].size() == k && k >= 1, "mmpp2 rate rows must match");
+  double t0 = 0.0, t1 = 0.0;
+  for (double r : rates[0]) t0 += r;
+  for (double r : rates[1]) t1 += r;
+  Matrix d0{{-(t0 + r01), r01}, {r10, -(t1 + r10)}};
+  std::vector<Matrix> dk;
+  dk.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    Matrix d(2, 2);
+    d(0, 0) = rates[0][c];
+    d(1, 1) = rates[1][c];
+    dk.push_back(std::move(d));
+  }
+  return Mmap(std::move(d0), std::move(dk));
+}
+
+const Matrix& Mmap::dk(std::size_t k) const {
+  DIAS_EXPECTS(k >= 1 && k <= dk_.size(), "class index out of range");
+  return dk_[k - 1];
+}
+
+Matrix Mmap::generator() const {
+  Matrix d = d0_;
+  for (const auto& m : dk_) d += m;
+  return d;
+}
+
+Matrix Mmap::stationary() const { return ctmc_stationary(generator()); }
+
+double Mmap::arrival_rate(std::size_t k) const {
+  const Matrix theta = stationary();
+  return (theta * dk(k) * Matrix::ones_column(states()))(0, 0);
+}
+
+double Mmap::total_arrival_rate() const {
+  double total = 0.0;
+  for (std::size_t k = 1; k <= classes(); ++k) total += arrival_rate(k);
+  return total;
+}
+
+Mmap::Sampler::Sampler(const Mmap& process, Rng rng)
+    : process_(&process), rng_(rng), state_(0) {
+  // Start from the stationary phase distribution for a stationary stream.
+  const Matrix theta = process.stationary();
+  double u = rng_.uniform();
+  for (std::size_t s = 0; s < process.states(); ++s) {
+    if (u < theta(0, s)) {
+      state_ = s;
+      break;
+    }
+    u -= theta(0, s);
+  }
+}
+
+Mmap::Arrival Mmap::Sampler::next() {
+  const Mmap& p = *process_;
+  const std::size_t n = p.states();
+  double elapsed = 0.0;
+  for (;;) {
+    const double hold_rate = -p.d0()(state_, state_);
+    elapsed += rng_.exponential(hold_rate);
+    // Choose the transition: D0 off-diagonals (no arrival) or any Dk entry
+    // (class-k arrival, possibly with a state change).
+    double x = rng_.uniform() * hold_rate;
+    // D0 off-diagonal moves.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == state_) continue;
+      if (x < p.d0()(state_, j)) {
+        state_ = j;
+        goto no_arrival;
+      }
+      x -= p.d0()(state_, j);
+    }
+    // Arrival transitions.
+    for (std::size_t k = 1; k <= p.classes(); ++k) {
+      const Matrix& d = p.dk(k);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (x < d(state_, j)) {
+          state_ = j;
+          return Arrival{elapsed, k};
+        }
+        x -= d(state_, j);
+      }
+    }
+    // Rounding fallthrough: treat as an arrival of the last class.
+    return Arrival{elapsed, p.classes()};
+  no_arrival:;
+  }
+}
+
+}  // namespace dias::model

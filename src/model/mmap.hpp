@@ -1,0 +1,68 @@
+// Marked Markovian Arrival Process (MMAP[K]).
+//
+// Parameterized by K+1 matrices (D0, D1, ..., DK): Dk holds transition
+// rates that generate a class-k arrival and D0 the remaining (non-arrival)
+// rates, so that D = sum_k Dk is a CTMC generator (Section 4 of the paper).
+// The simplest instance is the marked Poisson process used throughout the
+// evaluation; the class also supports correlated arrivals (e.g., MMPP).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace dias::model {
+
+class Mmap {
+ public:
+  // d0: non-arrival generator block; dk[i]: rate block for class i+1.
+  Mmap(Matrix d0, std::vector<Matrix> dk);
+
+  // Marked Poisson process: independent Poisson streams, one per class.
+  static Mmap marked_poisson(std::span<const double> rates);
+  static Mmap marked_poisson(std::initializer_list<double> rates);
+
+  // A 2-state Markov-modulated marked Poisson process: in state s the
+  // class-k rate is rates[s][k]; switching rates r01, r10.
+  static Mmap mmpp2(const std::vector<std::vector<double>>& rates, double r01, double r10);
+
+  std::size_t classes() const { return dk_.size(); }
+  std::size_t states() const { return d0_.rows(); }
+  const Matrix& d0() const { return d0_; }
+  const Matrix& dk(std::size_t k) const;  // 1-based class index
+  // Full generator D = D0 + sum Dk.
+  Matrix generator() const;
+  // Stationary distribution of the underlying CTMC.
+  Matrix stationary() const;
+  // Stationary arrival rate of class k (1-based): theta * Dk * 1.
+  double arrival_rate(std::size_t k) const;
+  double total_arrival_rate() const;
+
+  // One marked arrival: advances the phase process and returns the
+  // inter-arrival time and the class (1-based) of the next arrival.
+  struct Arrival {
+    double inter_arrival;
+    std::size_t job_class;
+  };
+  // Stateful sampler; keeps the current CTMC state.
+  class Sampler {
+   public:
+    explicit Sampler(const Mmap& process, Rng rng);
+    Arrival next();
+
+   private:
+    const Mmap* process_;
+    Rng rng_;
+    std::size_t state_;
+  };
+  Sampler sampler(Rng rng) const { return Sampler(*this, rng); }
+
+ private:
+  Matrix d0_;
+  std::vector<Matrix> dk_;
+};
+
+}  // namespace dias::model

@@ -1,0 +1,377 @@
+#include "model/phase_type.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+}  // namespace
+
+PhaseType::PhaseType(Matrix alpha, Matrix subgenerator)
+    : alpha_(std::move(alpha)), a_(std::move(subgenerator)) {
+  DIAS_EXPECTS(alpha_.rows() == 1, "alpha must be a row vector");
+  DIAS_EXPECTS(a_.is_square(), "sub-generator must be square");
+  DIAS_EXPECTS(alpha_.cols() == a_.rows(), "alpha/sub-generator size mismatch");
+  DIAS_EXPECTS(alpha_.cols() >= 1, "PH distribution needs at least one phase");
+  double asum = 0.0;
+  for (std::size_t j = 0; j < alpha_.cols(); ++j) {
+    DIAS_EXPECTS(alpha_(0, j) >= -kTol && alpha_(0, j) <= 1.0 + kTol,
+                 "alpha entries must be probabilities");
+    asum += alpha_(0, j);
+  }
+  DIAS_EXPECTS(asum > kTol && asum <= 1.0 + kTol, "alpha must sum to (0, 1]");
+  for (std::size_t i = 0; i < a_.rows(); ++i) {
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < a_.cols(); ++j) {
+      if (i == j) {
+        DIAS_EXPECTS(a_(i, j) < 0.0, "sub-generator diagonal must be negative");
+      } else {
+        DIAS_EXPECTS(a_(i, j) >= -kTol, "sub-generator off-diagonal must be non-negative");
+      }
+      rowsum += a_(i, j);
+    }
+    DIAS_EXPECTS(rowsum <= kTol, "sub-generator row sums must be <= 0");
+  }
+}
+
+PhaseType PhaseType::exponential(double rate) {
+  DIAS_EXPECTS(rate > 0.0, "rate must be positive");
+  return PhaseType(Matrix{{1.0}}, Matrix{{-rate}});
+}
+
+PhaseType PhaseType::erlang(int k, double rate) {
+  DIAS_EXPECTS(k >= 1, "Erlang shape must be >= 1");
+  DIAS_EXPECTS(rate > 0.0, "rate must be positive");
+  const auto n = static_cast<std::size_t>(k);
+  Matrix alpha(1, n);
+  alpha(0, 0) = 1.0;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = -rate;
+    if (i + 1 < n) a(i, i + 1) = rate;
+  }
+  return PhaseType(std::move(alpha), std::move(a));
+}
+
+PhaseType PhaseType::hyper_exponential(std::span<const double> probs,
+                                       std::span<const double> rates) {
+  DIAS_EXPECTS(probs.size() == rates.size() && !probs.empty(),
+               "hyper-exponential needs matching, non-empty probs/rates");
+  double psum = 0.0;
+  for (double p : probs) psum += p;
+  DIAS_EXPECTS(std::abs(psum - 1.0) < 1e-6, "branch probabilities must sum to 1");
+  const std::size_t n = probs.size();
+  Matrix alpha(1, n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DIAS_EXPECTS(rates[i] > 0.0, "rates must be positive");
+    alpha(0, i) = probs[i];
+    a(i, i) = -rates[i];
+  }
+  return PhaseType(std::move(alpha), std::move(a));
+}
+
+PhaseType PhaseType::hyper_exponential(std::initializer_list<double> probs,
+                                       std::initializer_list<double> rates) {
+  return hyper_exponential(std::span<const double>(probs.begin(), probs.size()),
+                           std::span<const double>(rates.begin(), rates.size()));
+}
+
+PhaseType PhaseType::fit_two_moments(double mean, double scv) {
+  DIAS_EXPECTS(mean > 0.0, "mean must be positive");
+  DIAS_EXPECTS(scv > 0.0, "scv must be positive");
+  if (std::abs(scv - 1.0) < 1e-9) return exponential(1.0 / mean);
+  if (scv < 1.0) {
+    // Generalized Erlang: k phases with 1/scv <= k, mixing Erlang(k-1) and
+    // Erlang(k) is the classical fit; we use the simpler "Erlang with one
+    // slowed phase" variant: choose k = ceil(1/scv) and solve a two-phase-
+    // rate Erlang. For practical purposes the mixture fit below suffices.
+    const int k = static_cast<int>(std::ceil(1.0 / scv));
+    // Mixture of Erlang(k-1, mu) and Erlang(k, mu) (Tijms' fit):
+    //   scv in [1/k, 1/(k-1)] ; p chooses the blend.
+    if (k <= 1) return exponential(1.0 / mean);
+    const double kk = static_cast<double>(k);
+    const double p =
+        (kk * scv - std::sqrt(kk * (1.0 + scv) - kk * kk * scv)) / (1.0 + scv);
+    const double mu = (kk - p) / mean;
+    // Build: with prob p start an Erlang(k-1), else Erlang(k) -- realized as
+    // a k-phase chain where phase 1 is skipped with probability p.
+    const auto n = static_cast<std::size_t>(k);
+    Matrix alpha(1, n);
+    alpha(0, 0) = 1.0 - p;
+    alpha(0, 1) = p;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a(i, i) = -mu;
+      if (i + 1 < n) a(i, i + 1) = mu;
+    }
+    return PhaseType(std::move(alpha), std::move(a));
+  }
+  // scv > 1: balanced-means two-phase hyper-exponential.
+  const double p = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double r1 = 2.0 * p / mean;
+  const double r2 = 2.0 * (1.0 - p) / mean;
+  return hyper_exponential({p, 1.0 - p}, {r1, r2});
+}
+
+PhaseType PhaseType::convolve(const PhaseType& x, const PhaseType& y) {
+  const std::size_t nx = x.phases();
+  const std::size_t ny = y.phases();
+  Matrix alpha(1, nx + ny);
+  const double x0 = x.point_mass_at_zero();
+  for (std::size_t j = 0; j < nx; ++j) alpha(0, j) = x.alpha_(0, j);
+  // If X is 0 with probability x0, start directly in Y.
+  for (std::size_t j = 0; j < ny; ++j) alpha(0, nx + j) = x0 * y.alpha_(0, j);
+
+  Matrix a(nx + ny, nx + ny);
+  a.set_block(0, 0, x.a_);
+  a.set_block(nx, nx, y.a_);
+  // Upon absorption from X, start Y: block = exit(x) * alpha(y).
+  const Matrix ax = x.exit_rates();
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j) a(i, nx + j) = ax(i, 0) * y.alpha_(0, j);
+  return PhaseType(std::move(alpha), std::move(a));
+}
+
+PhaseType PhaseType::mixture(double p, const PhaseType& x, const PhaseType& y) {
+  DIAS_EXPECTS(p >= 0.0 && p <= 1.0, "mixture probability must be in [0,1]");
+  const std::size_t nx = x.phases();
+  const std::size_t ny = y.phases();
+  Matrix alpha(1, nx + ny);
+  for (std::size_t j = 0; j < nx; ++j) alpha(0, j) = p * x.alpha_(0, j);
+  for (std::size_t j = 0; j < ny; ++j) alpha(0, nx + j) = (1.0 - p) * y.alpha_(0, j);
+  Matrix a(nx + ny, nx + ny);
+  a.set_block(0, 0, x.a_);
+  a.set_block(nx, nx, y.a_);
+  return PhaseType(std::move(alpha), std::move(a));
+}
+
+PhaseType PhaseType::mixture_many(std::span<const std::pair<double, PhaseType>> branches,
+                                  double zero_mass) {
+  DIAS_EXPECTS(!branches.empty(), "mixture_many needs at least one branch");
+  DIAS_EXPECTS(zero_mass >= 0.0 && zero_mass < 1.0, "zero mass must be in [0,1)");
+  double psum = zero_mass;
+  std::size_t total_phases = 0;
+  for (const auto& [p, ph] : branches) {
+    DIAS_EXPECTS(p >= 0.0, "branch probabilities must be non-negative");
+    psum += p;
+    total_phases += ph.phases();
+  }
+  DIAS_EXPECTS(std::abs(psum - 1.0) < 1e-6, "mixture probabilities must sum to 1");
+  Matrix alpha(1, total_phases);
+  Matrix a(total_phases, total_phases);
+  std::size_t offset = 0;
+  for (const auto& [p, ph] : branches) {
+    for (std::size_t j = 0; j < ph.phases(); ++j) alpha(0, offset + j) = p * ph.alpha_(0, j);
+    a.set_block(offset, offset, ph.a_);
+    offset += ph.phases();
+  }
+  return PhaseType(std::move(alpha), std::move(a));
+}
+
+PhaseType PhaseType::convolve_n(const PhaseType& x, int count) {
+  DIAS_EXPECTS(count >= 1, "convolve_n needs count >= 1");
+  PhaseType acc = x;
+  for (int i = 1; i < count; ++i) acc = convolve(acc, x);
+  return acc;
+}
+
+PhaseType PhaseType::scaled(double c) const {
+  DIAS_EXPECTS(c > 0.0, "scale factor must be positive");
+  return PhaseType(alpha_, a_ * (1.0 / c));
+}
+
+Matrix PhaseType::exit_rates() const {
+  const std::size_t n = phases();
+  Matrix a(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) rowsum += a_(i, j);
+    a(i, 0) = -rowsum;
+  }
+  return a;
+}
+
+double PhaseType::point_mass_at_zero() const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < alpha_.cols(); ++j) s += alpha_(0, j);
+  return std::max(0.0, 1.0 - s);
+}
+
+double PhaseType::moment(int k) const {
+  DIAS_EXPECTS(k >= 1, "moment order must be >= 1");
+  // E[X^k] = k! alpha (-A)^{-k} 1
+  const Matrix neg_a_inv = inverse(a_ * -1.0);
+  Matrix acc = alpha_;
+  double factorial = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    acc = acc * neg_a_inv;
+    factorial *= static_cast<double>(i);
+  }
+  return factorial * (acc * Matrix::ones_column(phases()))(0, 0);
+}
+
+double PhaseType::variance() const {
+  const double m1 = moment(1);
+  return moment(2) - m1 * m1;
+}
+
+double PhaseType::scv() const {
+  const double m = mean();
+  DIAS_EXPECTS(m > 0.0, "scv undefined for zero-mean distribution");
+  return variance() / (m * m);
+}
+
+double PhaseType::cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  // Uniformization: P(X > t) = alpha exp(At) 1
+  //   exp(At) 1 = sum_m e^{-qt} (qt)^m / m! * P^m 1,  P = I + A/q.
+  const std::size_t n = phases();
+  double q = 0.0;
+  for (std::size_t i = 0; i < n; ++i) q = std::max(q, -a_(i, i));
+  if (q <= 0.0) return 1.0;
+  q *= 1.0000001;  // keep P sub-stochastic even with rounding
+
+  // v = P^m 1 updated iteratively; survive = sum_m pois(m) * alpha v_m.
+  std::vector<double> v(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  const double qt = q * t;
+  double log_pois = -qt;  // log of e^{-qt} (qt)^0 / 0!
+  double survive = 0.0;
+  double cum_pois = 0.0;
+  const int max_terms =
+      static_cast<int>(qt + 12.0 * std::sqrt(qt + 1.0) + 60.0);
+  for (int m = 0; m <= max_terms; ++m) {
+    const double pois = std::exp(log_pois);
+    double av = 0.0;
+    for (std::size_t j = 0; j < n; ++j) av += alpha_(0, j) * v[j];
+    survive += pois * av;
+    cum_pois += pois;
+    if (1.0 - cum_pois < 1e-13) break;
+    // v <- P v
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = v[i];  // I part
+      for (std::size_t j = 0; j < n; ++j) acc += a_(i, j) / q * v[j];
+      next[i] = acc;
+    }
+    v.swap(next);
+    log_pois += std::log(qt) - std::log(static_cast<double>(m + 1));
+  }
+  return std::clamp(1.0 - survive, 0.0, 1.0);
+}
+
+double PhaseType::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  const Matrix e = expm(a_ * t);
+  return (alpha_ * e * exit_rates())(0, 0);
+}
+
+double PhaseType::lst(double s) const {
+  DIAS_EXPECTS(s >= 0.0, "LST argument must be non-negative");
+  const std::size_t n = phases();
+  const Matrix m = Matrix::identity(n) * s - a_;
+  const Matrix x = solve(m, exit_rates());
+  return (alpha_ * x)(0, 0) + point_mass_at_zero();
+}
+
+double PhaseType::decay_rate() const {
+  // The decay rate is -max Re(eig(A)). A + qI is entrywise non-negative for
+  // q = max |a_ii|, so its Perron root (found by power iteration) gives the
+  // dominant eigenvalue of A as rho(A + qI) - q.
+  const std::size_t n = phases();
+  double q = 0.0;
+  for (std::size_t i = 0; i < n; ++i) q = std::max(q, -a_(i, i));
+  const Matrix b = a_ + Matrix::identity(n) * q;
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  double lambda = 0.0;
+  // Triangular chains keep the iterate on a nilpotent plateau for up to n
+  // steps, so never stop before ~10 n iterations.
+  const int min_iters = static_cast<int>(10 * n) + 20;
+  for (int it = 0; it < 20000; ++it) {
+    std::vector<double> next(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) next[i] += b(i, j) * v[j];
+    }
+    double norm = 0.0;
+    for (double x : next) norm = std::max(norm, std::abs(x));
+    if (norm == 0.0) return q;  // nilpotent B: decay dominated by q
+    for (double& x : next) x /= norm;
+    const double prev = lambda;
+    lambda = norm;
+    v.swap(next);
+    if (it > min_iters && std::abs(lambda - prev) < 1e-13 * std::max(1.0, lambda)) break;
+  }
+  return q - lambda;
+}
+
+double PhaseType::mgf(double s) const {
+  // E[e^{sX}] = alpha (-A - sI)^{-1} a + p0 ; exists iff s is below the
+  // decay rate (the abscissa of convergence).
+  if (s > 0.0 && s >= decay_rate() - 1e-12) {
+    throw numeric_error("PH moment generating function does not exist at s");
+  }
+  const std::size_t n = phases();
+  const Matrix m = a_ * -1.0 - Matrix::identity(n) * s;
+  Matrix x;
+  try {
+    x = solve(m, exit_rates());
+  } catch (const numeric_error&) {
+    throw numeric_error("PH moment generating function does not exist at s");
+  }
+  if (s > 0.0) {
+    // Backstop: the resolvent applied to the exit vector must stay
+    // non-negative below the abscissa of convergence.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (x(i, 0) < -1e-12) {
+        throw numeric_error("PH moment generating function does not exist at s");
+      }
+    }
+  }
+  const double val = (alpha_ * x)(0, 0) + point_mass_at_zero();
+  if (s > 0.0 && val < 1.0) {
+    throw numeric_error("PH moment generating function does not exist at s");
+  }
+  return val;
+}
+
+double PhaseType::sample(Rng& rng) const {
+  const std::size_t n = phases();
+  // Pick the initial phase (or immediate absorption).
+  double u = rng.uniform();
+  std::size_t phase = n;  // n == absorbed
+  for (std::size_t j = 0; j < n; ++j) {
+    if (u < alpha_(0, j)) {
+      phase = j;
+      break;
+    }
+    u -= alpha_(0, j);
+  }
+  double t = 0.0;
+  const Matrix exits = exit_rates();
+  while (phase < n) {
+    const double rate = -a_(phase, phase);
+    t += rng.exponential(rate);
+    // Choose the next phase among transitions + absorption.
+    double x = rng.uniform() * rate;
+    std::size_t next = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == phase) continue;
+      if (x < a_(phase, j)) {
+        next = j;
+        break;
+      }
+      x -= a_(phase, j);
+    }
+    // Remaining mass is absorption (exits(phase)).
+    phase = next;
+  }
+  return t;
+}
+
+}  // namespace dias::model

@@ -1,0 +1,96 @@
+// Phase-Type (PH) distributions and their closure operations.
+//
+// A PH distribution is the absorption time of a CTMC with transient phases
+// 1..n, sub-generator A (n x n) and initial row vector alpha (1 x n).
+// The paper builds job processing times bottom-up from PH components
+// (Section 4): setup, map waves, shuffle, reduce waves are all PH, and
+// their concatenation (convolution) is again PH.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace dias::model {
+
+class PhaseType {
+ public:
+  // Constructs from an initial probability row vector (1 x n) and a
+  // sub-generator (n x n). Validates PH structure:
+  //   - alpha entries in [0,1], sum in (0, 1]
+  //   - A has negative diagonal, non-negative off-diagonal, row sums <= 0
+  //   - at least one phase can reach absorption
+  PhaseType(Matrix alpha, Matrix subgenerator);
+
+  // --- factories ---------------------------------------------------------
+  static PhaseType exponential(double rate);
+  static PhaseType erlang(int k, double rate);
+  // Branch i is exponential(rates[i]) with probability probs[i].
+  static PhaseType hyper_exponential(std::span<const double> probs,
+                                     std::span<const double> rates);
+  static PhaseType hyper_exponential(std::initializer_list<double> probs,
+                                     std::initializer_list<double> rates);
+  // Two-moment fit: matches the given mean (> 0) and squared coefficient of
+  // variation (scv > 0).  scv == 1 -> exponential; scv < 1 -> generalized
+  // Erlang; scv > 1 -> balanced-means two-phase hyper-exponential.
+  static PhaseType fit_two_moments(double mean, double scv);
+
+  // --- closure operations -------------------------------------------------
+  // Distribution of X + Y for independent PH X, Y.
+  static PhaseType convolve(const PhaseType& x, const PhaseType& y);
+  // Distribution that is X with probability p, else Y.
+  static PhaseType mixture(double p, const PhaseType& x, const PhaseType& y);
+  // General mixture over branches (probability, distribution) plus an
+  // optional point mass at zero; probabilities + zero_mass must sum to 1.
+  static PhaseType mixture_many(std::span<const std::pair<double, PhaseType>> branches,
+                                double zero_mass = 0.0);
+  // Convolution of `count` iid copies of x.
+  static PhaseType convolve_n(const PhaseType& x, int count);
+  // Time-scaled variant: if X ~ this, returns distribution of c * X.
+  PhaseType scaled(double c) const;
+
+  // --- queries ------------------------------------------------------------
+  std::size_t phases() const { return alpha_.cols(); }
+  const Matrix& alpha() const { return alpha_; }
+  const Matrix& subgenerator() const { return a_; }
+  // Exit-rate column vector a = -A 1 (accounts for sub-stochastic alpha via
+  // the immediate-absorption mass 1 - sum(alpha)).
+  Matrix exit_rates() const;
+  // Probability of zero value (immediate absorption) = 1 - sum(alpha).
+  double point_mass_at_zero() const;
+
+  // k-th raw moment E[X^k] = k! * alpha * (-A)^{-k} * 1.
+  double moment(int k) const;
+  double mean() const { return moment(1); }
+  double variance() const;
+  // Squared coefficient of variation Var[X] / E[X]^2.
+  double scv() const;
+
+  // CDF via uniformization (exact up to truncation tolerance).
+  double cdf(double t) const;
+  // Complementary CDF.
+  double ccdf(double t) const { return 1.0 - cdf(t); }
+  // Density via alpha * expm(A t) * a.
+  double pdf(double t) const;
+  // Laplace-Stieltjes transform at s >= 0: alpha (sI - A)^{-1} a + p0.
+  double lst(double s) const;
+  // Moment generating function E[e^{sX}] for s below the decay rate;
+  // throws numeric_error when the MGF does not exist at s.
+  double mgf(double s) const;
+  // Asymptotic decay rate of the tail: -max Re(eig(A)); the abscissa of
+  // convergence of the MGF.
+  double decay_rate() const;
+
+  // Simulates one absorption time.
+  double sample(Rng& rng) const;
+
+ private:
+  Matrix alpha_;  // 1 x n
+  Matrix a_;      // n x n sub-generator
+};
+
+}  // namespace dias::model

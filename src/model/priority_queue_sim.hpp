@@ -1,0 +1,63 @@
+// Simulation of the MMAP[K]/PH[K]/1 priority queue.
+//
+// The paper leans on Horvath's analytic treatment of this queue for
+// response-time *distributions*; we complement the exact mean-value
+// analysis in mg1_priority with a fast special-purpose simulator that
+// estimates the full per-class distributions for arbitrary MMAP arrivals
+// (including correlated/bursty streams) and PH services, under four
+// disciplines -- including both preemptive-repeat flavours, whose
+// stability gap (identical vs resample) the paper cites via Jelenkovic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "model/mmap.hpp"
+#include "model/phase_type.hpp"
+
+namespace dias::model {
+
+enum class SimDiscipline {
+  kNonPreemptive,
+  kPreemptiveResume,           // evicted work is kept
+  kPreemptiveRepeatIdentical,  // re-execute the same sampled work (eviction)
+  kPreemptiveRepeatResample,   // re-execute freshly sampled work
+};
+
+struct PriorityQueueSimOptions {
+  std::size_t jobs = 100000;       // arrivals to generate
+  std::size_t warmup = 10000;      // completions to discard
+  std::uint64_t seed = 1;
+  // Safety valve for (near-)unstable repeat disciplines: stop once any
+  // backlog exceeds this many jobs and flag the run.
+  std::size_t max_backlog = 1u << 20;
+  // If false, the run stops at the last arrival instead of draining the
+  // queues; jobs still queued are censored (visible via generated vs
+  // completed counts). Avoids the drain phase masking instability.
+  bool drain_after_arrivals = true;
+};
+
+struct PriorityQueueSimResult {
+  // Index k is class k+1 of the MMAP (larger index = higher priority).
+  std::vector<SampleSet> response;
+  std::vector<SampleSet> waiting;  // delay before first service
+  std::vector<std::size_t> generated;  // arrivals per class
+  std::vector<std::size_t> completed;  // completions per class (incl. warmup)
+  bool truncated = false;          // hit the backlog safety valve
+  double horizon = 0.0;
+  double busy_time = 0.0;
+
+  double utilization() const { return horizon > 0.0 ? busy_time / horizon : 0.0; }
+};
+
+// Runs the queue: class k jobs (1-based in the MMAP) have service
+// distribution services[k-1]. Higher class index preempts lower under the
+// preemptive disciplines.
+PriorityQueueSimResult simulate_priority_queue(const Mmap& arrivals,
+                                               std::span<const PhaseType> services,
+                                               SimDiscipline discipline,
+                                               const PriorityQueueSimOptions& options);
+
+}  // namespace dias::model

@@ -1,0 +1,228 @@
+#include "model/qbd.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+
+Matrix solve_qbd_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, double tol,
+                   int max_iter) {
+  DIAS_EXPECTS(a0.is_square() && a1.is_square() && a2.is_square(), "QBD blocks must be square");
+  DIAS_EXPECTS(a0.rows() == a1.rows() && a1.rows() == a2.rows(), "QBD block sizes must match");
+  const std::size_t m = a0.rows();
+  const Matrix a1_inv = inverse(a1);
+  Matrix r = Matrix::zeros(m, m);
+  for (int it = 0; it < max_iter; ++it) {
+    const Matrix next = (a0 + r * r * a2) * a1_inv * -1.0;
+    const double delta = (next - r).max_abs();
+    r = next;
+    if (delta < tol) return r;
+  }
+  throw numeric_error("QBD R-matrix iteration did not converge");
+}
+
+PhaseType mg1_waiting_time(double arrival_rate, const PhaseType& service) {
+  DIAS_EXPECTS(arrival_rate > 0.0, "arrival rate must be positive");
+  const double rho = arrival_rate * service.mean();
+  DIAS_EXPECTS(rho < 1.0, "mg1_waiting_time requires a stable queue (rho < 1)");
+  const std::size_t n = service.phases();
+  const Matrix& a = service.subgenerator();
+  // Equilibrium phase distribution pi_e = alpha (-A)^{-1} / E[S].
+  Matrix pi_e = service.alpha() * inverse(a * -1.0);
+  pi_e *= 1.0 / service.mean();
+  // Geometric compound: restart an equilibrium stage with probability rho.
+  const Matrix exits = service.exit_rates();
+  Matrix a_w = a;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a_w(i, j) += rho * exits(i, 0) * pi_e(0, j);
+    }
+  }
+  Matrix alpha_w = pi_e;
+  alpha_w *= rho;  // remaining mass (1 - rho) is the empty-queue atom at 0
+  return PhaseType(std::move(alpha_w), std::move(a_w));
+}
+
+PhaseType mg1_response_time(double arrival_rate, const PhaseType& service) {
+  return PhaseType::convolve(mg1_waiting_time(arrival_rate, service), service);
+}
+
+MPh1Queue::MPh1Queue(double arrival_rate, PhaseType service)
+    : lambda_(arrival_rate), service_(std::move(service)), rho_(0.0), r_(), pi1_() {
+  DIAS_EXPECTS(lambda_ > 0.0, "arrival rate must be positive");
+  rho_ = lambda_ * service_.mean();
+  const std::size_t m = service_.phases();
+  if (!stable()) {
+    // Leave r_ / pi1_ empty; metric accessors guard on stability.
+    return;
+  }
+  const Matrix& a = service_.subgenerator();
+  const Matrix exits = service_.exit_rates();       // m x 1
+  const Matrix& alpha = service_.alpha();           // 1 x m
+  const Matrix a0 = Matrix::identity(m) * lambda_;  // arrival: level up
+  const Matrix a1 = a - a0;                         // local: service phase moves
+  const Matrix a2 = exits * alpha;                  // completion: level down
+  r_ = solve_qbd_r(a0, a1, a2);
+
+  // Boundary: level 0 is the single empty state.
+  //   pi0 * (-lambda) + pi1 * exits = 0
+  //   pi0 * (lambda alpha) + pi1 * (A1 + R A2) = 0
+  //   pi0 + pi1 (I - R)^{-1} 1 = 1
+  // Unknowns x = [pi0, pi1] (row). Build the linear system column-wise and
+  // replace one balance column with normalization.
+  const std::size_t n = m + 1;
+  Matrix sys(n, n);  // sys columns are equations; solve x * sys = rhs via transpose
+  // Equation 0 (empty-state balance) -> column 0.
+  sys(0, 0) = -lambda_;
+  for (std::size_t i = 0; i < m; ++i) sys(1 + i, 0) = exits(i, 0);
+  // Equations 1..m-1: level-1 balance for phases 1..m-1 (phase 0's balance
+  // is redundant; its column carries normalization instead).
+  const Matrix level1 = a1 + r_ * a2;
+  for (std::size_t j = 1; j < m; ++j) {
+    sys(0, j) = lambda_ * alpha(0, j);
+    for (std::size_t i = 0; i < m; ++i) sys(1 + i, j) = level1(i, j);
+  }
+  // Normalization -> column m.
+  const Matrix geo = inverse(Matrix::identity(m) - r_) * Matrix::ones_column(m);
+  sys(0, m) = 1.0;
+  for (std::size_t i = 0; i < m; ++i) sys(1 + i, m) = geo(i, 0);
+
+  Matrix rhs(n, 1);
+  rhs(m, 0) = 1.0;
+  const Matrix x = solve(sys.transpose(), rhs);
+  pi0_ = x(0, 0);
+  pi1_ = Matrix(1, m);
+  for (std::size_t i = 0; i < m; ++i) pi1_(0, i) = x(1 + i, 0);
+}
+
+double MPh1Queue::empty_probability() const {
+  DIAS_EXPECTS(stable(), "queue is unstable");
+  return pi0_;
+}
+
+std::vector<double> MPh1Queue::level_probabilities(std::size_t max_level) const {
+  DIAS_EXPECTS(stable(), "queue is unstable");
+  std::vector<double> out;
+  out.reserve(max_level + 1);
+  out.push_back(pi0_);
+  Matrix pin = pi1_;
+  for (std::size_t n = 1; n <= max_level; ++n) {
+    out.push_back((pin * Matrix::ones_column(pin.cols()))(0, 0));
+    pin = pin * r_;
+  }
+  return out;
+}
+
+double MPh1Queue::mean_jobs_in_system() const {
+  DIAS_EXPECTS(stable(), "queue is unstable");
+  // E[N] = sum_{n>=1} n pi_n 1 = pi1 (I - R)^{-2} 1.
+  const std::size_t m = pi1_.cols();
+  const Matrix inv = inverse(Matrix::identity(m) - r_);
+  return (pi1_ * inv * inv * Matrix::ones_column(m))(0, 0);
+}
+
+double MPh1Queue::mean_response_time() const { return mean_jobs_in_system() / lambda_; }
+
+double MPh1Queue::mean_waiting_time() const {
+  return mean_response_time() - service_.mean();
+}
+
+namespace {
+
+// Kronecker product of two matrices.
+Matrix kron(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double v = a(i, j);
+      if (v == 0.0) continue;
+      for (std::size_t r = 0; r < b.rows(); ++r) {
+        for (std::size_t c = 0; c < b.cols(); ++c) {
+          out(i * b.rows() + r, j * b.cols() + c) = v * b(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MapPh1Queue::MapPh1Queue(const Mmap& arrivals, PhaseType service)
+    : lambda_(arrivals.total_arrival_rate()), service_(std::move(service)), rho_(0.0) {
+  rho_ = lambda_ * service_.mean();
+  if (!stable()) return;
+
+  const std::size_t ma = arrivals.states();
+  const std::size_t ms = service_.phases();
+  const std::size_t m = ma * ms;
+
+  // Aggregate the marked streams into a single MAP (D0, D1).
+  const Matrix& d0 = arrivals.d0();
+  Matrix d1(ma, ma);
+  for (std::size_t k = 1; k <= arrivals.classes(); ++k) d1 += arrivals.dk(k);
+
+  const Matrix i_ma = Matrix::identity(ma);
+  const Matrix i_ms = Matrix::identity(ms);
+  const Matrix& s_gen = service_.subgenerator();
+  const Matrix s_exit = service_.exit_rates();  // ms x 1
+  const Matrix& beta = service_.alpha();        // 1 x ms
+
+  const Matrix a0 = kron(d1, i_ms);
+  const Matrix a1 = kron(d0, i_ms) + kron(i_ma, s_gen);
+  const Matrix a2 = kron(i_ma, s_exit * beta);
+  r_ = solve_qbd_r(a0, a1, a2);
+
+  // Boundary: level 0 carries the arrival phase only.
+  //   pi0 D0 + pi1 B10 = 0,           B10 = I (x) s_exit   (m x ma)
+  //   pi0 B01 + pi1 (A1 + R A2) = 0,  B01 = D1 (x) beta    (ma x m)
+  //   pi0 1 + pi1 (I - R)^{-1} 1 = 1.
+  const Matrix b10 = kron(i_ma, s_exit);
+  const Matrix b01 = kron(d1, beta);
+  const std::size_t n = ma + m;
+  Matrix sys(n, n);
+  // Level-0 balance -> columns 0..ma-1.
+  for (std::size_t j = 0; j < ma; ++j) {
+    for (std::size_t i = 0; i < ma; ++i) sys(i, j) = d0(i, j);
+    for (std::size_t r = 0; r < m; ++r) sys(ma + r, j) = b10(r, j);
+  }
+  // Level-1 balance -> columns ma..n-1 (the last is replaced below).
+  const Matrix level1 = a1 + r_ * a2;
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t i = 0; i < ma; ++i) sys(i, ma + c) = b01(i, c);
+    for (std::size_t r = 0; r < m; ++r) sys(ma + r, ma + c) = level1(r, c);
+  }
+  // Normalization replaces the last column.
+  const Matrix geo = inverse(Matrix::identity(m) - r_) * Matrix::ones_column(m);
+  for (std::size_t i = 0; i < ma; ++i) sys(i, n - 1) = 1.0;
+  for (std::size_t r = 0; r < m; ++r) sys(ma + r, n - 1) = geo(r, 0);
+
+  Matrix rhs(n, 1);
+  rhs(n - 1, 0) = 1.0;
+  const Matrix x = solve(sys.transpose(), rhs);
+  pi0_ = Matrix(1, ma);
+  for (std::size_t i = 0; i < ma; ++i) pi0_(0, i) = x(i, 0);
+  pi1_ = Matrix(1, m);
+  for (std::size_t r = 0; r < m; ++r) pi1_(0, r) = x(ma + r, 0);
+}
+
+double MapPh1Queue::empty_probability() const {
+  DIAS_EXPECTS(stable(), "queue is unstable");
+  return pi0_.sum();
+}
+
+double MapPh1Queue::mean_jobs_in_system() const {
+  DIAS_EXPECTS(stable(), "queue is unstable");
+  const std::size_t m = pi1_.cols();
+  const Matrix inv = inverse(Matrix::identity(m) - r_);
+  return (pi1_ * inv * inv * Matrix::ones_column(m))(0, 0);
+}
+
+double MapPh1Queue::mean_response_time() const { return mean_jobs_in_system() / lambda_; }
+
+double MapPh1Queue::mean_waiting_time() const {
+  return mean_response_time() - service_.mean();
+}
+
+}  // namespace dias::model

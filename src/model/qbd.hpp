@@ -1,0 +1,95 @@
+// Quasi-Birth-Death (QBD) utilities and the M/PH/1 queue.
+//
+// The matrix-analytic machinery behind the paper's latency model
+// (Latouche & Ramaswami): a level-independent CTMC QBD with blocks
+// (A0 up, A1 local, A2 down) has a matrix-geometric stationary vector
+// pi_{n+1} = pi_n R where R is the minimal non-negative solution of
+//   A0 + R A1 + R^2 A2 = 0.
+// M/PH/1 instantiates this with A0 = lambda I, A1 = A - lambda I,
+// A2 = a * alpha, giving exact queue-length and response-time metrics used
+// to validate the bottom-up PH job models against simulation.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "model/mmap.hpp"
+#include "model/phase_type.hpp"
+
+namespace dias::model {
+
+// Minimal non-negative solution R of A0 + R A1 + R^2 A2 = 0 via functional
+// iteration R <- -(A0 + R^2 A2) A1^{-1}. Throws numeric_error if the
+// iteration fails to converge (e.g. unstable queue).
+Matrix solve_qbd_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
+                   double tol = 1e-12, int max_iter = 200000);
+
+// Stationary waiting-time distribution of the M/PH/1 FCFS queue in closed
+// form: the Pollaczek-Khinchine geometric compound of the service-time
+// equilibrium distribution, which is again PH (point mass 1 - rho at zero,
+// initial vector rho * pi_e, sub-generator A + rho * a * pi_e). Requires
+// rho = lambda E[S] < 1.
+PhaseType mg1_waiting_time(double arrival_rate, const PhaseType& service);
+
+// Stationary response time: waiting convolved with an independent service.
+PhaseType mg1_response_time(double arrival_rate, const PhaseType& service);
+
+// Single-server FCFS queue with Poisson arrivals and PH service.
+class MPh1Queue {
+ public:
+  MPh1Queue(double arrival_rate, PhaseType service);
+
+  double utilization() const { return rho_; }
+  bool stable() const { return rho_ < 1.0; }
+
+  // P(N = 0) and the per-level (number-in-system) probabilities.
+  double empty_probability() const;
+  std::vector<double> level_probabilities(std::size_t max_level) const;
+
+  // Mean number in system and mean response time (Little's law).
+  double mean_jobs_in_system() const;
+  double mean_response_time() const;
+  double mean_waiting_time() const;
+
+  const Matrix& r_matrix() const { return r_; }
+
+ private:
+  double lambda_;
+  PhaseType service_;
+  double rho_;
+  Matrix r_;        // m x m rate matrix
+  Matrix pi1_;      // 1 x m stationary vector of level 1
+  double pi0_ = 0;  // empty-system probability
+};
+
+// Single-server FCFS queue with Markovian Arrival Process (MAP) input and
+// PH service -- the analytic core behind the paper's MMAP-based model for
+// correlated/bursty arrival streams. Solved as a QBD whose repeating level
+// couples the arrival phase with the service phase:
+//   A0 = D1 (x) I,  A1 = D0 (+) S,  A2 = I (x) (s * beta).
+// The boundary level (empty system) carries the arrival phase only.
+class MapPh1Queue {
+ public:
+  // The MAP is given by (d0, d1); for a marked MMAP aggregate the classes:
+  // d1 = sum_k Dk.
+  MapPh1Queue(const Mmap& arrivals, PhaseType service);
+
+  double arrival_rate() const { return lambda_; }
+  double utilization() const { return rho_; }
+  bool stable() const { return rho_ < 1.0; }
+
+  double empty_probability() const;
+  double mean_jobs_in_system() const;
+  double mean_response_time() const;
+  double mean_waiting_time() const;
+
+ private:
+  double lambda_;
+  PhaseType service_;
+  double rho_;
+  Matrix r_;    // (ma*ms) x (ma*ms)
+  Matrix pi0_;  // 1 x ma (empty system, arrival phase)
+  Matrix pi1_;  // 1 x (ma*ms)
+};
+
+}  // namespace dias::model

@@ -1,0 +1,114 @@
+#include "model/response_time_model.hpp"
+
+#include "model/wave_level_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+
+double ResponseTimeModel::interpolated_overhead(const JobClassProfile& profile, double theta) {
+  DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratio must be in [0,1]");
+  DIAS_EXPECTS(profile.mean_overhead_theta0 > 0.0 && profile.mean_overhead_theta90 > 0.0,
+               "overhead profiling points must be positive");
+  // Linear interpolation between the theta=0 and theta=0.9 profiling runs;
+  // clamp beyond 0.9 to the profiled endpoint.
+  const double w = std::min(theta / 0.9, 1.0);
+  return profile.mean_overhead_theta0 * (1.0 - w) + profile.mean_overhead_theta90 * w;
+}
+
+namespace {
+
+PhaseType task_level_processing(const JobClassProfile& profile, double theta) {
+  const double s = profile.sprint_speedup;
+  TaskLevelParams p;
+  p.slots = profile.slots;
+  p.map_task_pmf = profile.map_task_pmf;
+  p.reduce_task_pmf = profile.reduce_task_pmf;
+  p.map_rate = profile.map_rate * s;
+  p.reduce_rate = profile.reduce_rate * s;
+  p.shuffle_rate = profile.shuffle_rate * s;
+  p.setup_rate = 1.0 / (ResponseTimeModel::interpolated_overhead(profile, theta) / s);
+  p.theta_map = theta;
+  p.theta_reduce = theta;
+  return TaskLevelModel(std::move(p)).processing_time();
+}
+
+PhaseType wave_level_processing(const JobClassProfile& profile, double theta) {
+  const double s = profile.sprint_speedup;
+  DIAS_EXPECTS(profile.task_scv > 0.0, "wave-level model needs a positive task scv");
+  WaveLevelParams p;
+  p.slots = profile.slots;
+  p.map_task_pmf = profile.map_task_pmf;
+  p.reduce_task_pmf = profile.reduce_task_pmf;
+  // A wave of near-equal tasks executes in about one task time; its spread
+  // is the measured per-task scv (the paper fits per-wave PH distributions
+  // from profiling runs the same way).
+  p.map_waves = {PhaseType::fit_two_moments(1.0 / (profile.map_rate * s), profile.task_scv)};
+  p.reduce_waves = {
+      PhaseType::fit_two_moments(1.0 / (profile.reduce_rate * s), profile.task_scv)};
+  p.setup = PhaseType::fit_two_moments(
+      ResponseTimeModel::interpolated_overhead(profile, theta) / s, 0.05);
+  p.shuffle = PhaseType::fit_two_moments(1.0 / (profile.shuffle_rate * s), 0.05);
+  p.theta_map = theta;
+  p.theta_reduce = theta;
+  return WaveLevelModel(std::move(p)).processing_time();
+}
+
+}  // namespace
+
+PhaseType ResponseTimeModel::processing_time(const JobClassProfile& profile, double theta,
+                                             ModelGranularity granularity) {
+  DIAS_EXPECTS(profile.sprint_speedup >= 1.0, "sprint speedup must be >= 1");
+  return granularity == ModelGranularity::kTaskLevel
+             ? task_level_processing(profile, theta)
+             : wave_level_processing(profile, theta);
+}
+
+Prediction ResponseTimeModel::predict(std::span<const JobClassProfile> classes,
+                                      std::span<const double> theta, Discipline discipline,
+                                      ModelGranularity granularity) {
+  DIAS_EXPECTS(!classes.empty(), "predict() needs at least one class");
+  DIAS_EXPECTS(classes.size() == theta.size(), "one theta per class required");
+
+  std::vector<PhaseType> services;
+  services.reserve(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    services.push_back(processing_time(classes[i], theta[i], granularity));
+  }
+
+  std::vector<PriorityClassResult> results;
+  if (discipline == Discipline::kPreemptiveRepeat) {
+    std::vector<Mg1PriorityQueue::RepeatClassInput> inputs;
+    inputs.reserve(classes.size());
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      inputs.push_back({classes[i].arrival_rate, services[i]});
+    }
+    results = Mg1PriorityQueue::preemptive_repeat(inputs);
+  } else {
+    std::vector<PriorityClassInput> inputs;
+    inputs.reserve(classes.size());
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      inputs.push_back(make_class_input(classes[i].arrival_rate, services[i]));
+    }
+    results = discipline == Discipline::kNonPreemptive
+                  ? Mg1PriorityQueue::non_preemptive(inputs)
+                  : Mg1PriorityQueue::preemptive_resume(inputs);
+  }
+
+  Prediction out;
+  out.per_class.resize(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    auto& c = out.per_class[i];
+    c.mean_processing = services[i].mean();
+    c.mean_waiting = results[i].mean_waiting;
+    c.mean_response = results[i].mean_response;
+    c.utilization = classes[i].arrival_rate * services[i].mean();
+    c.stable = results[i].stable;
+    out.total_utilization += c.utilization;
+  }
+  return out;
+}
+
+}  // namespace dias::model

@@ -1,0 +1,90 @@
+// Deflator-facing response-time model (paper Sections 4.3 and 5.2.1).
+//
+// Combines the bottom-up PH processing-time model with the M[K]/G/1
+// priority-queue analysis: given per-class workload profiles and candidate
+// drop ratios, predicts mean processing and response times per class under
+// non-preemptive, preemptive-resume, and preemptive-repeat disciplines.
+// The setup (overhead) time is interpolated linearly between profiling runs
+// at theta = 0 and theta = 0.9, exactly as the paper calibrates it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/mg1_priority.hpp"
+#include "model/phase_type.hpp"
+#include "model/task_level_model.hpp"
+
+namespace dias::model {
+
+// Everything the model needs to know about one priority class's jobs.
+// Classes are ordered by priority: a larger index is a higher priority.
+struct JobClassProfile {
+  double arrival_rate = 0.0;  // jobs per second (Poisson)
+  int slots = 1;              // C
+
+  std::vector<double> map_task_pmf;     // pm(t), index 0 == one task
+  std::vector<double> reduce_task_pmf;  // pr(u)
+
+  double map_rate = 1.0;     // mu_m
+  double reduce_rate = 1.0;  // mu_r
+  double shuffle_rate = 1.0; // mu_s
+
+  // Profiled mean overhead (setup) time at theta = 0 and theta = 0.9; the
+  // model interpolates linearly in between (Section 4.3).
+  double mean_overhead_theta0 = 1.0;
+  double mean_overhead_theta90 = 1.0;
+
+  // Effective sprinting speedup (>= 1) from the sprint-rate oracle: all
+  // service rates are multiplied by this factor. 1.0 = no sprinting.
+  double sprint_speedup = 1.0;
+
+  // Squared coefficient of variation of individual task times, used by the
+  // wave-level model (Section 4.2) to fit per-wave PH distributions.
+  // 1.0 reproduces the task-level model's exponential assumption.
+  double task_scv = 1.0;
+};
+
+// Which of the paper's two job models to build (Section 4.1 vs 4.2).
+enum class ModelGranularity {
+  kTaskLevel,  // exponential tasks, death-chain CTMC (Eq. 1)
+  kWaveLevel,  // per-wave PH execution times fitted from task moments
+};
+
+enum class Discipline {
+  kNonPreemptive,
+  kPreemptiveResume,
+  kPreemptiveRepeat,
+};
+
+struct ClassPrediction {
+  double mean_processing = 0.0;  // E[S_k] after dropping/sprinting
+  double mean_waiting = 0.0;
+  double mean_response = 0.0;
+  double utilization = 0.0;
+  bool stable = true;
+};
+
+struct Prediction {
+  std::vector<ClassPrediction> per_class;  // same order as the inputs
+  double total_utilization = 0.0;
+};
+
+class ResponseTimeModel {
+ public:
+  // Interpolated mean overhead for a drop ratio.
+  static double interpolated_overhead(const JobClassProfile& profile, double theta);
+
+  // PH processing time of one class at drop ratio theta (applied to both
+  // map and reduce stages, matching the evaluation's DA(.) notation).
+  static PhaseType processing_time(const JobClassProfile& profile, double theta,
+                                   ModelGranularity granularity = ModelGranularity::kTaskLevel);
+
+  // Predicts per-class means. `theta[i]` is the drop ratio of class i;
+  // classes and theta are ordered low -> high priority.
+  static Prediction predict(std::span<const JobClassProfile> classes,
+                            std::span<const double> theta, Discipline discipline,
+                            ModelGranularity granularity = ModelGranularity::kTaskLevel);
+};
+
+}  // namespace dias::model

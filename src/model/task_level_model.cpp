@@ -1,0 +1,132 @@
+#include "model/task_level_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+void check_pmf(const std::vector<double>& pmf, const char* what) {
+  DIAS_EXPECTS(!pmf.empty(), "task pmf must be non-empty");
+  double sum = 0.0;
+  for (double p : pmf) {
+    DIAS_EXPECTS(p >= 0.0, "task pmf entries must be non-negative");
+    sum += p;
+  }
+  (void)what;
+  DIAS_EXPECTS(std::abs(sum - 1.0) < 1e-6, "task pmf must sum to 1");
+}
+
+// pmf over the effective (post-drop) task counts. Entry i = P(eff == i),
+// i = 0..effective_tasks(N, theta).
+std::vector<double> effective_pmf(const std::vector<double>& pmf, double theta) {
+  const int n_max = static_cast<int>(pmf.size());
+  std::vector<double> out(static_cast<std::size_t>(effective_tasks(n_max, theta)) + 1, 0.0);
+  for (int t = 1; t <= n_max; ++t) {
+    out[static_cast<std::size_t>(effective_tasks(t, theta))] += pmf[static_cast<std::size_t>(t - 1)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int effective_tasks(int tasks, double theta) {
+  DIAS_EXPECTS(tasks >= 0, "task count must be non-negative");
+  DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratio must be in [0,1]");
+  return static_cast<int>(std::ceil(static_cast<double>(tasks) * (1.0 - theta) - 1e-12));
+}
+
+TaskLevelModel::TaskLevelModel(TaskLevelParams params)
+    : params_(std::move(params)),
+      eff_map_pmf_(),
+      eff_reduce_pmf_(),
+      processing_time_(PhaseType::exponential(1.0)) {
+  DIAS_EXPECTS(params_.slots >= 1, "cluster needs at least one slot");
+  DIAS_EXPECTS(params_.setup_rate > 0.0 && params_.map_rate > 0.0 &&
+                   params_.shuffle_rate > 0.0 && params_.reduce_rate > 0.0,
+               "all stage rates must be positive");
+  DIAS_EXPECTS(params_.setup_scale > 0.0, "setup scale must be positive");
+  check_pmf(params_.map_task_pmf, "map");
+  check_pmf(params_.reduce_task_pmf, "reduce");
+  eff_map_pmf_ = effective_pmf(params_.map_task_pmf, params_.theta_map);
+  eff_reduce_pmf_ = effective_pmf(params_.reduce_task_pmf, params_.theta_reduce);
+  processing_time_ = build();
+}
+
+PhaseType TaskLevelModel::build() const {
+  const int c = params_.slots;
+  const double mu_o = params_.setup_rate / params_.setup_scale;
+  const double mu_m = params_.map_rate;
+  const double mu_s = params_.shuffle_rate;
+  const double mu_r = params_.reduce_rate;
+
+  const int nm_bar = static_cast<int>(eff_map_pmf_.size()) - 1;  // max effective map tasks
+  const int nr_bar = static_cast<int>(eff_reduce_pmf_.size()) - 1;
+
+  // Phase layout: [O][M_{nm_bar} .. M_1][S][R_{nr_bar} .. R_1].
+  const std::size_t n_phases = 1 + static_cast<std::size_t>(nm_bar) + 1 +
+                               static_cast<std::size_t>(nr_bar);
+  const std::size_t idx_o = 0;
+  const auto idx_m = [&](int t) {  // t in [1, nm_bar]
+    return 1 + static_cast<std::size_t>(nm_bar - t);
+  };
+  const std::size_t idx_s = 1 + static_cast<std::size_t>(nm_bar);
+  const auto idx_r = [&](int u) {  // u in [1, nr_bar]
+    return idx_s + 1 + static_cast<std::size_t>(nr_bar - u);
+  };
+
+  Matrix f(n_phases, n_phases);
+
+  // Setup -> map stage with t_bar effective tasks (or straight to shuffle
+  // when everything was dropped).
+  double o_exit = 0.0;
+  for (int t_bar = 0; t_bar <= nm_bar; ++t_bar) {
+    const double p = eff_map_pmf_[static_cast<std::size_t>(t_bar)];
+    if (p <= 0.0) continue;
+    const double rate = mu_o * p;
+    if (t_bar == 0) {
+      f(idx_o, idx_s) += rate;
+    } else {
+      f(idx_o, idx_m(t_bar)) += rate;
+    }
+    o_exit += rate;
+  }
+  f(idx_o, idx_o) = -o_exit;
+
+  // Map tasks finish one by one; parallelism is min(t, C).
+  for (int t = nm_bar; t >= 1; --t) {
+    const double rate = static_cast<double>(std::min(t, c)) * mu_m;
+    const std::size_t from = idx_m(t);
+    const std::size_t to = (t >= 2) ? idx_m(t - 1) : idx_s;
+    f(from, to) = rate;
+    f(from, from) = -rate;
+  }
+
+  // Shuffle -> reduce stage (mass on u_bar == 0 exits to absorption, which
+  // the sub-generator encodes as a deficient row sum).
+  double s_to_r = 0.0;
+  for (int u_bar = 1; u_bar <= nr_bar; ++u_bar) {
+    const double p = eff_reduce_pmf_[static_cast<std::size_t>(u_bar)];
+    if (p <= 0.0) continue;
+    f(idx_s, idx_r(u_bar)) = mu_s * p;
+    s_to_r += mu_s * p;
+  }
+  f(idx_s, idx_s) = -mu_s;  // total exit rate; (mu_s - s_to_r) is absorption
+  (void)s_to_r;
+
+  // Reduce tasks; R_1 -> absorption via deficient row sum.
+  for (int u = nr_bar; u >= 1; --u) {
+    const double rate = static_cast<double>(std::min(u, c)) * mu_r;
+    const std::size_t from = idx_r(u);
+    f(from, from) = -rate;
+    if (u >= 2) f(from, idx_r(u - 1)) = rate;
+  }
+
+  Matrix phi(1, n_phases);
+  phi(0, 0) = 1.0;  // all jobs start in the setup phase
+  return PhaseType(std::move(phi), std::move(f));
+}
+
+}  // namespace dias::model

@@ -1,0 +1,68 @@
+// Task-level PH model of an approximate MapReduce job (paper Section 4.1).
+//
+// The job processing time is the absorption time of a CTMC over phases
+//   P = {O, M_{Nm..1}, S, R_{Nr..1}}
+// with the transition rates of Eq. (1): setup completes at rate mu_o and
+// jumps to the map stage with the (dropped) effective task count; map tasks
+// finish at rate min(t, C) * mu_m; the shuffle stage at rate mu_s moves to
+// the reduce stage; reduce tasks finish at rate min(u, C) * mu_r.
+// Dropping reduces a job with t tasks to ceil(t * (1 - theta)) tasks.
+#pragma once
+
+#include <vector>
+
+#include "model/phase_type.hpp"
+
+namespace dias::model {
+
+// Effective task count after applying drop ratio theta (paper notation
+// t_bar = ceil(t (1 - theta))). theta in [0,1]; theta == 1 drops everything.
+int effective_tasks(int tasks, double theta);
+
+struct TaskLevelParams {
+  int slots = 1;  // C: cluster computing slots
+
+  // pmf over the number of map tasks: map_task_pmf[i] = P(t = i+1),
+  // i.e. index 0 is "one task". Must sum to 1. Same for reduce.
+  std::vector<double> map_task_pmf;
+  std::vector<double> reduce_task_pmf;
+
+  double setup_rate = 1.0;    // mu_o
+  double map_rate = 1.0;      // mu_m (per task)
+  double shuffle_rate = 1.0;  // mu_s
+  double reduce_rate = 1.0;   // mu_r (per task)
+
+  double theta_map = 0.0;     // map drop ratio
+  double theta_reduce = 0.0;  // reduce drop ratio
+
+  // Optional setup-time inflation factor applied to 1/mu_o; the paper
+  // interpolates overhead linearly between the theta=0 and theta=0.9
+  // profiles. 1.0 means "use setup_rate as-is".
+  double setup_scale = 1.0;
+};
+
+class TaskLevelModel {
+ public:
+  explicit TaskLevelModel(TaskLevelParams params);
+
+  // PH representation (phi, F) of the job processing time.
+  const PhaseType& processing_time() const { return processing_time_; }
+  double mean_processing_time() const { return processing_time_.mean(); }
+
+  // pmf over the *effective* (post-drop) map/reduce task counts;
+  // entry i is P(effective tasks == i) including i == 0 (stage skipped).
+  const std::vector<double>& effective_map_pmf() const { return eff_map_pmf_; }
+  const std::vector<double>& effective_reduce_pmf() const { return eff_reduce_pmf_; }
+
+  const TaskLevelParams& params() const { return params_; }
+
+ private:
+  PhaseType build() const;
+
+  TaskLevelParams params_;
+  std::vector<double> eff_map_pmf_;
+  std::vector<double> eff_reduce_pmf_;
+  PhaseType processing_time_;
+};
+
+}  // namespace dias::model

@@ -1,0 +1,85 @@
+#include "model/wave_level_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+// pmf over wave counts for a stage: q(d) = sum of task-count probabilities
+// whose effective task count needs exactly d waves.
+std::vector<double> wave_pmf(const std::vector<double>& task_pmf, double theta, int slots) {
+  const int n_max = static_cast<int>(task_pmf.size());
+  const int d_max = waves_for_tasks(effective_tasks(n_max, theta), slots);
+  std::vector<double> q(static_cast<std::size_t>(d_max) + 1, 0.0);
+  for (int t = 1; t <= n_max; ++t) {
+    const int d = waves_for_tasks(effective_tasks(t, theta), slots);
+    q[static_cast<std::size_t>(d)] += task_pmf[static_cast<std::size_t>(t - 1)];
+  }
+  return q;
+}
+
+// Mixes the per-wave-count convolutions by q(d); q(0) becomes the zero mass.
+// Returns nullopt-like "all mass at zero" via a flag.
+struct StageMix {
+  bool all_zero = false;
+  PhaseType dist = PhaseType::exponential(1.0);
+};
+
+}  // namespace
+
+int waves_for_tasks(int tasks, int slots) {
+  DIAS_EXPECTS(tasks >= 0, "task count must be non-negative");
+  DIAS_EXPECTS(slots >= 1, "slot count must be positive");
+  return (tasks + slots - 1) / slots;
+}
+
+WaveLevelModel::WaveLevelModel(WaveLevelParams params)
+    : params_(std::move(params)), processing_time_(PhaseType::exponential(1.0)) {
+  DIAS_EXPECTS(params_.slots >= 1, "cluster needs at least one slot");
+  DIAS_EXPECTS(!params_.map_waves.empty(), "map wave distributions must be non-empty");
+  DIAS_EXPECTS(!params_.reduce_waves.empty(), "reduce wave distributions must be non-empty");
+  DIAS_EXPECTS(!params_.map_task_pmf.empty() && !params_.reduce_task_pmf.empty(),
+               "task pmfs must be non-empty");
+  map_wave_pmf_ = wave_pmf(params_.map_task_pmf, params_.theta_map, params_.slots);
+  reduce_wave_pmf_ = wave_pmf(params_.reduce_task_pmf, params_.theta_reduce, params_.slots);
+  processing_time_ = build();
+}
+
+PhaseType WaveLevelModel::waves_convolution(const std::vector<PhaseType>& waves, int d) const {
+  DIAS_EXPECTS(d >= 1, "waves_convolution needs d >= 1");
+  const auto wave_at = [&](int i) -> const PhaseType& {
+    const auto idx = std::min<std::size_t>(static_cast<std::size_t>(i), waves.size() - 1);
+    return waves[idx];
+  };
+  PhaseType acc = wave_at(0);
+  for (int i = 1; i < d; ++i) acc = PhaseType::convolve(acc, wave_at(i));
+  return acc;
+}
+
+PhaseType WaveLevelModel::build() const {
+  const auto stage_mixture = [&](const std::vector<double>& q,
+                                 const std::vector<PhaseType>& waves) -> StageMix {
+    std::vector<std::pair<double, PhaseType>> branches;
+    for (std::size_t d = 1; d < q.size(); ++d) {
+      if (q[d] <= 0.0) continue;
+      branches.emplace_back(q[d], waves_convolution(waves, static_cast<int>(d)));
+    }
+    if (branches.empty()) return StageMix{true, PhaseType::exponential(1.0)};
+    return StageMix{false, PhaseType::mixture_many(branches, q[0])};
+  };
+
+  const StageMix map_stage = stage_mixture(map_wave_pmf_, params_.map_waves);
+  const StageMix reduce_stage = stage_mixture(reduce_wave_pmf_, params_.reduce_waves);
+
+  PhaseType total = params_.setup;
+  if (!map_stage.all_zero) total = PhaseType::convolve(total, map_stage.dist);
+  total = PhaseType::convolve(total, params_.shuffle);
+  if (!reduce_stage.all_zero) total = PhaseType::convolve(total, reduce_stage.dist);
+  return total;
+}
+
+}  // namespace dias::model

@@ -1,0 +1,66 @@
+// Wave-level PH model of an approximate MapReduce job (paper Section 4.2).
+//
+// Instead of tracking individual tasks with exponential service, the job is
+// a sequence of *waves*: with C slots, a stage of t effective tasks runs in
+// ceil(t / C) waves, and each wave's execution time is an arbitrary PH
+// distribution (possibly different per wave, as observed on Spark). The job
+// processing time is then
+//   setup (+) map wave 1 (+) ... (+) map wave d_m (+) shuffle (+) reduce waves
+// mixed over the wave-count probabilities q_m(d) / q_r(d) induced by the
+// task-count pmf and the drop ratio.
+#pragma once
+
+#include <vector>
+
+#include "model/phase_type.hpp"
+#include "model/task_level_model.hpp"
+
+namespace dias::model {
+
+// Number of waves needed for `tasks` effective tasks on `slots` slots.
+int waves_for_tasks(int tasks, int slots);
+
+struct WaveLevelParams {
+  int slots = 1;
+
+  std::vector<double> map_task_pmf;     // pm(t), index 0 == one task
+  std::vector<double> reduce_task_pmf;  // pr(u)
+
+  PhaseType setup = PhaseType::exponential(1.0);    // (alpha_o, A_o)
+  PhaseType shuffle = PhaseType::exponential(1.0);  // (alpha_s, A_s)
+
+  // Per-wave execution time distributions, indexed by wave (0-based).
+  // Wave d > size() reuses the last entry, so a single element means
+  // "all waves iid". Must be non-empty.
+  std::vector<PhaseType> map_waves;
+  std::vector<PhaseType> reduce_waves;
+
+  double theta_map = 0.0;
+  double theta_reduce = 0.0;
+};
+
+class WaveLevelModel {
+ public:
+  explicit WaveLevelModel(WaveLevelParams params);
+
+  // q_m(d): probability the map stage needs d waves (index d, including 0).
+  const std::vector<double>& map_wave_pmf() const { return map_wave_pmf_; }
+  const std::vector<double>& reduce_wave_pmf() const { return reduce_wave_pmf_; }
+
+  const PhaseType& processing_time() const { return processing_time_; }
+  double mean_processing_time() const { return processing_time_.mean(); }
+
+  const WaveLevelParams& params() const { return params_; }
+
+ private:
+  PhaseType build() const;
+  // PH of `d` consecutive waves drawn from `waves` (clamping to the last).
+  PhaseType waves_convolution(const std::vector<PhaseType>& waves, int d) const;
+
+  WaveLevelParams params_;
+  std::vector<double> map_wave_pmf_;
+  std::vector<double> reduce_wave_pmf_;
+  PhaseType processing_time_;
+};
+
+}  // namespace dias::model

@@ -1,0 +1,54 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dias::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  DIAS_EXPECTS(at >= now_, "cannot schedule an event in the past");
+  DIAS_EXPECTS(static_cast<bool>(fn), "event callable must be non-empty");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return EventId{id};
+}
+
+EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  DIAS_EXPECTS(delay >= 0.0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) { return live_.erase(id.value) > 0; }
+
+bool Simulator::is_pending(EventId id) const { return live_.count(id.value) > 0; }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // const_cast to move the callable out: the entry is popped immediately.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    const Entry entry{top.at, top.seq, top.id, std::move(top.fn)};
+    queue_.pop();
+    if (live_.erase(entry.id) == 0) continue;  // cancelled tombstone
+    now_ = entry.at;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time until) {
+  DIAS_EXPECTS(until >= now_, "run_until target is in the past");
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (!step()) break;
+  }
+  now_ = until;
+}
+
+}  // namespace dias::sim

@@ -1,0 +1,75 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a time-ordered event queue. Events are arbitrary
+// callables scheduled at absolute times; ties are broken FIFO by insertion
+// order so models behave deterministically. Events can be cancelled, which
+// is how the cluster model implements preemptive eviction (cancelling a
+// pending job-completion event) and sprint timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace dias::sim {
+
+using Time = double;
+
+// Opaque handle for a scheduled event; valid until the event fires or is
+// cancelled.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+  // Schedules `fn` to run `delay` (>= 0) after the current time.
+  EventId schedule_after(Time delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if the event already fired or
+  // was cancelled (cancelling twice is harmless).
+  bool cancel(EventId id);
+  bool is_pending(EventId id) const;
+
+  // Runs a single event; returns false when the queue is empty.
+  bool step();
+  // Runs until the queue drains.
+  void run();
+  // Runs events with time <= until, then sets now() = until.
+  void run_until(Time until);
+
+  std::size_t pending_events() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace dias::sim

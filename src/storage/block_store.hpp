@@ -1,0 +1,86 @@
+// HDFS-like block storage (paper Section 2.4).
+//
+// The paper's jobs read XML dumps from HDFS: files are split into blocks
+// spread over datanodes, each map task processes one block, and dropping a
+// task "saves the overhead of fetching data". This scaled-down stand-in
+// stores line-oriented files as fixed-size blocks on the local filesystem
+// with per-block checksums and optional replication, and counts I/O so
+// experiments can measure the fetch savings of dropped tasks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace dias::storage {
+
+struct BlockStoreOptions {
+  std::filesystem::path root;         // created if missing
+  std::size_t block_bytes = 64 * 1024;  // block size (HDFS: 128 MB; scaled)
+  int replication = 1;                // copies written per block
+};
+
+struct FileMetadata {
+  std::string name;
+  std::size_t bytes = 0;
+  std::size_t blocks = 0;
+  std::size_t lines = 0;
+};
+
+struct IoStats {
+  std::uint64_t blocks_read = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class BlockStore {
+ public:
+  explicit BlockStore(BlockStoreOptions options);
+
+  const BlockStoreOptions& options() const { return options_; }
+
+  // Writes `lines` as a block file; lines are never split across blocks
+  // (a block may exceed block_bytes by one line). Overwrites an existing
+  // file of the same name.
+  FileMetadata write_lines(const std::string& name, const std::vector<std::string>& lines);
+
+  // Reads the lines of one block (0-based), verifying its checksum. Falls
+  // back to a replica when the primary copy is corrupt or missing; throws
+  // if every copy fails.
+  std::vector<std::string> read_block_lines(const std::string& name,
+                                            std::size_t block) const;
+
+  // Reads the whole file in block order.
+  std::vector<std::string> read_all_lines(const std::string& name) const;
+
+  FileMetadata stat(const std::string& name) const;
+  bool exists(const std::string& name) const;
+  std::vector<std::string> list() const;
+  void remove(const std::string& name);
+
+  // Verifies every block checksum; returns the number of healthy blocks.
+  std::size_t verify(const std::string& name) const;
+
+  // Cumulative I/O counters (thread-safe; map tasks read concurrently).
+  IoStats io_stats() const;
+  void reset_io_stats();
+
+ private:
+  std::filesystem::path file_dir(const std::string& name) const;
+  std::filesystem::path block_path(const std::string& name, std::size_t block,
+                                   int replica) const;
+
+  BlockStoreOptions options_;
+  mutable std::atomic<std::uint64_t> blocks_read_{0};
+  mutable std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> blocks_written_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+// FNV-1a 64-bit checksum used for block integrity.
+std::uint64_t fnv1a(const std::string& data);
+
+}  // namespace dias::storage

@@ -1,0 +1,49 @@
+// Bridges the block store into the mini MapReduce engine.
+//
+// Mirrors how Spark reads HDFS: one partition per storage block, the read
+// happening inside the (droppable) map task -- so a dropped task never
+// fetches its block, and the store's I/O counters expose the savings the
+// paper attributes to early task dropping.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "storage/block_store.hpp"
+
+namespace dias::storage {
+
+// Loads `name` as a line dataset with one partition per block. The read
+// stage is droppable: at drop ratio theta only ceil(blocks (1 - theta))
+// blocks are fetched, the rest stay untouched on disk.
+inline engine::Dataset<std::string> read_lines_dataset(engine::Engine& eng,
+                                                       const BlockStore& store,
+                                                       const std::string& name,
+                                                       double drop_override = -1.0) {
+  const FileMetadata meta = store.stat(name);
+  DIAS_EXPECTS(meta.blocks >= 1, "file has no blocks");
+  std::vector<std::size_t> block_ids(meta.blocks);
+  std::iota(block_ids.begin(), block_ids.end(), std::size_t{0});
+  const auto ids = eng.parallelize(std::move(block_ids), meta.blocks);
+
+  engine::StageOptions opts;
+  opts.name = "storage/" + name;
+  opts.droppable = true;
+  opts.drop_ratio_override = drop_override;
+  return eng.map_partitions(
+      ids,
+      [&store, &name](const std::vector<std::size_t>& part) {
+        std::vector<std::string> lines;
+        for (std::size_t block : part) {
+          auto block_lines = store.read_block_lines(name, block);
+          lines.insert(lines.end(), std::make_move_iterator(block_lines.begin()),
+                       std::make_move_iterator(block_lines.end()));
+        }
+        return lines;
+      },
+      opts);
+}
+
+}  // namespace dias::storage

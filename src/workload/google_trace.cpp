@@ -1,0 +1,75 @@
+#include "workload/google_trace.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dias::workload {
+
+std::vector<ClassWorkloadParams> google_trace_classes(const GoogleTraceParams& params) {
+  DIAS_EXPECTS(params.priorities >= 3, "need at least three priorities");
+  DIAS_EXPECTS(params.dominant_share > 0.0 && params.dominant_share < 1.0,
+               "dominant share must be in (0,1)");
+  const std::size_t k = params.priorities;
+
+  // Arrival shares: the dominant trio (gratis 0, batch mid, production top)
+  // gets `dominant_share`, weighted toward the low end as in the trace.
+  std::vector<double> share(k, 0.0);
+  const std::size_t mid = k / 3;
+  const std::size_t top = k - 3;
+  share[0] = params.dominant_share * 0.50;
+  share[mid] = params.dominant_share * 0.35;
+  share[top] = params.dominant_share * 0.15;
+  // Residual spread geometrically over the remaining classes.
+  double residual = 1.0 - params.dominant_share;
+  std::vector<std::size_t> rest;
+  for (std::size_t p = 0; p < k; ++p) {
+    if (p != 0 && p != mid && p != top) rest.push_back(p);
+  }
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < rest.size(); ++i) weight_sum += 1.0 / static_cast<double>(i + 1);
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    share[rest[i]] = residual * (1.0 / static_cast<double>(i + 1)) / weight_sum;
+  }
+
+  std::vector<ClassWorkloadParams> classes(k);
+  for (std::size_t p = 0; p < k; ++p) {
+    auto& c = classes[p];
+    c.arrival_rate = params.base_arrival_rate * share[p];
+    // Sizes interpolate from big batch jobs at low priority to small
+    // latency-sensitive jobs at the top.
+    const double w = static_cast<double>(p) / static_cast<double>(k - 1);
+    c.mean_size_mb = params.low_priority_size_mb * (1.0 - w) +
+                     params.high_priority_size_mb * w;
+    c.size_scv = 0.15;
+    c.map_tasks = 50;
+    c.reduce_tasks = 20;
+    c.map_seconds_per_mb = 0.9;
+    c.reduce_seconds_per_mb = 0.18;
+    c.setup_time_s = 8.0;
+    c.setup_time_theta90_s = 4.0;
+    c.shuffle_time_s = 3.0;
+    c.task_scv = 0.08;
+    c.label = "prio" + std::to_string(p);
+  }
+  return classes;
+}
+
+std::vector<double> differential_theta(std::size_t priorities, std::size_t exact_classes,
+                                       double max_theta) {
+  DIAS_EXPECTS(priorities >= 1, "need at least one priority");
+  DIAS_EXPECTS(exact_classes <= priorities, "exact classes exceed priority count");
+  DIAS_EXPECTS(max_theta >= 0.0 && max_theta < 1.0, "max theta must be in [0,1)");
+  std::vector<double> theta(priorities, 0.0);
+  const std::size_t deflated = priorities - exact_classes;
+  for (std::size_t p = 0; p < deflated; ++p) {
+    // Priority 0 gets max_theta; the last deflated class gets the smallest
+    // non-zero step.
+    theta[p] = max_theta * static_cast<double>(deflated - p) /
+               static_cast<double>(deflated);
+  }
+  return theta;
+}
+
+}  // namespace dias::workload

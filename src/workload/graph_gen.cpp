@@ -1,0 +1,82 @@
+#include "workload/graph_gen.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dias::workload {
+
+std::vector<Edge> generate_rmat_graph(const GraphParams& params) {
+  DIAS_EXPECTS(params.scale >= 1 && params.scale <= 28, "R-MAT scale out of range");
+  DIAS_EXPECTS(params.edges >= 1, "graph needs at least one edge");
+  const double d = 1.0 - params.a - params.b - params.c;
+  DIAS_EXPECTS(params.a > 0 && params.b >= 0 && params.c >= 0 && d >= 0,
+               "R-MAT probabilities must form a distribution");
+
+  Rng rng(params.seed);
+  std::vector<Edge> edges;
+  edges.reserve(params.edges);
+  for (std::size_t e = 0; e < params.edges; ++e) {
+    std::uint32_t u = 0, v = 0;
+    for (int bit = 0; bit < params.scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;  // drop self loops
+    if (u > v) std::swap(u, v);
+    edges.emplace_back(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::uint64_t exact_triangle_count(const std::vector<Edge>& edges) {
+  // Build sorted adjacency of "forward" neighbours (v > u) and count, for
+  // each edge (u, v), the intersection |N+(u) & N+(v)|.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> adj;
+  for (const auto& [u, v] : edges) {
+    DIAS_EXPECTS(u < v, "edges must be canonical (u < v)");
+    adj[u].push_back(v);
+  }
+  for (auto& [u, nbrs] : adj) std::sort(nbrs.begin(), nbrs.end());
+
+  std::uint64_t triangles = 0;
+  const std::vector<std::uint32_t> empty;
+  for (const auto& [u, v] : edges) {
+    const auto iu = adj.find(u);
+    const auto iv = adj.find(v);
+    const auto& nu = iu != adj.end() ? iu->second : empty;
+    const auto& nv = iv != adj.end() ? iv->second : empty;
+    // Sorted intersection.
+    auto a = nu.begin();
+    auto b = nv.begin();
+    while (a != nu.end() && b != nv.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        ++triangles;
+        ++a;
+        ++b;
+      }
+    }
+  }
+  return triangles;
+}
+
+}  // namespace dias::workload

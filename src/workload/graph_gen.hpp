@@ -1,0 +1,32 @@
+// Synthetic power-law graph generator (R-MAT).
+//
+// Stand-in for the Google web graph (875'713 nodes / 5'105'039 edges) used
+// by the paper's triangle-count jobs: R-MAT with the classic skewed
+// quadrant probabilities reproduces the heavy-tailed degree distribution
+// that makes triangle counting sensitive to dropped partitions.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dias::workload {
+
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+struct GraphParams {
+  int scale = 14;                   // 2^scale vertices
+  std::size_t edges = 8 * (1u << 14);  // edges before dedup
+  double a = 0.57, b = 0.19, c = 0.19;  // R-MAT quadrant probabilities (d = 1-a-b-c)
+  std::uint64_t seed = 7;
+};
+
+// Generates an undirected simple graph: no self loops, each edge stored
+// once with u < v, sorted and deduplicated.
+std::vector<Edge> generate_rmat_graph(const GraphParams& params);
+
+// Exact triangle count via node-iterator with sorted adjacencies; reference
+// for accuracy experiments. Edges must be simple and canonical (u < v).
+std::uint64_t exact_triangle_count(const std::vector<Edge>& edges);
+
+}  // namespace dias::workload

@@ -1,0 +1,53 @@
+// Synthetic StackExchange-like corpus generator.
+//
+// The paper analyses XML data dumps of 164 StackExchange sites ("find the
+// popularity of different words in different topics"). We lack the dumps,
+// so this generator synthesizes per-site post collections whose word
+// frequencies follow a Zipf law over a shared vocabulary, with per-site
+// (topic) skew: each site boosts a random subset of topic words. Posts are
+// wrapped in the same XML-ish row format the real dumps use, so the word
+// count job exercises parsing + tokenization like the paper's text jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dias::workload {
+
+struct TextCorpusParams {
+  std::size_t posts = 2000;            // rows in the dump
+  std::size_t mean_words_per_post = 40;
+  std::size_t vocabulary = 5000;       // distinct words
+  double zipf_exponent = 1.05;         // word popularity skew
+  std::size_t topic_words = 50;        // words boosted for this site/topic
+  double topic_boost = 8.0;            // relative frequency multiplier
+
+  // Topic drift: the dump is split into this many segments, each boosting
+  // a different topic-word subset (real dumps are chronological and drift).
+  // Drift makes partitions heterogeneous, so dropped tasks bias even
+  // rescaled estimates. 1 = homogeneous corpus.
+  std::size_t drift_segments = 1;
+
+  std::uint64_t seed = 1;
+};
+
+struct TextCorpus {
+  std::string site;
+  std::vector<std::string> rows;  // XML-ish <row .../> lines
+
+  // Approximate size of the dump in bytes.
+  std::size_t bytes() const;
+};
+
+// Generates one site's dump. `site` names the topic (e.g. "anime").
+TextCorpus generate_text_corpus(const std::string& site, const TextCorpusParams& params);
+
+// Extracts the post body from a <row ... Body="..."/> line; returns an
+// empty string for malformed rows.
+std::string extract_post_body(const std::string& row);
+
+// Lower-cases and splits a body into words.
+std::vector<std::string> tokenize(const std::string& body);
+
+}  // namespace dias::workload

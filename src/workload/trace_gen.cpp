@@ -1,0 +1,275 @@
+#include "workload/trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dias::workload {
+namespace {
+
+// Samples a lognormal job size with the given mean and scv.
+double sample_size(Rng& rng, double mean, double scv) {
+  if (scv <= 0.0) return mean;
+  const double sigma2 = std::log(1.0 + scv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return rng.lognormal(mu, std::sqrt(sigma2));
+}
+
+std::vector<double> point_pmf(int tasks) {
+  DIAS_EXPECTS(tasks >= 1, "task count must be >= 1");
+  std::vector<double> pmf(static_cast<std::size_t>(tasks), 0.0);
+  pmf.back() = 1.0;
+  return pmf;
+}
+
+}  // namespace
+
+cluster::JobSpec make_text_job(const ClassWorkloadParams& params, std::size_t priority,
+                               double size_mb) {
+  DIAS_EXPECTS(size_mb > 0.0, "job size must be positive");
+  const double scale = size_mb / params.mean_size_mb;
+  cluster::JobSpec spec;
+  spec.priority = priority;
+  spec.size_mb = size_mb;
+  spec.label = params.label;
+  const double setup_factor = params.setup_time_theta90_s / params.setup_time_s;
+  spec.stages = {
+      {cluster::StageKind::kSetup, 1, params.setup_time_s * scale, 0.05, setup_factor},
+      {cluster::StageKind::kMap, params.map_tasks,
+       size_mb * params.map_seconds_per_mb / params.map_tasks, params.task_scv, 1.0},
+      {cluster::StageKind::kShuffle, 1, params.shuffle_time_s, 0.05, 1.0},
+      {cluster::StageKind::kReduce, params.reduce_tasks,
+       size_mb * params.reduce_seconds_per_mb / params.reduce_tasks, params.task_scv, 1.0},
+  };
+  return spec;
+}
+
+cluster::JobSpec make_graph_job(const GraphClassParams& params, std::size_t priority,
+                                double size_mb) {
+  DIAS_EXPECTS(size_mb > 0.0, "job size must be positive");
+  const double scale = size_mb / params.mean_size_mb;
+  cluster::JobSpec spec;
+  spec.priority = priority;
+  spec.size_mb = size_mb;
+  spec.label = params.label;
+  spec.stages.push_back({cluster::StageKind::kSetup, 1, params.setup_time_s * scale, 0.05});
+  for (int s = 0; s < params.shuffle_map_stages; ++s) {
+    spec.stages.push_back({cluster::StageKind::kShuffleMap, params.stage_tasks,
+                           size_mb * params.stage_seconds_per_mb / params.stage_tasks,
+                           params.task_scv});
+  }
+  spec.stages.push_back({cluster::StageKind::kResult, 1, params.result_time_s * scale, 0.05});
+  return spec;
+}
+
+template <typename Params, typename SpecFn>
+std::vector<cluster::TraceEntry> TraceGenerator::merged_poisson(
+    std::span<const Params> classes, std::size_t jobs, SpecFn make_spec) {
+  DIAS_EXPECTS(!classes.empty(), "trace needs at least one class");
+  DIAS_EXPECTS(jobs >= 1, "trace needs at least one job");
+  double total_rate = 0.0;
+  std::vector<double> weights;
+  weights.reserve(classes.size());
+  for (const auto& c : classes) {
+    DIAS_EXPECTS(c.arrival_rate >= 0.0, "arrival rates must be non-negative");
+    total_rate += c.arrival_rate;
+    weights.push_back(c.arrival_rate);
+  }
+  DIAS_EXPECTS(total_rate > 0.0, "total arrival rate must be positive");
+
+  std::vector<cluster::TraceEntry> trace;
+  trace.reserve(jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    t += rng_.exponential(total_rate);
+    const std::size_t k = rng_.discrete(weights);
+    const auto& params = classes[k];
+    const double size = sample_size(rng_, params.mean_size_mb, params.size_scv);
+    trace.push_back({t, make_spec(params, k, size)});
+  }
+  return trace;
+}
+
+std::vector<cluster::TraceEntry> TraceGenerator::text_trace(
+    std::span<const ClassWorkloadParams> classes, std::size_t jobs) {
+  return merged_poisson(classes, jobs,
+                        [](const ClassWorkloadParams& p, std::size_t k, double size) {
+                          return make_text_job(p, k, size);
+                        });
+}
+
+std::vector<cluster::TraceEntry> TraceGenerator::graph_trace(
+    std::span<const GraphClassParams> classes, std::size_t jobs) {
+  return merged_poisson(classes, jobs,
+                        [](const GraphClassParams& p, std::size_t k, double size) {
+                          return make_graph_job(p, k, size);
+                        });
+}
+
+model::Mmap TraceGenerator::bursty_mmap(std::span<const ClassWorkloadParams> classes,
+                                        double peak_to_mean, double switch_rate) {
+  DIAS_EXPECTS(!classes.empty(), "trace needs at least one class");
+  DIAS_EXPECTS(peak_to_mean >= 1.0 && peak_to_mean < 2.0,
+               "peak-to-mean must be in [1, 2) for the symmetric MMPP");
+  DIAS_EXPECTS(switch_rate > 0.0, "switch rate must be positive");
+  std::vector<std::vector<double>> rates(2);
+  for (const auto& c : classes) {
+    rates[0].push_back(c.arrival_rate * peak_to_mean);
+    rates[1].push_back(c.arrival_rate * (2.0 - peak_to_mean));
+  }
+  return model::Mmap::mmpp2(rates, switch_rate, switch_rate);
+}
+
+std::vector<cluster::TraceEntry> TraceGenerator::text_trace_bursty(
+    std::span<const ClassWorkloadParams> classes, std::size_t jobs, double peak_to_mean,
+    double switch_rate) {
+  DIAS_EXPECTS(jobs >= 1, "trace needs at least one job");
+  const auto mmap = bursty_mmap(classes, peak_to_mean, switch_rate);
+  auto sampler = mmap.sampler(rng_.split());
+  std::vector<cluster::TraceEntry> trace;
+  trace.reserve(jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const auto arrival = sampler.next();
+    t += arrival.inter_arrival;
+    const auto& params = classes[arrival.job_class - 1];
+    const double size = sample_size(rng_, params.mean_size_mb, params.size_scv);
+    trace.push_back({t, make_text_job(params, arrival.job_class - 1, size)});
+  }
+  return trace;
+}
+
+model::JobClassProfile to_model_profile(const ClassWorkloadParams& params, int slots) {
+  model::JobClassProfile profile;
+  profile.arrival_rate = params.arrival_rate;
+  profile.slots = slots;
+  profile.map_task_pmf = point_pmf(params.map_tasks);
+  profile.reduce_task_pmf = point_pmf(params.reduce_tasks);
+  const double map_task_mean =
+      params.mean_size_mb * params.map_seconds_per_mb / params.map_tasks;
+  const double reduce_task_mean =
+      params.mean_size_mb * params.reduce_seconds_per_mb / params.reduce_tasks;
+  profile.map_rate = 1.0 / map_task_mean;
+  profile.reduce_rate = 1.0 / reduce_task_mean;
+  profile.shuffle_rate = 1.0 / params.shuffle_time_s;
+  profile.mean_overhead_theta0 = params.setup_time_s;
+  profile.mean_overhead_theta90 = params.setup_time_theta90_s;
+  profile.task_scv = std::max(params.task_scv, 1e-3);
+  return profile;
+}
+
+model::JobClassProfile to_model_profile(const GraphClassParams& params, int slots) {
+  // The task-level model has one map + one reduce stage; represent the k
+  // ShuffleMap stages as a single map stage with k x tasks (same serial
+  // work and wave structure) and fold the result stage into the shuffle.
+  model::JobClassProfile profile;
+  profile.arrival_rate = params.arrival_rate;
+  profile.slots = slots;
+  const int total_tasks = params.stage_tasks * params.shuffle_map_stages;
+  profile.map_task_pmf = point_pmf(total_tasks);
+  profile.reduce_task_pmf = point_pmf(1);
+  const double task_mean =
+      params.mean_size_mb * params.stage_seconds_per_mb / params.stage_tasks;
+  profile.map_rate = 1.0 / task_mean;
+  profile.reduce_rate = 1.0 / params.result_time_s;
+  profile.shuffle_rate = 1000.0;  // negligible barrier
+  profile.mean_overhead_theta0 = params.setup_time_s;
+  profile.mean_overhead_theta90 = params.setup_time_s;
+  profile.task_scv = std::max(params.task_scv, 1e-3);
+  return profile;
+}
+
+double offered_load(std::span<const model::JobClassProfile> profiles,
+                    std::span<const double> theta) {
+  DIAS_EXPECTS(profiles.size() == theta.size(), "one theta per profile required");
+  double load = 0.0;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    load += profiles[i].arrival_rate *
+            model::ResponseTimeModel::processing_time(profiles[i], theta[i]).mean();
+  }
+  return load;
+}
+
+namespace {
+
+template <typename Params>
+double scale_impl(std::span<Params> classes, int slots, double target) {
+  DIAS_EXPECTS(target > 0.0 && target < 1.0, "target utilization must be in (0,1)");
+  std::vector<model::JobClassProfile> profiles;
+  std::vector<double> theta(classes.size(), 0.0);
+  profiles.reserve(classes.size());
+  for (const auto& c : classes) profiles.push_back(to_model_profile(c, slots));
+  const double load = offered_load(profiles, theta);
+  DIAS_EXPECTS(load > 0.0, "offered load must be positive");
+  const double factor = target / load;
+  for (auto& c : classes) c.arrival_rate *= factor;
+  return factor;
+}
+
+}  // namespace
+
+double scale_rates_to_load(std::span<ClassWorkloadParams> classes, int slots,
+                           double target_utilization) {
+  return scale_impl(classes, slots, target_utilization);
+}
+
+double scale_rates_to_load(std::span<GraphClassParams> classes, int slots,
+                           double target_utilization) {
+  return scale_impl(classes, slots, target_utilization);
+}
+
+namespace {
+
+template <typename Params, typename TraceFn>
+double pilot_impl(std::vector<Params>& classes, int slots, double target,
+                  cluster::TaskTimeFamily family, TraceFn make_trace) {
+  DIAS_EXPECTS(!classes.empty(), "calibration needs at least one class");
+  DIAS_EXPECTS(target > 0.0 && target < 1.0, "target utilization must be in (0,1)");
+  std::vector<double> mean_exec(classes.size(), 0.0);
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    std::vector<Params> solo{classes[k]};
+    solo[0].arrival_rate = 1.0;  // placeholder; arrivals are respaced below
+    TraceGenerator gen(1000 + k);
+    auto trace = make_trace(gen, solo, std::size_t{60});
+    double t = 0.0;
+    for (auto& e : trace) {
+      e.arrival_time = t;
+      t += 1e7;  // far apart: measures pure execution time
+    }
+    cluster::ClusterSimulator::Config config;
+    config.slots = slots;
+    config.task_time_family = family;
+    config.warmup_jobs = 0;
+    config.seed = 17 + k;
+    mean_exec[k] = cluster::simulate(config, std::move(trace)).per_class[0].execution.mean();
+  }
+  double load = 0.0;
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    load += classes[k].arrival_rate * mean_exec[k];
+  }
+  DIAS_EXPECTS(load > 0.0, "offered load must be positive");
+  const double factor = target / load;
+  for (auto& c : classes) c.arrival_rate *= factor;
+  return factor;
+}
+
+}  // namespace
+
+double calibrate_rates_by_pilot(std::vector<ClassWorkloadParams>& classes, int slots,
+                                double target_utilization,
+                                cluster::TaskTimeFamily family) {
+  return pilot_impl(classes, slots, target_utilization, family,
+                    [](TraceGenerator& gen, const std::vector<ClassWorkloadParams>& cs,
+                       std::size_t jobs) { return gen.text_trace(cs, jobs); });
+}
+
+double calibrate_rates_by_pilot(std::vector<GraphClassParams>& classes, int slots,
+                                double target_utilization,
+                                cluster::TaskTimeFamily family) {
+  return pilot_impl(classes, slots, target_utilization, family,
+                    [](TraceGenerator& gen, const std::vector<GraphClassParams>& cs,
+                       std::size_t jobs) { return gen.graph_trace(cs, jobs); });
+}
+
+}  // namespace dias::workload

@@ -1,0 +1,135 @@
+// Multi-priority job trace generation (paper Section 5.1).
+//
+// Builds arrival traces for the cluster simulator from per-class workload
+// profiles: Poisson arrivals with configurable class mix, lognormal job
+// sizes, and the text-analytics (setup/map/shuffle/reduce) or graph-
+// analytics (setup + k ShuffleMap + result) stage shapes. Also converts
+// profiles into the stochastic model's JobClassProfile so the deflator can
+// predict latencies for the same workload it generates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_simulator.hpp"
+#include "model/mmap.hpp"
+#include "model/response_time_model.hpp"
+
+namespace dias::workload {
+
+// One priority class of text-analytics jobs (word-count-like: one map stage
+// over the dataset partitions, a shuffle, and one reduce stage).
+struct ClassWorkloadParams {
+  double arrival_rate = 0.01;  // jobs per second (Poisson)
+
+  double mean_size_mb = 473.0;  // dataset size; drives work and overhead
+  double size_scv = 0.15;       // lognormal size variability across jobs
+
+  int map_tasks = 50;    // RDD partitions (the paper splits datasets in 50)
+  int reduce_tasks = 20;
+
+  // Serial work per MB: total map work for a size-s job is
+  // s * map_seconds_per_mb, split evenly over map tasks.
+  double map_seconds_per_mb = 0.2;
+  double reduce_seconds_per_mb = 0.05;
+
+  // Mean setup (overhead) time for a mean-size job at theta = 0 and at the
+  // profiled theta = 0.9 endpoint; scales linearly with job size.
+  double setup_time_s = 8.0;
+  double setup_time_theta90_s = 4.0;
+  double shuffle_time_s = 3.0;
+
+  double task_scv = 0.08;  // within-job task-time variability
+
+  std::string label;
+};
+
+// One priority class of graph-analytics jobs (triangle-count-like: setup,
+// `shuffle_map_stages` droppable ShuffleMap stages, and a result stage).
+struct GraphClassParams {
+  double arrival_rate = 0.005;
+
+  double mean_size_mb = 800.0;
+  double size_scv = 0.10;
+
+  int stage_tasks = 50;        // tasks per ShuffleMap stage
+  int shuffle_map_stages = 6;  // graphx triangle count: 6 ShuffleMap stages
+  double stage_seconds_per_mb = 0.03;  // serial work per MB per stage
+
+  double setup_time_s = 10.0;
+  double result_time_s = 5.0;
+
+  double task_scv = 0.08;
+  std::string label;
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  // Generates `jobs` arrivals. Class index within `classes` is the priority
+  // (larger index = higher priority), matching the paper's convention.
+  std::vector<cluster::TraceEntry> text_trace(std::span<const ClassWorkloadParams> classes,
+                                              std::size_t jobs);
+  std::vector<cluster::TraceEntry> graph_trace(std::span<const GraphClassParams> classes,
+                                               std::size_t jobs);
+
+  // Bursty variant: arrivals come from a symmetric 2-state MMPP whose mean
+  // per-class rates equal the configured ones. `peak_to_mean` in [1, 2)
+  // scales the high state's rate (1 = Poisson); `switch_rate` is the state
+  // flip rate (smaller = longer bursts).
+  std::vector<cluster::TraceEntry> text_trace_bursty(
+      std::span<const ClassWorkloadParams> classes, std::size_t jobs,
+      double peak_to_mean, double switch_rate);
+
+  // The MMPP used by text_trace_bursty for the same parameters (e.g. to
+  // feed the analytic MAP/PH/1 model).
+  static model::Mmap bursty_mmap(std::span<const ClassWorkloadParams> classes,
+                                 double peak_to_mean, double switch_rate);
+
+ private:
+  template <typename Params, typename SpecFn>
+  std::vector<cluster::TraceEntry> merged_poisson(std::span<const Params> classes,
+                                                  std::size_t jobs, SpecFn make_spec);
+
+  Rng rng_;
+};
+
+// Stage-shape factories (shared with tests/benches).
+cluster::JobSpec make_text_job(const ClassWorkloadParams& params, std::size_t priority,
+                               double size_mb);
+cluster::JobSpec make_graph_job(const GraphClassParams& params, std::size_t priority,
+                                double size_mb);
+
+// Converts a class profile into the stochastic model's input (mean-size
+// job; point-mass task counts; exponential-rate parameters).
+model::JobClassProfile to_model_profile(const ClassWorkloadParams& params, int slots);
+model::JobClassProfile to_model_profile(const GraphClassParams& params, int slots);
+
+// Offered load sum_k lambda_k E[S_k(theta_k)] predicted by the model.
+double offered_load(std::span<const model::JobClassProfile> profiles,
+                    std::span<const double> theta);
+
+// Scales every class arrival rate by a common factor so the offered load
+// (at theta = 0) hits `target_utilization`, using the *model's* mean
+// processing time (exact for exponential tasks). Returns the factor.
+double scale_rates_to_load(std::span<ClassWorkloadParams> classes, int slots,
+                           double target_utilization);
+double scale_rates_to_load(std::span<GraphClassParams> classes, int slots,
+                           double target_utilization);
+
+// Pilot-based calibration: measures each class's isolated mean execution
+// time by simulating single jobs far apart (the paper's offline profiling)
+// under the given task-time family, then scales the arrival rates to hit
+// `target_utilization` while preserving the mix. Use this for
+// non-exponential families, where the model-based calibration is biased.
+double calibrate_rates_by_pilot(std::vector<ClassWorkloadParams>& classes, int slots,
+                                double target_utilization,
+                                cluster::TaskTimeFamily family);
+double calibrate_rates_by_pilot(std::vector<GraphClassParams>& classes, int slots,
+                                double target_utilization,
+                                cluster::TaskTimeFamily family);
+
+}  // namespace dias::workload

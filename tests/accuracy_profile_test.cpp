@@ -1,0 +1,83 @@
+#include "core/accuracy_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dias::core {
+namespace {
+
+TEST(AccuracyProfileTest, InterpolatesLinearly) {
+  const AccuracyProfile profile({{0.0, 0.0}, {0.2, 10.0}, {0.4, 30.0}});
+  EXPECT_DOUBLE_EQ(profile.error_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(profile.error_at(0.1), 5.0);
+  EXPECT_DOUBLE_EQ(profile.error_at(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(profile.error_at(0.3), 20.0);
+  EXPECT_DOUBLE_EQ(profile.error_at(0.4), 30.0);
+}
+
+TEST(AccuracyProfileTest, ClampsOutsideRange) {
+  const AccuracyProfile profile({{0.1, 5.0}, {0.5, 25.0}});
+  EXPECT_DOUBLE_EQ(profile.error_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(profile.error_at(1.0), 25.0);
+}
+
+TEST(AccuracyProfileTest, MaxThetaForError) {
+  const AccuracyProfile profile({{0.0, 0.0}, {0.2, 10.0}, {0.4, 30.0}});
+  EXPECT_NEAR(profile.max_theta_for_error(10.0), 0.2, 0.005);
+  EXPECT_NEAR(profile.max_theta_for_error(20.0), 0.3, 0.005);
+  EXPECT_NEAR(profile.max_theta_for_error(0.0), 0.0, 0.005);
+  EXPECT_NEAR(profile.max_theta_for_error(100.0), 0.4, 1e-9);
+}
+
+TEST(AccuracyProfileTest, PaperWordCountCurve) {
+  const auto profile = AccuracyProfile::paper_word_count();
+  // The paper's anchor points (Section 5.1): 8.5% @ 0.1, 15% @ 0.2, 32% @ 0.4.
+  EXPECT_NEAR(profile.error_at(0.1), 8.5, 1e-9);
+  EXPECT_NEAR(profile.error_at(0.2), 15.0, 1e-9);
+  EXPECT_NEAR(profile.error_at(0.4), 32.0, 1e-9);
+  // Tolerances used in the evaluation map back to the drop ratios it uses.
+  EXPECT_NEAR(profile.max_theta_for_error(8.5), 0.1, 0.01);
+  EXPECT_NEAR(profile.max_theta_for_error(15.0), 0.2, 0.01);
+  EXPECT_NEAR(profile.max_theta_for_error(32.0), 0.4, 0.01);
+  // Sub-linear: error grows slower than 100% * theta.
+  EXPECT_LT(profile.error_at(0.4), 40.0);
+  EXPECT_LT(profile.error_at(0.8), 80.0);
+}
+
+TEST(AccuracyProfileTest, MeasureBuildsFromCallback) {
+  // "Profiling runs": error grows as 50 * theta.
+  const std::vector<double> grid{0.1, 0.2, 0.4};
+  int calls = 0;
+  const auto profile = AccuracyProfile::measure(
+      [&calls](double theta) {
+        ++calls;
+        return 50.0 * theta;
+      },
+      grid);
+  EXPECT_EQ(calls, 3);
+  // theta = 0 anchor prepended automatically.
+  EXPECT_DOUBLE_EQ(profile.error_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(profile.error_at(0.2), 10.0);
+  EXPECT_NEAR(profile.max_theta_for_error(10.0), 0.2, 0.005);
+}
+
+TEST(AccuracyProfileTest, MeasureClampsNegativeErrors) {
+  const std::vector<double> grid{0.1, 0.2};
+  const auto profile =
+      AccuracyProfile::measure([](double) { return -3.0; }, grid);
+  EXPECT_DOUBLE_EQ(profile.error_at(0.15), 0.0);
+}
+
+TEST(AccuracyProfileTest, Validation) {
+  EXPECT_THROW(AccuracyProfile({{0.0, 0.0}}), dias::precondition_error);
+  EXPECT_THROW(AccuracyProfile({{0.2, 0.0}, {0.1, 5.0}}), dias::precondition_error);
+  EXPECT_THROW(AccuracyProfile({{0.0, -1.0}, {0.1, 5.0}}), dias::precondition_error);
+  EXPECT_THROW(AccuracyProfile({{0.0, 0.0}, {1.5, 5.0}}), dias::precondition_error);
+  const AccuracyProfile p({{0.0, 0.0}, {0.5, 10.0}});
+  EXPECT_THROW(p.error_at(-0.1), dias::precondition_error);
+  EXPECT_THROW(p.max_theta_for_error(-1.0), dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::core

@@ -1,0 +1,131 @@
+#include "analytics/approx_aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dias::analytics {
+namespace {
+
+engine::Engine::Options eng_opts(std::uint64_t seed = 7) {
+  engine::Engine::Options o;
+  o.workers = 4;
+  o.seed = seed;
+  return o;
+}
+
+std::vector<double> heterogeneous_data(std::size_t n, std::uint64_t seed) {
+  // Values with per-region drift so partitions differ (cluster sampling has
+  // something to estimate across).
+  Rng rng(seed);
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double region = static_cast<double>(i) / static_cast<double>(n);
+    data[i] = 10.0 + 5.0 * region + rng.normal(0.0, 1.0);
+  }
+  return data;
+}
+
+TEST(ApproxAggregateTest, ExactWhenNothingDropped) {
+  engine::Engine eng(eng_opts());
+  const auto data = heterogeneous_data(5000, 1);
+  const double truth = std::accumulate(data.begin(), data.end(), 0.0);
+  const auto ds = eng.parallelize(data, 25);
+  const auto est = approx_sum(eng, ds, [](const double& x) { return x; }, 0.0);
+  EXPECT_NEAR(est.estimate, truth, 1e-6);
+  EXPECT_DOUBLE_EQ(est.standard_error, 0.0);  // census: no sampling error
+  EXPECT_EQ(est.partitions_used, 25u);
+  EXPECT_TRUE(est.contains(truth));
+}
+
+TEST(ApproxAggregateTest, SumEstimateNearTruthWithHonestInterval) {
+  engine::Engine eng(eng_opts(3));
+  const auto data = heterogeneous_data(20000, 2);
+  const double truth = std::accumulate(data.begin(), data.end(), 0.0);
+  const auto ds = eng.parallelize(data, 50);
+  const auto est = approx_sum(eng, ds, [](const double& x) { return x; }, 0.4);
+  EXPECT_EQ(est.partitions_used, 30u);
+  EXPECT_GT(est.standard_error, 0.0);
+  // The estimate should be within a few CI widths of the truth.
+  EXPECT_NEAR(est.estimate, truth, 5.0 * est.ci_half_width() + 1e-9);
+}
+
+TEST(ApproxAggregateTest, SumIsUnbiasedAcrossRuns) {
+  const auto data = heterogeneous_data(10000, 4);
+  const double truth = std::accumulate(data.begin(), data.end(), 0.0);
+  Welford estimates;
+  for (int rep = 0; rep < 60; ++rep) {
+    engine::Engine eng(eng_opts(100 + static_cast<std::uint64_t>(rep)));
+    const auto ds = eng.parallelize(data, 40);
+    estimates.add(approx_sum(eng, ds, [](const double& x) { return x; }, 0.5).estimate);
+  }
+  // Mean of the estimates converges on the truth (unbiasedness).
+  EXPECT_NEAR(estimates.mean() / truth, 1.0, 0.01);
+}
+
+TEST(ApproxAggregateTest, ConfidenceIntervalCoversAtNominalRate) {
+  const auto data = heterogeneous_data(10000, 5);
+  const double truth = std::accumulate(data.begin(), data.end(), 0.0);
+  int covered = 0;
+  const int reps = 120;
+  for (int rep = 0; rep < reps; ++rep) {
+    engine::Engine eng(eng_opts(500 + static_cast<std::uint64_t>(rep)));
+    const auto ds = eng.parallelize(data, 40);
+    const auto est = approx_sum(eng, ds, [](const double& x) { return x; }, 0.5);
+    if (est.contains(truth)) ++covered;
+  }
+  // Nominal 95%; allow slack for the normal approximation and small m.
+  EXPECT_GE(covered, static_cast<int>(0.85 * reps));
+}
+
+TEST(ApproxAggregateTest, CountEstimatesDatasetSize) {
+  engine::Engine eng(eng_opts(6));
+  const auto data = heterogeneous_data(12000, 7);
+  const auto ds = eng.parallelize(data, 30);
+  const auto est = approx_count(eng, ds, 0.3);
+  EXPECT_NEAR(est.estimate, 12000.0, 4.0 * est.ci_half_width() + 1.0);
+  EXPECT_EQ(est.partitions_used, 21u);
+}
+
+TEST(ApproxAggregateTest, MeanRatioEstimatorIsTight) {
+  // The ratio estimator's interval must be much tighter than the sum's
+  // relative interval: dropped-partition identity cancels.
+  engine::Engine eng(eng_opts(8));
+  const auto data = heterogeneous_data(20000, 9);
+  const double truth = std::accumulate(data.begin(), data.end(), 0.0) /
+                       static_cast<double>(data.size());
+  const auto ds = eng.parallelize(data, 50);
+  const auto mean_est = approx_mean(eng, ds, [](const double& x) { return x; }, 0.4);
+  EXPECT_NEAR(mean_est.estimate, truth, 0.05 * truth);
+  EXPECT_GT(mean_est.standard_error, 0.0);
+  EXPECT_LT(mean_est.relative_error_percent(), 10.0);
+}
+
+TEST(ApproxAggregateTest, HigherDropWidensInterval) {
+  const auto data = heterogeneous_data(20000, 10);
+  double prev_width = 0.0;
+  for (double theta : {0.2, 0.5, 0.8}) {
+    engine::Engine eng(eng_opts(11));
+    const auto ds = eng.parallelize(data, 50);
+    const auto est = approx_sum(eng, ds, [](const double& x) { return x; }, theta);
+    EXPECT_GE(est.ci_half_width(), prev_width - 1e-9) << "theta=" << theta;
+    prev_width = est.ci_half_width();
+  }
+}
+
+TEST(ApproxAggregateTest, EstimatorValidation) {
+  EXPECT_THROW(detail::estimate_total({}, 10), dias::precondition_error);
+  EXPECT_THROW(detail::estimate_total({1.0, 2.0}, 1), dias::precondition_error);
+  detail::ClusterSums bad;
+  bad.values = {1.0};
+  bad.total_partitions = 4;
+  EXPECT_THROW(detail::estimate_ratio(bad), dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::analytics

@@ -1,0 +1,178 @@
+#include "storage/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analytics/word_count.hpp"
+#include "common/error.hpp"
+#include "storage/engine_io.hpp"
+#include "workload/text_corpus.hpp"
+
+namespace dias::storage {
+namespace {
+
+class BlockStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("dias_store_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  BlockStore make_store(std::size_t block_bytes = 256, int replication = 1) {
+    BlockStoreOptions options;
+    options.root = root_;
+    options.block_bytes = block_bytes;
+    options.replication = replication;
+    return BlockStore(options);
+  }
+
+  static std::vector<std::string> numbered_lines(std::size_t n) {
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < n; ++i) {
+      lines.push_back("line-" + std::to_string(i) + std::string(20, 'x'));
+    }
+    return lines;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(BlockStoreTest, WriteAndReadRoundTrip) {
+  auto store = make_store();
+  const auto lines = numbered_lines(50);
+  const auto meta = store.write_lines("corpus", lines);
+  EXPECT_EQ(meta.lines, 50u);
+  EXPECT_GT(meta.blocks, 1u);  // 256-byte blocks force several
+  EXPECT_TRUE(store.exists("corpus"));
+  EXPECT_EQ(store.read_all_lines("corpus"), lines);
+  const auto stat = store.stat("corpus");
+  EXPECT_EQ(stat.blocks, meta.blocks);
+  EXPECT_EQ(stat.bytes, meta.bytes);
+}
+
+TEST_F(BlockStoreTest, BlockBoundariesPreserveLines) {
+  auto store = make_store(128);
+  const auto lines = numbered_lines(30);
+  const auto meta = store.write_lines("f", lines);
+  std::vector<std::string> joined;
+  for (std::size_t b = 0; b < meta.blocks; ++b) {
+    for (auto& l : store.read_block_lines("f", b)) joined.push_back(std::move(l));
+  }
+  EXPECT_EQ(joined, lines);  // no line split across blocks
+}
+
+TEST_F(BlockStoreTest, IoCountersTrackReads) {
+  auto store = make_store();
+  store.write_lines("f", numbered_lines(40));
+  store.reset_io_stats();
+  store.read_block_lines("f", 0);
+  store.read_block_lines("f", 1);
+  const auto io = store.io_stats();
+  EXPECT_EQ(io.blocks_read, 2u);
+  EXPECT_GT(io.bytes_read, 0u);
+}
+
+TEST_F(BlockStoreTest, ChecksumDetectsCorruptionAndReplicaRecovers) {
+  auto store = make_store(256, /*replication=*/2);
+  const auto meta = store.write_lines("f", numbered_lines(40));
+  ASSERT_GE(meta.blocks, 1u);
+  // Corrupt the primary copy of block 0.
+  {
+    std::ofstream out(root_ / "f" / "block-0.r0", std::ios::binary);
+    out << "garbage";
+  }
+  // Read succeeds via replica 1; file verifies fully.
+  EXPECT_NO_THROW(store.read_block_lines("f", 0));
+  EXPECT_EQ(store.verify("f"), meta.blocks);
+}
+
+TEST_F(BlockStoreTest, AllReplicasCorruptThrows) {
+  auto store = make_store(256, 1);
+  store.write_lines("f", numbered_lines(40));
+  {
+    std::ofstream out(root_ / "f" / "block-0.r0", std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_THROW(store.read_block_lines("f", 0), dias::error);
+  EXPECT_LT(store.verify("f"), store.stat("f").blocks);
+}
+
+TEST_F(BlockStoreTest, ListAndRemove) {
+  auto store = make_store();
+  store.write_lines("bbb", numbered_lines(5));
+  store.write_lines("aaa", numbered_lines(5));
+  EXPECT_EQ(store.list(), (std::vector<std::string>{"aaa", "bbb"}));
+  store.remove("aaa");
+  EXPECT_EQ(store.list(), (std::vector<std::string>{"bbb"}));
+  EXPECT_FALSE(store.exists("aaa"));
+  EXPECT_THROW(store.stat("aaa"), dias::precondition_error);
+}
+
+TEST_F(BlockStoreTest, NameValidation) {
+  auto store = make_store();
+  EXPECT_THROW(store.write_lines("", {}), dias::precondition_error);
+  EXPECT_THROW(store.write_lines("a/b", {}), dias::precondition_error);
+  EXPECT_THROW(store.write_lines("..", {}), dias::precondition_error);
+}
+
+TEST_F(BlockStoreTest, DroppedTasksSkipBlockFetches) {
+  // The paper's point: early task dropping saves the data-fetch overhead.
+  auto store = make_store(512);
+  workload::TextCorpusParams params;
+  params.posts = 400;
+  params.seed = 31;
+  const auto corpus = workload::generate_text_corpus("site", params);
+  const auto meta = store.write_lines("site", corpus.rows);
+  ASSERT_GE(meta.blocks, 10u);
+
+  engine::Engine::Options eopts;
+  eopts.workers = 4;
+  engine::Engine eng(eopts);
+
+  store.reset_io_stats();
+  const auto full = read_lines_dataset(eng, store, "site", 0.0);
+  const auto full_io = store.io_stats();
+  EXPECT_EQ(full_io.blocks_read, meta.blocks);
+  EXPECT_EQ(full.total_size(), corpus.rows.size());
+
+  store.reset_io_stats();
+  const auto half = read_lines_dataset(eng, store, "site", 0.5);
+  const auto half_io = store.io_stats();
+  EXPECT_EQ(half_io.blocks_read, (meta.blocks + 1) / 2);
+  EXPECT_LT(half_io.bytes_read, full_io.bytes_read);
+  EXPECT_LT(half.total_size(), corpus.rows.size());
+}
+
+TEST_F(BlockStoreTest, WordCountFromStorageMatchesInMemory) {
+  auto store = make_store(1024);
+  workload::TextCorpusParams params;
+  params.posts = 300;
+  params.seed = 37;
+  const auto corpus = workload::generate_text_corpus("site", params);
+  store.write_lines("site", corpus.rows);
+
+  engine::Engine::Options eopts;
+  eopts.workers = 4;
+  engine::Engine eng(eopts);
+  const auto ds = read_lines_dataset(eng, store, "site", 0.0);
+  const auto from_storage = analytics::word_count(eng, ds, 8, 0.0);
+  const auto exact = analytics::exact_word_count(corpus.rows);
+  EXPECT_EQ(from_storage.counts.size(), exact.size());
+  for (const auto& [word, count] : exact) {
+    EXPECT_EQ(from_storage.counts.at(word), count);
+  }
+}
+
+TEST(Fnv1aTest, KnownProperties) {
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("dias"), fnv1a("dias"));
+}
+
+}  // namespace
+}  // namespace dias::storage

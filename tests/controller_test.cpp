@@ -1,0 +1,98 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dias::core {
+namespace {
+
+cluster::JobSpec job(std::size_t priority, double seconds) {
+  cluster::JobSpec spec;
+  spec.priority = priority;
+  spec.stages = {{cluster::StageKind::kMap, 1, seconds, 0.0}};
+  return spec;
+}
+
+TEST(ControllerTest, PolicyNamesAndTraits) {
+  EXPECT_STREQ(to_string(Policy::kPreemptive), "P");
+  EXPECT_STREQ(to_string(Policy::kNonPreemptive), "NP");
+  EXPECT_STREQ(to_string(Policy::kDifferentialApprox), "DA");
+  EXPECT_STREQ(to_string(Policy::kNonPreemptiveSprint), "NPS");
+  EXPECT_STREQ(to_string(Policy::kDias), "DiAS");
+
+  EXPECT_FALSE(policy_uses_dropping(Policy::kPreemptive));
+  EXPECT_FALSE(policy_uses_dropping(Policy::kNonPreemptive));
+  EXPECT_TRUE(policy_uses_dropping(Policy::kDifferentialApprox));
+  EXPECT_FALSE(policy_uses_dropping(Policy::kNonPreemptiveSprint));
+  EXPECT_TRUE(policy_uses_dropping(Policy::kDias));
+
+  EXPECT_FALSE(policy_uses_sprinting(Policy::kPreemptive));
+  EXPECT_FALSE(policy_uses_sprinting(Policy::kDifferentialApprox));
+  EXPECT_TRUE(policy_uses_sprinting(Policy::kNonPreemptiveSprint));
+  EXPECT_TRUE(policy_uses_sprinting(Policy::kDias));
+}
+
+TEST(ControllerTest, PreemptivePolicyEvicts) {
+  ExperimentConfig config;
+  config.policy = Policy::kPreemptive;
+  config.slots = 1;
+  config.task_time_family = cluster::TaskTimeFamily::kDeterministic;
+  config.warmup_jobs = 0;
+  auto result = run_experiment(config, {{0.0, job(0, 100.0)}, {10.0, job(1, 5.0)}});
+  EXPECT_EQ(result.total_evictions, 1u);
+}
+
+TEST(ControllerTest, DaPolicyDropsOnlyWithTheta) {
+  ExperimentConfig config;
+  config.policy = Policy::kDifferentialApprox;
+  config.slots = 2;
+  config.theta = {0.5};
+  config.task_time_family = cluster::TaskTimeFamily::kDeterministic;
+  config.warmup_jobs = 0;
+  cluster::JobSpec spec;
+  spec.priority = 0;
+  spec.stages = {{cluster::StageKind::kMap, 4, 3.0, 0.0}};
+  auto result = run_experiment(config, {{0.0, spec}});
+  // 4 -> 2 tasks on 2 slots -> one 3 s wave.
+  EXPECT_NEAR(result.per_class[0].execution.mean(), 3.0, 1e-9);
+
+  // NP ignores theta.
+  config.policy = Policy::kNonPreemptive;
+  result = run_experiment(config, {{0.0, spec}});
+  EXPECT_NEAR(result.per_class[0].execution.mean(), 6.0, 1e-9);
+}
+
+TEST(ControllerTest, SprintPoliciesEnableSprinter) {
+  ExperimentConfig config;
+  config.policy = Policy::kNonPreemptiveSprint;
+  config.slots = 1;
+  config.task_time_family = cluster::TaskTimeFamily::kDeterministic;
+  config.warmup_jobs = 0;
+  config.sprint.speedup = 2.0;
+  config.sprint.timeout_s = {0.0};
+  auto result = run_experiment(config, {{0.0, job(0, 10.0)}});
+  EXPECT_NEAR(result.per_class[0].execution.mean(), 5.0, 1e-9);
+
+  // DA must not sprint even with the same sprint settings.
+  config.policy = Policy::kDifferentialApprox;
+  config.theta = {0.0};
+  result = run_experiment(config, {{0.0, job(0, 10.0)}});
+  EXPECT_NEAR(result.per_class[0].execution.mean(), 10.0, 1e-9);
+}
+
+TEST(ControllerTest, RelativeDifference) {
+  cluster::ClassMetrics base, other;
+  for (double x : {10.0, 10.0, 10.0, 10.0}) base.response.add(x);
+  for (double x : {5.0, 5.0, 5.0, 5.0}) other.response.add(x);
+  const auto delta = relative_difference(base, other);
+  EXPECT_NEAR(delta.mean_percent, -50.0, 1e-9);
+  EXPECT_NEAR(delta.tail_percent, -50.0, 1e-9);
+  cluster::ClassMetrics empty;
+  EXPECT_THROW(relative_difference(base, empty), dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::core

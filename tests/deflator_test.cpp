@@ -1,0 +1,207 @@
+#include "core/deflator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::core {
+namespace {
+
+model::JobClassProfile profile(double lambda) {
+  model::JobClassProfile p;
+  p.arrival_rate = lambda;
+  p.slots = 4;
+  p.map_task_pmf.assign(8, 0.0);
+  p.map_task_pmf.back() = 1.0;
+  p.reduce_task_pmf.assign(2, 0.0);
+  p.reduce_task_pmf.back() = 1.0;
+  p.map_rate = 1.0;
+  p.reduce_rate = 1.0;
+  p.shuffle_rate = 2.0;
+  p.mean_overhead_theta0 = 2.0;
+  p.mean_overhead_theta90 = 1.0;
+  return p;
+}
+
+AccuracyProfile accuracy() { return AccuracyProfile::paper_word_count(); }
+
+TEST(DeflatorTest, NoConstraintsMeansNoDropping) {
+  // With unconstrained latency, the minimum-dropping plan is theta = 0.
+  Deflator deflator({profile(0.02), profile(0.005)}, accuracy());
+  const std::vector<ClassConstraint> constraints{{30.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.theta[0], 0.0);
+  EXPECT_DOUBLE_EQ(plan.theta[1], 0.0);
+}
+
+TEST(DeflatorTest, AccuracyToleranceCapsTheta) {
+  Deflator deflator({profile(0.02), profile(0.005)}, accuracy());
+  // Low class tolerates 15% error -> theta <= 0.2; force dropping via a
+  // tight latency cap on the low class.
+  std::vector<ClassConstraint> constraints{{15.0, 0.0, 1.0}, {0.0, 1e18, 1.0}};
+  // Find the response at theta 0.2 first to set an achievable cap.
+  constraints[0].max_mean_response_s = 1e18;
+  auto relaxed = deflator.plan(constraints);
+  ASSERT_TRUE(relaxed.feasible);
+  const double t0_response = relaxed.prediction.per_class[0].mean_response;
+  // Now require a bit less than the theta=0 response: the deflator must
+  // drop, but never beyond the 15% accuracy cap (0.2).
+  constraints[0].max_mean_response_s = 0.95 * t0_response;
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.theta[0], 0.0);
+  EXPECT_LE(plan.theta[0], 0.2 + 1e-9);
+  EXPECT_DOUBLE_EQ(plan.theta[1], 0.0);  // high class stays exact
+  EXPECT_LE(plan.predicted_error[0], 15.0 + 1e-9);
+}
+
+TEST(DeflatorTest, PicksMinimumThetaSatisfyingConstraint) {
+  // Section 5.2.1: with a 30% error budget (theta <= ~0.37) but a latency
+  // cap already met at a smaller theta, the deflator picks the smaller.
+  // Load is high enough (~0.78) that dropping visibly moves the high
+  // class's waiting time.
+  Deflator deflator({profile(0.1), profile(0.01)}, accuracy());
+  std::vector<ClassConstraint> constraints{{30.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  auto relaxed = deflator.plan(constraints);
+  const double high_at_theta0 = relaxed.prediction.per_class[1].mean_response;
+
+  // Cap the HIGH class response slightly below its theta=0 value: only
+  // dropping the low class can achieve it.
+  constraints[1].max_mean_response_s = 0.97 * high_at_theta0;
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.theta[0], 0.0);
+  // Verify minimality: the next-smaller grid theta must violate the cap.
+  Deflator::Options opts;
+  const auto& grid = opts.theta_grid;
+  double prev = 0.0;
+  for (double g : grid) {
+    if (g < plan.theta[0]) prev = std::max(prev, g);
+  }
+  if (prev < plan.theta[0]) {
+    const auto pred = model::ResponseTimeModel::predict(
+        deflator.profiles(), std::vector<double>{prev, 0.0},
+        model::Discipline::kNonPreemptive);
+    EXPECT_GT(pred.per_class[1].mean_response, constraints[1].max_mean_response_s);
+  }
+}
+
+TEST(DeflatorTest, InfeasibleWhenCapsImpossible) {
+  Deflator deflator({profile(0.02), profile(0.005)}, accuracy());
+  const std::vector<ClassConstraint> constraints{{0.0, 0.001, 1.0}, {0.0, 0.001, 1.0}};
+  const auto plan = deflator.plan(constraints);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(DeflatorTest, UnstableWorkloadInfeasibleWithoutDropping) {
+  // Overloaded system (rho ~ 1.06 at theta = 0): only dropping makes it
+  // stable; zero error budget forbids dropping -> infeasible.
+  Deflator deflator({profile(0.14), profile(0.01)}, accuracy());
+  const std::vector<ClassConstraint> tight{{0.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  const auto plan_tight = deflator.plan(tight);
+  EXPECT_FALSE(plan_tight.feasible);
+  // Allowing dropping on the low class recovers feasibility.
+  const std::vector<ClassConstraint> loose{{63.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  const auto plan_loose = deflator.plan(loose);
+  EXPECT_TRUE(plan_loose.feasible);
+  EXPECT_GT(plan_loose.theta[0], 0.0);
+}
+
+TEST(DeflatorTest, SprintTimeoutAssignedToExactClasses) {
+  Deflator::Options opts;
+  opts.sprint_timeout_s = 65.0;
+  opts.sprint_speedup = 2.5;
+  Deflator deflator({profile(0.02), profile(0.005)}, accuracy(), opts);
+  const std::vector<ClassConstraint> constraints{{30.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  // High class (theta 0) sprints; any dropped class does not.
+  EXPECT_DOUBLE_EQ(plan.sprint_timeout_s[1], 65.0);
+  if (plan.theta[0] > 0.0) {
+    EXPECT_TRUE(std::isinf(plan.sprint_timeout_s[0]));
+  }
+}
+
+TEST(DeflatorTest, FrontierLatencyDecreasesWithTheta) {
+  Deflator deflator({profile(0.03), profile(0.005)}, accuracy());
+  const std::vector<double> base{0.0, 0.0};
+  const auto frontier = deflator.frontier(0, base);
+  ASSERT_GT(frontier.size(), 3u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LE(frontier[i].mean_response_s, frontier[i - 1].mean_response_s + 1e-9);
+    EXPECT_GE(frontier[i].error_percent, frontier[i - 1].error_percent - 1e-9);
+  }
+}
+
+TEST(DeflatorTest, PerClassAccuracyProfilesCapIndependently) {
+  // Low class: forgiving analysis (error 10 * theta); high class is also
+  // given an error budget but a brutal curve (error 200 * theta) caps its
+  // theta near zero.
+  const AccuracyProfile forgiving({{0.0, 0.0}, {0.8, 8.0}});
+  const AccuracyProfile brutal({{0.0, 0.0}, {0.8, 160.0}});
+  Deflator::Options opts;
+  Deflator deflator({profile(0.1), profile(0.02)}, {forgiving, brutal}, opts);
+  // Both classes tolerate 8% error; force dropping via instability (load
+  // ~0.78 at theta 0 is stable, so cap the low class response instead).
+  std::vector<ClassConstraint> constraints{{8.0, 1e18, 1.0}, {8.0, 1e18, 1.0}};
+  const auto relaxed = deflator.plan(constraints);
+  ASSERT_TRUE(relaxed.feasible);
+  constraints[0].max_mean_response_s =
+      0.7 * relaxed.prediction.per_class[0].mean_response;
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  // The forgiving class can drop a lot; the brutal one at most 0.04-ish
+  // (error 160 * theta / 0.8 <= 8 -> theta <= 0.04, below the 0.05 grid
+  // step, so it stays at 0).
+  EXPECT_GT(plan.theta[0], 0.2);
+  EXPECT_DOUBLE_EQ(plan.theta[1], 0.0);
+  EXPECT_LE(plan.predicted_error[0], 8.0 + 1e-9);
+}
+
+TEST(DeflatorTest, SharedProfileReplicatesAcrossClasses) {
+  Deflator deflator({profile(0.02), profile(0.005)}, accuracy());
+  EXPECT_NEAR(deflator.accuracy(0).error_at(0.2), deflator.accuracy(1).error_at(0.2),
+              1e-12);
+}
+
+TEST(DeflatorTest, TailEstimationFillsP95) {
+  Deflator::Options opts;
+  opts.estimate_tails = true;
+  opts.tail_sample_jobs = 20000;
+  Deflator deflator({profile(0.05), profile(0.02)}, accuracy(), opts);
+  const std::vector<ClassConstraint> constraints{{30.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.predicted_p95.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    // Tails dominate means; both must be positive and consistent.
+    EXPECT_GT(plan.predicted_p95[k], plan.prediction.per_class[k].mean_response);
+  }
+  // High class tail below low class tail (priority advantage).
+  EXPECT_LT(plan.predicted_p95[1], plan.predicted_p95[0]);
+}
+
+TEST(DeflatorTest, TailEstimationOffByDefault) {
+  Deflator deflator({profile(0.02), profile(0.005)}, accuracy());
+  const std::vector<ClassConstraint> constraints{{30.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.predicted_p95.empty());
+}
+
+TEST(DeflatorTest, Validation) {
+  EXPECT_THROW(Deflator({}, accuracy()), dias::precondition_error);
+  Deflator deflator({profile(0.02)}, accuracy());
+  EXPECT_THROW(deflator.plan(std::vector<ClassConstraint>{}), dias::precondition_error);
+  EXPECT_THROW(deflator.frontier(5, std::vector<double>{0.0}), dias::precondition_error);
+  Deflator::Options bad;
+  bad.theta_grid = {1.0};
+  EXPECT_THROW(Deflator({profile(0.02)}, accuracy(), bad), dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::core

@@ -1,0 +1,272 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::engine {
+namespace {
+
+Engine::Options opts(double drop = 0.0) {
+  Engine::Options o;
+  o.workers = 4;
+  o.seed = 42;
+  o.drop_ratio = drop;
+  return o;
+}
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(FindMissingPartitionsTest, KeepsCeilFraction) {
+  Rng rng(1);
+  EXPECT_EQ(find_missing_partitions(50, 0.0, rng).size(), 50u);
+  EXPECT_EQ(find_missing_partitions(50, 0.1, rng).size(), 45u);
+  EXPECT_EQ(find_missing_partitions(50, 0.2, rng).size(), 40u);
+  EXPECT_EQ(find_missing_partitions(10, 0.15, rng).size(), 9u);  // ceil(8.5)
+  EXPECT_EQ(find_missing_partitions(10, 1.0, rng).size(), 0u);
+  EXPECT_EQ(find_missing_partitions(1, 0.9, rng).size(), 1u);    // ceil(0.1)
+}
+
+TEST(FindMissingPartitionsTest, ReturnsSortedUniqueValidIndices) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sel = find_missing_partitions(30, 0.4, rng);
+    std::set<std::size_t> unique(sel.begin(), sel.end());
+    EXPECT_EQ(unique.size(), sel.size());
+    EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+    for (auto i : sel) EXPECT_LT(i, 30u);
+  }
+}
+
+TEST(FindMissingPartitionsTest, SelectionIsRandomized) {
+  Rng rng(11);
+  const auto a = find_missing_partitions(100, 0.5, rng);
+  const auto b = find_missing_partitions(100, 0.5, rng);
+  EXPECT_NE(a, b);  // overwhelmingly likely
+}
+
+TEST(EngineTest, ParallelizeSplitsEvenly) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(10), 3);
+  EXPECT_EQ(ds.partitions(), 3u);
+  EXPECT_EQ(ds.total_size(), 10u);
+  // Balanced split: partition sizes 3/3/4 or similar (within 1).
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_GE(ds.partition(p).size(), 3u);
+    EXPECT_LE(ds.partition(p).size(), 4u);
+  }
+  EXPECT_EQ(ds.collect(), iota_vec(10));
+}
+
+TEST(EngineTest, MapPreservesPartitioning) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(20), 5);
+  const auto doubled = eng.map(ds, [](const int& x) { return x * 2; });
+  EXPECT_EQ(doubled.partitions(), 5u);
+  const auto all = doubled.collect();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], 2 * i);
+}
+
+TEST(EngineTest, FlatMapExpands) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(std::vector<int>{1, 2, 3}, 2);
+  const auto out = eng.flat_map(ds, [](const int& x) {
+    return std::vector<int>(static_cast<std::size_t>(x), x);
+  });
+  EXPECT_EQ(out.total_size(), 6u);  // 1 + 2 + 3
+}
+
+TEST(EngineTest, FilterKeepsMatching) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(100), 4);
+  const auto evens = eng.filter(ds, [](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.total_size(), 50u);
+}
+
+TEST(EngineTest, ReduceByKeyAggregates) {
+  Engine eng(opts());
+  std::vector<std::pair<std::string, int>> data;
+  for (int i = 0; i < 30; ++i) data.emplace_back(i % 3 == 0 ? "a" : "b", 1);
+  const auto ds = eng.parallelize(std::move(data), 4);
+  const auto reduced = eng.reduce_by_key(ds, [](int a, int b) { return a + b; }, 3);
+  int a_count = 0, b_count = 0;
+  for (const auto& [k, v] : reduced.collect()) {
+    if (k == "a") a_count = v;
+    if (k == "b") b_count = v;
+  }
+  EXPECT_EQ(a_count, 10);
+  EXPECT_EQ(b_count, 20);
+}
+
+TEST(EngineTest, AggregateSums) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(101), 7);
+  const int total = eng.aggregate(ds, 0, [](int a, int b) { return a + b; });
+  EXPECT_EQ(total, 5050);
+  EXPECT_EQ(eng.count(ds), 101u);
+}
+
+TEST(EngineTest, DropLeavesEmptyPartitions) {
+  Engine eng(opts(0.5));
+  const auto ds = eng.parallelize(iota_vec(100), 10);
+  StageOptions so;
+  so.name = "droppable";
+  so.droppable = true;
+  const auto out = eng.map(ds, [](const int& x) { return x; }, so);
+  EXPECT_EQ(out.partitions(), 10u);  // partition count stable
+  std::size_t non_empty = 0;
+  for (std::size_t p = 0; p < out.partitions(); ++p) {
+    if (!out.partition(p).empty()) ++non_empty;
+  }
+  EXPECT_EQ(non_empty, 5u);
+  EXPECT_EQ(out.total_size(), 50u);
+}
+
+TEST(EngineTest, NonDroppableStageIgnoresDropRatio) {
+  Engine eng(opts(0.9));
+  const auto ds = eng.parallelize(iota_vec(100), 10);
+  StageOptions so;
+  so.droppable = false;
+  const auto out = eng.map(ds, [](const int& x) { return x; }, so);
+  EXPECT_EQ(out.total_size(), 100u);
+}
+
+TEST(EngineTest, DropOverridePerStage) {
+  Engine eng(opts(0.0));
+  const auto ds = eng.parallelize(iota_vec(100), 10);
+  StageOptions so;
+  so.droppable = true;
+  so.drop_ratio_override = 0.3;
+  const auto out = eng.map(ds, [](const int& x) { return x; }, so);
+  EXPECT_EQ(out.total_size(), 70u);
+}
+
+TEST(EngineTest, StageLogRecordsExecution) {
+  Engine eng(opts(0.2));
+  const auto ds = eng.parallelize(iota_vec(100), 10);
+  eng.clear_stage_log();
+  StageOptions so;
+  so.name = "logged-map";
+  so.droppable = true;
+  eng.map(ds, [](const int& x) { return x; }, so);
+  ASSERT_EQ(eng.stage_log().size(), 1u);
+  const auto& info = eng.stage_log().front();
+  EXPECT_EQ(info.name, "logged-map");
+  EXPECT_EQ(info.total_partitions, 10u);
+  EXPECT_EQ(info.executed_partitions, 8u);
+  EXPECT_DOUBLE_EQ(info.applied_drop_ratio, 0.2);
+  EXPECT_EQ(info.task_times_s.size(), 8u);
+  EXPECT_GE(info.duration_s, 0.0);
+  EXPECT_GE(eng.logged_duration(), info.duration_s);
+}
+
+TEST(EngineTest, ReduceByKeyLogsShuffleAndReduceStages) {
+  Engine eng(opts());
+  std::vector<std::pair<int, int>> data{{1, 1}, {2, 1}, {1, 1}};
+  const auto ds = eng.parallelize(std::move(data), 2);
+  eng.clear_stage_log();
+  eng.reduce_by_key(ds, [](int a, int b) { return a + b; }, 2);
+  ASSERT_EQ(eng.stage_log().size(), 2u);
+  EXPECT_EQ(eng.stage_log()[0].kind, EngineStageKind::kShuffleWrite);
+  EXPECT_EQ(eng.stage_log()[1].kind, EngineStageKind::kReduce);
+}
+
+TEST(EngineTest, SetDropRatioValidation) {
+  Engine eng(opts());
+  EXPECT_THROW(eng.set_drop_ratio(1.0), dias::precondition_error);
+  EXPECT_THROW(eng.set_drop_ratio(-0.1), dias::precondition_error);
+  eng.set_drop_ratio(0.5);
+  EXPECT_DOUBLE_EQ(eng.options().drop_ratio, 0.5);
+}
+
+TEST(EngineTest, SampleKeepsApproximateFraction) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(20000), 20);
+  const auto sampled = eng.sample(ds, 0.3);
+  EXPECT_EQ(sampled.partitions(), 20u);
+  EXPECT_NEAR(static_cast<double>(sampled.total_size()), 6000.0, 300.0);
+  // Degenerate fractions.
+  EXPECT_EQ(eng.sample(ds, 0.0).total_size(), 0u);
+  EXPECT_EQ(eng.sample(ds, 1.0).total_size(), 20000u);
+  EXPECT_THROW(eng.sample(ds, 1.5), dias::precondition_error);
+}
+
+TEST(EngineTest, TwoStageSamplingComposes) {
+  // ApproxHadoop-style: drop 20% of tasks AND sample 50% of records.
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(10000), 10);
+  StageOptions drop_opts;
+  drop_opts.droppable = true;
+  drop_opts.drop_ratio_override = 0.2;
+  const auto task_dropped = eng.map(ds, [](const int& x) { return x; }, drop_opts);
+  const auto both = eng.sample(task_dropped, 0.5);
+  EXPECT_NEAR(static_cast<double>(both.total_size()), 10000.0 * 0.8 * 0.5, 400.0);
+}
+
+TEST(EngineTest, DistinctRemovesDuplicatesAcrossPartitions) {
+  Engine eng(opts());
+  std::vector<int> data;
+  for (int i = 0; i < 300; ++i) data.push_back(i % 17);
+  const auto ds = eng.parallelize(std::move(data), 6);
+  const auto unique = eng.distinct(ds, 4);
+  EXPECT_EQ(unique.total_size(), 17u);
+  std::set<int> seen;
+  for (int x : unique.collect()) seen.insert(x);
+  EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(EngineTest, UnionConcatenatesPartitions) {
+  Engine eng(opts());
+  const auto a = eng.parallelize(iota_vec(10), 2);
+  const auto b = eng.parallelize(iota_vec(6), 3);
+  const auto u = eng.union_datasets(a, b);
+  EXPECT_EQ(u.partitions(), 5u);
+  EXPECT_EQ(u.total_size(), 16u);
+}
+
+TEST(EngineTest, GroupByKeyGathersValues) {
+  Engine eng(opts());
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 12; ++i) data.emplace_back(i % 3, i);
+  const auto ds = eng.parallelize(std::move(data), 3);
+  const auto grouped = eng.group_by_key(ds, 2);
+  std::size_t total_values = 0;
+  for (const auto& [k, vs] : grouped.collect()) {
+    EXPECT_EQ(vs.size(), 4u) << "key " << k;
+    total_values += vs.size();
+  }
+  EXPECT_EQ(total_values, 12u);
+}
+
+class DropSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DropSweepTest, ExecutedFractionMatchesTheta) {
+  const double theta = GetParam();
+  Engine eng(opts(theta));
+  const auto ds = eng.parallelize(iota_vec(1000), 50);
+  eng.clear_stage_log();
+  StageOptions so;
+  so.droppable = true;
+  eng.map(ds, [](const int& x) { return x; }, so);
+  const auto& info = eng.stage_log().front();
+  const auto expected = static_cast<std::size_t>(
+      std::ceil(50.0 * (1.0 - theta) - 1e-12));
+  EXPECT_EQ(info.executed_partitions, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, DropSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.33, 0.4, 0.5, 0.66, 0.8, 0.9));
+
+}  // namespace
+}  // namespace dias::engine

@@ -1,0 +1,92 @@
+#include "workload/google_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dias::workload {
+namespace {
+
+TEST(GoogleTraceTest, BuildsTwelveClasses) {
+  const auto classes = google_trace_classes({});
+  ASSERT_EQ(classes.size(), 12u);
+  for (const auto& c : classes) {
+    EXPECT_GT(c.arrival_rate, 0.0);
+    EXPECT_GT(c.mean_size_mb, 0.0);
+  }
+}
+
+TEST(GoogleTraceTest, DominantTrioCarriesConfiguredShare) {
+  GoogleTraceParams params;
+  params.dominant_share = 0.89;
+  const auto classes = google_trace_classes(params);
+  double total = 0.0;
+  for (const auto& c : classes) total += c.arrival_rate;
+  const std::size_t mid = 12 / 3, top = 12 - 3;
+  const double trio =
+      classes[0].arrival_rate + classes[mid].arrival_rate + classes[top].arrival_rate;
+  EXPECT_NEAR(trio / total, 0.89, 1e-9);
+  // Shares must sum to the base rate.
+  EXPECT_NEAR(total, params.base_arrival_rate, 1e-9);
+}
+
+TEST(GoogleTraceTest, SizesDecreaseWithPriority) {
+  const auto classes = google_trace_classes({});
+  for (std::size_t p = 1; p < classes.size(); ++p) {
+    EXPECT_LE(classes[p].mean_size_mb, classes[p - 1].mean_size_mb + 1e-9);
+  }
+  EXPECT_NEAR(classes.front().mean_size_mb, 1117.0, 1e-9);
+  EXPECT_NEAR(classes.back().mean_size_mb, 473.0, 1e-9);
+}
+
+TEST(GoogleTraceTest, TraceGenerationWorksEndToEnd) {
+  auto classes = google_trace_classes({});
+  TraceGenerator gen(3);
+  const auto trace = gen.text_trace(classes, 5000);
+  ASSERT_EQ(trace.size(), 5000u);
+  std::vector<std::size_t> counts(12, 0);
+  for (const auto& e : trace) {
+    ASSERT_LT(e.spec.priority, 12u);
+    ++counts[e.spec.priority];
+  }
+  // The three dominant classes must dominate empirically too.
+  const std::size_t trio = counts[0] + counts[4] + counts[9];
+  EXPECT_GT(static_cast<double>(trio) / 5000.0, 0.8);
+}
+
+TEST(GoogleTraceTest, Validation) {
+  GoogleTraceParams params;
+  params.priorities = 2;
+  EXPECT_THROW(google_trace_classes(params), dias::precondition_error);
+  params = {};
+  params.dominant_share = 1.5;
+  EXPECT_THROW(google_trace_classes(params), dias::precondition_error);
+}
+
+TEST(DifferentialThetaTest, ShapeAndBounds) {
+  const auto theta = differential_theta(12, 3, 0.4);
+  ASSERT_EQ(theta.size(), 12u);
+  // Top three classes exact.
+  EXPECT_DOUBLE_EQ(theta[11], 0.0);
+  EXPECT_DOUBLE_EQ(theta[10], 0.0);
+  EXPECT_DOUBLE_EQ(theta[9], 0.0);
+  // Priority 0 gets the maximum; monotone non-increasing with priority.
+  EXPECT_DOUBLE_EQ(theta[0], 0.4);
+  for (std::size_t p = 1; p < 12; ++p) EXPECT_LE(theta[p], theta[p - 1] + 1e-12);
+}
+
+TEST(DifferentialThetaTest, AllExactDegenerate) {
+  const auto theta = differential_theta(5, 5, 0.4);
+  for (double t : theta) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(DifferentialThetaTest, Validation) {
+  EXPECT_THROW(differential_theta(3, 4, 0.2), dias::precondition_error);
+  EXPECT_THROW(differential_theta(3, 1, 1.0), dias::precondition_error);
+  EXPECT_THROW(differential_theta(0, 0, 0.2), dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::workload

@@ -1,0 +1,101 @@
+#include "workload/graph_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::workload {
+namespace {
+
+TEST(GraphGenTest, EdgesAreCanonicalSimpleSorted) {
+  GraphParams params;
+  params.scale = 10;
+  params.edges = 8192;
+  params.seed = 1;
+  const auto edges = generate_rmat_graph(params);
+  EXPECT_FALSE(edges.empty());
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i].first, edges[i].second);  // canonical, no self loop
+    EXPECT_LT(edges[i].second, 1u << 10);
+    if (i > 0) {
+      EXPECT_NE(edges[i], edges[i - 1]);  // deduplicated
+    }
+  }
+}
+
+TEST(GraphGenTest, DeterministicPerSeed) {
+  GraphParams params;
+  params.scale = 9;
+  params.edges = 2048;
+  params.seed = 7;
+  const auto a = generate_rmat_graph(params);
+  const auto b = generate_rmat_graph(params);
+  EXPECT_EQ(a, b);
+  params.seed = 8;
+  EXPECT_NE(generate_rmat_graph(params), a);
+}
+
+TEST(GraphGenTest, DegreeDistributionIsSkewed) {
+  GraphParams params;
+  params.scale = 12;
+  params.edges = 1 << 16;
+  params.seed = 3;
+  const auto edges = generate_rmat_graph(params);
+  std::map<std::uint32_t, int> degree;
+  for (const auto& [u, v] : edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  int max_degree = 0;
+  double total = 0.0;
+  for (const auto& [node, d] : degree) {
+    max_degree = std::max(max_degree, d);
+    total += d;
+  }
+  const double mean_degree = total / static_cast<double>(degree.size());
+  EXPECT_GT(max_degree, 10.0 * mean_degree) << "R-MAT should produce hubs";
+}
+
+TEST(GraphGenTest, Validation) {
+  GraphParams params;
+  params.scale = 0;
+  EXPECT_THROW(generate_rmat_graph(params), dias::precondition_error);
+  params = {};
+  params.edges = 0;
+  EXPECT_THROW(generate_rmat_graph(params), dias::precondition_error);
+  params = {};
+  params.a = 0.9;
+  params.b = 0.2;  // a+b+c > 1
+  EXPECT_THROW(generate_rmat_graph(params), dias::precondition_error);
+}
+
+TEST(ExactTriangleCountTest, KnownGraphs) {
+  EXPECT_EQ(exact_triangle_count({{0, 1}, {0, 2}, {1, 2}}), 1u);  // K3
+  EXPECT_EQ(exact_triangle_count({{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}), 4u);
+  EXPECT_EQ(exact_triangle_count({{0, 1}, {0, 2}, {0, 3}}), 0u);  // star
+  EXPECT_EQ(exact_triangle_count({}), 0u);
+  // Two disjoint triangles.
+  EXPECT_EQ(exact_triangle_count({{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}}), 2u);
+}
+
+TEST(ExactTriangleCountTest, RejectsNonCanonicalEdges) {
+  EXPECT_THROW(exact_triangle_count({{1, 0}}), dias::precondition_error);
+}
+
+TEST(ExactTriangleCountTest, CompleteGraphFormula) {
+  // K_n has C(n,3) triangles.
+  std::vector<Edge> kn;
+  const std::uint32_t n = 9;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) kn.push_back({u, v});
+  }
+  EXPECT_EQ(exact_triangle_count(kn), 84u);  // C(9,3)
+}
+
+}  // namespace
+}  // namespace dias::workload

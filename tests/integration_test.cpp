@@ -1,0 +1,292 @@
+// End-to-end integration tests: the qualitative findings of the paper's
+// evaluation must emerge from the full pipeline (workload generator ->
+// deflator/model -> cluster simulator).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/deflator.hpp"
+#include "model/priority_queue_sim.hpp"
+#include "model/response_time_model.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace dias {
+namespace {
+
+using cluster::TraceEntry;
+using core::ExperimentConfig;
+using core::Policy;
+
+// A small-but-loaded two-priority workload (scaled-down reference setup:
+// 9:1 low:high arrivals, low jobs 2.36x larger, ~80% utilization).
+std::vector<workload::ClassWorkloadParams> reference_classes() {
+  workload::ClassWorkloadParams low;
+  low.arrival_rate = 0.009;
+  low.mean_size_mb = 1117.0;
+  low.map_tasks = 50;
+  low.reduce_tasks = 20;
+  low.map_seconds_per_mb = 0.06;
+  low.reduce_seconds_per_mb = 0.012;
+  low.setup_time_s = 6.0;
+  low.setup_time_theta90_s = 3.0;
+  low.shuffle_time_s = 2.0;
+  low.label = "low";
+  workload::ClassWorkloadParams high = low;
+  high.arrival_rate = 0.001;
+  high.mean_size_mb = 473.0;
+  high.label = "high";
+  std::vector<workload::ClassWorkloadParams> classes{low, high};
+  workload::scale_rates_to_load(classes, 20, 0.8);
+  return classes;
+}
+
+std::vector<TraceEntry> reference_trace(std::size_t jobs, std::uint64_t seed) {
+  workload::TraceGenerator gen(seed);
+  const auto classes = reference_classes();
+  return gen.text_trace(classes, jobs);
+}
+
+ExperimentConfig base_config(Policy policy) {
+  ExperimentConfig config;
+  config.policy = policy;
+  config.slots = 20;
+  config.task_time_family = cluster::TaskTimeFamily::kExponential;
+  config.warmup_jobs = 300;
+  config.seed = 7;
+  return config;
+}
+
+TEST(IntegrationTest, PreemptionCausesWasteNonPreemptionDoesNot) {
+  const auto trace = reference_trace(3000, 1);
+  const auto p = core::run_experiment(base_config(Policy::kPreemptive), trace);
+  const auto np = core::run_experiment(base_config(Policy::kNonPreemptive), trace);
+  EXPECT_GT(p.total_evictions, 0u);
+  EXPECT_GT(p.resource_waste(), 0.0);
+  EXPECT_EQ(np.total_evictions, 0u);
+  EXPECT_DOUBLE_EQ(np.resource_waste(), 0.0);
+}
+
+TEST(IntegrationTest, PriorityAdvantageUnderPreemption) {
+  const auto trace = reference_trace(3000, 2);
+  const auto p = core::run_experiment(base_config(Policy::kPreemptive), trace);
+  // High-priority jobs see far lower mean latency and near-zero queueing.
+  EXPECT_LT(p.per_class[1].response.mean(), p.per_class[0].response.mean() / 2.0);
+  EXPECT_LT(p.per_class[1].queueing.mean(), p.per_class[0].queueing.mean() / 5.0);
+}
+
+TEST(IntegrationTest, NpHelpsLowHurtsHigh) {
+  // Figure 7's NP bars: low-priority improves, high-priority degrades.
+  const auto trace = reference_trace(4000, 3);
+  const auto p = core::run_experiment(base_config(Policy::kPreemptive), trace);
+  const auto np = core::run_experiment(base_config(Policy::kNonPreemptive), trace);
+  EXPECT_LT(np.per_class[0].response.mean(), p.per_class[0].response.mean());
+  EXPECT_GT(np.per_class[1].response.mean(), p.per_class[1].response.mean());
+}
+
+TEST(IntegrationTest, DifferentialApproximationHelpsBothClasses) {
+  // Figure 7's DA(0,20) bars: large low-priority gain at only a marginal
+  // high-priority cost relative to NP.
+  const auto trace = reference_trace(4000, 4);
+  auto config = base_config(Policy::kDifferentialApprox);
+  config.theta = {0.2, 0.0};
+  const auto p = core::run_experiment(base_config(Policy::kPreemptive), trace);
+  const auto np = core::run_experiment(base_config(Policy::kNonPreemptive), trace);
+  const auto da = core::run_experiment(config, trace);
+  // Low priority: DA clearly beats both P and NP.
+  EXPECT_LT(da.per_class[0].response.mean(), 0.7 * p.per_class[0].response.mean());
+  EXPECT_LT(da.per_class[0].response.mean(), np.per_class[0].response.mean());
+  // High priority: DA no worse than NP beyond noise (shorter low-priority
+  // jobs ahead of it; the paper reports only a marginal cost vs P).
+  EXPECT_LT(da.per_class[1].response.mean(), 1.10 * np.per_class[1].response.mean());
+  // And DA eliminates waste entirely.
+  EXPECT_EQ(da.total_evictions, 0u);
+}
+
+TEST(IntegrationTest, SprintingRecoversHighPriorityLatency) {
+  // DiAS vs DA: sprinting the high class counters the non-preemption
+  // penalty (Section 5.3).
+  const auto trace = reference_trace(4000, 5);
+  auto da = base_config(Policy::kDifferentialApprox);
+  da.theta = {0.2, 0.0};
+  auto dias = base_config(Policy::kDias);
+  dias.theta = {0.2, 0.0};
+  dias.sprint.speedup = 2.5;
+  dias.sprint.timeout_s = {std::numeric_limits<double>::infinity(), 0.0};
+  const auto da_result = core::run_experiment(da, trace);
+  const auto dias_result = core::run_experiment(dias, trace);
+  EXPECT_LT(dias_result.per_class[1].response.mean(),
+            da_result.per_class[1].response.mean());
+  // Low class benefits indirectly from shorter high-priority occupancy.
+  EXPECT_LE(dias_result.per_class[0].response.mean(),
+            da_result.per_class[0].response.mean() * 1.05);
+}
+
+TEST(IntegrationTest, SprintingSavesEnergyDespiteHigherPower) {
+  // Figure 11(c): faster completion at 1.5x power still cuts total energy
+  // when idle power is negligible and execution shrinks by 60%.
+  const auto trace = reference_trace(3000, 6);
+  auto p = base_config(Policy::kPreemptive);
+  auto dias = base_config(Policy::kDias);
+  dias.theta = {0.2, 0.0};
+  dias.sprint.speedup = 2.5;
+  dias.sprint.timeout_s = {std::numeric_limits<double>::infinity(), 0.0};
+  const auto p_result = core::run_experiment(p, trace);
+  const auto dias_result = core::run_experiment(dias, trace);
+  EXPECT_LT(dias_result.energy_joules, p_result.energy_joules);
+}
+
+TEST(IntegrationTest, ModelPredictsSimulatedResponseTimes) {
+  // Figure 5's validation: the stochastic model must track the simulator
+  // within a modest relative error at high load (paper reports ~18.7%).
+  auto classes = reference_classes();
+  std::vector<model::JobClassProfile> profiles;
+  for (const auto& c : classes) profiles.push_back(workload::to_model_profile(c, 20));
+  const std::vector<double> theta{0.2, 0.0};
+  const auto pred = model::ResponseTimeModel::predict(
+      profiles, theta, model::Discipline::kNonPreemptive);
+
+  workload::TraceGenerator gen(8);
+  for (auto& c : classes) c.size_scv = 0.0;  // model assumes mean-size jobs
+  const auto trace = gen.text_trace(classes, 12000);
+  auto config = base_config(Policy::kDifferentialApprox);
+  config.theta = {0.2, 0.0};
+  config.warmup_jobs = 1000;
+  const auto sim = core::run_experiment(config, trace);
+
+  for (std::size_t k = 0; k < 2; ++k) {
+    const double predicted = pred.per_class[k].mean_response;
+    const double observed = sim.per_class[k].response.mean();
+    EXPECT_NEAR(predicted / observed, 1.0, 0.30)
+        << "class " << k << ": predicted " << predicted << " observed " << observed;
+  }
+}
+
+TEST(IntegrationTest, DeflatorPlanIsValidatedBySimulation) {
+  // Close the loop: the deflator picks theta from the model; the simulator
+  // must confirm the predicted ordering (dropped plan beats theta=0 for the
+  // low class).
+  const auto classes = reference_classes();
+  std::vector<model::JobClassProfile> profiles;
+  for (const auto& c : classes) profiles.push_back(workload::to_model_profile(c, 20));
+  core::Deflator deflator(profiles, core::AccuracyProfile::paper_word_count());
+  const std::vector<core::ClassConstraint> constraints{{15.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  // Force dropping via a low-class latency cap at 80% of the exact value.
+  auto relaxed = deflator.plan(constraints);
+  ASSERT_TRUE(relaxed.feasible);
+  std::vector<core::ClassConstraint> capped = constraints;
+  capped[0].max_mean_response_s = 0.8 * relaxed.prediction.per_class[0].mean_response;
+  const auto plan = deflator.plan(capped);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_GT(plan.theta[0], 0.0);
+
+  const auto trace = reference_trace(4000, 9);
+  auto config = base_config(Policy::kDifferentialApprox);
+  config.theta = plan.theta;
+  const auto with_plan = core::run_experiment(config, trace);
+  const auto without = core::run_experiment(base_config(Policy::kNonPreemptive), trace);
+  EXPECT_LT(with_plan.per_class[0].response.mean(), without.per_class[0].response.mean());
+}
+
+TEST(IntegrationTest, TwoIndependentSimulatorsAgree) {
+  // Cross-validation: the cluster DES (task/slot granularity) and the
+  // model-plane MMAP/PH/1 queue simulator are independent implementations;
+  // on single-task exponential jobs they model the same system and must
+  // agree on means and tails.
+  const double lambda_low = 0.04, lambda_high = 0.01;
+  const double mean_low = 12.0, mean_high = 6.0;
+
+  // Cluster plane.
+  Rng arrivals(42);
+  std::vector<TraceEntry> trace;
+  double t = 0.0;
+  for (int i = 0; i < 40000; ++i) {
+    t += arrivals.exponential(lambda_low + lambda_high);
+    const bool high = arrivals.bernoulli(lambda_high / (lambda_low + lambda_high));
+    cluster::JobSpec spec;
+    spec.priority = high ? 1 : 0;
+    spec.stages = {{cluster::StageKind::kMap, 1, high ? mean_high : mean_low, 0.0}};
+    trace.push_back({t, spec});
+  }
+  cluster::ClusterSimulator::Config config;
+  config.slots = 1;
+  config.task_time_family = cluster::TaskTimeFamily::kExponential;
+  config.warmup_jobs = 4000;
+  config.seed = 43;
+  const auto cluster_result = cluster::simulate(config, std::move(trace));
+
+  // Model plane.
+  const auto mmap = model::Mmap::marked_poisson({lambda_low, lambda_high});
+  const std::vector<model::PhaseType> services{
+      model::PhaseType::exponential(1.0 / mean_low),
+      model::PhaseType::exponential(1.0 / mean_high)};
+  model::PriorityQueueSimOptions options;
+  options.jobs = 200000;
+  options.warmup = 20000;
+  options.seed = 44;
+  const auto queue_result = model::simulate_priority_queue(
+      mmap, services, model::SimDiscipline::kNonPreemptive, options);
+
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(cluster_result.per_class[k].response.mean() /
+                    queue_result.response[k].mean(),
+                1.0, 0.08)
+        << "class " << k << " mean";
+    EXPECT_NEAR(cluster_result.per_class[k].response.p95() /
+                    queue_result.response[k].p95(),
+                1.0, 0.10)
+        << "class " << k << " p95";
+  }
+  // And both must agree with the exact MVA means.
+  const std::vector<model::PriorityClassInput> inputs{
+      model::make_class_input(lambda_low, services[0]),
+      model::make_class_input(lambda_high, services[1])};
+  const auto mva = model::Mg1PriorityQueue::non_preemptive(inputs);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(queue_result.response[k].mean() / mva[k].mean_response, 1.0, 0.06)
+        << "class " << k;
+  }
+}
+
+TEST(IntegrationTest, ThreePriorityClassesOrdered) {
+  // Figure 9's setting: 1-4-5 high-medium-low mix; latencies must order by
+  // priority under P, and DA must reduce tail latencies for all classes
+  // relative to NP.
+  workload::ClassWorkloadParams low;
+  low.arrival_rate = 0.005;
+  low.mean_size_mb = 900.0;
+  low.map_seconds_per_mb = 0.06;
+  low.reduce_seconds_per_mb = 0.012;
+  low.setup_time_s = 6.0;
+  low.setup_time_theta90_s = 3.0;
+  low.shuffle_time_s = 2.0;
+  auto medium = low;
+  medium.arrival_rate = 0.004;
+  medium.mean_size_mb = 700.0;
+  auto high = low;
+  high.arrival_rate = 0.001;
+  high.mean_size_mb = 473.0;
+  std::vector<workload::ClassWorkloadParams> classes{low, medium, high};
+  workload::scale_rates_to_load(classes, 20, 0.8);
+  workload::TraceGenerator gen(10);
+  const auto trace = gen.text_trace(classes, 5000);
+
+  const auto p = core::run_experiment(base_config(Policy::kPreemptive), trace);
+  ASSERT_EQ(p.per_class.size(), 3u);
+  EXPECT_LT(p.per_class[2].response.mean(), p.per_class[1].response.mean());
+  EXPECT_LT(p.per_class[1].response.mean(), p.per_class[0].response.mean());
+
+  auto da = base_config(Policy::kDifferentialApprox);
+  da.theta = {0.2, 0.1, 0.0};  // DA(0,10,20) in paper order high->low
+  const auto np = core::run_experiment(base_config(Policy::kNonPreemptive), trace);
+  const auto da_result = core::run_experiment(da, trace);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_LE(da_result.per_class[k].response.quantile(0.95),
+              np.per_class[k].response.quantile(0.95) * 1.02)
+        << "class " << k;
+  }
+  EXPECT_EQ(da_result.total_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace dias

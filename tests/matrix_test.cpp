@@ -1,0 +1,184 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dias {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+  EXPECT_THROW(m(2, 0), precondition_error);
+  EXPECT_THROW(m(0, 3), precondition_error);
+}
+
+TEST(MatrixTest, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), precondition_error);
+}
+
+TEST(MatrixTest, ArithmeticOps) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  const Matrix prod = a * b;
+  EXPECT_DOUBLE_EQ(prod(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(prod(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 50.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  const Matrix a(2, 2);
+  const Matrix b(3, 3);
+  EXPECT_THROW(a + b, precondition_error);
+  EXPECT_THROW(a * b, precondition_error);
+}
+
+TEST(MatrixTest, TransposeAndNorms) {
+  const Matrix m{{1.0, -2.0, 3.0}, {-4.0, 5.0, -6.0}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), -6.0);
+  EXPECT_DOUBLE_EQ(m.inf_norm(), 15.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 6.0);
+  EXPECT_DOUBLE_EQ(m.sum(), -3.0);
+}
+
+TEST(MatrixTest, Blocks) {
+  Matrix m(4, 4);
+  const Matrix b{{1.0, 2.0}, {3.0, 4.0}};
+  m.set_block(1, 2, b);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 3), 4.0);
+  const Matrix out = m.block(1, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(out(1, 1), 4.0);
+  EXPECT_THROW(m.set_block(3, 3, b), precondition_error);
+  EXPECT_THROW(m.block(3, 3, 2, 2), precondition_error);
+}
+
+TEST(MatrixTest, IdentityAndOnes) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix ones = Matrix::ones_column(3);
+  EXPECT_EQ(ones.cols(), 1u);
+  EXPECT_DOUBLE_EQ((i * ones).sum(), 3.0);
+}
+
+TEST(SolveTest, SolvesLinearSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Matrix b{{5.0}, {10.0}};
+  const Matrix x = solve(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(SolveTest, MultipleRhs) {
+  const Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix inv = inverse(a);
+  const Matrix prod = a * inv;
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-12);
+}
+
+TEST(SolveTest, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(inverse(a), numeric_error);
+}
+
+TEST(SolveTest, PivotingHandlesZeroDiagonal) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix b{{2.0}, {3.0}};
+  const Matrix x = solve(a, b);
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(ExpmTest, DiagonalMatrix) {
+  const Matrix a{{1.0, 0.0}, {0.0, -2.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-10);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-10);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-12);
+}
+
+TEST(ExpmTest, NilpotentMatrix) {
+  // exp([[0,1],[0,0]]) = [[1,1],[0,1]]
+  const Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-12);
+}
+
+TEST(ExpmTest, RotationMatrix) {
+  // exp([[0,-t],[t,0]]) = [[cos t, -sin t],[sin t, cos t]]
+  const double t = 1.3;
+  const Matrix a{{0.0, -t}, {t, 0.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-10);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-10);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-10);
+}
+
+TEST(ExpmTest, GeneratorRowSumsPreserved) {
+  // exp(Qt) of a CTMC generator is stochastic: rows sum to 1.
+  const Matrix q{{-2.0, 2.0, 0.0}, {1.0, -3.0, 2.0}, {0.0, 4.0, -4.0}};
+  const Matrix p = expm(q * 0.7);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      rowsum += p(i, j);
+      EXPECT_GE(p(i, j), -1e-12);
+    }
+    EXPECT_NEAR(rowsum, 1.0, 1e-10);
+  }
+}
+
+TEST(StationaryTest, CtmcTwoState) {
+  // Q = [[-a, a],[b, -b]] -> pi = (b, a)/(a+b)
+  const double a = 2.0, b = 3.0;
+  const Matrix q{{-a, a}, {b, -b}};
+  const Matrix pi = ctmc_stationary(q);
+  EXPECT_NEAR(pi(0, 0), b / (a + b), 1e-12);
+  EXPECT_NEAR(pi(0, 1), a / (a + b), 1e-12);
+}
+
+TEST(StationaryTest, CtmcBalanceResidual) {
+  const Matrix q{{-1.0, 0.5, 0.5}, {0.2, -0.7, 0.5}, {1.0, 1.0, -2.0}};
+  const Matrix pi = ctmc_stationary(q);
+  const Matrix residual = pi * q;
+  EXPECT_LT(residual.max_abs(), 1e-10);
+  EXPECT_NEAR(pi.sum(), 1.0, 1e-12);
+}
+
+TEST(StationaryTest, DtmcTwoState) {
+  const Matrix p{{0.9, 0.1}, {0.4, 0.6}};
+  const Matrix pi = dtmc_stationary(p);
+  // pi = (0.8, 0.2)
+  EXPECT_NEAR(pi(0, 0), 0.8, 1e-12);
+  EXPECT_NEAR(pi(0, 1), 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace dias

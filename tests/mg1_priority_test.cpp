@@ -1,0 +1,194 @@
+#include "model/mg1_priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+// Single class M/M/1: W (FCFS) = rho / (mu - lambda), T = 1/(mu - lambda).
+TEST(Mg1PriorityTest, SingleClassMm1) {
+  const double lambda = 0.6, mu = 1.0;
+  const auto service = PhaseType::exponential(mu);
+  const std::vector<PriorityClassInput> classes{make_class_input(lambda, service)};
+  for (auto results : {Mg1PriorityQueue::non_preemptive(classes),
+                       Mg1PriorityQueue::preemptive_resume(classes)}) {
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].stable);
+    EXPECT_NEAR(results[0].utilization, 0.6, 1e-12);
+    EXPECT_NEAR(results[0].mean_waiting, 0.6 / (mu - lambda), 1e-9);
+    EXPECT_NEAR(results[0].mean_response, 1.0 / (mu - lambda), 1e-9);
+  }
+}
+
+// Single class M/G/1: Pollaczek-Khinchine with an Erlang-2 service.
+TEST(Mg1PriorityTest, SingleClassPollaczekKhinchine) {
+  const double lambda = 0.5;
+  const auto service = PhaseType::erlang(2, 4.0);  // mean 0.5, E[S^2] = 6/16
+  const std::vector<PriorityClassInput> classes{make_class_input(lambda, service)};
+  const auto results = Mg1PriorityQueue::non_preemptive(classes);
+  const double rho = lambda * 0.5;
+  const double w = lambda * service.moment(2) / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(results[0].mean_waiting, w, 1e-9);
+}
+
+// Two classes, exponential service: textbook non-preemptive priority means.
+TEST(Mg1PriorityTest, TwoClassNonPreemptiveCobham) {
+  // Class order: index 1 is the HIGH priority (paper convention).
+  const double lambda_low = 0.3, lambda_high = 0.2;
+  const double mu_low = 1.0, mu_high = 2.0;
+  const std::vector<PriorityClassInput> classes{
+      make_class_input(lambda_low, PhaseType::exponential(mu_low)),
+      make_class_input(lambda_high, PhaseType::exponential(mu_high)),
+  };
+  const auto results = Mg1PriorityQueue::non_preemptive(classes);
+  const double rho_low = 0.3, rho_high = 0.1;
+  const double w0 = lambda_low * 2.0 / (mu_low * mu_low) / 2.0 +
+                    lambda_high * 2.0 / (mu_high * mu_high) / 2.0;
+  const double w_high = w0 / (1.0 - rho_high);
+  const double w_low = w0 / ((1.0 - rho_high) * (1.0 - rho_high - rho_low));
+  EXPECT_NEAR(results[1].mean_waiting, w_high, 1e-9);
+  EXPECT_NEAR(results[0].mean_waiting, w_low, 1e-9);
+  EXPECT_GT(results[0].mean_waiting, results[1].mean_waiting);
+}
+
+TEST(Mg1PriorityTest, TwoClassPreemptiveResume) {
+  const double lambda_low = 0.3, lambda_high = 0.2;
+  const double mu_low = 1.0, mu_high = 2.0;
+  const std::vector<PriorityClassInput> classes{
+      make_class_input(lambda_low, PhaseType::exponential(mu_low)),
+      make_class_input(lambda_high, PhaseType::exponential(mu_high)),
+  };
+  const auto results = Mg1PriorityQueue::preemptive_resume(classes);
+  // High class sees a pure M/M/1.
+  EXPECT_NEAR(results[1].mean_response, 1.0 / (mu_high - lambda_high), 1e-9);
+  // Low class: T = E[S]/(1-rho_h) + (sum_{j<=k} lambda_j E[S_j^2]/2)/((1-rho_h)(1-rho_h-rho_l)).
+  const double rho_h = 0.1, rho_l = 0.3;
+  const double w0_all = lambda_low * 2.0 / (mu_low * mu_low) / 2.0 +
+                        lambda_high * 2.0 / (mu_high * mu_high) / 2.0;
+  const double t_low = 1.0 / mu_low / (1.0 - rho_h) +
+                       w0_all / ((1.0 - rho_h) * (1.0 - rho_h - rho_l));
+  EXPECT_NEAR(results[0].mean_response, t_low, 1e-9);
+}
+
+TEST(Mg1PriorityTest, PreemptionHelpsHighHurtsLow) {
+  const std::vector<PriorityClassInput> classes{
+      make_class_input(0.4, PhaseType::exponential(1.0)),
+      make_class_input(0.2, PhaseType::exponential(1.0)),
+  };
+  const auto np = Mg1PriorityQueue::non_preemptive(classes);
+  const auto pr = Mg1PriorityQueue::preemptive_resume(classes);
+  EXPECT_LT(pr[1].mean_response, np[1].mean_response);  // high prefers P
+  EXPECT_GE(pr[0].mean_response, np[0].mean_response - 1e-9);  // low prefers NP
+}
+
+TEST(Mg1PriorityTest, UnstableClassFlagged) {
+  // Total load 1.2: the low class must be unstable, the high class stable.
+  const std::vector<PriorityClassInput> classes{
+      make_class_input(0.7, PhaseType::exponential(1.0)),
+      make_class_input(0.5, PhaseType::exponential(1.0)),
+  };
+  const auto results = Mg1PriorityQueue::non_preemptive(classes);
+  EXPECT_FALSE(results[0].stable);
+  EXPECT_TRUE(std::isinf(results[0].mean_response));
+  EXPECT_TRUE(results[1].stable);
+}
+
+TEST(Mg1PriorityTest, InputValidation) {
+  std::vector<PriorityClassInput> classes{{-0.1, 1.0, 2.0}};
+  EXPECT_THROW(Mg1PriorityQueue::non_preemptive(classes), dias::precondition_error);
+  classes = {{0.1, 0.0, 0.0}};
+  EXPECT_THROW(Mg1PriorityQueue::non_preemptive(classes), dias::precondition_error);
+  classes = {{0.1, 2.0, 1.0}};  // E[S^2] < E[S]^2
+  EXPECT_THROW(Mg1PriorityQueue::non_preemptive(classes), dias::precondition_error);
+  EXPECT_THROW(Mg1PriorityQueue::non_preemptive(std::vector<PriorityClassInput>{}),
+               dias::precondition_error);
+}
+
+TEST(RepeatCompletionTest, NoInterruptionsGivesServiceMean) {
+  const auto s = PhaseType::erlang(3, 2.0);
+  const auto c = Mg1PriorityQueue::repeat_completion_mean(s, 0.0, 5.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, s.mean(), 1e-12);
+}
+
+TEST(RepeatCompletionTest, ExponentialClosedForm) {
+  // S ~ Exp(mu), interrupts at rate a < mu: E[e^{aS}] = mu/(mu-a).
+  const double mu = 2.0, a = 0.5, busy = 1.5;
+  const auto s = PhaseType::exponential(mu);
+  const auto c = Mg1PriorityQueue::repeat_completion_mean(s, a, busy);
+  ASSERT_TRUE(c.has_value());
+  const double restarts = mu / (mu - a) - 1.0;
+  EXPECT_NEAR(*c, restarts / a + restarts * busy, 1e-9);
+}
+
+TEST(RepeatCompletionTest, DivergesAtHighInterruptRate) {
+  const auto s = PhaseType::exponential(1.0);
+  EXPECT_FALSE(Mg1PriorityQueue::repeat_completion_mean(s, 1.5, 0.0).has_value());
+}
+
+TEST(PreemptiveRepeatTest, TopClassUnaffected) {
+  std::vector<Mg1PriorityQueue::RepeatClassInput> classes;
+  classes.push_back({0.3, PhaseType::exponential(1.0)});
+  classes.push_back({0.2, PhaseType::exponential(2.0)});
+  const auto results = Mg1PriorityQueue::preemptive_repeat(classes);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[1].stable);
+  // The top class is never evicted: its completion time is its service.
+  EXPECT_NEAR(results[1].utilization, 0.2 * 0.5, 1e-12);
+}
+
+TEST(PreemptiveRepeatTest, RepeatCostsMoreThanResume) {
+  std::vector<Mg1PriorityQueue::RepeatClassInput> repeat_classes;
+  repeat_classes.push_back({0.3, PhaseType::exponential(1.0)});
+  repeat_classes.push_back({0.2, PhaseType::exponential(2.0)});
+  const std::vector<PriorityClassInput> resume_classes{
+      make_class_input(0.3, PhaseType::exponential(1.0)),
+      make_class_input(0.2, PhaseType::exponential(2.0)),
+  };
+  const auto repeat = Mg1PriorityQueue::preemptive_repeat(repeat_classes);
+  const auto resume = Mg1PriorityQueue::preemptive_resume(resume_classes);
+  ASSERT_TRUE(repeat[0].stable);
+  // Re-executing from scratch can only increase the low class's response.
+  EXPECT_GT(repeat[0].mean_response, resume[0].mean_response - 1e-9);
+}
+
+TEST(PreemptiveRepeatTest, InstabilityDetected) {
+  // Low class with long jobs under heavy high-priority traffic: the
+  // restart transform diverges (Jelenkovic's instability).
+  std::vector<Mg1PriorityQueue::RepeatClassInput> classes;
+  classes.push_back({0.01, PhaseType::exponential(0.2)});  // mean 5s
+  classes.push_back({0.5, PhaseType::exponential(2.0)});   // interrupt rate 0.5 > 0.2
+  const auto results = Mg1PriorityQueue::preemptive_repeat(classes);
+  EXPECT_FALSE(results[0].stable);
+  EXPECT_TRUE(results[1].stable);
+}
+
+class LoadSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweepTest, ConservationLawHolds) {
+  // Kleinrock's conservation law for non-preemptive M/G/1 priorities:
+  // sum_k rho_k W_k = rho * W_fcfs where W_fcfs = W0 / (1 - rho).
+  const double rho_total = GetParam();
+  const double lambda_low = rho_total * 0.6, lambda_high = rho_total * 0.4;
+  const std::vector<PriorityClassInput> classes{
+      make_class_input(lambda_low, PhaseType::exponential(1.0)),
+      make_class_input(lambda_high, PhaseType::exponential(1.0)),
+  };
+  const auto results = Mg1PriorityQueue::non_preemptive(classes);
+  const double w0 = lambda_low + lambda_high;  // lambda E[S^2]/2 = lambda*2/2
+  const double lhs = lambda_low * 1.0 * results[0].mean_waiting +
+                     lambda_high * 1.0 * results[1].mean_waiting;
+  const double rhs = rho_total * w0 / (1.0 - rho_total);
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadSweepTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95));
+
+}  // namespace
+}  // namespace dias::model

@@ -1,0 +1,97 @@
+#include "model/mmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dias::model {
+namespace {
+
+TEST(MmapTest, MarkedPoissonRates) {
+  const auto mmap = Mmap::marked_poisson({0.5, 1.5});
+  EXPECT_EQ(mmap.classes(), 2u);
+  EXPECT_EQ(mmap.states(), 1u);
+  EXPECT_NEAR(mmap.arrival_rate(1), 0.5, 1e-12);
+  EXPECT_NEAR(mmap.arrival_rate(2), 1.5, 1e-12);
+  EXPECT_NEAR(mmap.total_arrival_rate(), 2.0, 1e-12);
+}
+
+TEST(MmapTest, GeneratorRowsSumToZero) {
+  const auto mmap = Mmap::marked_poisson({1.0, 2.0, 3.0});
+  const Matrix d = mmap.generator();
+  EXPECT_NEAR(d.sum(), 0.0, 1e-12);
+}
+
+TEST(MmapTest, ValidationCatchesBadBlocks) {
+  // Row sums of D0 + D1 must be zero.
+  EXPECT_THROW(Mmap(Matrix{{-1.0}}, {Matrix{{2.0}}}), precondition_error);
+  // Negative arrival rate block.
+  EXPECT_THROW(Mmap(Matrix{{-1.0}}, {Matrix{{-1.0}} * 1.0}), precondition_error);
+  // Shape mismatch.
+  EXPECT_THROW(Mmap(Matrix{{-1.0}}, {Matrix(2, 2)}), precondition_error);
+}
+
+TEST(MmapTest, ClassIndexOutOfRangeThrows) {
+  const auto mmap = Mmap::marked_poisson({1.0});
+  EXPECT_THROW(mmap.dk(0), precondition_error);
+  EXPECT_THROW(mmap.dk(2), precondition_error);
+}
+
+TEST(MmapTest, SamplerReproducesPoissonRates) {
+  const auto mmap = Mmap::marked_poisson({0.3, 0.7});
+  auto sampler = mmap.sampler(Rng(42));
+  double total_time = 0.0;
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto a = sampler.next();
+    total_time += a.inter_arrival;
+    ASSERT_GE(a.job_class, 1u);
+    ASSERT_LE(a.job_class, 2u);
+    ++counts[a.job_class];
+  }
+  EXPECT_NEAR(n / total_time, 1.0, 0.02);                    // total rate
+  EXPECT_NEAR(counts[1] / total_time, 0.3, 0.01);            // class 1
+  EXPECT_NEAR(counts[2] / total_time, 0.7, 0.01);            // class 2
+}
+
+TEST(MmapTest, SamplerInterArrivalIsExponential) {
+  const auto mmap = Mmap::marked_poisson({2.0});
+  auto sampler = mmap.sampler(Rng(7));
+  dias::Welford acc;
+  for (int i = 0; i < 100000; ++i) acc.add(sampler.next().inter_arrival);
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+  EXPECT_NEAR(acc.variance(), 0.25, 0.01);  // scv 1
+}
+
+TEST(MmapTest, Mmpp2IsValidAndBursty) {
+  // State 0: high rate, state 1: low rate -> inter-arrivals have scv > 1.
+  const auto mmap = Mmap::mmpp2({{4.0}, {0.2}}, 0.1, 0.1);
+  EXPECT_EQ(mmap.states(), 2u);
+  EXPECT_EQ(mmap.classes(), 1u);
+  EXPECT_NEAR(mmap.generator().sum(), 0.0, 1e-12);
+  // Stationary phase distribution is (0.5, 0.5) by symmetry of switching.
+  const Matrix pi = mmap.stationary();
+  EXPECT_NEAR(pi(0, 0), 0.5, 1e-9);
+  // Rate = 0.5*4 + 0.5*0.2.
+  EXPECT_NEAR(mmap.arrival_rate(1), 2.1, 1e-9);
+
+  auto sampler = mmap.sampler(Rng(21));
+  dias::Welford acc;
+  for (int i = 0; i < 200000; ++i) acc.add(sampler.next().inter_arrival);
+  const double scv = acc.variance() / (acc.mean() * acc.mean());
+  EXPECT_GT(scv, 1.3) << "MMPP inter-arrivals should be bursty";
+}
+
+TEST(MmapTest, Mmpp2TwoClasses) {
+  const auto mmap = Mmap::mmpp2({{1.0, 2.0}, {3.0, 0.5}}, 0.5, 1.5);
+  // pi = (r10, r01)/(r01+r10) = (0.75, 0.25)
+  EXPECT_NEAR(mmap.arrival_rate(1), 0.75 * 1.0 + 0.25 * 3.0, 1e-9);
+  EXPECT_NEAR(mmap.arrival_rate(2), 0.75 * 2.0 + 0.25 * 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace dias::model

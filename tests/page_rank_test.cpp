@@ -1,0 +1,127 @@
+#include "analytics/page_rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "workload/graph_gen.hpp"
+
+namespace dias::analytics {
+namespace {
+
+engine::Engine::Options eng_opts() {
+  engine::Engine::Options o;
+  o.workers = 4;
+  o.seed = 13;
+  return o;
+}
+
+using workload::Edge;
+
+TEST(PageRankTest, RanksSumToOne) {
+  workload::GraphParams params;
+  params.scale = 8;
+  params.edges = 2048;
+  params.seed = 5;
+  const auto edges = workload::generate_rmat_graph(params);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(edges, 8);
+  PageRankOptions options;
+  options.iterations = 15;
+  const auto result = page_rank(eng, ds, options);
+  double total = 0.0;
+  for (const auto& [v, r] : result.ranks) {
+    EXPECT_GT(r, 0.0);
+    total += r;
+  }
+  EXPECT_NEAR(total, 1.0, 0.02);
+  EXPECT_EQ(result.iterations, 15);
+  EXPECT_GT(result.duration_s, 0.0);
+}
+
+TEST(PageRankTest, SymmetricStarConcentratesRankAtHub) {
+  std::vector<Edge> star;
+  for (std::uint32_t i = 1; i <= 20; ++i) star.push_back({0, i});
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(star, 4);
+  PageRankOptions options;
+  options.iterations = 30;
+  const auto result = page_rank(eng, ds, options);
+  const double hub = result.ranks.at(0);
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    EXPECT_GT(hub, 5.0 * result.ranks.at(i));
+  }
+}
+
+TEST(PageRankTest, RegularGraphIsUniform) {
+  // A cycle: every vertex has degree 2, so ranks are uniform.
+  std::vector<Edge> cycle;
+  const std::uint32_t n = 16;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t j = (i + 1) % n;
+    cycle.push_back({std::min(i, j), std::max(i, j)});
+  }
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(cycle, 4);
+  PageRankOptions options;
+  options.iterations = 25;
+  const auto result = page_rank(eng, ds, options);
+  for (const auto& [v, r] : result.ranks) {
+    EXPECT_NEAR(r, 1.0 / n, 1e-6) << "vertex " << v;
+  }
+}
+
+TEST(PageRankTest, DroppingDegradesAccuracyGradually) {
+  workload::GraphParams params;
+  params.scale = 10;
+  params.edges = 16384;
+  params.seed = 9;
+  const auto edges = workload::generate_rmat_graph(params);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(edges, 32);
+  PageRankOptions exact_opts;
+  exact_opts.iterations = 8;
+  const auto exact = page_rank(eng, ds, exact_opts);
+
+  double prev_error = -1.0;
+  // Note: theta below 1/partitions drops nothing (ceil granularity).
+  for (double theta : {0.05, 0.1, 0.2}) {
+    PageRankOptions opts = exact_opts;
+    opts.stage_drop_ratio = theta;
+    const auto approx = page_rank(eng, ds, opts);
+    const double err = rank_error_percent(exact.ranks, approx.ranks);
+    EXPECT_GT(err, 0.0) << "theta=" << theta;
+    EXPECT_LT(err, 100.0) << "theta=" << theta;
+    EXPECT_GT(err, prev_error - 5.0);  // roughly increasing
+    EXPECT_LT(approx.tasks_run, approx.tasks_total);
+    prev_error = err;
+  }
+}
+
+TEST(RankErrorTest, KnownValues) {
+  RankVector ref{{1, 0.5}, {2, 0.5}};
+  EXPECT_DOUBLE_EQ(rank_error_percent(ref, ref), 0.0);
+  RankVector est{{1, 0.4}, {2, 0.6}};
+  EXPECT_NEAR(rank_error_percent(ref, est), 20.0, 1e-9);
+  RankVector missing{{1, 0.5}};
+  EXPECT_NEAR(rank_error_percent(ref, missing), 50.0, 1e-9);
+  RankVector extra{{1, 0.5}, {2, 0.5}, {3, 0.1}};
+  EXPECT_NEAR(rank_error_percent(ref, extra), 10.0, 1e-9);
+}
+
+TEST(PageRankTest, Validation) {
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(std::vector<Edge>{{0, 1}}, 1);
+  PageRankOptions bad;
+  bad.iterations = 0;
+  EXPECT_THROW(page_rank(eng, ds, bad), dias::precondition_error);
+  bad = {};
+  bad.damping = 1.5;
+  EXPECT_THROW(page_rank(eng, ds, bad), dias::precondition_error);
+  EXPECT_THROW(rank_error_percent({}, {}), dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::analytics

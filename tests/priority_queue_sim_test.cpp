@@ -1,0 +1,182 @@
+#include "model/priority_queue_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "model/mg1_priority.hpp"
+#include "model/qbd.hpp"
+
+namespace dias::model {
+namespace {
+
+PriorityQueueSimOptions fast_options(std::uint64_t seed = 1) {
+  PriorityQueueSimOptions o;
+  o.jobs = 60000;
+  o.warmup = 6000;
+  o.seed = seed;
+  return o;
+}
+
+TEST(PriorityQueueSimTest, Mm1MatchesClosedForm) {
+  const auto arrivals = Mmap::marked_poisson({0.6});
+  const std::vector<PhaseType> services{PhaseType::exponential(1.0)};
+  const auto result = simulate_priority_queue(arrivals, services,
+                                              SimDiscipline::kNonPreemptive, fast_options());
+  ASSERT_FALSE(result.truncated);
+  EXPECT_NEAR(result.response[0].mean(), 1.0 / (1.0 - 0.6), 0.1);
+  EXPECT_NEAR(result.waiting[0].mean(), 0.6 / (1.0 - 0.6), 0.1);
+  EXPECT_NEAR(result.utilization(), 0.6, 0.02);
+}
+
+TEST(PriorityQueueSimTest, MatchesNonPreemptiveMva) {
+  const auto arrivals = Mmap::marked_poisson({0.3, 0.2});
+  const std::vector<PhaseType> services{PhaseType::erlang(2, 2.0),
+                                        PhaseType::exponential(2.0)};
+  const std::vector<PriorityClassInput> inputs{make_class_input(0.3, services[0]),
+                                               make_class_input(0.2, services[1])};
+  const auto mva = Mg1PriorityQueue::non_preemptive(inputs);
+  const auto sim = simulate_priority_queue(arrivals, services,
+                                           SimDiscipline::kNonPreemptive, fast_options(2));
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(sim.response[k].mean(), mva[k].mean_response,
+                0.05 * mva[k].mean_response)
+        << "class " << k;
+  }
+}
+
+TEST(PriorityQueueSimTest, MatchesPreemptiveResumeMva) {
+  const auto arrivals = Mmap::marked_poisson({0.3, 0.2});
+  const std::vector<PhaseType> services{PhaseType::exponential(1.0),
+                                        PhaseType::exponential(2.0)};
+  const std::vector<PriorityClassInput> inputs{make_class_input(0.3, services[0]),
+                                               make_class_input(0.2, services[1])};
+  const auto mva = Mg1PriorityQueue::preemptive_resume(inputs);
+  const auto sim = simulate_priority_queue(arrivals, services,
+                                           SimDiscipline::kPreemptiveResume, fast_options(3));
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(sim.response[k].mean(), mva[k].mean_response,
+                0.06 * mva[k].mean_response)
+        << "class " << k;
+  }
+}
+
+TEST(PriorityQueueSimTest, HighClassSeesPureMm1UnderPreemption) {
+  const auto arrivals = Mmap::marked_poisson({0.4, 0.3});
+  const std::vector<PhaseType> services{PhaseType::exponential(1.0),
+                                        PhaseType::exponential(1.0)};
+  for (auto d : {SimDiscipline::kPreemptiveResume, SimDiscipline::kPreemptiveRepeatIdentical,
+                 SimDiscipline::kPreemptiveRepeatResample}) {
+    const auto sim = simulate_priority_queue(arrivals, services, d, fast_options(4));
+    EXPECT_NEAR(sim.response[1].mean(), 1.0 / (1.0 - 0.3), 0.12)
+        << "discipline " << static_cast<int>(d);
+  }
+}
+
+TEST(PriorityQueueSimTest, RepeatCostsMoreThanResume) {
+  const auto arrivals = Mmap::marked_poisson({0.25, 0.25});
+  const std::vector<PhaseType> services{PhaseType::erlang(2, 2.0),
+                                        PhaseType::exponential(2.0)};
+  const auto resume = simulate_priority_queue(arrivals, services,
+                                              SimDiscipline::kPreemptiveResume,
+                                              fast_options(5));
+  const auto repeat = simulate_priority_queue(arrivals, services,
+                                              SimDiscipline::kPreemptiveRepeatIdentical,
+                                              fast_options(5));
+  EXPECT_GT(repeat.response[0].mean(), resume.response[0].mean());
+}
+
+TEST(PriorityQueueSimTest, RepeatInstabilityTriggersSafetyValve) {
+  // Long low-priority jobs + frequent high-priority interrupts: the repeat
+  // discipline cannot finish the low job (Jelenkovic's instability). The
+  // backlog valve must fire instead of hanging.
+  const auto arrivals = Mmap::marked_poisson({0.05, 0.8});
+  const std::vector<PhaseType> services{PhaseType::erlang(4, 0.2),  // mean 20s
+                                        PhaseType::exponential(2.0)};
+  PriorityQueueSimOptions options = fast_options(6);
+  options.jobs = 200000;
+  options.warmup = 100;
+  options.max_backlog = 2000;
+  const auto result = simulate_priority_queue(
+      arrivals, services, SimDiscipline::kPreemptiveRepeatIdentical, options);
+  EXPECT_TRUE(result.truncated);
+  // Resampling restores stability (some attempt eventually draws short work).
+  const auto resample = simulate_priority_queue(
+      arrivals, services, SimDiscipline::kPreemptiveRepeatResample, options);
+  EXPECT_GT(resample.response[1].count(), 1000u);
+}
+
+TEST(PriorityQueueSimTest, BurstyArrivalsIncreaseWaiting) {
+  // Same rates, bursty MMPP vs Poisson: waiting must grow.
+  const std::vector<PhaseType> services{PhaseType::exponential(1.0)};
+  const auto poisson = Mmap::marked_poisson({0.6});
+  const auto bursty = Mmap::mmpp2({{1.2}, {0.0001}}, 0.01, 0.01);
+  const auto base = simulate_priority_queue(poisson, services,
+                                            SimDiscipline::kNonPreemptive, fast_options(7));
+  const auto burst = simulate_priority_queue(bursty, services,
+                                             SimDiscipline::kNonPreemptive, fast_options(7));
+  EXPECT_GT(burst.waiting[0].mean(), 1.5 * base.waiting[0].mean());
+}
+
+TEST(PriorityQueueSimTest, WaitingTimeDistributionMatchesPhForm) {
+  // Single class: the empirical waiting CDF must match the closed-form PH
+  // waiting-time distribution from mg1_waiting_time.
+  const double lambda = 0.5;
+  const auto service = PhaseType::erlang(3, 3.0);
+  const auto arrivals = Mmap::marked_poisson({lambda});
+  const std::vector<PhaseType> services{service};
+  PriorityQueueSimOptions options = fast_options(8);
+  options.jobs = 150000;
+  options.warmup = 15000;
+  const auto sim = simulate_priority_queue(arrivals, services,
+                                           SimDiscipline::kNonPreemptive, options);
+  const auto w = mg1_waiting_time(lambda, service);
+  EXPECT_NEAR(sim.waiting[0].mean(), w.mean(), 0.05 * w.mean());
+  for (double q : {0.5, 0.9, 0.95}) {
+    // Invert empirically: CDF at the empirical quantile must be ~q.
+    const double x = sim.waiting[0].quantile(q);
+    EXPECT_NEAR(w.cdf(x), q, 0.02) << "quantile " << q;
+  }
+}
+
+TEST(PriorityQueueSimTest, Validation) {
+  const auto arrivals = Mmap::marked_poisson({0.5, 0.5});
+  const std::vector<PhaseType> one{PhaseType::exponential(1.0)};
+  EXPECT_THROW(simulate_priority_queue(arrivals, one, SimDiscipline::kNonPreemptive,
+                                       fast_options()),
+               dias::precondition_error);
+  PriorityQueueSimOptions bad;
+  bad.jobs = 10;
+  bad.warmup = 20;
+  const std::vector<PhaseType> two{PhaseType::exponential(1.0), PhaseType::exponential(1.0)};
+  EXPECT_THROW(simulate_priority_queue(arrivals, two, SimDiscipline::kNonPreemptive, bad),
+               dias::precondition_error);
+}
+
+class DisciplineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisciplineSweep, UtilizationAndOrderingInvariants) {
+  const auto discipline = static_cast<SimDiscipline>(GetParam());
+  const auto arrivals = Mmap::marked_poisson({0.25, 0.2});
+  const std::vector<PhaseType> services{PhaseType::erlang(2, 2.0),
+                                        PhaseType::exponential(2.0)};
+  auto options = fast_options(10 + static_cast<std::uint64_t>(GetParam()));
+  options.jobs = 30000;
+  options.warmup = 3000;
+  const auto result = simulate_priority_queue(arrivals, services, discipline, options);
+  ASSERT_FALSE(result.truncated);
+  // High class never waits longer than the low class on average.
+  EXPECT_LE(result.waiting[1].mean(), result.waiting[0].mean() + 1e-9);
+  // Responses exceed waits; utilization is sane.
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_GE(result.response[k].mean(), result.waiting[k].mean());
+  }
+  EXPECT_GT(result.utilization(), 0.2);
+  EXPECT_LT(result.utilization(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Disciplines, DisciplineSweep, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace dias::model

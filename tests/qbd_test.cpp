@@ -1,0 +1,224 @@
+#include "model/qbd.hpp"
+
+#include "model/priority_queue_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+TEST(QbdTest, Mm1RMatrixIsScalarRho) {
+  // M/M/1 as a QBD has R = lambda/mu (scalar).
+  const double lambda = 0.4, mu = 1.0;
+  const Matrix a0{{lambda}};
+  const Matrix a1{{-(lambda + mu)}};
+  const Matrix a2{{mu}};
+  const Matrix r = solve_qbd_r(a0, a1, a2);
+  EXPECT_NEAR(r(0, 0), lambda / mu, 1e-10);
+}
+
+TEST(QbdTest, RSolvesQuadraticEquation) {
+  // Random-ish stable QBD: verify A0 + R A1 + R^2 A2 = 0.
+  const Matrix a0{{0.2, 0.1}, {0.0, 0.3}};
+  const Matrix a2{{0.5, 0.1}, {0.2, 0.6}};
+  Matrix a1(2, 2);
+  // Make row sums of A0+A1+A2 zero with negative diagonal.
+  a1(0, 0) = -(0.2 + 0.1 + 0.5 + 0.1 + 0.2);
+  a1(0, 1) = 0.2;
+  a1(1, 0) = 0.1;
+  a1(1, 1) = -(0.3 + 0.2 + 0.6 + 0.1);
+  const Matrix r = solve_qbd_r(a0, a1, a2);
+  const Matrix residual = a0 + r * a1 + r * r * a2;
+  EXPECT_LT(residual.max_abs(), 1e-9);
+  // Spectral radius below 1 (stability): inf norm of R^32 must be tiny.
+  Matrix power = r;
+  for (int i = 0; i < 5; ++i) power = power * power;
+  EXPECT_LT(power.inf_norm(), 1.0);
+}
+
+TEST(QbdTest, ShapeValidation) {
+  EXPECT_THROW(solve_qbd_r(Matrix(2, 2), Matrix(3, 3), Matrix(2, 2)),
+               dias::precondition_error);
+  EXPECT_THROW(solve_qbd_r(Matrix(2, 3), Matrix(2, 3), Matrix(2, 3)),
+               dias::precondition_error);
+}
+
+TEST(MPh1QueueTest, Mm1ClosedForms) {
+  const double lambda = 0.7, mu = 1.0;
+  const MPh1Queue q(lambda, PhaseType::exponential(mu));
+  ASSERT_TRUE(q.stable());
+  EXPECT_NEAR(q.utilization(), 0.7, 1e-12);
+  EXPECT_NEAR(q.empty_probability(), 1.0 - 0.7, 1e-9);
+  EXPECT_NEAR(q.mean_jobs_in_system(), 0.7 / 0.3, 1e-8);
+  EXPECT_NEAR(q.mean_response_time(), 1.0 / (mu - lambda), 1e-8);
+  EXPECT_NEAR(q.mean_waiting_time(), 0.7 / 0.3, 1e-8);  // rho/(mu-lambda)
+}
+
+TEST(MPh1QueueTest, Mm1GeometricLevels) {
+  const double lambda = 0.5, mu = 1.0;
+  const MPh1Queue q(lambda, PhaseType::exponential(mu));
+  const auto levels = q.level_probabilities(10);
+  ASSERT_EQ(levels.size(), 11u);
+  for (std::size_t n = 0; n <= 10; ++n) {
+    EXPECT_NEAR(levels[n], 0.5 * std::pow(0.5, static_cast<double>(n)), 1e-9)
+        << "level " << n;
+  }
+}
+
+TEST(MPh1QueueTest, MatchesPollaczekKhinchineForErlang) {
+  const double lambda = 0.6;
+  const auto service = PhaseType::erlang(3, 6.0);  // mean 0.5, scv 1/3
+  const MPh1Queue q(lambda, service);
+  const double rho = lambda * service.mean();
+  const double w = lambda * service.moment(2) / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(q.mean_waiting_time(), w, 1e-8);
+  EXPECT_NEAR(q.mean_response_time(), w + service.mean(), 1e-8);
+}
+
+TEST(MPh1QueueTest, MatchesPollaczekKhinchineForHyperExp) {
+  const double lambda = 0.3;
+  const auto service = PhaseType::hyper_exponential({0.3, 0.7}, {0.5, 2.0});
+  const MPh1Queue q(lambda, service);
+  const double rho = lambda * service.mean();
+  ASSERT_LT(rho, 1.0);
+  const double w = lambda * service.moment(2) / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(q.mean_waiting_time(), w, 1e-8);
+}
+
+TEST(MPh1QueueTest, UnstableQueueGuards) {
+  const MPh1Queue q(2.0, PhaseType::exponential(1.0));
+  EXPECT_FALSE(q.stable());
+  EXPECT_THROW(q.mean_jobs_in_system(), dias::precondition_error);
+  EXPECT_THROW(q.empty_probability(), dias::precondition_error);
+}
+
+TEST(MPh1QueueTest, LevelProbabilitiesSumToOne) {
+  const MPh1Queue q(0.5, PhaseType::erlang(2, 4.0));
+  const auto levels = q.level_probabilities(200);
+  double sum = 0.0;
+  for (double p : levels) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+}
+
+TEST(Mg1WaitingTimeTest, MeanMatchesPollaczekKhinchine) {
+  const double lambda = 0.5;
+  const auto service = PhaseType::erlang(3, 3.0);
+  const auto w = mg1_waiting_time(lambda, service);
+  const double rho = lambda * service.mean();
+  const double expected = lambda * service.moment(2) / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(w.mean(), expected, 1e-9);
+}
+
+TEST(Mg1WaitingTimeTest, AtomAtZeroIsOneMinusRho) {
+  const double lambda = 0.4;
+  const auto service = PhaseType::hyper_exponential({0.3, 0.7}, {0.5, 2.0});
+  const auto w = mg1_waiting_time(lambda, service);
+  const double rho = lambda * service.mean();
+  EXPECT_NEAR(w.point_mass_at_zero(), 1.0 - rho, 1e-9);
+  EXPECT_NEAR(w.cdf(0.0), 1.0 - rho, 1e-8);
+}
+
+TEST(Mg1WaitingTimeTest, Mm1WaitingIsExponentialMixture) {
+  // M/M/1: P(W > t) = rho e^{-(mu - lambda) t}.
+  const double lambda = 0.6, mu = 1.0;
+  const auto w = mg1_waiting_time(lambda, PhaseType::exponential(mu));
+  for (double t : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(w.ccdf(t), 0.6 * std::exp(-(mu - lambda) * t), 1e-8) << t;
+  }
+}
+
+TEST(Mg1WaitingTimeTest, ResponseAddsService) {
+  const double lambda = 0.5;
+  const auto service = PhaseType::erlang(2, 2.0);
+  const auto t = mg1_response_time(lambda, service);
+  const auto w = mg1_waiting_time(lambda, service);
+  EXPECT_NEAR(t.mean(), w.mean() + service.mean(), 1e-9);
+  // M/PH/1 response mean must also match the QBD machinery.
+  const MPh1Queue q(lambda, service);
+  EXPECT_NEAR(t.mean(), q.mean_response_time(), 1e-7);
+}
+
+TEST(Mg1WaitingTimeTest, RejectsUnstableQueue) {
+  EXPECT_THROW(mg1_waiting_time(2.0, PhaseType::exponential(1.0)), dias::precondition_error);
+  EXPECT_THROW(mg1_waiting_time(0.0, PhaseType::exponential(1.0)), dias::precondition_error);
+}
+
+TEST(MapPh1QueueTest, PoissonSpecialCaseMatchesMPh1) {
+  // A MAP with one state and rate lambda is a Poisson process, so the
+  // MAP/PH/1 solver must agree with the M/PH/1 one.
+  const double lambda = 0.55;
+  const auto service = PhaseType::erlang(2, 3.0);
+  const auto arrivals = Mmap::marked_poisson({lambda});
+  const MapPh1Queue map_queue(arrivals, service);
+  const MPh1Queue m_queue(lambda, service);
+  ASSERT_TRUE(map_queue.stable());
+  EXPECT_NEAR(map_queue.arrival_rate(), lambda, 1e-12);
+  EXPECT_NEAR(map_queue.utilization(), m_queue.utilization(), 1e-12);
+  EXPECT_NEAR(map_queue.empty_probability(), m_queue.empty_probability(), 1e-8);
+  EXPECT_NEAR(map_queue.mean_jobs_in_system(), m_queue.mean_jobs_in_system(), 1e-7);
+  EXPECT_NEAR(map_queue.mean_response_time(), m_queue.mean_response_time(), 1e-7);
+}
+
+TEST(MapPh1QueueTest, MarkedClassesAggregate) {
+  // Two marked Poisson streams aggregate to one Poisson of the total rate.
+  const auto service = PhaseType::exponential(1.0);
+  const MapPh1Queue split(Mmap::marked_poisson({0.2, 0.3}), service);
+  const MapPh1Queue merged(Mmap::marked_poisson({0.5}), service);
+  EXPECT_NEAR(split.mean_response_time(), merged.mean_response_time(), 1e-8);
+}
+
+TEST(MapPh1QueueTest, BurstyArrivalsWaitLonger) {
+  // Same rate, bursty MMPP2 vs Poisson: the analytic queue must show the
+  // burstiness penalty.
+  const auto service = PhaseType::exponential(1.0);
+  const auto bursty = Mmap::mmpp2({{1.2}, {0.0001}}, 0.01, 0.01);
+  const auto poisson = Mmap::marked_poisson({bursty.arrival_rate(1)});
+  const MapPh1Queue bursty_queue(bursty, service);
+  const MapPh1Queue poisson_queue(poisson, service);
+  ASSERT_TRUE(bursty_queue.stable());
+  EXPECT_GT(bursty_queue.mean_waiting_time(), 2.0 * poisson_queue.mean_waiting_time());
+}
+
+TEST(MapPh1QueueTest, MatchesBurstyQueueSimulation) {
+  const auto service = PhaseType::erlang(2, 4.0);  // mean 0.5
+  const auto arrivals = Mmap::mmpp2({{1.4}, {0.2}}, 0.05, 0.05);  // rate 0.8
+  const MapPh1Queue analytic(arrivals, service);
+  ASSERT_TRUE(analytic.stable());
+
+  PriorityQueueSimOptions options;
+  options.jobs = 300000;
+  options.warmup = 30000;
+  options.seed = 3;
+  const std::vector<PhaseType> services{service};
+  const auto sim = simulate_priority_queue(arrivals, services,
+                                           SimDiscipline::kNonPreemptive, options);
+  EXPECT_NEAR(sim.response[0].mean() / analytic.mean_response_time(), 1.0, 0.05);
+}
+
+TEST(MapPh1QueueTest, UnstableGuards) {
+  const MapPh1Queue q(Mmap::marked_poisson({2.0}), PhaseType::exponential(1.0));
+  EXPECT_FALSE(q.stable());
+  EXPECT_THROW(q.mean_jobs_in_system(), dias::precondition_error);
+}
+
+class UtilizationSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilizationSweepTest, LittleLawConsistency) {
+  const double rho = GetParam();
+  const auto service = PhaseType::erlang(2, 2.0);  // mean 1
+  const MPh1Queue q(rho, service);
+  ASSERT_TRUE(q.stable());
+  // E[N] = lambda E[T] must hold by construction; also E[T] >= E[S].
+  EXPECT_NEAR(q.mean_jobs_in_system(), rho * q.mean_response_time(), 1e-9);
+  EXPECT_GE(q.mean_response_time(), service.mean() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, UtilizationSweepTest,
+                         ::testing::Values(0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95));
+
+}  // namespace
+}  // namespace dias::model

@@ -1,0 +1,133 @@
+#include "model/response_time_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+JobClassProfile small_profile(double lambda) {
+  JobClassProfile p;
+  p.arrival_rate = lambda;
+  p.slots = 4;
+  p.map_task_pmf.assign(8, 0.0);
+  p.map_task_pmf.back() = 1.0;  // 8 map tasks
+  p.reduce_task_pmf.assign(2, 0.0);
+  p.reduce_task_pmf.back() = 1.0;  // 2 reduce tasks
+  p.map_rate = 1.0;
+  p.reduce_rate = 1.0;
+  p.shuffle_rate = 2.0;
+  p.mean_overhead_theta0 = 2.0;
+  p.mean_overhead_theta90 = 1.0;
+  return p;
+}
+
+TEST(ResponseTimeModelTest, OverheadInterpolation) {
+  const auto p = small_profile(0.01);
+  EXPECT_NEAR(ResponseTimeModel::interpolated_overhead(p, 0.0), 2.0, 1e-12);
+  EXPECT_NEAR(ResponseTimeModel::interpolated_overhead(p, 0.9), 1.0, 1e-12);
+  EXPECT_NEAR(ResponseTimeModel::interpolated_overhead(p, 0.45), 1.5, 1e-12);
+  // Clamped beyond the profiled endpoint.
+  EXPECT_NEAR(ResponseTimeModel::interpolated_overhead(p, 1.0), 1.0, 1e-12);
+}
+
+TEST(ResponseTimeModelTest, ProcessingTimeDecreasesWithTheta) {
+  const auto p = small_profile(0.01);
+  double prev = 1e300;
+  for (double theta : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const double mean = ResponseTimeModel::processing_time(p, theta).mean();
+    EXPECT_LT(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(ResponseTimeModelTest, SprintSpeedupScalesProcessing) {
+  auto p = small_profile(0.01);
+  const double base = ResponseTimeModel::processing_time(p, 0.0).mean();
+  p.sprint_speedup = 2.0;
+  const double sprinted = ResponseTimeModel::processing_time(p, 0.0).mean();
+  EXPECT_NEAR(sprinted, base / 2.0, 1e-9);
+}
+
+TEST(ResponseTimeModelTest, PredictTwoClasses) {
+  const std::vector<JobClassProfile> classes{small_profile(0.02), small_profile(0.005)};
+  const std::vector<double> theta{0.2, 0.0};
+  const auto pred =
+      ResponseTimeModel::predict(classes, theta, Discipline::kNonPreemptive);
+  ASSERT_EQ(pred.per_class.size(), 2u);
+  for (const auto& c : pred.per_class) {
+    EXPECT_TRUE(c.stable);
+    EXPECT_GT(c.mean_processing, 0.0);
+    EXPECT_GE(c.mean_response, c.mean_processing);
+    EXPECT_NEAR(c.mean_response, c.mean_waiting + c.mean_processing, 1e-9);
+  }
+  // High class (index 1) waits less than the low class.
+  EXPECT_LT(pred.per_class[1].mean_waiting, pred.per_class[0].mean_waiting + 1e-12);
+  EXPECT_NEAR(pred.total_utilization,
+              pred.per_class[0].utilization + pred.per_class[1].utilization, 1e-12);
+}
+
+TEST(ResponseTimeModelTest, DroppingLowClassHelpsHighClassUnderNp) {
+  // Under NP the high class waits behind low-class executions; deflating
+  // the low class shortens that wait.
+  const std::vector<JobClassProfile> classes{small_profile(0.03), small_profile(0.01)};
+  const auto exact = ResponseTimeModel::predict(classes, std::vector<double>{0.0, 0.0},
+                                                Discipline::kNonPreemptive);
+  const auto deflated = ResponseTimeModel::predict(classes, std::vector<double>{0.4, 0.0},
+                                                   Discipline::kNonPreemptive);
+  EXPECT_LT(deflated.per_class[1].mean_response, exact.per_class[1].mean_response);
+  EXPECT_LT(deflated.per_class[0].mean_response, exact.per_class[0].mean_response);
+}
+
+TEST(ResponseTimeModelTest, DisciplinesOrderHighClassLatency) {
+  const std::vector<JobClassProfile> classes{small_profile(0.03), small_profile(0.01)};
+  const std::vector<double> theta{0.0, 0.0};
+  const auto np = ResponseTimeModel::predict(classes, theta, Discipline::kNonPreemptive);
+  const auto pr = ResponseTimeModel::predict(classes, theta, Discipline::kPreemptiveResume);
+  // Preemption strictly helps the high class.
+  EXPECT_LT(pr.per_class[1].mean_response, np.per_class[1].mean_response);
+}
+
+TEST(ResponseTimeModelTest, PreemptiveRepeatRunsAndCostsMore) {
+  const std::vector<JobClassProfile> classes{small_profile(0.02), small_profile(0.005)};
+  const std::vector<double> theta{0.0, 0.0};
+  const auto repeat = ResponseTimeModel::predict(classes, theta, Discipline::kPreemptiveRepeat);
+  const auto resume = ResponseTimeModel::predict(classes, theta, Discipline::kPreemptiveResume);
+  ASSERT_TRUE(repeat.per_class[0].stable);
+  EXPECT_GE(repeat.per_class[0].mean_response, resume.per_class[0].mean_response - 1e-9);
+}
+
+TEST(ResponseTimeModelTest, Validation) {
+  const std::vector<JobClassProfile> classes{small_profile(0.01)};
+  EXPECT_THROW(ResponseTimeModel::predict(classes, std::vector<double>{0.1, 0.2},
+                                          Discipline::kNonPreemptive),
+               dias::precondition_error);
+  EXPECT_THROW(ResponseTimeModel::predict(std::vector<JobClassProfile>{},
+                                          std::vector<double>{}, Discipline::kNonPreemptive),
+               dias::precondition_error);
+  auto bad = small_profile(0.01);
+  bad.sprint_speedup = 0.5;
+  EXPECT_THROW(ResponseTimeModel::processing_time(bad, 0.0), dias::precondition_error);
+}
+
+class ThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaSweep, ResponseMonotoneInLowClassTheta) {
+  const double theta = GetParam();
+  const std::vector<JobClassProfile> classes{small_profile(0.03), small_profile(0.01)};
+  const auto base = ResponseTimeModel::predict(classes, std::vector<double>{0.0, 0.0},
+                                               Discipline::kNonPreemptive);
+  const auto dropped = ResponseTimeModel::predict(classes, std::vector<double>{theta, 0.0},
+                                                  Discipline::kNonPreemptive);
+  EXPECT_LE(dropped.per_class[0].mean_response, base.per_class[0].mean_response + 1e-9);
+  EXPECT_LE(dropped.per_class[1].mean_response, base.per_class[1].mean_response + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8));
+
+}  // namespace
+}  // namespace dias::model

@@ -1,0 +1,203 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dias {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  Welford acc;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    acc.add(u);
+  }
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+  EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    ASSERT_GE(x, -2.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(11);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70000; ++i) {
+    const auto x = rng.uniform_int(7);
+    ASSERT_LT(x, 7u);
+    ++counts[x];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, UniformIntOne) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(13);
+  Welford acc;
+  const double rate = 2.5;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.exponential(rate));
+  EXPECT_NEAR(acc.mean(), 1.0 / rate, 0.01);
+  EXPECT_NEAR(acc.variance(), 1.0 / (rate * rate), 0.01);
+}
+
+TEST(RngTest, ErlangMoments) {
+  Rng rng(17);
+  Welford acc;
+  const int k = 4;
+  const double rate = 2.0;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.erlang(k, rate));
+  EXPECT_NEAR(acc.mean(), k / rate, 0.02);
+  EXPECT_NEAR(acc.variance(), k / (rate * rate), 0.05);
+}
+
+TEST(RngTest, HyperExponentialMean) {
+  Rng rng(19);
+  Welford acc;
+  // mean = p/r1 + (1-p)/r2
+  for (int i = 0; i < 200000; ++i) acc.add(rng.hyper_exponential(0.3, 1.0, 4.0));
+  EXPECT_NEAR(acc.mean(), 0.3 / 1.0 + 0.7 / 4.0, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(23);
+  Welford acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 3.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.02);
+}
+
+TEST(RngTest, LognormalMean) {
+  Rng rng(29);
+  Welford acc;
+  const double mu = 0.5, sigma = 0.4;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.lognormal(mu, sigma));
+  EXPECT_NEAR(acc.mean(), std::exp(mu + 0.5 * sigma * sigma), 0.02);
+}
+
+TEST(RngTest, DiscreteMatchesWeights) {
+  Rng rng(31);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.6, 0.01);
+}
+
+TEST(RngTest, DiscreteRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.discrete(std::vector<double>{}), precondition_error);
+  EXPECT_THROW(rng.discrete(std::vector<double>{0.0, 0.0}), precondition_error);
+  EXPECT_THROW(rng.discrete(std::vector<double>{-1.0, 2.0}), precondition_error);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(37);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(RngTest, SplitStreamsDiffer) {
+  Rng parent(99);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, PreconditionsChecked) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), precondition_error);
+  EXPECT_THROW(rng.exponential(-1.0), precondition_error);
+  EXPECT_THROW(rng.erlang(0, 1.0), precondition_error);
+  EXPECT_THROW(rng.uniform_int(0), precondition_error);
+  EXPECT_THROW(rng.bernoulli(1.5), precondition_error);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), precondition_error);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfDistribution zipf(100, 1.1);
+  double sum = 0.0;
+  for (std::size_t r = 1; r <= 100; ++r) sum += zipf.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  const ZipfDistribution zipf(50, 1.0);
+  for (std::size_t r = 2; r <= 50; ++r) EXPECT_LE(zipf.pmf(r), zipf.pmf(r - 1) + 1e-12);
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  Rng rng(41);
+  const ZipfDistribution zipf(20, 1.2);
+  std::vector<int> counts(21, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto r = zipf(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 20u);
+    ++counts[r];
+  }
+  for (std::size_t r = 1; r <= 20; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  const ZipfDistribution zipf(10, 0.0);
+  for (std::size_t r = 1; r <= 10; ++r) EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-9);
+}
+
+class ZipfParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfParamTest, TopRankShareGrowsWithExponent) {
+  const double s = GetParam();
+  const ZipfDistribution zipf(1000, s);
+  // The rank-1 share must dominate the rank-10 share increasingly with s.
+  EXPECT_GE(zipf.pmf(1), zipf.pmf(10) - 1e-15);
+  if (s > 0.0) {
+    EXPECT_GT(zipf.pmf(1), zipf.pmf(10));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfParamTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 1.5, 2.0));
+
+}  // namespace
+}  // namespace dias

@@ -1,0 +1,122 @@
+#include "core/sprint_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/deflator.hpp"
+
+namespace dias::core {
+namespace {
+
+TEST(SprintOracleTest, EffectiveSpeedupKnownValues) {
+  // 100 s job, sprint from dispatch at 2.5x: full speedup.
+  EXPECT_NEAR(SprintOracle::effective_speedup(100.0, 0.0, 2.5), 2.5, 1e-12);
+  // Sprint after 65 s: exec' = 65 + 35/2.5 = 79 -> effective 100/79.
+  EXPECT_NEAR(SprintOracle::effective_speedup(100.0, 65.0, 2.5), 100.0 / 79.0, 1e-12);
+  // Timeout beyond the execution: no sprinting at all.
+  EXPECT_DOUBLE_EQ(SprintOracle::effective_speedup(100.0, 150.0, 2.5), 1.0);
+  // No DVFS headroom.
+  EXPECT_DOUBLE_EQ(SprintOracle::effective_speedup(100.0, 0.0, 1.0), 1.0);
+}
+
+TEST(SprintOracleTest, SprintSecondsPerJob) {
+  EXPECT_NEAR(SprintOracle::sprint_seconds_per_job(100.0, 65.0, 2.5), 35.0 / 2.5, 1e-12);
+  EXPECT_NEAR(SprintOracle::sprint_seconds_per_job(100.0, 0.0, 2.5), 40.0, 1e-12);
+  EXPECT_DOUBLE_EQ(SprintOracle::sprint_seconds_per_job(100.0, 200.0, 2.5), 0.0);
+}
+
+cluster::SprintConfig budgeted(double replenish_w) {
+  cluster::SprintConfig c;
+  c.enabled = true;
+  c.speedup = 2.5;
+  c.base_power_w = 180.0;
+  c.sprint_power_w = 270.0;  // extra 90 W
+  c.budget_joules = 22000.0;
+  c.replenish_watts = replenish_w;
+  return c;
+}
+
+TEST(SprintOracleTest, SustainabilityBalance) {
+  // 0.01 jobs/s sprinting 14 s each drains 90 * 0.14 = 12.6 W on average.
+  const auto config = budgeted(24.0);
+  EXPECT_TRUE(SprintOracle::sustainable(config, 0.01, 14.0));
+  EXPECT_FALSE(SprintOracle::sustainable(config, 0.05, 14.0));  // 63 W > 24 W
+  // Unlimited budget is always sustainable.
+  auto unlimited = config;
+  unlimited.budget_joules = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(SprintOracle::sustainable(unlimited, 10.0, 1000.0));
+}
+
+TEST(SprintOracleTest, MinSustainableTimeout) {
+  const auto config = budgeted(10.0);
+  const std::vector<double> grid{0.0, 30.0, 65.0, 90.0};
+  // 0.01 jobs/s, 100 s jobs. Drain at T: 90 W * 0.01 * (100-T)/2.5.
+  //   T=0:  36 W > 10 -> no. T=30: 25.2 -> no. T=65: 12.6 -> no. T=90: 3.6 ok.
+  EXPECT_DOUBLE_EQ(SprintOracle::min_sustainable_timeout(config, 0.01, 100.0, grid), 90.0);
+  // Lighter load sustains sprint-from-dispatch.
+  EXPECT_DOUBLE_EQ(SprintOracle::min_sustainable_timeout(config, 0.002, 100.0, grid), 0.0);
+  // Impossible load: +inf.
+  const std::vector<double> tight{0.0};
+  EXPECT_TRUE(std::isinf(SprintOracle::min_sustainable_timeout(config, 1.0, 100.0, tight)));
+}
+
+TEST(SprintOracleTest, Validation) {
+  EXPECT_THROW(SprintOracle::effective_speedup(0.0, 0.0, 2.0), dias::precondition_error);
+  EXPECT_THROW(SprintOracle::effective_speedup(1.0, -1.0, 2.0), dias::precondition_error);
+  EXPECT_THROW(SprintOracle::effective_speedup(1.0, 0.0, 0.5), dias::precondition_error);
+  EXPECT_THROW(
+      SprintOracle::min_sustainable_timeout(budgeted(1.0), 0.1, 10.0, {}),
+      dias::precondition_error);
+}
+
+model::JobClassProfile profile(double lambda) {
+  model::JobClassProfile p;
+  p.arrival_rate = lambda;
+  p.slots = 4;
+  p.map_task_pmf.assign(8, 0.0);
+  p.map_task_pmf.back() = 1.0;
+  p.reduce_task_pmf.assign(2, 0.0);
+  p.reduce_task_pmf.back() = 1.0;
+  p.map_rate = 1.0;
+  p.reduce_rate = 1.0;
+  p.shuffle_rate = 2.0;
+  p.mean_overhead_theta0 = 2.0;
+  p.mean_overhead_theta90 = 1.0;
+  return p;
+}
+
+TEST(SprintOracleTest, DeflatorPicksSustainableTimeout) {
+  Deflator::Options opts;
+  opts.sprint_speedup = 2.5;
+  opts.timeout_grid = {0.0, 2.0, 5.0};
+  // E[S] ~ 7.1 s at theta=0; with 90 W extra power and lambda 0.02 only the
+  // T=5 grid point stays below a 2 W replenish rate.
+  opts.sprint_config = budgeted(2.0);
+  Deflator deflator({profile(0.05), profile(0.02)}, AccuracyProfile::paper_word_count(),
+                    opts);
+  const std::vector<ClassConstraint> constraints{{30.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  // The high class (theta 0) gets a finite, grid-member timeout.
+  EXPECT_TRUE(std::isfinite(plan.sprint_timeout_s[1]));
+  bool on_grid = false;
+  for (double t : opts.timeout_grid) {
+    if (plan.sprint_timeout_s[1] == t) on_grid = true;
+  }
+  EXPECT_TRUE(on_grid);
+  // A generous replenish rate allows sprint-from-dispatch.
+  opts.sprint_config = budgeted(1000.0);
+  Deflator generous({profile(0.05), profile(0.02)}, AccuracyProfile::paper_word_count(),
+                    opts);
+  const auto plan2 = generous.plan(constraints);
+  ASSERT_TRUE(plan2.feasible);
+  EXPECT_DOUBLE_EQ(plan2.sprint_timeout_s[1], 0.0);
+  // More sprinting -> faster high class.
+  EXPECT_LT(plan2.prediction.per_class[1].mean_response,
+            plan.prediction.per_class[1].mean_response + 1e-9);
+}
+
+}  // namespace
+}  // namespace dias::core

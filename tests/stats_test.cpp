@@ -1,0 +1,179 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dias {
+namespace {
+
+TEST(WelfordTest, MeanAndVariance) {
+  Welford acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(WelfordTest, MinMaxAndSecondMoment) {
+  Welford acc;
+  acc.add(1.0);
+  acc.add(-3.0);
+  acc.add(2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 2.0);
+  EXPECT_NEAR(acc.second_moment(), (1.0 + 9.0 + 4.0) / 3.0, 1e-12);
+}
+
+TEST(WelfordTest, MergeEqualsSequential) {
+  Rng rng(1);
+  Welford all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(1.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmpty) {
+  Welford a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(WelfordTest, EmptyAccumulatorGuards) {
+  Welford acc;
+  EXPECT_THROW(acc.min(), precondition_error);
+  EXPECT_THROW(acc.max(), precondition_error);
+  EXPECT_THROW(acc.second_moment(), precondition_error);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(SampleSetTest, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.p50(), 50.5, 1e-12);
+  EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSetTest, QuantileAfterMoreAdds) {
+  SampleSet s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+  s.add(20.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 15.0);
+}
+
+TEST(SampleSetTest, VarianceMatchesWelford) {
+  Rng rng(2);
+  SampleSet s;
+  Welford w;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.exponential(0.5);
+    s.add(x);
+    w.add(x);
+  }
+  EXPECT_NEAR(s.variance(), w.variance(), 1e-9);
+  EXPECT_NEAR(s.mean(), w.mean(), 1e-12);
+}
+
+TEST(SampleSetTest, EmptyGuards) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), precondition_error);
+  EXPECT_THROW(s.quantile(0.5), precondition_error);
+}
+
+TEST(SampleSetTest, ClearResets) {
+  SampleSet s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(HistogramTest, BinPlacementAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 9
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(HistogramTest, QuantileApproximatesSample) {
+  Histogram h(0.0, 1.0, 1000);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.01);
+  EXPECT_NEAR(h.quantile(0.95), 0.95, 0.01);
+}
+
+TEST(HistogramTest, Preconditions) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), precondition_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), precondition_error);
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.quantile(0.5), precondition_error);  // empty
+  EXPECT_THROW(h.bin_lo(4), precondition_error);
+}
+
+TEST(MapeTest, ExactMatchIsZero) {
+  const std::vector<double> ref{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_percent_error(ref, ref), 0.0);
+}
+
+TEST(MapeTest, KnownValue) {
+  const std::vector<double> ref{10.0, 20.0};
+  const std::vector<double> est{9.0, 22.0};
+  // (10% + 10%) / 2 = 10%
+  EXPECT_NEAR(mean_absolute_percent_error(ref, est), 10.0, 1e-12);
+}
+
+TEST(MapeTest, SkipsZeroReference) {
+  const std::vector<double> ref{0.0, 10.0};
+  const std::vector<double> est{5.0, 5.0};
+  EXPECT_NEAR(mean_absolute_percent_error(ref, est), 50.0, 1e-12);
+}
+
+TEST(MapeTest, Preconditions) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(mean_absolute_percent_error(a, b), precondition_error);
+  const std::vector<double> zeros{0.0};
+  EXPECT_THROW(mean_absolute_percent_error(zeros, zeros), precondition_error);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error_percent(100.0, 90.0), 10.0);
+  EXPECT_DOUBLE_EQ(relative_error_percent(-50.0, -55.0), 10.0);
+  EXPECT_THROW(relative_error_percent(0.0, 1.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace dias

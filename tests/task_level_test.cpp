@@ -1,0 +1,187 @@
+#include "model/task_level_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+std::vector<double> point_pmf(int tasks) {
+  std::vector<double> pmf(static_cast<std::size_t>(tasks), 0.0);
+  pmf.back() = 1.0;
+  return pmf;
+}
+
+// Expected makespan of t iid Exp(mu) tasks on c slots in the Markovian
+// death-chain model: sum over the departure sequence of 1/(min(k,c) mu).
+double markov_stage_mean(int t, int c, double mu) {
+  double acc = 0.0;
+  for (int k = t; k >= 1; --k) acc += 1.0 / (std::min(k, c) * mu);
+  return acc;
+}
+
+TEST(EffectiveTasksTest, CeilingArithmetic) {
+  EXPECT_EQ(effective_tasks(10, 0.0), 10);
+  EXPECT_EQ(effective_tasks(10, 0.1), 9);
+  EXPECT_EQ(effective_tasks(10, 0.15), 9);   // ceil(8.5)
+  EXPECT_EQ(effective_tasks(10, 0.2), 8);
+  EXPECT_EQ(effective_tasks(50, 0.1), 45);
+  EXPECT_EQ(effective_tasks(50, 0.01), 50);  // ceil(49.5)
+  EXPECT_EQ(effective_tasks(1, 0.9), 1);     // ceil(0.1)
+  EXPECT_EQ(effective_tasks(10, 1.0), 0);
+  EXPECT_EQ(effective_tasks(0, 0.5), 0);
+}
+
+TEST(EffectiveTasksTest, Preconditions) {
+  EXPECT_THROW(effective_tasks(-1, 0.0), dias::precondition_error);
+  EXPECT_THROW(effective_tasks(1, -0.1), dias::precondition_error);
+  EXPECT_THROW(effective_tasks(1, 1.1), dias::precondition_error);
+}
+
+TaskLevelParams base_params() {
+  TaskLevelParams p;
+  p.slots = 4;
+  p.map_task_pmf = point_pmf(10);
+  p.reduce_task_pmf = point_pmf(3);
+  p.setup_rate = 0.5;    // mean 2s
+  p.map_rate = 1.0;      // mean 1s per task
+  p.shuffle_rate = 2.0;  // mean 0.5s
+  p.reduce_rate = 0.5;   // mean 2s per task
+  return p;
+}
+
+TEST(TaskLevelModelTest, MeanMatchesStageDecomposition) {
+  const auto p = base_params();
+  const TaskLevelModel model(p);
+  const double expected = 1.0 / p.setup_rate + markov_stage_mean(10, 4, p.map_rate) +
+                          1.0 / p.shuffle_rate + markov_stage_mean(3, 4, p.reduce_rate);
+  EXPECT_NEAR(model.mean_processing_time(), expected, 1e-9);
+}
+
+TEST(TaskLevelModelTest, SingleTaskSingleSlot) {
+  TaskLevelParams p;
+  p.slots = 1;
+  p.map_task_pmf = point_pmf(1);
+  p.reduce_task_pmf = point_pmf(1);
+  p.setup_rate = 1.0;
+  p.map_rate = 2.0;
+  p.shuffle_rate = 4.0;
+  p.reduce_rate = 1.0;
+  const TaskLevelModel model(p);
+  EXPECT_NEAR(model.mean_processing_time(), 1.0 + 0.5 + 0.25 + 1.0, 1e-12);
+}
+
+TEST(TaskLevelModelTest, DropReducesTasksAndMean) {
+  auto p = base_params();
+  const TaskLevelModel exact(p);
+  p.theta_map = 0.4;  // 10 -> 6 tasks
+  const TaskLevelModel dropped(p);
+  const double expected = 1.0 / p.setup_rate + markov_stage_mean(6, 4, p.map_rate) +
+                          1.0 / p.shuffle_rate + markov_stage_mean(3, 4, p.reduce_rate);
+  EXPECT_NEAR(dropped.mean_processing_time(), expected, 1e-9);
+  EXPECT_LT(dropped.mean_processing_time(), exact.mean_processing_time());
+}
+
+TEST(TaskLevelModelTest, ReduceDropApplies) {
+  auto p = base_params();
+  p.reduce_task_pmf = point_pmf(10);
+  p.theta_reduce = 0.5;  // 10 -> 5
+  const TaskLevelModel model(p);
+  const double expected = 1.0 / p.setup_rate + markov_stage_mean(10, 4, p.map_rate) +
+                          1.0 / p.shuffle_rate + markov_stage_mean(5, 4, p.reduce_rate);
+  EXPECT_NEAR(model.mean_processing_time(), expected, 1e-9);
+}
+
+TEST(TaskLevelModelTest, FullMapDropSkipsStage) {
+  auto p = base_params();
+  p.theta_map = 1.0;
+  const TaskLevelModel model(p);
+  const double expected = 1.0 / p.setup_rate + 1.0 / p.shuffle_rate +
+                          markov_stage_mean(3, 4, p.reduce_rate);
+  EXPECT_NEAR(model.mean_processing_time(), expected, 1e-9);
+  EXPECT_NEAR(model.effective_map_pmf()[0], 1.0, 1e-12);
+}
+
+TEST(TaskLevelModelTest, RandomTaskCountMixes) {
+  auto p = base_params();
+  // 50/50 between 4 and 8 map tasks.
+  p.map_task_pmf.assign(8, 0.0);
+  p.map_task_pmf[3] = 0.5;
+  p.map_task_pmf[7] = 0.5;
+  const TaskLevelModel model(p);
+  const double m4 = markov_stage_mean(4, 4, p.map_rate);
+  const double m8 = markov_stage_mean(8, 4, p.map_rate);
+  const double expected = 1.0 / p.setup_rate + 0.5 * (m4 + m8) + 1.0 / p.shuffle_rate +
+                          markov_stage_mean(3, 4, p.reduce_rate);
+  EXPECT_NEAR(model.mean_processing_time(), expected, 1e-9);
+}
+
+TEST(TaskLevelModelTest, SetupScaleInflatesOverhead) {
+  auto p = base_params();
+  const TaskLevelModel base(p);
+  p.setup_scale = 2.0;
+  const TaskLevelModel scaled(p);
+  EXPECT_NEAR(scaled.mean_processing_time() - base.mean_processing_time(),
+              1.0 / p.setup_rate, 1e-9);
+}
+
+TEST(TaskLevelModelTest, EffectivePmfAggregatesCeil) {
+  auto p = base_params();
+  // Tasks uniform over {1..4}, theta = 0.5 -> effective {1,1,2,2}.
+  p.map_task_pmf = {0.25, 0.25, 0.25, 0.25};
+  p.theta_map = 0.5;
+  const TaskLevelModel model(p);
+  const auto& eff = model.effective_map_pmf();
+  ASSERT_EQ(eff.size(), 3u);  // indices 0..2
+  EXPECT_NEAR(eff[0], 0.0, 1e-12);
+  EXPECT_NEAR(eff[1], 0.5, 1e-12);
+  EXPECT_NEAR(eff[2], 0.5, 1e-12);
+}
+
+TEST(TaskLevelModelTest, PmfValidation) {
+  auto p = base_params();
+  p.map_task_pmf = {0.5, 0.4};  // sums to 0.9
+  EXPECT_THROW(TaskLevelModel{p}, dias::precondition_error);
+  p = base_params();
+  p.map_task_pmf.clear();
+  EXPECT_THROW(TaskLevelModel{p}, dias::precondition_error);
+  p = base_params();
+  p.slots = 0;
+  EXPECT_THROW(TaskLevelModel{p}, dias::precondition_error);
+  p = base_params();
+  p.map_rate = 0.0;
+  EXPECT_THROW(TaskLevelModel{p}, dias::precondition_error);
+}
+
+class DropMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DropMonotonicityTest, MeanNonIncreasingInTheta) {
+  // Property: for random configurations, the mean processing time is
+  // non-increasing in the drop ratio.
+  dias::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  TaskLevelParams p;
+  p.slots = 1 + static_cast<int>(rng.uniform_int(8));
+  p.map_task_pmf = point_pmf(1 + static_cast<int>(rng.uniform_int(40)));
+  p.reduce_task_pmf = point_pmf(1 + static_cast<int>(rng.uniform_int(10)));
+  p.setup_rate = rng.uniform(0.2, 2.0);
+  p.map_rate = rng.uniform(0.2, 2.0);
+  p.shuffle_rate = rng.uniform(0.2, 2.0);
+  p.reduce_rate = rng.uniform(0.2, 2.0);
+  double prev = std::numeric_limits<double>::infinity();
+  for (double theta : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    p.theta_map = theta;
+    p.theta_reduce = theta;
+    const double mean = TaskLevelModel(p).mean_processing_time();
+    EXPECT_LE(mean, prev + 1e-9) << "theta=" << theta;
+    prev = mean;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DropMonotonicityTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace dias::model

@@ -1,0 +1,103 @@
+#include "workload/text_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace dias::workload {
+namespace {
+
+TEST(TextCorpusTest, GeneratesRequestedPosts) {
+  TextCorpusParams params;
+  params.posts = 123;
+  params.seed = 1;
+  const auto corpus = generate_text_corpus("anime", params);
+  EXPECT_EQ(corpus.site, "anime");
+  EXPECT_EQ(corpus.rows.size(), 123u);
+  EXPECT_GT(corpus.bytes(), 123u * 10);
+}
+
+TEST(TextCorpusTest, RowsAreWellFormed) {
+  TextCorpusParams params;
+  params.posts = 50;
+  const auto corpus = generate_text_corpus("coffee", params);
+  for (const auto& row : corpus.rows) {
+    EXPECT_EQ(row.rfind("<row ", 0), 0u) << row;
+    EXPECT_NE(row.find("Body=\""), std::string::npos);
+    EXPECT_NE(row.find("Site=\"coffee\""), std::string::npos);
+    const std::string body = extract_post_body(row);
+    EXPECT_FALSE(body.empty());
+  }
+}
+
+TEST(TextCorpusTest, DeterministicPerSeed) {
+  TextCorpusParams params;
+  params.posts = 20;
+  params.seed = 9;
+  const auto a = generate_text_corpus("x", params);
+  const auto b = generate_text_corpus("x", params);
+  EXPECT_EQ(a.rows, b.rows);
+  params.seed = 10;
+  const auto c = generate_text_corpus("x", params);
+  EXPECT_NE(a.rows, c.rows);
+}
+
+TEST(TextCorpusTest, WordFrequenciesAreSkewed) {
+  TextCorpusParams params;
+  params.posts = 2000;
+  params.vocabulary = 500;
+  params.zipf_exponent = 1.1;
+  params.seed = 3;
+  const auto corpus = generate_text_corpus("skew", params);
+  std::unordered_map<std::string, int> counts;
+  std::size_t total = 0;
+  for (const auto& row : corpus.rows) {
+    for (const auto& w : tokenize(extract_post_body(row))) {
+      ++counts[w];
+      ++total;
+    }
+  }
+  int max_count = 0;
+  for (const auto& [w, c] : counts) max_count = std::max(max_count, c);
+  const double mean_count = static_cast<double>(total) / static_cast<double>(counts.size());
+  EXPECT_GT(max_count, 5.0 * mean_count) << "Zipf corpus should have heavy hitters";
+}
+
+TEST(ExtractPostBodyTest, HandlesWellFormedAndMalformed) {
+  EXPECT_EQ(extract_post_body("<row Id=\"1\" Body=\"a b c\"/>"), "a b c");
+  EXPECT_EQ(extract_post_body("<row Id=\"1\"/>"), "");
+  EXPECT_EQ(extract_post_body("<row Body=\"unterminated"), "");
+  EXPECT_EQ(extract_post_body(""), "");
+}
+
+TEST(TokenizeTest, SplitsAndLowercases) {
+  const auto words = tokenize("Hello, World! foo-bar baz42");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[0], "hello");
+  EXPECT_EQ(words[1], "world");
+  EXPECT_EQ(words[2], "foo");
+  EXPECT_EQ(words[3], "bar");
+  EXPECT_EQ(words[4], "baz42");
+}
+
+TEST(TokenizeTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("  ,.! ").empty());
+}
+
+TEST(TextCorpusTest, Validation) {
+  TextCorpusParams params;
+  params.posts = 0;
+  EXPECT_THROW(generate_text_corpus("x", params), dias::precondition_error);
+  params = {};
+  params.vocabulary = 0;
+  EXPECT_THROW(generate_text_corpus("x", params), dias::precondition_error);
+  params = {};
+  params.topic_boost = 0.5;
+  EXPECT_THROW(generate_text_corpus("x", params), dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::workload

@@ -1,0 +1,101 @@
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dias::engine {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleWorkerSerializes) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // Pool still usable afterwards.
+  auto g = pool.submit([] {});
+  EXPECT_NO_THROW(g.get());
+}
+
+TEST(ThreadPoolTest, RunIndexedCoversAllIndices) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::size_t> seen;
+  pool.run_indexed(200, [&](std::size_t i) {
+    std::lock_guard lock(mutex);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen.size(), 200u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 199u);
+}
+
+TEST(ThreadPoolTest, RunIndexedZeroTasks) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.run_indexed(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPoolTest, RunIndexedWaitsForAllBeforeRethrow) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.run_indexed(40, [&](std::size_t i) {
+      if (i == 5) throw std::runtime_error("task failed");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++completed;
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+    EXPECT_EQ(completed.load(), 39);  // every other task still ran
+  }
+}
+
+TEST(ThreadPoolTest, ActuallyParallel) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  pool.run_indexed(8, [&](std::size_t) {
+    const int now = ++concurrent;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    --concurrent;
+  });
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, NeedsAtLeastOneWorker) {
+  EXPECT_THROW(ThreadPool{0}, dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::engine

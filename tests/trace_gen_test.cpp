@@ -1,0 +1,264 @@
+#include "workload/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::workload {
+namespace {
+
+std::vector<ClassWorkloadParams> two_classes() {
+  ClassWorkloadParams low;
+  low.arrival_rate = 0.009;
+  low.mean_size_mb = 1117.0;
+  low.label = "low";
+  ClassWorkloadParams high;
+  high.arrival_rate = 0.001;
+  high.mean_size_mb = 473.0;
+  high.label = "high";
+  return {low, high};
+}
+
+TEST(TraceGenTest, ArrivalTimesIncrease) {
+  TraceGenerator gen(1);
+  const auto classes = two_classes();
+  const auto trace = gen.text_trace(classes, 500);
+  ASSERT_EQ(trace.size(), 500u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival_time, trace[i - 1].arrival_time);
+  }
+}
+
+TEST(TraceGenTest, ClassMixMatchesRates) {
+  TraceGenerator gen(2);
+  const auto classes = two_classes();  // 9:1 low:high
+  const auto trace = gen.text_trace(classes, 20000);
+  std::size_t low = 0, high = 0;
+  for (const auto& e : trace) {
+    (e.spec.priority == 0 ? low : high) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / 20000.0, 0.9, 0.01);
+  EXPECT_NEAR(static_cast<double>(high) / 20000.0, 0.1, 0.01);
+}
+
+TEST(TraceGenTest, TotalRateMatches) {
+  TraceGenerator gen(3);
+  const auto classes = two_classes();
+  const auto trace = gen.text_trace(classes, 20000);
+  const double horizon = trace.back().arrival_time;
+  EXPECT_NEAR(20000.0 / horizon, 0.01, 0.0005);
+}
+
+TEST(TraceGenTest, JobSizesAverageToClassMean) {
+  TraceGenerator gen(4);
+  const auto classes = two_classes();
+  const auto trace = gen.text_trace(classes, 20000);
+  double low_size = 0.0;
+  std::size_t low_n = 0;
+  for (const auto& e : trace) {
+    if (e.spec.priority == 0) {
+      low_size += e.spec.size_mb;
+      ++low_n;
+    }
+  }
+  EXPECT_NEAR(low_size / static_cast<double>(low_n), 1117.0, 30.0);
+}
+
+TEST(TraceGenTest, TextJobShape) {
+  ClassWorkloadParams p;
+  p.mean_size_mb = 500.0;
+  p.map_tasks = 50;
+  p.reduce_tasks = 20;
+  const auto spec = make_text_job(p, 1, 500.0);
+  EXPECT_EQ(spec.priority, 1u);
+  ASSERT_EQ(spec.stages.size(), 4u);
+  EXPECT_EQ(spec.stages[0].kind, cluster::StageKind::kSetup);
+  EXPECT_EQ(spec.stages[1].kind, cluster::StageKind::kMap);
+  EXPECT_EQ(spec.stages[1].tasks, 50);
+  EXPECT_EQ(spec.stages[2].kind, cluster::StageKind::kShuffle);
+  EXPECT_EQ(spec.stages[3].kind, cluster::StageKind::kReduce);
+  EXPECT_EQ(spec.stages[3].tasks, 20);
+  // Map work scales with size: 500 MB * 0.2 s/MB / 50 tasks = 2 s.
+  EXPECT_NEAR(spec.stages[1].mean_task_time, 2.0, 1e-12);
+}
+
+TEST(TraceGenTest, TextJobWorkScalesWithSize) {
+  ClassWorkloadParams p;
+  const auto small = make_text_job(p, 0, p.mean_size_mb);
+  const auto big = make_text_job(p, 0, 2.0 * p.mean_size_mb);
+  EXPECT_NEAR(big.stages[1].mean_task_time, 2.0 * small.stages[1].mean_task_time, 1e-12);
+  EXPECT_NEAR(big.stages[0].mean_task_time, 2.0 * small.stages[0].mean_task_time, 1e-12);
+}
+
+TEST(TraceGenTest, GraphJobShape) {
+  GraphClassParams p;
+  p.shuffle_map_stages = 6;
+  p.stage_tasks = 50;
+  const auto spec = make_graph_job(p, 1, p.mean_size_mb);
+  ASSERT_EQ(spec.stages.size(), 8u);  // setup + 6 ShuffleMap + result
+  EXPECT_EQ(spec.stages[0].kind, cluster::StageKind::kSetup);
+  for (int s = 1; s <= 6; ++s) {
+    EXPECT_EQ(spec.stages[static_cast<std::size_t>(s)].kind, cluster::StageKind::kShuffleMap);
+    EXPECT_EQ(spec.stages[static_cast<std::size_t>(s)].tasks, 50);
+  }
+  EXPECT_EQ(spec.stages[7].kind, cluster::StageKind::kResult);
+}
+
+TEST(TraceGenTest, ModelProfileConversion) {
+  ClassWorkloadParams p;
+  p.arrival_rate = 0.004;
+  p.mean_size_mb = 500.0;
+  p.map_tasks = 50;
+  p.reduce_tasks = 20;
+  p.map_seconds_per_mb = 0.2;
+  p.setup_time_s = 8.0;
+  p.setup_time_theta90_s = 4.0;
+  const auto profile = to_model_profile(p, 20);
+  EXPECT_EQ(profile.slots, 20);
+  EXPECT_DOUBLE_EQ(profile.arrival_rate, 0.004);
+  EXPECT_EQ(profile.map_task_pmf.size(), 50u);
+  EXPECT_DOUBLE_EQ(profile.map_task_pmf.back(), 1.0);
+  EXPECT_NEAR(profile.map_rate, 1.0 / 2.0, 1e-12);  // 500*0.2/50 = 2 s/task
+  EXPECT_DOUBLE_EQ(profile.mean_overhead_theta0, 8.0);
+  EXPECT_DOUBLE_EQ(profile.mean_overhead_theta90, 4.0);
+}
+
+TEST(TraceGenTest, OfferedLoadPositiveAndScales) {
+  auto classes = two_classes();
+  std::vector<model::JobClassProfile> profiles;
+  for (const auto& c : classes) profiles.push_back(to_model_profile(c, 20));
+  const std::vector<double> theta{0.0, 0.0};
+  const double load = offered_load(profiles, theta);
+  EXPECT_GT(load, 0.0);
+  // Dropping strictly reduces the offered load.
+  const std::vector<double> theta_drop{0.4, 0.0};
+  EXPECT_LT(offered_load(profiles, theta_drop), load);
+}
+
+TEST(TraceGenTest, ScaleRatesToLoadHitsTarget) {
+  auto classes = two_classes();
+  const double factor = scale_rates_to_load(classes, 20, 0.8);
+  EXPECT_GT(factor, 0.0);
+  std::vector<model::JobClassProfile> profiles;
+  for (const auto& c : classes) profiles.push_back(to_model_profile(c, 20));
+  const std::vector<double> theta{0.0, 0.0};
+  EXPECT_NEAR(offered_load(profiles, theta), 0.8, 1e-9);
+  // Ratio between classes is preserved.
+  EXPECT_NEAR(classes[0].arrival_rate / classes[1].arrival_rate, 9.0, 1e-9);
+}
+
+TEST(TraceGenTest, GraphScaleRatesToLoad) {
+  std::vector<GraphClassParams> classes(2);
+  classes[0].arrival_rate = 0.007;
+  classes[1].arrival_rate = 0.003;
+  scale_rates_to_load(classes, 20, 0.5);
+  std::vector<model::JobClassProfile> profiles;
+  for (const auto& c : classes) profiles.push_back(to_model_profile(c, 20));
+  const std::vector<double> theta{0.0, 0.0};
+  EXPECT_NEAR(offered_load(profiles, theta), 0.5, 1e-9);
+}
+
+TEST(TraceGenTest, BurstyTraceMatchesMeanRates) {
+  auto classes = two_classes();
+  TraceGenerator gen(9);
+  const auto trace = gen.text_trace_bursty(classes, 30000, 1.8, 0.01);
+  ASSERT_EQ(trace.size(), 30000u);
+  const double horizon = trace.back().arrival_time;
+  EXPECT_NEAR(30000.0 / horizon, 0.01, 0.001);  // total mean rate preserved
+  std::size_t high = 0;
+  for (const auto& e : trace) high += e.spec.priority;
+  EXPECT_NEAR(static_cast<double>(high) / 30000.0, 0.1, 0.02);
+}
+
+TEST(TraceGenTest, BurstyTraceIsBurstier) {
+  auto classes = two_classes();
+  TraceGenerator gen_a(10), gen_b(10);
+  const auto poisson = gen_a.text_trace_bursty(classes, 30000, 1.0, 0.01);
+  const auto bursty = gen_b.text_trace_bursty(classes, 30000, 1.9, 0.001);
+  const auto scv_of = [](const std::vector<cluster::TraceEntry>& trace) {
+    dias::Welford acc;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      acc.add(trace[i].arrival_time - trace[i - 1].arrival_time);
+    }
+    return acc.variance() / (acc.mean() * acc.mean());
+  };
+  EXPECT_NEAR(scv_of(poisson), 1.0, 0.1);
+  EXPECT_GT(scv_of(bursty), 1.5);
+}
+
+TEST(TraceGenTest, BurstyMmapMatchesConfiguredRates) {
+  auto classes = two_classes();
+  const auto mmap = TraceGenerator::bursty_mmap(classes, 1.5, 0.02);
+  EXPECT_NEAR(mmap.arrival_rate(1), classes[0].arrival_rate, 1e-9);
+  EXPECT_NEAR(mmap.arrival_rate(2), classes[1].arrival_rate, 1e-9);
+  EXPECT_THROW(TraceGenerator::bursty_mmap(classes, 2.5, 0.02),
+               dias::precondition_error);
+  EXPECT_THROW(TraceGenerator::bursty_mmap(classes, 1.5, 0.0),
+               dias::precondition_error);
+}
+
+TEST(TraceGenTest, PilotCalibrationHitsTargetUnderLogNormal) {
+  auto classes = two_classes();
+  for (auto& c : classes) {
+    c.map_seconds_per_mb = 0.2;
+    c.reduce_seconds_per_mb = 0.05;
+  }
+  const double factor = calibrate_rates_by_pilot(classes, 20, 0.7,
+                                                 cluster::TaskTimeFamily::kLogNormal);
+  EXPECT_GT(factor, 0.0);
+  // Verify by simulation: utilization near the target at theta = 0.
+  TraceGenerator gen(55);
+  auto trace = gen.text_trace(classes, 6000);
+  cluster::ClusterSimulator::Config config;
+  config.slots = 20;
+  config.task_time_family = cluster::TaskTimeFamily::kLogNormal;
+  config.warmup_jobs = 0;
+  config.seed = 56;
+  const auto result = cluster::simulate(config, std::move(trace));
+  EXPECT_NEAR(result.utilization(), 0.7, 0.06);
+}
+
+TEST(TraceGenTest, PilotCalibrationValidation) {
+  std::vector<ClassWorkloadParams> empty;
+  EXPECT_THROW(
+      calibrate_rates_by_pilot(empty, 20, 0.5, cluster::TaskTimeFamily::kLogNormal),
+      dias::precondition_error);
+  auto classes = two_classes();
+  EXPECT_THROW(
+      calibrate_rates_by_pilot(classes, 20, 1.5, cluster::TaskTimeFamily::kLogNormal),
+      dias::precondition_error);
+}
+
+TEST(TraceGenTest, Validation) {
+  TraceGenerator gen(1);
+  EXPECT_THROW(gen.text_trace(std::vector<ClassWorkloadParams>{}, 10),
+               dias::precondition_error);
+  std::vector<ClassWorkloadParams> zero(1);
+  zero[0].arrival_rate = 0.0;
+  EXPECT_THROW(gen.text_trace(zero, 10), dias::precondition_error);
+  auto classes = two_classes();
+  EXPECT_THROW(gen.text_trace(classes, 0), dias::precondition_error);
+  EXPECT_THROW(make_text_job(classes[0], 0, -1.0), dias::precondition_error);
+}
+
+class MixSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MixSweepTest, EmpiricalMixTracksConfiguredShare) {
+  const double high_share = GetParam();
+  std::vector<ClassWorkloadParams> classes(2);
+  classes[0].arrival_rate = (1.0 - high_share) * 0.01;
+  classes[1].arrival_rate = high_share * 0.01;
+  TraceGenerator gen(99);
+  const auto trace = gen.text_trace(classes, 30000);
+  std::size_t high = 0;
+  for (const auto& e : trace) high += e.spec.priority;
+  EXPECT_NEAR(static_cast<double>(high) / 30000.0, high_share, 0.012);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shares, MixSweepTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace dias::workload

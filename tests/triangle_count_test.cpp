@@ -1,0 +1,122 @@
+#include "analytics/triangle_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/graph_gen.hpp"
+
+namespace dias::analytics {
+namespace {
+
+engine::Engine::Options eng_opts() {
+  engine::Engine::Options o;
+  o.workers = 4;
+  o.seed = 5;
+  return o;
+}
+
+using workload::Edge;
+
+TEST(TriangleCountTest, TriangleGraph) {
+  const std::vector<Edge> k3{{0, 1}, {0, 2}, {1, 2}};
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(k3, 1);
+  EXPECT_EQ(triangle_count(eng, ds).triangles, 1u);
+}
+
+TEST(TriangleCountTest, CompleteGraphK4) {
+  const std::vector<Edge> k4{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(k4, 2);
+  EXPECT_EQ(triangle_count(eng, ds).triangles, 4u);
+}
+
+TEST(TriangleCountTest, StarGraphHasNoTriangles) {
+  std::vector<Edge> star;
+  for (std::uint32_t i = 1; i <= 10; ++i) star.push_back({0, i});
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(star, 3);
+  EXPECT_EQ(triangle_count(eng, ds).triangles, 0u);
+}
+
+TEST(TriangleCountTest, NonCanonicalEdgesHandled) {
+  // The canonicalize stage must fix order and drop self loops.
+  const std::vector<Edge> messy{{1, 0}, {2, 0}, {2, 1}, {3, 3}};
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(messy, 1);
+  EXPECT_EQ(triangle_count(eng, ds).triangles, 1u);
+}
+
+TEST(TriangleCountTest, MatchesExactReferenceOnRmat) {
+  workload::GraphParams params;
+  params.scale = 9;
+  params.edges = 4096;
+  params.seed = 21;
+  const auto edges = workload::generate_rmat_graph(params);
+  const auto expected = workload::exact_triangle_count(edges);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(edges, 16);
+  const auto result = triangle_count(eng, ds, 0.0);
+  EXPECT_EQ(result.triangles, expected);
+  EXPECT_GT(result.duration_s, 0.0);
+}
+
+TEST(TriangleCountTest, DroppingUndercounts) {
+  workload::GraphParams params;
+  params.scale = 10;
+  params.edges = 16384;
+  params.seed = 33;
+  const auto edges = workload::generate_rmat_graph(params);
+  const auto exact = workload::exact_triangle_count(edges);
+  ASSERT_GT(exact, 0u);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(edges, 32);
+  const auto dropped = triangle_count(eng, ds, 0.2);
+  EXPECT_LT(dropped.triangles, exact);
+  EXPECT_LT(dropped.tasks_run, dropped.tasks_total);
+}
+
+TEST(TriangleCountTest, PerStageDropCompounds) {
+  // With three droppable stages at ratio theta, the count falls well below
+  // (1 - theta) of the exact count.
+  workload::GraphParams params;
+  params.scale = 10;
+  params.edges = 16384;
+  params.seed = 44;
+  const auto edges = workload::generate_rmat_graph(params);
+  const auto exact = workload::exact_triangle_count(edges);
+  ASSERT_GT(exact, 100u);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(edges, 32);
+  const auto r = triangle_count(eng, ds, 0.2);
+  const double retained = static_cast<double>(r.triangles) / static_cast<double>(exact);
+  EXPECT_LT(retained, 0.8 + 0.1);  // at least one stage's worth of loss
+  EXPECT_GT(retained, 0.2);        // but nowhere near zero
+}
+
+class StageDropSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StageDropSweep, ErrorGrowsWithStageDropRatio) {
+  const double theta = GetParam();
+  workload::GraphParams params;
+  params.scale = 9;
+  params.edges = 8192;
+  params.seed = 55;
+  const auto edges = workload::generate_rmat_graph(params);
+  const auto exact = workload::exact_triangle_count(edges);
+  ASSERT_GT(exact, 0u);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(edges, 50);
+  const auto r = triangle_count(eng, ds, theta);
+  EXPECT_LE(r.triangles, exact);
+  if (theta >= 0.1) {
+    EXPECT_LT(r.triangles, exact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, StageDropSweep,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace dias::analytics

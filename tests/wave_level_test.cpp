@@ -1,0 +1,154 @@
+#include "model/wave_level_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::model {
+namespace {
+
+std::vector<double> point_pmf(int tasks) {
+  std::vector<double> pmf(static_cast<std::size_t>(tasks), 0.0);
+  pmf.back() = 1.0;
+  return pmf;
+}
+
+TEST(WavesForTasksTest, CeilingDivision) {
+  EXPECT_EQ(waves_for_tasks(0, 20), 0);
+  EXPECT_EQ(waves_for_tasks(1, 20), 1);
+  EXPECT_EQ(waves_for_tasks(20, 20), 1);
+  EXPECT_EQ(waves_for_tasks(21, 20), 2);
+  EXPECT_EQ(waves_for_tasks(40, 20), 2);
+  EXPECT_EQ(waves_for_tasks(50, 20), 3);  // the paper's 50-partition jobs
+  EXPECT_THROW(waves_for_tasks(-1, 20), dias::precondition_error);
+  EXPECT_THROW(waves_for_tasks(1, 0), dias::precondition_error);
+}
+
+WaveLevelParams base_params() {
+  WaveLevelParams p;
+  p.slots = 20;
+  p.map_task_pmf = point_pmf(50);
+  p.reduce_task_pmf = point_pmf(20);
+  p.setup = PhaseType::exponential(0.5);          // mean 2
+  p.shuffle = PhaseType::exponential(1.0);        // mean 1
+  p.map_waves = {PhaseType::erlang(2, 1.0)};      // mean 2 per wave
+  p.reduce_waves = {PhaseType::erlang(2, 2.0)};   // mean 1 per wave
+  return p;
+}
+
+TEST(WaveLevelModelTest, WavePmfSumsToOne) {
+  const WaveLevelModel model(base_params());
+  const auto& qm = model.map_wave_pmf();
+  const auto& qr = model.reduce_wave_pmf();
+  EXPECT_NEAR(std::accumulate(qm.begin(), qm.end(), 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(std::accumulate(qr.begin(), qr.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(WaveLevelModelTest, FixedTaskCountGivesPointWavePmf) {
+  const WaveLevelModel model(base_params());
+  // 50 tasks / 20 slots = 3 waves; 20 reduce / 20 slots = 1 wave.
+  ASSERT_EQ(model.map_wave_pmf().size(), 4u);
+  EXPECT_NEAR(model.map_wave_pmf()[3], 1.0, 1e-12);
+  ASSERT_EQ(model.reduce_wave_pmf().size(), 2u);
+  EXPECT_NEAR(model.reduce_wave_pmf()[1], 1.0, 1e-12);
+}
+
+TEST(WaveLevelModelTest, MeanIsSumOfWaveMeans) {
+  const WaveLevelModel model(base_params());
+  // setup 2 + 3 map waves * 2 + shuffle 1 + 1 reduce wave * 1 = 10.
+  EXPECT_NEAR(model.mean_processing_time(), 2.0 + 3.0 * 2.0 + 1.0 + 1.0, 1e-9);
+}
+
+TEST(WaveLevelModelTest, DropRemovesWholeWaves) {
+  auto p = base_params();
+  p.theta_map = 0.2;  // 50 -> 40 tasks -> 2 waves
+  const WaveLevelModel model(p);
+  ASSERT_GE(model.map_wave_pmf().size(), 3u);
+  EXPECT_NEAR(model.map_wave_pmf()[2], 1.0, 1e-12);
+  EXPECT_NEAR(model.mean_processing_time(), 2.0 + 2.0 * 2.0 + 1.0 + 1.0, 1e-9);
+}
+
+TEST(WaveLevelModelTest, SubWaveDropDoesNotChangeWaveCount) {
+  // Dropping 10% of 50 tasks leaves 45 tasks -> still 3 waves: the paper's
+  // observation that dropping below the "critical mass" of a wave barely
+  // helps (Section 5.2.2).
+  auto p = base_params();
+  p.theta_map = 0.1;
+  const WaveLevelModel model(p);
+  EXPECT_NEAR(model.map_wave_pmf()[3], 1.0, 1e-12);
+  EXPECT_NEAR(model.mean_processing_time(), WaveLevelModel(base_params()).mean_processing_time(),
+              1e-9);
+}
+
+TEST(WaveLevelModelTest, PerWaveDistributionsDiffer) {
+  auto p = base_params();
+  // First wave slower than later waves (as observed on Spark warm-up).
+  p.map_waves = {PhaseType::exponential(0.25), PhaseType::exponential(1.0)};
+  const WaveLevelModel model(p);
+  // setup 2 + wave1 4 + wave2 1 + wave3 1 + shuffle 1 + reduce 1 = 10.
+  EXPECT_NEAR(model.mean_processing_time(), 2.0 + 4.0 + 1.0 + 1.0 + 1.0 + 1.0, 1e-9);
+}
+
+TEST(WaveLevelModelTest, RandomTaskCountsMixWaves) {
+  auto p = base_params();
+  // Uniform over {10, 30}: 1 wave wp .5, 2 waves wp .5.
+  p.map_task_pmf.assign(30, 0.0);
+  p.map_task_pmf[9] = 0.5;
+  p.map_task_pmf[29] = 0.5;
+  const WaveLevelModel model(p);
+  EXPECT_NEAR(model.map_wave_pmf()[1], 0.5, 1e-12);
+  EXPECT_NEAR(model.map_wave_pmf()[2], 0.5, 1e-12);
+  EXPECT_NEAR(model.mean_processing_time(), 2.0 + (0.5 * 2.0 + 0.5 * 4.0) + 1.0 + 1.0, 1e-9);
+}
+
+TEST(WaveLevelModelTest, ProcessingTimeIsValidDistribution) {
+  const WaveLevelModel model(base_params());
+  const PhaseType& ph = model.processing_time();
+  EXPECT_NEAR(ph.cdf(0.0), 0.0, 1e-9);
+  EXPECT_GT(ph.cdf(ph.mean()), 0.3);
+  EXPECT_GT(ph.cdf(10.0 * ph.mean()), 0.999);
+  EXPECT_GT(ph.variance(), 0.0);
+}
+
+TEST(WaveLevelModelTest, FullDropSkipsMapStage) {
+  auto p = base_params();
+  p.theta_map = 1.0;
+  const WaveLevelModel model(p);
+  EXPECT_NEAR(model.mean_processing_time(), 2.0 + 1.0 + 1.0, 1e-9);
+}
+
+TEST(WaveLevelModelTest, Validation) {
+  auto p = base_params();
+  p.map_waves.clear();
+  EXPECT_THROW(WaveLevelModel{p}, dias::precondition_error);
+  p = base_params();
+  p.slots = 0;
+  EXPECT_THROW(WaveLevelModel{p}, dias::precondition_error);
+  p = base_params();
+  p.map_task_pmf.clear();
+  EXPECT_THROW(WaveLevelModel{p}, dias::precondition_error);
+}
+
+class WaveDropSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WaveDropSweepTest, MeanMatchesWaveArithmetic) {
+  // Property: with deterministic task counts, the model mean must equal
+  // setup + ceil(eff/C) * wave_mean + shuffle + reduce waves * wave_mean.
+  const double theta = GetParam();
+  auto p = base_params();
+  p.theta_map = theta;
+  const WaveLevelModel model(p);
+  const int eff = effective_tasks(50, theta);
+  const int waves = waves_for_tasks(eff, 20);
+  EXPECT_NEAR(model.mean_processing_time(), 2.0 + waves * 2.0 + 1.0 + 1.0, 1e-9)
+      << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, WaveDropSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace dias::model

@@ -1,0 +1,110 @@
+#include "analytics/word_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/text_corpus.hpp"
+
+namespace dias::analytics {
+namespace {
+
+engine::Engine::Options eng_opts() {
+  engine::Engine::Options o;
+  o.workers = 4;
+  o.seed = 3;
+  return o;
+}
+
+TEST(WordCountTest, ExactCountOnHandwrittenRows) {
+  const std::vector<std::string> rows{
+      "<row Id=\"1\" Body=\"hello world hello\"/>",
+      "<row Id=\"2\" Body=\"world again\"/>",
+  };
+  const auto counts = exact_word_count(rows);
+  EXPECT_EQ(counts.at("hello"), 2u);
+  EXPECT_EQ(counts.at("world"), 2u);
+  EXPECT_EQ(counts.at("again"), 1u);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(WordCountTest, EngineMatchesExactAtZeroDrop) {
+  workload::TextCorpusParams params;
+  params.posts = 400;
+  params.vocabulary = 200;
+  params.seed = 11;
+  const auto corpus = workload::generate_text_corpus("unit", params);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(corpus.rows, 10);
+  const auto result = word_count(eng, ds, 8, 0.0);
+  const auto exact = exact_word_count(corpus.rows);
+  ASSERT_EQ(result.counts.size(), exact.size());
+  for (const auto& [word, count] : exact) {
+    EXPECT_EQ(result.counts.at(word), count) << word;
+  }
+  EXPECT_EQ(result.map_tasks_total, 10u);
+  EXPECT_EQ(result.map_tasks_run, 10u);
+  EXPECT_NEAR(word_count_error(exact, result.counts), 0.0, 1e-12);
+}
+
+TEST(WordCountTest, DropReducesExecutedTasks) {
+  workload::TextCorpusParams params;
+  params.posts = 500;
+  params.seed = 13;
+  const auto corpus = workload::generate_text_corpus("unit", params);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(corpus.rows, 20);
+  const auto result = word_count(eng, ds, 8, 0.25);
+  EXPECT_EQ(result.map_tasks_total, 20u);
+  EXPECT_EQ(result.map_tasks_run, 15u);
+}
+
+TEST(WordCountTest, ErrorGrowsWithDropRatio) {
+  workload::TextCorpusParams params;
+  params.posts = 3000;
+  params.vocabulary = 1000;
+  params.seed = 17;
+  const auto corpus = workload::generate_text_corpus("unit", params);
+  const auto exact = exact_word_count(corpus.rows);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(corpus.rows, 50);
+  double prev_error = -1.0;
+  for (double theta : {0.0, 0.2, 0.5, 0.8}) {
+    const auto result = word_count(eng, ds, 8, theta);
+    const double err = word_count_error(exact, result.counts);
+    EXPECT_GT(err, prev_error - 2.0) << "theta=" << theta;  // rough monotone
+    if (theta > 0.0) {
+      // Dropping theta of uniformly-sized partitions loses roughly theta of
+      // each word's count.
+      EXPECT_NEAR(err, 100.0 * theta, 20.0) << "theta=" << theta;
+    }
+    prev_error = err;
+  }
+}
+
+TEST(WordCountErrorTest, MissingWordsCountAsZero) {
+  WordCounts ref{{"a", 100}, {"b", 50}};
+  WordCounts est{{"a", 100}};
+  // b missing -> 100% error on b, 0% on a -> 50% MAPE.
+  EXPECT_NEAR(word_count_error(ref, est, 10), 50.0, 1e-9);
+}
+
+TEST(WordCountErrorTest, TopKRestriction) {
+  WordCounts ref{{"big", 1000}, {"small", 1}};
+  WordCounts est{{"big", 900}, {"small", 100}};
+  // top_k = 1 only looks at "big": 10% error.
+  EXPECT_NEAR(word_count_error(ref, est, 1), 10.0, 1e-9);
+}
+
+TEST(WordCountTest, DurationRecorded) {
+  workload::TextCorpusParams params;
+  params.posts = 100;
+  const auto corpus = workload::generate_text_corpus("unit", params);
+  engine::Engine eng(eng_opts());
+  const auto ds = eng.parallelize(corpus.rows, 4);
+  const auto result = word_count(eng, ds);
+  EXPECT_GT(result.duration_s, 0.0);
+}
+
+}  // namespace
+}  // namespace dias::analytics
