@@ -1,0 +1,152 @@
+// Extension: cost and behaviour of fault-tolerant task execution.
+//
+// The engine's retry/speculation/degradation machinery must be ~free when
+// no faults are configured, because every transformation of every
+// benchmark goes through run_stage. This bench measures:
+//   1. Overhead of the fault-tolerant execution loop at zero fault rate
+//      (retry budget armed but never used) vs the legacy fast path.
+//   2. Throughput and degradation under injected failure rates on a
+//      droppable stage: failures fold into the effective drop ratio
+//      instead of failing the job (GRASS-style "failure becomes
+//      approximation").
+//   3. Tail-latency rescue: straggler injection with and without
+//      speculative re-execution.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+#include "engine/engine.hpp"
+
+namespace {
+
+using namespace dias;
+
+// CPU-bound body: enough work per partition that scheduling overhead is
+// visible only if it is egregious.
+std::uint64_t churn(const std::vector<std::uint64_t>& part) {
+  std::uint64_t acc = 1469598103934665603ULL;
+  for (const auto x : part) {
+    acc ^= x;
+    acc *= 1099511628211ULL;
+    acc ^= acc >> 33;
+  }
+  return acc;
+}
+
+struct RunStats {
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  engine::StageInfo last_stage;
+};
+
+RunStats run_workload(engine::Engine& eng, std::size_t partitions, std::size_t rows,
+                      int reps) {
+  std::vector<std::uint64_t> data(rows);
+  for (std::size_t i = 0; i < rows; ++i) data[i] = i * 2654435761ULL;
+  const auto ds = eng.parallelize(std::move(data), partitions);
+
+  RunStats stats;
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    eng.clear_stage_log();
+    engine::StageOptions so;
+    so.name = "bench-map";
+    so.droppable = true;
+    eng.map_partitions(
+        ds,
+        [](const std::vector<std::uint64_t>& part) {
+          // Re-hash the partition a few times to give each task ~100 us.
+          std::vector<std::uint64_t> out{0};
+          for (int k = 0; k < 40; ++k) out[0] ^= churn(part);
+          return out;
+        },
+        so);
+    times.push_back(1000.0 * eng.stage_log().front().duration_s);
+    stats.last_stage = eng.stage_log().front();
+  }
+  for (const double t : times) stats.mean_ms += t;
+  stats.mean_ms /= static_cast<double>(times.size());
+  stats.min_ms = *std::min_element(times.begin(), times.end());
+  return stats;
+}
+
+engine::Engine::Options base_opts() {
+  engine::Engine::Options o;
+  o.workers = 4;
+  o.seed = 171;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension: fault-tolerant execution overhead and degradation");
+
+  constexpr std::size_t kPartitions = 64;
+  constexpr std::size_t kRows = 1u << 18;
+  constexpr int kReps = 30;
+
+  // --- 1. zero-fault overhead ----------------------------------------------
+  std::printf("  -- retry path at zero fault rate (%d reps, %zu tasks/stage) --\n", kReps,
+              kPartitions);
+  std::printf("  %-34s  %10s  %10s\n", "configuration", "mean [ms]", "min [ms]");
+
+  engine::Engine legacy(base_opts());
+  const auto base = run_workload(legacy, kPartitions, kRows, kReps);
+  std::printf("  %-34s  %10.2f  %10.2f\n", "legacy fast path", base.mean_ms, base.min_ms);
+
+  engine::Engine::Options armed = base_opts();
+  armed.fault.max_attempts = 3;  // retry budget armed, nothing to retry
+  armed.fault.retry_backoff_ms = 5.0;
+  engine::Engine retry_engine(armed);
+  const auto retry = run_workload(retry_engine, kPartitions, kRows, kReps);
+  const double overhead = 100.0 * (retry.mean_ms - base.mean_ms) / base.mean_ms;
+  std::printf("  %-34s  %10.2f  %10.2f   (overhead %+.1f%%)\n",
+              "fault-tolerant path, 0 faults", retry.mean_ms, retry.min_ms, overhead);
+
+  armed.fault.speculation = true;
+  engine::Engine spec_engine(armed);
+  const auto spec = run_workload(spec_engine, kPartitions, kRows, kReps);
+  std::printf("  %-34s  %10.2f  %10.2f   (overhead %+.1f%%)\n",
+              "+ speculation armed, 0 stragglers", spec.mean_ms, spec.min_ms,
+              100.0 * (spec.mean_ms - base.mean_ms) / base.mean_ms);
+
+  // --- 2. failures degrade into approximation ------------------------------
+  std::printf("\n  -- injected failures on a droppable stage (max 2 attempts) --\n");
+  std::printf("  %-12s  %10s  %10s  %10s  %12s\n", "fail prob", "executed", "degraded",
+              "retries", "eff. theta");
+  for (const double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    engine::Engine::Options o = base_opts();
+    o.fault.injection.fail_prob = p;
+    o.fault.injection.seed = 7;
+    o.fault.max_attempts = 2;
+    engine::Engine eng(o);
+    const auto r = run_workload(eng, kPartitions, kRows, 3);
+    std::printf("  %-12g  %7zu/%-2zu  %10zu  %10zu  %12.3f\n", p,
+                r.last_stage.executed_partitions, kPartitions,
+                r.last_stage.failed_partition_ids.size(), r.last_stage.retries,
+                r.last_stage.effective_drop_ratio);
+  }
+
+  // --- 3. speculation rescues stragglers ------------------------------------
+  std::printf("\n  -- stragglers (20%% of tasks +80 ms) with and without speculation --\n");
+  std::printf("  %-24s  %10s  %10s  %10s\n", "configuration", "mean [ms]", "spec runs",
+              "spec wins");
+  for (const bool speculate : {false, true}) {
+    engine::Engine::Options o = base_opts();
+    o.fault.injection.straggler_prob = 0.2;
+    o.fault.injection.straggler_delay_ms = 80.0;
+    o.fault.injection.seed = 13;
+    o.fault.speculation = speculate;
+    o.fault.speculation_quantile = 0.75;
+    engine::Engine eng(o);
+    const auto r = run_workload(eng, kPartitions, kRows, 5);
+    std::printf("  %-24s  %10.2f  %10zu  %10zu\n",
+                speculate ? "with speculation" : "no speculation", r.mean_ms,
+                r.last_stage.speculative_launched, r.last_stage.speculative_wins);
+  }
+  return 0;
+}

@@ -11,7 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "analytics/word_count.hpp"
 #include "core/controller.hpp"
+#include "engine/engine.hpp"
+#include "workload/text_corpus.hpp"
 #include "workload/trace_gen.hpp"
 
 namespace {
@@ -31,8 +34,85 @@ void usage(const char* prog) {
       "  --sprint-budget <J>           sprint budget in Joules (default inf)\n"
       "  --seed <n>                    RNG seed (default 1)\n"
       "  --csv                         machine-readable output\n"
-      "  --help                        this text\n",
+      "  --help                        this text\n"
+      "engine mode (in-process MapReduce with fault tolerance):\n"
+      "  --engine-wordcount            run an approximate word count on the real\n"
+      "                                engine instead of the cluster simulation;\n"
+      "                                uses the first --theta value as drop ratio\n"
+      "  --rows <n>                    corpus rows (default 2000)\n"
+      "  --partitions <n>              input partitions / map tasks (default 40)\n"
+      "  --fault-rate <p>              injected per-attempt task failure prob (default 0)\n"
+      "  --straggler-rate <p>          injected straggler probability (default 0)\n"
+      "  --straggler-delay-ms <ms>     injected straggler delay (default 50)\n"
+      "  --max-attempts <n>            attempts per task before degradation (default 3)\n"
+      "  --retry-backoff-ms <ms>       linear backoff between attempts (default 0)\n"
+      "  --speculation                 speculatively re-execute stage-tail stragglers\n"
+      "  --fault-all-stages            inject into non-droppable stages too (a dead\n"
+      "                                task there aborts the job with TaskFailedError)\n"
+      "  --fault-seed <n>              injector seed (default 99)\n",
       prog);
+}
+
+// --engine-wordcount: run the paper's droppable word-count map on the
+// in-process engine under injected faults, and show how failed tasks
+// degrade into extra approximation (effective theta) instead of job
+// failure.
+int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
+                         std::uint64_t seed, const engine::FaultToleranceOptions& fault,
+                         bool csv) {
+  workload::TextCorpusParams params;
+  params.posts = rows;
+  params.seed = seed;
+  const auto corpus = workload::generate_text_corpus("cli", params);
+
+  engine::Engine::Options opts;
+  opts.workers = 4;
+  opts.seed = seed;
+  opts.fault = fault;
+  engine::Engine eng(opts);
+  const auto ds = eng.parallelize(corpus.rows, partitions);
+
+  analytics::WordCountResult result;
+  try {
+    result = analytics::word_count(eng, ds, std::max<std::size_t>(partitions / 4, 1), theta);
+  } catch (const engine::TaskFailedError& e) {
+    std::fprintf(stderr, "job failed: %s\n", e.what());
+    return 1;
+  }
+
+  if (csv) {
+    std::printf("stage,total,executed,degraded,attempts,retries,spec_runs,spec_wins,"
+                "theta,effective_theta\n");
+  } else {
+    std::printf("engine word count: %zu rows, %zu partitions, theta %.2f, seed %llu\n",
+                corpus.rows.size(), partitions, theta,
+                static_cast<unsigned long long>(seed));
+    std::printf("  %-18s %6s %6s %6s %6s %6s %5s %5s %7s %7s\n", "stage", "total",
+                "run", "dead", "att", "retry", "spec", "wins", "theta", "eff.th");
+  }
+  for (const auto& s : eng.stage_log()) {
+    if (csv) {
+      std::printf("%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%.4f,%.4f\n", s.name.c_str(),
+                  s.total_partitions, s.executed_partitions, s.failed_partition_ids.size(),
+                  s.attempts, s.retries, s.speculative_launched, s.speculative_wins,
+                  s.applied_drop_ratio, s.effective_drop_ratio);
+    } else {
+      std::printf("  %-18s %6zu %6zu %6zu %6zu %6zu %5zu %5zu %7.3f %7.3f\n",
+                  s.name.c_str(), s.total_partitions, s.executed_partitions,
+                  s.failed_partition_ids.size(), s.attempts, s.retries,
+                  s.speculative_launched, s.speculative_wins, s.applied_drop_ratio,
+                  s.effective_drop_ratio);
+    }
+  }
+  if (csv) {
+    std::printf("distinct_words,%zu\nexecuted_fraction,%.4f\nduration_s,%.4f\n",
+                result.counts.size(), result.executed_fraction(), result.duration_s);
+  } else {
+    std::printf("  %zu distinct words, executed fraction %.3f, %.1f ms\n",
+                result.counts.size(), result.executed_fraction(),
+                1000.0 * result.duration_s);
+  }
+  return 0;
 }
 
 std::vector<double> parse_list(const std::string& arg) {
@@ -69,6 +149,15 @@ int main(int argc, char** argv) {
   double sprint_budget = std::numeric_limits<double>::infinity();
   std::uint64_t seed = 1;
   bool csv = false;
+
+  bool engine_wordcount = false;
+  std::size_t rows = 2000;
+  std::size_t partitions = 40;
+  engine::FaultToleranceOptions fault;
+  fault.max_attempts = 3;
+  fault.injection.straggler_delay_ms = 50.0;
+  fault.injection.droppable_only = true;
+  fault.injection.seed = 99;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -110,11 +199,38 @@ int main(int argc, char** argv) {
       seed = std::stoull(next());
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--engine-wordcount") {
+      engine_wordcount = true;
+    } else if (arg == "--rows") {
+      rows = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--partitions") {
+      partitions = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--fault-rate") {
+      fault.injection.fail_prob = std::stod(next());
+    } else if (arg == "--straggler-rate") {
+      fault.injection.straggler_prob = std::stod(next());
+    } else if (arg == "--straggler-delay-ms") {
+      fault.injection.straggler_delay_ms = std::stod(next());
+    } else if (arg == "--max-attempts") {
+      fault.max_attempts = std::stoi(next());
+    } else if (arg == "--retry-backoff-ms") {
+      fault.retry_backoff_ms = std::stod(next());
+    } else if (arg == "--speculation") {
+      fault.speculation = true;
+    } else if (arg == "--fault-all-stages") {
+      fault.injection.droppable_only = false;
+    } else if (arg == "--fault-seed") {
+      fault.injection.seed = std::stoull(next());
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (engine_wordcount) {
+    return run_engine_wordcount(theta.empty() ? 0.2 : theta.front(), rows, partitions,
+                                seed, fault, csv);
   }
 
   // Reference workload shapes, mixed and scaled to the requested load.

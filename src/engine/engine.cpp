@@ -1,10 +1,31 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <future>
 #include <numeric>
+#include <optional>
+#include <thread>
 
 namespace dias::engine {
+namespace {
+
+// Sleeps roughly `ms`, returning early once `done` becomes true (used for
+// straggler delays and retry backoff so a speculative win is not held back
+// by a sleeping loser).
+void interruptible_sleep_ms(double ms, const std::atomic<bool>& done) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  while (!done.load(std::memory_order_acquire) && clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
 
 std::vector<std::size_t> find_missing_partitions(std::size_t n, double theta, Rng& rng) {
   DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratio must be in [0,1]");
@@ -28,6 +49,7 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
   info.name = opts.name;
   info.kind = kind;
   info.total_partitions = n;
+  const std::uint64_t stage_seq = stage_seq_++;
 
   const double theta = opts.droppable
                            ? (opts.drop_ratio_override >= 0.0 ? opts.drop_ratio_override
@@ -42,19 +64,189 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
     selected.resize(n);
     std::iota(selected.begin(), selected.end(), std::size_t{0});
   }
-  info.executed_partitions = selected.size();
-  info.task_times_s.assign(selected.size(), 0.0);
 
   const auto stage_start = std::chrono::steady_clock::now();
-  pool_.run_indexed(selected.size(), [&](std::size_t i) {
-    const auto task_start = std::chrono::steady_clock::now();
-    body(selected[i]);
-    const auto task_end = std::chrono::steady_clock::now();
-    info.task_times_s[i] = std::chrono::duration<double>(task_end - task_start).count();
-  });
+  if (!options_.fault.active()) {
+    // Legacy zero-overhead path: no retry bookkeeping, no per-task state.
+    info.executed_partitions = selected.size();
+    info.attempts = selected.size();
+    info.task_times_s.assign(selected.size(), 0.0);
+    pool_.run_indexed(selected.size(), [&](std::size_t i) {
+      const auto task_start = std::chrono::steady_clock::now();
+      body(selected[i]);
+      const auto task_end = std::chrono::steady_clock::now();
+      info.task_times_s[i] = std::chrono::duration<double>(task_end - task_start).count();
+    });
+    info.executed_partition_ids = std::move(selected);
+  } else {
+    run_stage_fault_tolerant(selected, opts, info, stage_seq, body);
+  }
   const auto stage_end = std::chrono::steady_clock::now();
   info.duration_s = std::chrono::duration<double>(stage_end - stage_start).count();
+  info.effective_drop_ratio =
+      n == 0 ? 0.0
+             : 1.0 - static_cast<double>(info.executed_partitions) / static_cast<double>(n);
+
+  // On a non-droppable stage a dead task is fatal: log the stage (so the
+  // caller can post-mortem), then surface a typed error.
+  std::optional<TaskFailedError> fatal;
+  if (!opts.droppable && !info.failed_partition_ids.empty()) {
+    const std::size_t part = info.failed_partition_ids.front();
+    fatal.emplace(opts.name, part, options_.fault.max_attempts);
+  }
   stage_log_.push_back(std::move(info));
+  if (fatal) throw *fatal;
+}
+
+void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
+                                      const StageOptions& opts, StageInfo& info,
+                                      std::uint64_t stage_seq,
+                                      const std::function<void(std::size_t)>& body) {
+  const std::size_t n_sel = selected.size();
+  const FaultToleranceOptions& ft = options_.fault;
+  // Injection may be scoped to droppable stages; retry/speculation still
+  // guard against genuine (user-code) failures on immune stages.
+  const bool inject = !(ft.injection.droppable_only && !opts.droppable);
+
+  // Per-task shared state between the primary attempt loop and an optional
+  // speculative copy. `exec_mu` serializes body execution so a partition's
+  // body can never complete twice: the first copy through wins, the loser
+  // observes `done` and backs off.
+  struct TaskState {
+    std::mutex exec_mu;
+    std::atomic<bool> done{false};              // body completed successfully
+    std::atomic<bool> primary_finished{false};  // primary loop returned
+    std::atomic<int> attempts{0};               // all copies
+    std::atomic<int> primary_attempts{0};
+    std::atomic<bool> spec_launched{false};
+    std::atomic<bool> spec_won{false};
+    std::atomic<bool> failed{false};            // primary exhausted its budget
+    double task_time_s = 0.0;                   // winner's time, under exec_mu
+  };
+  std::vector<TaskState> tasks(n_sel);
+
+  std::mutex progress_mu;
+  std::condition_variable progress_cv;
+  std::size_t primaries_done = 0;
+  std::size_t succeeded = 0;
+
+  // Runs the body for task `idx` unless another copy already completed it.
+  // Throws whatever the body throws; the caller accounts a failed attempt.
+  auto execute_body = [&](std::size_t idx, bool speculative) {
+    TaskState& st = tasks[idx];
+    std::lock_guard guard(st.exec_mu);
+    if (st.done.load(std::memory_order_acquire)) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    body(selected[idx]);
+    const auto t1 = std::chrono::steady_clock::now();
+    st.task_time_s = std::chrono::duration<double>(t1 - t0).count();
+    if (speculative) st.spec_won.store(true, std::memory_order_relaxed);
+    st.done.store(true, std::memory_order_release);
+    {
+      std::lock_guard plock(progress_mu);
+      ++succeeded;
+    }
+    progress_cv.notify_all();
+  };
+
+  auto primary = [&](std::size_t idx) {
+    TaskState& st = tasks[idx];
+    const std::size_t part = selected[idx];
+    const double delay_ms = inject ? injector_.straggler_delay_ms(stage_seq, part) : 0.0;
+    for (int attempt = 1; attempt <= ft.max_attempts; ++attempt) {
+      if (st.done.load(std::memory_order_acquire)) break;  // speculation won
+      st.attempts.fetch_add(1, std::memory_order_relaxed);
+      st.primary_attempts.fetch_add(1, std::memory_order_relaxed);
+      if (delay_ms > 0.0) interruptible_sleep_ms(delay_ms, st.done);
+      if (st.done.load(std::memory_order_acquire)) break;
+      bool attempt_failed = inject && injector_.should_fail(stage_seq, part, attempt);
+      if (!attempt_failed) {
+        try {
+          execute_body(idx, /*speculative=*/false);
+          break;  // the partition is complete (by us or a faster copy)
+        } catch (...) {
+          // User-code failure: retried exactly like an injected fault. The
+          // body must be idempotent (see run_stage contract).
+          attempt_failed = true;
+        }
+      }
+      if (attempt == ft.max_attempts) {
+        st.failed.store(true, std::memory_order_release);
+      } else if (ft.retry_backoff_ms > 0.0) {
+        interruptible_sleep_ms(ft.retry_backoff_ms * attempt, st.done);
+      }
+    }
+    st.primary_finished.store(true, std::memory_order_release);
+    {
+      std::lock_guard plock(progress_mu);
+      ++primaries_done;
+    }
+    progress_cv.notify_all();
+  };
+
+  // A speculative copy models re-execution on a healthy node: no injected
+  // fault, no straggler delay, single attempt.
+  auto speculative = [&](std::size_t idx) {
+    TaskState& st = tasks[idx];
+    if (st.done.load(std::memory_order_acquire)) return;
+    st.attempts.fetch_add(1, std::memory_order_relaxed);
+    try {
+      execute_body(idx, /*speculative=*/true);
+    } catch (...) {
+      // Copy died on user code; the primary keeps retrying (or already
+      // declared the task dead).
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(n_sel);
+  for (std::size_t i = 0; i < n_sel; ++i) {
+    futures.push_back(pool_.submit([&primary, i] { primary(i); }));
+  }
+
+  if (ft.speculation && n_sel > 0) {
+    // Spark-style tail speculation: once the quantile of tasks succeeded,
+    // re-submit every task that is still in flight.
+    const auto threshold = std::min(
+        n_sel, static_cast<std::size_t>(std::ceil(
+                   ft.speculation_quantile * static_cast<double>(n_sel) - 1e-12)));
+    {
+      std::unique_lock lock(progress_mu);
+      progress_cv.wait(
+          lock, [&] { return succeeded >= threshold || primaries_done == n_sel; });
+    }
+    for (std::size_t i = 0; i < n_sel; ++i) {
+      TaskState& st = tasks[i];
+      if (st.done.load(std::memory_order_acquire) ||
+          st.primary_finished.load(std::memory_order_acquire)) {
+        continue;
+      }
+      st.spec_launched.store(true, std::memory_order_relaxed);
+      futures.push_back(pool_.submit([&speculative, i] { speculative(i); }));
+    }
+  }
+  // Task-level errors were consumed by the attempt loops; anything escaping
+  // here is an engine bug and propagates.
+  for (auto& f : futures) f.get();
+
+  info.executed_partition_ids.reserve(n_sel);
+  info.task_times_s.reserve(n_sel);
+  for (std::size_t i = 0; i < n_sel; ++i) {
+    TaskState& st = tasks[i];
+    info.attempts += static_cast<std::size_t>(st.attempts.load(std::memory_order_relaxed));
+    const int primary_attempts = st.primary_attempts.load(std::memory_order_relaxed);
+    if (primary_attempts > 1) info.retries += static_cast<std::size_t>(primary_attempts - 1);
+    if (st.spec_launched.load(std::memory_order_relaxed)) ++info.speculative_launched;
+    if (st.spec_won.load(std::memory_order_relaxed)) ++info.speculative_wins;
+    if (st.done.load(std::memory_order_acquire)) {
+      // `selected` is sorted, so the executed ids come out sorted too.
+      info.executed_partition_ids.push_back(selected[i]);
+      info.task_times_s.push_back(st.task_time_s);
+    } else {
+      info.failed_partition_ids.push_back(selected[i]);
+    }
+  }
+  info.executed_partitions = info.executed_partition_ids.size();
 }
 
 }  // namespace dias::engine

@@ -21,6 +21,7 @@
 
 #include "common/rng.hpp"
 #include "engine/dataset.hpp"
+#include "engine/fault.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace dias::engine {
@@ -31,10 +32,27 @@ struct StageInfo {
   std::string name;
   EngineStageKind kind = EngineStageKind::kMap;
   std::size_t total_partitions = 0;
-  std::size_t executed_partitions = 0;
-  double applied_drop_ratio = 0.0;
+  std::size_t executed_partitions = 0;   // successfully executed tasks
+  double applied_drop_ratio = 0.0;       // the configured theta
   double duration_s = 0.0;             // wall time of the whole stage
   std::vector<double> task_times_s;    // per executed task
+
+  // --- fault-tolerance accounting -----------------------------------------
+  // Partitions whose task completed successfully, sorted ascending.
+  std::vector<std::size_t> executed_partition_ids;
+  // Partitions whose task exhausted its retry budget. On a droppable stage
+  // these were degraded into drops; on a non-droppable stage the first one
+  // was raised as TaskFailedError (after this entry was logged).
+  std::vector<std::size_t> failed_partition_ids;
+  std::size_t attempts = 0;             // total attempts incl. retries + speculative copies
+  std::size_t retries = 0;              // primary attempts beyond the first, summed over tasks
+  std::size_t speculative_launched = 0; // speculative copies submitted
+  std::size_t speculative_wins = 0;     // copies that beat the primary
+  // The drop ratio the stage *effectively* ran with: dropped-before-launch
+  // plus failed-then-dropped tasks over total. Equals the share of
+  // partitions that contributed no data, so the accuracy profile evaluated
+  // at this ratio still bounds the result error.
+  double effective_drop_ratio = 0.0;
 };
 
 struct StageOptions {
@@ -57,12 +75,22 @@ class Engine {
     std::uint64_t seed = 1;
     // Engine-wide drop ratio applied to droppable stages.
     double drop_ratio = 0.0;
+    // Fault injection + retry/speculation/degradation policy. The default
+    // (no injection, 1 attempt, no speculation) keeps run_stage on the
+    // legacy zero-overhead path.
+    FaultToleranceOptions fault;
   };
 
   explicit Engine(Options options)
-      : options_(options), pool_(options.workers), rng_(options.seed) {
+      : options_(options), pool_(options.workers), rng_(options.seed),
+        injector_(options.fault.injection) {
     DIAS_EXPECTS(options.drop_ratio >= 0.0 && options.drop_ratio < 1.0,
                  "drop ratio must be in [0,1)");
+    DIAS_EXPECTS(options.fault.max_attempts >= 1, "need at least one attempt per task");
+    DIAS_EXPECTS(options.fault.retry_backoff_ms >= 0.0, "retry backoff must be >= 0");
+    DIAS_EXPECTS(options.fault.speculation_quantile > 0.0 &&
+                     options.fault.speculation_quantile <= 1.0,
+                 "speculation quantile must be in (0,1]");
   }
 
   const Options& options() const { return options_; }
@@ -70,6 +98,18 @@ class Engine {
     DIAS_EXPECTS(theta >= 0.0 && theta < 1.0, "drop ratio must be in [0,1)");
     options_.drop_ratio = theta;
   }
+  // Replaces the fault-tolerance policy (rebuilds the injector). Takes
+  // effect from the next stage; the stage sequence counter keeps running so
+  // injection stays deterministic for a fixed call sequence.
+  void set_fault_options(const FaultToleranceOptions& fault) {
+    DIAS_EXPECTS(fault.max_attempts >= 1, "need at least one attempt per task");
+    DIAS_EXPECTS(fault.retry_backoff_ms >= 0.0, "retry backoff must be >= 0");
+    DIAS_EXPECTS(fault.speculation_quantile > 0.0 && fault.speculation_quantile <= 1.0,
+                 "speculation quantile must be in (0,1]");
+    options_.fault = fault;
+    injector_ = FaultInjector(fault.injection);
+  }
+  const FaultInjector& fault_injector() const { return injector_; }
 
   // --- dataset creation ---------------------------------------------------
   template <typename T>
@@ -314,12 +354,25 @@ class Engine {
 
  private:
   // Runs one stage over `n` partitions, applying dropping when allowed.
+  //
+  // Stage bodies must be idempotent per partition: under retry or
+  // speculation a body may be invoked again for the same partition after a
+  // failed or superseded attempt (successful executions remain
+  // exactly-once — a partition's body never *completes* twice).
   void run_stage(std::size_t n, const StageOptions& opts, EngineStageKind kind,
                  const std::function<void(std::size_t)>& body);
+
+  // The fault-tolerant execution loop (retry + speculation + degradation).
+  void run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
+                                const StageOptions& opts, StageInfo& info,
+                                std::uint64_t stage_seq,
+                                const std::function<void(std::size_t)>& body);
 
   Options options_;
   ThreadPool pool_;
   Rng rng_;
+  FaultInjector injector_;
+  std::uint64_t stage_seq_ = 0;  // stages run since construction; injector key
   std::vector<StageInfo> stage_log_;
 };
 

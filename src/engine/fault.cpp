@@ -1,0 +1,63 @@
+#include "engine/fault.hpp"
+
+#include <utility>
+
+namespace dias::engine {
+namespace {
+
+// splitmix64 finalizer: a strong 64-bit mixer, also used to seed the
+// engine Rng. Applied over a running hash of the decision coordinates it
+// gives an independent uniform draw per (seed, stage, partition, attempt,
+// salt) tuple without any shared state.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double uniform_draw(std::uint64_t seed, std::uint64_t stage_seq, std::uint64_t partition,
+                    std::uint64_t attempt, std::uint64_t salt) {
+  std::uint64_t h = mix(seed + salt);
+  h = mix(h ^ stage_seq);
+  h = mix(h ^ partition);
+  h = mix(h ^ attempt);
+  // Top 53 bits -> [0, 1), the same conversion the Rng uses.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kFailSalt = 0xFA11;
+constexpr std::uint64_t kStragglerSalt = 0x51F0;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(config) {
+  DIAS_EXPECTS(config_.fail_prob >= 0.0 && config_.fail_prob <= 1.0,
+               "fault fail_prob must be in [0,1]");
+  DIAS_EXPECTS(config_.straggler_prob >= 0.0 && config_.straggler_prob <= 1.0,
+               "fault straggler_prob must be in [0,1]");
+  DIAS_EXPECTS(config_.straggler_delay_ms >= 0.0, "straggler delay must be >= 0");
+}
+
+bool FaultInjector::should_fail(std::uint64_t stage_seq, std::size_t partition,
+                                int attempt) const {
+  if (config_.fail_prob <= 0.0) return false;
+  return uniform_draw(config_.seed, stage_seq, partition,
+                      static_cast<std::uint64_t>(attempt), kFailSalt) < config_.fail_prob;
+}
+
+double FaultInjector::straggler_delay_ms(std::uint64_t stage_seq,
+                                         std::size_t partition) const {
+  if (config_.straggler_prob <= 0.0 || config_.straggler_delay_ms <= 0.0) return 0.0;
+  const double u = uniform_draw(config_.seed, stage_seq, partition, 0, kStragglerSalt);
+  return u < config_.straggler_prob ? config_.straggler_delay_ms : 0.0;
+}
+
+TaskFailedError::TaskFailedError(std::string stage, std::size_t partition, int attempts)
+    : error("task failed for good: stage '" + stage + "', partition " +
+            std::to_string(partition) + ", " + std::to_string(attempts) + " attempt(s)"),
+      stage_(std::move(stage)),
+      partition_(partition),
+      attempts_(attempts) {}
+
+}  // namespace dias::engine

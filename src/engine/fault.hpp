@@ -1,0 +1,111 @@
+// Fault injection and fault-tolerance policy for the mini MapReduce engine.
+//
+// Production data-parallel engines treat task failure and slowdown as the
+// common case; the paper's GRASS-style argument (Section 3.3, citation
+// [11]) is that on a *droppable* stage a task that cannot be completed is
+// cheaper to drop than to re-execute: the loss is bounded accuracy instead
+// of unbounded latency. This header provides
+//
+//   * FaultInjector  - deterministic, seedable injection of per-attempt
+//     task failures and per-task straggler slowdowns. Decisions are pure
+//     hash functions of (seed, stage sequence number, partition, attempt),
+//     so they are reproducible independent of thread scheduling and never
+//     consume state from the engine's sequential Rng stream.
+//   * FaultToleranceOptions - the engine-side policy: bounded per-task
+//     retries with linear backoff, Spark-style speculative re-execution of
+//     stage-tail stragglers, and approximation-aware degradation (a task
+//     that exhausts its retries on a droppable stage becomes a dropped
+//     partition, folded into the stage's effective drop ratio).
+//   * TaskFailedError - typed error carrying stage name, partition id and
+//     attempt count, thrown when a task dies for good on a stage that is
+//     NOT allowed to degrade.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dias::engine {
+
+// What the injector should break. All probabilities are per decision:
+// `fail_prob` is evaluated once per task *attempt* (so retries of a task
+// re-roll), `straggler_prob` once per task (a straggler stays a straggler
+// across its retries, like a task stuck on a sick node).
+struct FaultConfig {
+  double fail_prob = 0.0;          // P[injected failure] per attempt
+  double straggler_prob = 0.0;     // P[task is a straggler]
+  double straggler_delay_ms = 0.0; // extra latency injected per straggling attempt
+  std::uint64_t seed = 0;          // independent of the engine seed
+  // Restrict injection to droppable stages. Models experiments on the
+  // degradation path specifically: critical (non-droppable) stages stay
+  // healthy while approximate work absorbs the failures.
+  bool droppable_only = false;
+};
+
+// Deterministic fault source. Thread-safe: all queries are const and pure.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig config);
+
+  // True when the injector can actually perturb execution.
+  bool enabled() const {
+    return config_.fail_prob > 0.0 ||
+           (config_.straggler_prob > 0.0 && config_.straggler_delay_ms > 0.0);
+  }
+
+  const FaultConfig& config() const { return config_; }
+
+  // Should attempt `attempt` (1-based) of `partition` in the stage with
+  // sequence number `stage_seq` fail before doing any work?
+  bool should_fail(std::uint64_t stage_seq, std::size_t partition, int attempt) const;
+
+  // Extra delay injected into every primary attempt of this task; 0 for
+  // non-stragglers. Speculative copies model re-execution on a healthy
+  // node and are never delayed.
+  double straggler_delay_ms(std::uint64_t stage_seq, std::size_t partition) const;
+
+ private:
+  FaultConfig config_;
+};
+
+// Engine-wide fault-tolerance policy. The default configuration (one
+// attempt, no injection, no speculation) makes the engine bypass the
+// fault-tolerant execution path entirely, keeping the zero-fault hot path
+// byte-identical to an engine without this subsystem.
+struct FaultToleranceOptions {
+  FaultConfig injection;
+  // Attempts per task before it is declared dead (>= 1; 1 = no retry).
+  int max_attempts = 1;
+  // Linear backoff between attempts: sleep attempt * retry_backoff_ms.
+  double retry_backoff_ms = 0.0;
+  // Spark-style speculation: once `speculation_quantile` of a stage's
+  // tasks succeeded, re-submit a copy of every still-running task; the
+  // first copy to complete the partition wins, the loser is discarded.
+  bool speculation = false;
+  double speculation_quantile = 0.75;
+
+  // True when run_stage must take the fault-tolerant path at all.
+  bool active() const {
+    return max_attempts > 1 || speculation || FaultInjector(injection).enabled();
+  }
+};
+
+// A task exhausted its retry budget on a stage that may not degrade.
+class TaskFailedError : public error {
+ public:
+  TaskFailedError(std::string stage, std::size_t partition, int attempts);
+
+  const std::string& stage() const { return stage_; }
+  std::size_t partition() const { return partition_; }
+  int attempts() const { return attempts_; }
+
+ private:
+  std::string stage_;
+  std::size_t partition_;
+  int attempts_;
+};
+
+}  // namespace dias::engine

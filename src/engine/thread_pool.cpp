@@ -1,5 +1,7 @@
 #include "engine/thread_pool.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
 #include <utility>
 
@@ -37,20 +39,37 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::size_t)>& task) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&task, i] { task(i); }));
-  }
+  if (count == 0) return;
+  // One index-stealing lane per worker: each lane pulls the next index off
+  // a shared atomic counter until the range is exhausted. Every index runs
+  // even when some throw; the first observed error is rethrown at the end.
+  const std::size_t lanes = std::min(count, workers());
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
   std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(submit([&next, &task, &error_mutex, &first_error, count] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          task(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    }));
   }
+  for (auto& f : futures) f.get();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t ThreadPool::pending() {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::worker_loop() {

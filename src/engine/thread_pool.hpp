@@ -27,8 +27,15 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   // Runs `count` indexed tasks and waits for all of them; the first
-  // exception (if any) is rethrown after every task finished.
+  // observed exception (if any) is rethrown after every task finished.
+  // Internally submits one index-stealing loop per worker instead of one
+  // queue entry per task, so per-task overhead stays O(1) allocations per
+  // *stage* rather than per task.
   void run_indexed(std::size_t count, const std::function<void(std::size_t)>& task);
+
+  // Tasks enqueued but not yet picked up by a worker (diagnostic; the
+  // value is stale as soon as it is returned).
+  std::size_t pending();
 
  private:
   void worker_loop();

@@ -49,6 +49,50 @@ TEST(FindMissingPartitionsTest, ReturnsSortedUniqueValidIndices) {
   }
 }
 
+// Property sweep: for every (n, theta) the selection has exactly
+// ceil(n (1 - theta)) elements, sorted, unique, in range — and is a pure
+// function of the generator state (same seed, same answer).
+TEST(FindMissingPartitionsTest, PropertySweepSizeSortedUniqueInRange) {
+  const std::size_t sizes[] = {1, 2, 3, 7, 10, 64, 101};
+  const double thetas[] = {0.0, 0.01, 0.25, 0.5, 0.77, 0.99};
+  for (const std::size_t n : sizes) {
+    for (const double theta : thetas) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " theta=" << theta);
+      Rng rng(1234);
+      const auto sel = find_missing_partitions(n, theta, rng);
+      const auto expected = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(n) * (1.0 - theta) - 1e-12));
+      EXPECT_EQ(sel.size(), expected);
+      EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+      EXPECT_EQ(std::set<std::size_t>(sel.begin(), sel.end()).size(), sel.size());
+      for (const auto i : sel) EXPECT_LT(i, n);
+    }
+  }
+}
+
+TEST(FindMissingPartitionsTest, EdgeCases) {
+  Rng rng(5);
+  // A single partition survives any theta < 1: ceil(1 * (1 - theta)) = 1.
+  EXPECT_EQ(find_missing_partitions(1, 0.0, rng), std::vector<std::size_t>{0});
+  EXPECT_EQ(find_missing_partitions(1, 0.9999, rng), std::vector<std::size_t>{0});
+  // theta -> 1^-: one task always remains, only theta == 1 drops them all.
+  EXPECT_EQ(find_missing_partitions(10, 0.9999, rng).size(), 1u);
+  EXPECT_EQ(find_missing_partitions(10, 1.0, rng).size(), 0u);
+  // theta = 0 is the identity selection.
+  std::vector<std::size_t> all(25);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  EXPECT_EQ(find_missing_partitions(25, 0.0, rng), all);
+}
+
+TEST(FindMissingPartitionsTest, DeterministicPerSeed) {
+  for (const std::uint64_t seed : {1ULL, 99ULL, 12345ULL}) {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(find_missing_partitions(60, 0.35, a), find_missing_partitions(60, 0.35, b));
+  }
+  Rng a(1), b(2);
+  EXPECT_NE(find_missing_partitions(100, 0.5, a), find_missing_partitions(100, 0.5, b));
+}
+
 TEST(FindMissingPartitionsTest, SelectionIsRandomized) {
   Rng rng(11);
   const auto a = find_missing_partitions(100, 0.5, rng);

@@ -1,0 +1,451 @@
+// Fault-tolerant execution: injection determinism, retry, speculation,
+// approximation-aware degradation, and the engine-level reproducibility
+// guarantees they must preserve.
+#include "engine/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analytics/triangle_count.hpp"
+#include "analytics/word_count.hpp"
+#include "common/error.hpp"
+#include "engine/engine.hpp"
+#include "workload/graph_gen.hpp"
+#include "workload/text_corpus.hpp"
+
+namespace dias::engine {
+namespace {
+
+Engine::Options eng_opts(double drop = 0.0, std::uint64_t seed = 42) {
+  Engine::Options o;
+  o.workers = 4;
+  o.seed = seed;
+  o.drop_ratio = drop;
+  return o;
+}
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+// Log equality modulo wall-clock fields.
+void expect_same_log(const std::vector<StageInfo>& a, const std::vector<StageInfo>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("stage " + a[i].name);
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].total_partitions, b[i].total_partitions);
+    EXPECT_EQ(a[i].executed_partitions, b[i].executed_partitions);
+    EXPECT_EQ(a[i].executed_partition_ids, b[i].executed_partition_ids);
+    EXPECT_EQ(a[i].failed_partition_ids, b[i].failed_partition_ids);
+    EXPECT_EQ(a[i].attempts, b[i].attempts);
+    EXPECT_EQ(a[i].retries, b[i].retries);
+    EXPECT_DOUBLE_EQ(a[i].applied_drop_ratio, b[i].applied_drop_ratio);
+    EXPECT_DOUBLE_EQ(a[i].effective_drop_ratio, b[i].effective_drop_ratio);
+  }
+}
+
+// --- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_FALSE(inj.should_fail(0, 0, 1));
+  EXPECT_DOUBLE_EQ(inj.straggler_delay_ms(0, 0), 0.0);
+}
+
+TEST(FaultInjectorTest, DeterministicPureFunctionOfCoordinates) {
+  FaultConfig cfg;
+  cfg.fail_prob = 0.5;
+  cfg.straggler_prob = 0.3;
+  cfg.straggler_delay_ms = 10.0;
+  cfg.seed = 99;
+  const FaultInjector a(cfg);
+  const FaultInjector b(cfg);
+  for (std::uint64_t stage = 0; stage < 4; ++stage) {
+    for (std::size_t part = 0; part < 50; ++part) {
+      EXPECT_EQ(a.straggler_delay_ms(stage, part), b.straggler_delay_ms(stage, part));
+      for (int attempt = 1; attempt <= 3; ++attempt) {
+        EXPECT_EQ(a.should_fail(stage, part, attempt), b.should_fail(stage, part, attempt));
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorTest, ExtremeProbabilities) {
+  FaultConfig always;
+  always.fail_prob = 1.0;
+  const FaultInjector inj_always(always);
+  FaultConfig never;
+  never.fail_prob = 0.0;
+  const FaultInjector inj_never(never);
+  for (std::size_t p = 0; p < 100; ++p) {
+    EXPECT_TRUE(inj_always.should_fail(0, p, 1));
+    EXPECT_FALSE(inj_never.should_fail(0, p, 1));
+  }
+}
+
+TEST(FaultInjectorTest, EmpiricalRatesMatchConfig) {
+  FaultConfig cfg;
+  cfg.fail_prob = 0.2;
+  cfg.straggler_prob = 0.4;
+  cfg.straggler_delay_ms = 5.0;
+  cfg.seed = 3;
+  const FaultInjector inj(cfg);
+  int failures = 0, stragglers = 0;
+  const int n = 20000;
+  for (int p = 0; p < n; ++p) {
+    failures += inj.should_fail(1, static_cast<std::size_t>(p), 1) ? 1 : 0;
+    stragglers += inj.straggler_delay_ms(1, static_cast<std::size_t>(p)) > 0.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(stragglers) / n, 0.4, 0.02);
+}
+
+TEST(FaultInjectorTest, AttemptsRerollIndependently) {
+  FaultConfig cfg;
+  cfg.fail_prob = 0.5;
+  cfg.seed = 11;
+  const FaultInjector inj(cfg);
+  // Some partition must fail on attempt 1 and pass on attempt 2.
+  bool saw_recovery = false;
+  for (std::size_t p = 0; p < 200 && !saw_recovery; ++p) {
+    saw_recovery = inj.should_fail(0, p, 1) && !inj.should_fail(0, p, 2);
+  }
+  EXPECT_TRUE(saw_recovery);
+}
+
+TEST(FaultInjectorTest, ValidatesConfig) {
+  FaultConfig bad;
+  bad.fail_prob = 1.5;
+  EXPECT_THROW(FaultInjector{bad}, dias::precondition_error);
+  bad.fail_prob = 0.5;
+  bad.straggler_prob = -0.1;
+  EXPECT_THROW(FaultInjector{bad}, dias::precondition_error);
+  bad.straggler_prob = 0.1;
+  bad.straggler_delay_ms = -1.0;
+  EXPECT_THROW(FaultInjector{bad}, dias::precondition_error);
+}
+
+TEST(FaultOptionsTest, ActiveDetection) {
+  FaultToleranceOptions ft;
+  EXPECT_FALSE(ft.active());
+  ft.max_attempts = 3;
+  EXPECT_TRUE(ft.active());
+  ft.max_attempts = 1;
+  ft.speculation = true;
+  EXPECT_TRUE(ft.active());
+  ft.speculation = false;
+  ft.injection.fail_prob = 0.1;
+  EXPECT_TRUE(ft.active());
+}
+
+TEST(FaultOptionsTest, EngineValidatesPolicy) {
+  Engine::Options o = eng_opts();
+  o.fault.max_attempts = 0;
+  EXPECT_THROW(Engine{o}, dias::precondition_error);
+  Engine eng(eng_opts());
+  FaultToleranceOptions ft;
+  ft.speculation_quantile = 0.0;
+  EXPECT_THROW(eng.set_fault_options(ft), dias::precondition_error);
+  ft.speculation_quantile = 0.75;
+  ft.retry_backoff_ms = -1.0;
+  EXPECT_THROW(eng.set_fault_options(ft), dias::precondition_error);
+}
+
+// --- retry -----------------------------------------------------------------
+
+TEST(FaultRetryTest, RetriesUntilSuccessAndLogsAttempts) {
+  Engine::Options o = eng_opts();
+  o.fault.injection.fail_prob = 0.3;
+  o.fault.injection.seed = 5;
+  o.fault.max_attempts = 25;  // deep enough that every task recovers
+  Engine eng(o);
+  const auto ds = eng.parallelize(iota_vec(300), 30);
+  eng.clear_stage_log();
+  StageOptions so;
+  so.name = "retry-map";
+  const auto out = eng.map(ds, [](const int& x) { return x + 1; }, so);
+  EXPECT_EQ(out.total_size(), 300u);
+
+  ASSERT_EQ(eng.stage_log().size(), 1u);
+  const auto& info = eng.stage_log().front();
+  EXPECT_EQ(info.executed_partitions, 30u);
+  EXPECT_TRUE(info.failed_partition_ids.empty());
+  EXPECT_DOUBLE_EQ(info.effective_drop_ratio, 0.0);
+  EXPECT_GT(info.retries, 0u);
+  EXPECT_EQ(info.attempts, 30u + info.retries);
+
+  // Cross-check the retry count against the injector's deterministic plan:
+  // task p needs as many attempts as leading should_fail() answers + 1.
+  std::size_t expected_retries = 0;
+  for (std::size_t p = 0; p < 30; ++p) {
+    int attempt = 1;
+    while (eng.fault_injector().should_fail(0, p, attempt)) ++attempt;
+    expected_retries += static_cast<std::size_t>(attempt - 1);
+  }
+  EXPECT_EQ(info.retries, expected_retries);
+}
+
+TEST(FaultRetryTest, UserCodeExceptionsAreRetried) {
+  Engine::Options o = eng_opts();
+  o.fault.max_attempts = 3;  // no injection; retries driven by the body itself
+  Engine eng(o);
+  const auto ds = eng.parallelize(iota_vec(80), 8);
+  std::array<std::atomic<int>, 8> calls{};
+  eng.clear_stage_log();
+  const auto out = eng.map_partitions_indexed(
+      ds,
+      [&](std::size_t p, const std::vector<int>& part) {
+        // Every partition's first attempt dies; the retry succeeds.
+        if (calls[p].fetch_add(1) == 0) throw std::runtime_error("flaky");
+        return part;
+      },
+      StageOptions{});
+  EXPECT_EQ(out.total_size(), 80u);
+  const auto& info = eng.stage_log().front();
+  EXPECT_EQ(info.executed_partitions, 8u);
+  EXPECT_EQ(info.retries, 8u);
+  for (const auto& c : calls) EXPECT_EQ(c.load(), 2);
+}
+
+TEST(FaultRetryTest, ZeroFaultRateMatchesLegacyPathExactly) {
+  // The retry machinery at failure probability 0 must not change which
+  // partitions run or what the job computes.
+  Engine::Options plain = eng_opts(0.3, 7);
+  Engine::Options ft = plain;
+  ft.fault.max_attempts = 3;
+  ft.fault.retry_backoff_ms = 1.0;
+  Engine a(plain), b(ft);
+  const auto da = a.parallelize(iota_vec(500), 40);
+  const auto db = b.parallelize(iota_vec(500), 40);
+  StageOptions so;
+  so.name = "zero-fault";
+  const auto ra = a.map(da, [](const int& x) { return 3 * x; }, so);
+  const auto rb = b.map(db, [](const int& x) { return 3 * x; }, so);
+  EXPECT_EQ(ra.collect(), rb.collect());
+  expect_same_log(a.stage_log(), b.stage_log());
+}
+
+// --- approximation-aware degradation ---------------------------------------
+
+TEST(FaultDegradationTest, FailedTasksBecomeDropsOnDroppableStage) {
+  Engine::Options o = eng_opts(0.2);
+  o.fault.injection.fail_prob = 0.5;
+  o.fault.injection.seed = 17;
+  o.fault.max_attempts = 2;
+  Engine eng(o);
+  const auto ds = eng.parallelize(iota_vec(400), 40);
+  eng.clear_stage_log();
+  StageOptions so;
+  so.name = "degrade-map";
+  so.droppable = true;
+  const auto out = eng.map(ds, [](const int& x) { return x; }, so);
+
+  ASSERT_EQ(eng.stage_log().size(), 1u);
+  const auto& info = eng.stage_log().front();
+  EXPECT_EQ(info.total_partitions, 40u);
+  // theta = 0.2 drops 8 up front; injected deaths must then degrade more.
+  const std::size_t selected = 32;
+  EXPECT_EQ(info.executed_partitions + info.failed_partition_ids.size(), selected);
+  EXPECT_FALSE(info.failed_partition_ids.empty());
+  EXPECT_DOUBLE_EQ(info.applied_drop_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(info.effective_drop_ratio,
+                   1.0 - static_cast<double>(info.executed_partitions) / 40.0);
+  EXPECT_GT(info.effective_drop_ratio, 0.2);
+
+  // A degraded task contributes no data, exactly like a dropped one.
+  std::set<std::size_t> executed(info.executed_partition_ids.begin(),
+                                 info.executed_partition_ids.end());
+  for (std::size_t p = 0; p < out.partitions(); ++p) {
+    EXPECT_EQ(out.partition(p).empty(), executed.count(p) == 0) << "partition " << p;
+  }
+
+  // The dead set is exactly the injector's plan: both attempts fail.
+  for (std::size_t p : info.failed_partition_ids) {
+    EXPECT_TRUE(eng.fault_injector().should_fail(0, p, 1));
+    EXPECT_TRUE(eng.fault_injector().should_fail(0, p, 2));
+  }
+}
+
+TEST(FaultDegradationTest, NonDroppableStageRaisesTypedError) {
+  Engine::Options o = eng_opts();
+  o.fault.injection.fail_prob = 1.0;  // every attempt dies
+  o.fault.max_attempts = 3;
+  Engine eng(o);
+  const auto ds = eng.parallelize(iota_vec(50), 5);
+  eng.clear_stage_log();
+  StageOptions so;
+  so.name = "critical-map";
+  so.droppable = false;
+  try {
+    eng.map(ds, [](const int& x) { return x; }, so);
+    FAIL() << "expected TaskFailedError";
+  } catch (const TaskFailedError& e) {
+    EXPECT_EQ(e.stage(), "critical-map");
+    EXPECT_EQ(e.partition(), 0u);  // first failed partition
+    EXPECT_EQ(e.attempts(), 3);
+    EXPECT_NE(std::string(e.what()).find("critical-map"), std::string::npos);
+  }
+  // The stage was still logged for post-mortem before the throw.
+  ASSERT_EQ(eng.stage_log().size(), 1u);
+  EXPECT_EQ(eng.stage_log().front().failed_partition_ids.size(), 5u);
+  EXPECT_EQ(eng.stage_log().front().executed_partitions, 0u);
+}
+
+TEST(FaultDegradationTest, TaskFailedErrorIsADiasError) {
+  const TaskFailedError e("s", 3, 2);
+  const dias::error& base = e;
+  EXPECT_NE(std::string(base.what()).find("partition 3"), std::string::npos);
+}
+
+// --- speculation ------------------------------------------------------------
+
+TEST(FaultSpeculationTest, SpeculativeCopyBeatsStragglerExactlyOnce) {
+  Engine::Options o = eng_opts();
+  o.fault.injection.straggler_prob = 0.25;
+  o.fault.injection.straggler_delay_ms = 400.0;
+  o.fault.injection.seed = 23;
+  o.fault.speculation = true;
+  o.fault.speculation_quantile = 0.5;
+  Engine eng(o);
+
+  // The injector plan is deterministic: require a non-trivial straggler
+  // set so speculation actually has work (seed chosen accordingly).
+  std::size_t planned_stragglers = 0;
+  for (std::size_t p = 0; p < 12; ++p) {
+    if (eng.fault_injector().straggler_delay_ms(0, p) > 0.0) ++planned_stragglers;
+  }
+  ASSERT_GE(planned_stragglers, 1u);
+  ASSERT_LE(planned_stragglers, 5u);  // quantile of fast tasks is reachable
+
+  const auto ds = eng.parallelize(iota_vec(120), 12);
+  std::array<std::atomic<int>, 12> completions{};
+  eng.clear_stage_log();
+  const auto out = eng.map_partitions_indexed(
+      ds,
+      [&](std::size_t p, const std::vector<int>& part) {
+        ++completions[p];
+        return part;
+      },
+      StageOptions{});
+  EXPECT_EQ(out.total_size(), 120u);
+
+  const auto& info = eng.stage_log().front();
+  EXPECT_EQ(info.executed_partitions, 12u);
+  EXPECT_TRUE(info.failed_partition_ids.empty());
+  EXPECT_GE(info.speculative_launched, 1u);
+  EXPECT_GE(info.speculative_wins, 1u);
+  EXPECT_LE(info.speculative_wins, info.speculative_launched);
+  // Exactly one copy completed each partition: the loser was discarded
+  // before running the body, not after.
+  for (const auto& c : completions) EXPECT_EQ(c.load(), 1);
+  // The stage should not have waited out the full straggler delay.
+  EXPECT_LT(info.duration_s, 0.400);
+}
+
+TEST(FaultSpeculationTest, NoSpeculationWithoutStragglers) {
+  Engine::Options o = eng_opts();
+  o.fault.speculation = true;
+  o.fault.speculation_quantile = 0.75;
+  Engine eng(o);
+  const auto ds = eng.parallelize(iota_vec(100), 10);
+  eng.clear_stage_log();
+  eng.map(ds, [](const int& x) { return x; }, StageOptions{});
+  const auto& info = eng.stage_log().front();
+  EXPECT_EQ(info.executed_partitions, 10u);
+  EXPECT_EQ(info.speculative_wins, 0u);
+}
+
+// --- determinism regressions ------------------------------------------------
+
+TEST(FaultDeterminismTest, WordCountIdenticalAcrossEngineInstances) {
+  workload::TextCorpusParams params;
+  params.posts = 500;
+  params.vocabulary = 300;
+  params.seed = 19;
+  const auto corpus = workload::generate_text_corpus("determinism", params);
+
+  auto run = [&](Engine& eng) {
+    const auto ds = eng.parallelize(corpus.rows, 20);
+    return analytics::word_count(eng, ds, 8, 0.3);
+  };
+  Engine a(eng_opts(0.0, 77)), b(eng_opts(0.0, 77));
+  const auto ra = run(a);
+  const auto rb = run(b);
+  EXPECT_EQ(ra.counts, rb.counts);
+  EXPECT_EQ(ra.map_tasks_run, rb.map_tasks_run);
+  expect_same_log(a.stage_log(), b.stage_log());
+}
+
+TEST(FaultDeterminismTest, TriangleCountIdenticalAcrossEngineInstances) {
+  workload::GraphParams gparams;
+  gparams.scale = 10;
+  gparams.edges = 1u << 13;
+  gparams.seed = 29;
+  const auto edges = workload::generate_rmat_graph(gparams);
+
+  auto run = [&](Engine& eng) {
+    const auto ds = eng.parallelize(edges, 16);
+    return analytics::triangle_count(eng, ds, 0.25);
+  };
+  Engine a(eng_opts(0.0, 31)), b(eng_opts(0.0, 31));
+  const auto ra = run(a);
+  const auto rb = run(b);
+  EXPECT_EQ(ra.triangles, rb.triangles);
+  EXPECT_EQ(ra.tasks_run, rb.tasks_run);
+  expect_same_log(a.stage_log(), b.stage_log());
+}
+
+TEST(FaultDeterminismTest, SeededFaultyWordCountReproducesIdenticalLog) {
+  // The paper-level acceptance scenario: a droppable word-count map with
+  // theta = 0.2 and injected failure probability 0.2 completes, reports an
+  // effective drop ratio >= theta, and is bit-reproducible from the seed.
+  workload::TextCorpusParams params;
+  params.posts = 600;
+  params.vocabulary = 400;
+  params.seed = 37;
+  const auto corpus = workload::generate_text_corpus("faulty", params);
+
+  Engine::Options o = eng_opts(0.0, 123);
+  o.fault.injection.fail_prob = 0.2;
+  o.fault.injection.seed = 41;
+  o.fault.injection.droppable_only = true;  // shuffle/reduce stay healthy
+  o.fault.max_attempts = 1;  // every injected failure degrades to a drop
+  auto run = [&](Engine& eng) {
+    const auto ds = eng.parallelize(corpus.rows, 30);
+    return analytics::word_count(eng, ds, 8, 0.2);
+  };
+
+  Engine a(o), b(o);
+  const auto ra = run(a);
+  const auto rb = run(b);
+
+  const auto& map_stage = a.stage_log().front();
+  ASSERT_EQ(map_stage.kind, EngineStageKind::kMap);
+  EXPECT_FALSE(map_stage.failed_partition_ids.empty());
+  EXPECT_GE(map_stage.effective_drop_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(map_stage.applied_drop_ratio, 0.2);
+  // word_count's executed-fraction accounting must see the degraded tasks,
+  // so the rescaled estimator stays unbiased under failures.
+  EXPECT_EQ(ra.map_tasks_run, map_stage.executed_partitions);
+  EXPECT_LT(ra.map_tasks_run, 24u);  // 30 * (1 - 0.2) minus the degraded ones
+
+  EXPECT_EQ(ra.counts, rb.counts);
+  expect_same_log(a.stage_log(), b.stage_log());
+}
+
+}  // namespace
+}  // namespace dias::engine

@@ -4,9 +4,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -95,6 +98,107 @@ TEST(ThreadPoolTest, ActuallyParallel) {
 
 TEST(ThreadPoolTest, NeedsAtLeastOneWorker) {
   EXPECT_THROW(ThreadPool{0}, dias::precondition_error);
+}
+
+TEST(ThreadPoolTest, PendingCountsQueuedWork) {
+  ThreadPool pool(2);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  // Occupy both workers, then queue five more tasks behind them.
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 2; ++i) futures.push_back(pool.submit([open] { open.wait(); }));
+  // Wait until both blockers were dequeued.
+  while (pool.pending() > 0) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) futures.push_back(pool.submit([] {}));
+  EXPECT_EQ(pool.pending(), 5u);
+  gate.set_value();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+// --- stress: the engine's fault path drives the pool from several threads --
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitAndRunIndexed) {
+  ThreadPool pool(4);
+  std::atomic<int> submitted_done{0};
+  std::atomic<int> indexed_done{0};
+  std::thread submitter_a([&] {
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 300; ++i) {
+      futures.push_back(pool.submit([&submitted_done] { ++submitted_done; }));
+    }
+    for (auto& f : futures) f.get();
+  });
+  std::thread submitter_b([&] {
+    for (int i = 0; i < 300; ++i) pool.submit([&submitted_done] { ++submitted_done; }).get();
+  });
+  std::thread indexer([&] {
+    pool.run_indexed(400, [&indexed_done](std::size_t) { ++indexed_done; });
+  });
+  pool.run_indexed(400, [&indexed_done](std::size_t) { ++indexed_done; });
+  submitter_a.join();
+  submitter_b.join();
+  indexer.join();
+  EXPECT_EQ(submitted_done.load(), 600);
+  EXPECT_EQ(indexed_done.load(), 800);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentRunIndexedExceptionsStayIsolated) {
+  ThreadPool pool(4);
+  std::atomic<int> ran_a{0};
+  std::atomic<int> ran_b{0};
+  std::atomic<bool> caught_a{false};
+  std::thread other([&] {
+    try {
+      pool.run_indexed(100, [&ran_a](std::size_t i) {
+        if (i == 13) throw std::runtime_error("a failed");
+        ++ran_a;
+      });
+    } catch (const std::runtime_error&) {
+      caught_a = true;
+    }
+  });
+  // A clean run on the main thread must not see the other run's error.
+  EXPECT_NO_THROW(pool.run_indexed(100, [&ran_b](std::size_t) { ++ran_b; }));
+  other.join();
+  EXPECT_TRUE(caught_a.load());
+  EXPECT_EQ(ran_a.load(), 99);  // all of a's other tasks still ran
+  EXPECT_EQ(ran_b.load(), 100);
+}
+
+TEST(ThreadPoolStressTest, DestructionDrainsQueuedWork) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++completed;
+      });
+    }
+    // Destructor runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(completed.load(), 200);
+}
+
+TEST(ThreadPoolStressTest, ManyProducersManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  std::mutex futures_mutex;
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 8; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) {
+        auto f = pool.submit([&counter] { ++counter; });
+        std::lock_guard lock(futures_mutex);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 2000);
 }
 
 }  // namespace
