@@ -7,6 +7,7 @@
 // and energy (optionally as CSV for scripting).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,6 +15,8 @@
 #include "analytics/word_count.hpp"
 #include "core/controller.hpp"
 #include "engine/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/text_corpus.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -34,6 +37,8 @@ void usage(const char* prog) {
       "  --sprint-budget <J>           sprint budget in Joules (default inf)\n"
       "  --seed <n>                    RNG seed (default 1)\n"
       "  --csv                         machine-readable output\n"
+      "  --metrics-out <file>          write a metrics snapshot (JSON) after the run\n"
+      "  --trace-out <file>            write the structured trace (JSONL) after the run\n"
       "  --help                        this text\n"
       "engine mode (in-process MapReduce with fault tolerance):\n"
       "  --engine-wordcount            run an approximate word count on the real\n"
@@ -59,7 +64,7 @@ void usage(const char* prog) {
 // failure.
 int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
                          std::uint64_t seed, const engine::FaultToleranceOptions& fault,
-                         bool csv) {
+                         bool csv, obs::Registry* metrics, obs::Tracer* tracer) {
   workload::TextCorpusParams params;
   params.posts = rows;
   params.seed = seed;
@@ -70,6 +75,7 @@ int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
   opts.seed = seed;
   opts.fault = fault;
   engine::Engine eng(opts);
+  eng.attach_observability(metrics, tracer);
   const auto ds = eng.parallelize(corpus.rows, partitions);
 
   analytics::WordCountResult result;
@@ -127,6 +133,33 @@ std::vector<double> parse_list(const std::string& arg) {
   return out;
 }
 
+// Writes the collected metrics snapshot / trace stream to the requested
+// files. Returns false (with a message on stderr) if a file cannot be
+// opened, so the run still reports its results but exits non-zero.
+bool flush_observability(const std::string& metrics_out, const std::string& trace_out,
+                         obs::Registry& metrics, obs::Tracer& tracer) {
+  bool ok = true;
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      ok = false;
+    } else {
+      os << metrics.to_json() << '\n';
+    }
+  }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      ok = false;
+    } else {
+      tracer.write_jsonl(os);
+    }
+  }
+  return ok;
+}
+
 std::optional<core::Policy> parse_policy(const std::string& name) {
   if (name == "p") return core::Policy::kPreemptive;
   if (name == "np") return core::Policy::kNonPreemptive;
@@ -149,6 +182,8 @@ int main(int argc, char** argv) {
   double sprint_budget = std::numeric_limits<double>::infinity();
   std::uint64_t seed = 1;
   bool csv = false;
+  std::string metrics_out;
+  std::string trace_out;
 
   bool engine_wordcount = false;
   std::size_t rows = 2000;
@@ -199,6 +234,10 @@ int main(int argc, char** argv) {
       seed = std::stoull(next());
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else if (arg == "--engine-wordcount") {
       engine_wordcount = true;
     } else if (arg == "--rows") {
@@ -228,9 +267,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  obs::Registry obs_metrics;
+  obs::Tracer obs_tracer;
+  const bool want_obs = !metrics_out.empty() || !trace_out.empty();
+
   if (engine_wordcount) {
-    return run_engine_wordcount(theta.empty() ? 0.2 : theta.front(), rows, partitions,
-                                seed, fault, csv);
+    const int rc = run_engine_wordcount(theta.empty() ? 0.2 : theta.front(), rows,
+                                        partitions, seed, fault, csv,
+                                        want_obs ? &obs_metrics : nullptr,
+                                        want_obs ? &obs_tracer : nullptr);
+    if (!flush_observability(metrics_out, trace_out, obs_metrics, obs_tracer)) return 1;
+    return rc;
   }
 
   // Reference workload shapes, mixed and scaled to the requested load.
@@ -261,7 +308,12 @@ int main(int argc, char** argv) {
   config.sprint.timeout_s = {std::numeric_limits<double>::infinity(), sprint_timeout};
   config.warmup_jobs = jobs / 10;
   config.seed = seed + 1;
+  if (want_obs) {
+    config.metrics = &obs_metrics;
+    config.tracer = &obs_tracer;
+  }
   const auto result = core::run_experiment(config, std::move(trace));
+  if (!flush_observability(metrics_out, trace_out, obs_metrics, obs_tracer)) return 1;
 
   if (csv) {
     std::printf("class,completed,mean_s,p50_s,p95_s,p99_s,queue_s,exec_s\n");

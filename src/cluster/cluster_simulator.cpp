@@ -60,6 +60,21 @@ struct ClusterSimulator::Impl {
     sim::EventId completion;
   };
 
+  // Observability handles, cached from Config::metrics at construction so
+  // the simulation loop never does name lookups; all empty/null when the
+  // sinks are not attached.
+  struct ObsHooks {
+    obs::Tracer* tracer = nullptr;
+    std::vector<obs::Counter*> completed;         // per class
+    std::vector<obs::Counter*> evictions;         // per class, at evict time
+    std::vector<obs::HistogramMetric*> response;  // per class sojourn
+    std::vector<obs::HistogramMetric*> queueing;  // per class wait
+    std::vector<obs::Gauge*> queue_len;           // per class backlog
+    obs::Counter* sprints = nullptr;
+    bool metrics_on() const { return sprints != nullptr; }
+  };
+  ObsHooks obs;
+
   std::vector<std::deque<std::unique_ptr<RuntimeJob>>> buffers;  // per class
   std::unique_ptr<RuntimeJob> active;        // job in the engine (if any)
   std::vector<RunningTask> running;          // its in-flight tasks
@@ -96,6 +111,27 @@ struct ClusterSimulator::Impl {
     for (const auto& e : trace) classes = std::max(classes, e.spec.priority + 1);
     buffers.resize(classes);
     result.per_class.resize(classes);
+    obs.tracer = config.tracer;
+    if (config.metrics != nullptr) {
+      auto& reg = *config.metrics;
+      for (std::size_t k = 0; k < classes; ++k) {
+        const std::string p = "cluster.class" + std::to_string(k);
+        obs.completed.push_back(&reg.counter(p + ".completed"));
+        obs.evictions.push_back(&reg.counter(p + ".evictions"));
+        obs.response.push_back(&reg.histogram(p + ".response_s", 0.0, 3600.0, 360));
+        obs.queueing.push_back(&reg.histogram(p + ".queueing_s", 0.0, 3600.0, 360));
+        obs.queue_len.push_back(&reg.gauge(p + ".queue_length"));
+      }
+      obs.sprints = &reg.counter("cluster.sprints");
+      budget.attach_gauges(&reg.gauge("cluster.sprint.budget_j"),
+                           &reg.gauge("cluster.sprint.consumed_j"));
+    }
+  }
+
+  void publish_queue_len(std::size_t k) {
+    if (!obs.queue_len.empty()) {
+      obs.queue_len[k]->set(static_cast<double>(buffers[k].size()));
+    }
   }
 
   double slot_factor(std::size_t slot) const {
@@ -341,6 +377,13 @@ struct ClusterSimulator::Impl {
     job_sprinting = true;
     speed = config.sprint.speedup;
     reschedule_all(now);
+    if (obs.metrics_on()) obs.sprints->add();
+    if (obs.tracer != nullptr) {
+      obs.tracer->event("cluster.sprint.start",
+                        {{"sim_t", now},
+                         {"job", active ? active->id : std::size_t{0}},
+                         {"budget_j", budget.level(now)}});
+    }
     if (std::isfinite(deplete_at)) {
       sprint_end_timer = sim.schedule_at(deplete_at, [this] { stop_sprint_depleted(); });
     }
@@ -354,6 +397,10 @@ struct ClusterSimulator::Impl {
     job_sprinting = false;
     speed = 1.0;
     reschedule_all(now);
+    if (obs.tracer != nullptr) {
+      obs.tracer->event("cluster.sprint.stop",
+                        {{"sim_t", now}, {"reason", "budget-depleted"}});
+    }
   }
 
   // Ends any active sprint state when the job leaves the engine.
@@ -409,6 +456,7 @@ struct ClusterSimulator::Impl {
     if (k != static_cast<std::size_t>(-1)) {
       active = std::move(buffers[k].front());
       buffers[k].pop_front();
+      publish_queue_len(k);
     }
     if (!active) return;
     RuntimeJob& job = *active;
@@ -446,6 +494,22 @@ struct ClusterSimulator::Impl {
       m.evictions += job.evictions;
       result.total_evictions += job.evictions;
       result.wasted_time += job.wasted;
+      if (obs.metrics_on()) {
+        const std::size_t k = job.spec.priority;
+        obs.completed[k]->add();
+        obs.response[k]->observe(response);
+        obs.queueing[k]->observe(response - execution);
+      }
+      if (obs.tracer != nullptr) {
+        obs.tracer->event("cluster.job", {{"sim_t", now},
+                                          {"job", job.id},
+                                          {"class", job.spec.priority},
+                                          {"response_s", response},
+                                          {"queueing_s", response - execution},
+                                          {"execution_s", execution},
+                                          {"evictions", job.evictions},
+                                          {"wasted_s", job.wasted}});
+      }
     }
     active.reset();
     running.clear();
@@ -459,6 +523,7 @@ struct ClusterSimulator::Impl {
     RuntimeJob& job = *active;
     job.engine_time += now - job.attempt_start;
     ++job.evictions;
+    if (obs.metrics_on()) obs.evictions[job.spec.priority]->add();
     if (config.scheduler.eviction == EvictionMode::kRestart) {
       // Everything done this attempt (and in previous resumed progress) is
       // re-executed from scratch.
@@ -485,7 +550,9 @@ struct ClusterSimulator::Impl {
       job.wasted += lost_wall;
       running.clear();
     }
-    buffers[job.spec.priority].push_front(std::move(active));
+    const std::size_t k = job.spec.priority;
+    buffers[k].push_front(std::move(active));
+    publish_queue_len(k);
   }
 
   void on_arrival(std::size_t id, const JobSpec& spec) {
@@ -495,16 +562,19 @@ struct ClusterSimulator::Impl {
     fair_on_enqueue(k, buffers[k].empty());
     if (!active) {
       buffers[k].push_back(std::move(job));
+      publish_queue_len(k);
       dispatch_next(now);
       return;
     }
     if (config.scheduler.preemptive && k > active->spec.priority) {
       buffers[k].push_front(std::move(job));
+      publish_queue_len(k);
       evict_active(now);
       dispatch_next(now);
       return;
     }
     buffers[k].push_back(std::move(job));
+    publish_queue_len(k);
     // Drain-pressure sprinting: accelerate the running job to clear the way
     // for the higher-priority arrival it is now blocking.
     if (config.sprint.enabled && config.sprint.policy == SprintPolicy::kDrainPressure &&

@@ -24,6 +24,8 @@
 #include "cluster/metrics.hpp"
 #include "cluster/sprinter.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace dias::cluster {
@@ -116,6 +118,15 @@ class ClusterSimulator {
     // Completions to discard (transient removal) before recording metrics.
     std::size_t warmup_jobs = 0;
     std::uint64_t seed = 1;
+    // Optional observability sinks (not owned; may be null). With a
+    // registry the simulator keeps per-class sojourn/wait histograms,
+    // completion/eviction counters, queue-length and sprint-budget gauges;
+    // with a tracer it emits one "cluster.job" event per completion and
+    // sprint start/stop events, all stamped with *simulation* time fields
+    // (wall-clock span timestamps are meaningless in a DES). Warmup jobs
+    // are excluded, mirroring SimResult.
+    obs::Registry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
   };
 
   ClusterSimulator(Config config, std::vector<TraceEntry> trace);

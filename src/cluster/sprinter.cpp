@@ -47,6 +47,7 @@ sim::Time SprintBudget::begin_sprint(sim::Time now) {
   advance(now);
   DIAS_EXPECTS(!sprinting_, "sprint already active");
   sprinting_ = true;
+  publish();
   const double net = config_.extra_power() - config_.replenish_watts;
   if (!std::isfinite(level_) || net <= 0.0) {
     return std::numeric_limits<double>::infinity();
@@ -58,6 +59,18 @@ void SprintBudget::end_sprint(sim::Time now) {
   advance(now);
   DIAS_EXPECTS(sprinting_, "no sprint active");
   sprinting_ = false;
+  publish();
+}
+
+void SprintBudget::attach_gauges(obs::Gauge* level, obs::Gauge* consumed) {
+  level_gauge_ = level;
+  consumed_gauge_ = consumed;
+  publish();
+}
+
+void SprintBudget::publish() const {
+  if (level_gauge_ != nullptr) level_gauge_->set(level_);
+  if (consumed_gauge_ != nullptr) consumed_gauge_->set(consumed_);
 }
 
 }  // namespace dias::cluster

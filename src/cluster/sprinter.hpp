@@ -10,6 +10,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace dias::cluster {
@@ -73,14 +74,23 @@ class SprintBudget {
   // Total Joules drained by sprints so far (extra power integrated).
   double consumed(sim::Time now) const;
 
+  // Mirrors the budget level (Joules) and cumulative consumption into
+  // gauges on every state change (null detaches). Levels are as of the
+  // begin/end sprint events — lazy advancement means intermediate decay is
+  // not published.
+  void attach_gauges(obs::Gauge* level, obs::Gauge* consumed);
+
  private:
   void advance(sim::Time now);
+  void publish() const;
 
   SprintConfig config_;
   double level_;
   double consumed_ = 0.0;
   sim::Time last_update_;
   bool sprinting_ = false;
+  obs::Gauge* level_gauge_ = nullptr;
+  obs::Gauge* consumed_gauge_ = nullptr;
 };
 
 }  // namespace dias::cluster

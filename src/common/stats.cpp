@@ -24,6 +24,15 @@ void Welford::add(double x) {
 }
 
 void Welford::merge(const Welford& other) {
+  if (&other == this) {
+    // Self-merge doubles the sample: every observation counted twice. The
+    // general path below reads other.* while mutating the same fields, so
+    // aliasing must be handled before it.
+    n_ *= 2;
+    m2_ *= 2.0;
+    sum_sq_ *= 2.0;
+    return;
+  }
   if (other.n_ == 0) return;
   if (n_ == 0) {
     *this = other;
@@ -124,10 +133,14 @@ void SampleSet::clear() {
   sorted_valid_ = false;
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
-  DIAS_EXPECTS(hi > lo, "histogram range must be non-empty");
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  // Validate before deriving anything from the arguments: computing
+  // (hi - lo) / bins first would divide by zero for bins == 0 and produce
+  // a negative width for hi <= lo before the guards ever ran.
   DIAS_EXPECTS(bins > 0, "histogram needs at least one bin");
+  DIAS_EXPECTS(hi > lo, "histogram range must be non-empty");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
 }
 
 void Histogram::add(double x) {

@@ -13,6 +13,10 @@ namespace dias {
 class Welford {
  public:
   void add(double x);
+  // Folds `other` into this accumulator, as if every observation of both
+  // had been add()ed to one. Aliasing is allowed: w.merge(w) doubles the
+  // sample (each observation counted twice — count and m2 double, mean,
+  // min and max are unchanged).
   void merge(const Welford& other);
 
   std::size_t count() const { return n_; }

@@ -50,6 +50,8 @@ cluster::SimResult run_experiment(const ExperimentConfig& config,
   sim_config.idle_power_w = config.idle_power_w;
   sim_config.warmup_jobs = config.warmup_jobs;
   sim_config.seed = config.seed;
+  sim_config.metrics = config.metrics;
+  sim_config.tracer = config.tracer;
   return cluster::simulate(sim_config, std::move(trace));
 }
 

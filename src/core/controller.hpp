@@ -43,6 +43,10 @@ struct ExperimentConfig {
   double idle_power_w = 0.0;
   std::size_t warmup_jobs = 200;
   std::uint64_t seed = 1;
+  // Optional observability sinks, forwarded verbatim to the simulator
+  // (see ClusterSimulator::Config). Not owned; may be null.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 // Runs one policy over a trace.

@@ -170,7 +170,31 @@ DeflatorPlan Deflator::plan(std::span<const ClassConstraint> constraints) const 
       }
     }
   }
+  publish_plan(best);
   return best;
+}
+
+void Deflator::publish_plan(const DeflatorPlan& plan) const {
+  if (options_.metrics != nullptr && plan.feasible) {
+    for (std::size_t k = 0; k < plan.theta.size(); ++k) {
+      options_.metrics->gauge("deflator.theta.k" + std::to_string(k)).set(plan.theta[k]);
+      options_.metrics->gauge("deflator.timeout_s.k" + std::to_string(k))
+          .set(plan.sprint_timeout_s[k]);
+    }
+    options_.metrics->gauge("deflator.objective_s").set(plan.objective);
+  }
+  if (options_.tracer != nullptr) {
+    std::vector<obs::Field> fields;
+    fields.push_back({"feasible", plan.feasible});
+    fields.push_back({"objective_s", plan.objective});
+    for (std::size_t k = 0; k < plan.theta.size(); ++k) {
+      const std::string suffix = ".k" + std::to_string(k);
+      fields.push_back({"theta" + suffix, plan.theta[k]});
+      fields.push_back({"timeout_s" + suffix, plan.sprint_timeout_s[k]});
+      fields.push_back({"error_pct" + suffix, plan.predicted_error[k]});
+    }
+    options_.tracer->event("deflator.plan", fields);
+  }
 }
 
 std::vector<FrontierPoint> Deflator::frontier(std::size_t class_index,

@@ -19,6 +19,8 @@
 #include "core/accuracy_profile.hpp"
 #include "core/sprint_oracle.hpp"
 #include "model/response_time_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dias::core {
 
@@ -75,6 +77,13 @@ class Deflator {
     bool estimate_tails = false;
     std::size_t tail_sample_jobs = 60000;
     std::uint64_t tail_seed = 1;
+    // Optional observability sinks (not owned; may be null). With a
+    // registry, plan() publishes the chosen theta_k and Tk per class as
+    // gauges ("deflator.theta.kK" / "deflator.timeout_s.kK"); with a
+    // tracer it emits one "deflator.plan" event per decision carrying
+    // feasibility, the objective, and the per-class choices.
+    obs::Registry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
   };
 
   // `profiles` are ordered low -> high priority (paper convention). The
@@ -107,6 +116,8 @@ class Deflator {
   // Timeout and effective speedup the oracle assigns to class k when it
   // sprints (theta == 0 classes); {inf, 1.0} when sprinting is off.
   std::pair<double, double> sprint_plan_for_class(std::size_t k) const;
+  // Mirrors a finished plan into the configured metrics/tracer sinks.
+  void publish_plan(const DeflatorPlan& plan) const;
 
   std::vector<model::JobClassProfile> profiles_;
   std::vector<AccuracyProfile> accuracy_;  // one per class

@@ -12,9 +12,28 @@ DiasDispatcher::DiasDispatcher(std::vector<double> theta)
       buffers_(theta_.size()) {
   DIAS_EXPECTS(!theta_.empty(), "dispatcher needs at least one priority class");
   for (double t : theta_) {
-    DIAS_EXPECTS(t >= 0.0 && t < 1.0, "drop ratios must be in [0,1)");
+    DIAS_EXPECTS(t >= 0.0 && t <= 1.0, "drop ratios must be in [0,1]");
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
+  std::lock_guard lock(mutex_);
+  DIAS_EXPECTS(in_flight_ == 0, "attach observability before submitting jobs");
+  tracer_ = tracer;
+  completed_counters_.clear();
+  response_hist_ = nullptr;
+  queueing_hist_ = nullptr;
+  if (metrics != nullptr) {
+    completed_counters_.reserve(theta_.size());
+    for (std::size_t k = 0; k < theta_.size(); ++k) {
+      completed_counters_.push_back(
+          &metrics->counter("dispatcher.class" + std::to_string(k) + ".completed"));
+      metrics->gauge("dispatcher.class" + std::to_string(k) + ".theta").set(theta_[k]);
+    }
+    response_hist_ = &metrics->histogram("dispatcher.response_s", 0.0, 600.0, 240);
+    queueing_hist_ = &metrics->histogram("dispatcher.queueing_s", 0.0, 600.0, 240);
+  }
 }
 
 DiasDispatcher::~DiasDispatcher() {
@@ -81,9 +100,26 @@ void DiasDispatcher::dispatcher_loop() {
     if (!have_job) continue;
 
     // Non-preemptive: the job runs to completion before the next dispatch.
+    const double theta = theta_[job.record.priority];
+    obs::Tracer::SpanId span = 0;
+    if (tracer_ != nullptr) {
+      span = tracer_->begin_span("dispatcher.job",
+                                 {{"priority", job.record.priority},
+                                  {"theta", theta},
+                                  {"arrival_s", job.record.arrival_s}});
+    }
     job.record.start_s = now_s();
-    job.fn(theta_[job.record.priority]);
+    job.fn(theta);
     job.record.completion_s = now_s();
+    if (tracer_ != nullptr) {
+      tracer_->end_span(span, {{"queueing_s", job.record.queueing_s()},
+                               {"response_s", job.record.response_s()}});
+    }
+    if (!completed_counters_.empty()) {
+      completed_counters_[job.record.priority]->add();
+      response_hist_->observe(job.record.response_s());
+      queueing_hist_->observe(job.record.queueing_s());
+    }
 
     {
       std::lock_guard lock(mutex_);

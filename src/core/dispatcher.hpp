@@ -16,6 +16,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dias::core {
 
 class DiasDispatcher {
@@ -33,8 +36,9 @@ class DiasDispatcher {
     double execution_s() const { return completion_s - start_s; }
   };
 
-  // `theta[k]` is the drop ratio handed to priority-k jobs; the number of
-  // priorities equals theta.size().
+  // `theta[k]` is the drop ratio in [0, 1] handed to priority-k jobs; the
+  // number of priorities equals theta.size(). theta[k] == 1 is the fully
+  // degraded class (every droppable stage drops all of its tasks).
   explicit DiasDispatcher(std::vector<double> theta);
   ~DiasDispatcher();
   DiasDispatcher(const DiasDispatcher&) = delete;
@@ -48,6 +52,13 @@ class DiasDispatcher {
   // Blocks until every submitted job completed, then returns the records
   // in completion order. The dispatcher stays usable afterwards.
   std::vector<JobRecord> drain();
+
+  // Attaches metric/trace sinks (either may be null; null detaches). Every
+  // dispatched job then emits a "dispatcher.job" span (priority, theta,
+  // queueing/response times) and bumps per-class completion counters.
+  // Attach before the first submit; not synchronized with the dispatcher
+  // thread beyond the submit ordering.
+  void attach_observability(obs::Registry* metrics, obs::Tracer* tracer);
 
  private:
   struct Pending {
@@ -68,6 +79,12 @@ class DiasDispatcher {
   std::vector<JobRecord> completed_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+
+  obs::Tracer* tracer_ = nullptr;                  // set before first submit
+  std::vector<obs::Counter*> completed_counters_;  // one per class, or empty
+  obs::HistogramMetric* response_hist_ = nullptr;
+  obs::HistogramMetric* queueing_hist_ = nullptr;
+
   std::thread dispatcher_;
 };
 

@@ -27,6 +27,40 @@ void interruptible_sleep_ms(double ms, const std::atomic<bool>& done) {
 
 }  // namespace
 
+const char* to_string(EngineStageKind kind) {
+  switch (kind) {
+    case EngineStageKind::kMap:
+      return "map";
+    case EngineStageKind::kShuffleMap:
+      return "shuffle-map";
+    case EngineStageKind::kShuffleWrite:
+      return "shuffle-write";
+    case EngineStageKind::kReduce:
+      return "reduce";
+    case EngineStageKind::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
+  obs_ = ObsHooks{};
+  obs_.tracer = tracer;
+  if (metrics != nullptr) {
+    obs_.stages = &metrics->counter("engine.stages");
+    obs_.tasks_executed = &metrics->counter("engine.tasks_executed");
+    obs_.tasks_dropped = &metrics->counter("engine.tasks_dropped");
+    obs_.tasks_degraded = &metrics->counter("engine.tasks_degraded");
+    obs_.attempts = &metrics->counter("engine.task_attempts");
+    obs_.retries = &metrics->counter("engine.task_retries");
+    obs_.speculative_launched = &metrics->counter("engine.speculative_launched");
+    obs_.speculative_wins = &metrics->counter("engine.speculative_wins");
+    obs_.task_time_s = &metrics->histogram("engine.task_time_s", 0.0, 10.0, 200);
+    obs_.stage_time_s = &metrics->histogram("engine.stage_time_s", 0.0, 120.0, 240);
+    pool_.attach_metrics(*metrics, "engine.pool");
+  }
+}
+
 std::vector<std::size_t> find_missing_partitions(std::size_t n, double theta, Rng& rng) {
   DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratio must be in [0,1]");
   const auto keep = static_cast<std::size_t>(
@@ -64,6 +98,18 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
     selected.resize(n);
     std::iota(selected.begin(), selected.end(), std::size_t{0});
   }
+  const std::size_t dropped_upfront = n - selected.size();
+
+  obs::Tracer::SpanId span = 0;
+  if (obs_.tracer != nullptr) {
+    span = obs_.tracer->begin_span(
+        "engine.stage", {{"stage", opts.name},
+                         {"kind", to_string(kind)},
+                         {"seq", stage_seq},
+                         {"total_partitions", n},
+                         {"theta", theta},
+                         {"droppable", opts.droppable}});
+  }
 
   const auto stage_start = std::chrono::steady_clock::now();
   if (!options_.fault.active()) {
@@ -83,9 +129,34 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
   }
   const auto stage_end = std::chrono::steady_clock::now();
   info.duration_s = std::chrono::duration<double>(stage_end - stage_start).count();
+  // An empty stage (n == 0) effectively dropped nothing; see StageInfo.
   info.effective_drop_ratio =
       n == 0 ? 0.0
              : 1.0 - static_cast<double>(info.executed_partitions) / static_cast<double>(n);
+
+  if (obs_.stages != nullptr) {
+    obs_.stages->add();
+    obs_.tasks_executed->add(info.executed_partitions);
+    obs_.tasks_dropped->add(dropped_upfront);
+    obs_.tasks_degraded->add(info.failed_partition_ids.size());
+    obs_.attempts->add(info.attempts);
+    obs_.retries->add(info.retries);
+    obs_.speculative_launched->add(info.speculative_launched);
+    obs_.speculative_wins->add(info.speculative_wins);
+    for (const double t : info.task_times_s) obs_.task_time_s->observe(t);
+    obs_.stage_time_s->observe(info.duration_s);
+  }
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->end_span(span, {{"executed", info.executed_partitions},
+                                 {"dropped", dropped_upfront},
+                                 {"degraded", info.failed_partition_ids.size()},
+                                 {"attempts", info.attempts},
+                                 {"retries", info.retries},
+                                 {"speculative_launched", info.speculative_launched},
+                                 {"speculative_wins", info.speculative_wins},
+                                 {"effective_theta", info.effective_drop_ratio},
+                                 {"duration_s", info.duration_s}});
+  }
 
   // On a non-droppable stage a dead task is fatal: log the stage (so the
   // caller can post-mortem), then surface a typed error.

@@ -23,10 +23,14 @@
 #include "engine/dataset.hpp"
 #include "engine/fault.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dias::engine {
 
 enum class EngineStageKind { kMap, kShuffleMap, kShuffleWrite, kReduce, kResult };
+
+const char* to_string(EngineStageKind kind);
 
 struct StageInfo {
   std::string name;
@@ -51,7 +55,11 @@ struct StageInfo {
   // The drop ratio the stage *effectively* ran with: dropped-before-launch
   // plus failed-then-dropped tasks over total. Equals the share of
   // partitions that contributed no data, so the accuracy profile evaluated
-  // at this ratio still bounds the result error.
+  // at this ratio still bounds the result error. For total_partitions > 0
+  // this is >= applied_drop_ratio; an *empty* stage (total_partitions == 0)
+  // records 0 — no partition contributed no data, vacuously, so the
+  // accuracy bound at ratio 0 (exact) applies regardless of the configured
+  // theta.
   double effective_drop_ratio = 0.0;
 };
 
@@ -64,8 +72,9 @@ struct StageOptions {
 };
 
 // The paper's modified Spark hook: which of the n partitions still need to
-// be computed under drop ratio theta. Returns a sorted random subset of
-// size ceil(n (1 - theta)).
+// be computed under drop ratio theta in [0, 1]. Returns a sorted random
+// subset of size ceil(n (1 - theta)); theta == 1 keeps nothing (a fully
+// degraded stage) and n == 0 returns empty for any theta.
 std::vector<std::size_t> find_missing_partitions(std::size_t n, double theta, Rng& rng);
 
 class Engine {
@@ -73,7 +82,9 @@ class Engine {
   struct Options {
     std::size_t workers = 4;
     std::uint64_t seed = 1;
-    // Engine-wide drop ratio applied to droppable stages.
+    // Engine-wide drop ratio in [0, 1] applied to droppable stages.
+    // theta == 1 drops every task of a droppable stage — the fully
+    // degraded extreme that failed-task degradation can also reach.
     double drop_ratio = 0.0;
     // Fault injection + retry/speculation/degradation policy. The default
     // (no injection, 1 attempt, no speculation) keeps run_stage on the
@@ -84,8 +95,8 @@ class Engine {
   explicit Engine(Options options)
       : options_(options), pool_(options.workers), rng_(options.seed),
         injector_(options.fault.injection) {
-    DIAS_EXPECTS(options.drop_ratio >= 0.0 && options.drop_ratio < 1.0,
-                 "drop ratio must be in [0,1)");
+    DIAS_EXPECTS(options.drop_ratio >= 0.0 && options.drop_ratio <= 1.0,
+                 "drop ratio must be in [0,1]");
     DIAS_EXPECTS(options.fault.max_attempts >= 1, "need at least one attempt per task");
     DIAS_EXPECTS(options.fault.retry_backoff_ms >= 0.0, "retry backoff must be >= 0");
     DIAS_EXPECTS(options.fault.speculation_quantile > 0.0 &&
@@ -95,7 +106,7 @@ class Engine {
 
   const Options& options() const { return options_; }
   void set_drop_ratio(double theta) {
-    DIAS_EXPECTS(theta >= 0.0 && theta < 1.0, "drop ratio must be in [0,1)");
+    DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratio must be in [0,1]");
     options_.drop_ratio = theta;
   }
   // Replaces the fault-tolerance policy (rebuilds the injector). Takes
@@ -110,6 +121,17 @@ class Engine {
     injector_ = FaultInjector(fault.injection);
   }
   const FaultInjector& fault_injector() const { return injector_; }
+
+  // --- observability ------------------------------------------------------
+  // Attaches metric/trace sinks (either may be null; null detaches). With a
+  // registry attached every stage updates cached counter handles (stages,
+  // tasks executed/dropped/degraded, attempts, retries, speculation) and
+  // task/stage wall-time histograms, and the thread pool reports queue
+  // depth and worker utilization. With a tracer attached every stage emits
+  // a begin/end span carrying name, kind, sequence, theta and the fault
+  // counters. Detached (the default) the engine pays one branch per stage.
+  // Not thread-safe against a concurrently running stage.
+  void attach_observability(obs::Registry* metrics, obs::Tracer* tracer);
 
   // --- dataset creation ---------------------------------------------------
   template <typename T>
@@ -368,12 +390,28 @@ class Engine {
                                 std::uint64_t stage_seq,
                                 const std::function<void(std::size_t)>& body);
 
+  // Metric handles cached at attach time; all null when detached.
+  struct ObsHooks {
+    obs::Tracer* tracer = nullptr;
+    obs::Counter* stages = nullptr;
+    obs::Counter* tasks_executed = nullptr;
+    obs::Counter* tasks_dropped = nullptr;   // dropped before launch (theta)
+    obs::Counter* tasks_degraded = nullptr;  // failed -> dropped / fatal
+    obs::Counter* attempts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* speculative_launched = nullptr;
+    obs::Counter* speculative_wins = nullptr;
+    obs::HistogramMetric* task_time_s = nullptr;
+    obs::HistogramMetric* stage_time_s = nullptr;
+  };
+
   Options options_;
   ThreadPool pool_;
   Rng rng_;
   FaultInjector injector_;
   std::uint64_t stage_seq_ = 0;  // stages run since construction; injector key
   std::vector<StageInfo> stage_log_;
+  ObsHooks obs_;
 };
 
 }  // namespace dias::engine

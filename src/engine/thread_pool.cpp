@@ -29,13 +29,31 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
+  std::size_t depth;
   {
     std::lock_guard lock(mutex_);
     DIAS_EXPECTS(!stopping_, "submit on a stopping thread pool");
     queue_.push(std::move(packaged));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  if (auto* c = tasks_submitted_.load(std::memory_order_relaxed)) c->add();
+  if (auto* g = queue_depth_.load(std::memory_order_relaxed)) {
+    g->set(static_cast<double>(depth));
+  }
   return future;
+}
+
+void ThreadPool::attach_metrics(obs::Registry& registry, const std::string& prefix) {
+  registry.gauge(prefix + ".workers").set(static_cast<double>(workers()));
+  tasks_submitted_.store(&registry.counter(prefix + ".tasks_submitted"),
+                         std::memory_order_relaxed);
+  tasks_completed_.store(&registry.counter(prefix + ".tasks_completed"),
+                         std::memory_order_relaxed);
+  queue_depth_.store(&registry.gauge(prefix + ".queue_depth"),
+                     std::memory_order_relaxed);
+  busy_workers_.store(&registry.gauge(prefix + ".busy_workers"),
+                      std::memory_order_relaxed);
 }
 
 void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::size_t)>& task) {
@@ -75,14 +93,23 @@ std::size_t ThreadPool::pending() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
+    std::size_t depth;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping
       task = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
     }
+    if (auto* g = queue_depth_.load(std::memory_order_relaxed)) {
+      g->set(static_cast<double>(depth));
+    }
+    auto* busy = busy_workers_.load(std::memory_order_relaxed);
+    if (busy) busy->add(1.0);
     task();
+    if (busy) busy->add(-1.0);
+    if (auto* c = tasks_completed_.load(std::memory_order_relaxed)) c->add();
   }
 }
 

@@ -3,14 +3,18 @@
 // per core.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace dias::engine {
 
@@ -37,6 +41,13 @@ class ThreadPool {
   // value is stale as soon as it is returned).
   std::size_t pending();
 
+  // Attaches pool metrics under `prefix` (e.g. "engine.pool"): submitted /
+  // completed task counters, a queue-depth gauge, a busy-workers gauge and
+  // a static worker-count gauge. Handles are atomic pointers, so updates
+  // cost one relaxed load plus one atomic op when attached and a single
+  // branch when not; attach before submitting work for coherent numbers.
+  void attach_metrics(obs::Registry& registry, const std::string& prefix);
+
  private:
   void worker_loop();
 
@@ -45,6 +56,11 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  std::atomic<obs::Counter*> tasks_submitted_{nullptr};
+  std::atomic<obs::Counter*> tasks_completed_{nullptr};
+  std::atomic<obs::Gauge*> queue_depth_{nullptr};
+  std::atomic<obs::Gauge*> busy_workers_{nullptr};
 };
 
 }  // namespace dias::engine

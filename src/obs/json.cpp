@@ -1,0 +1,123 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace dias::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already wrote its comma
+  }
+  if (wrote_value_.back()) out_ += ',';
+  wrote_value_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  wrote_value_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  DIAS_EXPECTS(wrote_value_.size() > 1, "end_object without begin_object");
+  wrote_value_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  wrote_value_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  DIAS_EXPECTS(wrote_value_.size() > 1, "end_array without begin_array");
+  wrote_value_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  DIAS_EXPECTS(!pending_key_, "two keys in a row");
+  comma();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double x) {
+  if (!std::isfinite(x)) {
+    value_null();
+    return;
+  }
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", x);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t x) {
+  comma();
+  out_ += std::to_string(x);
+}
+
+void JsonWriter::value(std::int64_t x) {
+  comma();
+  out_ += std::to_string(x);
+}
+
+void JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value_null() {
+  comma();
+  out_ += "null";
+}
+
+}  // namespace dias::obs

@@ -1,0 +1,64 @@
+// Minimal streaming JSON writer used by the observability layer to emit
+// metric snapshots and trace events.
+//
+// Deliberately tiny: no DOM, no parsing, no allocation beyond the output
+// string. The writer enforces well-formedness mechanically (commas,
+// matching begin/end) so every exporter in dias::obs produces parseable
+// JSON by construction. Non-finite doubles serialize as null, since JSON
+// has no representation for inf/NaN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dias::obs {
+
+// `s` with JSON string escaping applied (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+// Appends JSON tokens to an internal buffer. Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("name"); w.value("stage");
+//   w.key("tasks"); w.value(std::uint64_t{50});
+//   w.end_object();
+//   std::string out = std::move(w).str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double x);  // non-finite -> null
+  void value(std::uint64_t x);
+  void value(std::int64_t x);
+  void value(bool b);
+  void value_null();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  void field(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One entry per open object/array: whether a value was already written at
+  // this nesting level (so the next one needs a comma).
+  std::vector<bool> wrote_value_{false};
+  bool pending_key_ = false;
+};
+
+}  // namespace dias::obs

@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "obs/json.hpp"
+
+namespace dias::obs {
+namespace {
+
+void write_fields(JsonWriter& w, const std::vector<Field>& fields) {
+  w.key("fields");
+  w.begin_object();
+  for (const auto& f : fields) {
+    w.key(f.key);
+    std::visit([&w](const auto& v) { w.value(v); }, f.value);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+Tracer::SpanId Tracer::begin_span(std::string name, std::vector<Field> fields) {
+  std::lock_guard lock(mu_);
+  const SpanId id = next_span_++;
+  open_.emplace(id, name);
+  events_.push_back(
+      {Event::Kind::kBegin, id, std::move(name), now_s(), std::move(fields)});
+  return id;
+}
+
+void Tracer::end_span(SpanId span, std::vector<Field> fields) {
+  std::lock_guard lock(mu_);
+  const auto it = open_.find(span);
+  DIAS_EXPECTS(it != open_.end(), "end_span on an unknown or already-ended span");
+  events_.push_back(
+      {Event::Kind::kEnd, span, std::move(it->second), now_s(), std::move(fields)});
+  open_.erase(it);
+}
+
+void Tracer::event(std::string name, std::vector<Field> fields) {
+  std::lock_guard lock(mu_);
+  events_.push_back(
+      {Event::Kind::kInstant, 0, std::move(name), now_s(), std::move(fields)});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  for (const auto& e : events_) {
+    JsonWriter w;
+    w.begin_object();
+    switch (e.kind) {
+      case Event::Kind::kBegin:
+        w.field("type", "begin");
+        break;
+      case Event::Kind::kEnd:
+        w.field("type", "end");
+        break;
+      case Event::Kind::kInstant:
+        w.field("type", "event");
+        break;
+    }
+    if (e.span != 0) w.field("span", e.span);
+    w.field("name", e.name);
+    w.field("t_s", e.t_s);
+    write_fields(w, e.fields);
+    w.end_object();
+    os << w.str() << '\n';
+  }
+}
+
+std::string Tracer::summary_json() const {
+  std::lock_guard lock(mu_);
+  // Pair begin/end events per span id to accumulate per-name durations.
+  std::unordered_map<SpanId, double> begin_t;
+  std::map<std::string, Welford> durations;
+  std::size_t instants = 0;
+  for (const auto& e : events_) {
+    switch (e.kind) {
+      case Event::Kind::kBegin:
+        begin_t.emplace(e.span, e.t_s);
+        break;
+      case Event::Kind::kEnd: {
+        const auto it = begin_t.find(e.span);
+        if (it != begin_t.end()) {
+          durations[e.name].add(e.t_s - it->second);
+          begin_t.erase(it);
+        }
+        break;
+      }
+      case Event::Kind::kInstant:
+        ++instants;
+        break;
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("spans");
+  w.begin_object();
+  for (const auto& [name, acc] : durations) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", static_cast<std::uint64_t>(acc.count()));
+    w.field("mean_s", acc.mean());
+    w.field("min_s", acc.min());
+    w.field("max_s", acc.max());
+    w.end_object();
+  }
+  w.end_object();
+  w.field("open_spans", static_cast<std::uint64_t>(open_.size()));
+  w.field("events", static_cast<std::uint64_t>(events_.size()));
+  w.end_object();
+  return std::move(w).str();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+  open_.clear();
+}
+
+}  // namespace dias::obs

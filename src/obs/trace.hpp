@@ -1,0 +1,91 @@
+// Span-style structured tracer for the DiAS runtime.
+//
+// Components emit begin/end span pairs (stages, dispatched jobs) and
+// instantaneous events (deflator decisions, simulator completions), each
+// carrying typed key/value fields — job/stage/task ids, priority class,
+// drop ratio, retry and speculation counters. Events buffer in memory
+// under a mutex (recording never does I/O) and serialize on demand:
+//
+//   * write_jsonl()   - one JSON object per line, in recording order:
+//       {"type":"begin","span":3,"name":"stage","t_s":0.0123,
+//        "fields":{"stage":"wordcount/map","theta":0.2,...}}
+//   * summary_json()  - per-span-name duration statistics plus event
+//       counts, for diffing two runs without replaying the full stream.
+//
+// Timestamps are wall-clock seconds since the tracer's construction
+// (steady clock). Discrete-event components (the cluster simulator) attach
+// their own sim-time fields instead of relying on wall time.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace dias::obs {
+
+// One typed key/value attached to a trace event.
+struct Field {
+  Field(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  Field(std::string k, const char* v) : key(std::move(k)), value(std::string(v)) {}
+  Field(std::string k, double v) : key(std::move(k)), value(v) {}
+  Field(std::string k, bool v) : key(std::move(k)), value(v) {}
+  Field(std::string k, std::uint64_t v) : key(std::move(k)), value(v) {}
+  Field(std::string k, std::int64_t v) : key(std::move(k)), value(v) {}
+  Field(std::string k, unsigned v) : key(std::move(k)), value(std::uint64_t{v}) {}
+  Field(std::string k, int v) : key(std::move(k)), value(std::int64_t{v}) {}
+
+  std::string key;
+  std::variant<std::string, double, bool, std::uint64_t, std::int64_t> value;
+};
+
+class Tracer {
+ public:
+  using SpanId = std::uint64_t;
+
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  // Opens a span and returns its id (never 0). Thread-safe.
+  SpanId begin_span(std::string name, std::vector<Field> fields = {});
+  // Closes `span`; end-time fields typically carry the outcome counters.
+  // Ending an unknown/already-ended span is a precondition error.
+  void end_span(SpanId span, std::vector<Field> fields = {});
+  // Instantaneous event (no duration).
+  void event(std::string name, std::vector<Field> fields = {});
+
+  std::size_t event_count() const;
+
+  // Serializes every buffered event as JSONL, in recording order.
+  void write_jsonl(std::ostream& os) const;
+  // {"spans":{name:{count,mean_s,min_s,max_s}},"open_spans":n,"events":n}
+  std::string summary_json() const;
+
+  void clear();
+
+ private:
+  struct Event {
+    enum class Kind { kBegin, kEnd, kInstant };
+    Kind kind = Kind::kInstant;
+    SpanId span = 0;  // 0 for instant events
+    std::string name;
+    double t_s = 0.0;
+    std::vector<Field> fields;
+  };
+
+  double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  SpanId next_span_ = 1;
+  std::unordered_map<SpanId, std::string> open_;  // id -> name, for end_span
+  std::vector<Event> events_;
+};
+
+}  // namespace dias::obs

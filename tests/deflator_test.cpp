@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dias::core {
 namespace {
@@ -191,6 +193,24 @@ TEST(DeflatorTest, TailEstimationOffByDefault) {
   const auto plan = deflator.plan(constraints);
   ASSERT_TRUE(plan.feasible);
   EXPECT_TRUE(plan.predicted_p95.empty());
+}
+
+TEST(DeflatorTest, PublishesPlanToObservabilitySinks) {
+  obs::Registry reg;
+  obs::Tracer tracer;
+  Deflator::Options options;
+  options.metrics = &reg;
+  options.tracer = &tracer;
+  Deflator deflator({profile(0.02), profile(0.005)}, accuracy(), options);
+  const std::vector<ClassConstraint> constraints{{30.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+  const auto plan = deflator.plan(constraints);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(reg.gauge("deflator.theta.k0").value(), plan.theta[0]);
+  EXPECT_DOUBLE_EQ(reg.gauge("deflator.theta.k1").value(), plan.theta[1]);
+  EXPECT_DOUBLE_EQ(reg.gauge("deflator.objective_s").value(), plan.objective);
+  EXPECT_EQ(tracer.event_count(), 1u);
+  const std::string summary = tracer.summary_json();
+  EXPECT_NE(summary.find("\"events\":1"), std::string::npos);
 }
 
 TEST(DeflatorTest, Validation) {

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dias::core {
 namespace {
@@ -113,9 +115,30 @@ TEST(DispatcherTest, DrainIsReusable) {
   EXPECT_EQ(dispatcher.drain().size(), 2u);
 }
 
+TEST(DispatcherTest, ObservabilityCountsPerClassCompletions) {
+  obs::Registry reg;
+  obs::Tracer tracer;
+  DiasDispatcher dispatcher({0.2, 0.0});
+  dispatcher.attach_observability(&reg, &tracer);
+  for (int i = 0; i < 6; ++i) {
+    dispatcher.submit(static_cast<std::size_t>(i % 2), [](double) {});
+  }
+  EXPECT_EQ(dispatcher.drain().size(), 6u);
+  EXPECT_EQ(reg.counter("dispatcher.class0.completed").value(), 3u);
+  EXPECT_EQ(reg.counter("dispatcher.class1.completed").value(), 3u);
+  EXPECT_DOUBLE_EQ(reg.gauge("dispatcher.class0.theta").value(), 0.2);
+  const auto resp = reg.histogram("dispatcher.response_s", 0.0, 600.0, 240).stats();
+  EXPECT_EQ(resp.count, 6u);
+  // One begin/end span per dispatched job.
+  EXPECT_EQ(tracer.event_count(), 12u);
+}
+
 TEST(DispatcherTest, Validation) {
   EXPECT_THROW(DiasDispatcher({}), dias::precondition_error);
-  EXPECT_THROW(DiasDispatcher({1.0}), dias::precondition_error);
+  EXPECT_THROW(DiasDispatcher({1.5}), dias::precondition_error);
+  EXPECT_THROW(DiasDispatcher({-0.1}), dias::precondition_error);
+  // theta == 1.0 (drop everything) is allowed, consistent with the engine.
+  DiasDispatcher all_drop({1.0});
   DiasDispatcher dispatcher({0.0});
   EXPECT_THROW(dispatcher.submit(1, [](double) {}), dias::precondition_error);
   EXPECT_THROW(dispatcher.submit(0, DiasDispatcher::JobFn{}), dias::precondition_error);

@@ -228,10 +228,87 @@ TEST(EngineTest, ReduceByKeyLogsShuffleAndReduceStages) {
 
 TEST(EngineTest, SetDropRatioValidation) {
   Engine eng(opts());
-  EXPECT_THROW(eng.set_drop_ratio(1.0), dias::precondition_error);
+  EXPECT_THROW(eng.set_drop_ratio(1.1), dias::precondition_error);
   EXPECT_THROW(eng.set_drop_ratio(-0.1), dias::precondition_error);
   eng.set_drop_ratio(0.5);
   EXPECT_DOUBLE_EQ(eng.options().drop_ratio, 0.5);
+  // theta == 1.0 is a valid (degenerate) drop ratio: every droppable task
+  // is skipped, matching find_missing_partitions' [0,1] contract.
+  eng.set_drop_ratio(1.0);
+  EXPECT_DOUBLE_EQ(eng.options().drop_ratio, 1.0);
+}
+
+// Regression: Engine::Options / set_drop_ratio used to reject theta == 1.0
+// while find_missing_partitions accepted the full [0,1] range. The whole
+// pipeline now agrees on [0,1]: a theta == 1 droppable stage executes
+// nothing and reports effective_drop_ratio == 1.
+TEST(EngineTest, ThetaOneDropsEveryDroppableTask) {
+  Engine eng(opts(1.0));
+  const auto ds = eng.parallelize(iota_vec(1000), 10);
+  StageOptions so;
+  so.name = "all-dropped";
+  so.droppable = true;
+  const auto out = eng.map_partitions(
+      ds, [](const std::vector<int>& part) { return std::vector<int>(part); }, so);
+  EXPECT_EQ(out.total_size(), 0u);  // every partition dropped -> empty
+  ASSERT_EQ(eng.stage_log().size(), 1u);
+  const auto& info = eng.stage_log().front();
+  EXPECT_EQ(info.total_partitions, 10u);
+  EXPECT_EQ(info.executed_partitions, 0u);
+  EXPECT_DOUBLE_EQ(info.applied_drop_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(info.effective_drop_ratio, 1.0);
+
+  // Non-droppable stages ignore the engine theta entirely.
+  eng.clear_stage_log();
+  StageOptions exact_so;
+  exact_so.droppable = false;
+  const auto exact = eng.map_partitions(
+      ds, [](const std::vector<int>& part) { return std::vector<int>(part); }, exact_so);
+  EXPECT_EQ(exact.total_size(), 1000u);
+  EXPECT_DOUBLE_EQ(eng.stage_log().front().effective_drop_ratio, 0.0);
+
+  // The per-stage override accepts the same degenerate value.
+  eng.clear_stage_log();
+  eng.set_drop_ratio(0.0);
+  StageOptions ov;
+  ov.droppable = true;
+  ov.drop_ratio_override = 1.0;
+  eng.map_partitions(
+      ds, [](const std::vector<int>& part) { return std::vector<int>(part); }, ov);
+  EXPECT_EQ(eng.stage_log().front().executed_partitions, 0u);
+}
+
+TEST(FindMissingPartitionsTest, KeepZeroAndEmptyInputBoundaries) {
+  Rng rng(5);
+  // keep == 0 only at exactly theta == 1 (ceil keeps one task otherwise).
+  EXPECT_EQ(find_missing_partitions(1, 1.0, rng).size(), 0u);
+  EXPECT_EQ(find_missing_partitions(64, 1.0, rng).size(), 0u);
+  EXPECT_EQ(find_missing_partitions(64, 0.999, rng).size(), 1u);
+  // n == 0 is empty for any theta, including the extremes.
+  EXPECT_TRUE(find_missing_partitions(0, 0.0, rng).empty());
+  EXPECT_TRUE(find_missing_partitions(0, 0.5, rng).empty());
+  EXPECT_TRUE(find_missing_partitions(0, 1.0, rng).empty());
+}
+
+// An empty stage (a zero-partition dataset) must log a consistent
+// StageInfo: nothing executed, nothing dropped, and effective_drop_ratio
+// pinned to 0 (vacuously exact) regardless of the configured theta.
+TEST(EngineTest, EmptyStageInfoIsConsistent) {
+  Engine eng(opts(0.8));
+  const Dataset<int> empty;  // zero partitions
+  StageOptions so;
+  so.name = "empty";
+  so.droppable = true;
+  const auto out = eng.map_partitions(
+      empty, [](const std::vector<int>& part) { return std::vector<int>(part); }, so);
+  EXPECT_EQ(out.partitions(), 0u);
+  ASSERT_EQ(eng.stage_log().size(), 1u);
+  const auto& info = eng.stage_log().front();
+  EXPECT_EQ(info.total_partitions, 0u);
+  EXPECT_EQ(info.executed_partitions, 0u);
+  EXPECT_DOUBLE_EQ(info.applied_drop_ratio, 0.8);
+  EXPECT_DOUBLE_EQ(info.effective_drop_ratio, 0.0);
+  EXPECT_TRUE(info.failed_partition_ids.empty());
 }
 
 TEST(EngineTest, SampleKeepsApproximateFraction) {

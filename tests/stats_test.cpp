@@ -143,6 +143,53 @@ TEST(HistogramTest, Preconditions) {
   EXPECT_THROW(h.bin_lo(4), precondition_error);
 }
 
+// Regression: the constructor used to derive bin width in the member-init
+// list, dividing by `bins` *before* the precondition guards ran. The guards
+// must fire first — no arithmetic on unvalidated arguments — and every
+// invalid shape must surface as precondition_error, never as a histogram
+// with a NaN/inf width.
+TEST(HistogramTest, ConstructorValidatesBeforeDerivingWidth) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), precondition_error);    // bins == 0
+  EXPECT_THROW(Histogram(0.0, 0.0, 0), precondition_error);    // both invalid
+  EXPECT_THROW(Histogram(5.0, 2.0, 8), precondition_error);    // hi < lo
+  EXPECT_THROW(Histogram(-1.0, -1.0, 8), precondition_error);  // empty range
+  // A valid construction right after the throwing ones still works.
+  Histogram h(0.0, 8.0, 8);
+  h.add(3.5);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+// Regression: merging an accumulator into itself must behave like merging
+// a copy — the sample doubles (count, m2, second moment) while mean, min
+// and max are unchanged. The old code read `other`'s fields while mutating
+// the same object through `this`.
+TEST(WelfordTest, SelfMergeDoublesTheSample) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  Welford copy = w;
+  Welford expected = w;
+  expected.merge(copy);
+
+  w.merge(w);
+  EXPECT_EQ(w.count(), 16u);
+  EXPECT_EQ(w.count(), expected.count());
+  EXPECT_DOUBLE_EQ(w.mean(), expected.mean());
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), expected.variance());
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);  // population variance is unchanged
+  EXPECT_DOUBLE_EQ(w.min(), expected.min());
+  EXPECT_DOUBLE_EQ(w.max(), expected.max());
+  EXPECT_NEAR(w.second_moment(), expected.second_moment(), 1e-12);
+}
+
+TEST(WelfordTest, SelfMergeOfEmptyIsEmpty) {
+  Welford w;
+  w.merge(w);
+  EXPECT_EQ(w.count(), 0u);
+}
+
 TEST(MapeTest, ExactMatchIsZero) {
   const std::vector<double> ref{1.0, 2.0, 3.0};
   EXPECT_DOUBLE_EQ(mean_absolute_percent_error(ref, ref), 0.0);
