@@ -1,0 +1,195 @@
+// Extension: two-phase shuffle vs. the old locked shuffle path.
+//
+// The seed engine funnelled every shuffled record through a per-bucket
+// std::mutex, so skewed key distributions serialized the whole write
+// phase on the hot bucket's lock. The two-phase shuffle (engine/shuffle.hpp)
+// writes into per-worker-slot buffers instead and optionally collapses
+// duplicate keys in a map-side combiner before anything crosses the
+// shuffle boundary.
+//
+// This bench reconstructs the old locked write path out of public engine
+// primitives (shared buckets + per-element mutex acquisition, exactly the
+// seed's engine.hpp code shape) and races it against reduce_by_key with
+// combining off and on, over uniform and Zipf-distributed keys.
+//
+// Each configuration emits one machine-readable line:
+//   BENCH {"bench":"ext_shuffle","keys":"zipf","mode":"two_phase_combine",...}
+// so CI or a notebook can scrape results without parsing the tables.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+#include "common/rng.hpp"
+#include "engine/engine.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace dias;
+
+using Record = std::pair<std::uint32_t, std::uint64_t>;
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kInPartitions = 64;
+constexpr std::size_t kOutPartitions = 16;
+constexpr std::size_t kRecords = std::size_t{1} << 22;  // ~4M records
+constexpr std::size_t kKeySpace = std::size_t{1} << 16;
+constexpr int kReps = 5;
+
+std::vector<Record> make_records(bool zipf, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(kRecords);
+  if (zipf) {
+    // Exponent 1.5: the head rank draws a large share of all records, so
+    // the locked baseline contends hard on the hot bucket.
+    const ZipfDistribution dist(kKeySpace, 1.5);
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      records.emplace_back(static_cast<std::uint32_t>(dist(rng) - 1), i);
+    }
+  } else {
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      records.emplace_back(static_cast<std::uint32_t>(rng.uniform_int(kKeySpace)), i);
+    }
+  }
+  return records;
+}
+
+// The seed's shuffle write path: one shared bucket vector per output
+// partition, one mutex per bucket, one lock acquisition per record.
+std::size_t run_locked(engine::Engine& eng, const engine::Dataset<Record>& ds) {
+  std::vector<std::vector<Record>> buckets(kOutPartitions);
+  std::vector<std::mutex> locks(kOutPartitions);
+  engine::StageOptions write_opts;
+  write_opts.name = "locked/shuffle";
+  write_opts.droppable = false;
+  eng.map_partitions(
+      ds,
+      [&](const std::vector<Record>& part) {
+        for (const auto& kv : part) {
+          const std::size_t b = std::hash<std::uint32_t>{}(kv.first) % kOutPartitions;
+          std::lock_guard<std::mutex> guard(locks[b]);
+          buckets[b].push_back(kv);
+        }
+        return std::vector<char>{};
+      },
+      write_opts);
+
+  std::vector<std::size_t> bucket_ids(kOutPartitions);
+  for (std::size_t b = 0; b < kOutPartitions; ++b) bucket_ids[b] = b;
+  engine::StageOptions reduce_opts;
+  reduce_opts.name = "locked/reduce";
+  reduce_opts.droppable = false;
+  const auto reduced = eng.map_partitions(
+      eng.parallelize(std::move(bucket_ids), kOutPartitions),
+      [&](const std::vector<std::size_t>& ids) {
+        std::vector<Record> out;
+        for (const std::size_t b : ids) {
+          std::unordered_map<std::uint32_t, std::uint64_t> acc;
+          for (const auto& [k, v] : buckets[b]) acc[k] += v;
+          out.insert(out.end(), acc.begin(), acc.end());
+        }
+        return out;
+      },
+      reduce_opts);
+
+  std::size_t distinct = 0;
+  for (std::size_t p = 0; p < reduced.partitions(); ++p) distinct += reduced.partition(p).size();
+  return distinct;
+}
+
+std::size_t run_two_phase(engine::Engine& eng, const engine::Dataset<Record>& ds,
+                          bool combine) {
+  engine::StageOptions opts;
+  opts.name = combine ? "two_phase_combine" : "two_phase";
+  opts.droppable = false;
+  engine::ShuffleOptions shuffle;
+  shuffle.combine = combine;
+  const auto reduced = eng.reduce_by_key(
+      ds, [](std::uint64_t a, std::uint64_t b) { return a + b; }, kOutPartitions, opts,
+      shuffle);
+  std::size_t distinct = 0;
+  for (std::size_t p = 0; p < reduced.partitions(); ++p) distinct += reduced.partition(p).size();
+  return distinct;
+}
+
+struct BenchResult {
+  double best_s = 0.0;
+  double records_per_s = 0.0;
+  std::size_t distinct = 0;
+};
+
+template <typename RunFn>
+BenchResult measure(RunFn run) {
+  BenchResult result;
+  result.best_s = 1e30;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    result.distinct = run();
+    const auto t1 = std::chrono::steady_clock::now();
+    result.best_s = std::min(result.best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  result.records_per_s = static_cast<double>(kRecords) / result.best_s;
+  return result;
+}
+
+void emit_json(const char* keys, const char* mode, const BenchResult& r, double speedup) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "ext_shuffle");
+  w.field("keys", keys);
+  w.field("mode", mode);
+  w.field("workers", std::uint64_t{kWorkers});
+  w.field("records", std::uint64_t{kRecords});
+  w.field("distinct_keys", std::uint64_t{r.distinct});
+  w.field("best_s", r.best_s);
+  w.field("records_per_s", r.records_per_s);
+  w.field("speedup_vs_locked", speedup);
+  w.end_object();
+  std::printf("BENCH %s\n", std::move(w).str().c_str());
+}
+
+engine::Engine::Options engine_opts() {
+  engine::Engine::Options o;
+  o.workers = kWorkers;
+  o.seed = 4242;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension: two-phase shuffle vs. per-bucket-locked shuffle");
+  std::printf("  %zu records, %zu-key space, %zu workers, %zu -> %zu partitions, best of %d\n",
+              kRecords, kKeySpace, kWorkers, kInPartitions, kOutPartitions, kReps);
+
+  for (const bool zipf : {false, true}) {
+    const char* keys = zipf ? "zipf" : "uniform";
+    const auto records = make_records(zipf, zipf ? 11 : 7);
+    engine::Engine eng(engine_opts());
+    const auto ds = eng.parallelize(records, kInPartitions);
+
+    const auto locked = measure([&] { return run_locked(eng, ds); });
+    const auto plain = measure([&] { return run_two_phase(eng, ds, false); });
+    const auto combined = measure([&] { return run_two_phase(eng, ds, true); });
+
+    std::printf("\n  -- %s keys (%zu distinct) --\n", keys, locked.distinct);
+    std::printf("  %-24s  %12s  %14s  %8s\n", "mode", "best [ms]", "records/s", "speedup");
+    const auto row = [&](const char* mode, const BenchResult& r) {
+      const double speedup = r.records_per_s / locked.records_per_s;
+      std::printf("  %-24s  %12.2f  %14.3e  %7.2fx\n", mode, 1000.0 * r.best_s,
+                  r.records_per_s, speedup);
+      emit_json(keys, mode, r, speedup);
+    };
+    row("locked (seed engine)", locked);
+    row("two-phase, no combine", plain);
+    row("two-phase + combiner", combined);
+  }
+  return 0;
+}

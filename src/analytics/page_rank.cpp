@@ -24,32 +24,28 @@ PageRankResult page_rank(engine::Engine& eng, const engine::Dataset<workload::Ed
   };
 
   // Build the (symmetric) adjacency once; this stage is droppable like the
-  // graphx vertex-RDD construction.
+  // graphx vertex-RDD construction. The gather runs through the combining
+  // shuffle (group_by_key), so neighbour lists grow in per-task combiner
+  // maps instead of shipping a singleton vector per edge endpoint.
   auto neighbour_pairs = eng.map_partitions(
       edges,
       [](const std::vector<workload::Edge>& part) {
-        std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> out;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
         out.reserve(2 * part.size());
         for (const auto& [u, v] : part) {
           if (u == v) continue;
-          out.push_back({u, {v}});
-          out.push_back({v, {u}});
+          out.emplace_back(u, v);
+          out.emplace_back(v, u);
         }
         return out;
       },
       droppable("pagerank/edges"));
-  auto adjacency = eng.reduce_by_key(
-      neighbour_pairs,
-      [](std::vector<std::uint32_t> a, const std::vector<std::uint32_t>& b) {
-        a.insert(a.end(), b.begin(), b.end());
-        return a;
-      },
-      options.partitions, [] {
-        engine::StageOptions opts;
-        opts.name = "pagerank/adjacency";
-        opts.droppable = false;
-        return opts;
-      }());
+  auto adjacency = eng.group_by_key(neighbour_pairs, options.partitions, [] {
+    engine::StageOptions opts;
+    opts.name = "pagerank/adjacency";
+    opts.droppable = false;
+    return opts;
+  }());
 
   // Vertex count for the teleport term.
   const std::size_t n_vertices = eng.count(adjacency);

@@ -35,28 +35,24 @@ TriangleCountResult triangle_count(engine::Engine& eng,
       droppable("triangles/canonicalize"));
 
   // Stage 2 (shuffle-map, droppable): forward adjacency lists keyed by the
-  // smaller endpoint (the "vertex RDD").
+  // smaller endpoint (the "vertex RDD"). group_by_key gathers the
+  // neighbours through the combining shuffle — no per-edge singleton
+  // vectors.
   auto keyed = eng.map_partitions(
       canonical,
       [](const std::vector<workload::Edge>& part) {
-        std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> out;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
         out.reserve(part.size());
-        for (const auto& [u, v] : part) out.emplace_back(u, std::vector<std::uint32_t>{v});
+        for (const auto& [u, v] : part) out.emplace_back(u, v);
         return out;
       },
       droppable("triangles/adjacency"));
-  auto adjacency = eng.reduce_by_key(
-      keyed,
-      [](std::vector<std::uint32_t> a, const std::vector<std::uint32_t>& b) {
-        a.insert(a.end(), b.begin(), b.end());
-        return a;
-      },
-      keyed.partitions(), [] {
-        engine::StageOptions opts;
-        opts.name = "triangles/group";
-        opts.droppable = false;  // shuffle barrier itself is not dropped
-        return opts;
-      }());
+  auto adjacency = eng.group_by_key(keyed, keyed.partitions(), [] {
+    engine::StageOptions opts;
+    opts.name = "triangles/group";
+    opts.droppable = false;  // shuffle barrier itself is not dropped
+    return opts;
+  }());
 
   // Broadcast view: vertex -> sorted forward neighbours.
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> adj;

@@ -31,13 +31,17 @@ WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::strin
       },
       map_opts);
 
-  // Shuffle + reduce: sum counts per word.
+  // Shuffle + reduce: sum counts per word. Map-side combining collapses
+  // the (word, 1) stream to one entry per distinct word per map task
+  // before it crosses the shuffle.
   engine::StageOptions reduce_opts;
   reduce_opts.name = "wordcount";
   reduce_opts.droppable = false;
+  engine::ShuffleOptions shuffle_opts;
+  shuffle_opts.combine = true;
   auto reduced = eng.reduce_by_key(
       pairs, [](std::uint64_t a, std::uint64_t b) { return a + b; }, reduce_partitions,
-      reduce_opts);
+      reduce_opts, shuffle_opts);
 
   WordCountResult result;
   for (const auto& kv : reduced.collect()) result.counts.emplace(kv.first, kv.second);

@@ -27,6 +27,15 @@ void interruptible_sleep_ms(double ms, const std::atomic<bool>& done) {
 
 }  // namespace
 
+namespace detail {
+
+std::atomic<std::uint64_t>& shuffle_fallback_locks() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+}  // namespace detail
+
 const char* to_string(EngineStageKind kind) {
   switch (kind) {
     case EngineStageKind::kMap:
@@ -57,7 +66,58 @@ void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
     obs_.speculative_wins = &metrics->counter("engine.speculative_wins");
     obs_.task_time_s = &metrics->histogram("engine.task_time_s", 0.0, 10.0, 200);
     obs_.stage_time_s = &metrics->histogram("engine.stage_time_s", 0.0, 120.0, 240);
+    obs_.shuffle_records_in = &metrics->counter("engine.shuffle.records_in");
+    obs_.shuffle_records_out = &metrics->counter("engine.shuffle.records_out");
+    obs_.shuffle_bytes = &metrics->counter("engine.shuffle.bytes");
+    obs_.shuffle_flushes = &metrics->counter("engine.shuffle.flushes");
+    obs_.shuffle_combine_ratio =
+        &metrics->histogram("engine.shuffle.combine_ratio", 0.0, 1.0, 50);
     pool_.attach_metrics(*metrics, "engine.pool");
+  }
+}
+
+void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
+                                std::size_t bytes, std::size_t flushes, bool combine) {
+  DIAS_EXPECTS(!stage_log_.empty(), "shuffle accounting needs a logged stage");
+  StageInfo& info = stage_log_.back();
+  info.shuffle_records_in = records_in;
+  info.shuffle_records_out = records_out;
+  info.shuffle_bytes = bytes;
+  info.shuffle_flushes = flushes;
+  // No records in means nothing was combined away; report a neutral 1.0.
+  const double ratio =
+      records_in == 0
+          ? 1.0
+          : static_cast<double>(records_out) / static_cast<double>(records_in);
+  if (obs_.shuffle_records_in != nullptr) {
+    obs_.shuffle_records_in->add(records_in);
+    obs_.shuffle_records_out->add(records_out);
+    obs_.shuffle_bytes->add(bytes);
+    obs_.shuffle_flushes->add(flushes);
+    obs_.shuffle_combine_ratio->observe(ratio);
+  }
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->event("engine.shuffle.write",
+                       {{"stage", info.name},
+                        {"records_in", std::uint64_t{records_in}},
+                        {"records_out", std::uint64_t{records_out}},
+                        {"bytes", std::uint64_t{bytes}},
+                        {"flushes", std::uint64_t{flushes}},
+                        {"combine", combine},
+                        {"combine_ratio", ratio}});
+  }
+}
+
+void Engine::note_shuffle_merge(std::size_t records) {
+  DIAS_EXPECTS(!stage_log_.empty(), "shuffle accounting needs a logged stage");
+  StageInfo& info = stage_log_.back();
+  info.shuffle_records_in = records;
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->event("engine.shuffle.merge",
+                       {{"stage", info.name},
+                        {"records", std::uint64_t{records}},
+                        {"executed_buckets", std::uint64_t{info.executed_partitions}},
+                        {"total_buckets", std::uint64_t{info.total_partitions}}});
   }
 }
 

@@ -9,19 +9,19 @@
 // for accuracy experiments and to parameterize the stochastic models.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "engine/dataset.hpp"
 #include "engine/fault.hpp"
+#include "engine/shuffle.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -61,6 +61,18 @@ struct StageInfo {
   // accuracy bound at ratio 0 (exact) applies regardless of the configured
   // theta.
   double effective_drop_ratio = 0.0;
+
+  // --- shuffle accounting -------------------------------------------------
+  // Populated on the two stages of a combine_by_key-style shuffle. On the
+  // shuffle-write stage: records entering the write path, entries shipped
+  // after map-side combining, their estimated byte footprint, and how many
+  // combiner flushes the byte budget forced. On the merge stage:
+  // shuffle_records_in counts the entries merged (equals the write side's
+  // shuffle_records_out unless merge tasks were dropped).
+  std::size_t shuffle_records_in = 0;
+  std::size_t shuffle_records_out = 0;
+  std::size_t shuffle_bytes = 0;
+  std::size_t shuffle_flushes = 0;
 };
 
 struct StageOptions {
@@ -243,27 +255,48 @@ class Engine {
     return Dataset<T>(std::move(out));
   }
 
-  // Per-partition deduplication followed by a global merge partition-wise by
-  // hash, so equal elements collapse across partitions.
+  // Per-partition deduplication followed by a parallel per-bucket merge.
+  // Both phases use the lock-free shuffle buffers (see shuffle.hpp); the
+  // output is deterministic: bucket b lists its distinct elements in first-
+  // appearance order over (input partition, record) position.
   template <typename T>
   Dataset<T> distinct(const Dataset<T>& in, std::size_t out_partitions,
                       StageOptions opts = {}) {
     DIAS_EXPECTS(out_partitions >= 1, "need at least one output partition");
-    std::vector<std::unordered_set<T>> buckets(out_partitions);
-    std::vector<std::mutex> locks(out_partitions);
+    detail::ShuffleSink<T, char> sink(pool_.workers(), out_partitions);
     opts.droppable = false;
     run_stage(in.partitions(), opts, EngineStageKind::kShuffleWrite, [&](std::size_t p) {
+      const std::size_t slot = pool_.current_slot();
       std::hash<T> hasher;
+      detail::FlatMap<T, char> seen;
       for (const auto& x : in.partition(p)) {
-        const std::size_t b = hasher(x) % out_partitions;
-        std::lock_guard guard(locks[b]);
-        buckets[b].insert(x);
+        bool created = false;
+        seen.find_or_emplace(x, [] { return char{0}; }, &created);
+      }
+      std::vector<std::vector<std::pair<T, char>>> split(out_partitions);
+      for (auto& entry : seen.entries()) {
+        split[hasher(entry.first) % out_partitions].push_back(std::move(entry));
+      }
+      for (std::size_t b = 0; b < out_partitions; ++b) {
+        if (!split[b].empty()) sink.push(slot, b, {p, 0, std::move(split[b])});
       }
     });
     std::vector<std::vector<T>> out(out_partitions);
-    for (std::size_t b = 0; b < out_partitions; ++b) {
-      out[b].assign(buckets[b].begin(), buckets[b].end());
-    }
+    StageOptions merge_opts;
+    merge_opts.name = opts.name + "/merge";
+    merge_opts.droppable = false;
+    run_stage(out_partitions, merge_opts, EngineStageKind::kReduce, [&](std::size_t b) {
+      detail::FlatMap<T, char> unique;
+      for (auto* segment : sink.bucket_segments(b)) {
+        for (auto& [x, tag] : segment->entries) {
+          bool created = false;
+          unique.find_or_emplace(x, [] { return char{0}; }, &created);
+          (void)tag;
+        }
+      }
+      out[b].reserve(unique.size());
+      for (auto& entry : unique.entries()) out[b].push_back(std::move(entry.first));
+    });
     return Dataset<T>(std::move(out));
   }
 
@@ -277,70 +310,153 @@ class Engine {
     return Dataset<T>(std::move(parts));
   }
 
-  // Groups values per key (shuffle + gather), like Spark's groupByKey.
+  // Groups values per key, like Spark's groupByKey — a thin wrapper over
+  // the combining shuffle whose aggregate *is* the value vector. Unlike the
+  // old lift-to-vector implementation this allocates one vector per
+  // distinct key per combiner flush (not one per record), and the values
+  // of each key come out in deterministic (input partition, record) order.
   template <typename K, typename V>
   Dataset<std::pair<K, std::vector<V>>> group_by_key(const Dataset<std::pair<K, V>>& in,
                                                      std::size_t out_partitions,
-                                                     StageOptions opts = {}) {
-    auto as_vectors = map(
-        in,
-        [](const std::pair<K, V>& kv) {
-          return std::make_pair(kv.first, std::vector<V>{kv.second});
+                                                     StageOptions opts = {},
+                                                     ShuffleOptions shuffle = {}) {
+    return combine_by_key(
+        in, [](const V& v) { return std::vector<V>{v}; },
+        [](std::vector<V>& a, const V& v) { a.push_back(v); },
+        [](std::vector<V>& a, std::vector<V>&& b) {
+          a.insert(a.end(), std::make_move_iterator(b.begin()),
+                   std::make_move_iterator(b.end()));
         },
-        [&] {
-          StageOptions o = opts;
-          o.name = opts.name + "/lift";
-          o.droppable = false;
-          return o;
-        }());
-    return reduce_by_key(
-        as_vectors,
-        [](std::vector<V> a, const std::vector<V>& b) {
-          a.insert(a.end(), b.begin(), b.end());
-          return a;
-        },
-        out_partitions, std::move(opts));
+        out_partitions, std::move(opts), shuffle);
   }
 
   // Shuffle + reduce: groups (K, V) pairs by key hash into `out_partitions`
   // buckets, then reduces per key with `reduce` (V, V) -> V. The reduce
-  // side is a separate (optionally droppable) stage.
+  // side is a separate (optionally droppable) stage. `reduce` must be
+  // associative; with map-side combining (the default) it runs both before
+  // and after the shuffle, exactly like a Spark combiner.
   template <typename K, typename V, typename R>
   Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& in, R reduce,
-                                         std::size_t out_partitions, StageOptions opts = {}) {
+                                         std::size_t out_partitions, StageOptions opts = {},
+                                         ShuffleOptions shuffle = {}) {
+    return combine_by_key(
+        in, [](const V& v) { return v; },
+        [&reduce](V& a, const V& v) { a = reduce(a, v); },
+        [&reduce](V& a, V&& b) { a = reduce(a, b); }, out_partitions, std::move(opts),
+        shuffle);
+  }
+
+  // Generalized two-phase shuffle (Spark's combineByKey). Hash-partitions
+  // (K, V) pairs into `out_partitions` buckets and aggregates the values of
+  // each key through a user aggregator:
+  //
+  //   create(const V&) -> A   lift the first value seen for a key
+  //   fold(A&, const V&)      absorb one more value on the map side
+  //   merge(A&, A&&)          combine two partial aggregates
+  //
+  // Phase 1 ("<name>/shuffle", kShuffleWrite, non-droppable) runs one task
+  // per input partition. Each task writes hash-partitioned segments into
+  // buffers owned by its worker slot — no locks on the write path (see
+  // shuffle.hpp) — optionally pre-combining through a per-task
+  // open-addressing map bounded by ShuffleOptions::target_buffer_bytes.
+  // Phase 2 ("<name>/reduce", kReduce, droppable per `opts`) runs one task
+  // per bucket, merging that bucket's segments in deterministic
+  // (input partition, flush) order; dropped merge tasks leave empty output
+  // partitions exactly like the old implementation. The map side was
+  // already subject to dropping when it produced `in`, so drop semantics
+  // are unchanged end to end.
+  //
+  // Like every stage body, the write side must be idempotent under the
+  // fault-tolerant path: injected faults skip the body entirely, but a user
+  // functor that throws mid-partition leaves partial segments behind for
+  // the retry (the same contract the locked shuffle had).
+  template <typename K, typename V, typename Create, typename Fold, typename Merge>
+  auto combine_by_key(const Dataset<std::pair<K, V>>& in, Create create, Fold fold,
+                      Merge merge, std::size_t out_partitions, StageOptions opts = {},
+                      ShuffleOptions shuffle = {})
+      -> Dataset<std::pair<K, std::invoke_result_t<Create, const V&>>> {
+    using A = std::invoke_result_t<Create, const V&>;
     DIAS_EXPECTS(out_partitions >= 1, "need at least one output partition");
-    // Shuffle (hash partitioning). Runs on the full input; the map side was
-    // already subject to dropping when it produced `in`.
-    std::vector<std::vector<std::pair<K, V>>> buckets(out_partitions);
-    {
-      std::vector<std::mutex> locks(out_partitions);
-      StageOptions shuffle_opts;
-      shuffle_opts.name = opts.name + "/shuffle";
-      shuffle_opts.droppable = false;
-      run_stage(in.partitions(), shuffle_opts, EngineStageKind::kShuffleWrite,
-                [&](std::size_t p) {
-                  std::hash<K> hasher;
-                  for (const auto& kv : in.partition(p)) {
-                    const std::size_t b = hasher(kv.first) % out_partitions;
-                    std::lock_guard guard(locks[b]);
-                    buckets[b].push_back(kv);
+
+    detail::ShuffleSink<K, A> sink(pool_.workers(), out_partitions);
+    std::atomic<std::size_t> records_in{0};
+    std::atomic<std::size_t> records_out{0};
+    std::atomic<std::size_t> bytes{0};
+    std::atomic<std::size_t> flushes{0};
+
+    StageOptions write_opts;
+    write_opts.name = opts.name + "/shuffle";
+    write_opts.droppable = false;
+    run_stage(in.partitions(), write_opts, EngineStageKind::kShuffleWrite,
+              [&](std::size_t p) {
+                const std::size_t slot = pool_.current_slot();
+                std::hash<K> hasher;
+                const auto& part = in.partition(p);
+                records_in.fetch_add(part.size(), std::memory_order_relaxed);
+                std::size_t shipped = 0;
+                std::size_t seq = 0;
+                // Splits a finished combiner scratch (or raw batch) into
+                // per-bucket segments and hands them to the sink.
+                auto ship = [&](std::vector<std::pair<K, A>>&& entries) {
+                  std::vector<std::vector<std::pair<K, A>>> split(out_partitions);
+                  for (auto& entry : entries) {
+                    split[hasher(entry.first) % out_partitions].push_back(std::move(entry));
                   }
-                });
-    }
-    // Reduce.
-    std::vector<std::vector<std::pair<K, V>>> out(out_partitions);
-    StageOptions reduce_opts = opts;
-    reduce_opts.name = opts.name + "/reduce";
-    run_stage(out_partitions, reduce_opts, EngineStageKind::kReduce, [&](std::size_t b) {
-      std::unordered_map<K, V> acc;
-      for (auto& kv : buckets[b]) {
-        auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
-        if (!inserted) it->second = reduce(it->second, kv.second);
+                  for (std::size_t b = 0; b < out_partitions; ++b) {
+                    if (split[b].empty()) continue;
+                    shipped += split[b].size();
+                    sink.push(slot, b, {p, seq, std::move(split[b])});
+                  }
+                  ++seq;
+                };
+                if (shuffle.combine) {
+                  detail::FlatMap<K, A> scratch;
+                  for (const auto& kv : part) {
+                    bool created = false;
+                    A& acc = scratch.find_or_emplace(
+                        kv.first, [&] { return create(kv.second); }, &created);
+                    if (!created) fold(acc, kv.second);
+                    if (scratch.approx_bytes() > shuffle.target_buffer_bytes) {
+                      auto full = std::move(scratch.entries());
+                      scratch.clear();
+                      ship(std::move(full));
+                      flushes.fetch_add(1, std::memory_order_relaxed);
+                    }
+                  }
+                  if (!scratch.empty()) ship(std::move(scratch.entries()));
+                } else {
+                  std::vector<std::pair<K, A>> raw;
+                  raw.reserve(part.size());
+                  for (const auto& kv : part) raw.emplace_back(kv.first, create(kv.second));
+                  if (!raw.empty()) ship(std::move(raw));
+                }
+                records_out.fetch_add(shipped, std::memory_order_relaxed);
+                bytes.fetch_add(shipped * sizeof(std::pair<K, A>),
+                                std::memory_order_relaxed);
+              });
+    note_shuffle_write(records_in.load(), records_out.load(), bytes.load(),
+                       flushes.load(), shuffle.combine);
+
+    std::vector<std::vector<std::pair<K, A>>> out(out_partitions);
+    std::atomic<std::size_t> merged{0};
+    StageOptions merge_opts = opts;
+    merge_opts.name = opts.name + "/reduce";
+    run_stage(out_partitions, merge_opts, EngineStageKind::kReduce, [&](std::size_t b) {
+      detail::FlatMap<K, A> acc;
+      std::size_t records = 0;
+      for (auto* segment : sink.bucket_segments(b)) {
+        records += segment->entries.size();
+        for (auto& [k, a] : segment->entries) {
+          bool created = false;
+          A& dst = acc.find_or_emplace(k, [&] { return std::move(a); }, &created);
+          if (!created) merge(dst, std::move(a));
+        }
       }
-      out[b].reserve(acc.size());
-      for (auto& kv : acc) out[b].emplace_back(kv.first, kv.second);
+      merged.fetch_add(records, std::memory_order_relaxed);
+      out[b] = std::move(acc.entries());
     });
-    return Dataset<std::pair<K, V>>(std::move(out));
+    note_shuffle_merge(merged.load());
+    return Dataset<std::pair<K, A>>(std::move(out));
   }
 
   // --- actions -------------------------------------------------------------
@@ -390,6 +506,12 @@ class Engine {
                                 std::uint64_t stage_seq,
                                 const std::function<void(std::size_t)>& body);
 
+  // Shuffle accounting: annotate the just-logged shuffle-write / merge
+  // stage (stage_log_.back()) and publish metrics + a tracer event.
+  void note_shuffle_write(std::size_t records_in, std::size_t records_out,
+                          std::size_t bytes, std::size_t flushes, bool combine);
+  void note_shuffle_merge(std::size_t records);
+
   // Metric handles cached at attach time; all null when detached.
   struct ObsHooks {
     obs::Tracer* tracer = nullptr;
@@ -403,6 +525,11 @@ class Engine {
     obs::Counter* speculative_wins = nullptr;
     obs::HistogramMetric* task_time_s = nullptr;
     obs::HistogramMetric* stage_time_s = nullptr;
+    obs::Counter* shuffle_records_in = nullptr;
+    obs::Counter* shuffle_records_out = nullptr;
+    obs::Counter* shuffle_bytes = nullptr;
+    obs::Counter* shuffle_flushes = nullptr;
+    obs::HistogramMetric* shuffle_combine_ratio = nullptr;
   };
 
   Options options_;

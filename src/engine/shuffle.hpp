@@ -1,0 +1,198 @@
+// Two-phase shuffle internals for the mini MapReduce engine.
+//
+// The old shuffle pushed every record through a per-bucket std::mutex,
+// which serializes the whole write side as soon as keys are skewed (every
+// hot key hashes to the same lock). The two-phase design removes locks
+// from the write path entirely:
+//
+//   Phase 1 (shuffle write, one task per input partition): each task
+//     appends hash-partitioned Segments into buffers owned by its worker
+//     slot (ThreadPool::current_slot()), so no two threads ever write the
+//     same vector. With ShuffleOptions::combine the task first folds its
+//     records through an open-addressing FlatMap (the map-side combiner),
+//     flushing to segments whenever the scratch exceeds
+//     target_buffer_bytes — Spark's spill, except the spill stays in
+//     memory.
+//
+//   Phase 2 (merge, one task per output bucket): each task walks that
+//     bucket's segments in (src partition, flush seq) order and merges
+//     them into an insertion-ordered FlatMap. Because the visit order is a
+//     pure function of the input (never of thread scheduling), the merged
+//     output — including floating-point accumulation order and the final
+//     entry order — is deterministic for a fixed engine seed.
+//
+// The stage barrier between the phases (futures joined in run_stage)
+// provides the happens-before edge that lets merge tasks read every
+// slot's buffers without synchronization.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dias::engine {
+
+// Tuning knobs for the shuffle in reduce_by_key / group_by_key /
+// combine_by_key. The defaults are right for almost every workload;
+// combine = false is mainly useful for benchmarking the raw shuffle.
+struct ShuffleOptions {
+  // Run the map-side combiner: fold records into a per-task
+  // open-addressing hash map before they cross the shuffle, so each
+  // distinct key ships once per flush instead of once per record.
+  bool combine = true;
+  // Soft budget for the combiner scratch map. When its estimated footprint
+  // exceeds this the task flushes the map into its shuffle buffers and
+  // starts over. The estimate counts entry and slot storage only (heap
+  // payload of K/V is invisible to sizeof), so treat it as a knob, not a
+  // hard memory bound.
+  std::size_t target_buffer_bytes = std::size_t{1} << 20;
+};
+
+namespace detail {
+
+// Mutex acquisitions taken by shuffle write paths since process start.
+// The hot path is lock-free by construction; only a writer with no worker
+// slot (a thread foreign to the engine's pool) falls back to the locked
+// overflow lane, and each such fall-back increments this counter. Tests
+// reset it and assert it stays 0 across full shuffles.
+std::atomic<std::uint64_t>& shuffle_fallback_locks();
+
+// Open-addressing (linear probing) hash map with insertion-ordered,
+// movable entry storage. No erase, power-of-two slot table, indices into a
+// dense entries vector — the shape used by both the map-side combiner and
+// the merge accumulator, where iteration order must be deterministic and
+// the entries are handed off wholesale at the end.
+template <typename K, typename A, typename Hash = std::hash<K>>
+class FlatMap {
+ public:
+  using Entry = std::pair<K, A>;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::vector<Entry>& entries() { return entries_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Estimated footprint of entry + slot storage (heap payload excluded).
+  std::size_t approx_bytes() const {
+    return entries_.capacity() * sizeof(Entry) + slots_.capacity() * sizeof(std::uint32_t);
+  }
+
+  // Returns the aggregate for `key`; `make()` is invoked to create it only
+  // when the key is new, and `*created` reports which case happened.
+  template <typename Make>
+  A& find_or_emplace(const K& key, Make make, bool* created) {
+    if ((entries_.size() + 1) * 8 > slots_.size() * 5) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    for (;;) {
+      const std::uint32_t s = slots_[i];
+      if (s == kEmpty) {
+        DIAS_EXPECTS(entries_.size() < kEmpty, "FlatMap entry count overflow");
+        entries_.emplace_back(key, make());
+        slots_[i] = static_cast<std::uint32_t>(entries_.size() - 1);
+        *created = true;
+        return entries_.back().second;
+      }
+      if (entries_[s].first == key) {
+        *created = false;
+        return entries_[s].second;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Drops the entries but keeps the slot capacity, so a combiner reuses
+  // its table across flushes.
+  void clear() {
+    entries_.clear();
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+    slots_.assign(capacity, kEmpty);
+    const std::size_t mask = capacity - 1;
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      std::size_t i = Hash{}(entries_[e].first) & mask;
+      while (slots_[i] != kEmpty) i = (i + 1) & mask;
+      slots_[i] = static_cast<std::uint32_t>(e);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> slots_;
+};
+
+// One batch of (key, aggregate) entries produced by a single shuffle-write
+// task (or one combiner flush of it) for a single output bucket. `src` is
+// the input partition and `seq` the flush index within that task; together
+// they give the merge phase its deterministic visit order.
+template <typename K, typename A>
+struct ShuffleSegment {
+  std::size_t src = 0;
+  std::size_t seq = 0;
+  std::vector<std::pair<K, A>> entries;
+};
+
+// Collection point between the two phases. Writers append segments to
+// per-(slot, bucket) vectors without synchronization; a writer without a
+// slot takes the counted overflow mutex instead (never hit when stage
+// bodies run on the engine's own pool). Readers may only call
+// bucket_segments() after every writer finished (the stage barrier).
+template <typename K, typename A>
+class ShuffleSink {
+ public:
+  using Segment = ShuffleSegment<K, A>;
+
+  ShuffleSink(std::size_t slots, std::size_t buckets)
+      : per_slot_(slots, std::vector<std::vector<Segment>>(buckets)),
+        overflow_(buckets) {}
+
+  std::size_t buckets() const { return overflow_.size(); }
+
+  void push(std::size_t slot, std::size_t bucket, Segment&& segment) {
+    DIAS_EXPECTS(bucket < overflow_.size(), "shuffle bucket out of range");
+    if (slot < per_slot_.size()) {
+      per_slot_[slot][bucket].push_back(std::move(segment));
+      return;
+    }
+    shuffle_fallback_locks().fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard guard(overflow_mu_);
+    overflow_[bucket].push_back(std::move(segment));
+  }
+
+  // Every segment destined for `bucket`, sorted by (src, seq). Pointers
+  // stay valid until the sink is destroyed; the caller may move from the
+  // segments it receives.
+  std::vector<Segment*> bucket_segments(std::size_t bucket) {
+    DIAS_EXPECTS(bucket < overflow_.size(), "shuffle bucket out of range");
+    std::vector<Segment*> out;
+    for (auto& slot : per_slot_) {
+      for (auto& segment : slot[bucket]) out.push_back(&segment);
+    }
+    for (auto& segment : overflow_[bucket]) out.push_back(&segment);
+    std::sort(out.begin(), out.end(), [](const Segment* a, const Segment* b) {
+      if (a->src != b->src) return a->src < b->src;
+      return a->seq < b->seq;
+    });
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<std::vector<Segment>>> per_slot_;  // [slot][bucket]
+  std::mutex overflow_mu_;
+  std::vector<std::vector<Segment>> overflow_;  // [bucket], under overflow_mu_
+};
+
+}  // namespace detail
+}  // namespace dias::engine

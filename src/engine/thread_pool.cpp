@@ -8,13 +8,29 @@
 #include "common/error.hpp"
 
 namespace dias::engine {
+namespace {
+
+// Which pool (if any) owns the current thread, and under which slot. A
+// worker thread belongs to exactly one pool for its whole lifetime, so a
+// plain thread_local pair is enough to answer current_slot() for any pool.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  std::size_t slot = ThreadPool::kNoSlot;
+};
+thread_local WorkerIdentity tl_worker;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   DIAS_EXPECTS(workers >= 1, "thread pool needs at least one worker");
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+std::size_t ThreadPool::current_slot() const {
+  return tl_worker.pool == this ? tl_worker.slot : kNoSlot;
 }
 
 ThreadPool::~ThreadPool() {
@@ -90,7 +106,8 @@ std::size_t ThreadPool::pending() {
   return queue_.size();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+  tl_worker = WorkerIdentity{this, slot};
   for (;;) {
     std::packaged_task<void()> task;
     std::size_t depth;

@@ -27,6 +27,15 @@ class ThreadPool {
 
   std::size_t workers() const { return threads_.size(); }
 
+  // Stable worker-slot id of the calling thread within *this* pool:
+  // 0..workers()-1 when called from one of the pool's worker threads,
+  // kNoSlot otherwise (including workers of a different pool). Slots are
+  // assigned at construction and never change, so stages can keep
+  // per-thread state (e.g. shuffle write buffers) in a plain vector
+  // indexed without synchronization.
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::size_t current_slot() const;
+
   // Enqueues a task; the future resolves when it ran (or rethrows).
   std::future<void> submit(std::function<void()> task);
 
@@ -49,7 +58,7 @@ class ThreadPool {
   void attach_metrics(obs::Registry& registry, const std::string& prefix);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t slot);
 
   std::vector<std::thread> threads_;
   std::queue<std::packaged_task<void()>> queue_;

@@ -1,0 +1,355 @@
+// Property tests for the two-phase shuffle (engine/shuffle.hpp +
+// Engine::combine_by_key): for randomized, seeded key/value sets across
+// skew levels, partition counts and combine on/off, the shuffle must be
+// result-equivalent (as a sorted multiset) to a single-threaded reference
+// reduce — including under fault injection and theta > 0 on the reduce
+// side — must be bitwise deterministic run-to-run, and must never take a
+// mutex on the write path while running on the engine's own pool.
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dias::engine {
+namespace {
+
+using KV = std::pair<std::uint64_t, std::int64_t>;
+
+// Seeded workload generator. `skew` = 0 draws keys uniformly from
+// [0, key_space); higher skew concentrates mass on low keys (power-law),
+// the distribution that serialized the old per-bucket-mutex shuffle.
+std::vector<KV> make_records(std::uint64_t seed, std::size_t n, std::uint64_t key_space,
+                             double skew) {
+  Rng rng(seed);
+  std::vector<KV> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    const auto key = static_cast<std::uint64_t>(
+        static_cast<double>(key_space - 1) * std::pow(u, 1.0 + skew));
+    out.emplace_back(key, static_cast<std::int64_t>(rng.uniform_int(1000)) - 500);
+  }
+  return out;
+}
+
+// Single-threaded reference reduce (sum), sorted by key.
+std::vector<KV> reference_sums(const std::vector<KV>& records) {
+  std::map<std::uint64_t, std::int64_t> acc;
+  for (const auto& [k, v] : records) acc[k] += v;
+  return {acc.begin(), acc.end()};
+}
+
+std::vector<KV> sorted_collect(const Dataset<KV>& ds) {
+  auto all = ds.collect();
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+Engine::Options engine_opts(std::uint64_t seed, double drop = 0.0) {
+  Engine::Options o;
+  o.workers = 4;
+  o.seed = seed;
+  o.drop_ratio = drop;
+  return o;
+}
+
+// The reduce stage of a shuffle is the last stage logged; its executed ids
+// tell us which buckets survived theta on the reduce side.
+std::set<std::size_t> executed_buckets(const Engine& eng) {
+  const auto& stage = eng.stage_log().back();
+  EXPECT_EQ(stage.kind, EngineStageKind::kReduce);
+  return {stage.executed_partition_ids.begin(), stage.executed_partition_ids.end()};
+}
+
+TEST(ShufflePropertyTest, EquivalentToReferenceAcrossConfigurations) {
+  const double skews[] = {0.0, 2.0, 6.0};
+  const std::size_t in_parts[] = {1, 3, 8};
+  const std::size_t out_parts[] = {1, 4, 9};
+  std::uint64_t seed = 1000;
+  for (const double skew : skews) {
+    for (const std::size_t in_p : in_parts) {
+      for (const std::size_t out_p : out_parts) {
+        for (const bool combine : {true, false}) {
+          SCOPED_TRACE(testing::Message() << "skew=" << skew << " in=" << in_p
+                                          << " out=" << out_p << " combine=" << combine);
+          const auto records = make_records(++seed, 4000, 257, skew);
+          const auto expected = reference_sums(records);
+          Engine eng(engine_opts(seed));
+          const auto ds = eng.parallelize(records, in_p);
+          ShuffleOptions shuffle;
+          shuffle.combine = combine;
+          const auto reduced = eng.reduce_by_key(
+              ds, [](std::int64_t a, std::int64_t b) { return a + b; }, out_p, {},
+              shuffle);
+          EXPECT_EQ(sorted_collect(reduced), expected);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShufflePropertyTest, TinyCombinerBudgetForcesFlushesAndStaysCorrect) {
+  const auto records = make_records(7, 20000, 401, 1.5);
+  const auto expected = reference_sums(records);
+  Engine eng(engine_opts(7));
+  const auto ds = eng.parallelize(records, 6);
+  ShuffleOptions shuffle;
+  shuffle.combine = true;
+  shuffle.target_buffer_bytes = 256;  // absurdly small: flush constantly
+  eng.clear_stage_log();
+  const auto reduced = eng.reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 5, {}, shuffle);
+  EXPECT_EQ(sorted_collect(reduced), expected);
+  ASSERT_EQ(eng.stage_log().size(), 2u);
+  const auto& write = eng.stage_log()[0];
+  EXPECT_GT(write.shuffle_flushes, 0u);
+  EXPECT_EQ(write.shuffle_records_in, 20000u);
+}
+
+TEST(ShufflePropertyTest, ThetaOnReduceSideDropsWholeBuckets) {
+  for (const double theta : {0.3, 0.7, 1.0}) {
+    for (const bool combine : {true, false}) {
+      SCOPED_TRACE(testing::Message() << "theta=" << theta << " combine=" << combine);
+      const auto records = make_records(42, 5000, 199, 1.0);
+      Engine eng(engine_opts(42));
+      const auto ds = eng.parallelize(records, 5);
+      constexpr std::size_t kOut = 8;
+      StageOptions opts;
+      opts.droppable = true;
+      opts.drop_ratio_override = theta;
+      ShuffleOptions shuffle;
+      shuffle.combine = combine;
+      eng.clear_stage_log();
+      const auto reduced = eng.reduce_by_key(
+          ds, [](std::int64_t a, std::int64_t b) { return a + b; }, kOut, opts, shuffle);
+      const auto survivors = executed_buckets(eng);
+      // Dropped buckets contribute nothing; surviving buckets are exact.
+      std::vector<KV> expected;
+      for (const auto& kv : reference_sums(records)) {
+        if (survivors.count(std::hash<std::uint64_t>{}(kv.first) % kOut) != 0) {
+          expected.push_back(kv);
+        }
+      }
+      EXPECT_EQ(sorted_collect(reduced), expected);
+      const auto expected_buckets = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(kOut) * (1.0 - theta) - 1e-12));
+      EXPECT_EQ(survivors.size(), expected_buckets);
+    }
+  }
+}
+
+TEST(ShufflePropertyTest, EquivalentUnderFaultInjection) {
+  const auto records = make_records(11, 6000, 307, 2.0);
+  const auto expected = reference_sums(records);
+  for (const bool combine : {true, false}) {
+    SCOPED_TRACE(testing::Message() << "combine=" << combine);
+    Engine::Options o = engine_opts(11);
+    o.fault.injection.fail_prob = 0.25;
+    o.fault.injection.seed = 99;
+    o.fault.max_attempts = 8;  // ample budget: exhaustion would be fatal here
+    Engine eng(o);
+    const auto ds = eng.parallelize(records, 7);
+    ShuffleOptions shuffle;
+    shuffle.combine = combine;
+    eng.clear_stage_log();
+    const auto reduced = eng.reduce_by_key(
+        ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 6, {}, shuffle);
+    EXPECT_EQ(sorted_collect(reduced), expected);
+    // The injector really fired: retries happened on the shuffle stages.
+    std::size_t retries = 0;
+    for (const auto& s : eng.stage_log()) retries += s.retries;
+    EXPECT_GT(retries, 0u);
+  }
+}
+
+TEST(ShufflePropertyTest, GroupByKeyMatchesReferenceGrouping) {
+  const auto records = make_records(23, 3000, 97, 1.0);
+  std::map<std::uint64_t, std::vector<std::int64_t>> expected;
+  for (const auto& [k, v] : records) expected[k].push_back(v);
+  for (auto& [k, vs] : expected) std::sort(vs.begin(), vs.end());
+
+  Engine eng(engine_opts(23));
+  const auto ds = eng.parallelize(records, 5);
+  const auto grouped = eng.group_by_key(ds, 4);
+  std::map<std::uint64_t, std::vector<std::int64_t>> actual;
+  for (auto& [k, vs] : grouped.collect()) {
+    auto sorted = vs;
+    std::sort(sorted.begin(), sorted.end());
+    const bool inserted = actual.emplace(k, std::move(sorted)).second;
+    EXPECT_TRUE(inserted) << "key " << k << " appears in two buckets";
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+// The merge phase visits segments in (source partition, flush) order, so
+// even floating-point reductions are bitwise reproducible for a fixed
+// seed, regardless of thread scheduling.
+TEST(ShufflePropertyTest, FloatingPointReductionIsBitwiseDeterministic) {
+  const auto ints = make_records(31, 8000, 149, 3.0);
+  std::vector<std::pair<std::uint64_t, double>> records;
+  records.reserve(ints.size());
+  for (const auto& [k, v] : ints) {
+    records.emplace_back(k, static_cast<double>(v) * 1.0e-3 + 0.1);
+  }
+  auto run = [&](ShuffleOptions shuffle) {
+    Engine eng(engine_opts(31));
+    const auto ds = eng.parallelize(records, 6);
+    const auto reduced =
+        eng.reduce_by_key(ds, [](double a, double b) { return a + b; }, 5, {}, shuffle);
+    std::vector<std::vector<std::pair<std::uint64_t, double>>> parts;
+    for (std::size_t p = 0; p < reduced.partitions(); ++p) {
+      parts.push_back(reduced.partition(p));
+    }
+    return parts;
+  };
+  for (const bool combine : {true, false}) {
+    ShuffleOptions shuffle;
+    shuffle.combine = combine;
+    shuffle.target_buffer_bytes = 4096;  // several flushes per task
+    const auto first = run(shuffle);
+    const auto second = run(shuffle);
+    // Exact equality, order included: the output is a pure function of the
+    // input and the engine seed.
+    EXPECT_EQ(first, second) << "combine=" << combine;
+  }
+}
+
+TEST(ShufflePropertyTest, CombiningShrinksShuffledRecordsAndLogsStats) {
+  // 40 distinct keys over 30k records: combining should collapse almost
+  // everything on the map side.
+  const auto records = make_records(57, 30000, 40, 0.0);
+  Engine eng(engine_opts(57));
+  obs::Registry registry;
+  obs::Tracer tracer;
+  eng.attach_observability(&registry, &tracer);
+  const auto ds = eng.parallelize(records, 4);
+  eng.clear_stage_log();
+  eng.reduce_by_key(ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 4);
+  ASSERT_EQ(eng.stage_log().size(), 2u);
+  const auto& write = eng.stage_log()[0];
+  const auto& merge = eng.stage_log()[1];
+  EXPECT_EQ(write.shuffle_records_in, 30000u);
+  EXPECT_LE(write.shuffle_records_out, 4u * 40u);  // <= keys x map tasks
+  EXPECT_GT(write.shuffle_records_out, 0u);
+  EXPECT_GT(write.shuffle_bytes, 0u);
+  EXPECT_EQ(merge.shuffle_records_in, write.shuffle_records_out);
+  // Metrics mirror the stage log; the tracer carries both sub-stage events.
+  EXPECT_EQ(registry.counter("engine.shuffle.records_in").value(), 30000u);
+  EXPECT_EQ(registry.counter("engine.shuffle.records_out").value(),
+            write.shuffle_records_out);
+  EXPECT_EQ(registry.histogram("engine.shuffle.combine_ratio", 0.0, 1.0, 50)
+                .stats()
+                .count,
+            1u);
+  std::ostringstream jsonl;
+  tracer.write_jsonl(jsonl);
+  const std::string events = jsonl.str();
+  EXPECT_NE(events.find("engine.shuffle.write"), std::string::npos);
+  EXPECT_NE(events.find("engine.shuffle.merge"), std::string::npos);
+  eng.attach_observability(nullptr, nullptr);
+}
+
+// Regression for the per-element locking bug class: the shuffle write path
+// must not acquire any mutex when stage bodies run on the engine's own
+// pool (the only locked lane is the overflow fallback for foreign
+// threads, and it counts every acquisition).
+TEST(ShuffleWritePathTest, ZeroMutexAcquisitionsOnPoolThreads) {
+  detail::shuffle_fallback_locks().store(0);
+  const auto records = make_records(71, 10000, 123, 2.0);
+  Engine eng(engine_opts(71));
+  const auto ds = eng.parallelize(records, 8);
+  for (const bool combine : {true, false}) {
+    ShuffleOptions shuffle;
+    shuffle.combine = combine;
+    shuffle.target_buffer_bytes = 1024;
+    eng.reduce_by_key(ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 7, {},
+                      shuffle);
+  }
+  eng.group_by_key(ds, 5);
+  std::vector<std::uint64_t> keys;
+  for (const auto& [k, v] : records) keys.push_back(k % 64);
+  eng.distinct(eng.parallelize(std::move(keys), 6), 4);
+  EXPECT_EQ(detail::shuffle_fallback_locks().load(), 0u);
+}
+
+TEST(ShuffleSinkTest, ForeignThreadTakesCountedFallbackLock) {
+  detail::ShuffleSink<int, int> sink(2, 3);
+  const auto before = detail::shuffle_fallback_locks().load();
+  // Slot-less writer (e.g. the driver thread): lands in the overflow lane.
+  sink.push(ThreadPool::kNoSlot, 1, {0, 0, {{5, 1}}});
+  EXPECT_EQ(detail::shuffle_fallback_locks().load(), before + 1);
+  // Slotted writers stay lock-free.
+  sink.push(0, 1, {2, 0, {{6, 1}}});
+  sink.push(1, 1, {1, 0, {{7, 1}}});
+  EXPECT_EQ(detail::shuffle_fallback_locks().load(), before + 1);
+  // bucket_segments interleaves overflow and slot segments in src order.
+  const auto segments = sink.bucket_segments(1);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0]->src, 0u);
+  EXPECT_EQ(segments[1]->src, 1u);
+  EXPECT_EQ(segments[2]->src, 2u);
+  EXPECT_TRUE(sink.bucket_segments(0).empty());
+}
+
+TEST(FlatMapTest, InsertionOrderDedupAndGrowth) {
+  detail::FlatMap<std::string, int> map;
+  EXPECT_TRUE(map.empty());
+  // Enough keys to force several growths.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      bool created = false;
+      int& v = map.find_or_emplace("key" + std::to_string(i), [] { return 0; }, &created);
+      EXPECT_EQ(created, round == 0) << "i=" << i << " round=" << round;
+      ++v;
+    }
+  }
+  ASSERT_EQ(map.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    // Entries come back in first-insertion order with folded values.
+    EXPECT_EQ(map.entries()[static_cast<std::size_t>(i)].first,
+              "key" + std::to_string(i));
+    EXPECT_EQ(map.entries()[static_cast<std::size_t>(i)].second, 3);
+  }
+  const std::size_t bytes = map.approx_bytes();
+  EXPECT_GT(bytes, 100u * sizeof(std::pair<std::string, int>) - 1);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  bool created = false;
+  map.find_or_emplace("key3", [] { return 9; }, &created);
+  EXPECT_TRUE(created);  // cleared maps forget their keys but keep capacity
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ShufflePropertyTest, StringKeysWorkEndToEnd) {
+  Rng rng(123);
+  std::vector<std::pair<std::string, std::int64_t>> records;
+  for (int i = 0; i < 5000; ++i) {
+    records.emplace_back("w" + std::to_string(rng.uniform_int(200)), 1);
+  }
+  std::map<std::string, std::int64_t> expected;
+  for (const auto& [k, v] : records) expected[k] += v;
+
+  Engine eng(engine_opts(123));
+  const auto ds = eng.parallelize(records, 6);
+  const auto reduced =
+      eng.reduce_by_key(ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 5);
+  std::map<std::string, std::int64_t> actual;
+  for (const auto& [k, v] : reduced.collect()) actual[k] = v;
+  EXPECT_EQ(actual, expected);
+}
+
+}  // namespace
+}  // namespace dias::engine
