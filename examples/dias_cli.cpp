@@ -5,18 +5,24 @@
 // A downstream-user-facing driver: describe a two-priority workload with
 // flags, run any of the paper's policies, and get per-class latency, waste
 // and energy (optionally as CSV for scripting).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analytics/word_count.hpp"
 #include "core/controller.hpp"
+#include "core/dispatcher.hpp"
 #include "engine/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/sprint_governor.hpp"
 #include "workload/text_corpus.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -54,7 +60,16 @@ void usage(const char* prog) {
       "  --speculation                 speculatively re-execute stage-tail stragglers\n"
       "  --fault-all-stages            inject into non-droppable stages too (a dead\n"
       "                                task there aborts the job with TaskFailedError)\n"
-      "  --fault-seed <n>              injector seed (default 99)\n",
+      "  --fault-seed <n>              injector seed (default 99)\n"
+      "runtime sprinting (elastic pool + sprint governor on the real engine):\n"
+      "  --runtime-sprint              run bursty two-class traffic through the\n"
+      "                                real dispatcher; the high class sprints by\n"
+      "                                leasing the engine's reserve worker slots\n"
+      "                                after --sprint-timeout, spending\n"
+      "                                --sprint-budget Joules\n"
+      "  --reserve-workers <n>         dormant slots the governor may lease (default 6)\n"
+      "  --sprint-replenish <W>        budget replenish rate in Watts (default 0)\n"
+      "  --bursts <n>                  arrival bursts to submit (default 8)\n",
       prog);
 }
 
@@ -117,6 +132,93 @@ int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
     std::printf("  %zu distinct words, executed fraction %.3f, %.1f ms\n",
                 result.counts.size(), result.executed_fraction(),
                 1000.0 * result.duration_s);
+  }
+  return 0;
+}
+
+// --runtime-sprint: bursty two-class traffic on the real stack. Each burst
+// is one wide high-priority job plus three narrow low-priority jobs; only
+// the high class has a finite Tk, so sprints are differential. Reports
+// per-class response times plus the governor's grant/deny/energy ledger.
+int run_runtime_sprint(std::size_t bursts, std::size_t reserve, double timeout_s,
+                       double budget_j, double replenish_w, bool csv,
+                       obs::Registry* metrics, obs::Tracer* tracer) {
+  engine::Engine::Options opts;
+  opts.workers = 2;
+  opts.reserve_workers = reserve;
+  engine::Engine eng(opts);
+
+  runtime::SprintGovernorConfig config;
+  config.budget.budget_joules = budget_j;
+  config.budget.budget_cap_joules = budget_j;
+  config.budget.replenish_watts = replenish_w;
+  config.timeout_s = {std::numeric_limits<double>::infinity(), timeout_s};
+  runtime::SprintGovernor governor(config, eng.pool());
+  core::DiasDispatcher dispatcher({0.0, 0.0});
+  governor.attach_observability(metrics, tracer);
+  dispatcher.attach_observability(metrics, tracer);
+  dispatcher.attach_sprint_governor(&governor);
+
+  const auto stage_job = [&eng](std::size_t partitions) {
+    std::vector<int> values(partitions);
+    for (std::size_t i = 0; i < partitions; ++i) values[i] = static_cast<int>(i);
+    auto ds = eng.parallelize(std::move(values), partitions);
+    engine::StageOptions sopts;
+    sopts.name = "burst";
+    sopts.droppable = false;
+    eng.map_partitions(
+        ds,
+        [](const std::vector<int>& part) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          return part;
+        },
+        sopts);
+  };
+  for (std::size_t b = 0; b < bursts; ++b) {
+    dispatcher.submit(1, [&](double) { stage_job(16); });
+    for (int j = 0; j < 3; ++j) dispatcher.submit(0, [&](double) { stage_job(4); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  }
+  const auto records = dispatcher.drain();
+
+  std::vector<double> responses[2];
+  double sprint_s[2] = {0.0, 0.0};
+  for (const auto& r : records) {
+    responses[r.priority].push_back(r.response_s());
+    sprint_s[r.priority] += r.sprint_s();
+  }
+  if (csv) {
+    std::printf("class,completed,mean_s,p95_s,sprint_s\n");
+  } else {
+    std::printf("runtime sprinting: %zu bursts, 2+%zu workers, Tk %.3f s, "
+                "budget %.1f J, replenish %.1f W\n",
+                bursts, reserve, timeout_s, budget_j, replenish_w);
+  }
+  for (std::size_t k = 2; k-- > 0;) {
+    auto& rs = responses[k];
+    if (rs.empty()) continue;
+    std::sort(rs.begin(), rs.end());
+    double mean = 0.0;
+    for (double r : rs) mean += r;
+    mean /= static_cast<double>(rs.size());
+    const double p95 = rs[static_cast<std::size_t>(0.95 * double(rs.size() - 1))];
+    if (csv) {
+      std::printf("%zu,%zu,%.3f,%.3f,%.3f\n", k, rs.size(), mean, p95, sprint_s[k]);
+    } else {
+      std::printf("  class %zu (%s): %zu jobs, mean %.3f s, p95 %.3f s, "
+                  "sprinted %.3f s\n",
+                  k, k == 1 ? "high" : "low", rs.size(), mean, p95, sprint_s[k]);
+    }
+  }
+  if (csv) {
+    std::printf("sprints_granted,%zu\nsprints_denied,%zu\nenergy_consumed_j,%.1f\n",
+                governor.sprints_granted(), governor.sprints_denied(),
+                governor.budget_consumed());
+  } else {
+    std::printf("  sprints: %zu granted, %zu denied; energy %.1f J consumed, "
+                "%.1f J left\n",
+                governor.sprints_granted(), governor.sprints_denied(),
+                governor.budget_consumed(), governor.budget_level());
   }
   return 0;
 }
@@ -186,6 +288,10 @@ int main(int argc, char** argv) {
   std::string trace_out;
 
   bool engine_wordcount = false;
+  bool runtime_sprint = false;
+  std::size_t reserve_workers = 6;
+  double sprint_replenish = 0.0;
+  std::size_t bursts = 8;
   std::size_t rows = 2000;
   std::size_t partitions = 40;
   engine::FaultToleranceOptions fault;
@@ -240,6 +346,14 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (arg == "--engine-wordcount") {
       engine_wordcount = true;
+    } else if (arg == "--runtime-sprint") {
+      runtime_sprint = true;
+    } else if (arg == "--reserve-workers") {
+      reserve_workers = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--sprint-replenish") {
+      sprint_replenish = std::stod(next());
+    } else if (arg == "--bursts") {
+      bursts = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--rows") {
       rows = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--partitions") {
@@ -270,6 +384,15 @@ int main(int argc, char** argv) {
   obs::Registry obs_metrics;
   obs::Tracer obs_tracer;
   const bool want_obs = !metrics_out.empty() || !trace_out.empty();
+
+  if (runtime_sprint) {
+    const int rc = run_runtime_sprint(bursts, reserve_workers, sprint_timeout,
+                                      sprint_budget, sprint_replenish, csv,
+                                      want_obs ? &obs_metrics : nullptr,
+                                      want_obs ? &obs_tracer : nullptr);
+    if (!flush_observability(metrics_out, trace_out, obs_metrics, obs_tracer)) return 1;
+    return rc;
+  }
 
   if (engine_wordcount) {
     const int rc = run_engine_wordcount(theta.empty() ? 0.2 : theta.front(), rows,

@@ -1,76 +1,14 @@
 #include "cluster/sprinter.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/error.hpp"
 
 namespace dias::cluster {
 
 SprintBudget::SprintBudget(const SprintConfig& config, sim::Time now)
-    : config_(config), level_(config.budget_joules), last_update_(now) {
-  DIAS_EXPECTS(config_.speedup >= 1.0, "sprint speedup must be >= 1");
-  DIAS_EXPECTS(config_.sprint_power_w >= config_.base_power_w,
-               "sprint power must be >= base power");
-  DIAS_EXPECTS(config_.replenish_watts >= 0.0, "replenish rate must be non-negative");
-  DIAS_EXPECTS(config_.budget_joules >= 0.0, "budget must be non-negative");
-}
-
-void SprintBudget::advance(sim::Time now) {
-  DIAS_EXPECTS(now >= last_update_, "sprint budget cannot move backwards in time");
-  const double dt = now - last_update_;
-  if (dt > 0.0) {
-    if (sprinting_) {
-      const double net = config_.extra_power() - config_.replenish_watts;
-      level_ = std::max(0.0, level_ - net * dt);
-      consumed_ += config_.extra_power() * dt;
-    } else {
-      level_ = std::min(config_.budget_cap_joules, level_ + config_.replenish_watts * dt);
-    }
-  }
-  last_update_ = now;
-}
-
-double SprintBudget::level(sim::Time now) const {
-  SprintBudget copy = *this;
-  copy.advance(now);
-  return copy.level_;
-}
-
-double SprintBudget::consumed(sim::Time now) const {
-  SprintBudget copy = *this;
-  copy.advance(now);
-  return copy.consumed_;
-}
-
-sim::Time SprintBudget::begin_sprint(sim::Time now) {
-  advance(now);
-  DIAS_EXPECTS(!sprinting_, "sprint already active");
-  sprinting_ = true;
-  publish();
-  const double net = config_.extra_power() - config_.replenish_watts;
-  if (!std::isfinite(level_) || net <= 0.0) {
-    return std::numeric_limits<double>::infinity();
-  }
-  return now + level_ / net;
-}
-
-void SprintBudget::end_sprint(sim::Time now) {
-  advance(now);
-  DIAS_EXPECTS(sprinting_, "no sprint active");
-  sprinting_ = false;
-  publish();
-}
-
-void SprintBudget::attach_gauges(obs::Gauge* level, obs::Gauge* consumed) {
-  level_gauge_ = level;
-  consumed_gauge_ = consumed;
-  publish();
-}
-
-void SprintBudget::publish() const {
-  if (level_gauge_ != nullptr) level_gauge_->set(level_);
-  if (consumed_gauge_ != nullptr) consumed_gauge_->set(consumed_);
+    : budget_(config.energy_config(), now) {
+  // Power/replenish/budget bounds are validated by the shared policy; the
+  // speedup is simulator-only, so it is checked here.
+  DIAS_EXPECTS(config.speedup >= 1.0, "sprint speedup must be >= 1");
 }
 
 }  // namespace dias::cluster

@@ -5,12 +5,17 @@
 // (sprint_power - base_power); while idle it replenishes at a configured
 // rate up to a cap (e.g. "6 sprinting minutes per hour"). A job sprints
 // from its class timeout Tk until it completes or the budget depletes.
+//
+// The accounting itself lives in runtime::EnergyBudget — one policy shared
+// with the real-engine SprintGovernor — and SprintBudget is the simulation
+// host: it keeps the sim-facing API and feeds simulation time through.
 #pragma once
 
 #include <limits>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "runtime/energy_budget.hpp"
 #include "sim/simulator.hpp"
 
 namespace dias::cluster {
@@ -51,46 +56,50 @@ struct SprintConfig {
     return timeout_s[priority];
   }
   double extra_power() const { return sprint_power_w - base_power_w; }
+
+  // The budget-relevant slice of this config, in the shared policy's terms.
+  runtime::EnergyBudgetConfig energy_config() const {
+    runtime::EnergyBudgetConfig e;
+    e.base_power_w = base_power_w;
+    e.sprint_power_w = sprint_power_w;
+    e.budget_joules = budget_joules;
+    e.replenish_watts = replenish_watts;
+    e.budget_cap_joules = budget_cap_joules;
+    return e;
+  }
 };
 
-// Tracks the sprint budget lazily: the stored level is valid as of
-// `last_update`; queries advance it using the current drain/replenish rate.
+// Simulation-time facade over the shared runtime::EnergyBudget policy; see
+// that class for the accounting semantics.
 class SprintBudget {
  public:
   SprintBudget(const SprintConfig& config, sim::Time now);
 
   // Current budget level at simulation time `now`.
-  double level(sim::Time now) const;
-  bool has_budget(sim::Time now) const { return level(now) > 1e-9; }
+  double level(sim::Time now) const { return budget_.level(now); }
+  bool has_budget(sim::Time now) const { return budget_.has_budget(now); }
 
   // Marks the start of a sprint at `now`. Returns the time at which the
   // budget will deplete if the sprint never ends (infinity when the
   // replenish rate covers the drain or the budget is unlimited).
-  sim::Time begin_sprint(sim::Time now);
+  sim::Time begin_sprint(sim::Time now) { return budget_.begin_sprint(now); }
   // Marks the end of the sprint at `now`.
-  void end_sprint(sim::Time now);
+  void end_sprint(sim::Time now) { budget_.end_sprint(now); }
 
-  bool sprinting() const { return sprinting_; }
+  bool sprinting() const { return budget_.sprinting(); }
   // Total Joules drained by sprints so far (extra power integrated).
-  double consumed(sim::Time now) const;
+  double consumed(sim::Time now) const { return budget_.consumed(now); }
 
   // Mirrors the budget level (Joules) and cumulative consumption into
   // gauges on every state change (null detaches). Levels are as of the
   // begin/end sprint events — lazy advancement means intermediate decay is
   // not published.
-  void attach_gauges(obs::Gauge* level, obs::Gauge* consumed);
+  void attach_gauges(obs::Gauge* level, obs::Gauge* consumed) {
+    budget_.attach_gauges(level, consumed);
+  }
 
  private:
-  void advance(sim::Time now);
-  void publish() const;
-
-  SprintConfig config_;
-  double level_;
-  double consumed_ = 0.0;
-  sim::Time last_update_;
-  bool sprinting_ = false;
-  obs::Gauge* level_gauge_ = nullptr;
-  obs::Gauge* consumed_gauge_ = nullptr;
+  runtime::EnergyBudget budget_;
 };
 
 }  // namespace dias::cluster

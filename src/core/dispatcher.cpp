@@ -36,6 +36,12 @@ void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* t
   }
 }
 
+void DiasDispatcher::attach_sprint_governor(runtime::SprintGovernor* governor) {
+  std::lock_guard lock(mutex_);
+  DIAS_EXPECTS(in_flight_ == 0, "attach the sprint governor before submitting jobs");
+  governor_ = governor;
+}
+
 DiasDispatcher::~DiasDispatcher() {
   {
     std::lock_guard lock(mutex_);
@@ -108,12 +114,23 @@ void DiasDispatcher::dispatcher_loop() {
                                   {"theta", theta},
                                   {"arrival_s", job.record.arrival_s}});
     }
+    if (governor_ != nullptr) governor_->job_started(job.record.priority);
     job.record.start_s = now_s();
     job.fn(theta);
     job.record.completion_s = now_s();
+    if (governor_ != nullptr) {
+      // The governor reports boost windows relative to the job start;
+      // rebase them onto the dispatcher epoch for the record.
+      job.record.sprint_intervals = governor_->job_finished();
+      for (auto& iv : job.record.sprint_intervals) {
+        iv.begin_s += job.record.start_s;
+        iv.end_s += job.record.start_s;
+      }
+    }
     if (tracer_ != nullptr) {
       tracer_->end_span(span, {{"queueing_s", job.record.queueing_s()},
-                               {"response_s", job.record.response_s()}});
+                               {"response_s", job.record.response_s()},
+                               {"sprint_s", job.record.sprint_s()}});
     }
     if (!completed_counters_.empty()) {
       completed_counters_[job.record.priority]->add();

@@ -18,6 +18,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/sprint_governor.hpp"
 
 namespace dias::core {
 
@@ -31,9 +32,17 @@ class DiasDispatcher {
     double arrival_s = 0.0;     // seconds since dispatcher start
     double start_s = 0.0;       // when the engine picked it up
     double completion_s = 0.0;  // when it finished
+    // Boost windows the sprint governor granted this job, in seconds since
+    // dispatcher start (empty without a governor or when it never fired).
+    std::vector<runtime::SprintInterval> sprint_intervals;
     double response_s() const { return completion_s - arrival_s; }
     double queueing_s() const { return start_s - arrival_s; }
     double execution_s() const { return completion_s - start_s; }
+    double sprint_s() const {
+      double acc = 0.0;
+      for (const auto& iv : sprint_intervals) acc += iv.duration_s();
+      return acc;
+    }
   };
 
   // `theta[k]` is the drop ratio in [0, 1] handed to priority-k jobs; the
@@ -60,6 +69,13 @@ class DiasDispatcher {
   // thread beyond the submit ordering.
   void attach_observability(obs::Registry* metrics, obs::Tracer* tracer);
 
+  // Attaches a sprint governor (null detaches): every dispatched job then
+  // runs between job_started/job_finished hooks, so its class's Tk timer
+  // can grant the engine's reserve slots mid-job, and the resulting boost
+  // windows land in the JobRecord. The governor must outlive the
+  // dispatcher; attach before the first submit.
+  void attach_sprint_governor(runtime::SprintGovernor* governor);
+
  private:
   struct Pending {
     JobFn fn;
@@ -81,6 +97,7 @@ class DiasDispatcher {
   bool stopping_ = false;
 
   obs::Tracer* tracer_ = nullptr;                  // set before first submit
+  runtime::SprintGovernor* governor_ = nullptr;    // set before first submit
   std::vector<obs::Counter*> completed_counters_;  // one per class, or empty
   obs::HistogramMetric* response_hist_ = nullptr;
   obs::HistogramMetric* queueing_hist_ = nullptr;

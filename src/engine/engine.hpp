@@ -93,6 +93,10 @@ class Engine {
  public:
   struct Options {
     std::size_t workers = 4;
+    // Dormant reserve slots for sprinting: a SprintGovernor (or any caller
+    // of pool().lease_extra_workers) can activate them mid-job to widen a
+    // running stage. 0 keeps the pool fixed-size.
+    std::size_t reserve_workers = 0;
     std::uint64_t seed = 1;
     // Engine-wide drop ratio in [0, 1] applied to droppable stages.
     // theta == 1 drops every task of a droppable stage — the fully
@@ -105,8 +109,8 @@ class Engine {
   };
 
   explicit Engine(Options options)
-      : options_(options), pool_(options.workers), rng_(options.seed),
-        injector_(options.fault.injection) {
+      : options_(options), pool_(options.workers, options.reserve_workers),
+        rng_(options.seed), injector_(options.fault.injection) {
     DIAS_EXPECTS(options.drop_ratio >= 0.0 && options.drop_ratio <= 1.0,
                  "drop ratio must be in [0,1]");
     DIAS_EXPECTS(options.fault.max_attempts >= 1, "need at least one attempt per task");
@@ -117,6 +121,10 @@ class Engine {
   }
 
   const Options& options() const { return options_; }
+  // The elastic worker pool. Exposed so the sprint governor can lease the
+  // reserve slots; per-slot shuffle state is sized by pool().workers()
+  // (base + reserve), so leases are safe while stages run.
+  ThreadPool& pool() { return pool_; }
   void set_drop_ratio(double theta) {
     DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratio must be in [0,1]");
     options_.drop_ratio = theta;

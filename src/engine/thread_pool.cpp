@@ -21,16 +21,55 @@ thread_local WorkerIdentity tl_worker;
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers, std::size_t reserve)
+    : base_(workers), active_limit_(workers) {
   DIAS_EXPECTS(workers >= 1, "thread pool needs at least one worker");
-  threads_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
+  const std::size_t total = workers + reserve;
+  threads_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 std::size_t ThreadPool::current_slot() const {
   return tl_worker.pool == this ? tl_worker.slot : kNoSlot;
+}
+
+std::size_t ThreadPool::active_workers() {
+  std::lock_guard lock(mutex_);
+  return active_limit_;
+}
+
+std::size_t ThreadPool::lease_extra_workers(std::size_t extra) {
+  std::size_t granted;
+  std::size_t active;
+  {
+    std::lock_guard lock(mutex_);
+    granted = std::min(extra, threads_.size() - active_limit_);
+    active_limit_ += granted;
+    active = active_limit_;
+  }
+  // Freshly activated slots sleep on the same cv as everyone else; wake the
+  // whole pool so they re-check the gate and start pulling queued work.
+  if (granted > 0) cv_.notify_all();
+  if (auto* g = active_workers_gauge_.load(std::memory_order_relaxed)) {
+    g->set(static_cast<double>(active));
+  }
+  return granted;
+}
+
+void ThreadPool::release_extra_workers(std::size_t count) {
+  std::size_t active;
+  {
+    std::lock_guard lock(mutex_);
+    DIAS_EXPECTS(count <= active_limit_ - base_,
+                 "releasing more worker slots than are leased");
+    active_limit_ -= count;
+    active = active_limit_;
+  }
+  if (auto* g = active_workers_gauge_.load(std::memory_order_relaxed)) {
+    g->set(static_cast<double>(active));
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -43,16 +82,42 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
+  // Busy/completed metrics are updated inside the wrapper, *before* the
+  // future is fulfilled: callers may detach metrics and destroy the
+  // registry as soon as their futures resolve, so no metric pointer may be
+  // touched after the promise is set (the worker loop's epilogue would
+  // race that teardown).
+  std::packaged_task<void()> packaged([this, fn = std::move(task)] {
+    auto* busy = busy_workers_.load(std::memory_order_relaxed);
+    if (busy) busy->add(1.0);
+    try {
+      fn();
+    } catch (...) {
+      if (busy) busy->add(-1.0);
+      if (auto* c = tasks_completed_.load(std::memory_order_relaxed)) c->add();
+      throw;
+    }
+    if (busy) busy->add(-1.0);
+    if (auto* c = tasks_completed_.load(std::memory_order_relaxed)) c->add();
+  });
   auto future = packaged.get_future();
   std::size_t depth;
+  bool gated;
   {
     std::lock_guard lock(mutex_);
     DIAS_EXPECTS(!stopping_, "submit on a stopping thread pool");
     queue_.push(std::move(packaged));
     depth = queue_.size();
+    gated = active_limit_ < threads_.size();
   }
-  cv_.notify_one();
+  // With dormant slots, notify_one could land on a gated worker that goes
+  // straight back to sleep and the task would be stranded; wake everyone so
+  // an active worker is guaranteed to see the queue.
+  if (gated) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
   if (auto* c = tasks_submitted_.load(std::memory_order_relaxed)) c->add();
   if (auto* g = queue_depth_.load(std::memory_order_relaxed)) {
     g->set(static_cast<double>(depth));
@@ -62,6 +127,8 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::attach_metrics(obs::Registry& registry, const std::string& prefix) {
   registry.gauge(prefix + ".workers").set(static_cast<double>(workers()));
+  auto& active = registry.gauge(prefix + ".active_workers");
+  active.set(static_cast<double>(active_workers()));
   tasks_submitted_.store(&registry.counter(prefix + ".tasks_submitted"),
                          std::memory_order_relaxed);
   tasks_completed_.store(&registry.counter(prefix + ".tasks_completed"),
@@ -70,13 +137,17 @@ void ThreadPool::attach_metrics(obs::Registry& registry, const std::string& pref
                      std::memory_order_relaxed);
   busy_workers_.store(&registry.gauge(prefix + ".busy_workers"),
                       std::memory_order_relaxed);
+  active_workers_gauge_.store(&active, std::memory_order_relaxed);
 }
 
 void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::size_t)>& task) {
   if (count == 0) return;
-  // One index-stealing lane per worker: each lane pulls the next index off
-  // a shared atomic counter until the range is exhausted. Every index runs
-  // even when some throw; the first observed error is rethrown at the end.
+  // One index-stealing lane per worker *slot*: each lane pulls the next
+  // index off a shared atomic counter until the range is exhausted. Every
+  // index runs even when some throw; the first observed error is rethrown
+  // at the end. Lanes beyond the active limit wait in the queue — if a
+  // lease activates more slots mid-stage they start stealing immediately,
+  // and at stage tail they find the range exhausted and return.
   const std::size_t lanes = std::min(count, workers());
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
@@ -113,8 +184,14 @@ void ThreadPool::worker_loop(std::size_t slot) {
     std::size_t depth;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping
+      cv_.wait(lock, [this, slot] {
+        return stopping_ || (slot < active_limit_ && !queue_.empty());
+      });
+      if (queue_.empty() || slot >= active_limit_) {
+        // Only reachable when stopping: active workers drain the queue,
+        // gated workers leave whatever is queued to the active ones.
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop();
       depth = queue_.size();
@@ -122,11 +199,7 @@ void ThreadPool::worker_loop(std::size_t slot) {
     if (auto* g = queue_depth_.load(std::memory_order_relaxed)) {
       g->set(static_cast<double>(depth));
     }
-    auto* busy = busy_workers_.load(std::memory_order_relaxed);
-    if (busy) busy->add(1.0);
     task();
-    if (busy) busy->add(-1.0);
-    if (auto* c = tasks_completed_.load(std::memory_order_relaxed)) c->add();
   }
 }
 

@@ -1,6 +1,19 @@
-// Fixed-size worker pool used by the mini MapReduce engine to execute the
+// Elastic worker pool used by the mini MapReduce engine to execute the
 // tasks of a stage concurrently, mirroring Spark executors running one task
 // per core.
+//
+// Elasticity (the runtime sprinting substrate): the pool is constructed
+// with `workers` base slots plus `reserve` extra slots. All base+reserve
+// threads exist from construction with stable slot ids, but only the first
+// `active_workers()` of them pull tasks; the rest sleep. A sprint lease
+// (lease_extra_workers / SlotLease) raises the active limit so a running
+// stage's parallelism grows mid-flight — run_indexed() submits one
+// index-stealing lane per *slot*, so lanes queued beyond the active limit
+// start executing the moment a lease activates their worker. Revocation is
+// non-preemptive: a deactivated worker finishes its current task, then goes
+// back to sleep. Slot ids never change across lease changes, which is what
+// keeps per-slot state (shuffle write buffers) safe: containers sized by
+// workers() cover every slot that can ever run.
 #pragma once
 
 #include <atomic>
@@ -20,12 +33,31 @@ namespace dias::engine {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t workers);
+  // `workers` base slots are always active; `reserve` additional slots
+  // start dormant and activate only through a lease.
+  explicit ThreadPool(std::size_t workers, std::size_t reserve = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // Total slots (base + reserve). Per-slot containers must use this size:
+  // any of these slots can run tasks once leased.
   std::size_t workers() const { return threads_.size(); }
+  // Base slots: the floor the active limit can never drop below.
+  std::size_t base_workers() const { return base_; }
+  // Slots currently allowed to pull tasks (base <= active <= workers()).
+  std::size_t active_workers();
+
+  // --- slot-lease protocol (see SlotLease for the RAII form) --------------
+  // Activates up to `extra` reserve slots; returns how many were actually
+  // granted (less when the reserve is partly leased out already). Takes
+  // effect immediately: sleeping workers wake and start pulling queued
+  // work, including lanes of a stage already in flight.
+  std::size_t lease_extra_workers(std::size_t extra);
+  // Returns `count` previously leased slots. Non-preemptive: a worker past
+  // the new limit finishes its current task before going dormant. It is a
+  // precondition error to release more than is currently leased.
+  void release_extra_workers(std::size_t count);
 
   // Stable worker-slot id of the calling thread within *this* pool:
   // 0..workers()-1 when called from one of the pool's worker threads,
@@ -41,9 +73,10 @@ class ThreadPool {
 
   // Runs `count` indexed tasks and waits for all of them; the first
   // observed exception (if any) is rethrown after every task finished.
-  // Internally submits one index-stealing loop per worker instead of one
-  // queue entry per task, so per-task overhead stays O(1) allocations per
-  // *stage* rather than per task.
+  // Internally submits one index-stealing loop per worker slot instead of
+  // one queue entry per task, so per-task overhead stays O(1) allocations
+  // per *stage* rather than per task, and a mid-stage lease immediately
+  // widens the stage (the extra lanes are already queued).
   void run_indexed(std::size_t count, const std::function<void(std::size_t)>& task);
 
   // Tasks enqueued but not yet picked up by a worker (diagnostic; the
@@ -51,16 +84,19 @@ class ThreadPool {
   std::size_t pending();
 
   // Attaches pool metrics under `prefix` (e.g. "engine.pool"): submitted /
-  // completed task counters, a queue-depth gauge, a busy-workers gauge and
-  // a static worker-count gauge. Handles are atomic pointers, so updates
-  // cost one relaxed load plus one atomic op when attached and a single
-  // branch when not; attach before submitting work for coherent numbers.
+  // completed task counters, a queue-depth gauge, a busy-workers gauge, a
+  // static worker-count gauge and an active-workers gauge tracking lease
+  // changes. Handles are atomic pointers, so updates cost one relaxed load
+  // plus one atomic op when attached and a single branch when not; attach
+  // before submitting work for coherent numbers.
   void attach_metrics(obs::Registry& registry, const std::string& prefix);
 
  private:
   void worker_loop(std::size_t slot);
 
   std::vector<std::thread> threads_;
+  std::size_t base_ = 0;
+  std::size_t active_limit_ = 0;  // guarded by mutex_
   std::queue<std::packaged_task<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
@@ -70,6 +106,45 @@ class ThreadPool {
   std::atomic<obs::Counter*> tasks_completed_{nullptr};
   std::atomic<obs::Gauge*> queue_depth_{nullptr};
   std::atomic<obs::Gauge*> busy_workers_{nullptr};
+  std::atomic<obs::Gauge*> active_workers_gauge_{nullptr};
+};
+
+// RAII slot lease: grants up to `extra` reserve slots on construction and
+// returns whatever was granted on destruction. Move-only.
+class SlotLease {
+ public:
+  SlotLease() = default;
+  SlotLease(ThreadPool& pool, std::size_t extra)
+      : pool_(&pool), granted_(pool.lease_extra_workers(extra)) {}
+  SlotLease(SlotLease&& other) noexcept
+      : pool_(other.pool_), granted_(other.granted_) {
+    other.pool_ = nullptr;
+    other.granted_ = 0;
+  }
+  SlotLease& operator=(SlotLease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = other.pool_;
+      granted_ = other.granted_;
+      other.pool_ = nullptr;
+      other.granted_ = 0;
+    }
+    return *this;
+  }
+  ~SlotLease() { reset(); }
+  SlotLease(const SlotLease&) = delete;
+  SlotLease& operator=(const SlotLease&) = delete;
+
+  std::size_t granted() const { return granted_; }
+  void reset() {
+    if (pool_ != nullptr && granted_ > 0) pool_->release_extra_workers(granted_);
+    pool_ = nullptr;
+    granted_ = 0;
+  }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::size_t granted_ = 0;
 };
 
 }  // namespace dias::engine

@@ -1,0 +1,87 @@
+#include "runtime/energy_budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dias::runtime {
+
+EnergyBudget::EnergyBudget(const EnergyBudgetConfig& config, double now)
+    : config_(config), level_(config.budget_joules), last_update_(now) {
+  DIAS_EXPECTS(config_.sprint_power_w >= config_.base_power_w,
+               "sprint power must be >= base power");
+  DIAS_EXPECTS(config_.replenish_watts >= 0.0, "replenish rate must be non-negative");
+  DIAS_EXPECTS(config_.budget_joules >= 0.0, "budget must be non-negative");
+}
+
+void EnergyBudget::advance(double now) {
+  DIAS_EXPECTS(now >= last_update_, "sprint budget cannot move backwards in time");
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    if (sprinting_) {
+      const double net = config_.extra_power() - config_.replenish_watts;
+      if (net > 0.0 && std::isfinite(level_)) {
+        // A sprint can only draw what the battery holds plus what flows
+        // in: past the depletion point (level == 0) the net drain stops
+        // and consumption is capped at the replenishment inflow. Wall-
+        // clock hosts revoke a depleted boost a scheduler-latency late;
+        // without this cap that latency would overdraw the budget.
+        const double drained_dt = std::min(dt, level_ / net);
+        level_ = std::max(0.0, level_ - net * drained_dt);
+        consumed_ += config_.extra_power() * drained_dt +
+                     config_.replenish_watts * (dt - drained_dt);
+      } else {
+        level_ = std::max(0.0, level_ - net * dt);
+        consumed_ += config_.extra_power() * dt;
+      }
+    } else {
+      level_ = std::min(config_.budget_cap_joules, level_ + config_.replenish_watts * dt);
+    }
+  }
+  last_update_ = now;
+}
+
+double EnergyBudget::level(double now) const {
+  EnergyBudget copy = *this;
+  copy.advance(now);
+  return copy.level_;
+}
+
+double EnergyBudget::consumed(double now) const {
+  EnergyBudget copy = *this;
+  copy.advance(now);
+  return copy.consumed_;
+}
+
+double EnergyBudget::begin_sprint(double now) {
+  advance(now);
+  DIAS_EXPECTS(!sprinting_, "sprint already active");
+  sprinting_ = true;
+  publish();
+  const double net = config_.extra_power() - config_.replenish_watts;
+  if (!std::isfinite(level_) || net <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return now + level_ / net;
+}
+
+void EnergyBudget::end_sprint(double now) {
+  advance(now);
+  DIAS_EXPECTS(sprinting_, "no sprint active");
+  sprinting_ = false;
+  publish();
+}
+
+void EnergyBudget::attach_gauges(obs::Gauge* level, obs::Gauge* consumed) {
+  level_gauge_ = level;
+  consumed_gauge_ = consumed;
+  publish();
+}
+
+void EnergyBudget::publish() const {
+  if (level_gauge_ != nullptr) level_gauge_->set(level_);
+  if (consumed_gauge_ != nullptr) consumed_gauge_->set(consumed_);
+}
+
+}  // namespace dias::runtime

@@ -1,0 +1,189 @@
+#include "runtime/sprint_governor.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dias::runtime {
+
+SprintGovernor::SprintGovernor(SprintGovernorConfig config, engine::ThreadPool& pool)
+    : config_(std::move(config)), pool_(pool),
+      epoch_(std::chrono::steady_clock::now()), budget_(config_.budget, 0.0) {
+  for (double tk : config_.timeout_s) {
+    DIAS_EXPECTS(tk >= 0.0, "sprint timeouts must be non-negative");
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+SprintGovernor::~SprintGovernor() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    if (boosting_) end_boost(now_s(), "shutdown");
+  }
+  cv_.notify_all();
+  watchdog_.join();
+}
+
+void SprintGovernor::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
+  std::lock_guard lock(mutex_);
+  DIAS_EXPECTS(!job_active_, "attach observability while the governor is idle");
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    granted_counter_ = &metrics->counter("runtime.sprint.granted");
+    denied_counter_ = &metrics->counter("runtime.sprint.denied");
+    budget_revoked_counter_ = &metrics->counter("runtime.sprint.revoked_budget");
+    boost_slots_gauge_ = &metrics->gauge("runtime.sprint.boost_slots");
+    budget_.attach_gauges(&metrics->gauge("runtime.sprint.budget_level_j"),
+                          &metrics->gauge("runtime.sprint.budget_consumed_j"));
+  } else {
+    granted_counter_ = nullptr;
+    denied_counter_ = nullptr;
+    budget_revoked_counter_ = nullptr;
+    boost_slots_gauge_ = nullptr;
+    budget_.attach_gauges(nullptr, nullptr);
+  }
+}
+
+void SprintGovernor::job_started(std::size_t priority) {
+  std::lock_guard lock(mutex_);
+  DIAS_EXPECTS(!job_active_, "the dispatcher is single-runner: finish the previous job");
+  job_active_ = true;
+  job_priority_ = priority;
+  job_start_s_ = now_s();
+  intervals_.clear();
+  const double tk = config_.timeout_for_class(priority);
+  deadline_s_ = std::isfinite(tk) ? job_start_s_ + tk
+                                  : std::numeric_limits<double>::infinity();
+  cv_.notify_all();
+}
+
+std::vector<SprintInterval> SprintGovernor::job_finished() {
+  std::vector<SprintInterval> out;
+  {
+    std::lock_guard lock(mutex_);
+    DIAS_EXPECTS(job_active_, "job_finished without a started job");
+    if (boosting_) end_boost(now_s(), "completed");
+    job_active_ = false;
+    deadline_s_ = std::numeric_limits<double>::infinity();
+    out = std::move(intervals_);
+    intervals_.clear();
+    // Intervals are tracked on the governor clock; hand them out relative
+    // to the job's start so the dispatcher can rebase onto its own epoch.
+    for (auto& iv : out) {
+      iv.begin_s -= job_start_s_;
+      iv.end_s -= job_start_s_;
+    }
+  }
+  cv_.notify_all();
+  return out;
+}
+
+bool SprintGovernor::sprinting() const {
+  std::lock_guard lock(mutex_);
+  return boosting_;
+}
+
+std::size_t SprintGovernor::sprints_granted() const {
+  std::lock_guard lock(mutex_);
+  return granted_total_;
+}
+
+std::size_t SprintGovernor::sprints_denied() const {
+  std::lock_guard lock(mutex_);
+  return denied_total_;
+}
+
+double SprintGovernor::budget_level() const {
+  std::lock_guard lock(mutex_);
+  return budget_.level(now_s());
+}
+
+double SprintGovernor::budget_consumed() const {
+  std::lock_guard lock(mutex_);
+  return budget_.consumed(now_s());
+}
+
+void SprintGovernor::begin_boost(double now) {
+  const std::size_t reserve = pool_.workers() - pool_.base_workers();
+  const std::size_t want =
+      config_.boost_workers > 0 ? config_.boost_workers : reserve;
+  engine::SlotLease lease(pool_, want);
+  if (lease.granted() == 0) {
+    // Nothing to grant (no reserve, or it is already leased out): burning
+    // budget without extra capacity would be pure waste.
+    ++denied_total_;
+    if (denied_counter_ != nullptr) denied_counter_->add();
+    return;
+  }
+  lease_ = std::move(lease);
+  boosting_ = true;
+  boost_begin_s_ = now;
+  depletion_s_ = budget_.begin_sprint(now);
+  ++granted_total_;
+  if (granted_counter_ != nullptr) granted_counter_->add();
+  if (boost_slots_gauge_ != nullptr) {
+    boost_slots_gauge_->set(static_cast<double>(lease_.granted()));
+  }
+  if (tracer_ != nullptr) {
+    span_ = tracer_->begin_span(
+        "runtime.sprint",
+        {{"priority", std::uint64_t{job_priority_}},
+         {"slots", std::uint64_t{lease_.granted()}},
+         {"since_job_start_s", now - job_start_s_},
+         {"budget_level_j", budget_.level(now)}});
+  }
+}
+
+void SprintGovernor::end_boost(double now, const char* reason) {
+  budget_.end_sprint(now);
+  intervals_.push_back({boost_begin_s_, now});
+  lease_.reset();
+  boosting_ = false;
+  depletion_s_ = std::numeric_limits<double>::infinity();
+  if (boost_slots_gauge_ != nullptr) boost_slots_gauge_->set(0.0);
+  if (tracer_ != nullptr) {
+    tracer_->end_span(span_, {{"reason", reason},
+                              {"duration_s", now - boost_begin_s_},
+                              {"budget_consumed_j", budget_.consumed(now)}});
+    span_ = 0;
+  }
+}
+
+void SprintGovernor::watchdog_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    const double wake = std::min(deadline_s_, depletion_s_);
+    if (!std::isfinite(wake)) {
+      cv_.wait(lock);
+      continue;
+    }
+    const double now = now_s();
+    if (now < wake) {
+      cv_.wait_for(lock, std::chrono::duration<double>(wake - now));
+      continue;  // re-evaluate: the job may have finished, or Tk moved
+    }
+    // Tk elapsed with the job still running: grant a boost if the budget
+    // has charge, otherwise record the denial. Either way the timer is
+    // disarmed — one sprint attempt per job, like the simulator.
+    if (job_active_ && !boosting_ && now >= deadline_s_) {
+      deadline_s_ = std::numeric_limits<double>::infinity();
+      if (budget_.has_budget(now)) {
+        begin_boost(now);
+      } else {
+        ++denied_total_;
+        if (denied_counter_ != nullptr) denied_counter_->add();
+      }
+    }
+    // Budget ran dry mid-boost: revoke the lease, conserving the budget
+    // invariant (consumption stops at depletion, job keeps base slots).
+    if (boosting_ && now >= depletion_s_) {
+      end_boost(now, "budget_depleted");
+      if (budget_revoked_counter_ != nullptr) budget_revoked_counter_->add();
+    }
+  }
+}
+
+}  // namespace dias::runtime

@@ -1,0 +1,119 @@
+// Model-vs-runtime validation (paper Section 5.2.1 in miniature): drive the
+// real DiasDispatcher with synthetic two-class Poisson traffic whose job
+// structure matches a JobClassProfile exactly — one map task, one reduce
+// task, one slot, so a job is Exp(setup) + Exp(map) + Exp(shuffle) +
+// Exp(reduce) — and check the measured per-class mean response times land
+// within a loose factor of the M/G/1 non-preemptive prediction. This is an
+// end-to-end statistical check, not a microbenchmark: tolerances are wide
+// so scheduler jitter and timer overshoot on CI hosts don't flake it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dispatcher.hpp"
+#include "model/response_time_model.hpp"
+
+namespace dias {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void busy_wait_s(double seconds) {
+  const auto until = Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < until) {
+  }
+}
+
+model::JobClassProfile make_profile(double arrival_rate) {
+  model::JobClassProfile p;
+  p.arrival_rate = arrival_rate;
+  p.slots = 1;
+  p.map_task_pmf = {1.0};     // exactly one map task
+  p.reduce_task_pmf = {1.0};  // exactly one reduce task
+  p.map_rate = 500.0;         // mean 2 ms
+  p.reduce_rate = 1000.0 / 1.5;  // mean 1.5 ms
+  p.shuffle_rate = 2000.0;    // mean 0.5 ms
+  p.mean_overhead_theta0 = 0.001;  // mean 1 ms setup, theta-independent
+  p.mean_overhead_theta90 = 0.001;
+  return p;
+}
+
+// One synthetic job duration drawn from the profile's phase structure.
+double sample_job_s(const model::JobClassProfile& p, Rng& rng) {
+  return rng.exponential(1.0 / p.mean_overhead_theta0) +
+         rng.exponential(p.map_rate) + rng.exponential(p.shuffle_rate) +
+         rng.exponential(p.reduce_rate);
+}
+
+TEST(ModelRuntimeValidationTest, DispatcherMatchesNonPreemptivePrediction) {
+  // Low priority = class 0, high = class 1 (dispatcher and model share the
+  // "larger index is higher priority" convention). E[S] = 5 ms per class,
+  // total arrival rate 100 jobs/s -> utilization ~0.5.
+  const auto low = make_profile(60.0);
+  const auto high = make_profile(40.0);
+  constexpr std::size_t kLowJobs = 360;
+  constexpr std::size_t kHighJobs = 240;  // ~6 s of traffic per class
+
+  core::DiasDispatcher dispatcher({0.0, 0.0});
+  const auto epoch = Clock::now();
+  const auto feed = [&](const model::JobClassProfile& profile,
+                        std::size_t priority, std::size_t jobs,
+                        std::uint64_t seed) {
+    Rng arrivals(seed);
+    Rng services(seed + 1000);
+    double next_s = 0.0;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      next_s += arrivals.exponential(profile.arrival_rate);
+      const double duration_s = sample_job_s(profile, services);
+      std::this_thread::sleep_until(epoch +
+                                    std::chrono::duration<double>(next_s));
+      dispatcher.submit(priority,
+                        [duration_s](double) { busy_wait_s(duration_s); });
+    }
+  };
+  std::thread low_feeder(feed, low, 0, kLowJobs, 7);
+  std::thread high_feeder(feed, high, 1, kHighJobs, 99);
+  low_feeder.join();
+  high_feeder.join();
+  const auto records = dispatcher.drain();
+  ASSERT_EQ(records.size(), kLowJobs + kHighJobs);
+
+  double mean_response[2] = {0.0, 0.0};
+  std::size_t count[2] = {0, 0};
+  for (const auto& r : records) {
+    mean_response[r.priority] += r.response_s();
+    ++count[r.priority];
+  }
+  ASSERT_EQ(count[0], kLowJobs);
+  ASSERT_EQ(count[1], kHighJobs);
+  mean_response[0] /= static_cast<double>(count[0]);
+  mean_response[1] /= static_cast<double>(count[1]);
+
+  const std::vector<model::JobClassProfile> classes = {low, high};
+  const std::vector<double> theta = {0.0, 0.0};
+  const auto predicted = model::ResponseTimeModel::predict(
+      classes, theta, model::Discipline::kNonPreemptive,
+      model::ModelGranularity::kTaskLevel);
+  ASSERT_EQ(predicted.per_class.size(), 2u);
+  ASSERT_TRUE(predicted.per_class[0].stable);
+  ASSERT_TRUE(predicted.per_class[1].stable);
+
+  // Loose agreement: a finite seeded run plus OS timer overshoot can drift
+  // the means, but they must land within a small factor of the model.
+  for (int k = 0; k < 2; ++k) {
+    const double want = predicted.per_class[k].mean_response;
+    ASSERT_GT(want, 0.0);
+    EXPECT_GT(mean_response[k], 0.45 * want) << "class " << k;
+    EXPECT_LT(mean_response[k], 2.2 * want) << "class " << k;
+  }
+  // And the qualitative ordering the priority queue exists to produce: the
+  // high class must not wait longer than the low class (small slack for
+  // sampling noise).
+  EXPECT_LT(mean_response[1], mean_response[0] * 1.15);
+}
+
+}  // namespace
+}  // namespace dias

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <mutex>
 #include <set>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace dias::engine {
 namespace {
@@ -199,6 +201,143 @@ TEST(ThreadPoolStressTest, ManyProducersManyTasks) {
   for (auto& p : producers) p.join();
   for (auto& f : futures) f.get();
   EXPECT_EQ(counter.load(), 2000);
+}
+
+// --- elastic pool: reserve slots, slot leases, sprint-driven resizes -------
+
+TEST(ElasticThreadPoolTest, ReserveSlotsStartDormant) {
+  ThreadPool pool(2, 2);
+  EXPECT_EQ(pool.workers(), 4u);        // per-slot containers size to this
+  EXPECT_EQ(pool.base_workers(), 2u);
+  EXPECT_EQ(pool.active_workers(), 2u);
+  // Only the base slots pull tasks: peak concurrency stays at 2.
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  pool.run_indexed(12, [&](std::size_t) {
+    const int now = ++concurrent;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    --concurrent;
+  });
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ElasticThreadPoolTest, LeaseGrantsClampToReserve) {
+  ThreadPool pool(2, 2);
+  EXPECT_EQ(pool.lease_extra_workers(5), 2u);
+  EXPECT_EQ(pool.active_workers(), 4u);
+  EXPECT_EQ(pool.lease_extra_workers(1), 0u);  // reserve exhausted
+  pool.release_extra_workers(2);
+  EXPECT_EQ(pool.active_workers(), 2u);
+  EXPECT_EQ(pool.lease_extra_workers(1), 1u);
+  pool.release_extra_workers(1);
+  // Releasing below the base floor is a contract violation.
+  EXPECT_THROW(pool.release_extra_workers(1), dias::precondition_error);
+}
+
+TEST(ElasticThreadPoolTest, LeaseWidensStageMidFlight) {
+  ThreadPool pool(1, 3);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  // Four tasks that only finish once all four run concurrently — possible
+  // only if the lease activates the reserve while the stage is in flight.
+  std::thread stage([&] {
+    pool.run_indexed(4, [&](std::size_t) {
+      std::unique_lock lock(mutex);
+      ++arrived;
+      cv.notify_all();
+      cv.wait(lock, [&] { return arrived == 4; });
+    });
+  });
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return arrived >= 1; });  // stage is running
+  }
+  EXPECT_EQ(pool.lease_extra_workers(3), 3u);
+  stage.join();
+  EXPECT_EQ(arrived, 4);
+  pool.release_extra_workers(3);
+}
+
+TEST(ElasticThreadPoolTest, SlotIdsStableAndDistinctAcrossLease) {
+  ThreadPool pool(2, 2);
+  SlotLease lease(pool, 2);
+  ASSERT_EQ(lease.granted(), 2u);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::set<std::size_t> slots;
+  pool.run_indexed(4, [&](std::size_t) {
+    std::unique_lock lock(mutex);
+    slots.insert(pool.current_slot());
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived == 4; });
+  });
+  // All four slots ran concurrently under stable, distinct ids covering
+  // exactly 0..workers()-1 — the invariant per-slot shuffle buffers need.
+  EXPECT_EQ(slots, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ElasticThreadPoolTest, SlotLeaseRaiiReleasesOnScopeExit) {
+  ThreadPool pool(2, 3);
+  {
+    SlotLease lease(pool, 2);
+    EXPECT_EQ(lease.granted(), 2u);
+    EXPECT_EQ(pool.active_workers(), 4u);
+    SlotLease moved = std::move(lease);
+    EXPECT_EQ(moved.granted(), 2u);
+    EXPECT_EQ(pool.active_workers(), 4u);
+  }
+  EXPECT_EQ(pool.active_workers(), 2u);
+}
+
+TEST(ElasticThreadPoolTest, MetricsTrackActiveWorkers) {
+  obs::Registry reg;
+  ThreadPool pool(2, 2);
+  pool.attach_metrics(reg, "pool");
+  EXPECT_DOUBLE_EQ(reg.gauge("pool.workers").value(), 4.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("pool.active_workers").value(), 2.0);
+  SlotLease lease(pool, 2);
+  EXPECT_DOUBLE_EQ(reg.gauge("pool.active_workers").value(), 4.0);
+  lease.reset();
+  EXPECT_DOUBLE_EQ(reg.gauge("pool.active_workers").value(), 2.0);
+}
+
+// Resize churn while stages and ad-hoc submissions race — the TSAN target
+// for ElasticThreadPool (lease/release vs worker gating vs queue traffic).
+TEST(ThreadPoolStressTest, LeaseReleaseChurnWhileRunning) {
+  ThreadPool pool(2, 4);
+  std::atomic<bool> stop{false};
+  std::atomic<int> indexed_done{0};
+  std::atomic<int> submitted_done{0};
+  std::thread churner([&] {
+    while (!stop.load()) {
+      const std::size_t got = pool.lease_extra_workers(4);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      pool.release_extra_workers(got);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  std::thread submitter([&] {
+    while (!stop.load()) {
+      pool.submit([&submitted_done] { ++submitted_done; }).get();
+    }
+  });
+  for (int round = 0; round < 30; ++round) {
+    pool.run_indexed(64, [&indexed_done](std::size_t) {
+      ++indexed_done;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    });
+  }
+  stop = true;
+  churner.join();
+  submitter.join();
+  EXPECT_EQ(indexed_done.load(), 30 * 64);
+  EXPECT_GT(submitted_done.load(), 0);
 }
 
 }  // namespace
