@@ -22,6 +22,7 @@
 #include "engine/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/overload_controller.hpp"
 #include "runtime/sprint_governor.hpp"
 #include "workload/text_corpus.hpp"
 #include "workload/trace_gen.hpp"
@@ -69,7 +70,21 @@ void usage(const char* prog) {
       "                                --sprint-budget Joules\n"
       "  --reserve-workers <n>         dormant slots the governor may lease (default 6)\n"
       "  --sprint-replenish <W>        budget replenish rate in Watts (default 0)\n"
-      "  --bursts <n>                  arrival bursts to submit (default 8)\n",
+      "  --bursts <n>                  arrival bursts to submit (default 8)\n"
+      "overload protection (bounded admission + deadlines + adaptive deflation):\n"
+      "  --runtime-overload            drive a sustained two-class burst through the\n"
+      "                                real dispatcher and report per-class response\n"
+      "                                times and terminal outcomes\n"
+      "  --admission <block|reject|shed>  policy when a class queue is full (default shed)\n"
+      "  --queue-cap <n>               per-class queue capacity, 0 = unbounded (default 8)\n"
+      "  --deadline <low,high,...>     per-class deadlines in seconds, inf = none\n"
+      "                                (default inf for every class)\n"
+      "  --adaptive                    attach the closed-loop OverloadController\n"
+      "                                (measured rates re-run the deflator; theta\n"
+      "                                escalates up to --theta-ceiling)\n"
+      "  --theta-ceiling <low,high,...>  per-class ceilings for --adaptive (default 0.6,0.3)\n"
+      "  --overload-jobs <n>           jobs to submit (default 150)\n"
+      "  --overload-period-ms <ms>     submit period; ~10 is a 2x burst (default 10)\n",
       prog);
 }
 
@@ -223,6 +238,154 @@ int run_runtime_sprint(std::size_t bursts, std::size_t reserve, double timeout_s
   return 0;
 }
 
+// --runtime-overload: a sustained two-class burst (alternating low/high
+// submissions every period_ms) against the real engine, with per-class
+// queue caps, deadlines, and optionally the closed-loop overload
+// controller escalating theta from measured arrival rates. Shows every
+// terminal outcome — completed / shed / cancelled / failed — per class.
+int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
+                         std::vector<double> deadlines, bool adaptive,
+                         std::vector<double> ceilings, std::size_t jobs,
+                         double period_ms, bool csv, obs::Registry* metrics,
+                         obs::Tracer* tracer) {
+  static constexpr std::size_t kPartitions = 16;
+  static constexpr int kTaskMs = 4;
+  engine::Engine::Options eopts;
+  eopts.workers = 4;
+  engine::Engine eng(eopts);
+
+  core::DispatcherOptions dopts;
+  dopts.admission = admission;
+  dopts.classes.resize(2);
+  for (std::size_t k = 0; k < 2; ++k) {
+    dopts.classes[k].queue_capacity = queue_cap;
+    if (k < deadlines.size()) dopts.classes[k].deadline_s = deadlines[k];
+  }
+  core::DiasDispatcher dispatcher({0.0, 0.0}, dopts);
+  dispatcher.attach_observability(metrics, tracer);
+
+  std::optional<runtime::OverloadController> controller;
+  if (adaptive) {
+    // Profile both classes at a calm rate; the controller's whole job is
+    // to notice the measured rate exceeding it and escalate.
+    model::JobClassProfile prof;
+    prof.arrival_rate = 2.0;
+    prof.slots = 4;
+    prof.map_task_pmf.assign(kPartitions, 0.0);
+    prof.map_task_pmf.back() = 1.0;
+    prof.reduce_task_pmf.assign(1, 1.0);
+    prof.map_rate = 1.0 / (kTaskMs * 1e-3);
+    prof.reduce_rate = 1e3;
+    prof.shuffle_rate = 1e3;
+    prof.mean_overhead_theta0 = 5e-3;
+    prof.mean_overhead_theta90 = 2e-3;
+    core::Deflator deflator({prof, prof}, core::AccuracyProfile::paper_word_count());
+    runtime::OverloadControllerConfig ccfg;
+    ccfg.sample_period_s = 0.05;
+    ccfg.ewma_alpha = 0.5;
+    ccfg.queue_depth_high = 6;
+    ccfg.queue_depth_low = 2;
+    ccfg.min_hold_s = 0.2;
+    ccfg.theta_ceiling = std::move(ceilings);
+    ccfg.start_thread = true;
+    controller.emplace(dispatcher, std::move(deflator),
+                       std::vector<core::ClassConstraint>{{40.0, 1e18, 1.0},
+                                                          {20.0, 1e18, 1.0}},
+                       ccfg, metrics, tracer);
+  }
+
+  for (std::size_t i = 0; i < jobs; ++i) {
+    dispatcher.submit(
+        i % 2, core::DiasDispatcher::ContextJobFn(
+                   [&](const core::DiasDispatcher::JobContext& ctx) {
+                     eng.set_cancellation(ctx.token);
+                     eng.set_drop_ratio(ctx.theta);
+                     std::vector<int> values(kPartitions);
+                     for (std::size_t p = 0; p < kPartitions; ++p)
+                       values[p] = static_cast<int>(p);
+                     auto ds = eng.parallelize(std::move(values), kPartitions);
+                     engine::StageOptions sopts;
+                     sopts.name = "overload";
+                     sopts.droppable = true;
+                     eng.map_partitions(
+                         ds,
+                         [](const std::vector<int>& part) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(kTaskMs));
+                           return part;
+                         },
+                         sopts);
+                   }));
+    std::this_thread::sleep_for(std::chrono::duration<double>(period_ms * 1e-3));
+  }
+  const auto records = dispatcher.drain();
+  if (controller) controller->stop();
+
+  struct ClassStats {
+    std::size_t completed = 0, shed = 0, cancelled = 0, failed = 0;
+    std::vector<double> responses;
+  };
+  ClassStats stats[2];
+  for (const auto& r : records) {
+    auto& s = stats[r.priority];
+    switch (r.outcome) {
+      case core::JobOutcome::kCompleted:
+        ++s.completed;
+        s.responses.push_back(r.response_s());
+        break;
+      case core::JobOutcome::kShed: ++s.shed; break;
+      case core::JobOutcome::kCancelled: ++s.cancelled; break;
+      case core::JobOutcome::kFailed: ++s.failed; break;
+    }
+  }
+  if (csv) {
+    std::printf("class,completed,shed,cancelled,failed,mean_s,p95_s,theta\n");
+  } else {
+    std::printf("overload run: %zu jobs every %.0f ms, queue cap %zu, %s admission%s\n",
+                jobs, period_ms, queue_cap,
+                admission == core::AdmissionPolicy::kBlock     ? "block"
+                : admission == core::AdmissionPolicy::kReject ? "reject"
+                                                              : "shed",
+                adaptive ? ", adaptive deflation on" : "");
+  }
+  for (std::size_t k = 2; k-- > 0;) {
+    auto& s = stats[k];
+    double mean = 0.0, p95 = 0.0;
+    if (!s.responses.empty()) {
+      std::sort(s.responses.begin(), s.responses.end());
+      for (double r : s.responses) mean += r;
+      mean /= static_cast<double>(s.responses.size());
+      p95 = s.responses[static_cast<std::size_t>(0.95 *
+                                                 double(s.responses.size() - 1))];
+    }
+    if (csv) {
+      std::printf("%zu,%zu,%zu,%zu,%zu,%.3f,%.3f,%.3f\n", k, s.completed, s.shed,
+                  s.cancelled, s.failed, mean, p95, dispatcher.theta(k));
+    } else {
+      std::printf("  class %zu (%s): %zu completed (mean %.3f s, p95 %.3f s), "
+                  "%zu shed, %zu cancelled, %zu failed, theta %.2f\n",
+                  k, k == 1 ? "high" : "low", s.completed, mean, p95, s.shed,
+                  s.cancelled, s.failed, dispatcher.theta(k));
+    }
+  }
+  if (controller) {
+    const auto st = controller->status();
+    if (csv) {
+      std::printf("replans,%llu\nescalations,%llu\nrelaxations,%llu\n",
+                  static_cast<unsigned long long>(st.replans),
+                  static_cast<unsigned long long>(st.escalations),
+                  static_cast<unsigned long long>(st.relaxations));
+    } else {
+      std::printf("  controller: %llu replans, %llu escalations, %llu relaxations, "
+                  "utilization %.2f\n",
+                  static_cast<unsigned long long>(st.replans),
+                  static_cast<unsigned long long>(st.escalations),
+                  static_cast<unsigned long long>(st.relaxations), st.utilization);
+    }
+  }
+  return 0;
+}
+
 std::vector<double> parse_list(const std::string& arg) {
   std::vector<double> out;
   std::size_t pos = 0;
@@ -289,6 +452,14 @@ int main(int argc, char** argv) {
 
   bool engine_wordcount = false;
   bool runtime_sprint = false;
+  bool runtime_overload = false;
+  core::AdmissionPolicy admission = core::AdmissionPolicy::kShedOldestLowest;
+  std::size_t queue_cap = 8;
+  std::vector<double> deadlines;
+  bool adaptive = false;
+  std::vector<double> theta_ceiling{0.6, 0.3};
+  std::size_t overload_jobs = 150;
+  double overload_period_ms = 10.0;
   std::size_t reserve_workers = 6;
   double sprint_replenish = 0.0;
   std::size_t bursts = 8;
@@ -348,6 +519,32 @@ int main(int argc, char** argv) {
       engine_wordcount = true;
     } else if (arg == "--runtime-sprint") {
       runtime_sprint = true;
+    } else if (arg == "--runtime-overload") {
+      runtime_overload = true;
+    } else if (arg == "--admission") {
+      const auto v = next();
+      if (v == "block") {
+        admission = core::AdmissionPolicy::kBlock;
+      } else if (v == "reject") {
+        admission = core::AdmissionPolicy::kReject;
+      } else if (v == "shed") {
+        admission = core::AdmissionPolicy::kShedOldestLowest;
+      } else {
+        std::fprintf(stderr, "unknown admission policy %s\n", v.c_str());
+        return 2;
+      }
+    } else if (arg == "--queue-cap") {
+      queue_cap = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--deadline") {
+      deadlines = parse_list(next());
+    } else if (arg == "--adaptive") {
+      adaptive = true;
+    } else if (arg == "--theta-ceiling") {
+      theta_ceiling = parse_list(next());
+    } else if (arg == "--overload-jobs") {
+      overload_jobs = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--overload-period-ms") {
+      overload_period_ms = std::stod(next());
     } else if (arg == "--reserve-workers") {
       reserve_workers = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--sprint-replenish") {
@@ -384,6 +581,16 @@ int main(int argc, char** argv) {
   obs::Registry obs_metrics;
   obs::Tracer obs_tracer;
   const bool want_obs = !metrics_out.empty() || !trace_out.empty();
+
+  if (runtime_overload) {
+    const int rc = run_runtime_overload(admission, queue_cap, std::move(deadlines),
+                                        adaptive, std::move(theta_ceiling),
+                                        overload_jobs, overload_period_ms, csv,
+                                        want_obs ? &obs_metrics : nullptr,
+                                        want_obs ? &obs_tracer : nullptr);
+    if (!flush_observability(metrics_out, trace_out, obs_metrics, obs_tracer)) return 1;
+    return rc;
+  }
 
   if (runtime_sprint) {
     const int rc = run_runtime_sprint(bursts, reserve_workers, sprint_timeout,

@@ -1,0 +1,58 @@
+// Cooperative cancellation for the job-lifecycle robustness layer.
+//
+// The dispatcher hands every job a CancellationToken; the engine polls it
+// between partitions (and inside retry backoff / straggler sleeps), so a
+// job that outlives its per-class deadline is cut short mid-stage instead
+// of running to completion — releasing its workers and any sprint lease.
+// Cancellation is *cooperative*: requesting it never interrupts a running
+// task body, it only stops new work from starting (the same non-preemptive
+// contract the paper's dispatcher keeps).
+//
+// Tokens are copyable handles to shared state, so the dispatcher's
+// deadline watchdog, the engine's stage loops, and user job code can all
+// observe one flag without lifetime coupling. Lives in dias::common (not
+// the engine) because both the dispatcher (core) and the engine honor it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dias {
+
+// Thrown by cancellation points (Engine stages, CancellationToken::
+// throw_if_cancelled) once cancellation was requested. The dispatcher
+// catches it and records the job's terminal outcome as kCancelled.
+class JobCancelledError : public error {
+ public:
+  explicit JobCancelledError(const std::string& where)
+      : error("job cancelled at " + where) {}
+};
+
+class CancellationToken {
+ public:
+  // A fresh, not-yet-cancelled token with its own state.
+  CancellationToken() : state_(std::make_shared<State>()) {}
+
+  // Sets the flag; idempotent, safe from any thread, never blocks.
+  void request_cancel() noexcept { state_->flag.store(true, std::memory_order_release); }
+
+  bool cancelled() const noexcept {
+    return state_->flag.load(std::memory_order_acquire);
+  }
+
+  // Cancellation point: raises JobCancelledError naming the checkpoint.
+  void throw_if_cancelled(const std::string& where) const {
+    if (cancelled()) throw JobCancelledError(where);
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dias

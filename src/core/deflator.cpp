@@ -64,6 +64,18 @@ model::Prediction Deflator::predict(std::span<const double> theta,
   return model::ResponseTimeModel::predict(profiles, theta, options_.discipline);
 }
 
+DeflatorPlan Deflator::plan(std::span<const ClassConstraint> constraints,
+                            std::span<const double> arrival_rates) const {
+  DIAS_EXPECTS(arrival_rates.size() == profiles_.size(),
+               "one measured arrival rate per class required");
+  Deflator live(*this);
+  for (std::size_t k = 0; k < profiles_.size(); ++k) {
+    DIAS_EXPECTS(arrival_rates[k] > 0.0, "measured arrival rates must be positive");
+    live.profiles_[k].arrival_rate = arrival_rates[k];
+  }
+  return live.plan(constraints);
+}
+
 DeflatorPlan Deflator::plan(std::span<const ClassConstraint> constraints) const {
   DIAS_EXPECTS(constraints.size() == profiles_.size(), "one constraint per class required");
 

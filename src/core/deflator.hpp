@@ -101,6 +101,13 @@ class Deflator {
   // (one per class, same order as the profiles).
   DeflatorPlan plan(std::span<const ClassConstraint> constraints) const;
 
+  // Same search, but with the profiled per-class arrival rates replaced by
+  // live measurements (jobs/s, one per class, > 0). This is the re-plan
+  // entry point of the closed-loop overload controller: the offline
+  // service/overhead profile is kept, only the load estimate changes.
+  DeflatorPlan plan(std::span<const ClassConstraint> constraints,
+                    std::span<const double> arrival_rates) const;
+
   // Latency-accuracy frontier of class `class_index`, holding the other
   // classes' thetas fixed at `base_theta`.
   std::vector<FrontierPoint> frontier(std::size_t class_index,

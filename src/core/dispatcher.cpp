@@ -1,20 +1,44 @@
 #include "core/dispatcher.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
+#include <tuple>
 #include <utility>
 
 #include "common/error.hpp"
 
 namespace dias::core {
 
+const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kShed: return "shed";
+    case JobOutcome::kCancelled: return "cancelled";
+    case JobOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 DiasDispatcher::DiasDispatcher(std::vector<double> theta)
-    : theta_(std::move(theta)), epoch_(std::chrono::steady_clock::now()),
-      buffers_(theta_.size()) {
+    : DiasDispatcher(std::move(theta), DispatcherOptions{}) {}
+
+DiasDispatcher::DiasDispatcher(std::vector<double> theta, DispatcherOptions options)
+    : theta_(std::move(theta)), options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()), buffers_(theta_.size()),
+      loads_(theta_.size()) {
   DIAS_EXPECTS(!theta_.empty(), "dispatcher needs at least one priority class");
   for (double t : theta_) {
     DIAS_EXPECTS(t >= 0.0 && t <= 1.0, "drop ratios must be in [0,1]");
   }
+  DIAS_EXPECTS(options_.classes.size() <= theta_.size(),
+               "more class policies than priority classes");
+  options_.classes.resize(theta_.size());
+  for (const auto& cp : options_.classes) {
+    DIAS_EXPECTS(cp.deadline_s > 0.0, "class deadlines must be positive");
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  deadline_watchdog_ = std::thread([this] { deadline_loop(); });
 }
 
 void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
@@ -22,14 +46,23 @@ void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* t
   DIAS_EXPECTS(in_flight_ == 0, "attach observability before submitting jobs");
   tracer_ = tracer;
   completed_counters_.clear();
+  shed_counters_.clear();
+  cancelled_counters_.clear();
+  failed_counters_.clear();
+  depth_gauges_.clear();
+  theta_gauges_.clear();
   response_hist_ = nullptr;
   queueing_hist_ = nullptr;
   if (metrics != nullptr) {
-    completed_counters_.reserve(theta_.size());
     for (std::size_t k = 0; k < theta_.size(); ++k) {
-      completed_counters_.push_back(
-          &metrics->counter("dispatcher.class" + std::to_string(k) + ".completed"));
-      metrics->gauge("dispatcher.class" + std::to_string(k) + ".theta").set(theta_[k]);
+      const std::string prefix = "dispatcher.class" + std::to_string(k);
+      completed_counters_.push_back(&metrics->counter(prefix + ".completed"));
+      shed_counters_.push_back(&metrics->counter(prefix + ".shed"));
+      cancelled_counters_.push_back(&metrics->counter(prefix + ".cancelled"));
+      failed_counters_.push_back(&metrics->counter(prefix + ".failed"));
+      depth_gauges_.push_back(&metrics->gauge(prefix + ".queue_depth"));
+      theta_gauges_.push_back(&metrics->gauge(prefix + ".theta"));
+      theta_gauges_.back()->set(theta_[k]);
     }
     response_hist_ = &metrics->histogram("dispatcher.response_s", 0.0, 600.0, 240);
     queueing_hist_ = &metrics->histogram("dispatcher.queueing_s", 0.0, 600.0, 240);
@@ -48,27 +81,149 @@ DiasDispatcher::~DiasDispatcher() {
     stopping_ = true;
   }
   work_cv_.notify_all();
+  deadline_cv_.notify_all();
+  space_cv_.notify_all();
   dispatcher_.join();
+  deadline_watchdog_.join();
 }
 
 double DiasDispatcher::now_s() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
 }
 
-void DiasDispatcher::submit(std::size_t priority, JobFn job) {
+bool DiasDispatcher::queue_has_space(std::size_t priority) const {
+  const ClassPolicy& cp = options_.classes[priority];
+  if (cp.queue_capacity != 0 && buffers_[priority].size() >= cp.queue_capacity) {
+    return false;
+  }
+  if (options_.total_capacity != 0 && queued_total_ >= options_.total_capacity) {
+    return false;
+  }
+  return true;
+}
+
+void DiasDispatcher::note_outcome_locked(const JobRecord& record) {
+  ClassLoad& load = loads_[record.priority];
+  obs::Counter* counter = nullptr;
+  switch (record.outcome) {
+    case JobOutcome::kCompleted:
+      ++load.completed;
+      if (!completed_counters_.empty()) counter = completed_counters_[record.priority];
+      break;
+    case JobOutcome::kShed:
+      ++load.shed;
+      if (!shed_counters_.empty()) counter = shed_counters_[record.priority];
+      break;
+    case JobOutcome::kCancelled:
+      ++load.cancelled;
+      if (!cancelled_counters_.empty()) counter = cancelled_counters_[record.priority];
+      break;
+    case JobOutcome::kFailed:
+      ++load.failed;
+      if (!failed_counters_.empty()) counter = failed_counters_[record.priority];
+      break;
+  }
+  if (counter != nullptr) counter->add();
+}
+
+void DiasDispatcher::finish_without_running(Pending&& pending, JobOutcome outcome,
+                                            std::string why) {
+  pending.token.request_cancel();
+  pending.record.outcome = outcome;
+  pending.record.error = std::move(why);
+  pending.record.completion_s = now_s();
+  // Never ran: stamp start at the terminal instant so execution_s() is 0
+  // and response_s() still measures the time spent queued.
+  pending.record.start_s = pending.record.completion_s;
+  pending.record.theta = theta_[pending.record.priority];
+  note_outcome_locked(pending.record);
+  completed_.push_back(std::move(pending.record));
+}
+
+Admission DiasDispatcher::submit(std::size_t priority, JobFn job) {
+  DIAS_EXPECTS(static_cast<bool>(job), "job callable must be non-empty");
+  return submit(priority, ContextJobFn([fn = std::move(job)](const JobContext& ctx) {
+                  fn(ctx.theta);
+                }));
+}
+
+Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job) {
   DIAS_EXPECTS(priority < theta_.size(), "priority out of range");
   DIAS_EXPECTS(static_cast<bool>(job), "job callable must be non-empty");
   Pending pending;
   pending.fn = std::move(job);
   pending.record.priority = priority;
-  pending.record.arrival_s = now_s();
+
+  bool shed_victim = false;
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
     DIAS_EXPECTS(!stopping_, "submit on a stopping dispatcher");
+    pending.record.seq = next_seq_++;
+    pending.record.arrival_s = now_s();
+    ++loads_[priority].arrivals;
+
+    if (!queue_has_space(priority)) {
+      switch (options_.admission) {
+        case AdmissionPolicy::kBlock:
+          space_cv_.wait(lock, [&] { return stopping_ || queue_has_space(priority); });
+          DIAS_EXPECTS(!stopping_, "submit on a stopping dispatcher");
+          break;
+        case AdmissionPolicy::kReject:
+          finish_without_running(std::move(pending), JobOutcome::kShed,
+                                 "rejected at admission: queue full");
+          lock.unlock();
+          drain_cv_.notify_all();
+          return Admission::kRejected;
+        case AdmissionPolicy::kShedOldestLowest: {
+          // Prefer shedding within the class whose cap was hit; when only
+          // the dispatcher-wide cap binds, shed the oldest job of the
+          // lowest non-empty class the newcomer does not outrank.
+          const ClassPolicy& cp = options_.classes[priority];
+          std::size_t victim_class = theta_.size();
+          if (cp.queue_capacity != 0 && buffers_[priority].size() >= cp.queue_capacity) {
+            victim_class = priority;
+          } else {
+            for (std::size_t k = 0; k <= priority; ++k) {
+              if (!buffers_[k].empty()) {
+                victim_class = k;
+                break;
+              }
+            }
+          }
+          if (victim_class == theta_.size()) {
+            finish_without_running(std::move(pending), JobOutcome::kShed,
+                                   "rejected at admission: every queued job outranks it");
+            lock.unlock();
+            drain_cv_.notify_all();
+            return Admission::kRejected;
+          }
+          Pending victim = std::move(buffers_[victim_class].front());
+          buffers_[victim_class].pop_front();
+          --queued_total_;
+          --in_flight_;
+          if (!depth_gauges_.empty()) {
+            depth_gauges_[victim_class]->set(
+                static_cast<double>(buffers_[victim_class].size()));
+          }
+          finish_without_running(std::move(victim), JobOutcome::kShed,
+                                 "shed for arriving priority-" + std::to_string(priority) +
+                                     " job");
+          shed_victim = true;
+          break;
+        }
+      }
+    }
+
     buffers_[priority].push_back(std::move(pending));
+    ++queued_total_;
     ++in_flight_;
+    if (!depth_gauges_.empty()) {
+      depth_gauges_[priority]->set(static_cast<double>(buffers_[priority].size()));
+    }
   }
   work_cv_.notify_one();
+  if (shed_victim) drain_cv_.notify_all();
+  return Admission::kAdmitted;
 }
 
 std::vector<DiasDispatcher::JobRecord> DiasDispatcher::drain() {
@@ -76,13 +231,46 @@ std::vector<DiasDispatcher::JobRecord> DiasDispatcher::drain() {
   drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
   auto out = std::move(completed_);
   completed_.clear();
+  lock.unlock();
+  std::stable_sort(out.begin(), out.end(), [](const JobRecord& a, const JobRecord& b) {
+    return std::tie(a.completion_s, a.arrival_s, a.seq) <
+           std::tie(b.completion_s, b.arrival_s, b.seq);
+  });
   return out;
+}
+
+void DiasDispatcher::set_theta(std::size_t priority, double theta) {
+  DIAS_EXPECTS(priority < theta_.size(), "priority out of range");
+  DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratios must be in [0,1]");
+  std::lock_guard lock(mutex_);
+  theta_[priority] = theta;
+  if (!theta_gauges_.empty()) theta_gauges_[priority]->set(theta);
+}
+
+double DiasDispatcher::theta(std::size_t priority) const {
+  DIAS_EXPECTS(priority < theta_.size(), "priority out of range");
+  std::lock_guard lock(mutex_);
+  return theta_[priority];
+}
+
+DiasDispatcher::LoadSnapshot DiasDispatcher::load_snapshot() const {
+  std::lock_guard lock(mutex_);
+  LoadSnapshot snap;
+  snap.uptime_s = now_s();
+  snap.busy_s = busy_accum_s_;
+  if (running_active_) snap.busy_s += snap.uptime_s - running_start_s_;
+  snap.classes = loads_;
+  for (std::size_t k = 0; k < buffers_.size(); ++k) {
+    snap.classes[k].queue_depth = buffers_[k].size();
+  }
+  return snap;
 }
 
 void DiasDispatcher::dispatcher_loop() {
   for (;;) {
     Pending job;
     bool have_job = false;
+    double theta = 0.0;
     {
       std::unique_lock lock(mutex_);
       work_cv_.wait(lock, [this] {
@@ -97,16 +285,43 @@ void DiasDispatcher::dispatcher_loop() {
         if (!buffers_[k].empty()) {
           job = std::move(buffers_[k].front());
           buffers_[k].pop_front();
+          --queued_total_;
+          if (!depth_gauges_.empty()) {
+            depth_gauges_[k]->set(static_cast<double>(buffers_[k].size()));
+          }
           have_job = true;
           break;
         }
       }
       if (!have_job && stopping_) return;
+      if (have_job) {
+        space_cv_.notify_all();
+        const std::size_t p = job.record.priority;
+        const double deadline_abs =
+            job.record.arrival_s + options_.classes[p].deadline_s;
+        if (now_s() >= deadline_abs) {
+          // Expired while queued: terminal kCancelled, the body never runs.
+          finish_without_running(std::move(job), JobOutcome::kCancelled,
+                                 "deadline exceeded before start");
+          --in_flight_;
+          lock.unlock();
+          drain_cv_.notify_all();
+          continue;
+        }
+        theta = theta_[p];
+        job.record.theta = theta;
+        job.record.start_s = now_s();
+        running_active_ = true;
+        running_token_ = job.token;
+        running_deadline_abs_s_ = deadline_abs;
+        running_start_s_ = job.record.start_s;
+        deadline_cv_.notify_all();
+      }
     }
     if (!have_job) continue;
 
-    // Non-preemptive: the job runs to completion before the next dispatch.
-    const double theta = theta_[job.record.priority];
+    // Non-preemptive: the job runs to completion (or its terminal outcome)
+    // before the next dispatch.
     obs::Tracer::SpanId span = 0;
     if (tracer_ != nullptr) {
       span = tracer_->begin_span("dispatcher.job",
@@ -114,14 +329,29 @@ void DiasDispatcher::dispatcher_loop() {
                                   {"theta", theta},
                                   {"arrival_s", job.record.arrival_s}});
     }
-    if (governor_ != nullptr) governor_->job_started(job.record.priority);
-    job.record.start_s = now_s();
-    job.fn(theta);
+    // RAII guard: a job that throws (failure or deadline cancellation)
+    // still revokes its sprint boost and re-arms the governor.
+    std::optional<runtime::SprintJobGuard> guard;
+    if (governor_ != nullptr) guard.emplace(*governor_, job.record.priority);
+    JobContext ctx;
+    ctx.theta = theta;
+    ctx.priority = job.record.priority;
+    ctx.token = job.token;
+    try {
+      job.fn(ctx);
+      job.record.outcome = JobOutcome::kCompleted;
+    } catch (const JobCancelledError& e) {
+      job.record.outcome = JobOutcome::kCancelled;
+      job.record.error = e.what();
+    } catch (const std::exception& e) {
+      job.record.outcome = JobOutcome::kFailed;
+      job.record.error = e.what();
+    }
     job.record.completion_s = now_s();
-    if (governor_ != nullptr) {
+    if (guard) {
       // The governor reports boost windows relative to the job start;
       // rebase them onto the dispatcher epoch for the record.
-      job.record.sprint_intervals = governor_->job_finished();
+      job.record.sprint_intervals = guard->finish();
       for (auto& iv : job.record.sprint_intervals) {
         iv.begin_s += job.record.start_s;
         iv.end_s += job.record.start_s;
@@ -130,20 +360,49 @@ void DiasDispatcher::dispatcher_loop() {
     if (tracer_ != nullptr) {
       tracer_->end_span(span, {{"queueing_s", job.record.queueing_s()},
                                {"response_s", job.record.response_s()},
-                               {"sprint_s", job.record.sprint_s()}});
+                               {"sprint_s", job.record.sprint_s()},
+                               {"outcome", to_string(job.record.outcome)}});
     }
-    if (!completed_counters_.empty()) {
-      completed_counters_[job.record.priority]->add();
+    if (response_hist_ != nullptr) {
       response_hist_->observe(job.record.response_s());
       queueing_hist_->observe(job.record.queueing_s());
     }
 
     {
       std::lock_guard lock(mutex_);
-      completed_.push_back(job.record);
+      busy_accum_s_ += job.record.completion_s - job.record.start_s;
+      running_active_ = false;
+      running_deadline_abs_s_ = std::numeric_limits<double>::infinity();
+      running_token_ = CancellationToken{};
+      note_outcome_locked(job.record);
+      completed_.push_back(std::move(job.record));
       --in_flight_;
     }
+    deadline_cv_.notify_all();
     drain_cv_.notify_all();
+  }
+}
+
+void DiasDispatcher::deadline_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (!running_active_ ||
+        running_deadline_abs_s_ == std::numeric_limits<double>::infinity()) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const auto until =
+        epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(running_deadline_abs_s_));
+    if (deadline_cv_.wait_until(lock, until) == std::cv_status::timeout) {
+      if (running_active_ && now_s() >= running_deadline_abs_s_) {
+        // Fire the running job's token; the job unwinds cooperatively at
+        // its next cancellation point. One shot per job.
+        running_token_.request_cancel();
+        running_deadline_abs_s_ = std::numeric_limits<double>::infinity();
+      }
+    }
   }
 }
 

@@ -6,32 +6,112 @@
 // approximation level. This C++ port drives in-process jobs (callables
 // that receive their drop ratio) instead of external Spark processes, and
 // records arrival / start / completion timestamps per job.
+//
+// Overload protection (ISSUE 5) extends the lifecycle: per-class queues
+// can be bounded with an admission policy (block / reject / shed), every
+// class can carry a response-time deadline enforced by cooperative
+// cancellation, and every submitted job — whether it ran or not — ends in
+// exactly one terminal JobOutcome recorded in its JobRecord.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/sprint_governor.hpp"
 
 namespace dias::core {
 
+// Terminal state of a submitted job. Every job reaches exactly one.
+enum class JobOutcome {
+  kCompleted,  // job body returned normally
+  kShed,       // dropped by admission control; the body never ran
+  kCancelled,  // cancelled cooperatively (deadline or explicit), body may
+               // have partially run
+  kFailed,     // body threw a non-cancellation exception
+};
+
+const char* to_string(JobOutcome outcome);
+
+// What submit() does when the target queue (or the dispatcher-wide cap)
+// is full.
+enum class AdmissionPolicy {
+  // Backpressure: submit() blocks until space frees. Lossless; callers
+  // absorb the overload.
+  kBlock,
+  // Fail fast: the incoming job is shed immediately (recorded with
+  // outcome kShed) and submit() returns kRejected.
+  kReject,
+  // Load-shedding: drop the oldest queued job of the lowest priority that
+  // does not exceed the incoming job's priority, then admit the newcomer.
+  // If every queued job outranks the newcomer, the newcomer is shed
+  // instead (an overloaded system keeps its most important work).
+  kShedOldestLowest,
+};
+
+// What submit() reported for one job.
+enum class Admission {
+  kAdmitted,  // queued (possibly after shedding a victim)
+  kRejected,  // shed at the door; its JobRecord (outcome kShed) is still
+              // emitted through drain()
+};
+
+// Per-priority-class lifecycle policy.
+struct ClassPolicy {
+  // Maximum queued (not yet started) jobs of this class; 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  // Response-time deadline in seconds since arrival; infinity = none. A
+  // queued job past its deadline is cancelled instead of started; a
+  // running job past its deadline has its cancellation token fired so it
+  // unwinds at the next cooperative check.
+  double deadline_s = std::numeric_limits<double>::infinity();
+};
+
+struct DispatcherOptions {
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  // Cap on total queued jobs across all classes; 0 = unbounded.
+  std::size_t total_capacity = 0;
+  // Per-class policy; classes beyond the vector use the defaults
+  // (unbounded, no deadline). Sized/padded to the theta vector on
+  // construction.
+  std::vector<ClassPolicy> classes;
+};
+
 class DiasDispatcher {
  public:
   // A job receives the drop ratio the deflator assigned to its class.
   using JobFn = std::function<void(double theta)>;
 
+  // Context handed to lifecycle-aware jobs. The token is the job's own
+  // cancellation flag: the dispatcher fires it when the class deadline
+  // passes, and the job is expected to poll it (or hand it to
+  // Engine::set_cancellation) and unwind with JobCancelledError.
+  struct JobContext {
+    double theta = 0.0;
+    std::size_t priority = 0;
+    CancellationToken token;
+  };
+  using ContextJobFn = std::function<void(const JobContext&)>;
+
   struct JobRecord {
     std::size_t priority = 0;
+    std::uint64_t seq = 0;      // arrival sequence number (global, 0-based)
     double arrival_s = 0.0;     // seconds since dispatcher start
-    double start_s = 0.0;       // when the engine picked it up
-    double completion_s = 0.0;  // when it finished
+    double start_s = 0.0;       // when the engine picked it up (0 if never ran)
+    double completion_s = 0.0;  // when it reached its terminal outcome
+    JobOutcome outcome = JobOutcome::kCompleted;
+    std::string error;      // what() for kFailed/kCancelled, reason for kShed
+    double theta = 0.0;     // drop ratio the job actually received
     // Boost windows the sprint governor granted this job, in seconds since
     // dispatcher start (empty without a governor or when it never fired).
     std::vector<runtime::SprintInterval> sprint_intervals;
@@ -45,64 +125,135 @@ class DiasDispatcher {
     }
   };
 
+  // Point-in-time load view for the adaptive overload controller.
+  struct ClassLoad {
+    std::size_t queue_depth = 0;   // queued, not yet started
+    std::uint64_t arrivals = 0;    // cumulative submits (admitted or not)
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;
+  };
+  struct LoadSnapshot {
+    double uptime_s = 0.0;
+    // Cumulative seconds the dispatcher thread spent inside job bodies;
+    // delta(busy_s)/delta(uptime_s) is the single-runner utilization.
+    double busy_s = 0.0;
+    std::vector<ClassLoad> classes;
+    std::size_t total_queue_depth() const {
+      std::size_t d = 0;
+      for (const auto& c : classes) d += c.queue_depth;
+      return d;
+    }
+  };
+
   // `theta[k]` is the drop ratio in [0, 1] handed to priority-k jobs; the
   // number of priorities equals theta.size(). theta[k] == 1 is the fully
   // degraded class (every droppable stage drops all of its tasks).
   explicit DiasDispatcher(std::vector<double> theta);
+  DiasDispatcher(std::vector<double> theta, DispatcherOptions options);
   ~DiasDispatcher();
   DiasDispatcher(const DiasDispatcher&) = delete;
   DiasDispatcher& operator=(const DiasDispatcher&) = delete;
 
   std::size_t priorities() const { return theta_.size(); }
 
-  // Enqueues a job; returns immediately.
-  void submit(std::size_t priority, JobFn job);
+  // Enqueues a job. Returns kAdmitted unless admission control turned it
+  // away (kReject policy, or kShedOldestLowest with nothing to shed); a
+  // turned-away job still yields a terminal JobRecord with outcome kShed.
+  // Under kBlock this call blocks while the target queue is full.
+  Admission submit(std::size_t priority, JobFn job);
+  Admission submit(std::size_t priority, ContextJobFn job);
 
-  // Blocks until every submitted job completed, then returns the records
-  // in completion order. The dispatcher stays usable afterwards.
+  // Blocks until every admitted job reached a terminal outcome, then
+  // returns the records. Ordering is stable and documented: ascending
+  // completion time, ties broken by arrival time, then by arrival
+  // sequence number — so two zero-duration jobs (or a shed burst stamped
+  // with one clock reading) always drain in submission order. The
+  // dispatcher stays usable afterwards.
   std::vector<JobRecord> drain();
+
+  // Replaces class k's drop ratio for jobs dispatched from now on (the
+  // running job keeps the theta it started with). Thread-safe; this is
+  // the knob the adaptive overload controller turns.
+  void set_theta(std::size_t priority, double theta);
+  double theta(std::size_t priority) const;
+
+  // Cheap, thread-safe snapshot of queue depths and cumulative outcome
+  // counts; the overload controller samples this to estimate arrival
+  // rates and utilization.
+  LoadSnapshot load_snapshot() const;
 
   // Attaches metric/trace sinks (either may be null; null detaches). Every
   // dispatched job then emits a "dispatcher.job" span (priority, theta,
-  // queueing/response times) and bumps per-class completion counters.
-  // Attach before the first submit; not synchronized with the dispatcher
-  // thread beyond the submit ordering.
+  // queueing/response times, outcome) and bumps per-class outcome
+  // counters and queue-depth gauges. Attach before the first submit; not
+  // synchronized with the dispatcher thread beyond the submit ordering.
   void attach_observability(obs::Registry* metrics, obs::Tracer* tracer);
 
   // Attaches a sprint governor (null detaches): every dispatched job then
   // runs between job_started/job_finished hooks, so its class's Tk timer
   // can grant the engine's reserve slots mid-job, and the resulting boost
-  // windows land in the JobRecord. The governor must outlive the
-  // dispatcher; attach before the first submit.
+  // windows land in the JobRecord. The hooks are held by an exception-safe
+  // RAII guard, so a job that throws or is cancelled mid-boost still
+  // revokes its lease. The governor must outlive the dispatcher; attach
+  // before the first submit.
   void attach_sprint_governor(runtime::SprintGovernor* governor);
 
  private:
   struct Pending {
-    JobFn fn;
+    ContextJobFn fn;
     JobRecord record;
+    CancellationToken token;
   };
 
   void dispatcher_loop();
+  void deadline_loop();
   double now_s() const;
+  // Admission bookkeeping; callers hold mutex_.
+  bool queue_has_space(std::size_t priority) const;
+  void finish_without_running(Pending&& pending, JobOutcome outcome, std::string why);
+  void note_outcome_locked(const JobRecord& record);
 
-  std::vector<double> theta_;
+  std::vector<double> theta_;  // guarded by mutex_ (set_theta is dynamic)
+  DispatcherOptions options_;
   std::chrono::steady_clock::time_point epoch_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // signals the dispatcher
   std::condition_variable drain_cv_;  // signals drain() waiters
+  std::condition_variable space_cv_;  // signals blocked kBlock submitters
+  std::condition_variable deadline_cv_;  // signals the deadline watchdog
   std::vector<std::deque<Pending>> buffers_;
   std::vector<JobRecord> completed_;
+  std::size_t queued_total_ = 0;
   std::size_t in_flight_ = 0;
+  std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
+
+  // Running-job state for the deadline watchdog (guarded by mutex_).
+  bool running_active_ = false;
+  CancellationToken running_token_;
+  double running_deadline_abs_s_ = std::numeric_limits<double>::infinity();
+  double running_start_s_ = 0.0;
+  double busy_accum_s_ = 0.0;
+
+  // Cumulative per-class outcome counts (guarded by mutex_).
+  std::vector<ClassLoad> loads_;
 
   obs::Tracer* tracer_ = nullptr;                  // set before first submit
   runtime::SprintGovernor* governor_ = nullptr;    // set before first submit
   std::vector<obs::Counter*> completed_counters_;  // one per class, or empty
+  std::vector<obs::Counter*> shed_counters_;
+  std::vector<obs::Counter*> cancelled_counters_;
+  std::vector<obs::Counter*> failed_counters_;
+  std::vector<obs::Gauge*> depth_gauges_;
+  std::vector<obs::Gauge*> theta_gauges_;
   obs::HistogramMetric* response_hist_ = nullptr;
   obs::HistogramMetric* queueing_hist_ = nullptr;
 
   std::thread dispatcher_;
+  std::thread deadline_watchdog_;
 };
 
 }  // namespace dias::core

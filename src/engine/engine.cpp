@@ -10,22 +10,6 @@
 #include <thread>
 
 namespace dias::engine {
-namespace {
-
-// Sleeps roughly `ms`, returning early once `done` becomes true (used for
-// straggler delays and retry backoff so a speculative win is not held back
-// by a sleeping loser).
-void interruptible_sleep_ms(double ms, const std::atomic<bool>& done) {
-  using clock = std::chrono::steady_clock;
-  const auto deadline =
-      clock::now() + std::chrono::duration_cast<clock::duration>(
-                         std::chrono::duration<double, std::milli>(ms));
-  while (!done.load(std::memory_order_acquire) && clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-}
-
-}  // namespace
 
 namespace detail {
 
@@ -60,6 +44,7 @@ void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
     obs_.tasks_executed = &metrics->counter("engine.tasks_executed");
     obs_.tasks_dropped = &metrics->counter("engine.tasks_dropped");
     obs_.tasks_degraded = &metrics->counter("engine.tasks_degraded");
+    obs_.tasks_cancelled = &metrics->counter("engine.tasks_cancelled");
     obs_.attempts = &metrics->counter("engine.task_attempts");
     obs_.retries = &metrics->counter("engine.task_retries");
     obs_.speculative_launched = &metrics->counter("engine.speculative_launched");
@@ -139,6 +124,11 @@ std::vector<std::size_t> find_missing_partitions(std::size_t n, double theta, Rn
 
 void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind kind,
                        const std::function<void(std::size_t)>& body) {
+  // A job cancelled between stages never starts the next one (and logs no
+  // stage entry for it — nothing ran).
+  if (const CancellationToken* cancel = cancel_token(); cancel != nullptr) {
+    cancel->throw_if_cancelled("stage '" + opts.name + "' entry");
+  }
   StageInfo info;
   info.name = opts.name;
   info.kind = kind;
@@ -171,19 +161,48 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
                          {"droppable", opts.droppable}});
   }
 
+  const CancellationToken* cancel = cancel_token();
   const auto stage_start = std::chrono::steady_clock::now();
   if (!options_.fault.active()) {
-    // Legacy zero-overhead path: no retry bookkeeping, no per-task state.
-    info.executed_partitions = selected.size();
-    info.attempts = selected.size();
-    info.task_times_s.assign(selected.size(), 0.0);
-    pool_.run_indexed(selected.size(), [&](std::size_t i) {
-      const auto task_start = std::chrono::steady_clock::now();
-      body(selected[i]);
-      const auto task_end = std::chrono::steady_clock::now();
-      info.task_times_s[i] = std::chrono::duration<double>(task_end - task_start).count();
-    });
-    info.executed_partition_ids = std::move(selected);
+    if (cancel == nullptr) {
+      // Legacy zero-overhead path: no retry bookkeeping, no per-task state.
+      info.executed_partitions = selected.size();
+      info.attempts = selected.size();
+      info.task_times_s.assign(selected.size(), 0.0);
+      pool_.run_indexed(selected.size(), [&](std::size_t i) {
+        const auto task_start = std::chrono::steady_clock::now();
+        body(selected[i]);
+        const auto task_end = std::chrono::steady_clock::now();
+        info.task_times_s[i] = std::chrono::duration<double>(task_end - task_start).count();
+      });
+      info.executed_partition_ids = std::move(selected);
+    } else {
+      // Cancellable variant: each index is executed by exactly one lane, so
+      // the per-index completion flags need no synchronization beyond the
+      // pool join. Abandoned indices are neither executed nor failed.
+      std::vector<char> done(selected.size(), 0);
+      std::vector<double> times(selected.size(), 0.0);
+      pool_.run_indexed(
+          selected.size(),
+          [&](std::size_t i) {
+            const auto task_start = std::chrono::steady_clock::now();
+            body(selected[i]);
+            const auto task_end = std::chrono::steady_clock::now();
+            times[i] = std::chrono::duration<double>(task_end - task_start).count();
+            done[i] = 1;
+          },
+          cancel);
+      for (std::size_t i = 0; i < selected.size(); ++i) {
+        if (done[i] != 0) {
+          info.executed_partition_ids.push_back(selected[i]);
+          info.task_times_s.push_back(times[i]);
+        } else {
+          ++info.cancelled_partitions;
+        }
+      }
+      info.executed_partitions = info.executed_partition_ids.size();
+      info.attempts = info.executed_partitions;
+    }
   } else {
     run_stage_fault_tolerant(selected, opts, info, stage_seq, body);
   }
@@ -193,12 +212,14 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
   info.effective_drop_ratio =
       n == 0 ? 0.0
              : 1.0 - static_cast<double>(info.executed_partitions) / static_cast<double>(n);
+  info.cancelled = cancel != nullptr && cancel->cancelled();
 
   if (obs_.stages != nullptr) {
     obs_.stages->add();
     obs_.tasks_executed->add(info.executed_partitions);
     obs_.tasks_dropped->add(dropped_upfront);
     obs_.tasks_degraded->add(info.failed_partition_ids.size());
+    obs_.tasks_cancelled->add(info.cancelled_partitions);
     obs_.attempts->add(info.attempts);
     obs_.retries->add(info.retries);
     obs_.speculative_launched->add(info.speculative_launched);
@@ -210,6 +231,7 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
     obs_.tracer->end_span(span, {{"executed", info.executed_partitions},
                                  {"dropped", dropped_upfront},
                                  {"degraded", info.failed_partition_ids.size()},
+                                 {"cancelled", info.cancelled_partitions},
                                  {"attempts", info.attempts},
                                  {"retries", info.retries},
                                  {"speculative_launched", info.speculative_launched},
@@ -218,14 +240,18 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
                                  {"duration_s", info.duration_s}});
   }
 
-  // On a non-droppable stage a dead task is fatal: log the stage (so the
-  // caller can post-mortem), then surface a typed error.
+  // A fired token outranks task failure: the whole job is being abandoned,
+  // so log the stage (for post-mortems) and surface the cancellation. On a
+  // non-droppable stage a dead task is otherwise fatal: log, then raise
+  // the typed task error.
+  const bool was_cancelled = info.cancelled;
   std::optional<TaskFailedError> fatal;
-  if (!opts.droppable && !info.failed_partition_ids.empty()) {
+  if (!was_cancelled && !opts.droppable && !info.failed_partition_ids.empty()) {
     const std::size_t part = info.failed_partition_ids.front();
     fatal.emplace(opts.name, part, options_.fault.max_attempts);
   }
   stage_log_.push_back(std::move(info));
+  if (was_cancelled) throw JobCancelledError("stage '" + opts.name + "'");
   if (fatal) throw *fatal;
 }
 
@@ -235,9 +261,13 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
                                       const std::function<void(std::size_t)>& body) {
   const std::size_t n_sel = selected.size();
   const FaultToleranceOptions& ft = options_.fault;
+  const CancellationToken* cancel = cancel_token();
   // Injection may be scoped to droppable stages; retry/speculation still
   // guard against genuine (user-code) failures on immune stages.
   const bool inject = !(ft.injection.droppable_only && !opts.droppable);
+  const auto cancel_requested = [cancel] {
+    return cancel != nullptr && cancel->cancelled();
+  };
 
   // Per-task shared state between the primary attempt loop and an optional
   // speculative copy. `exec_mu` serializes body execution so a partition's
@@ -286,10 +316,13 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
     const double delay_ms = inject ? injector_.straggler_delay_ms(stage_seq, part) : 0.0;
     for (int attempt = 1; attempt <= ft.max_attempts; ++attempt) {
       if (st.done.load(std::memory_order_acquire)) break;  // speculation won
+      // Cancellation point between attempts: an abandoned task is neither
+      // done nor failed, and is classified as cancelled after the join.
+      if (cancel_requested()) break;
       st.attempts.fetch_add(1, std::memory_order_relaxed);
       st.primary_attempts.fetch_add(1, std::memory_order_relaxed);
-      if (delay_ms > 0.0) interruptible_sleep_ms(delay_ms, st.done);
-      if (st.done.load(std::memory_order_acquire)) break;
+      if (delay_ms > 0.0) interruptible_sleep_ms(delay_ms, st.done, cancel);
+      if (st.done.load(std::memory_order_acquire) || cancel_requested()) break;
       bool attempt_failed = inject && injector_.should_fail(stage_seq, part, attempt);
       if (!attempt_failed) {
         try {
@@ -304,7 +337,7 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
       if (attempt == ft.max_attempts) {
         st.failed.store(true, std::memory_order_release);
       } else if (ft.retry_backoff_ms > 0.0) {
-        interruptible_sleep_ms(ft.retry_backoff_ms * attempt, st.done);
+        interruptible_sleep_ms(ft.retry_backoff_ms * attempt, st.done, cancel);
       }
     }
     st.primary_finished.store(true, std::memory_order_release);
@@ -319,7 +352,7 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
   // fault, no straggler delay, single attempt.
   auto speculative = [&](std::size_t idx) {
     TaskState& st = tasks[idx];
-    if (st.done.load(std::memory_order_acquire)) return;
+    if (st.done.load(std::memory_order_acquire) || cancel_requested()) return;
     st.attempts.fetch_add(1, std::memory_order_relaxed);
     try {
       execute_body(idx, /*speculative=*/true);
@@ -373,8 +406,12 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
       // `selected` is sorted, so the executed ids come out sorted too.
       info.executed_partition_ids.push_back(selected[i]);
       info.task_times_s.push_back(st.task_time_s);
-    } else {
+    } else if (st.failed.load(std::memory_order_acquire)) {
       info.failed_partition_ids.push_back(selected[i]);
+    } else {
+      // Neither completed nor out of budget: the cancellation token fired
+      // and the attempt loop abandoned the task.
+      ++info.cancelled_partitions;
     }
   }
   info.executed_partitions = info.executed_partition_ids.size();

@@ -13,11 +13,13 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "common/rng.hpp"
 #include "engine/dataset.hpp"
 #include "engine/fault.hpp"
@@ -61,6 +63,15 @@ struct StageInfo {
   // accuracy bound at ratio 0 (exact) applies regardless of the configured
   // theta.
   double effective_drop_ratio = 0.0;
+
+  // --- cancellation accounting --------------------------------------------
+  // True when the job's CancellationToken fired while this stage ran: the
+  // partitions below were abandoned before their body completed and
+  // run_stage raised JobCancelledError right after logging this entry, so
+  // the stage's output must be considered garbage (unlike degradation,
+  // cancellation makes no accuracy claim).
+  bool cancelled = false;
+  std::size_t cancelled_partitions = 0;  // selected but abandoned mid-stage
 
   // --- shuffle accounting -------------------------------------------------
   // Populated on the two stages of a combine_by_key-style shuffle. On the
@@ -141,6 +152,20 @@ class Engine {
     injector_ = FaultInjector(fault.injection);
   }
   const FaultInjector& fault_injector() const { return injector_; }
+
+  // --- cooperative cancellation -------------------------------------------
+  // Installs the token subsequent stages poll: checked once on stage entry
+  // and then between partitions (every lane re-checks before stealing its
+  // next index; the fault-tolerant path also checks between attempts and
+  // inside backoff/straggler sleeps). Once the token fires, the in-flight
+  // task bodies finish, the rest of the stage is abandoned, the stage is
+  // logged with `cancelled` accounting, and run_stage raises
+  // JobCancelledError — releasing the pool for the next job. Detached (the
+  // default) the stage paths are byte-identical to before this feature.
+  // Not thread-safe against a concurrently running stage: the dispatcher
+  // installs the job's token before invoking the job body.
+  void set_cancellation(CancellationToken token) { cancel_ = std::move(token); }
+  void clear_cancellation() { cancel_.reset(); }
 
   // --- observability ------------------------------------------------------
   // Attaches metric/trace sinks (either may be null; null detaches). With a
@@ -514,6 +539,11 @@ class Engine {
                                 std::uint64_t stage_seq,
                                 const std::function<void(std::size_t)>& body);
 
+  // The installed cancellation token, or null when detached.
+  const CancellationToken* cancel_token() const {
+    return cancel_.has_value() ? &*cancel_ : nullptr;
+  }
+
   // Shuffle accounting: annotate the just-logged shuffle-write / merge
   // stage (stage_log_.back()) and publish metrics + a tracer event.
   void note_shuffle_write(std::size_t records_in, std::size_t records_out,
@@ -527,6 +557,7 @@ class Engine {
     obs::Counter* tasks_executed = nullptr;
     obs::Counter* tasks_dropped = nullptr;   // dropped before launch (theta)
     obs::Counter* tasks_degraded = nullptr;  // failed -> dropped / fatal
+    obs::Counter* tasks_cancelled = nullptr; // abandoned by a fired token
     obs::Counter* attempts = nullptr;
     obs::Counter* retries = nullptr;
     obs::Counter* speculative_launched = nullptr;
@@ -544,6 +575,7 @@ class Engine {
   ThreadPool pool_;
   Rng rng_;
   FaultInjector injector_;
+  std::optional<CancellationToken> cancel_;  // null = cancellation detached
   std::uint64_t stage_seq_ = 0;  // stages run since construction; injector key
   std::vector<StageInfo> stage_log_;
   ObsHooks obs_;

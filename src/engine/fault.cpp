@@ -1,8 +1,23 @@
 #include "engine/fault.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace dias::engine {
+
+void interruptible_sleep_ms(double ms, const std::atomic<bool>& done,
+                            const CancellationToken* cancel) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  while (!done.load(std::memory_order_acquire) &&
+         !(cancel != nullptr && cancel->cancelled()) && clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 namespace {
 
 // splitmix64 finalizer: a strong 64-bit mixer, also used to seed the

@@ -21,13 +21,23 @@
 //     NOT allowed to degrade.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 
 namespace dias::engine {
+
+// Sleeps roughly `ms`, returning early once `done` becomes true or the
+// optional cancellation token fires. Used for injected straggler delays
+// and retry backoff, so neither a speculative win nor a deadline cancel is
+// held back by a sleeping loser — the retry/speculation paths are
+// cancellation points, not blind waits.
+void interruptible_sleep_ms(double ms, const std::atomic<bool>& done,
+                            const CancellationToken* cancel = nullptr);
 
 // What the injector should break. All probabilities are per decision:
 // `fail_prob` is evaluated once per task *attempt* (so retries of a task

@@ -140,14 +140,16 @@ void ThreadPool::attach_metrics(obs::Registry& registry, const std::string& pref
   active_workers_gauge_.store(&active, std::memory_order_relaxed);
 }
 
-void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::size_t)>& task) {
+void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::size_t)>& task,
+                             const CancellationToken* cancel) {
   if (count == 0) return;
   // One index-stealing lane per worker *slot*: each lane pulls the next
-  // index off a shared atomic counter until the range is exhausted. Every
-  // index runs even when some throw; the first observed error is rethrown
-  // at the end. Lanes beyond the active limit wait in the queue — if a
-  // lease activates more slots mid-stage they start stealing immediately,
-  // and at stage tail they find the range exhausted and return.
+  // index off a shared atomic counter until the range is exhausted (or the
+  // cancellation token fires). Every started index runs even when some
+  // throw; the first observed error is rethrown at the end. Lanes beyond
+  // the active limit wait in the queue — if a lease activates more slots
+  // mid-stage they start stealing immediately, and at stage tail they find
+  // the range exhausted and return.
   const std::size_t lanes = std::min(count, workers());
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
@@ -155,8 +157,9 @@ void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::si
   std::vector<std::future<void>> futures;
   futures.reserve(lanes);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    futures.push_back(submit([&next, &task, &error_mutex, &first_error, count] {
+    futures.push_back(submit([&next, &task, &error_mutex, &first_error, count, cancel] {
       for (;;) {
+        if (cancel != nullptr && cancel->cancelled()) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
         try {

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "obs/metrics.hpp"
 
 namespace dias::engine {
@@ -77,7 +78,15 @@ class ThreadPool {
   // one queue entry per task, so per-task overhead stays O(1) allocations
   // per *stage* rather than per task, and a mid-stage lease immediately
   // widens the stage (the extra lanes are already queued).
-  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& task);
+  //
+  // With a non-null `cancel`, every lane re-checks the token before
+  // stealing its next index and bails once cancellation was requested —
+  // in-flight task bodies finish (cooperative contract), the remaining
+  // indices are abandoned, and the workers come free for the next job.
+  // Abandoned indices do NOT count as errors; the caller decides what a
+  // partially executed range means (the engine raises JobCancelledError).
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& task,
+                   const CancellationToken* cancel = nullptr);
 
   // Tasks enqueued but not yet picked up by a worker (diagnostic; the
   // value is stale as soon as it is returned).

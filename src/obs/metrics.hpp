@@ -121,6 +121,12 @@ class Registry {
   HistogramMetric& histogram(const std::string& name, double lo, double hi,
                              std::size_t bins);
 
+  // Non-registering lookups: nullptr when the name is absent or is a
+  // different kind. Lets a sampler (the overload controller reading the
+  // engine's busy-worker gauge) observe a metric without creating it.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+
   MetricsSnapshot snapshot() const;
   std::string to_json() const { return snapshot().to_json(); }
 

@@ -1,0 +1,226 @@
+#include "runtime/overload_controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dias::runtime {
+
+OverloadController::OverloadController(core::DiasDispatcher& dispatcher,
+                                       core::Deflator deflator,
+                                       std::vector<core::ClassConstraint> constraints,
+                                       OverloadControllerConfig config,
+                                       obs::Registry* metrics, obs::Tracer* tracer)
+    : dispatcher_(dispatcher), deflator_(std::move(deflator)),
+      constraints_(std::move(constraints)), config_(std::move(config)),
+      tracer_(tracer) {
+  const std::size_t n = deflator_.profiles().size();
+  DIAS_EXPECTS(n == dispatcher_.priorities(),
+               "deflator profiles and dispatcher classes must agree");
+  DIAS_EXPECTS(constraints_.size() == n, "one constraint per class required");
+  DIAS_EXPECTS(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+               "ewma_alpha must be in (0,1]");
+  DIAS_EXPECTS(config_.queue_depth_low <= config_.queue_depth_high,
+               "hysteresis band must have low <= high");
+  DIAS_EXPECTS(config_.min_hold_s >= 0.0, "min_hold_s must be >= 0");
+  DIAS_EXPECTS(config_.theta_ceiling.empty() || config_.theta_ceiling.size() == n,
+               "theta_ceiling must be empty or one per class");
+
+  // Per-class ceilings: explicit, or the accuracy profile's admissible cap
+  // for the class's error tolerance. The closed loop never installs above
+  // these, so accuracy contracts survive any overload.
+  ceiling_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!config_.theta_ceiling.empty()) {
+      DIAS_EXPECTS(config_.theta_ceiling[k] >= 0.0 && config_.theta_ceiling[k] <= 1.0,
+                   "theta ceilings must be in [0,1]");
+      ceiling_[k] = config_.theta_ceiling[k];
+    } else {
+      ceiling_[k] = std::clamp(
+          deflator_.accuracy(k).max_theta_for_error(constraints_[k].max_error_percent),
+          0.0, 1.0);
+    }
+  }
+
+  // EWMA seeds from the profiled rates; the relax target is the offline
+  // plan (or the dispatcher's current thetas when no plan is feasible).
+  ewma_rate_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    ewma_rate_[k] = deflator_.profiles()[k].arrival_rate;
+  }
+  last_arrivals_.assign(n, 0);
+  installed_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) installed_[k] = dispatcher_.theta(k);
+  const auto base = deflator_.plan(constraints_);
+  baseline_theta_ = base.feasible ? base.theta : installed_;
+  for (std::size_t k = 0; k < n; ++k) {
+    baseline_theta_[k] = std::min(baseline_theta_[k], ceiling_[k]);
+  }
+
+  if (metrics != nullptr) {
+    overloaded_gauge_ = &metrics->gauge("overload.state");
+    utilization_gauge_ = &metrics->gauge("overload.utilization");
+    replans_counter_ = &metrics->counter("overload.replans");
+    escalations_counter_ = &metrics->counter("overload.escalations");
+    relaxations_counter_ = &metrics->counter("overload.relaxations");
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::string suffix = ".class" + std::to_string(k);
+      rate_gauges_.push_back(&metrics->gauge("overload.rate" + suffix));
+      theta_gauges_.push_back(&metrics->gauge("overload.theta" + suffix));
+      rate_gauges_.back()->set(ewma_rate_[k]);
+      theta_gauges_.back()->set(installed_[k]);
+    }
+  }
+
+  if (config_.start_thread) start();
+}
+
+OverloadController::~OverloadController() { stop(); }
+
+void OverloadController::start() {
+  std::lock_guard lock(mutex_);
+  if (thread_running_) return;
+  stopping_ = false;
+  thread_running_ = true;
+  cadence_ = std::thread([this] { cadence_loop(); });
+}
+
+void OverloadController::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!thread_running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  cadence_.join();
+  std::lock_guard lock(mutex_);
+  thread_running_ = false;
+  stopping_ = false;
+}
+
+void OverloadController::cadence_loop() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(config_.sample_period_s));
+    if (stopping_) break;
+    lock.unlock();
+    sample_once();
+    lock.lock();
+  }
+}
+
+void OverloadController::sample_once() {
+  const auto snap = dispatcher_.load_snapshot();
+  std::lock_guard lock(mutex_);
+  ++samples_;
+  const double now = snap.uptime_s;
+  const double dt = now - last_uptime_s_;
+  if (have_sample_ && dt > 1e-9) {
+    for (std::size_t k = 0; k < ewma_rate_.size(); ++k) {
+      const double sample =
+          static_cast<double>(snap.classes[k].arrivals - last_arrivals_[k]) / dt;
+      ewma_rate_[k] =
+          (1.0 - config_.ewma_alpha) * ewma_rate_[k] + config_.ewma_alpha * sample;
+    }
+    utilization_ = std::clamp((snap.busy_s - last_busy_s_) / dt, 0.0, 1.0);
+  }
+  for (std::size_t k = 0; k < last_arrivals_.size(); ++k) {
+    last_arrivals_[k] = snap.classes[k].arrivals;
+    if (!rate_gauges_.empty()) rate_gauges_[k]->set(ewma_rate_[k]);
+  }
+  last_uptime_s_ = now;
+  last_busy_s_ = snap.busy_s;
+  have_sample_ = true;
+
+  // Hysteresis: sticky between the low and high depth thresholds.
+  const std::size_t depth = snap.total_queue_depth();
+  if (depth >= config_.queue_depth_high) {
+    overloaded_ = true;
+  } else if (depth <= config_.queue_depth_low) {
+    overloaded_ = false;
+  }
+  if (overloaded_gauge_ != nullptr) overloaded_gauge_->set(overloaded_ ? 1.0 : 0.0);
+  if (utilization_gauge_ != nullptr) utilization_gauge_->set(utilization_);
+
+  // Plan switches are rate-limited; within the hold window the previous
+  // plan stands even if the state machine flipped.
+  if (now - last_change_s_ < config_.min_hold_s) return;
+  if (overloaded_) {
+    std::vector<double> rates(ewma_rate_.size());
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      rates[k] = std::max(ewma_rate_[k], 1e-6);
+    }
+    replan_locked(rates, true, now);
+  } else if (installed_ != baseline_theta_) {
+    install_locked(baseline_theta_, false, now, true);
+  }
+}
+
+void OverloadController::replan_locked(const std::vector<double>& rates,
+                                       bool overloaded, double now_s) {
+  ++replans_;
+  if (replans_counter_ != nullptr) replans_counter_->add();
+  const auto plan = deflator_.plan(constraints_, rates);
+  std::vector<double> target(ceiling_.size());
+  for (std::size_t k = 0; k < target.size(); ++k) {
+    // Infeasible measured load: escalate to the accuracy ceilings — the
+    // most degradation the contracts admit; admission control carries the
+    // rest of the overload.
+    target[k] = plan.feasible ? std::min(plan.theta[k], ceiling_[k]) : ceiling_[k];
+  }
+  if (target == installed_) return;
+  bool raised = false;
+  for (std::size_t k = 0; k < target.size(); ++k) {
+    if (target[k] > installed_[k]) raised = true;
+  }
+  (void)overloaded;
+  install_locked(target, raised, now_s, plan.feasible);
+}
+
+void OverloadController::install_locked(const std::vector<double>& theta, bool escalate,
+                                        double now_s, bool feasible) {
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    dispatcher_.set_theta(k, theta[k]);
+    if (!theta_gauges_.empty()) theta_gauges_[k]->set(theta[k]);
+  }
+  installed_ = theta;
+  last_change_s_ = now_s;
+  if (escalate) {
+    ++escalations_;
+    if (escalations_counter_ != nullptr) escalations_counter_->add();
+  } else {
+    ++relaxations_;
+    if (relaxations_counter_ != nullptr) relaxations_counter_->add();
+  }
+  if (tracer_ != nullptr) {
+    std::vector<obs::Field> fields;
+    fields.emplace_back("overloaded", overloaded_);
+    fields.emplace_back("escalate", escalate);
+    fields.emplace_back("feasible", feasible);
+    fields.emplace_back("uptime_s", now_s);
+    for (std::size_t k = 0; k < theta.size(); ++k) {
+      fields.emplace_back("theta" + std::to_string(k), theta[k]);
+      fields.emplace_back("rate" + std::to_string(k), ewma_rate_[k]);
+    }
+    tracer_->event("overload.plan", std::move(fields));
+  }
+}
+
+OverloadController::Status OverloadController::status() const {
+  std::lock_guard lock(mutex_);
+  Status s;
+  s.overloaded = overloaded_;
+  s.samples = samples_;
+  s.replans = replans_;
+  s.escalations = escalations_;
+  s.relaxations = relaxations_;
+  s.measured_rate = ewma_rate_;
+  s.installed_theta = installed_;
+  s.theta_ceiling = ceiling_;
+  s.utilization = utilization_;
+  return s;
+}
+
+}  // namespace dias::runtime

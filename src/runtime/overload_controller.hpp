@@ -1,0 +1,150 @@
+// Closed-loop adaptive deflation (ISSUE 5, tentpole part 3).
+//
+// The offline Deflator picks theta_k / Tk from *profiled* arrival rates;
+// under a real overload burst those rates are stale and the plan under-
+// degrades, so queues grow without bound. The OverloadController closes
+// the loop: it samples the live dispatcher (measured per-class arrival
+// rates via EWMA, queue depths, single-runner utilization), re-runs the
+// same Deflator grid search against the measured load, and installs the
+// escalated drop ratios through DiasDispatcher::set_theta.
+//
+// Stability knobs:
+//   * hysteresis — the controller flips into "overloaded" when the total
+//     queue depth crosses `queue_depth_high`, and only flips back (and
+//     relaxes to the baseline plan) once depth falls to `queue_depth_low`;
+//     plan switches are additionally rate-limited by `min_hold_s`;
+//   * theta ceilings — every installed theta_k is clamped to the class's
+//     accuracy-derived ceiling (max theta whose predicted error stays
+//     within the class constraint), so closing the loop can never
+//     silently violate an accuracy contract. When even the ceilings are
+//     infeasible for the measured load, the controller installs the
+//     ceilings (maximum admissible degradation) — the remaining overload
+//     must be absorbed by admission control, not by accuracy.
+//
+// Threading: sample_once() is the whole control step and is safe to call
+// from any single thread; start()/stop() run it on an internal cadence
+// thread for production use, while tests call sample_once() directly for
+// determinism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/deflator.hpp"
+#include "core/dispatcher.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dias::runtime {
+
+struct OverloadControllerConfig {
+  // Cadence of the background sampler (start()); sample_once() ignores it.
+  double sample_period_s = 0.5;
+  // EWMA weight of the newest per-class rate sample, in (0, 1].
+  double ewma_alpha = 0.3;
+  // Hysteresis band on the dispatcher's total queue depth.
+  std::size_t queue_depth_high = 8;
+  std::size_t queue_depth_low = 2;
+  // Minimum seconds between installed plan changes (escalate or relax).
+  double min_hold_s = 2.0;
+  // Optional per-class ceilings on installed theta; empty = derive each
+  // class's ceiling from its accuracy profile and error constraint.
+  std::vector<double> theta_ceiling;
+  // Spawn the cadence thread from the constructor.
+  bool start_thread = false;
+};
+
+class OverloadController {
+ public:
+  struct Status {
+    bool overloaded = false;
+    std::uint64_t samples = 0;
+    std::uint64_t replans = 0;      // deflator grid searches triggered
+    std::uint64_t escalations = 0;  // installed plans that raised some theta
+    std::uint64_t relaxations = 0;  // installed plans that lowered some theta
+    std::vector<double> measured_rate;  // EWMA jobs/s per class
+    std::vector<double> installed_theta;
+    std::vector<double> theta_ceiling;
+    double utilization = 0.0;  // busy fraction over the last sample window
+  };
+
+  // `deflator` is copied; its profiled rates seed the EWMA and its
+  // baseline plan (profiled load) is what relaxation restores. The
+  // dispatcher must outlive the controller. `metrics`/`tracer` may be
+  // null; with sinks attached the controller exports overload state /
+  // measured-rate / theta gauges, replan counters, and one
+  // "overload.plan" trace event per installed plan.
+  OverloadController(core::DiasDispatcher& dispatcher, core::Deflator deflator,
+                     std::vector<core::ClassConstraint> constraints,
+                     OverloadControllerConfig config, obs::Registry* metrics = nullptr,
+                     obs::Tracer* tracer = nullptr);
+  ~OverloadController();
+  OverloadController(const OverloadController&) = delete;
+  OverloadController& operator=(const OverloadController&) = delete;
+
+  // One full control iteration: sample the dispatcher, update the EWMA
+  // load estimate, apply the hysteresis state machine, and (when due)
+  // re-plan and install new drop ratios.
+  void sample_once();
+
+  void start();  // idempotent; spawns the cadence thread
+  void stop();   // idempotent; joins it
+
+  Status status() const;
+
+ private:
+  void cadence_loop();
+  // Re-runs the grid search against `rates` and installs the resulting
+  // thetas (clamped to the ceilings); `now_s` is dispatcher uptime.
+  // Callers hold mutex_.
+  void replan_locked(const std::vector<double>& rates, bool overloaded, double now_s);
+  void install_locked(const std::vector<double>& theta, bool escalate, double now_s,
+                      bool feasible);
+
+  core::DiasDispatcher& dispatcher_;
+  core::Deflator deflator_;
+  std::vector<core::ClassConstraint> constraints_;
+  OverloadControllerConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool thread_running_ = false;
+
+  // Control state (guarded by mutex_).
+  bool overloaded_ = false;
+  bool have_sample_ = false;
+  double last_uptime_s_ = 0.0;
+  double last_busy_s_ = 0.0;
+  // Uptime of the last installed plan; -inf so the first change is never
+  // blocked by the hold window.
+  double last_change_s_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::uint64_t> last_arrivals_;
+  std::vector<double> ewma_rate_;
+  std::vector<double> ceiling_;
+  std::vector<double> baseline_theta_;  // relax target (profiled-load plan)
+  std::vector<double> installed_;
+  double utilization_ = 0.0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t replans_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t relaxations_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Gauge* overloaded_gauge_ = nullptr;
+  obs::Gauge* utilization_gauge_ = nullptr;
+  obs::Counter* replans_counter_ = nullptr;
+  obs::Counter* escalations_counter_ = nullptr;
+  obs::Counter* relaxations_counter_ = nullptr;
+  std::vector<obs::Gauge*> rate_gauges_;
+  std::vector<obs::Gauge*> theta_gauges_;
+
+  std::thread cadence_;
+};
+
+}  // namespace dias::runtime

@@ -135,4 +135,37 @@ class SprintGovernor {
   std::thread watchdog_;
 };
 
+// RAII wrapper for the job_started/job_finished pair. The governor's
+// watchdog is armed between the two calls, and job_finished is what
+// revokes an active boost (returning its SlotLease and stopping the
+// budget drain) — so a job body that throws or is cancelled between the
+// hooks would otherwise leak the boost and wedge the single-runner
+// contract (the next job_started asserts). The guard makes revocation
+// exception-safe: construct it before running the job, call finish() on
+// the success path to collect the intervals; if the scope unwinds first,
+// the destructor still closes the pair (discarding the intervals — the
+// job has no record to attach them to anyway).
+class SprintJobGuard {
+ public:
+  SprintJobGuard(SprintGovernor& governor, std::size_t priority) : governor_(&governor) {
+    governor_->job_started(priority);
+  }
+  ~SprintJobGuard() {
+    if (governor_ != nullptr) governor_->job_finished();
+  }
+  SprintJobGuard(const SprintJobGuard&) = delete;
+  SprintJobGuard& operator=(const SprintJobGuard&) = delete;
+
+  // Closes the pair and hands out the job's boost windows (seconds since
+  // job start). After finish() the destructor is a no-op.
+  std::vector<SprintInterval> finish() {
+    auto out = governor_->job_finished();
+    governor_ = nullptr;
+    return out;
+  }
+
+ private:
+  SprintGovernor* governor_;
+};
+
 }  // namespace dias::runtime

@@ -1,0 +1,413 @@
+// Overload protection at the dispatcher (ISSUE 5): bounded admission,
+// terminal job outcomes, class deadlines with cooperative cancellation,
+// dynamic theta, load snapshots, and the documented drain() ordering.
+#include "core/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/cancellation.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/sprint_governor.hpp"
+
+namespace dias::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::size_t count_outcome(const std::vector<DiasDispatcher::JobRecord>& records,
+                          JobOutcome outcome) {
+  std::size_t n = 0;
+  for (const auto& r : records) {
+    if (r.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+TEST(AdmissionTest, UnboundedDefaultsBehaveLikeSeedDispatcher) {
+  DiasDispatcher dispatcher({0.2, 0.0});
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dispatcher.submit(static_cast<std::size_t>(i % 2), [&](double) { ++runs; }),
+              Admission::kAdmitted);
+  }
+  const auto records = dispatcher.drain();
+  EXPECT_EQ(runs.load(), 20);
+  ASSERT_EQ(records.size(), 20u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 20u);
+  for (const auto& r : records) EXPECT_TRUE(r.error.empty());
+}
+
+TEST(AdmissionTest, RejectPolicyShedsAtTheDoor) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kReject;
+  opts.classes = {ClassPolicy{2, std::numeric_limits<double>::infinity()}};
+  DiasDispatcher dispatcher({0.0}, opts);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> runs{0};
+  // Occupy the runner so submissions stay queued.
+  dispatcher.submit(0, [&](double) {
+    ++runs;
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);  // blocker is running, queue empty
+  EXPECT_EQ(dispatcher.submit(0, [&](double) { ++runs; }), Admission::kAdmitted);
+  EXPECT_EQ(dispatcher.submit(0, [&](double) { ++runs; }), Admission::kAdmitted);
+  // Queue full (capacity 2): the third is turned away with a record.
+  EXPECT_EQ(dispatcher.submit(0, [&](double) { ++runs; }), Admission::kRejected);
+  release = true;
+  const auto records = dispatcher.drain();
+  EXPECT_EQ(runs.load(), 3);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 3u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kShed), 1u);
+  for (const auto& r : records) {
+    if (r.outcome == JobOutcome::kShed) {
+      EXPECT_FALSE(r.error.empty());
+      EXPECT_DOUBLE_EQ(r.execution_s(), 0.0);
+    }
+  }
+}
+
+TEST(AdmissionTest, ShedOldestLowestEvictsWithinClassCap) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kShedOldestLowest;
+  opts.classes = {ClassPolicy{1, std::numeric_limits<double>::infinity()}};
+  DiasDispatcher dispatcher({0.0}, opts);
+
+  std::atomic<bool> release{false};
+  std::vector<int> ran;
+  std::mutex mutex;
+  dispatcher.submit(0, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  auto tagged = [&](int tag) {
+    return [&, tag](double) {
+      std::lock_guard lock(mutex);
+      ran.push_back(tag);
+    };
+  };
+  EXPECT_EQ(dispatcher.submit(0, tagged(1)), Admission::kAdmitted);
+  // Class cap 1: the newcomer evicts the queued job 1.
+  EXPECT_EQ(dispatcher.submit(0, tagged(2)), Admission::kAdmitted);
+  release = true;
+  const auto records = dispatcher.drain();
+  EXPECT_EQ(ran, std::vector<int>{2});
+  EXPECT_EQ(count_outcome(records, JobOutcome::kShed), 1u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 2u);
+}
+
+TEST(AdmissionTest, ShedOldestLowestProtectsHigherPriorityWork) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kShedOldestLowest;
+  opts.total_capacity = 1;
+  DiasDispatcher dispatcher({0.0, 0.0}, opts);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> low_runs{0};
+  std::atomic<int> high_runs{0};
+  dispatcher.submit(1, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  // The queue holds one high-priority job; a low-priority arrival may not
+  // displace it and is shed instead.
+  EXPECT_EQ(dispatcher.submit(1, [&](double) { ++high_runs; }), Admission::kAdmitted);
+  EXPECT_EQ(dispatcher.submit(0, [&](double) { ++low_runs; }), Admission::kRejected);
+  release = true;
+  const auto records = dispatcher.drain();
+  EXPECT_EQ(low_runs.load(), 0);
+  EXPECT_EQ(high_runs.load(), 1);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kShed), 1u);
+}
+
+TEST(AdmissionTest, BlockPolicyIsLossless) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kBlock;
+  opts.total_capacity = 2;
+  DiasDispatcher bounded({0.0}, opts);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 16; ++i) {
+    bounded.submit(0, [&](double) {
+      ++runs;
+      std::this_thread::sleep_for(1ms);
+    });
+  }
+  const auto records = bounded.drain();
+  EXPECT_EQ(runs.load(), 16);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 16u);
+}
+
+TEST(AdmissionTest, FailingJobGetsTerminalFailedOutcome) {
+  DiasDispatcher dispatcher({0.0});
+  dispatcher.submit(0, [](double) { throw std::runtime_error("boom"); });
+  dispatcher.submit(0, [](double) {});
+  const auto records = dispatcher.drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kFailed), 1u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 1u);
+  for (const auto& r : records) {
+    if (r.outcome == JobOutcome::kFailed) {
+      EXPECT_EQ(r.error, "boom");
+    }
+  }
+}
+
+TEST(AdmissionTest, ContextJobSeesThetaPriorityAndLiveToken) {
+  DiasDispatcher dispatcher({0.4, 0.1});
+  std::atomic<bool> saw{false};
+  dispatcher.submit(1, DiasDispatcher::ContextJobFn(
+                           [&](const DiasDispatcher::JobContext& ctx) {
+                             EXPECT_DOUBLE_EQ(ctx.theta, 0.1);
+                             EXPECT_EQ(ctx.priority, 1u);
+                             EXPECT_FALSE(ctx.token.cancelled());
+                             saw = true;
+                           }));
+  dispatcher.drain();
+  EXPECT_TRUE(saw.load());
+}
+
+TEST(AdmissionTest, QueuedJobPastDeadlineIsCancelledWithoutRunning) {
+  DispatcherOptions opts;
+  opts.classes = {ClassPolicy{0, 0.05}};  // 50 ms response deadline
+  DiasDispatcher dispatcher({0.0}, opts);
+  std::atomic<bool> release{false};
+  std::atomic<bool> ran{false};
+  dispatcher.submit(0, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  dispatcher.submit(0, [&](double) { ran = true; });
+  std::this_thread::sleep_for(80ms);  // the queued job's deadline passes
+  release = true;
+  const auto records = dispatcher.drain();
+  EXPECT_FALSE(ran.load());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCancelled), 1u);
+  for (const auto& r : records) {
+    if (r.outcome == JobOutcome::kCancelled) {
+      EXPECT_EQ(r.error, "deadline exceeded before start");
+      EXPECT_DOUBLE_EQ(r.execution_s(), 0.0);
+    }
+  }
+}
+
+TEST(AdmissionTest, RunningJobPastDeadlineIsCancelledCooperatively) {
+  DispatcherOptions opts;
+  opts.classes = {ClassPolicy{0, 0.05}};
+  DiasDispatcher dispatcher({0.0}, opts);
+  std::atomic<int> polls{0};
+  dispatcher.submit(0, DiasDispatcher::ContextJobFn(
+                           [&](const DiasDispatcher::JobContext& ctx) {
+                             // Simulates an engine stage loop: work in small
+                             // slices, poll the token between them.
+                             for (int i = 0; i < 10000; ++i) {
+                               std::this_thread::sleep_for(1ms);
+                               ++polls;
+                               ctx.token.throw_if_cancelled("slice");
+                             }
+                           }));
+  const auto records = dispatcher.drain();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, JobOutcome::kCancelled);
+  EXPECT_GT(polls.load(), 0);
+  EXPECT_LT(polls.load(), 10000);
+  // The job stopped near its 50 ms deadline, far before the 10 s runtime.
+  EXPECT_LT(records[0].response_s(), 5.0);
+}
+
+TEST(AdmissionTest, DeadlineDoesNotFireForFastJobs) {
+  DispatcherOptions opts;
+  opts.classes = {ClassPolicy{0, 10.0}};
+  DiasDispatcher dispatcher({0.0}, opts);
+  for (int i = 0; i < 8; ++i) {
+    dispatcher.submit(0, [](double) { std::this_thread::sleep_for(1ms); });
+  }
+  const auto records = dispatcher.drain();
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 8u);
+}
+
+TEST(AdmissionTest, SetThetaAppliesToSubsequentJobs) {
+  DiasDispatcher dispatcher({0.1});
+  std::vector<double> seen;
+  std::mutex mutex;
+  dispatcher.submit(0, [&](double theta) {
+    std::lock_guard lock(mutex);
+    seen.push_back(theta);
+  });
+  dispatcher.drain();
+  dispatcher.set_theta(0, 0.5);
+  EXPECT_DOUBLE_EQ(dispatcher.theta(0), 0.5);
+  dispatcher.submit(0, [&](double theta) {
+    std::lock_guard lock(mutex);
+    seen.push_back(theta);
+  });
+  const auto records = dispatcher.drain();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.1);
+  EXPECT_DOUBLE_EQ(seen[1], 0.5);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].theta, 0.5);
+  EXPECT_THROW(dispatcher.set_theta(0, 1.5), dias::precondition_error);
+  EXPECT_THROW(dispatcher.set_theta(7, 0.0), dias::precondition_error);
+}
+
+TEST(AdmissionTest, LoadSnapshotCountsOutcomesAndDepths) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kReject;
+  opts.classes = {ClassPolicy{1, std::numeric_limits<double>::infinity()},
+                  ClassPolicy{}};
+  DiasDispatcher dispatcher({0.0, 0.0}, opts);
+  std::atomic<bool> release{false};
+  dispatcher.submit(1, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  dispatcher.submit(0, [](double) {});
+  dispatcher.submit(0, [](double) {});  // class-0 cap 1 -> shed
+  {
+    const auto snap = dispatcher.load_snapshot();
+    ASSERT_EQ(snap.classes.size(), 2u);
+    EXPECT_EQ(snap.classes[0].arrivals, 2u);
+    EXPECT_EQ(snap.classes[0].queue_depth, 1u);
+    EXPECT_EQ(snap.classes[0].shed, 1u);
+    EXPECT_EQ(snap.classes[1].arrivals, 1u);
+    EXPECT_EQ(snap.total_queue_depth(), 1u);
+    EXPECT_GT(snap.uptime_s, 0.0);
+  }
+  release = true;
+  dispatcher.drain();
+  const auto snap = dispatcher.load_snapshot();
+  EXPECT_EQ(snap.classes[0].completed, 1u);
+  EXPECT_EQ(snap.classes[1].completed, 1u);
+  EXPECT_EQ(snap.total_queue_depth(), 0u);
+  EXPECT_GT(snap.busy_s, 0.0);
+  EXPECT_LE(snap.busy_s, snap.uptime_s + 1e-6);
+}
+
+TEST(AdmissionTest, ObservabilityCountsShedCancelledFailed) {
+  obs::Registry reg;
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kReject;
+  opts.classes = {ClassPolicy{1, 0.05}};
+  DiasDispatcher dispatcher({0.0}, opts);
+  dispatcher.attach_observability(&reg, nullptr);
+  std::atomic<bool> release{false};
+  dispatcher.submit(0, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  dispatcher.submit(0, [](double) {});   // queued, will expire (50 ms deadline)
+  dispatcher.submit(0, [](double) {});   // cap 1 -> shed
+  std::this_thread::sleep_for(80ms);
+  release = true;
+  dispatcher.drain();
+  dispatcher.submit(0, [](double) { throw std::runtime_error("x"); });
+  dispatcher.drain();
+  EXPECT_EQ(reg.counter("dispatcher.class0.shed").value(), 1u);
+  EXPECT_EQ(reg.counter("dispatcher.class0.cancelled").value(), 1u);
+  EXPECT_EQ(reg.counter("dispatcher.class0.failed").value(), 1u);
+  EXPECT_GE(reg.counter("dispatcher.class0.completed").value(), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("dispatcher.class0.queue_depth").value(), 0.0);
+}
+
+// Satellite (a): drain() ordering is documented as (completion_s,
+// arrival_s, seq). Zero-duration jobs submitted concurrently with drain()
+// must come back in a stable, reproducible order.
+TEST(AdmissionTest, DrainOrderIsStableForZeroDurationJobs) {
+  DiasDispatcher dispatcher({0.0});
+  constexpr std::size_t kJobs = 50;
+  for (int round = 0; round < 10; ++round) {
+    // Drain overlaps a live burst of zero-duration jobs: drain() may
+    // return between submissions, in several batches.
+    std::thread submitter([&] {
+      for (std::size_t i = 0; i < kJobs; ++i) {
+        dispatcher.submit(0, [](double) {});  // zero-duration
+      }
+    });
+    std::vector<DiasDispatcher::JobRecord> all;
+    while (all.size() < kJobs) {
+      const auto batch = dispatcher.drain();
+      for (std::size_t i = 1; i < batch.size(); ++i) {
+        const auto& a = batch[i - 1];
+        const auto& b = batch[i];
+        EXPECT_LE(std::tie(a.completion_s, a.arrival_s, a.seq),
+                  std::tie(b.completion_s, b.arrival_s, b.seq))
+            << "drain order violated at index " << i;
+      }
+      // Zero-duration same-class jobs run FCFS, so seq stays monotone
+      // even when completion timestamps collide.
+      for (std::size_t i = 1; i < batch.size(); ++i) {
+        EXPECT_LT(batch[i - 1].seq, batch[i].seq);
+      }
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+    submitter.join();
+    EXPECT_EQ(all.size(), kJobs);
+  }
+}
+
+// Satellite (b): a throwing job must not wedge the sprint governor — the
+// RAII guard closes the job_started/job_finished pair on unwind, so the
+// next job can still sprint.
+TEST(AdmissionTest, ThrowingJobDoesNotWedgeSprintGovernor) {
+  engine::ThreadPool pool(2, 2);
+  runtime::SprintGovernorConfig cfg;
+  cfg.enabled = true;
+  cfg.budget.base_power_w = 180.0;
+  cfg.budget.sprint_power_w = 270.0;
+  cfg.budget.budget_joules = 1e9;
+  cfg.budget.budget_cap_joules = 1e9;
+  cfg.timeout_s = {0.02};
+  runtime::SprintGovernor governor(cfg, pool);
+
+  DiasDispatcher dispatcher({0.0});
+  dispatcher.attach_sprint_governor(&governor);
+  // Job 1 sprints, then throws mid-boost.
+  dispatcher.submit(0, [&](double) {
+    while (!governor.sprinting()) std::this_thread::sleep_for(1ms);
+    throw std::runtime_error("mid-sprint failure");
+  });
+  // Job 2 must still be able to start and sprint (guard re-armed the
+  // governor; the leaked lease would otherwise trip job_started).
+  dispatcher.submit(0, [&](double) {
+    while (!governor.sprinting()) std::this_thread::sleep_for(1ms);
+  });
+  const auto records = dispatcher.drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kFailed), 1u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 1u);
+  EXPECT_FALSE(governor.sprinting());
+  EXPECT_EQ(pool.active_workers(), 2u);  // lease returned both times
+  EXPECT_EQ(governor.sprints_granted(), 2u);
+  // The failed job still carries its boost window.
+  for (const auto& r : records) {
+    if (r.outcome == JobOutcome::kFailed) {
+      EXPECT_GT(r.sprint_s(), 0.0);
+    }
+  }
+}
+
+TEST(AdmissionTest, OptionValidation) {
+  DispatcherOptions bad_deadline;
+  bad_deadline.classes = {ClassPolicy{0, 0.0}};
+  EXPECT_THROW(DiasDispatcher({0.0}, bad_deadline), dias::precondition_error);
+  DispatcherOptions too_many;
+  too_many.classes = {ClassPolicy{}, ClassPolicy{}};
+  EXPECT_THROW(DiasDispatcher({0.0}, too_many), dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::core

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -388,6 +391,122 @@ TEST_P(DropSweepTest, ExecutedFractionMatchesTheta) {
 
 INSTANTIATE_TEST_SUITE_P(Thetas, DropSweepTest,
                          ::testing::Values(0.0, 0.1, 0.2, 0.33, 0.4, 0.5, 0.66, 0.8, 0.9));
+
+// --- cooperative cancellation (ISSUE 5) ------------------------------------
+
+TEST(EngineCancelTest, PreCancelledTokenStopsStageAtEntry) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(100), 10);
+  CancellationToken token;
+  token.request_cancel();
+  eng.set_cancellation(token);
+  eng.clear_stage_log();
+  std::atomic<int> ran{0};
+  EXPECT_THROW(eng.map(ds, [&](const int& x) { ++ran; return x; }),
+               JobCancelledError);
+  EXPECT_EQ(ran.load(), 0) << "no task body may run after entry cancellation";
+  EXPECT_TRUE(eng.stage_log().empty()) << "entry cancellation logs no stage";
+}
+
+TEST(EngineCancelTest, MidStageCancelAbandonsRemainingPartitions) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(400), 200);
+  CancellationToken token;
+  eng.set_cancellation(token);
+  eng.clear_stage_log();
+  std::atomic<int> ran{0};
+  EXPECT_THROW(eng.map(ds,
+                       [&](const int& x) {
+                         if (++ran == 8) token.request_cancel();
+                         std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                         return x;
+                       }),
+               JobCancelledError);
+  ASSERT_EQ(eng.stage_log().size(), 1u);
+  const auto& info = eng.stage_log().front();
+  EXPECT_TRUE(info.cancelled);
+  EXPECT_GT(info.cancelled_partitions, 0u);
+  EXPECT_LT(info.executed_partitions, info.total_partitions);
+  EXPECT_EQ(info.executed_partitions + info.cancelled_partitions,
+            info.total_partitions);
+  // The engine is reusable after cancellation once the token is cleared.
+  eng.clear_cancellation();
+  const auto out = eng.map(ds, [](const int& x) { return x + 1; });
+  EXPECT_EQ(out.partitions(), 200u);
+}
+
+TEST(EngineCancelTest, DetachedTokenIsZeroCost) {
+  Engine eng(opts());
+  const auto ds = eng.parallelize(iota_vec(100), 10);
+  CancellationToken token;
+  eng.set_cancellation(token);
+  eng.clear_cancellation();
+  const auto out = eng.map(ds, [](const int& x) { return 2 * x; });
+  EXPECT_EQ(out.total_size(), 100u);
+  EXPECT_FALSE(eng.stage_log().back().cancelled);
+}
+
+TEST(EngineCancelTest, FaultPathHonoursCancellationInBackoff) {
+  // Every attempt fails and backoff is long: without cancellation this
+  // stage would spend ~seconds retrying. The token must cut the sleeps
+  // short and classify the unfinished partitions as cancelled.
+  Engine::Options o = opts();
+  o.fault.injection.fail_prob = 1.0;
+  o.fault.injection.seed = 7;
+  o.fault.max_attempts = 50;
+  o.fault.retry_backoff_ms = 50.0;
+  Engine eng(o);
+  const auto ds = eng.parallelize(iota_vec(64), 32);
+  CancellationToken token;
+  eng.set_cancellation(token);
+  eng.clear_stage_log();
+  StageOptions so;
+  so.droppable = false;  // retries matter: no degradation escape hatch
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.request_cancel();
+  });
+  EXPECT_THROW(eng.map(ds, [](const int& x) { return x; }, so), JobCancelledError);
+  canceller.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed, 5.0) << "cancellation must pre-empt the retry backoff";
+  ASSERT_EQ(eng.stage_log().size(), 1u);
+  EXPECT_TRUE(eng.stage_log().front().cancelled);
+  EXPECT_GT(eng.stage_log().front().cancelled_partitions, 0u);
+}
+
+TEST(EngineCancelTest, CancellationOutranksTaskFailure) {
+  // A non-droppable stage with both dead tasks and a fired token reports
+  // the cancellation, not TaskFailedError: the job is being torn down, so
+  // task failure is no longer actionable.
+  Engine::Options o = opts();
+  o.fault.injection.fail_prob = 0.5;  // some tasks die for good (1 attempt)
+  o.fault.injection.seed = 3;
+  o.fault.max_attempts = 1;
+  Engine eng(o);
+  const auto ds = eng.parallelize(iota_vec(64), 32);
+  CancellationToken token;
+  std::atomic<int> calls{0};
+  eng.set_cancellation(token);
+  StageOptions so;
+  so.droppable = false;
+  try {
+    eng.map(ds,
+            [&](const int& x) {
+              if (++calls >= 1) token.request_cancel();
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              return x;
+            },
+            so);
+    FAIL() << "expected JobCancelledError";
+  } catch (const JobCancelledError&) {
+  } catch (const TaskFailedError&) {
+    FAIL() << "cancellation must outrank task failure";
+  }
+  EXPECT_TRUE(eng.stage_log().back().cancelled);
+}
 
 }  // namespace
 }  // namespace dias::engine

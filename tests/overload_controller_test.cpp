@@ -1,0 +1,269 @@
+// Closed-loop adaptive deflation (ISSUE 5): the OverloadController samples
+// the live dispatcher, re-runs the deflator grid search against measured
+// arrival rates, and installs escalated thetas — clamped to accuracy
+// ceilings, with queue-depth hysteresis and a minimum hold time. Tests
+// drive sample_once() directly for determinism.
+#include "runtime/overload_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/accuracy_profile.hpp"
+#include "core/deflator.hpp"
+#include "core/dispatcher.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dias::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+using core::ClassConstraint;
+using core::Deflator;
+using core::DiasDispatcher;
+
+model::JobClassProfile profile(double lambda) {
+  model::JobClassProfile p;
+  p.arrival_rate = lambda;
+  p.slots = 4;
+  p.map_task_pmf.assign(8, 0.0);
+  p.map_task_pmf.back() = 1.0;
+  p.reduce_task_pmf.assign(2, 0.0);
+  p.reduce_task_pmf.back() = 1.0;
+  p.map_rate = 1.0;
+  p.reduce_rate = 1.0;
+  p.shuffle_rate = 2.0;
+  p.mean_overhead_theta0 = 2.0;
+  p.mean_overhead_theta90 = 1.0;
+  return p;
+}
+
+Deflator make_deflator() {
+  return Deflator({profile(0.02), profile(0.005)},
+                  core::AccuracyProfile::paper_word_count());
+}
+
+// 15% error tolerance caps the low class at theta 0.2 on the word-count
+// curve; the high class is exact (ceiling 0).
+std::vector<ClassConstraint> constraints() {
+  return {{15.0, 1e18, 1.0}, {0.0, 1e18, 1.0}};
+}
+
+OverloadControllerConfig manual_config() {
+  OverloadControllerConfig cfg;
+  cfg.ewma_alpha = 1.0;  // rate estimate == last sample, for determinism
+  cfg.queue_depth_high = 3;
+  cfg.queue_depth_low = 0;
+  cfg.min_hold_s = 0.0;
+  cfg.start_thread = false;
+  return cfg;
+}
+
+TEST(OverloadControllerTest, DerivesCeilingsFromAccuracyConstraints) {
+  DiasDispatcher dispatcher({0.0, 0.0});
+  OverloadController controller(dispatcher, make_deflator(), constraints(),
+                                manual_config());
+  const auto status = controller.status();
+  ASSERT_EQ(status.theta_ceiling.size(), 2u);
+  EXPECT_NEAR(status.theta_ceiling[0], 0.2, 0.05);
+  EXPECT_DOUBLE_EQ(status.theta_ceiling[1], 0.0);
+  // EWMA seeds from the profiled rates.
+  EXPECT_DOUBLE_EQ(status.measured_rate[0], 0.02);
+  EXPECT_DOUBLE_EQ(status.measured_rate[1], 0.005);
+  EXPECT_FALSE(status.overloaded);
+}
+
+TEST(OverloadControllerTest, IdleSystemStaysAtBaseline) {
+  DiasDispatcher dispatcher({0.0, 0.0});
+  OverloadController controller(dispatcher, make_deflator(), constraints(),
+                                manual_config());
+  for (int i = 0; i < 5; ++i) {
+    controller.sample_once();
+    std::this_thread::sleep_for(2ms);
+  }
+  const auto status = controller.status();
+  EXPECT_FALSE(status.overloaded);
+  EXPECT_EQ(status.escalations, 0u);
+  EXPECT_DOUBLE_EQ(status.installed_theta[0], dispatcher.theta(0));
+  EXPECT_DOUBLE_EQ(dispatcher.theta(0), 0.0);
+  EXPECT_DOUBLE_EQ(dispatcher.theta(1), 0.0);
+}
+
+TEST(OverloadControllerTest, OverloadEscalatesThetaWithinCeiling) {
+  obs::Registry reg;
+  obs::Tracer tracer;
+  DiasDispatcher dispatcher({0.0, 0.0});
+  OverloadController controller(dispatcher, make_deflator(), constraints(),
+                                manual_config(), &reg, &tracer);
+  controller.sample_once();  // establish the arrival baseline
+
+  // Jam the runner and pile up a burst: depth crosses queue_depth_high
+  // and the measured low-class rate explodes past the profiled 0.02/s.
+  std::atomic<bool> release{false};
+  dispatcher.submit(0, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  for (int i = 0; i < 8; ++i) {
+    dispatcher.submit(0, [](double) {});
+  }
+  std::this_thread::sleep_for(5ms);
+  controller.sample_once();
+
+  auto status = controller.status();
+  EXPECT_TRUE(status.overloaded);
+  EXPECT_GE(status.replans, 1u);
+  EXPECT_GE(status.escalations, 1u);
+  EXPECT_GT(status.measured_rate[0], 0.02);
+  // Escalated, but never past the accuracy ceiling; the exact class is
+  // never degraded.
+  EXPECT_GT(dispatcher.theta(0), 0.0);
+  EXPECT_LE(dispatcher.theta(0), status.theta_ceiling[0] + 1e-9);
+  EXPECT_DOUBLE_EQ(dispatcher.theta(1), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("overload.state").value(), 1.0);
+  EXPECT_GE(reg.counter("overload.replans").value(), 1u);
+  EXPECT_GE(tracer.event_count(), 1u);
+
+  // Recovery: drain the backlog, then the controller relaxes to baseline.
+  release = true;
+  dispatcher.drain();
+  controller.sample_once();
+  status = controller.status();
+  EXPECT_FALSE(status.overloaded);
+  EXPECT_GE(status.relaxations, 1u);
+  EXPECT_DOUBLE_EQ(dispatcher.theta(0), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("overload.state").value(), 0.0);
+}
+
+TEST(OverloadControllerTest, ExplicitCeilingsClampEscalation) {
+  DiasDispatcher dispatcher({0.0, 0.0});
+  auto cfg = manual_config();
+  cfg.theta_ceiling = {0.08, 0.0};
+  OverloadController controller(dispatcher, make_deflator(), constraints(), cfg);
+  controller.sample_once();
+
+  std::atomic<bool> release{false};
+  dispatcher.submit(0, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  for (int i = 0; i < 8; ++i) dispatcher.submit(0, [](double) {});
+  std::this_thread::sleep_for(5ms);
+  controller.sample_once();
+  EXPECT_LE(dispatcher.theta(0), 0.08 + 1e-9);
+  EXPECT_DOUBLE_EQ(dispatcher.theta(1), 0.0);
+  release = true;
+  dispatcher.drain();
+}
+
+TEST(OverloadControllerTest, MinHoldSuppressesPlanFlapping) {
+  DiasDispatcher dispatcher({0.0, 0.0});
+  auto cfg = manual_config();
+  cfg.min_hold_s = 1000.0;  // effectively: one plan change per test
+  OverloadController controller(dispatcher, make_deflator(), constraints(), cfg);
+  controller.sample_once();
+
+  std::atomic<bool> release{false};
+  dispatcher.submit(0, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  for (int i = 0; i < 8; ++i) dispatcher.submit(0, [](double) {});
+  std::this_thread::sleep_for(5ms);
+  controller.sample_once();
+  const double escalated = dispatcher.theta(0);
+  EXPECT_GT(escalated, 0.0);
+
+  // Backlog clears, but the hold window pins the escalated plan.
+  release = true;
+  dispatcher.drain();
+  controller.sample_once();
+  const auto status = controller.status();
+  EXPECT_FALSE(status.overloaded) << "hysteresis state still tracks depth";
+  EXPECT_DOUBLE_EQ(dispatcher.theta(0), escalated) << "plan held by min_hold_s";
+  EXPECT_EQ(status.relaxations, 0u);
+}
+
+TEST(OverloadControllerTest, HysteresisBandIsSticky) {
+  DiasDispatcher dispatcher({0.0, 0.0});
+  auto cfg = manual_config();
+  cfg.queue_depth_high = 4;
+  cfg.queue_depth_low = 1;
+  OverloadController controller(dispatcher, make_deflator(), constraints(), cfg);
+
+  std::atomic<bool> release{false};
+  dispatcher.submit(0, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  for (int i = 0; i < 5; ++i) dispatcher.submit(0, [](double) {});
+  controller.sample_once();
+  EXPECT_TRUE(controller.status().overloaded);  // depth 5 >= high
+
+  // Let the backlog shrink into the band (depth 2..3): still overloaded.
+  release = true;
+  while (dispatcher.load_snapshot().total_queue_depth() > 3) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto depth = dispatcher.load_snapshot().total_queue_depth();
+  controller.sample_once();
+  if (depth > 1) {
+    EXPECT_TRUE(controller.status().overloaded) << "band must be sticky";
+  }
+  dispatcher.drain();
+  controller.sample_once();
+  EXPECT_FALSE(controller.status().overloaded);  // depth 0 <= low
+}
+
+TEST(OverloadControllerTest, BackgroundCadenceThreadSamples) {
+  DiasDispatcher dispatcher({0.0, 0.0});
+  auto cfg = manual_config();
+  cfg.sample_period_s = 0.005;
+  cfg.start_thread = true;
+  OverloadController controller(dispatcher, make_deflator(), constraints(), cfg);
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (controller.status().samples < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  controller.stop();
+  controller.stop();  // idempotent
+  EXPECT_GE(controller.status().samples, 3u);
+  const auto frozen = controller.status().samples;
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(controller.status().samples, frozen);
+}
+
+TEST(OverloadControllerTest, Validation) {
+  DiasDispatcher dispatcher({0.0, 0.0});
+  DiasDispatcher one_class({0.0});
+  EXPECT_THROW(OverloadController(one_class, make_deflator(), constraints(),
+                                  manual_config()),
+               dias::precondition_error);
+  EXPECT_THROW(OverloadController(dispatcher, make_deflator(),
+                                  {ClassConstraint{15.0, 1e18, 1.0}}, manual_config()),
+               dias::precondition_error);
+  auto bad_alpha = manual_config();
+  bad_alpha.ewma_alpha = 0.0;
+  EXPECT_THROW(
+      OverloadController(dispatcher, make_deflator(), constraints(), bad_alpha),
+      dias::precondition_error);
+  auto bad_band = manual_config();
+  bad_band.queue_depth_high = 1;
+  bad_band.queue_depth_low = 2;
+  EXPECT_THROW(
+      OverloadController(dispatcher, make_deflator(), constraints(), bad_band),
+      dias::precondition_error);
+  auto bad_ceiling = manual_config();
+  bad_ceiling.theta_ceiling = {0.5};
+  EXPECT_THROW(
+      OverloadController(dispatcher, make_deflator(), constraints(), bad_ceiling),
+      dias::precondition_error);
+}
+
+}  // namespace
+}  // namespace dias::runtime
