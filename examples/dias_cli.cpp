@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <optional>
@@ -24,6 +25,8 @@
 #include "obs/trace.hpp"
 #include "runtime/overload_controller.hpp"
 #include "runtime/sprint_governor.hpp"
+#include "storage/block_store.hpp"
+#include "storage/spill_store.hpp"
 #include "workload/text_corpus.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -62,6 +65,11 @@ void usage(const char* prog) {
       "  --fault-all-stages            inject into non-droppable stages too (a dead\n"
       "                                task there aborts the job with TaskFailedError)\n"
       "  --fault-seed <n>              injector seed (default 99)\n"
+      "  --shuffle-budget-bytes <n>    hard cap on resident shuffle memory; overflow\n"
+      "                                spills through a BlockStore and the results\n"
+      "                                stay byte-identical (0 = unbounded, default)\n"
+      "  --spill-dir <path>            BlockStore root for spilled shuffle segments\n"
+      "                                (default: a throwaway dir under /tmp)\n"
       "runtime sprinting (elastic pool + sprint governor on the real engine):\n"
       "  --runtime-sprint              run bursty two-class traffic through the\n"
       "                                real dispatcher; the high class sprints by\n"
@@ -84,7 +92,13 @@ void usage(const char* prog) {
       "                                escalates up to --theta-ceiling)\n"
       "  --theta-ceiling <low,high,...>  per-class ceilings for --adaptive (default 0.6,0.3)\n"
       "  --overload-jobs <n>           jobs to submit (default 150)\n"
-      "  --overload-period-ms <ms>     submit period; ~10 is a 2x burst (default 10)\n",
+      "  --overload-period-ms <ms>     submit period; ~10 is a 2x burst (default 10)\n"
+      "  --memory-capacity-mb <n>      dispatcher memory budget over queued + running\n"
+      "                                jobs; 0 = unbounded (default 0). With\n"
+      "                                --adaptive the controller treats ~80%%/40%% of\n"
+      "                                this as its memory pressure band\n"
+      "  --job-memory-mb <low,high>    declared per-class job footprints in MB\n"
+      "                                (default 0,0 = undeclared)\n",
       prog);
 }
 
@@ -94,7 +108,8 @@ void usage(const char* prog) {
 // failure.
 int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
                          std::uint64_t seed, const engine::FaultToleranceOptions& fault,
-                         bool csv, obs::Registry* metrics, obs::Tracer* tracer) {
+                         std::size_t shuffle_budget, std::string spill_dir, bool csv,
+                         obs::Registry* metrics, obs::Tracer* tracer) {
   workload::TextCorpusParams params;
   params.posts = rows;
   params.seed = seed;
@@ -106,13 +121,39 @@ int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
   opts.fault = fault;
   engine::Engine eng(opts);
   eng.attach_observability(metrics, tracer);
+
+  // A finite budget needs somewhere to spill: stand up a BlockStore on the
+  // requested directory (or a throwaway one) and attach it as the engine's
+  // spill backend.
+  std::optional<storage::BlockStore> store;
+  std::optional<storage::BlockStoreSpill> spill;
+  bool scratch_spill_dir = false;
+  if (shuffle_budget > 0) {
+    if (spill_dir.empty()) {
+      const auto tick = std::chrono::steady_clock::now().time_since_epoch().count();
+      spill_dir = (std::filesystem::temp_directory_path() /
+                   ("dias_cli_spill_" + std::to_string(tick)))
+                      .string();
+      scratch_spill_dir = true;
+    }
+    storage::BlockStoreOptions sopts;
+    sopts.root = spill_dir;
+    store.emplace(sopts);
+    spill.emplace(*store, "wordcount");
+    eng.set_spill_backend(&*spill);
+  }
+  engine::ShuffleOptions shuffle;
+  shuffle.memory_budget_bytes = shuffle_budget;
+
   const auto ds = eng.parallelize(corpus.rows, partitions);
 
   analytics::WordCountResult result;
   try {
-    result = analytics::word_count(eng, ds, std::max<std::size_t>(partitions / 4, 1), theta);
+    result = analytics::word_count(eng, ds, std::max<std::size_t>(partitions / 4, 1),
+                                   theta, shuffle);
   } catch (const engine::TaskFailedError& e) {
     std::fprintf(stderr, "job failed: %s\n", e.what());
+    if (scratch_spill_dir) std::filesystem::remove_all(spill_dir);
     return 1;
   }
 
@@ -148,6 +189,21 @@ int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
                 result.counts.size(), result.executed_fraction(),
                 1000.0 * result.duration_s);
   }
+  if (spill) {
+    const auto stats = spill->stats();
+    if (csv) {
+      std::printf("spill_segments,%llu\nspill_bytes,%llu\n",
+                  static_cast<unsigned long long>(stats.segments_written),
+                  static_cast<unsigned long long>(stats.bytes_written));
+    } else {
+      std::printf("  spill: budget %zu B, %llu segments / %llu bytes through %s\n",
+                  shuffle_budget,
+                  static_cast<unsigned long long>(stats.segments_written),
+                  static_cast<unsigned long long>(stats.bytes_written),
+                  spill_dir.c_str());
+    }
+  }
+  if (scratch_spill_dir) std::filesystem::remove_all(spill_dir);
   return 0;
 }
 
@@ -246,8 +302,9 @@ int run_runtime_sprint(std::size_t bursts, std::size_t reserve, double timeout_s
 int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
                          std::vector<double> deadlines, bool adaptive,
                          std::vector<double> ceilings, std::size_t jobs,
-                         double period_ms, bool csv, obs::Registry* metrics,
-                         obs::Tracer* tracer) {
+                         double period_ms, std::size_t memory_capacity_mb,
+                         std::vector<double> job_memory_mb, bool csv,
+                         obs::Registry* metrics, obs::Tracer* tracer) {
   static constexpr std::size_t kPartitions = 16;
   static constexpr int kTaskMs = 4;
   engine::Engine::Options eopts;
@@ -261,8 +318,14 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
     dopts.classes[k].queue_capacity = queue_cap;
     if (k < deadlines.size()) dopts.classes[k].deadline_s = deadlines[k];
   }
+  dopts.memory_capacity_bytes = memory_capacity_mb << 20;
   core::DiasDispatcher dispatcher({0.0, 0.0}, dopts);
   dispatcher.attach_observability(metrics, tracer);
+
+  const auto declared_memory = [&](std::size_t priority) -> std::size_t {
+    if (priority >= job_memory_mb.size() || job_memory_mb[priority] <= 0.0) return 0;
+    return static_cast<std::size_t>(job_memory_mb[priority] * (1 << 20));
+  };
 
   std::optional<runtime::OverloadController> controller;
   if (adaptive) {
@@ -285,6 +348,11 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
     ccfg.ewma_alpha = 0.5;
     ccfg.queue_depth_high = 6;
     ccfg.queue_depth_low = 2;
+    if (memory_capacity_mb > 0) {
+      // Memory pressure band at ~80%/40% of the dispatcher's capacity.
+      ccfg.memory_high_bytes = (memory_capacity_mb << 20) * 4 / 5;
+      ccfg.memory_low_bytes = (memory_capacity_mb << 20) * 2 / 5;
+    }
     ccfg.min_hold_s = 0.2;
     ccfg.theta_ceiling = std::move(ceilings);
     ccfg.start_thread = true;
@@ -315,7 +383,8 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
                            return part;
                          },
                          sopts);
-                   }));
+                   }),
+        declared_memory(i % 2));
     std::this_thread::sleep_for(std::chrono::duration<double>(period_ms * 1e-3));
   }
   const auto records = dispatcher.drain();
@@ -375,12 +444,21 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
                   static_cast<unsigned long long>(st.replans),
                   static_cast<unsigned long long>(st.escalations),
                   static_cast<unsigned long long>(st.relaxations));
+      if (memory_capacity_mb > 0) {
+        std::printf("memory_pressure,%d\nmemory_in_use_bytes,%zu\n",
+                    st.memory_pressure ? 1 : 0, st.memory_in_use_bytes);
+      }
     } else {
       std::printf("  controller: %llu replans, %llu escalations, %llu relaxations, "
                   "utilization %.2f\n",
                   static_cast<unsigned long long>(st.replans),
                   static_cast<unsigned long long>(st.escalations),
                   static_cast<unsigned long long>(st.relaxations), st.utilization);
+      if (memory_capacity_mb > 0) {
+        std::printf("  memory: %.1f / %zu MB accounted at shutdown, pressure %s\n",
+                    static_cast<double>(st.memory_in_use_bytes) / (1 << 20),
+                    memory_capacity_mb, st.memory_pressure ? "on" : "off");
+      }
     }
   }
   return 0;
@@ -460,6 +538,10 @@ int main(int argc, char** argv) {
   std::vector<double> theta_ceiling{0.6, 0.3};
   std::size_t overload_jobs = 150;
   double overload_period_ms = 10.0;
+  std::size_t memory_capacity_mb = 0;
+  std::vector<double> job_memory_mb;
+  std::size_t shuffle_budget_bytes = 0;
+  std::string spill_dir;
   std::size_t reserve_workers = 6;
   double sprint_replenish = 0.0;
   std::size_t bursts = 8;
@@ -545,6 +627,14 @@ int main(int argc, char** argv) {
       overload_jobs = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--overload-period-ms") {
       overload_period_ms = std::stod(next());
+    } else if (arg == "--memory-capacity-mb") {
+      memory_capacity_mb = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--job-memory-mb") {
+      job_memory_mb = parse_list(next());
+    } else if (arg == "--shuffle-budget-bytes") {
+      shuffle_budget_bytes = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--spill-dir") {
+      spill_dir = next();
     } else if (arg == "--reserve-workers") {
       reserve_workers = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--sprint-replenish") {
@@ -585,8 +675,9 @@ int main(int argc, char** argv) {
   if (runtime_overload) {
     const int rc = run_runtime_overload(admission, queue_cap, std::move(deadlines),
                                         adaptive, std::move(theta_ceiling),
-                                        overload_jobs, overload_period_ms, csv,
-                                        want_obs ? &obs_metrics : nullptr,
+                                        overload_jobs, overload_period_ms,
+                                        memory_capacity_mb, std::move(job_memory_mb),
+                                        csv, want_obs ? &obs_metrics : nullptr,
                                         want_obs ? &obs_tracer : nullptr);
     if (!flush_observability(metrics_out, trace_out, obs_metrics, obs_tracer)) return 1;
     return rc;
@@ -603,7 +694,8 @@ int main(int argc, char** argv) {
 
   if (engine_wordcount) {
     const int rc = run_engine_wordcount(theta.empty() ? 0.2 : theta.front(), rows,
-                                        partitions, seed, fault, csv,
+                                        partitions, seed, fault, shuffle_budget_bytes,
+                                        std::move(spill_dir), csv,
                                         want_obs ? &obs_metrics : nullptr,
                                         want_obs ? &obs_tracer : nullptr);
     if (!flush_observability(metrics_out, trace_out, obs_metrics, obs_tracer)) return 1;

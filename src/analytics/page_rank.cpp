@@ -40,12 +40,15 @@ PageRankResult page_rank(engine::Engine& eng, const engine::Dataset<workload::Ed
         return out;
       },
       droppable("pagerank/edges"));
-  auto adjacency = eng.group_by_key(neighbour_pairs, options.partitions, [] {
-    engine::StageOptions opts;
-    opts.name = "pagerank/adjacency";
-    opts.droppable = false;
-    return opts;
-  }());
+  auto adjacency = eng.group_by_key(
+      neighbour_pairs, options.partitions,
+      [] {
+        engine::StageOptions opts;
+        opts.name = "pagerank/adjacency";
+        opts.droppable = false;
+        return opts;
+      }(),
+      options.shuffle);
 
   // Vertex count for the teleport term.
   const std::size_t n_vertices = eng.count(adjacency);
@@ -81,12 +84,14 @@ PageRankResult page_rank(engine::Engine& eng, const engine::Dataset<workload::Ed
         },
         droppable("pagerank/contrib-" + std::to_string(it)));
     auto summed = eng.reduce_by_key(
-        contributions, [](double a, double b) { return a + b; }, options.partitions, [&] {
+        contributions, [](double a, double b) { return a + b; }, options.partitions,
+        [&] {
           engine::StageOptions opts;
           opts.name = "pagerank/sum-" + std::to_string(it);
           opts.droppable = false;
           return opts;
-        }());
+        }(),
+        options.shuffle);
 
     RankVector next;
     next.reserve(n_vertices);

@@ -31,6 +31,9 @@ struct PageRankOptions {
   // Drop ratio applied to every droppable stage of every iteration.
   double stage_drop_ratio = 0.0;
   std::size_t partitions = 32;  // shuffle width
+  // Applied to every shuffle (adjacency build + per-iteration sums); a
+  // finite memory_budget_bytes spills through the engine's backend.
+  engine::ShuffleOptions shuffle;
 };
 
 // Runs PageRank over the (undirected, canonical) edge list; each edge

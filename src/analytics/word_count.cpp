@@ -9,7 +9,8 @@
 namespace dias::analytics {
 
 WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::string>& rows,
-                           std::size_t reduce_partitions, double drop_override) {
+                           std::size_t reduce_partitions, double drop_override,
+                           engine::ShuffleOptions shuffle) {
   eng.clear_stage_log();
 
   // Map: parse rows -> (word, 1) pairs. This is the droppable stage.
@@ -37,11 +38,10 @@ WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::strin
   engine::StageOptions reduce_opts;
   reduce_opts.name = "wordcount";
   reduce_opts.droppable = false;
-  engine::ShuffleOptions shuffle_opts;
-  shuffle_opts.combine = true;
+  shuffle.combine = true;
   auto reduced = eng.reduce_by_key(
       pairs, [](std::uint64_t a, std::uint64_t b) { return a + b; }, reduce_partitions,
-      reduce_opts, shuffle_opts);
+      reduce_opts, shuffle);
 
   WordCountResult result;
   for (const auto& kv : reduced.collect()) result.counts.emplace(kv.first, kv.second);

@@ -36,9 +36,13 @@ struct WordCountResult {
 };
 
 // Runs word count over the XML rows with the engine's current drop ratio
-// (or `drop_override` when >= 0) applied to the map stage.
+// (or `drop_override` when >= 0) applied to the map stage. `shuffle`
+// configures the reduce-by-key shuffle — notably memory_budget_bytes,
+// which lets the job run on inputs far larger than worker memory by
+// spilling through the engine's attached backend.
 WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::string>& rows,
-                           std::size_t reduce_partitions = 20, double drop_override = -1.0);
+                           std::size_t reduce_partitions = 20, double drop_override = -1.0,
+                           engine::ShuffleOptions shuffle = {});
 
 // Exact single-threaded reference count (no engine, no dropping).
 WordCounts exact_word_count(const std::vector<std::string>& rows);

@@ -26,6 +26,7 @@ DiasDispatcher::DiasDispatcher(std::vector<double> theta)
 DiasDispatcher::DiasDispatcher(std::vector<double> theta, DispatcherOptions options)
     : theta_(std::move(theta)), options_(std::move(options)),
       epoch_(std::chrono::steady_clock::now()), buffers_(theta_.size()),
+      queued_memory_(theta_.size(), 0), memory_profile_(theta_.size(), 0.0),
       loads_(theta_.size()) {
   DIAS_EXPECTS(!theta_.empty(), "dispatcher needs at least one priority class");
   for (double t : theta_) {
@@ -33,6 +34,8 @@ DiasDispatcher::DiasDispatcher(std::vector<double> theta, DispatcherOptions opti
   }
   DIAS_EXPECTS(options_.classes.size() <= theta_.size(),
                "more class policies than priority classes");
+  DIAS_EXPECTS(options_.memory_profile_alpha > 0.0 && options_.memory_profile_alpha <= 1.0,
+               "memory profile alpha must be in (0,1]");
   options_.classes.resize(theta_.size());
   for (const auto& cp : options_.classes) {
     DIAS_EXPECTS(cp.deadline_s > 0.0, "class deadlines must be positive");
@@ -53,6 +56,7 @@ void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* t
   theta_gauges_.clear();
   response_hist_ = nullptr;
   queueing_hist_ = nullptr;
+  memory_gauge_ = nullptr;
   if (metrics != nullptr) {
     for (std::size_t k = 0; k < theta_.size(); ++k) {
       const std::string prefix = "dispatcher.class" + std::to_string(k);
@@ -66,6 +70,7 @@ void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* t
     }
     response_hist_ = &metrics->histogram("dispatcher.response_s", 0.0, 600.0, 240);
     queueing_hist_ = &metrics->histogram("dispatcher.queueing_s", 0.0, 600.0, 240);
+    memory_gauge_ = &metrics->gauge("dispatcher.memory_in_use_bytes");
   }
 }
 
@@ -91,7 +96,7 @@ double DiasDispatcher::now_s() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
 }
 
-bool DiasDispatcher::queue_has_space(std::size_t priority) const {
+bool DiasDispatcher::queue_has_space(std::size_t priority, std::size_t memory_bytes) const {
   const ClassPolicy& cp = options_.classes[priority];
   if (cp.queue_capacity != 0 && buffers_[priority].size() >= cp.queue_capacity) {
     return false;
@@ -99,7 +104,32 @@ bool DiasDispatcher::queue_has_space(std::size_t priority) const {
   if (options_.total_capacity != 0 && queued_total_ >= options_.total_capacity) {
     return false;
   }
+  // Aggregate-footprint admission. An over-budget job is still admitted
+  // when nothing else holds memory: no amount of waiting or shedding could
+  // ever make it fit, so refusing it would starve (kBlock) or shed the
+  // whole queue for nothing (kShedOldestLowest).
+  if (options_.memory_capacity_bytes != 0 && memory_in_use_ > 0 &&
+      memory_in_use_ + memory_bytes > options_.memory_capacity_bytes) {
+    return false;
+  }
   return true;
+}
+
+void DiasDispatcher::release_memory_locked(const JobRecord& record) {
+  memory_in_use_ -= std::min(memory_in_use_, record.memory_bytes);
+  if (memory_gauge_ != nullptr) memory_gauge_->set(static_cast<double>(memory_in_use_));
+}
+
+void DiasDispatcher::update_memory_profile_locked(std::size_t priority,
+                                                  std::size_t declared) {
+  if (declared == 0) return;
+  double& profile = memory_profile_[priority];
+  const double sample = static_cast<double>(declared);
+  profile = profile == 0.0
+                ? sample  // first declared sample seeds the profile
+                : (1.0 - options_.memory_profile_alpha) * profile +
+                      options_.memory_profile_alpha * sample;
+  loads_[priority].profiled_memory_bytes = static_cast<std::size_t>(profile);
 }
 
 void DiasDispatcher::note_outcome_locked(const JobRecord& record) {
@@ -140,19 +170,23 @@ void DiasDispatcher::finish_without_running(Pending&& pending, JobOutcome outcom
   completed_.push_back(std::move(pending.record));
 }
 
-Admission DiasDispatcher::submit(std::size_t priority, JobFn job) {
+Admission DiasDispatcher::submit(std::size_t priority, JobFn job, std::size_t memory_bytes) {
   DIAS_EXPECTS(static_cast<bool>(job), "job callable must be non-empty");
-  return submit(priority, ContextJobFn([fn = std::move(job)](const JobContext& ctx) {
+  return submit(priority,
+                ContextJobFn([fn = std::move(job)](const JobContext& ctx) {
                   fn(ctx.theta);
-                }));
+                }),
+                memory_bytes);
 }
 
-Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job) {
+Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job,
+                                 std::size_t memory_bytes) {
   DIAS_EXPECTS(priority < theta_.size(), "priority out of range");
   DIAS_EXPECTS(static_cast<bool>(job), "job callable must be non-empty");
   Pending pending;
   pending.fn = std::move(job);
   pending.record.priority = priority;
+  pending.declared_memory = memory_bytes;
 
   bool shed_victim = false;
   {
@@ -161,54 +195,72 @@ Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job) {
     pending.record.seq = next_seq_++;
     pending.record.arrival_s = now_s();
     ++loads_[priority].arrivals;
+    // Accounted footprint: what the submitter declared, else the class's
+    // learned profile (0 when nothing of this class ever declared one).
+    const std::size_t accounted =
+        memory_bytes > 0 ? memory_bytes
+                         : static_cast<std::size_t>(memory_profile_[priority]);
+    pending.record.memory_bytes = accounted;
 
-    if (!queue_has_space(priority)) {
+    if (!queue_has_space(priority, accounted)) {
       switch (options_.admission) {
         case AdmissionPolicy::kBlock:
-          space_cv_.wait(lock, [&] { return stopping_ || queue_has_space(priority); });
+          space_cv_.wait(lock,
+                         [&] { return stopping_ || queue_has_space(priority, accounted); });
           DIAS_EXPECTS(!stopping_, "submit on a stopping dispatcher");
           break;
         case AdmissionPolicy::kReject:
           finish_without_running(std::move(pending), JobOutcome::kShed,
-                                 "rejected at admission: queue full");
+                                 "rejected at admission: queue or memory full");
           lock.unlock();
           drain_cv_.notify_all();
           return Admission::kRejected;
         case AdmissionPolicy::kShedOldestLowest: {
-          // Prefer shedding within the class whose cap was hit; when only
-          // the dispatcher-wide cap binds, shed the oldest job of the
-          // lowest non-empty class the newcomer does not outrank.
-          const ClassPolicy& cp = options_.classes[priority];
-          std::size_t victim_class = theta_.size();
-          if (cp.queue_capacity != 0 && buffers_[priority].size() >= cp.queue_capacity) {
-            victim_class = priority;
-          } else {
-            for (std::size_t k = 0; k <= priority; ++k) {
-              if (!buffers_[k].empty()) {
-                victim_class = k;
-                break;
+          // Shed until the newcomer fits. One victim suffices when a queue
+          // cap binds; under the memory cap several small jobs may have to
+          // go to make room for one big footprint. Each round either
+          // dequeues a victim (finite queues, so the loop terminates) or
+          // gives up and sheds the newcomer.
+          while (!queue_has_space(priority, accounted)) {
+            // Prefer shedding within the class whose cap was hit; when only
+            // a dispatcher-wide cap binds, shed the oldest job of the
+            // lowest non-empty class the newcomer does not outrank.
+            const ClassPolicy& cp = options_.classes[priority];
+            std::size_t victim_class = theta_.size();
+            if (cp.queue_capacity != 0 && buffers_[priority].size() >= cp.queue_capacity) {
+              victim_class = priority;
+            } else {
+              for (std::size_t k = 0; k <= priority; ++k) {
+                if (!buffers_[k].empty()) {
+                  victim_class = k;
+                  break;
+                }
               }
             }
+            if (victim_class == theta_.size()) {
+              finish_without_running(std::move(pending), JobOutcome::kShed,
+                                     "rejected at admission: no queued job to shed "
+                                     "that it outranks");
+              lock.unlock();
+              drain_cv_.notify_all();
+              return Admission::kRejected;
+            }
+            Pending victim = std::move(buffers_[victim_class].front());
+            buffers_[victim_class].pop_front();
+            --queued_total_;
+            --in_flight_;
+            queued_memory_[victim_class] -=
+                std::min(queued_memory_[victim_class], victim.record.memory_bytes);
+            release_memory_locked(victim.record);
+            if (!depth_gauges_.empty()) {
+              depth_gauges_[victim_class]->set(
+                  static_cast<double>(buffers_[victim_class].size()));
+            }
+            finish_without_running(std::move(victim), JobOutcome::kShed,
+                                   "shed for arriving priority-" +
+                                       std::to_string(priority) + " job");
+            shed_victim = true;
           }
-          if (victim_class == theta_.size()) {
-            finish_without_running(std::move(pending), JobOutcome::kShed,
-                                   "rejected at admission: every queued job outranks it");
-            lock.unlock();
-            drain_cv_.notify_all();
-            return Admission::kRejected;
-          }
-          Pending victim = std::move(buffers_[victim_class].front());
-          buffers_[victim_class].pop_front();
-          --queued_total_;
-          --in_flight_;
-          if (!depth_gauges_.empty()) {
-            depth_gauges_[victim_class]->set(
-                static_cast<double>(buffers_[victim_class].size()));
-          }
-          finish_without_running(std::move(victim), JobOutcome::kShed,
-                                 "shed for arriving priority-" + std::to_string(priority) +
-                                     " job");
-          shed_victim = true;
           break;
         }
       }
@@ -217,6 +269,11 @@ Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job) {
     buffers_[priority].push_back(std::move(pending));
     ++queued_total_;
     ++in_flight_;
+    memory_in_use_ += accounted;
+    queued_memory_[priority] += accounted;
+    if (memory_gauge_ != nullptr) {
+      memory_gauge_->set(static_cast<double>(memory_in_use_));
+    }
     if (!depth_gauges_.empty()) {
       depth_gauges_[priority]->set(static_cast<double>(buffers_[priority].size()));
     }
@@ -262,7 +319,10 @@ DiasDispatcher::LoadSnapshot DiasDispatcher::load_snapshot() const {
   snap.classes = loads_;
   for (std::size_t k = 0; k < buffers_.size(); ++k) {
     snap.classes[k].queue_depth = buffers_[k].size();
+    snap.classes[k].queued_memory_bytes = queued_memory_[k];
   }
+  snap.memory_in_use_bytes = memory_in_use_;
+  snap.memory_capacity_bytes = options_.memory_capacity_bytes;
   return snap;
 }
 
@@ -286,6 +346,7 @@ void DiasDispatcher::dispatcher_loop() {
           job = std::move(buffers_[k].front());
           buffers_[k].pop_front();
           --queued_total_;
+          queued_memory_[k] -= std::min(queued_memory_[k], job.record.memory_bytes);
           if (!depth_gauges_.empty()) {
             depth_gauges_[k]->set(static_cast<double>(buffers_[k].size()));
           }
@@ -301,10 +362,12 @@ void DiasDispatcher::dispatcher_loop() {
             job.record.arrival_s + options_.classes[p].deadline_s;
         if (now_s() >= deadline_abs) {
           // Expired while queued: terminal kCancelled, the body never runs.
+          release_memory_locked(job.record);
           finish_without_running(std::move(job), JobOutcome::kCancelled,
                                  "deadline exceeded before start");
           --in_flight_;
           lock.unlock();
+          space_cv_.notify_all();
           drain_cv_.notify_all();
           continue;
         }
@@ -337,6 +400,7 @@ void DiasDispatcher::dispatcher_loop() {
     ctx.theta = theta;
     ctx.priority = job.record.priority;
     ctx.token = job.token;
+    ctx.memory_bytes = job.record.memory_bytes;
     try {
       job.fn(ctx);
       job.record.outcome = JobOutcome::kCompleted;
@@ -374,10 +438,13 @@ void DiasDispatcher::dispatcher_loop() {
       running_active_ = false;
       running_deadline_abs_s_ = std::numeric_limits<double>::infinity();
       running_token_ = CancellationToken{};
+      release_memory_locked(job.record);
+      update_memory_profile_locked(job.record.priority, job.declared_memory);
       note_outcome_locked(job.record);
       completed_.push_back(std::move(job.record));
       --in_flight_;
     }
+    space_cv_.notify_all();
     deadline_cv_.notify_all();
     drain_cv_.notify_all();
   }

@@ -81,6 +81,17 @@ struct DispatcherOptions {
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   // Cap on total queued jobs across all classes; 0 = unbounded.
   std::size_t total_capacity = 0;
+  // Cap on the aggregate memory footprint of queued + running jobs, in
+  // bytes; 0 = unbounded. A job's footprint is what it declared at
+  // submit(), or the class's profiled EWMA when it declared nothing (0
+  // until the class has a profile, so undeclared workloads are admitted
+  // exactly as before). A job too big for an *idle* dispatcher is still
+  // admitted — rejecting it could never succeed later, and blocking it
+  // would deadlock.
+  std::size_t memory_capacity_bytes = 0;
+  // EWMA weight for the per-class memory profile learned from declared
+  // footprints of finished jobs.
+  double memory_profile_alpha = 0.3;
   // Per-class policy; classes beyond the vector use the defaults
   // (unbounded, no deadline). Sized/padded to the theta vector on
   // construction.
@@ -99,6 +110,9 @@ class DiasDispatcher {
   struct JobContext {
     double theta = 0.0;
     std::size_t priority = 0;
+    // The footprint admission accounted for this job (declared, or the
+    // class profile) — e.g. a sensible ShuffleOptions::memory_budget_bytes.
+    std::size_t memory_bytes = 0;
     CancellationToken token;
   };
   using ContextJobFn = std::function<void(const JobContext&)>;
@@ -112,6 +126,9 @@ class DiasDispatcher {
     JobOutcome outcome = JobOutcome::kCompleted;
     std::string error;      // what() for kFailed/kCancelled, reason for kShed
     double theta = 0.0;     // drop ratio the job actually received
+    // Memory footprint admission accounted for this job: the declared
+    // value, or the class's profiled EWMA when nothing was declared.
+    std::size_t memory_bytes = 0;
     // Boost windows the sprint governor granted this job, in seconds since
     // dispatcher start (empty without a governor or when it never fired).
     std::vector<runtime::SprintInterval> sprint_intervals;
@@ -133,12 +150,19 @@ class DiasDispatcher {
     std::uint64_t shed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t failed = 0;
+    std::size_t queued_memory_bytes = 0;    // accounted footprint of queued jobs
+    std::size_t profiled_memory_bytes = 0;  // EWMA of declared footprints
   };
   struct LoadSnapshot {
     double uptime_s = 0.0;
     // Cumulative seconds the dispatcher thread spent inside job bodies;
     // delta(busy_s)/delta(uptime_s) is the single-runner utilization.
     double busy_s = 0.0;
+    // Accounted footprint of queued + running jobs, and the configured cap
+    // (0 = unbounded). The overload controller reads these as its memory
+    // pressure signal.
+    std::size_t memory_in_use_bytes = 0;
+    std::size_t memory_capacity_bytes = 0;
     std::vector<ClassLoad> classes;
     std::size_t total_queue_depth() const {
       std::size_t d = 0;
@@ -162,8 +186,13 @@ class DiasDispatcher {
   // away (kReject policy, or kShedOldestLowest with nothing to shed); a
   // turned-away job still yields a terminal JobRecord with outcome kShed.
   // Under kBlock this call blocks while the target queue is full.
-  Admission submit(std::size_t priority, JobFn job);
-  Admission submit(std::size_t priority, ContextJobFn job);
+  // `memory_bytes` declares the job's expected memory footprint (0 = not
+  // declared: admission falls back to the class's profiled EWMA, which is
+  // 0 until some job of the class declared one). Admission counts the
+  // footprint against DispatcherOptions::memory_capacity_bytes alongside
+  // queue depth.
+  Admission submit(std::size_t priority, JobFn job, std::size_t memory_bytes = 0);
+  Admission submit(std::size_t priority, ContextJobFn job, std::size_t memory_bytes = 0);
 
   // Blocks until every admitted job reached a terminal outcome, then
   // returns the records. Ordering is stable and documented: ascending
@@ -205,15 +234,23 @@ class DiasDispatcher {
     ContextJobFn fn;
     JobRecord record;
     CancellationToken token;
+    // The footprint the submitter declared (0 = none); feeds the class
+    // profile when the job finishes. record.memory_bytes holds what
+    // admission actually accounted.
+    std::size_t declared_memory = 0;
   };
 
   void dispatcher_loop();
   void deadline_loop();
   double now_s() const;
   // Admission bookkeeping; callers hold mutex_.
-  bool queue_has_space(std::size_t priority) const;
+  bool queue_has_space(std::size_t priority, std::size_t memory_bytes) const;
   void finish_without_running(Pending&& pending, JobOutcome outcome, std::string why);
   void note_outcome_locked(const JobRecord& record);
+  // Returns the job's accounted footprint to the pool and updates the gauge.
+  void release_memory_locked(const JobRecord& record);
+  // Folds a finished job's declared footprint into its class profile.
+  void update_memory_profile_locked(std::size_t priority, std::size_t declared);
 
   std::vector<double> theta_;  // guarded by mutex_ (set_theta is dynamic)
   DispatcherOptions options_;
@@ -230,6 +267,13 @@ class DiasDispatcher {
   std::size_t in_flight_ = 0;
   std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
+
+  // Memory accounting (guarded by mutex_): aggregate accounted footprint
+  // of queued + running jobs, per-class queued footprint, and the per-class
+  // EWMA profile of declared footprints.
+  std::size_t memory_in_use_ = 0;
+  std::vector<std::size_t> queued_memory_;
+  std::vector<double> memory_profile_;
 
   // Running-job state for the deadline watchdog (guarded by mutex_).
   bool running_active_ = false;
@@ -251,6 +295,7 @@ class DiasDispatcher {
   std::vector<obs::Gauge*> theta_gauges_;
   obs::HistogramMetric* response_hist_ = nullptr;
   obs::HistogramMetric* queueing_hist_ = nullptr;
+  obs::Gauge* memory_gauge_ = nullptr;
 
   std::thread dispatcher_;
   std::thread deadline_watchdog_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <future>
 #include <numeric>
 #include <optional>
@@ -16,6 +17,23 @@ namespace detail {
 std::atomic<std::uint64_t>& shuffle_fallback_locks() {
   static std::atomic<std::uint64_t> count{0};
   return count;
+}
+
+std::atomic<obs::Counter*>& shuffle_fallback_counter_hook() {
+  static std::atomic<obs::Counter*> hook{nullptr};
+  return hook;
+}
+
+std::size_t default_shuffle_budget() {
+  static const std::size_t budget = [] {
+    const char* env = std::getenv("DIAS_SHUFFLE_BUDGET_BYTES");
+    if (env == nullptr || *env == '\0') return std::size_t{0};
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env || (end != nullptr && *end != '\0')) return std::size_t{0};
+    return static_cast<std::size_t>(parsed);
+  }();
+  return budget;
 }
 
 }  // namespace detail
@@ -39,6 +57,11 @@ const char* to_string(EngineStageKind kind) {
 void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
   obs_ = ObsHooks{};
   obs_.tracer = tracer;
+  // The overflow-lane fallback counter is process-global (the sinks are
+  // templates with no engine pointer), so the last attach wins and detach
+  // clears the hook. The raw shuffle_fallback_locks() atomic keeps
+  // counting regardless.
+  detail::shuffle_fallback_counter_hook().store(nullptr, std::memory_order_relaxed);
   if (metrics != nullptr) {
     obs_.stages = &metrics->counter("engine.stages");
     obs_.tasks_executed = &metrics->counter("engine.tasks_executed");
@@ -57,18 +80,30 @@ void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
     obs_.shuffle_flushes = &metrics->counter("engine.shuffle.flushes");
     obs_.shuffle_combine_ratio =
         &metrics->histogram("engine.shuffle.combine_ratio", 0.0, 1.0, 50);
+    obs_.shuffle_spill_segments = &metrics->counter("engine.shuffle.spill_segments");
+    obs_.shuffle_spill_bytes = &metrics->counter("engine.shuffle.spill_bytes");
+    obs_.shuffle_restored_segments =
+        &metrics->counter("engine.shuffle.spill_restored_segments");
+    obs_.shuffle_restored_bytes = &metrics->counter("engine.shuffle.spill_restored_bytes");
+    obs_.shuffle_merge_stream_s =
+        &metrics->histogram("engine.shuffle.merge_stream_s", 0.0, 10.0, 200);
+    detail::shuffle_fallback_counter_hook().store(
+        &metrics->counter("engine.shuffle.fallback_locks"), std::memory_order_relaxed);
     pool_.attach_metrics(*metrics, "engine.pool");
   }
 }
 
 void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
-                                std::size_t bytes, std::size_t flushes, bool combine) {
+                                std::size_t bytes, std::size_t flushes, bool combine,
+                                std::uint64_t spill_segments, std::uint64_t spill_bytes) {
   DIAS_EXPECTS(!stage_log_.empty(), "shuffle accounting needs a logged stage");
   StageInfo& info = stage_log_.back();
   info.shuffle_records_in = records_in;
   info.shuffle_records_out = records_out;
   info.shuffle_bytes = bytes;
   info.shuffle_flushes = flushes;
+  info.shuffle_spill_segments = static_cast<std::size_t>(spill_segments);
+  info.shuffle_spill_bytes = static_cast<std::size_t>(spill_bytes);
   // No records in means nothing was combined away; report a neutral 1.0.
   const double ratio =
       records_in == 0
@@ -80,6 +115,8 @@ void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
     obs_.shuffle_bytes->add(bytes);
     obs_.shuffle_flushes->add(flushes);
     obs_.shuffle_combine_ratio->observe(ratio);
+    obs_.shuffle_spill_segments->add(spill_segments);
+    obs_.shuffle_spill_bytes->add(spill_bytes);
   }
   if (obs_.tracer != nullptr) {
     obs_.tracer->event("engine.shuffle.write",
@@ -89,20 +126,35 @@ void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
                         {"bytes", std::uint64_t{bytes}},
                         {"flushes", std::uint64_t{flushes}},
                         {"combine", combine},
-                        {"combine_ratio", ratio}});
+                        {"combine_ratio", ratio},
+                        {"spill_segments", spill_segments},
+                        {"spill_bytes", spill_bytes}});
   }
 }
 
-void Engine::note_shuffle_merge(std::size_t records) {
+void Engine::note_shuffle_merge(std::size_t records, std::uint64_t restored_segments,
+                                std::uint64_t restored_bytes,
+                                const std::vector<double>& stream_s) {
   DIAS_EXPECTS(!stage_log_.empty(), "shuffle accounting needs a logged stage");
   StageInfo& info = stage_log_.back();
   info.shuffle_records_in = records;
+  info.shuffle_restored_segments = static_cast<std::size_t>(restored_segments);
+  info.shuffle_restored_bytes = static_cast<std::size_t>(restored_bytes);
+  if (obs_.shuffle_restored_segments != nullptr) {
+    obs_.shuffle_restored_segments->add(restored_segments);
+    obs_.shuffle_restored_bytes->add(restored_bytes);
+    for (const double s : stream_s) {
+      if (s > 0.0) obs_.shuffle_merge_stream_s->observe(s);
+    }
+  }
   if (obs_.tracer != nullptr) {
     obs_.tracer->event("engine.shuffle.merge",
                        {{"stage", info.name},
                         {"records", std::uint64_t{records}},
                         {"executed_buckets", std::uint64_t{info.executed_partitions}},
-                        {"total_buckets", std::uint64_t{info.total_partitions}}});
+                        {"total_buckets", std::uint64_t{info.total_partitions}},
+                        {"restored_segments", restored_segments},
+                        {"restored_bytes", restored_bytes}});
   }
 }
 

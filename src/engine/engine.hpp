@@ -84,6 +84,14 @@ struct StageInfo {
   std::size_t shuffle_records_out = 0;
   std::size_t shuffle_bytes = 0;
   std::size_t shuffle_flushes = 0;
+  // Spill accounting under a finite ShuffleOptions::memory_budget_bytes.
+  // On the shuffle-write stage: segments/bytes handed to the spill backend.
+  // On the merge stage: spilled segments/bytes streamed back in. Always 0
+  // with an unbounded budget.
+  std::size_t shuffle_spill_segments = 0;
+  std::size_t shuffle_spill_bytes = 0;
+  std::size_t shuffle_restored_segments = 0;
+  std::size_t shuffle_restored_bytes = 0;
 };
 
 struct StageOptions {
@@ -99,6 +107,32 @@ struct StageOptions {
 // subset of size ceil(n (1 - theta)); theta == 1 keeps nothing (a fully
 // degraded stage) and n == 0 returns empty for any theta.
 std::vector<std::size_t> find_missing_partitions(std::size_t n, double theta, Rng& rng);
+
+namespace detail {
+
+// Wraps one spill I/O operation inside a stage body. Backend failures
+// (any dias::error) become TaskFailedError for this stage/partition, so
+// the fault-tolerant path retries them like any task failure and the
+// legacy path surfaces them as a failed task — while cancellation and
+// already-classified task failures pass through untouched. Inactive
+// (shuffle without a backend) it is a transparent call, keeping the
+// legacy shuffle exception-for-exception identical.
+template <typename Fn>
+decltype(auto) guard_spill_io(bool active, const std::string& stage, std::size_t partition,
+                              Fn&& fn) {
+  if (!active) return fn();
+  try {
+    return fn();
+  } catch (const JobCancelledError&) {
+    throw;
+  } catch (const TaskFailedError&) {
+    throw;
+  } catch (const error& e) {
+    throw TaskFailedError(stage, partition, 1, e.what());
+  }
+}
+
+}  // namespace detail
 
 class Engine {
  public:
@@ -166,6 +200,15 @@ class Engine {
   // installs the job's token before invoking the job body.
   void set_cancellation(CancellationToken token) { cancel_ = std::move(token); }
   void clear_cancellation() { cancel_.reset(); }
+
+  // --- spill backend -------------------------------------------------------
+  // Attaches the engine-wide spill destination used by shuffles whose
+  // ShuffleOptions carry a finite memory_budget_bytes but no per-shuffle
+  // backend (null detaches). The engine does not own the backend; it must
+  // outlive every shuffle that spills through it. Not thread-safe against
+  // a concurrently running stage.
+  void set_spill_backend(SpillBackend* backend) { spill_ = backend; }
+  SpillBackend* spill_backend() const { return spill_; }
 
   // --- observability ------------------------------------------------------
   // Attaches metric/trace sinks (either may be null; null detaches). With a
@@ -291,45 +334,107 @@ class Engine {
   // Per-partition deduplication followed by a parallel per-bucket merge.
   // Both phases use the lock-free shuffle buffers (see shuffle.hpp); the
   // output is deterministic: bucket b lists its distinct elements in first-
-  // appearance order over (input partition, record) position.
+  // appearance order over (input partition, record) position. The
+  // per-partition dedup map flushes at target_buffer_bytes (duplicates
+  // across flushes are re-deduplicated by the merge), so with a finite
+  // memory_budget_bytes the flushed segments can spill like any shuffle —
+  // first-appearance order survives both, because an element's earliest
+  // flush window and its within-window position are pure functions of the
+  // input.
   template <typename T>
   Dataset<T> distinct(const Dataset<T>& in, std::size_t out_partitions,
-                      StageOptions opts = {}) {
+                      StageOptions opts = {}, ShuffleOptions shuffle = {}) {
     DIAS_EXPECTS(out_partitions >= 1, "need at least one output partition");
-    detail::ShuffleSink<T, char> sink(pool_.workers(), out_partitions);
+    using Entry = std::pair<T, char>;
+    const detail::SpillPolicy spill_policy = make_spill_policy<Entry>(shuffle);
+    const bool spill_active = spill_policy.backend != nullptr;
+    detail::ShuffleSink<T, char> sink(pool_.workers(), out_partitions, spill_policy);
+    std::atomic<std::size_t> records_in{0};
+    std::atomic<std::size_t> records_out{0};
+    std::atomic<std::size_t> bytes{0};
+    std::atomic<std::size_t> flushes{0};
     opts.droppable = false;
     run_stage(in.partitions(), opts, EngineStageKind::kShuffleWrite, [&](std::size_t p) {
       const std::size_t slot = pool_.current_slot();
       std::hash<T> hasher;
       detail::FlatMap<T, char> seen;
+      std::size_t seq = 0;
+      std::size_t shipped = 0;
+      std::size_t accounted_scratch = 0;
+      records_in.fetch_add(in.partition(p).size(), std::memory_order_relaxed);
+      auto ship = [&] {
+        std::vector<std::vector<Entry>> split(out_partitions);
+        for (auto& entry : seen.entries()) {
+          split[hasher(entry.first) % out_partitions].push_back(std::move(entry));
+        }
+        for (std::size_t b = 0; b < out_partitions; ++b) {
+          if (split[b].empty()) continue;
+          shipped += split[b].size();
+          detail::guard_spill_io(spill_active, opts.name, p,
+                                 [&] { sink.push(slot, b, {p, seq, std::move(split[b])}); });
+        }
+        ++seq;
+      };
       for (const auto& x : in.partition(p)) {
         bool created = false;
         seen.find_or_emplace(x, [] { return char{0}; }, &created);
+        if (spill_active && seen.approx_bytes() != accounted_scratch) {
+          const auto delta = static_cast<std::ptrdiff_t>(seen.approx_bytes()) -
+                             static_cast<std::ptrdiff_t>(accounted_scratch);
+          accounted_scratch = seen.approx_bytes();
+          detail::guard_spill_io(spill_active, opts.name, p,
+                                 [&] { sink.adjust_scratch(slot, delta); });
+        }
+        if (seen.approx_bytes() > shuffle.target_buffer_bytes) {
+          ship();
+          seen.clear();
+          flushes.fetch_add(1, std::memory_order_relaxed);
+        }
       }
-      std::vector<std::vector<std::pair<T, char>>> split(out_partitions);
-      for (auto& entry : seen.entries()) {
-        split[hasher(entry.first) % out_partitions].push_back(std::move(entry));
+      if (!seen.empty()) ship();
+      if (spill_active && accounted_scratch != 0) {
+        sink.adjust_scratch(slot, -static_cast<std::ptrdiff_t>(accounted_scratch));
       }
-      for (std::size_t b = 0; b < out_partitions; ++b) {
-        if (!split[b].empty()) sink.push(slot, b, {p, 0, std::move(split[b])});
-      }
+      records_out.fetch_add(shipped, std::memory_order_relaxed);
+      bytes.fetch_add(shipped * sizeof(Entry), std::memory_order_relaxed);
     });
+    note_shuffle_write(records_in.load(), records_out.load(), bytes.load(),
+                       flushes.load(), /*combine=*/true, sink.spilled_segments(),
+                       sink.spilled_bytes());
     std::vector<std::vector<T>> out(out_partitions);
+    std::atomic<std::size_t> merged{0};
+    std::atomic<std::uint64_t> restored_segments{0};
+    std::atomic<std::uint64_t> restored_bytes{0};
+    std::vector<double> stream_s(out_partitions, 0.0);
     StageOptions merge_opts;
     merge_opts.name = opts.name + "/merge";
     merge_opts.droppable = false;
     run_stage(out_partitions, merge_opts, EngineStageKind::kReduce, [&](std::size_t b) {
       detail::FlatMap<T, char> unique;
+      std::size_t records = 0;
       for (auto* segment : sink.bucket_segments(b)) {
-        for (auto& [x, tag] : segment->entries) {
-          bool created = false;
-          unique.find_or_emplace(x, [] { return char{0}; }, &created);
-          (void)tag;
+        const bool was_spilled = segment->spilled;
+        const auto t0 = was_spilled ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
+        records += detail::guard_spill_io(spill_active, merge_opts.name, b, [&] {
+          return sink.consume(*segment, [&](Entry&& entry) {
+            bool created = false;
+            unique.find_or_emplace(entry.first, [] { return char{0}; }, &created);
+          });
+        });
+        if (was_spilled) {
+          stream_s[b] += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                             .count();
+          restored_segments.fetch_add(1, std::memory_order_relaxed);
+          restored_bytes.fetch_add(segment->spill_bytes, std::memory_order_relaxed);
         }
       }
+      merged.fetch_add(records, std::memory_order_relaxed);
       out[b].reserve(unique.size());
       for (auto& entry : unique.entries()) out[b].push_back(std::move(entry.first));
     });
+    note_shuffle_merge(merged.load(), restored_segments.load(), restored_bytes.load(),
+                       stream_s);
     return Dataset<T>(std::move(out));
   }
 
@@ -409,9 +514,12 @@ class Engine {
                       ShuffleOptions shuffle = {})
       -> Dataset<std::pair<K, std::invoke_result_t<Create, const V&>>> {
     using A = std::invoke_result_t<Create, const V&>;
+    using Entry = std::pair<K, A>;
     DIAS_EXPECTS(out_partitions >= 1, "need at least one output partition");
 
-    detail::ShuffleSink<K, A> sink(pool_.workers(), out_partitions);
+    const detail::SpillPolicy spill_policy = make_spill_policy<Entry>(shuffle);
+    const bool spill_active = spill_policy.backend != nullptr;
+    detail::ShuffleSink<K, A> sink(pool_.workers(), out_partitions, spill_policy);
     std::atomic<std::size_t> records_in{0};
     std::atomic<std::size_t> records_out{0};
     std::atomic<std::size_t> bytes{0};
@@ -430,25 +538,40 @@ class Engine {
                 std::size_t seq = 0;
                 // Splits a finished combiner scratch (or raw batch) into
                 // per-bucket segments and hands them to the sink.
-                auto ship = [&](std::vector<std::pair<K, A>>&& entries) {
-                  std::vector<std::vector<std::pair<K, A>>> split(out_partitions);
+                auto ship = [&](std::vector<Entry>&& entries) {
+                  std::vector<std::vector<Entry>> split(out_partitions);
                   for (auto& entry : entries) {
                     split[hasher(entry.first) % out_partitions].push_back(std::move(entry));
                   }
                   for (std::size_t b = 0; b < out_partitions; ++b) {
                     if (split[b].empty()) continue;
                     shipped += split[b].size();
-                    sink.push(slot, b, {p, seq, std::move(split[b])});
+                    detail::guard_spill_io(spill_active, write_opts.name, p, [&] {
+                      sink.push(slot, b, {p, seq, std::move(split[b])});
+                    });
                   }
                   ++seq;
                 };
                 if (shuffle.combine) {
                   detail::FlatMap<K, A> scratch;
+                  // Scratch bytes reported to the sink so far; the delta
+                  // reporting keeps the combiner map inside the budget's
+                  // accounting without ever spilling the map itself.
+                  std::size_t accounted_scratch = 0;
+                  auto account_scratch = [&] {
+                    if (!spill_active || scratch.approx_bytes() == accounted_scratch) return;
+                    const auto delta = static_cast<std::ptrdiff_t>(scratch.approx_bytes()) -
+                                       static_cast<std::ptrdiff_t>(accounted_scratch);
+                    accounted_scratch = scratch.approx_bytes();
+                    detail::guard_spill_io(spill_active, write_opts.name, p,
+                                           [&] { sink.adjust_scratch(slot, delta); });
+                  };
                   for (const auto& kv : part) {
                     bool created = false;
                     A& acc = scratch.find_or_emplace(
                         kv.first, [&] { return create(kv.second); }, &created);
                     if (!created) fold(acc, kv.second);
+                    account_scratch();
                     if (scratch.approx_bytes() > shuffle.target_buffer_bytes) {
                       auto full = std::move(scratch.entries());
                       scratch.clear();
@@ -457,38 +580,68 @@ class Engine {
                     }
                   }
                   if (!scratch.empty()) ship(std::move(scratch.entries()));
+                  if (spill_active && accounted_scratch != 0) {
+                    sink.adjust_scratch(slot, -static_cast<std::ptrdiff_t>(accounted_scratch));
+                  }
                 } else {
-                  std::vector<std::pair<K, A>> raw;
-                  raw.reserve(part.size());
-                  for (const auto& kv : part) raw.emplace_back(kv.first, create(kv.second));
+                  // Raw ships chunk at target_buffer_bytes too, so segment
+                  // boundaries stay budget-independent on this path as well.
+                  const std::size_t chunk_records =
+                      std::max<std::size_t>(1, shuffle.target_buffer_bytes / sizeof(Entry));
+                  std::vector<Entry> raw;
+                  raw.reserve(std::min(part.size(), chunk_records));
+                  for (const auto& kv : part) {
+                    raw.emplace_back(kv.first, create(kv.second));
+                    if (raw.size() >= chunk_records) {
+                      ship(std::move(raw));
+                      raw.clear();
+                    }
+                  }
                   if (!raw.empty()) ship(std::move(raw));
                 }
                 records_out.fetch_add(shipped, std::memory_order_relaxed);
-                bytes.fetch_add(shipped * sizeof(std::pair<K, A>),
-                                std::memory_order_relaxed);
+                bytes.fetch_add(shipped * sizeof(Entry), std::memory_order_relaxed);
               });
     note_shuffle_write(records_in.load(), records_out.load(), bytes.load(),
-                       flushes.load(), shuffle.combine);
+                       flushes.load(), shuffle.combine, sink.spilled_segments(),
+                       sink.spilled_bytes());
 
-    std::vector<std::vector<std::pair<K, A>>> out(out_partitions);
+    std::vector<std::vector<Entry>> out(out_partitions);
     std::atomic<std::size_t> merged{0};
+    std::atomic<std::uint64_t> restored_segments{0};
+    std::atomic<std::uint64_t> restored_bytes{0};
+    // Per-bucket seconds spent streaming spilled segments back; one merge
+    // task per bucket, so no synchronization needed.
+    std::vector<double> stream_s(out_partitions, 0.0);
     StageOptions merge_opts = opts;
     merge_opts.name = opts.name + "/reduce";
     run_stage(out_partitions, merge_opts, EngineStageKind::kReduce, [&](std::size_t b) {
       detail::FlatMap<K, A> acc;
       std::size_t records = 0;
+      auto fold_entry = [&](Entry&& entry) {
+        bool created = false;
+        A& dst = acc.find_or_emplace(
+            entry.first, [&] { return std::move(entry.second); }, &created);
+        if (!created) merge(dst, std::move(entry.second));
+      };
       for (auto* segment : sink.bucket_segments(b)) {
-        records += segment->entries.size();
-        for (auto& [k, a] : segment->entries) {
-          bool created = false;
-          A& dst = acc.find_or_emplace(k, [&] { return std::move(a); }, &created);
-          if (!created) merge(dst, std::move(a));
+        const bool was_spilled = segment->spilled;
+        const auto t0 = was_spilled ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
+        records += detail::guard_spill_io(spill_active, merge_opts.name, b,
+                                          [&] { return sink.consume(*segment, fold_entry); });
+        if (was_spilled) {
+          stream_s[b] += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                             .count();
+          restored_segments.fetch_add(1, std::memory_order_relaxed);
+          restored_bytes.fetch_add(segment->spill_bytes, std::memory_order_relaxed);
         }
       }
       merged.fetch_add(records, std::memory_order_relaxed);
       out[b] = std::move(acc.entries());
     });
-    note_shuffle_merge(merged.load());
+    note_shuffle_merge(merged.load(), restored_segments.load(), restored_bytes.load(),
+                       stream_s);
     return Dataset<std::pair<K, A>>(std::move(out));
   }
 
@@ -544,11 +697,46 @@ class Engine {
     return cancel_.has_value() ? &*cancel_ : nullptr;
   }
 
+  // Resolves ShuffleOptions into the sink's spill policy for a shuffle
+  // whose segment entries have type `Entry`. Unbounded budgets resolve to
+  // the inert default policy; a finite budget demands a backend (the
+  // per-shuffle override or the engine-wide one), spillable entries, and
+  // room for at least one record.
+  template <typename Entry>
+  detail::SpillPolicy make_spill_policy(const ShuffleOptions& shuffle) {
+    detail::SpillPolicy policy;
+    if (shuffle.memory_budget_bytes == 0) return policy;
+    if constexpr (!detail::is_spillable<Entry>::value) {
+      throw config_error(
+          "shuffle memory_budget_bytes set but the key/aggregate types have no "
+          "spill codec");
+    } else {
+      SpillBackend* backend = shuffle.spill != nullptr ? shuffle.spill : spill_;
+      if (backend == nullptr) {
+        throw config_error(
+            "shuffle memory_budget_bytes set but no spill backend attached "
+            "(Engine::set_spill_backend or ShuffleOptions::spill)");
+      }
+      if (shuffle.memory_budget_bytes < sizeof(Entry)) {
+        throw config_error(
+            "shuffle memory_budget_bytes (" + std::to_string(shuffle.memory_budget_bytes) +
+            ") is smaller than a single record (" + std::to_string(sizeof(Entry)) +
+            " bytes)");
+      }
+      policy.budget_bytes = shuffle.memory_budget_bytes;
+      policy.backend = backend;
+      return policy;
+    }
+  }
+
   // Shuffle accounting: annotate the just-logged shuffle-write / merge
   // stage (stage_log_.back()) and publish metrics + a tracer event.
   void note_shuffle_write(std::size_t records_in, std::size_t records_out,
-                          std::size_t bytes, std::size_t flushes, bool combine);
-  void note_shuffle_merge(std::size_t records);
+                          std::size_t bytes, std::size_t flushes, bool combine,
+                          std::uint64_t spill_segments, std::uint64_t spill_bytes);
+  void note_shuffle_merge(std::size_t records, std::uint64_t restored_segments,
+                          std::uint64_t restored_bytes,
+                          const std::vector<double>& stream_s);
 
   // Metric handles cached at attach time; all null when detached.
   struct ObsHooks {
@@ -569,12 +757,18 @@ class Engine {
     obs::Counter* shuffle_bytes = nullptr;
     obs::Counter* shuffle_flushes = nullptr;
     obs::HistogramMetric* shuffle_combine_ratio = nullptr;
+    obs::Counter* shuffle_spill_segments = nullptr;
+    obs::Counter* shuffle_spill_bytes = nullptr;
+    obs::Counter* shuffle_restored_segments = nullptr;
+    obs::Counter* shuffle_restored_bytes = nullptr;
+    obs::HistogramMetric* shuffle_merge_stream_s = nullptr;
   };
 
   Options options_;
   ThreadPool pool_;
   Rng rng_;
   FaultInjector injector_;
+  SpillBackend* spill_ = nullptr;  // engine-wide spill destination, not owned
   std::optional<CancellationToken> cancel_;  // null = cancellation detached
   std::uint64_t stage_seq_ = 0;  // stages run since construction; injector key
   std::vector<StageInfo> stage_log_;

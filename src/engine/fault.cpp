@@ -68,9 +68,11 @@ double FaultInjector::straggler_delay_ms(std::uint64_t stage_seq,
   return u < config_.straggler_prob ? config_.straggler_delay_ms : 0.0;
 }
 
-TaskFailedError::TaskFailedError(std::string stage, std::size_t partition, int attempts)
+TaskFailedError::TaskFailedError(std::string stage, std::size_t partition, int attempts,
+                                 const std::string& detail)
     : error("task failed for good: stage '" + stage + "', partition " +
-            std::to_string(partition) + ", " + std::to_string(attempts) + " attempt(s)"),
+            std::to_string(partition) + ", " + std::to_string(attempts) + " attempt(s)" +
+            (detail.empty() ? "" : ": " + detail)),
       stage_(std::move(stage)),
       partition_(partition),
       attempts_(attempts) {}

@@ -104,9 +104,12 @@ struct FaultToleranceOptions {
 };
 
 // A task exhausted its retry budget on a stage that may not degrade.
+// `detail`, when non-empty, carries the underlying cause (e.g. a spill
+// backend I/O error) into the message.
 class TaskFailedError : public error {
  public:
-  TaskFailedError(std::string stage, std::size_t partition, int attempts);
+  TaskFailedError(std::string stage, std::size_t partition, int attempts,
+                  const std::string& detail = {});
 
   const std::string& stage() const { return stage_; }
   std::size_t partition() const { return partition_; }

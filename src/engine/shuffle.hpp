@@ -11,8 +11,7 @@
 //     same vector. With ShuffleOptions::combine the task first folds its
 //     records through an open-addressing FlatMap (the map-side combiner),
 //     flushing to segments whenever the scratch exceeds
-//     target_buffer_bytes — Spark's spill, except the spill stays in
-//     memory.
+//     target_buffer_bytes.
 //
 //   Phase 2 (merge, one task per output bucket): each task walks that
 //     bucket's segments in (src partition, flush seq) order and merges
@@ -20,6 +19,23 @@
 //     pure function of the input (never of thread scheduling), the merged
 //     output — including floating-point accumulation order and the final
 //     entry order — is deterministic for a fixed engine seed.
+//
+// Memory elasticity: with a finite ShuffleOptions::memory_budget_bytes
+// and a SpillBackend attached, the sink tracks the estimated resident
+// footprint of all segments (plus combiner scratch, reported by the write
+// tasks through adjust_scratch) and, when it crosses the budget, encodes
+// the spilling slot's resident segments and hands them to the backend.
+// The merge phase streams spilled segments back through consume() in the
+// same (src, seq) position they would have occupied resident.
+//
+// The determinism contract: spilling is content-preserving. It never
+// changes segment boundaries, entry order within a segment, or the merge
+// visit order — only where the bytes live between the phases. Segment
+// boundaries are a pure function of the input and target_buffer_bytes
+// (never of the budget, the worker count, or runtime state), which is why
+// outputs stay bitwise identical with or without spill at any worker
+// count. The spill *trigger* may race across slots — that is fine,
+// because triggering only relocates bytes. See DESIGN.md §13.
 //
 // The stage barrier between the phases (futures joined in run_stage)
 // provides the happens-before edge that lets merge tasks read every
@@ -32,12 +48,23 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "engine/spill.hpp"
+#include "obs/metrics.hpp"
 
 namespace dias::engine {
+
+namespace detail {
+// Default shuffle budget for this process: DIAS_SHUFFLE_BUDGET_BYTES if
+// set (parsed once), else 0 (unbounded). The env hook is how CI's
+// low-memory leg forces every `-L spill` test through the spill path
+// without per-test plumbing.
+std::size_t default_shuffle_budget();
+}  // namespace detail
 
 // Tuning knobs for the shuffle in reduce_by_key / group_by_key /
 // combine_by_key. The defaults are right for almost every workload;
@@ -47,12 +74,23 @@ struct ShuffleOptions {
   // open-addressing hash map before they cross the shuffle, so each
   // distinct key ships once per flush instead of once per record.
   bool combine = true;
-  // Soft budget for the combiner scratch map. When its estimated footprint
+  // Soft budget for the combiner scratch map — and, symmetrically, the
+  // chunk size for raw (combine = false) ships. When the scratch footprint
   // exceeds this the task flushes the map into its shuffle buffers and
   // starts over. The estimate counts entry and slot storage only (heap
   // payload of K/V is invisible to sizeof), so treat it as a knob, not a
-  // hard memory bound.
+  // hard memory bound. Segment boundaries — and therefore shuffle output
+  // — depend on this value, never on memory_budget_bytes.
   std::size_t target_buffer_bytes = std::size_t{1} << 20;
+  // Hard budget for resident shuffle state (segments awaiting merge plus
+  // combiner scratch, estimated as entry storage). 0 means unbounded.
+  // A finite budget requires a spill backend (here or on the Engine) and
+  // spillable key/aggregate types; violations are config_error at shuffle
+  // entry. Must be at least the size of one shuffled record.
+  std::size_t memory_budget_bytes = detail::default_shuffle_budget();
+  // Per-shuffle spill destination; when null the Engine's attached
+  // backend (Engine::set_spill_backend) is used.
+  SpillBackend* spill = nullptr;
 };
 
 namespace detail {
@@ -63,6 +101,13 @@ namespace detail {
 // overflow lane, and each such fall-back increments this counter. Tests
 // reset it and assert it stays 0 across full shuffles.
 std::atomic<std::uint64_t>& shuffle_fallback_locks();
+
+// Registry-visible mirror of shuffle_fallback_locks(): when an Engine has
+// observability attached, this holds the "engine.shuffle.fallback_locks"
+// counter and the overflow lane bumps it too. Last attach wins (the
+// counter lives in that engine's Registry); detach stores nullptr. The
+// raw atomic above stays authoritative for tests that predate a registry.
+std::atomic<obs::Counter*>& shuffle_fallback_counter_hook();
 
 // Open-addressing (linear probing) hash map with insertion-ordered,
 // movable entry storage. No erase, power-of-two slot table, indices into a
@@ -136,39 +181,104 @@ class FlatMap {
 // One batch of (key, aggregate) entries produced by a single shuffle-write
 // task (or one combiner flush of it) for a single output bucket. `src` is
 // the input partition and `seq` the flush index within that task; together
-// they give the merge phase its deterministic visit order.
+// they give the merge phase its deterministic visit order. A segment that
+// was pushed over budget has `spilled` set: its entries live in the spill
+// backend under `spill_id` (encoded as `spill_bytes` bytes holding
+// `spill_entries` entries) and `entries` is empty until consume() streams
+// them back.
 template <typename K, typename A>
 struct ShuffleSegment {
   std::size_t src = 0;
   std::size_t seq = 0;
   std::vector<std::pair<K, A>> entries;
+  std::uint64_t spill_id = 0;
+  std::size_t spill_entries = 0;
+  std::size_t spill_bytes = 0;
+  bool spilled = false;
+};
+
+// Spill configuration resolved by the Engine for one shuffle: the
+// effective budget and the backend to spill through. Default-constructed
+// means unbounded / never spill.
+struct SpillPolicy {
+  std::size_t budget_bytes = 0;  // 0 = unbounded
+  SpillBackend* backend = nullptr;
 };
 
 // Collection point between the two phases. Writers append segments to
 // per-(slot, bucket) vectors without synchronization; a writer without a
 // slot takes the counted overflow mutex instead (never hit when stage
 // bodies run on the engine's own pool). Readers may only call
-// bucket_segments() after every writer finished (the stage barrier).
+// bucket_segments() / consume() after every writer finished (the stage
+// barrier).
+//
+// With a finite SpillPolicy, each push updates a global resident-bytes
+// estimate; when it crosses the budget, the pushing slot encodes and
+// spills every resident segment it owns. Only the pushing slot's segments
+// are touched — no cross-slot access, so the write path stays
+// synchronization-free. The overflow lane is never accounted or spilled:
+// only foreign threads reach it, and the budget governs the engine's own
+// worker slots.
 template <typename K, typename A>
 class ShuffleSink {
  public:
   using Segment = ShuffleSegment<K, A>;
+  using Entry = std::pair<K, A>;
+  static constexpr bool kSpillable = is_spillable<Entry>::value;
 
-  ShuffleSink(std::size_t slots, std::size_t buckets)
-      : per_slot_(slots, std::vector<std::vector<Segment>>(buckets)),
-        overflow_(buckets) {}
+  ShuffleSink(std::size_t slots, std::size_t buckets, SpillPolicy policy = {})
+      : policy_(policy), slots_(slots, SlotState(buckets)), overflow_(buckets) {}
+
+  ~ShuffleSink() {
+    // Segments the merge phase never consumed (dropped buckets, aborted
+    // stages) would otherwise leak backend storage.
+    if (policy_.backend == nullptr) return;
+    for (auto& state : slots_) {
+      for (auto& bucket : state.buckets) {
+        for (auto& segment : bucket) {
+          if (!segment.spilled) continue;
+          try {
+            policy_.backend->release(segment.spill_id);
+          } catch (...) {  // NOLINT(bugprone-empty-catch): teardown best effort
+          }
+        }
+      }
+    }
+  }
+
+  ShuffleSink(const ShuffleSink&) = delete;
+  ShuffleSink& operator=(const ShuffleSink&) = delete;
 
   std::size_t buckets() const { return overflow_.size(); }
 
   void push(std::size_t slot, std::size_t bucket, Segment&& segment) {
     DIAS_EXPECTS(bucket < overflow_.size(), "shuffle bucket out of range");
-    if (slot < per_slot_.size()) {
-      per_slot_[slot][bucket].push_back(std::move(segment));
+    if (slot < slots_.size()) {
+      const std::size_t bytes = segment.entries.size() * sizeof(Entry);
+      auto& state = slots_[slot];
+      state.buckets[bucket].push_back(std::move(segment));
+      state.resident_bytes += bytes;
+      resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      if (policy_.budget_bytes != 0) maybe_spill(slot);
       return;
     }
     shuffle_fallback_locks().fetch_add(1, std::memory_order_relaxed);
+    if (auto* counter = shuffle_fallback_counter_hook().load(std::memory_order_relaxed)) {
+      counter->add();
+    }
     std::lock_guard guard(overflow_mu_);
     overflow_[bucket].push_back(std::move(segment));
+  }
+
+  // Write tasks report combiner-scratch growth/shrink here so scratch
+  // counts against the budget. A positive delta may trigger the slot's
+  // resident segments to spill; the scratch itself never spills (it flushes
+  // through push() at target_buffer_bytes like always), so scratch bytes
+  // influence *when* segments relocate but never *what* they contain.
+  void adjust_scratch(std::size_t slot, std::ptrdiff_t delta) {
+    if (slot >= slots_.size() || delta == 0) return;
+    resident_bytes_.fetch_add(static_cast<std::size_t>(delta), std::memory_order_relaxed);
+    if (delta > 0 && policy_.budget_bytes != 0) maybe_spill(slot);
   }
 
   // Every segment destined for `bucket`, sorted by (src, seq). Pointers
@@ -177,8 +287,8 @@ class ShuffleSink {
   std::vector<Segment*> bucket_segments(std::size_t bucket) {
     DIAS_EXPECTS(bucket < overflow_.size(), "shuffle bucket out of range");
     std::vector<Segment*> out;
-    for (auto& slot : per_slot_) {
-      for (auto& segment : slot[bucket]) out.push_back(&segment);
+    for (auto& state : slots_) {
+      for (auto& segment : state.buckets[bucket]) out.push_back(&segment);
     }
     for (auto& segment : overflow_[bucket]) out.push_back(&segment);
     std::sort(out.begin(), out.end(), [](const Segment* a, const Segment* b) {
@@ -188,10 +298,98 @@ class ShuffleSink {
     return out;
   }
 
+  // Feeds the segment's entries to `fn(Entry&&)` in stored order — straight
+  // from memory for resident segments, streamed back from the backend for
+  // spilled ones — and returns the entry count. Frees the entries either
+  // way (the merge phase visits each segment exactly once).
+  template <typename Fn>
+  std::size_t consume(Segment& segment, Fn&& fn) {
+    if (!segment.spilled) {
+      const std::size_t count = segment.entries.size();
+      for (auto& entry : segment.entries) fn(std::move(entry));
+      std::vector<Entry>().swap(segment.entries);
+      return count;
+    }
+    if constexpr (kSpillable) {
+      SpillCursor cursor(policy_.backend->open(segment.spill_id));
+      const std::size_t count = decode_spill_segment<Entry>(cursor, fn);
+      if (count != segment.spill_entries) {
+        throw error("corrupt spill segment: entry count mismatch");
+      }
+      restored_segments_.fetch_add(1, std::memory_order_relaxed);
+      policy_.backend->release(segment.spill_id);
+      segment.spilled = false;
+      return count;
+    } else {
+      // A segment can only be marked spilled through spill paths that are
+      // compiled out for non-spillable entries.
+      throw error("spilled segment of non-spillable entry type");
+    }
+  }
+
+  std::size_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spilled_segments() const {
+    return spilled_segments_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t restored_segments() const {
+    return restored_segments_.load(std::memory_order_relaxed);
+  }
+
  private:
-  std::vector<std::vector<std::vector<Segment>>> per_slot_;  // [slot][bucket]
+  struct SlotState {
+    explicit SlotState(std::size_t buckets) : buckets(buckets) {}
+    std::vector<std::vector<Segment>> buckets;
+    // Bytes of this slot's resident segment entries — lets maybe_spill
+    // skip the O(buckets) sweep when this slot has nothing left to spill
+    // (e.g. scratch growth alone keeps re-crossing the budget).
+    std::size_t resident_bytes = 0;
+  };
+
+  void maybe_spill(std::size_t slot) {
+    if constexpr (kSpillable) {
+      if (resident_bytes_.load(std::memory_order_relaxed) <= policy_.budget_bytes) return;
+      auto& state = slots_[slot];
+      if (state.resident_bytes == 0) return;
+      for (auto& bucket : state.buckets) {
+        for (auto& segment : bucket) {
+          if (!segment.spilled && !segment.entries.empty()) spill_segment(state, segment);
+        }
+      }
+    }
+  }
+
+  void spill_segment(SlotState& state, Segment& segment) {
+    if constexpr (kSpillable) {
+      const std::size_t bytes = segment.entries.size() * sizeof(Entry);
+      const std::string encoded = encode_spill_segment(segment.entries);
+      segment.spill_id = policy_.backend->write(encoded);
+      segment.spill_entries = segment.entries.size();
+      segment.spill_bytes = encoded.size();
+      segment.spilled = true;
+      std::vector<Entry>().swap(segment.entries);
+      state.resident_bytes -= bytes;
+      resident_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+      spilled_segments_.fetch_add(1, std::memory_order_relaxed);
+      spilled_bytes_.fetch_add(segment.spill_bytes, std::memory_order_relaxed);
+    }
+  }
+
+  SpillPolicy policy_;
+  std::vector<SlotState> slots_;
   std::mutex overflow_mu_;
   std::vector<std::vector<Segment>> overflow_;  // [bucket], under overflow_mu_
+  // Estimated resident footprint: segment entry storage across all slots
+  // plus reported combiner scratch. Relaxed is fine — the value only
+  // decides when to relocate bytes, never what they are.
+  std::atomic<std::size_t> resident_bytes_{0};
+  std::atomic<std::uint64_t> spilled_segments_{0};
+  std::atomic<std::uint64_t> spilled_bytes_{0};
+  std::atomic<std::uint64_t> restored_segments_{0};
 };
 
 }  // namespace detail

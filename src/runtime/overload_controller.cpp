@@ -24,6 +24,9 @@ OverloadController::OverloadController(core::DiasDispatcher& dispatcher,
                "ewma_alpha must be in (0,1]");
   DIAS_EXPECTS(config_.queue_depth_low <= config_.queue_depth_high,
                "hysteresis band must have low <= high");
+  DIAS_EXPECTS(config_.memory_high_bytes == 0 ||
+                   config_.memory_low_bytes <= config_.memory_high_bytes,
+               "memory hysteresis band must have low <= high");
   DIAS_EXPECTS(config_.min_hold_s >= 0.0, "min_hold_s must be >= 0");
   DIAS_EXPECTS(config_.theta_ceiling.empty() || config_.theta_ceiling.size() == n,
                "theta_ceiling must be empty or one per class");
@@ -62,6 +65,8 @@ OverloadController::OverloadController(core::DiasDispatcher& dispatcher,
   if (metrics != nullptr) {
     overloaded_gauge_ = &metrics->gauge("overload.state");
     utilization_gauge_ = &metrics->gauge("overload.utilization");
+    memory_gauge_ = &metrics->gauge("overload.memory_in_use_bytes");
+    memory_pressure_gauge_ = &metrics->gauge("overload.memory_pressure");
     replans_counter_ = &metrics->counter("overload.replans");
     escalations_counter_ = &metrics->counter("overload.escalations");
     relaxations_counter_ = &metrics->counter("overload.relaxations");
@@ -134,15 +139,34 @@ void OverloadController::sample_once() {
   last_busy_s_ = snap.busy_s;
   have_sample_ = true;
 
-  // Hysteresis: sticky between the low and high depth thresholds.
+  // Hysteresis: sticky between the low and high thresholds. Queue depth
+  // and accounted memory footprint are independent triggers with their
+  // own bands; either can flip the controller into "overloaded" and both
+  // must clear before it relaxes.
   const std::size_t depth = snap.total_queue_depth();
-  if (depth >= config_.queue_depth_high) {
+  memory_in_use_bytes_ = snap.memory_in_use_bytes;
+  const bool memory_enabled = config_.memory_high_bytes != 0;
+  if (memory_enabled) {
+    if (memory_in_use_bytes_ >= config_.memory_high_bytes) {
+      memory_pressure_ = true;
+    } else if (memory_in_use_bytes_ <= config_.memory_low_bytes) {
+      memory_pressure_ = false;
+    }
+  }
+  if (depth >= config_.queue_depth_high || (memory_enabled && memory_pressure_)) {
     overloaded_ = true;
-  } else if (depth <= config_.queue_depth_low) {
+  } else if (depth <= config_.queue_depth_low &&
+             (!memory_enabled || !memory_pressure_)) {
     overloaded_ = false;
   }
   if (overloaded_gauge_ != nullptr) overloaded_gauge_->set(overloaded_ ? 1.0 : 0.0);
   if (utilization_gauge_ != nullptr) utilization_gauge_->set(utilization_);
+  if (memory_gauge_ != nullptr) {
+    memory_gauge_->set(static_cast<double>(memory_in_use_bytes_));
+  }
+  if (memory_pressure_gauge_ != nullptr) {
+    memory_pressure_gauge_->set(memory_pressure_ ? 1.0 : 0.0);
+  }
 
   // Plan switches are rate-limited; within the hold window the previous
   // plan stands even if the state machine flipped.
@@ -212,6 +236,8 @@ OverloadController::Status OverloadController::status() const {
   std::lock_guard lock(mutex_);
   Status s;
   s.overloaded = overloaded_;
+  s.memory_pressure = memory_pressure_;
+  s.memory_in_use_bytes = memory_in_use_bytes_;
   s.samples = samples_;
   s.replans = replans_;
   s.escalations = escalations_;

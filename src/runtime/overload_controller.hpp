@@ -50,6 +50,14 @@ struct OverloadControllerConfig {
   // Hysteresis band on the dispatcher's total queue depth.
   std::size_t queue_depth_high = 8;
   std::size_t queue_depth_low = 2;
+  // Hysteresis band on the dispatcher's accounted memory footprint
+  // (queued + running, bytes). 0 disables the memory trigger: the
+  // controller then reacts to queue depth alone, as before. When enabled,
+  // memory pressure is an independent overload trigger — either signal
+  // flips the controller into "overloaded", and BOTH must clear before it
+  // relaxes back to the baseline plan.
+  std::size_t memory_high_bytes = 0;
+  std::size_t memory_low_bytes = 0;
   // Minimum seconds between installed plan changes (escalate or relax).
   double min_hold_s = 2.0;
   // Optional per-class ceilings on installed theta; empty = derive each
@@ -63,6 +71,11 @@ class OverloadController {
  public:
   struct Status {
     bool overloaded = false;
+    // True while the memory trigger alone would hold the controller in
+    // the overloaded state (footprint at or above memory_high_bytes and
+    // not yet back down to memory_low_bytes).
+    bool memory_pressure = false;
+    std::size_t memory_in_use_bytes = 0;
     std::uint64_t samples = 0;
     std::uint64_t replans = 0;      // deflator grid searches triggered
     std::uint64_t escalations = 0;  // installed plans that raised some theta
@@ -118,6 +131,8 @@ class OverloadController {
 
   // Control state (guarded by mutex_).
   bool overloaded_ = false;
+  bool memory_pressure_ = false;
+  std::size_t memory_in_use_bytes_ = 0;
   bool have_sample_ = false;
   double last_uptime_s_ = 0.0;
   double last_busy_s_ = 0.0;
@@ -138,6 +153,8 @@ class OverloadController {
   obs::Tracer* tracer_ = nullptr;
   obs::Gauge* overloaded_gauge_ = nullptr;
   obs::Gauge* utilization_gauge_ = nullptr;
+  obs::Gauge* memory_gauge_ = nullptr;
+  obs::Gauge* memory_pressure_gauge_ = nullptr;
   obs::Counter* replans_counter_ = nullptr;
   obs::Counter* escalations_counter_ = nullptr;
   obs::Counter* relaxations_counter_ = nullptr;

@@ -89,6 +89,38 @@ FileMetadata BlockStore::write_lines(const std::string& name,
   return meta;
 }
 
+FileMetadata BlockStore::write_bytes(const std::string& name, const std::string& data) {
+  check_name(name);
+  const auto dir = file_dir(name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  FileMetadata meta;
+  meta.name = name;
+
+  std::vector<std::uint64_t> checksums;
+  for (std::size_t off = 0; off < data.size(); off += options_.block_bytes) {
+    const std::string block_data = data.substr(off, options_.block_bytes);
+    for (int r = 0; r < options_.replication; ++r) {
+      std::ofstream out(block_path(name, meta.blocks, r), std::ios::binary);
+      DIAS_EXPECTS(out.good(), "cannot open block file for writing");
+      out << block_data;
+    }
+    checksums.push_back(fnv1a(block_data));
+    blocks_written_ += static_cast<std::uint64_t>(options_.replication);
+    bytes_written_ +=
+        static_cast<std::uint64_t>(block_data.size()) * options_.replication;
+    meta.bytes += block_data.size();
+    ++meta.blocks;
+  }
+
+  std::ofstream metaf(dir / kMetaFile);
+  DIAS_EXPECTS(metaf.good(), "cannot write file metadata");
+  metaf << meta.bytes << ' ' << meta.blocks << ' ' << meta.lines << '\n';
+  for (std::uint64_t c : checksums) metaf << c << '\n';
+  return meta;
+}
+
 FileMetadata BlockStore::stat(const std::string& name) const {
   check_name(name);
   std::ifstream metaf(file_dir(name) / kMetaFile);
@@ -121,36 +153,64 @@ void BlockStore::remove(const std::string& name) {
   std::filesystem::remove_all(file_dir(name));
 }
 
-std::vector<std::string> BlockStore::read_block_lines(const std::string& name,
-                                                      std::size_t block) const {
-  check_name(name);
-  const auto meta = stat(name);
-  DIAS_EXPECTS(block < meta.blocks, "block index out of range");
-
-  // Expected checksum from the metadata file.
+std::vector<std::uint64_t> BlockStore::load_checksums(const std::string& name,
+                                                      std::size_t blocks) const {
   std::ifstream metaf(file_dir(name) / kMetaFile);
+  DIAS_EXPECTS(metaf.good(), "file does not exist in block store");
   FileMetadata ignored;
   metaf >> ignored.bytes >> ignored.blocks >> ignored.lines;
-  std::uint64_t expected = 0;
-  for (std::size_t b = 0; b <= block; ++b) metaf >> expected;
+  std::vector<std::uint64_t> checksums(blocks, 0);
+  for (auto& c : checksums) metaf >> c;
   DIAS_EXPECTS(metaf.good() || metaf.eof(), "corrupt metadata");
+  return checksums;
+}
 
+std::string BlockStore::read_block_raw(const std::string& name, std::size_t block,
+                                       std::uint64_t expected) const {
   for (int r = 0; r < options_.replication; ++r) {
     std::ifstream in(block_path(name, block, r), std::ios::binary);
     if (!in.good()) continue;
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string data = buffer.str();
+    std::string data = buffer.str();
     if (fnv1a(data) != expected) continue;  // corrupt copy: try a replica
     ++blocks_read_;
     bytes_read_ += data.size();
-    std::vector<std::string> lines;
-    std::istringstream stream(data);
-    std::string line;
-    while (std::getline(stream, line)) lines.push_back(std::move(line));
-    return lines;
+    return data;
   }
   throw error("all replicas of block are missing or corrupt: " + name);
+}
+
+std::vector<std::string> BlockStore::read_block_lines(const std::string& name,
+                                                      std::size_t block) const {
+  const std::string data = read_block_bytes(name, block);
+  std::vector<std::string> lines;
+  std::istringstream stream(data);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(std::move(line));
+  return lines;
+}
+
+std::string BlockStore::read_block_bytes(const std::string& name, std::size_t block) const {
+  check_name(name);
+  const auto meta = stat(name);
+  DIAS_EXPECTS(block < meta.blocks, "block index out of range");
+  const auto checksums = load_checksums(name, meta.blocks);
+  return read_block_raw(name, block, checksums[block]);
+}
+
+BlockStore::Reader BlockStore::open_reader(const std::string& name) const {
+  check_name(name);
+  auto meta = stat(name);
+  auto checksums = load_checksums(name, meta.blocks);
+  return Reader(this, std::move(meta), std::move(checksums));
+}
+
+bool BlockStore::Reader::next(std::string& chunk) {
+  if (next_block_ >= meta_.blocks) return false;
+  chunk = store_->read_block_raw(meta_.name, next_block_, checksums_[next_block_]);
+  ++next_block_;
+  return true;
 }
 
 std::vector<std::string> BlockStore::read_all_lines(const std::string& name) const {

@@ -47,14 +47,47 @@ class BlockStore {
   // file of the same name.
   FileMetadata write_lines(const std::string& name, const std::vector<std::string>& lines);
 
+  // Writes raw bytes as fixed-size binary blocks (exactly block_bytes each
+  // except possibly the last) with the same checksum/replication scheme as
+  // line files; meta.lines is 0. This is the on-disk shape of spilled
+  // shuffle segments.
+  FileMetadata write_bytes(const std::string& name, const std::string& data);
+
   // Reads the lines of one block (0-based), verifying its checksum. Falls
   // back to a replica when the primary copy is corrupt or missing; throws
   // if every copy fails.
   std::vector<std::string> read_block_lines(const std::string& name,
                                             std::size_t block) const;
 
+  // Reads the raw bytes of one block, with the same checksum verification
+  // and replica fallback as read_block_lines.
+  std::string read_block_bytes(const std::string& name, std::size_t block) const;
+
   // Reads the whole file in block order.
   std::vector<std::string> read_all_lines(const std::string& name) const;
+
+  // Streaming block reader: loads the file's metadata — sizes plus every
+  // block checksum — once at open, then yields verified blocks in order.
+  // Unlike per-block reads it never re-opens the metadata file, which is
+  // what the merge phase wants when streaming spilled segments back.
+  class Reader {
+   public:
+    // Replaces `chunk` with the next block's bytes; false after the last
+    // block. Throws when every replica of a block is missing or corrupt.
+    bool next(std::string& chunk);
+    const FileMetadata& meta() const { return meta_; }
+
+   private:
+    friend class BlockStore;
+    Reader(const BlockStore* store, FileMetadata meta, std::vector<std::uint64_t> checksums)
+        : store_(store), meta_(std::move(meta)), checksums_(std::move(checksums)) {}
+
+    const BlockStore* store_;
+    FileMetadata meta_;
+    std::vector<std::uint64_t> checksums_;
+    std::size_t next_block_ = 0;
+  };
+  Reader open_reader(const std::string& name) const;
 
   FileMetadata stat(const std::string& name) const;
   bool exists(const std::string& name) const;
@@ -72,6 +105,13 @@ class BlockStore {
   std::filesystem::path file_dir(const std::string& name) const;
   std::filesystem::path block_path(const std::string& name, std::size_t block,
                                    int replica) const;
+  // All block checksums from the metadata file (one read).
+  std::vector<std::uint64_t> load_checksums(const std::string& name,
+                                            std::size_t blocks) const;
+  // One block's raw bytes, verified against `expected`, with replica
+  // fallback; updates the read counters.
+  std::string read_block_raw(const std::string& name, std::size_t block,
+                             std::uint64_t expected) const;
 
   BlockStoreOptions options_;
   mutable std::atomic<std::uint64_t> blocks_read_{0};

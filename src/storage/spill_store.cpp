@@ -1,0 +1,62 @@
+#include "storage/spill_store.hpp"
+
+#include <utility>
+
+namespace dias::storage {
+namespace {
+
+// Adapts BlockStore::Reader to the engine's chunk-stream interface,
+// counting streamed bytes into the owning backend's stats.
+class BlockSpillReader final : public engine::SpillReader {
+ public:
+  BlockSpillReader(BlockStore::Reader reader, std::atomic<std::uint64_t>& bytes_read)
+      : reader_(std::move(reader)), bytes_read_(bytes_read) {}
+
+  bool next(std::string& chunk) override {
+    if (!reader_.next(chunk)) return false;
+    bytes_read_.fetch_add(chunk.size(), std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  BlockStore::Reader reader_;
+  std::atomic<std::uint64_t>& bytes_read_;
+};
+
+}  // namespace
+
+BlockStoreSpill::BlockStoreSpill(BlockStore& store, std::string prefix)
+    : store_(store), prefix_(std::move(prefix)) {}
+
+std::string BlockStoreSpill::segment_name(std::uint64_t handle) const {
+  return prefix_ + "-" + std::to_string(handle);
+}
+
+std::uint64_t BlockStoreSpill::write(const std::string& bytes) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  store_.write_bytes(segment_name(id), bytes);
+  segments_written_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return id;
+}
+
+std::unique_ptr<engine::SpillReader> BlockStoreSpill::open(std::uint64_t handle) {
+  auto reader = store_.open_reader(segment_name(handle));
+  segments_read_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<BlockSpillReader>(std::move(reader), bytes_read_);
+}
+
+void BlockStoreSpill::release(std::uint64_t handle) {
+  store_.remove(segment_name(handle));
+}
+
+engine::SpillStats BlockStoreSpill::stats() const {
+  engine::SpillStats s;
+  s.segments_written = segments_written_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.segments_read = segments_read_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dias::storage

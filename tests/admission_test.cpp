@@ -407,6 +407,122 @@ TEST(AdmissionTest, OptionValidation) {
   DispatcherOptions too_many;
   too_many.classes = {ClassPolicy{}, ClassPolicy{}};
   EXPECT_THROW(DiasDispatcher({0.0}, too_many), dias::precondition_error);
+  DispatcherOptions bad_alpha;
+  bad_alpha.memory_profile_alpha = 0.0;
+  EXPECT_THROW(DiasDispatcher({0.0}, bad_alpha), dias::precondition_error);
+}
+
+// --- memory-aware admission (ISSUE 6) --------------------------------------
+
+TEST(AdmissionTest, MemoryCapacityShedsOnAggregateFootprint) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kShedOldestLowest;
+  opts.memory_capacity_bytes = 1000;
+  DiasDispatcher dispatcher({0.0, 0.0}, opts);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  dispatcher.submit(
+      0,
+      [&](double) {
+        started = true;
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+      },
+      /*memory_bytes=*/400);
+  while (!started.load()) std::this_thread::sleep_for(1ms);
+
+  std::atomic<int> survivors{0};
+  // Two queued low-priority jobs fill the budget: 400 running + 300 + 300.
+  dispatcher.submit(0, [&](double) { ++survivors; }, 300);
+  dispatcher.submit(0, [&](double) { ++survivors; }, 300);
+  // A 600-byte high-priority arrival doesn't fit until BOTH queued jobs go:
+  // the memory cap, unlike the depth cap, can claim several victims.
+  EXPECT_EQ(dispatcher.submit(1, [&](double) { ++survivors; }, 600),
+            Admission::kAdmitted);
+  release = true;
+  const auto records = dispatcher.drain();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kShed), 2u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 2u);
+  EXPECT_EQ(survivors.load(), 1);  // only the high-priority newcomer ran
+
+  // All accounted memory is released at the terminal outcomes.
+  const auto snap = dispatcher.load_snapshot();
+  EXPECT_EQ(snap.memory_in_use_bytes, 0u);
+  EXPECT_EQ(snap.memory_capacity_bytes, 1000u);
+}
+
+TEST(AdmissionTest, OversizedJobAdmittedWhenNothingElseHoldsMemory) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kReject;
+  opts.memory_capacity_bytes = 100;
+  DiasDispatcher dispatcher({0.0}, opts);
+  std::atomic<int> runs{0};
+  // Over budget on its own — but rejecting it could never help, so it runs.
+  EXPECT_EQ(dispatcher.submit(0, [&](double) { ++runs; }, 10000),
+            Admission::kAdmitted);
+  const auto records = dispatcher.drain();
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 1u);
+}
+
+TEST(AdmissionTest, ProfiledFootprintFeedsAdmissionForUndeclaredJobs) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kReject;
+  opts.memory_capacity_bytes = 1500;
+  opts.memory_profile_alpha = 0.5;
+  DiasDispatcher dispatcher({0.0}, opts);
+
+  // Seed the class profile: a completed job that declared 1000 bytes.
+  dispatcher.submit(0, [](double) {}, 1000);
+  dispatcher.drain();
+  EXPECT_EQ(dispatcher.load_snapshot().classes[0].profiled_memory_bytes, 1000u);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  dispatcher.submit(
+      0,
+      [&](double) {
+        started = true;
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+      },
+      1000);
+  while (!started.load()) std::this_thread::sleep_for(1ms);
+  // Undeclared submission is accounted at the learned 1000-byte profile:
+  // 1000 running + 1000 profiled > 1500 capacity.
+  EXPECT_EQ(dispatcher.submit(0, [](double) {}), Admission::kRejected);
+  release = true;
+  dispatcher.drain();
+}
+
+TEST(AdmissionTest, LoadSnapshotReportsMemoryAccounting) {
+  DispatcherOptions opts;
+  opts.memory_capacity_bytes = 5000;
+  DiasDispatcher dispatcher({0.0}, opts);
+  obs::Registry registry;
+  dispatcher.attach_observability(&registry, nullptr);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  dispatcher.submit(
+      0,
+      [&](double) {
+        started = true;
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+      },
+      700);
+  while (!started.load()) std::this_thread::sleep_for(1ms);
+  dispatcher.submit(0, [](double) {}, 200);
+
+  const auto snap = dispatcher.load_snapshot();
+  EXPECT_EQ(snap.memory_in_use_bytes, 900u);  // running 700 + queued 200
+  EXPECT_EQ(snap.classes[0].queued_memory_bytes, 200u);
+  EXPECT_DOUBLE_EQ(registry.gauge("dispatcher.memory_in_use_bytes").value(), 900.0);
+
+  release = true;
+  dispatcher.drain();
+  EXPECT_EQ(dispatcher.load_snapshot().memory_in_use_bytes, 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("dispatcher.memory_in_use_bytes").value(), 0.0);
 }
 
 }  // namespace

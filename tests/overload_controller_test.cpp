@@ -258,11 +258,108 @@ TEST(OverloadControllerTest, Validation) {
   EXPECT_THROW(
       OverloadController(dispatcher, make_deflator(), constraints(), bad_band),
       dias::precondition_error);
+  auto bad_memory_band = manual_config();
+  bad_memory_band.memory_high_bytes = 100;
+  bad_memory_band.memory_low_bytes = 200;
+  EXPECT_THROW(
+      OverloadController(dispatcher, make_deflator(), constraints(), bad_memory_band),
+      dias::precondition_error);
   auto bad_ceiling = manual_config();
   bad_ceiling.theta_ceiling = {0.5};
   EXPECT_THROW(
       OverloadController(dispatcher, make_deflator(), constraints(), bad_ceiling),
       dias::precondition_error);
+}
+
+// --- memory pressure as a deflation trigger (ISSUE 6) ----------------------
+
+TEST(OverloadControllerTest, MemoryPressureTriggersOverloadAndRelaxes) {
+  core::DispatcherOptions dopts;
+  dopts.memory_capacity_bytes = 10000;
+  DiasDispatcher dispatcher({0.0, 0.0}, dopts);
+  obs::Registry reg;
+  auto cfg = manual_config();
+  cfg.queue_depth_high = 1000;  // depth can never trip; memory is on its own
+  cfg.memory_high_bytes = 500;
+  cfg.memory_low_bytes = 100;
+  OverloadController controller(dispatcher, make_deflator(), constraints(), cfg, &reg);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  dispatcher.submit(
+      0,
+      [&](double) {
+        started = true;
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+      },
+      /*memory_bytes=*/800);
+  while (!started.load()) std::this_thread::sleep_for(1ms);
+
+  controller.sample_once();
+  auto status = controller.status();
+  EXPECT_TRUE(status.overloaded) << "footprint 800 >= high 500";
+  EXPECT_TRUE(status.memory_pressure);
+  EXPECT_EQ(status.memory_in_use_bytes, 800u);
+  EXPECT_GE(status.replans, 1u);  // overload drove a grid search
+  EXPECT_DOUBLE_EQ(reg.gauge("overload.memory_pressure").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("overload.memory_in_use_bytes").value(), 800.0);
+
+  // Queue depth is zero throughout, but memory alone holds the state:
+  // overloaded must NOT clear until the footprint falls below the low mark.
+  release = true;
+  dispatcher.drain();
+  controller.sample_once();
+  status = controller.status();
+  EXPECT_FALSE(status.memory_pressure);
+  EXPECT_FALSE(status.overloaded);
+  EXPECT_EQ(status.memory_in_use_bytes, 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("overload.memory_pressure").value(), 0.0);
+}
+
+TEST(OverloadControllerTest, MemoryBandIsStickyBetweenThresholds) {
+  DiasDispatcher dispatcher({0.0, 0.0});
+  auto cfg = manual_config();
+  cfg.queue_depth_high = 1000;
+  cfg.memory_high_bytes = 1000;
+  cfg.memory_low_bytes = 200;
+  OverloadController controller(dispatcher, make_deflator(), constraints(), cfg);
+
+  std::atomic<bool> release_big{false};
+  std::atomic<bool> release_small{false};
+  std::atomic<bool> started{false};
+  dispatcher.submit(
+      0,
+      [&](double) {
+        started = true;
+        while (!release_big.load()) std::this_thread::sleep_for(1ms);
+      },
+      900);
+  while (!started.load()) std::this_thread::sleep_for(1ms);
+  // Second footprint queues behind the runner: 900 running + 500 queued.
+  dispatcher.submit(
+      0,
+      [&](double) {
+        while (!release_small.load()) std::this_thread::sleep_for(1ms);
+      },
+      500);
+
+  controller.sample_once();
+  EXPECT_TRUE(controller.status().memory_pressure);  // 1400 >= 1000
+
+  // Drop into the band (500, between low 200 and high 1000): still sticky.
+  release_big = true;
+  while (dispatcher.load_snapshot().memory_in_use_bytes > 500) {
+    std::this_thread::sleep_for(1ms);
+  }
+  controller.sample_once();
+  EXPECT_TRUE(controller.status().memory_pressure) << "band must be sticky";
+  EXPECT_TRUE(controller.status().overloaded);
+
+  release_small = true;
+  dispatcher.drain();
+  controller.sample_once();
+  EXPECT_FALSE(controller.status().memory_pressure);  // 0 <= low
+  EXPECT_FALSE(controller.status().overloaded);
 }
 
 }  // namespace

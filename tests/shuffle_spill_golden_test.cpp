@@ -1,0 +1,248 @@
+// Spill-determinism golden tests (ISSUE 6 satellite 1).
+//
+// The memory-elastic shuffle's contract: spilling is content-preserving.
+// A finite memory_budget_bytes only changes WHERE a segment lives
+// (resident vector vs BlockStore blocks), never its boundaries or entry
+// order, so the merge phase — which visits segments in (src, seq) order —
+// produces bitwise-identical output with or without spill, at any worker
+// count. These tests pin that contract for reduce_by_key (float
+// accumulation order!), group_by_key, and distinct across three budget
+// regimes: unbounded, half the measured working set, and barely above a
+// single segment (everything spills).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "storage/block_store.hpp"
+#include "storage/spill_store.hpp"
+
+namespace dias {
+namespace {
+
+using KV = std::pair<std::uint64_t, double>;
+
+class ShuffleSpillGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("dias_spill_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  storage::BlockStore make_store() {
+    storage::BlockStoreOptions options;
+    options.root = root_;
+    options.block_bytes = 4096;
+    return storage::BlockStore(options);
+  }
+
+  std::filesystem::path root_;
+};
+
+// Skewed (key, value) input: a few heavy keys plus a long uniform tail,
+// so combiner buckets are uneven and flush at different times per slot.
+std::vector<KV> skewed_pairs(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> tail(0, 4000);
+  std::uniform_real_distribution<double> val(0.0, 1.0);
+  std::vector<KV> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = (i % 5 == 0) ? (i % 7) : tail(rng);
+    out.push_back({key, val(rng)});
+  }
+  return out;
+}
+
+engine::Engine::Options engine_opts(std::size_t workers) {
+  engine::Engine::Options o;
+  o.workers = workers;
+  o.seed = 11;
+  return o;
+}
+
+engine::ShuffleOptions shuffle_opts(std::size_t budget) {
+  engine::ShuffleOptions s;
+  s.target_buffer_bytes = 4096;
+  s.memory_budget_bytes = budget;
+  return s;
+}
+
+// Full partition structure, not just the multiset of entries: the merge
+// contract covers bucket assignment AND within-bucket order.
+template <typename T>
+std::vector<std::vector<T>> materialize(const engine::Dataset<T>& ds) {
+  std::vector<std::vector<T>> out;
+  for (std::size_t p = 0; p < ds.partitions(); ++p) out.push_back(ds.partition(p));
+  return out;
+}
+
+std::size_t working_set_bytes(const engine::Engine& eng) {
+  std::size_t bytes = 0;
+  for (const auto& s : eng.stage_log()) bytes += s.shuffle_bytes;
+  return bytes;
+}
+
+std::size_t spilled_segments(const engine::Engine& eng) {
+  std::size_t n = 0;
+  for (const auto& s : eng.stage_log()) n += s.shuffle_spill_segments;
+  return n;
+}
+
+std::size_t restored_segments(const engine::Engine& eng) {
+  std::size_t n = 0;
+  for (const auto& s : eng.stage_log()) n += s.shuffle_restored_segments;
+  return n;
+}
+
+TEST_F(ShuffleSpillGoldenTest, ReduceByKeyIsBitwiseIdenticalAcrossBudgetsAndWorkers) {
+  const auto input = skewed_pairs(20000, 101);
+  auto store = make_store();
+  std::size_t working_set = 0;
+
+  auto run = [&](std::size_t workers, std::size_t budget) {
+    storage::BlockStoreSpill spill(store, "rbk-w" + std::to_string(workers) + "-b" +
+                                              std::to_string(budget));
+    engine::Engine eng(engine_opts(workers));
+    eng.set_spill_backend(&spill);
+    const auto ds = eng.parallelize(input, 16);
+    const auto result = eng.reduce_by_key(
+        ds, [](double a, double b) { return a + b; }, 12, {}, shuffle_opts(budget));
+    if (budget == 0) working_set = std::max(working_set, working_set_bytes(eng));
+    if (budget != 0 && budget < working_set) {
+      EXPECT_GT(spilled_segments(eng), 0u) << "budget " << budget << " never spilled";
+      EXPECT_EQ(spilled_segments(eng), restored_segments(eng));
+    }
+    return materialize(result);
+  };
+
+  const auto reference = run(1, 0);
+  ASSERT_GT(working_set, 0u);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (std::size_t budget : {std::size_t{0}, working_set / 2, std::size_t{8192}}) {
+      // Doubles compared with ==: accumulation order must be identical,
+      // not merely the key sets.
+      EXPECT_EQ(run(workers, budget), reference)
+          << "workers=" << workers << " budget=" << budget;
+    }
+  }
+}
+
+TEST_F(ShuffleSpillGoldenTest, GroupByKeyPreservesValueOrderUnderSpill) {
+  const auto input = skewed_pairs(12000, 202);
+  auto store = make_store();
+  std::size_t working_set = 0;
+
+  auto run = [&](std::size_t workers, std::size_t budget) {
+    storage::BlockStoreSpill spill(store, "gbk-w" + std::to_string(workers) + "-b" +
+                                              std::to_string(budget));
+    engine::Engine eng(engine_opts(workers));
+    eng.set_spill_backend(&spill);
+    const auto ds = eng.parallelize(input, 16);
+    const auto result = eng.group_by_key(ds, 12, {}, shuffle_opts(budget));
+    if (budget == 0) working_set = std::max(working_set, working_set_bytes(eng));
+    if (budget != 0 && budget < working_set) {
+      EXPECT_GT(spilled_segments(eng), 0u) << "budget " << budget << " never spilled";
+    }
+    return materialize(result);
+  };
+
+  const auto reference = run(1, 0);
+  ASSERT_GT(working_set, 0u);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (std::size_t budget : {std::size_t{0}, working_set / 2, std::size_t{8192}}) {
+      EXPECT_EQ(run(workers, budget), reference)
+          << "workers=" << workers << " budget=" << budget;
+    }
+  }
+}
+
+TEST_F(ShuffleSpillGoldenTest, DistinctKeepsFirstAppearanceOrderUnderSpill) {
+  // Heavy duplication so the dedup scratch map flushes repeatedly.
+  std::vector<std::string> input;
+  std::mt19937_64 rng(303);
+  std::uniform_int_distribution<int> pick(0, 1500);
+  for (std::size_t i = 0; i < 15000; ++i) {
+    input.push_back("element-" + std::to_string(pick(rng)) + "-padpadpadpad");
+  }
+  auto store = make_store();
+  std::size_t working_set = 0;
+
+  auto run = [&](std::size_t workers, std::size_t budget) {
+    storage::BlockStoreSpill spill(store, "dst-w" + std::to_string(workers) + "-b" +
+                                              std::to_string(budget));
+    engine::Engine eng(engine_opts(workers));
+    eng.set_spill_backend(&spill);
+    const auto ds = eng.parallelize(input, 16);
+    const auto result = eng.distinct(ds, 12, {}, shuffle_opts(budget));
+    if (budget == 0) working_set = std::max(working_set, working_set_bytes(eng));
+    return materialize(result);
+  };
+
+  const auto reference = run(1, 0);
+  ASSERT_GT(working_set, 0u);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (std::size_t budget : {std::size_t{0}, working_set / 2, std::size_t{8192}}) {
+      EXPECT_EQ(run(workers, budget), reference)
+          << "workers=" << workers << " budget=" << budget;
+    }
+  }
+}
+
+// Default-constructed ShuffleOptions pick their budget up from
+// DIAS_SHUFFLE_BUDGET_BYTES, so the CI low-memory leg (-L spill with the
+// env var set) drives this very test through the spill path while the
+// regular leg runs it unbounded — same assertion either way.
+TEST_F(ShuffleSpillGoldenTest, DefaultOptionsHonorEnvBudget) {
+  const auto input = skewed_pairs(8000, 404);
+  auto store = make_store();
+
+  auto run = [&](std::size_t workers) {
+    storage::BlockStoreSpill spill(store, "env-w" + std::to_string(workers));
+    engine::Engine eng(engine_opts(workers));
+    eng.set_spill_backend(&spill);
+    const auto ds = eng.parallelize(input, 16);
+    const auto result = eng.reduce_by_key(
+        ds, [](double a, double b) { return a + b; }, 8);
+    return materialize(result);
+  };
+
+  const auto reference = run(1);
+  EXPECT_EQ(run(2), reference);
+  EXPECT_EQ(run(8), reference);
+}
+
+// Spill accounting is visible end to end: the sink's counters reach the
+// stage log, and every spilled segment is restored exactly once (and its
+// backing file released) during the merge.
+TEST_F(ShuffleSpillGoldenTest, SpillCountersAndReleaseAreExact) {
+  const auto input = skewed_pairs(20000, 505);
+  auto store = make_store();
+  storage::BlockStoreSpill spill(store, "acct");
+  engine::Engine eng(engine_opts(4));
+  eng.set_spill_backend(&spill);
+  const auto ds = eng.parallelize(input, 16);
+  (void)eng.reduce_by_key(
+      ds, [](double a, double b) { return a + b; }, 12, {}, shuffle_opts(8192));
+
+  const auto stats = spill.stats();
+  EXPECT_GT(stats.segments_written, 0u);
+  EXPECT_EQ(stats.segments_written, stats.segments_read);
+  EXPECT_GT(stats.bytes_written, 0u);
+  EXPECT_EQ(stats.bytes_written, stats.bytes_read);
+  EXPECT_EQ(spilled_segments(eng), stats.segments_written);
+  EXPECT_EQ(restored_segments(eng), stats.segments_written);
+  // All segment files were released after their single consumption.
+  EXPECT_TRUE(store.list().empty());
+}
+
+}  // namespace
+}  // namespace dias
