@@ -216,6 +216,28 @@ Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job,
           drain_cv_.notify_all();
           return Admission::kRejected;
         case AdmissionPolicy::kShedOldestLowest: {
+          // Memory feasibility first: queued jobs of classes the newcomer
+          // outranks (or ties) are the only reclaimable footprint — the
+          // running job and higher-priority queues stay. If evicting all
+          // of them still cannot fit the newcomer, reject it up front
+          // instead of shedding the whole queue for nothing.
+          if (options_.memory_capacity_bytes != 0) {
+            std::size_t reclaimable = 0;
+            for (std::size_t k = 0; k <= priority; ++k) reclaimable += queued_memory_[k];
+            const std::size_t rest =
+                memory_in_use_ - std::min(memory_in_use_, reclaimable);
+            // rest == 0 falls under the oversized-runs-alone rule (see
+            // queue_has_space): with nothing else holding memory the
+            // newcomer is admissible no matter its footprint.
+            if (rest > 0 && rest + accounted > options_.memory_capacity_bytes) {
+              finish_without_running(std::move(pending), JobOutcome::kShed,
+                                     "rejected at admission: footprint cannot fit "
+                                     "even after shedding every job it outranks");
+              lock.unlock();
+              drain_cv_.notify_all();
+              return Admission::kRejected;
+            }
+          }
           // Shed until the newcomer fits. One victim suffices when a queue
           // cap binds; under the memory cap several small jobs may have to
           // go to make room for one big footprint. Each round either

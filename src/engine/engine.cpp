@@ -19,11 +19,6 @@ std::atomic<std::uint64_t>& shuffle_fallback_locks() {
   return count;
 }
 
-std::atomic<obs::Counter*>& shuffle_fallback_counter_hook() {
-  static std::atomic<obs::Counter*> hook{nullptr};
-  return hook;
-}
-
 std::size_t default_shuffle_budget() {
   static const std::size_t budget = [] {
     const char* env = std::getenv("DIAS_SHUFFLE_BUDGET_BYTES");
@@ -57,11 +52,6 @@ const char* to_string(EngineStageKind kind) {
 void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
   obs_ = ObsHooks{};
   obs_.tracer = tracer;
-  // The overflow-lane fallback counter is process-global (the sinks are
-  // templates with no engine pointer), so the last attach wins and detach
-  // clears the hook. The raw shuffle_fallback_locks() atomic keeps
-  // counting regardless.
-  detail::shuffle_fallback_counter_hook().store(nullptr, std::memory_order_relaxed);
   if (metrics != nullptr) {
     obs_.stages = &metrics->counter("engine.stages");
     obs_.tasks_executed = &metrics->counter("engine.tasks_executed");
@@ -87,8 +77,10 @@ void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
     obs_.shuffle_restored_bytes = &metrics->counter("engine.shuffle.spill_restored_bytes");
     obs_.shuffle_merge_stream_s =
         &metrics->histogram("engine.shuffle.merge_stream_s", 0.0, 10.0, 200);
-    detail::shuffle_fallback_counter_hook().store(
-        &metrics->counter("engine.shuffle.fallback_locks"), std::memory_order_relaxed);
+    // Handed to each shuffle's sink through its SpillPolicy, so the
+    // overflow lane bumps this engine's counter and no other; the raw
+    // shuffle_fallback_locks() atomic keeps counting regardless.
+    obs_.shuffle_fallback_locks = &metrics->counter("engine.shuffle.fallback_locks");
     pool_.attach_metrics(*metrics, "engine.pool");
   }
 }

@@ -429,6 +429,9 @@ class Engine {
           restored_bytes.fetch_add(segment->spill_bytes, std::memory_order_relaxed);
         }
       }
+      // Every segment consumed: free the bucket (spilled storage included).
+      // Never throws, so the completed body cannot be retried half-freed.
+      sink.commit_bucket(b);
       merged.fetch_add(records, std::memory_order_relaxed);
       out[b].reserve(unique.size());
       for (auto& entry : unique.entries()) out[b].push_back(std::move(entry.first));
@@ -504,10 +507,14 @@ class Engine {
   // already subject to dropping when it produced `in`, so drop semantics
   // are unchanged end to end.
   //
-  // Like every stage body, the write side must be idempotent under the
-  // fault-tolerant path: injected faults skip the body entirely, but a user
-  // functor that throws mid-partition leaves partial segments behind for
-  // the retry (the same contract the locked shuffle had).
+  // Both phases tolerate the fault-tolerant retry path: a write task that
+  // dies mid-partition leaves complete, deterministic segments behind and
+  // the merge collapses duplicate (src, seq) positions to one copy; a
+  // merge task that dies mid-bucket (spill I/O error, user functor throw)
+  // leaves its segments intact because consume() defers all destructive
+  // effects to the post-body commit_bucket() whenever a spill backend is
+  // attached — and without one, a re-entered bucket whose segments were
+  // already moved out fails loudly instead of merging them as empty.
   template <typename K, typename V, typename Create, typename Fold, typename Merge>
   auto combine_by_key(const Dataset<std::pair<K, V>>& in, Create create, Fold fold,
                       Merge merge, std::size_t out_partitions, StageOptions opts = {},
@@ -637,6 +644,9 @@ class Engine {
           restored_bytes.fetch_add(segment->spill_bytes, std::memory_order_relaxed);
         }
       }
+      // Every segment consumed: free the bucket (spilled storage included).
+      // Never throws, so the completed body cannot be retried half-freed.
+      sink.commit_bucket(b);
       merged.fetch_add(records, std::memory_order_relaxed);
       out[b] = std::move(acc.entries());
     });
@@ -699,31 +709,41 @@ class Engine {
 
   // Resolves ShuffleOptions into the sink's spill policy for a shuffle
   // whose segment entries have type `Entry`. Unbounded budgets resolve to
-  // the inert default policy; a finite budget demands a backend (the
-  // per-shuffle override or the engine-wide one), spillable entries, and
-  // room for at least one record.
+  // the inert default policy; an explicit finite budget demands a backend
+  // (the per-shuffle override or the engine-wide one), spillable entries,
+  // and room for at least one record. A budget inherited from
+  // DIAS_SHUFFLE_BUDGET_BYTES (ShuffleOptions::kBudgetFromEnv) is instead
+  // ignored on shuffles it cannot apply to — a process-wide env var must
+  // not break programs that never opted into spilling.
   template <typename Entry>
   detail::SpillPolicy make_spill_policy(const ShuffleOptions& shuffle) {
     detail::SpillPolicy policy;
-    if (shuffle.memory_budget_bytes == 0) return policy;
+    policy.fallback_counter = obs_.shuffle_fallback_locks;
+    const bool from_env = shuffle.memory_budget_bytes == ShuffleOptions::kBudgetFromEnv;
+    const std::size_t budget =
+        from_env ? detail::default_shuffle_budget() : shuffle.memory_budget_bytes;
+    if (budget == 0) return policy;
     if constexpr (!detail::is_spillable<Entry>::value) {
+      if (from_env) return policy;
       throw config_error(
           "shuffle memory_budget_bytes set but the key/aggregate types have no "
           "spill codec");
     } else {
       SpillBackend* backend = shuffle.spill != nullptr ? shuffle.spill : spill_;
       if (backend == nullptr) {
+        if (from_env) return policy;
         throw config_error(
             "shuffle memory_budget_bytes set but no spill backend attached "
             "(Engine::set_spill_backend or ShuffleOptions::spill)");
       }
-      if (shuffle.memory_budget_bytes < sizeof(Entry)) {
+      if (budget < sizeof(Entry)) {
+        if (from_env) return policy;
         throw config_error(
-            "shuffle memory_budget_bytes (" + std::to_string(shuffle.memory_budget_bytes) +
+            "shuffle memory_budget_bytes (" + std::to_string(budget) +
             ") is smaller than a single record (" + std::to_string(sizeof(Entry)) +
             " bytes)");
       }
-      policy.budget_bytes = shuffle.memory_budget_bytes;
+      policy.budget_bytes = budget;
       policy.backend = backend;
       return policy;
     }
@@ -762,6 +782,8 @@ class Engine {
     obs::Counter* shuffle_restored_segments = nullptr;
     obs::Counter* shuffle_restored_bytes = nullptr;
     obs::HistogramMetric* shuffle_merge_stream_s = nullptr;
+    // Bumped by the sink's overflow lane; scoped per engine via SpillPolicy.
+    obs::Counter* shuffle_fallback_locks = nullptr;
   };
 
   Options options_;

@@ -26,7 +26,12 @@
 // tasks through adjust_scratch) and, when it crosses the budget, encodes
 // the spilling slot's resident segments and hands them to the backend.
 // The merge phase streams spilled segments back through consume() in the
-// same (src, seq) position they would have occupied resident.
+// same (src, seq) position they would have occupied resident. With a
+// backend attached consume() is non-destructive and the merge body frees
+// its bucket through commit_bucket() only after the whole body succeeded,
+// so a spill I/O error (or user functor throw) mid-bucket leaves every
+// segment intact for the fault-tolerant retry — merge bodies really are
+// idempotent, not just assumed to be.
 //
 // The determinism contract: spilling is content-preserving. It never
 // changes segment boundaries, entry order within a segment, or the merge
@@ -49,6 +54,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -59,10 +65,10 @@
 namespace dias::engine {
 
 namespace detail {
-// Default shuffle budget for this process: DIAS_SHUFFLE_BUDGET_BYTES if
-// set (parsed once), else 0 (unbounded). The env hook is how CI's
-// low-memory leg forces every `-L spill` test through the spill path
-// without per-test plumbing.
+// Budget resolved from DIAS_SHUFFLE_BUDGET_BYTES if set (parsed once),
+// else 0 (unbounded). The env hook is how CI's low-memory leg forces
+// every `-L spill` test through the spill path without per-test
+// plumbing.
 std::size_t default_shuffle_budget();
 }  // namespace detail
 
@@ -82,12 +88,19 @@ struct ShuffleOptions {
   // hard memory bound. Segment boundaries — and therefore shuffle output
   // — depend on this value, never on memory_budget_bytes.
   std::size_t target_buffer_bytes = std::size_t{1} << 20;
+  // Sentinel for memory_budget_bytes: resolve the budget from
+  // DIAS_SHUFFLE_BUDGET_BYTES at shuffle entry (unbounded when unset).
+  static constexpr std::size_t kBudgetFromEnv = static_cast<std::size_t>(-1);
   // Hard budget for resident shuffle state (segments awaiting merge plus
   // combiner scratch, estimated as entry storage). 0 means unbounded.
-  // A finite budget requires a spill backend (here or on the Engine) and
-  // spillable key/aggregate types; violations are config_error at shuffle
-  // entry. Must be at least the size of one shuffled record.
-  std::size_t memory_budget_bytes = detail::default_shuffle_budget();
+  // An *explicit* finite budget requires a spill backend (here or on the
+  // Engine) and spillable key/aggregate types, and must be at least the
+  // size of one shuffled record; violations are config_error at shuffle
+  // entry. The kBudgetFromEnv default is lenient instead: a process-wide
+  // env budget applies only to shuffles that can actually spill and is
+  // silently ignored otherwise, so exporting the variable never breaks
+  // programs that never opted into spilling.
+  std::size_t memory_budget_bytes = kBudgetFromEnv;
   // Per-shuffle spill destination; when null the Engine's attached
   // backend (Engine::set_spill_backend) is used.
   SpillBackend* spill = nullptr;
@@ -101,13 +114,6 @@ namespace detail {
 // overflow lane, and each such fall-back increments this counter. Tests
 // reset it and assert it stays 0 across full shuffles.
 std::atomic<std::uint64_t>& shuffle_fallback_locks();
-
-// Registry-visible mirror of shuffle_fallback_locks(): when an Engine has
-// observability attached, this holds the "engine.shuffle.fallback_locks"
-// counter and the overflow lane bumps it too. Last attach wins (the
-// counter lives in that engine's Registry); detach stores nullptr. The
-// raw atomic above stays authoritative for tests that predate a registry.
-std::atomic<obs::Counter*>& shuffle_fallback_counter_hook();
 
 // Open-addressing (linear probing) hash map with insertion-ordered,
 // movable entry storage. No erase, power-of-two slot table, indices into a
@@ -184,8 +190,10 @@ class FlatMap {
 // they give the merge phase its deterministic visit order. A segment that
 // was pushed over budget has `spilled` set: its entries live in the spill
 // backend under `spill_id` (encoded as `spill_bytes` bytes holding
-// `spill_entries` entries) and `entries` is empty until consume() streams
-// them back.
+// `spill_entries` entries) and `entries` stays empty while spilled.
+// `consumed` marks a segment whose entries are gone for good (moved out by
+// a destructive consume() or freed by commit_bucket()); consuming it again
+// is a loud error, never a silent zero-entry merge.
 template <typename K, typename A>
 struct ShuffleSegment {
   std::size_t src = 0;
@@ -195,14 +203,21 @@ struct ShuffleSegment {
   std::size_t spill_entries = 0;
   std::size_t spill_bytes = 0;
   bool spilled = false;
+  bool consumed = false;
 };
 
-// Spill configuration resolved by the Engine for one shuffle: the
-// effective budget and the backend to spill through. Default-constructed
-// means unbounded / never spill.
+// Sink configuration resolved by the Engine for one shuffle: the
+// effective budget, the backend to spill through, and the registry
+// counter behind the overflow lane. Default-constructed means unbounded /
+// never spill / no counter.
 struct SpillPolicy {
   std::size_t budget_bytes = 0;  // 0 = unbounded
   SpillBackend* backend = nullptr;
+  // Registry export for shuffle_fallback_locks() bumps, scoped to this
+  // sink so no engine ever pushes through another registry's (or a
+  // destroyed registry's) counter. The owning registry must outlive the
+  // shuffle — the same lifetime every other engine counter already has.
+  obs::Counter* fallback_counter = nullptr;
 };
 
 // Collection point between the two phases. Writers append segments to
@@ -263,9 +278,7 @@ class ShuffleSink {
       return;
     }
     shuffle_fallback_locks().fetch_add(1, std::memory_order_relaxed);
-    if (auto* counter = shuffle_fallback_counter_hook().load(std::memory_order_relaxed)) {
-      counter->add();
-    }
+    if (policy_.fallback_counter != nullptr) policy_.fallback_counter->add();
     std::lock_guard guard(overflow_mu_);
     overflow_[bucket].push_back(std::move(segment));
   }
@@ -283,7 +296,11 @@ class ShuffleSink {
 
   // Every segment destined for `bucket`, sorted by (src, seq). Pointers
   // stay valid until the sink is destroyed; the caller may move from the
-  // segments it receives.
+  // segments it receives. A retried write task can leave duplicate
+  // (src, seq) segments behind — complete and identical by the
+  // determinism contract, since segment boundaries are a pure function of
+  // the input — so equal positions collapse to one copy (preferring a
+  // resident one) instead of double-counting records.
   std::vector<Segment*> bucket_segments(std::size_t bucket) {
     DIAS_EXPECTS(bucket < overflow_.size(), "shuffle bucket out of range");
     std::vector<Segment*> out;
@@ -293,18 +310,47 @@ class ShuffleSink {
     for (auto& segment : overflow_[bucket]) out.push_back(&segment);
     std::sort(out.begin(), out.end(), [](const Segment* a, const Segment* b) {
       if (a->src != b->src) return a->src < b->src;
-      return a->seq < b->seq;
+      if (a->seq != b->seq) return a->seq < b->seq;
+      return a->spilled < b->spilled;
     });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const Segment* a, const Segment* b) {
+                            return a->src == b->src && a->seq == b->seq;
+                          }),
+              out.end());
     return out;
   }
 
   // Feeds the segment's entries to `fn(Entry&&)` in stored order — straight
   // from memory for resident segments, streamed back from the backend for
-  // spilled ones — and returns the entry count. Frees the entries either
-  // way (the merge phase visits each segment exactly once).
+  // spilled ones — and returns the entry count.
+  //
+  // With a spill backend attached, consume() is NON-destructive so the
+  // merge body stays idempotent for the retry path: resident entries are
+  // fed as copies and spilled segments keep their backend storage. The
+  // body frees the bucket with commit_bucket() after it fully succeeded;
+  // a failed attempt (spill I/O error, user functor throw) leaves every
+  // segment intact for the next attempt. Without a backend nothing inside
+  // consume() can throw mid-bucket except the user functor, so the legacy
+  // destructive fast path stands — guarded by `consumed` so a re-entered
+  // body fails loudly instead of merging silently empty segments.
   template <typename Fn>
   std::size_t consume(Segment& segment, Fn&& fn) {
+    if (segment.consumed) {
+      throw error(
+          "shuffle merge re-entered a consumed segment (non-idempotent retry "
+          "after a mid-bucket failure); its entries are gone");
+    }
     if (!segment.spilled) {
+      // Move-only entry types are never spillable, so they never see an
+      // attached backend; compiling the copy lane out keeps them building.
+      if constexpr (std::is_copy_constructible_v<Entry>) {
+        if (policy_.backend != nullptr) {
+          for (auto& entry : segment.entries) fn(Entry(entry));
+          return segment.entries.size();
+        }
+      }
+      segment.consumed = true;
       const std::size_t count = segment.entries.size();
       for (auto& entry : segment.entries) fn(std::move(entry));
       std::vector<Entry>().swap(segment.entries);
@@ -317,14 +363,39 @@ class ShuffleSink {
         throw error("corrupt spill segment: entry count mismatch");
       }
       restored_segments_.fetch_add(1, std::memory_order_relaxed);
-      policy_.backend->release(segment.spill_id);
-      segment.spilled = false;
       return count;
     } else {
       // A segment can only be marked spilled through spill paths that are
       // compiled out for non-spillable entries.
       throw error("spilled segment of non-spillable entry type");
     }
+  }
+
+  // Post-body step of the merge phase: after a bucket's body completed,
+  // frees its resident entries and releases its spilled segments' backend
+  // storage. Runs at most once per bucket (the stage layer guarantees a
+  // body never *completes* twice) and never throws — release failures are
+  // swallowed like the destructor's, so a completed bucket can never be
+  // retried into a half-freed state. Skipped buckets (dropped merge
+  // tasks) keep their storage until the destructor.
+  void commit_bucket(std::size_t bucket) {
+    if (policy_.backend == nullptr) return;  // destructive consume already freed
+    DIAS_EXPECTS(bucket < overflow_.size(), "shuffle bucket out of range");
+    auto commit = [this](Segment& segment) {
+      if (segment.spilled) {
+        try {
+          policy_.backend->release(segment.spill_id);
+        } catch (...) {  // NOLINT(bugprone-empty-catch): best effort, like teardown
+        }
+        segment.spilled = false;
+      }
+      std::vector<Entry>().swap(segment.entries);
+      segment.consumed = true;
+    };
+    for (auto& state : slots_) {
+      for (auto& segment : state.buckets[bucket]) commit(segment);
+    }
+    for (auto& segment : overflow_[bucket]) commit(segment);
   }
 
   std::size_t resident_bytes() const {

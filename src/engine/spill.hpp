@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -244,7 +245,11 @@ std::size_t decode_spill_segment(SpillCursor& in, Fn&& fn) {
   std::uint32_t magic = 0;
   in.read(&magic, sizeof(magic));
   if (magic != kSpillMagic) {
-    throw error("corrupt spill segment: bad length header");
+    char msg[80];
+    std::snprintf(msg, sizeof(msg),
+                  "corrupt spill segment: bad magic 0x%08x (expected 0x%08x)",
+                  magic, kSpillMagic);
+    throw error(msg);
   }
   std::uint64_t count = 0;
   in.read(&count, sizeof(count));

@@ -452,6 +452,45 @@ TEST(AdmissionTest, MemoryCapacityShedsOnAggregateFootprint) {
   EXPECT_EQ(snap.memory_capacity_bytes, 1000u);
 }
 
+TEST(AdmissionTest, InfeasibleFootprintRejectedWithoutSheddingQueue) {
+  // REVIEW fix regression: when the newcomer can never fit — the running
+  // job's unreclaimable footprint alone exceeds what the capacity leaves —
+  // kShedOldestLowest must reject it up front instead of evicting every
+  // queued job (including zero-footprint ones) and rejecting it anyway.
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kShedOldestLowest;
+  opts.memory_capacity_bytes = 1000;
+  DiasDispatcher dispatcher({0.0, 0.0}, opts);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  dispatcher.submit(
+      0,
+      [&](double) {
+        started = true;
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+      },
+      /*memory_bytes=*/600);
+  while (!started.load()) std::this_thread::sleep_for(1ms);
+
+  std::atomic<int> survivors{0};
+  dispatcher.submit(0, [&](double) { ++survivors; }, 200);
+  dispatcher.submit(0, [&](double) { ++survivors; }, 0);  // frees nothing if shed
+
+  // 900 bytes can never fit: shedding both queued jobs still leaves the
+  // 600-byte running job, and 600 + 900 > 1000.
+  EXPECT_EQ(dispatcher.submit(1, [&](double) { ++survivors; }, 900),
+            Admission::kRejected);
+
+  release = true;
+  const auto records = dispatcher.drain();
+  ASSERT_EQ(records.size(), 4u);
+  // Only the infeasible newcomer was shed; the queue survived intact.
+  EXPECT_EQ(count_outcome(records, JobOutcome::kShed), 1u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 3u);
+  EXPECT_EQ(survivors.load(), 2);
+}
+
 TEST(AdmissionTest, OversizedJobAdmittedWhenNothingElseHoldsMemory) {
   DispatcherOptions opts;
   opts.admission = AdmissionPolicy::kReject;

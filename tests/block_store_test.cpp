@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -341,6 +343,60 @@ TEST_F(SpillFaultTest, DroppableMergeDegradesInsteadOfFailing) {
   EXPECT_NO_THROW(run_spilled_shuffle(eng, spill, /*droppable=*/true));
   ASSERT_FALSE(eng.stage_log().empty());
   EXPECT_FALSE(eng.stage_log().back().failed_partition_ids.empty());
+}
+
+// A transient read fault: the first `failures` open() calls throw, later
+// ones succeed — the shape a retry is actually meant to absorb.
+class FlakyOpenSpill final : public engine::SpillBackend {
+ public:
+  FlakyOpenSpill(BlockStore& store, int failures)
+      : inner_(store, "flaky"), failures_(failures) {}
+
+  std::uint64_t write(const std::string& bytes) override { return inner_.write(bytes); }
+  std::unique_ptr<engine::SpillReader> open(std::uint64_t handle) override {
+    if (failures_.fetch_sub(1) > 0) {
+      throw dias::error("injected fault: transient spill read error");
+    }
+    return inner_.open(handle);
+  }
+  void release(std::uint64_t handle) override { inner_.release(handle); }
+  engine::SpillStats stats() const override { return inner_.stats(); }
+
+ private:
+  BlockStoreSpill inner_;
+  std::atomic<int> failures_;
+};
+
+TEST_F(SpillFaultTest, TransientReadFaultRecoversExactAnswerOnRetry) {
+  // Merge consumption is non-destructive while a backend is attached, so a
+  // retried merge body finds every segment intact — resident and spilled —
+  // and the recovered answer is exact, not silently missing the segments a
+  // failed attempt had already consumed.
+  auto store = make_store(4096);
+  FlakyOpenSpill spill(store, /*failures=*/2);
+  engine::Engine::Options eopts;
+  eopts.workers = 4;
+  eopts.fault.max_attempts = 3;  // two injected failures can never exhaust a task
+  engine::Engine eng(eopts);
+  eng.set_spill_backend(&spill);
+  const auto ds = eng.parallelize(records(), 8);
+  engine::StageOptions sopts;
+  sopts.droppable = false;  // any exhaustion would be loud, not degraded
+  engine::ShuffleOptions shuffle;
+  shuffle.target_buffer_bytes = 2048;
+  shuffle.memory_budget_bytes = 4096;
+  const auto reduced = eng.reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 6, sopts, shuffle);
+
+  auto all = reduced.collect();
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 701u);
+  for (const auto& [key, count] : all) {
+    EXPECT_EQ(count, 10000 / 701 + (key < 10000 % 701 ? 1 : 0)) << "key " << key;
+  }
+  std::size_t retries = 0;
+  for (const auto& s : eng.stage_log()) retries += s.retries;
+  EXPECT_GT(retries, 0u);  // the faults really fired and were retried
 }
 
 TEST_F(SpillFaultTest, CancellationOutranksSpillFaults) {

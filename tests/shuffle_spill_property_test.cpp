@@ -269,13 +269,17 @@ TEST(ShuffleSpillPropertyTest, SpillCodecRoundTripsStringsAndVectors) {
 
 // Satellite 4 regression: the overflow-lane fallback counter is visible in
 // metrics snapshots once an engine attaches a registry, not only through
-// the process-global atomic.
+// the process-global atomic. The counter is scoped per sink through
+// SpillPolicy (no process-global hook), so the sink here carries it the
+// same way Engine::make_spill_policy wires it for real shuffles.
 TEST(ShuffleSpillPropertyTest, FallbackLockCounterExportedThroughRegistry) {
   obs::Registry registry;
   Engine eng(engine_opts(2, 8));
   eng.attach_observability(&registry, nullptr);
 
-  detail::ShuffleSink<int, int> sink(2, 3);
+  detail::SpillPolicy policy;
+  policy.fallback_counter = &registry.counter("engine.shuffle.fallback_locks");
+  detail::ShuffleSink<int, int> sink(2, 3, policy);
   const auto before = detail::shuffle_fallback_locks().load();
   // Slot-less writer (the driver thread) takes the counted fallback lock.
   sink.push(ThreadPool::kNoSlot, 1, {0, 0, {{5, 1}}});
@@ -291,6 +295,37 @@ TEST(ShuffleSpillPropertyTest, FallbackLockCounterExportedThroughRegistry) {
   }
   EXPECT_TRUE(found) << "engine.shuffle.fallback_locks missing from snapshot";
   eng.attach_observability(nullptr, nullptr);
+}
+
+// REVIEW fix regression: a process-wide DIAS_SHUFFLE_BUDGET_BYTES (the
+// kBudgetFromEnv default) must not break shuffles that cannot spill — no
+// backend attached, or key/aggregate types without a codec. Under the CI
+// spill leg (env var exported) these ran config_error before the fix; an
+// *explicit* finite budget on the same shuffles still fails fast (covered
+// by the FailsFast tests above).
+TEST(ShuffleSpillPropertyTest, EnvBudgetIsIgnoredByShufflesThatCannotSpill) {
+  const auto records = make_records(9, 500, 17, 0.0);
+  const auto expected = reference_sums(records);
+
+  // No backend anywhere: default (env-inherited) options stay unbounded.
+  Engine eng(engine_opts(2, 9));
+  const auto ds = eng.parallelize(records, 2);
+  const auto reduced = eng.reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 3, {}, ShuffleOptions{});
+  EXPECT_EQ(sorted_collect(reduced), expected);
+
+  // Backend attached but a non-spillable key type: same leniency.
+  MemorySpill spill;
+  Engine eng2(engine_opts(2, 10));
+  eng2.set_spill_backend(&spill);
+  std::vector<std::pair<OpaqueKey, std::int64_t>> opaque;
+  for (int i = 0; i < 200; ++i) opaque.push_back({{i % 13}, 1});
+  const auto opaque_ds = eng2.parallelize(opaque, 2);
+  const auto opaque_reduced = eng2.reduce_by_key(
+      opaque_ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 3, {},
+      ShuffleOptions{});
+  EXPECT_EQ(opaque_reduced.total_size(), 13u);
+  EXPECT_EQ(spill.stats().segments_written, 0u);
 }
 
 }  // namespace
