@@ -98,7 +98,15 @@ void usage(const char* prog) {
       "                                --adaptive the controller treats ~80%%/40%% of\n"
       "                                this as its memory pressure band\n"
       "  --job-memory-mb <low,high>    declared per-class job footprints in MB\n"
-      "                                (default 0,0 = undeclared)\n",
+      "                                (default 0,0 = undeclared)\n"
+      "  --lanes <n>                   striped submission lanes in the dispatcher;\n"
+      "                                0 = one per core, 1 = the single-lane plane\n"
+      "                                (default 0)\n"
+      "  --tenants <n>                 multiplex submissions over n tenants with the\n"
+      "                                fair-share ledger enabled (burst credits +\n"
+      "                                deflate/deprioritize/shed ladder); 0 = untenanted\n"
+      "                                (default 0). With --adaptive, sustained\n"
+      "                                over-quota tenants also trigger escalation\n",
       prog);
 }
 
@@ -303,8 +311,9 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
                          std::vector<double> deadlines, bool adaptive,
                          std::vector<double> ceilings, std::size_t jobs,
                          double period_ms, std::size_t memory_capacity_mb,
-                         std::vector<double> job_memory_mb, bool csv,
-                         obs::Registry* metrics, obs::Tracer* tracer) {
+                         std::vector<double> job_memory_mb, std::size_t lanes,
+                         std::size_t tenants, bool csv, obs::Registry* metrics,
+                         obs::Tracer* tracer) {
   static constexpr std::size_t kPartitions = 16;
   static constexpr int kTaskMs = 4;
   engine::Engine::Options eopts;
@@ -319,6 +328,8 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
     if (k < deadlines.size()) dopts.classes[k].deadline_s = deadlines[k];
   }
   dopts.memory_capacity_bytes = memory_capacity_mb << 20;
+  dopts.lanes = lanes;
+  if (tenants > 0) dopts.tenant.enabled = true;
   core::DiasDispatcher dispatcher({0.0, 0.0}, dopts);
   dispatcher.attach_observability(metrics, tracer);
 
@@ -353,6 +364,12 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
       ccfg.memory_high_bytes = (memory_capacity_mb << 20) * 4 / 5;
       ccfg.memory_low_bytes = (memory_capacity_mb << 20) * 2 / 5;
     }
+    if (tenants > 0) {
+      // Tenant pressure band: a quarter of the tenant population being
+      // simultaneously over quota is plant-wide overload.
+      ccfg.tenant_overquota_high = std::max<std::size_t>(tenants / 4, 1);
+      ccfg.tenant_overquota_low = ccfg.tenant_overquota_high / 2;
+    }
     ccfg.min_hold_s = 0.2;
     ccfg.theta_ceiling = std::move(ceilings);
     ccfg.start_thread = true;
@@ -363,8 +380,11 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
   }
 
   for (std::size_t i = 0; i < jobs; ++i) {
+    const core::TenantId tenant =
+        tenants > 0 ? core::TenantId{i % tenants + 1} : core::TenantId{};
     dispatcher.submit(
-        i % 2, core::DiasDispatcher::ContextJobFn(
+        i % 2, tenant,
+        core::DiasDispatcher::ContextJobFn(
                    [&](const core::DiasDispatcher::JobContext& ctx) {
                      eng.set_cancellation(ctx.token);
                      eng.set_drop_ratio(ctx.theta);
@@ -461,6 +481,25 @@ int run_runtime_overload(core::AdmissionPolicy admission, std::size_t queue_cap,
       }
     }
   }
+  if (tenants > 0) {
+    const auto snap = dispatcher.load_snapshot();
+    if (csv) {
+      std::printf("tenants,%zu\nfairness_index,%.4f\ntenant_shed,%llu\n"
+                  "tenant_deflated,%llu\ntenant_deprioritized,%llu\n",
+                  snap.tenants_tracked, snap.tenant_fairness_index,
+                  static_cast<unsigned long long>(snap.tenant_shed),
+                  static_cast<unsigned long long>(snap.tenant_deflated),
+                  static_cast<unsigned long long>(snap.tenant_deprioritized));
+    } else {
+      std::printf("  tenants: %zu tracked over %zu lanes, Jain fairness %.4f, "
+                  "%llu shed / %llu deflated / %llu deprioritized by the ladder\n",
+                  snap.tenants_tracked, dispatcher.lanes(),
+                  snap.tenant_fairness_index,
+                  static_cast<unsigned long long>(snap.tenant_shed),
+                  static_cast<unsigned long long>(snap.tenant_deflated),
+                  static_cast<unsigned long long>(snap.tenant_deprioritized));
+    }
+  }
   return 0;
 }
 
@@ -540,6 +579,8 @@ int main(int argc, char** argv) {
   double overload_period_ms = 10.0;
   std::size_t memory_capacity_mb = 0;
   std::vector<double> job_memory_mb;
+  std::size_t lanes = 0;
+  std::size_t tenants = 0;
   std::size_t shuffle_budget_bytes = 0;
   std::string spill_dir;
   std::size_t reserve_workers = 6;
@@ -631,6 +672,10 @@ int main(int argc, char** argv) {
       memory_capacity_mb = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--job-memory-mb") {
       job_memory_mb = parse_list(next());
+    } else if (arg == "--lanes") {
+      lanes = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--tenants") {
+      tenants = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--shuffle-budget-bytes") {
       shuffle_budget_bytes = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--spill-dir") {
@@ -677,7 +722,8 @@ int main(int argc, char** argv) {
                                         adaptive, std::move(theta_ceiling),
                                         overload_jobs, overload_period_ms,
                                         memory_capacity_mb, std::move(job_memory_mb),
-                                        csv, want_obs ? &obs_metrics : nullptr,
+                                        lanes, tenants, csv,
+                                        want_obs ? &obs_metrics : nullptr,
                                         want_obs ? &obs_tracer : nullptr);
     if (!flush_observability(metrics_out, trace_out, obs_metrics, obs_tracer)) return 1;
     return rc;

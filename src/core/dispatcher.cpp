@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "engine/thread_pool.hpp"
 
 namespace dias::core {
 
@@ -20,33 +21,81 @@ const char* to_string(JobOutcome outcome) {
   return "unknown";
 }
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::size_t default_lanes() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw, 1, 16);
+}
+
+}  // namespace
+
 DiasDispatcher::DiasDispatcher(std::vector<double> theta)
     : DiasDispatcher(std::move(theta), DispatcherOptions{}) {}
 
 DiasDispatcher::DiasDispatcher(std::vector<double> theta, DispatcherOptions options)
-    : theta_(std::move(theta)), options_(std::move(options)),
-      epoch_(std::chrono::steady_clock::now()), buffers_(theta_.size()),
-      queued_memory_(theta_.size(), 0), memory_profile_(theta_.size(), 0.0),
-      loads_(theta_.size()) {
-  DIAS_EXPECTS(!theta_.empty(), "dispatcher needs at least one priority class");
-  for (double t : theta_) {
-    DIAS_EXPECTS(t >= 0.0 && t <= 1.0, "drop ratios must be in [0,1]");
+    : priorities_(theta.size()), options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()) {
+  DIAS_EXPECTS(priorities_ > 0, "dispatcher needs at least one priority class");
+  theta_ = std::make_unique<std::atomic<double>[]>(priorities_);
+  for (std::size_t k = 0; k < priorities_; ++k) {
+    DIAS_EXPECTS(theta[k] >= 0.0 && theta[k] <= 1.0, "drop ratios must be in [0,1]");
+    theta_[k].store(theta[k], std::memory_order_relaxed);
   }
-  DIAS_EXPECTS(options_.classes.size() <= theta_.size(),
+  DIAS_EXPECTS(options_.classes.size() <= priorities_,
                "more class policies than priority classes");
   DIAS_EXPECTS(options_.memory_profile_alpha > 0.0 && options_.memory_profile_alpha <= 1.0,
                "memory profile alpha must be in (0,1]");
-  options_.classes.resize(theta_.size());
+  DIAS_EXPECTS(options_.tenant.deflate_theta >= 0.0 && options_.tenant.deflate_theta <= 1.0,
+               "tenant deflate theta must be in [0,1]");
+  options_.classes.resize(priorities_);
   for (const auto& cp : options_.classes) {
     DIAS_EXPECTS(cp.deadline_s > 0.0, "class deadlines must be positive");
   }
+
+  bounded_ = options_.total_capacity != 0 || options_.memory_capacity_bytes != 0;
+  for (const auto& cp : options_.classes) {
+    if (cp.queue_capacity != 0) bounded_ = true;
+  }
+
+  const std::size_t lane_count = options_.lanes != 0 ? options_.lanes : default_lanes();
+  lanes_.reserve(lane_count);
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->normal.resize(priorities_);
+    lane->penalized.resize(priorities_);
+    lane->loads.resize(priorities_);
+    lane->head_normal = std::make_unique<std::atomic<std::uint64_t>[]>(priorities_);
+    lane->head_penalized = std::make_unique<std::atomic<std::uint64_t>[]>(priorities_);
+    for (std::size_t k = 0; k < priorities_; ++k) {
+      lane->head_normal[k].store(kEmptySeq, std::memory_order_relaxed);
+      lane->head_penalized[k].store(kEmptySeq, std::memory_order_relaxed);
+    }
+    lanes_.push_back(std::move(lane));
+  }
+
+  class_queued_ = std::make_unique<std::atomic<std::size_t>[]>(priorities_);
+  class_queued_memory_ = std::make_unique<std::atomic<std::size_t>[]>(priorities_);
+  memory_profile_ = std::make_unique<std::atomic<double>[]>(priorities_);
+  for (std::size_t k = 0; k < priorities_; ++k) {
+    class_queued_[k].store(0, std::memory_order_relaxed);
+    class_queued_memory_[k].store(0, std::memory_order_relaxed);
+    memory_profile_[k].store(0.0, std::memory_order_relaxed);
+  }
+
+  if (options_.tenant.enabled) {
+    ledger_ = std::make_unique<FairShareLedger>(options_.tenant.ledger);
+  }
+
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
   deadline_watchdog_ = std::thread([this] { deadline_loop(); });
 }
 
 void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
-  std::lock_guard lock(mutex_);
-  DIAS_EXPECTS(in_flight_ == 0, "attach observability before submitting jobs");
+  DIAS_EXPECTS(in_flight_.load(std::memory_order_seq_cst) == 0,
+               "attach observability before submitting jobs");
   tracer_ = tracer;
   completed_counters_.clear();
   shed_counters_.clear();
@@ -57,8 +106,14 @@ void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* t
   response_hist_ = nullptr;
   queueing_hist_ = nullptr;
   memory_gauge_ = nullptr;
+  tenant_burst_counter_ = nullptr;
+  tenant_deflated_counter_ = nullptr;
+  tenant_deprioritized_counter_ = nullptr;
+  tenant_shed_counter_ = nullptr;
+  tenant_fairness_gauge_ = nullptr;
+  tenant_over_quota_gauge_ = nullptr;
   if (metrics != nullptr) {
-    for (std::size_t k = 0; k < theta_.size(); ++k) {
+    for (std::size_t k = 0; k < priorities_; ++k) {
       const std::string prefix = "dispatcher.class" + std::to_string(k);
       completed_counters_.push_back(&metrics->counter(prefix + ".completed"));
       shed_counters_.push_back(&metrics->counter(prefix + ".shed"));
@@ -66,27 +121,41 @@ void DiasDispatcher::attach_observability(obs::Registry* metrics, obs::Tracer* t
       failed_counters_.push_back(&metrics->counter(prefix + ".failed"));
       depth_gauges_.push_back(&metrics->gauge(prefix + ".queue_depth"));
       theta_gauges_.push_back(&metrics->gauge(prefix + ".theta"));
-      theta_gauges_.back()->set(theta_[k]);
+      theta_gauges_.back()->set(theta_[k].load(std::memory_order_relaxed));
     }
     response_hist_ = &metrics->histogram("dispatcher.response_s", 0.0, 600.0, 240);
     queueing_hist_ = &metrics->histogram("dispatcher.queueing_s", 0.0, 600.0, 240);
     memory_gauge_ = &metrics->gauge("dispatcher.memory_in_use_bytes");
+    if (ledger_ != nullptr) {
+      tenant_burst_counter_ = &metrics->counter("dispatcher.tenant.bursts");
+      tenant_deflated_counter_ = &metrics->counter("dispatcher.tenant.deflated");
+      tenant_deprioritized_counter_ = &metrics->counter("dispatcher.tenant.deprioritized");
+      tenant_shed_counter_ = &metrics->counter("dispatcher.tenant.shed");
+      tenant_fairness_gauge_ = &metrics->gauge("dispatcher.tenant.fairness_index");
+      tenant_fairness_gauge_->set(1.0);
+      tenant_over_quota_gauge_ = &metrics->gauge("dispatcher.tenant.over_quota");
+    }
   }
 }
 
 void DiasDispatcher::attach_sprint_governor(runtime::SprintGovernor* governor) {
-  std::lock_guard lock(mutex_);
-  DIAS_EXPECTS(in_flight_ == 0, "attach the sprint governor before submitting jobs");
+  DIAS_EXPECTS(in_flight_.load(std::memory_order_seq_cst) == 0,
+               "attach the sprint governor before submitting jobs");
   governor_ = governor;
 }
 
 DiasDispatcher::~DiasDispatcher() {
+  stopping_.store(true, std::memory_order_seq_cst);
+  // Lock/unlock each waiter's mutex so no waiter is between its predicate
+  // check and its park when the notify lands.
   {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
+    std::lock_guard lock(runner_mutex_);
   }
   work_cv_.notify_all();
   deadline_cv_.notify_all();
+  {
+    std::lock_guard lock(admission_mutex_);
+  }
   space_cv_.notify_all();
   dispatcher_.join();
   deadline_watchdog_.join();
@@ -96,44 +165,43 @@ double DiasDispatcher::now_s() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
 }
 
-bool DiasDispatcher::queue_has_space(std::size_t priority, std::size_t memory_bytes) const {
-  const ClassPolicy& cp = options_.classes[priority];
-  if (cp.queue_capacity != 0 && buffers_[priority].size() >= cp.queue_capacity) {
-    return false;
+std::size_t DiasDispatcher::pick_lane(TenantId tenant) const {
+  const std::size_t n = lanes_.size();
+  if (n == 1) return 0;
+  if (tenant.has_value()) {
+    // Tenant-affine: one tenant's submissions always share a lane, so its
+    // per-lane FCFS position is stable and its records cluster per stripe.
+    const std::uint64_t h = tenant.value * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> 32) % n;
   }
-  if (options_.total_capacity != 0 && queued_total_ >= options_.total_capacity) {
-    return false;
-  }
-  // Aggregate-footprint admission. An over-budget job is still admitted
-  // when nothing else holds memory: no amount of waiting or shedding could
-  // ever make it fit, so refusing it would starve (kBlock) or shed the
-  // whole queue for nothing (kShedOldestLowest).
-  if (options_.memory_capacity_bytes != 0 && memory_in_use_ > 0 &&
-      memory_in_use_ + memory_bytes > options_.memory_capacity_bytes) {
-    return false;
-  }
-  return true;
+  // Pool workers map to their stable slot; foreign threads get a sticky
+  // id on first use, so a given submitter thread always hits one lane.
+  const std::size_t slot = engine::ThreadPool::calling_thread_slot();
+  if (slot != engine::ThreadPool::kNoSlot) return slot % n;
+  static std::atomic<std::size_t> next_thread{0};
+  thread_local const std::size_t sticky =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return sticky % n;
 }
 
-void DiasDispatcher::release_memory_locked(const JobRecord& record) {
-  memory_in_use_ -= std::min(memory_in_use_, record.memory_bytes);
-  if (memory_gauge_ != nullptr) memory_gauge_->set(static_cast<double>(memory_in_use_));
+void DiasDispatcher::publish_heads_locked(Lane& lane, std::size_t cls) {
+  lane.head_normal[cls].store(
+      lane.normal[cls].empty() ? kEmptySeq : lane.normal[cls].front().record.seq,
+      std::memory_order_seq_cst);
+  lane.head_penalized[cls].store(
+      lane.penalized[cls].empty() ? kEmptySeq : lane.penalized[cls].front().record.seq,
+      std::memory_order_seq_cst);
 }
 
-void DiasDispatcher::update_memory_profile_locked(std::size_t priority,
-                                                  std::size_t declared) {
-  if (declared == 0) return;
-  double& profile = memory_profile_[priority];
-  const double sample = static_cast<double>(declared);
-  profile = profile == 0.0
-                ? sample  // first declared sample seeds the profile
-                : (1.0 - options_.memory_profile_alpha) * profile +
-                      options_.memory_profile_alpha * sample;
-  loads_[priority].profiled_memory_bytes = static_cast<std::size_t>(profile);
+void DiasDispatcher::stamp_arrival_locked(Lane& lane, Pending& pending) {
+  // The admit seq is drawn under the lane lock, so each lane's deques stay
+  // seq-sorted and the published head is always the lane's minimum.
+  pending.record.seq = next_seq_.fetch_add(1, std::memory_order_seq_cst);
+  ++lane.loads[pending.record.priority].arrivals;
 }
 
-void DiasDispatcher::note_outcome_locked(const JobRecord& record) {
-  ClassLoad& load = loads_[record.priority];
+void DiasDispatcher::note_outcome_locked(Lane& lane, const JobRecord& record) {
+  ClassLoad& load = lane.loads[record.priority];
   obs::Counter* counter = nullptr;
   switch (record.outcome) {
     case JobOutcome::kCompleted:
@@ -156,8 +224,8 @@ void DiasDispatcher::note_outcome_locked(const JobRecord& record) {
   if (counter != nullptr) counter->add();
 }
 
-void DiasDispatcher::finish_without_running(Pending&& pending, JobOutcome outcome,
-                                            std::string why) {
+void DiasDispatcher::finish_without_running_locked(Lane& lane, Pending&& pending,
+                                                   JobOutcome outcome, std::string why) {
   pending.token.request_cancel();
   pending.record.outcome = outcome;
   pending.record.error = std::move(why);
@@ -165,56 +233,282 @@ void DiasDispatcher::finish_without_running(Pending&& pending, JobOutcome outcom
   // Never ran: stamp start at the terminal instant so execution_s() is 0
   // and response_s() still measures the time spent queued.
   pending.record.start_s = pending.record.completion_s;
-  pending.record.theta = theta_[pending.record.priority];
-  note_outcome_locked(pending.record);
-  completed_.push_back(std::move(pending.record));
+  pending.record.theta = theta_[pending.record.priority].load(std::memory_order_relaxed);
+  note_outcome_locked(lane, pending.record);
+  lane.completed.push_back(std::move(pending.record));
+}
+
+void DiasDispatcher::enqueue_locked(Lane& lane, Pending&& pending) {
+  const std::size_t cls = pending.record.priority;
+  const std::size_t accounted = pending.record.memory_bytes;
+  auto& queue = (pending.penalized ? lane.penalized : lane.normal)[cls];
+  queue.push_back(std::move(pending));
+  publish_heads_locked(lane, cls);
+  queued_total_.fetch_add(1, std::memory_order_seq_cst);
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  class_queued_[cls].fetch_add(1, std::memory_order_seq_cst);
+  class_queued_memory_[cls].fetch_add(accounted, std::memory_order_seq_cst);
+  memory_in_use_.fetch_add(accounted, std::memory_order_seq_cst);
+  if (memory_gauge_ != nullptr) {
+    memory_gauge_->set(static_cast<double>(memory_in_use_.load(std::memory_order_relaxed)));
+  }
+  if (!depth_gauges_.empty()) {
+    depth_gauges_[cls]->set(
+        static_cast<double>(class_queued_[cls].load(std::memory_order_relaxed)));
+  }
+}
+
+bool DiasDispatcher::queue_has_space(std::size_t priority, std::size_t memory_bytes) const {
+  const ClassPolicy& cp = options_.classes[priority];
+  if (cp.queue_capacity != 0 &&
+      class_queued_[priority].load(std::memory_order_seq_cst) >= cp.queue_capacity) {
+    return false;
+  }
+  if (options_.total_capacity != 0 &&
+      queued_total_.load(std::memory_order_seq_cst) >= options_.total_capacity) {
+    return false;
+  }
+  // Aggregate-footprint admission. An over-budget job is still admitted
+  // when nothing else holds memory: no amount of waiting or shedding could
+  // ever make it fit, so refusing it would starve (kBlock) or shed the
+  // whole queue for nothing (kShedOldestLowest).
+  const std::size_t in_use = memory_in_use_.load(std::memory_order_seq_cst);
+  if (options_.memory_capacity_bytes != 0 && in_use > 0 &&
+      in_use + memory_bytes > options_.memory_capacity_bytes) {
+    return false;
+  }
+  return true;
+}
+
+bool DiasDispatcher::pop_oldest_of_class(std::size_t cls, Pending& out) {
+  for (;;) {
+    std::size_t best_lane = lanes_.size();
+    bool best_penalized = false;
+    std::uint64_t best_seq = kEmptySeq;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const std::uint64_t n = lanes_[i]->head_normal[cls].load(std::memory_order_seq_cst);
+      if (n != kEmptySeq && n < best_seq) {
+        best_seq = n;
+        best_lane = i;
+        best_penalized = false;
+      }
+      const std::uint64_t p =
+          lanes_[i]->head_penalized[cls].load(std::memory_order_seq_cst);
+      if (p != kEmptySeq && p < best_seq) {
+        best_seq = p;
+        best_lane = i;
+        best_penalized = true;
+      }
+    }
+    if (best_lane == lanes_.size()) return false;
+    Lane& lane = *lanes_[best_lane];
+    std::lock_guard guard(lane.mutex);
+    auto& queue = (best_penalized ? lane.penalized : lane.normal)[cls];
+    if (queue.empty() || queue.front().record.seq != best_seq) continue;  // runner raced us
+    out = std::move(queue.front());
+    queue.pop_front();
+    publish_heads_locked(lane, cls);
+    queued_total_.fetch_sub(1, std::memory_order_seq_cst);
+    class_queued_[cls].fetch_sub(1, std::memory_order_seq_cst);
+    class_queued_memory_[cls].fetch_sub(out.record.memory_bytes,
+                                        std::memory_order_seq_cst);
+    if (!depth_gauges_.empty()) {
+      depth_gauges_[cls]->set(
+          static_cast<double>(class_queued_[cls].load(std::memory_order_relaxed)));
+    }
+    return true;
+  }
+}
+
+void DiasDispatcher::wake_runner() {
+  // Dekker pair with the runner's park: the submitter published its lane
+  // head (seq_cst) before this idle load; the runner stores idle (seq_cst)
+  // before its park-side rescan. Whichever ordered first, either the
+  // runner's rescan sees the job or this load sees idle and notifies under
+  // the runner mutex.
+  if (runner_idle_.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(runner_mutex_);
+    work_cv_.notify_one();
+  }
+}
+
+void DiasDispatcher::notify_space_if_blocked() {
+  // Only bounded configurations ever wait for space, and only when a
+  // submitter registered itself first (same Dekker argument as
+  // wake_runner: capacity was released seq_cst before this load; waiters
+  // register seq_cst before re-checking the predicate). notify_all, not
+  // notify_one: waiters block on heterogeneous memory footprints, so the
+  // freed capacity may fit any subset of them.
+  if (bounded_ && blocked_submitters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard lock(admission_mutex_);
+    space_cv_.notify_all();
+  }
+}
+
+void DiasDispatcher::notify_drain_if_done() {
+  // Caller just dropped in_flight_ to zero.
+  if (drain_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void DiasDispatcher::seed_memory_profile(std::size_t priority, std::size_t declared) {
+  // Cold-start fix: the first *declared* footprint of a class seeds the
+  // profile at submission time, so concurrently arriving undeclared jobs
+  // of the class stop being admitted with a near-zero estimate. The EWMA
+  // fold at completion is idempotent for this first sample.
+  double expected = 0.0;
+  memory_profile_[priority].compare_exchange_strong(
+      expected, static_cast<double>(declared), std::memory_order_seq_cst,
+      std::memory_order_relaxed);
+}
+
+void DiasDispatcher::update_memory_profile(std::size_t priority, std::size_t declared) {
+  if (declared == 0) return;
+  const double sample = static_cast<double>(declared);
+  double cur = memory_profile_[priority].load(std::memory_order_relaxed);
+  double next = sample;
+  do {
+    next = cur == 0.0 ? sample  // first declared sample seeds the profile
+                      : (1.0 - options_.memory_profile_alpha) * cur +
+                            options_.memory_profile_alpha * sample;
+  } while (!memory_profile_[priority].compare_exchange_weak(
+      cur, next, std::memory_order_seq_cst, std::memory_order_relaxed));
+}
+
+double DiasDispatcher::effective_theta(const Pending& pending) const {
+  double theta = theta_[pending.record.priority].load(std::memory_order_relaxed);
+  if (ledger_ != nullptr && (pending.record.tenant_action == TenantAction::kDeflate ||
+                             pending.record.tenant_action == TenantAction::kDeprioritize)) {
+    // Over-quota tenants pay in accuracy first: their jobs run at least at
+    // the configured deflation floor.
+    theta = std::min(1.0, std::max(theta, options_.tenant.deflate_theta));
+  }
+  return theta;
 }
 
 Admission DiasDispatcher::submit(std::size_t priority, JobFn job, std::size_t memory_bytes) {
+  return submit(priority, TenantId{}, std::move(job), memory_bytes);
+}
+
+Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job,
+                                 std::size_t memory_bytes) {
+  return submit(priority, TenantId{}, std::move(job), memory_bytes);
+}
+
+Admission DiasDispatcher::submit(std::size_t priority, TenantId tenant, JobFn job,
+                                 std::size_t memory_bytes) {
   DIAS_EXPECTS(static_cast<bool>(job), "job callable must be non-empty");
-  return submit(priority,
+  return submit(priority, tenant,
                 ContextJobFn([fn = std::move(job)](const JobContext& ctx) {
                   fn(ctx.theta);
                 }),
                 memory_bytes);
 }
 
-Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job,
+Admission DiasDispatcher::submit(std::size_t priority, TenantId tenant, ContextJobFn job,
                                  std::size_t memory_bytes) {
-  DIAS_EXPECTS(priority < theta_.size(), "priority out of range");
+  DIAS_EXPECTS(priority < priorities_, "priority out of range");
   DIAS_EXPECTS(static_cast<bool>(job), "job callable must be non-empty");
   Pending pending;
   pending.fn = std::move(job);
   pending.record.priority = priority;
+  pending.record.tenant = tenant;
   pending.declared_memory = memory_bytes;
+  pending.record.arrival_s = now_s();
+  pending.lane = pick_lane(tenant);
 
-  bool shed_victim = false;
+  if (memory_bytes > 0) seed_memory_profile(priority, memory_bytes);
+
+  // Tenant over-quota ladder: consult the ledger before admission so a
+  // kShed verdict never consumes queue capacity.
+  if (ledger_ != nullptr && tenant.has_value()) {
+    const TenantAction action = ledger_->on_submit(tenant, now_s());
+    pending.record.tenant_action = action;
+    switch (action) {
+      case TenantAction::kNone:
+        break;
+      case TenantAction::kBurst:
+        tenant_bursts_.fetch_add(1, std::memory_order_relaxed);
+        if (tenant_burst_counter_ != nullptr) tenant_burst_counter_->add();
+        break;
+      case TenantAction::kDeflate:
+        tenant_deflated_.fetch_add(1, std::memory_order_relaxed);
+        if (tenant_deflated_counter_ != nullptr) tenant_deflated_counter_->add();
+        break;
+      case TenantAction::kDeprioritize:
+        tenant_deprioritized_.fetch_add(1, std::memory_order_relaxed);
+        if (tenant_deprioritized_counter_ != nullptr) tenant_deprioritized_counter_->add();
+        pending.penalized = true;
+        break;
+      case TenantAction::kShed: {
+        tenant_shed_.fetch_add(1, std::memory_order_relaxed);
+        if (tenant_shed_counter_ != nullptr) tenant_shed_counter_->add();
+        Lane& lane = *lanes_[pending.lane];
+        std::lock_guard guard(lane.mutex);
+        DIAS_EXPECTS(!stopping_.load(std::memory_order_seq_cst),
+                     "submit on a stopping dispatcher");
+        stamp_arrival_locked(lane, pending);
+        finish_without_running_locked(
+            lane, std::move(pending), JobOutcome::kShed,
+            "shed by tenant fair-share ladder: sustained usage beyond fair "
+            "share with burst credits exhausted");
+        return Admission::kRejected;
+      }
+    }
+  }
+
+  // Accounted footprint: what the submitter declared, else the class's
+  // learned profile (0 when nothing of this class ever declared one).
+  const std::size_t accounted =
+      memory_bytes > 0
+          ? memory_bytes
+          : static_cast<std::size_t>(memory_profile_[priority].load(std::memory_order_seq_cst));
+  pending.record.memory_bytes = accounted;
+
+  if (!bounded_) {
+    // Fast path: no capacity to check, so admission is one lane lock plus
+    // lock-free accounting — submissions on different lanes never contend.
+    Lane& lane = *lanes_[pending.lane];
+    {
+      std::lock_guard guard(lane.mutex);
+      DIAS_EXPECTS(!stopping_.load(std::memory_order_seq_cst),
+                   "submit on a stopping dispatcher");
+      stamp_arrival_locked(lane, pending);
+      enqueue_locked(lane, std::move(pending));
+    }
+    wake_runner();
+    return Admission::kAdmitted;
+  }
+
+  // Bounded plane: the capacity check-then-enqueue must be atomic against
+  // other submitters. The runner never takes this mutex — it only *frees*
+  // capacity concurrently, which cannot invalidate a passed check.
   {
-    std::unique_lock lock(mutex_);
-    DIAS_EXPECTS(!stopping_, "submit on a stopping dispatcher");
-    pending.record.seq = next_seq_++;
-    pending.record.arrival_s = now_s();
-    ++loads_[priority].arrivals;
-    // Accounted footprint: what the submitter declared, else the class's
-    // learned profile (0 when nothing of this class ever declared one).
-    const std::size_t accounted =
-        memory_bytes > 0 ? memory_bytes
-                         : static_cast<std::size_t>(memory_profile_[priority]);
-    pending.record.memory_bytes = accounted;
-
+    std::unique_lock alock(admission_mutex_);
+    DIAS_EXPECTS(!stopping_.load(std::memory_order_seq_cst),
+                 "submit on a stopping dispatcher");
     if (!queue_has_space(priority, accounted)) {
       switch (options_.admission) {
         case AdmissionPolicy::kBlock:
-          space_cv_.wait(lock,
-                         [&] { return stopping_ || queue_has_space(priority, accounted); });
-          DIAS_EXPECTS(!stopping_, "submit on a stopping dispatcher");
+          blocked_submitters_.fetch_add(1, std::memory_order_seq_cst);
+          space_cv_.wait(alock, [&] {
+            return stopping_.load(std::memory_order_seq_cst) ||
+                   queue_has_space(priority, accounted);
+          });
+          blocked_submitters_.fetch_sub(1, std::memory_order_relaxed);
+          DIAS_EXPECTS(!stopping_.load(std::memory_order_seq_cst),
+                       "submit on a stopping dispatcher");
           break;
-        case AdmissionPolicy::kReject:
-          finish_without_running(std::move(pending), JobOutcome::kShed,
-                                 "rejected at admission: queue or memory full");
-          lock.unlock();
-          drain_cv_.notify_all();
+        case AdmissionPolicy::kReject: {
+          Lane& lane = *lanes_[pending.lane];
+          std::lock_guard guard(lane.mutex);
+          stamp_arrival_locked(lane, pending);
+          finish_without_running_locked(lane, std::move(pending), JobOutcome::kShed,
+                                        "rejected at admission: queue or memory full");
           return Admission::kRejected;
+        }
         case AdmissionPolicy::kShedOldestLowest: {
           // Memory feasibility first: queued jobs of classes the newcomer
           // outranks (or ties) are the only reclaimable footprint — the
@@ -223,94 +517,112 @@ Admission DiasDispatcher::submit(std::size_t priority, ContextJobFn job,
           // instead of shedding the whole queue for nothing.
           if (options_.memory_capacity_bytes != 0) {
             std::size_t reclaimable = 0;
-            for (std::size_t k = 0; k <= priority; ++k) reclaimable += queued_memory_[k];
-            const std::size_t rest =
-                memory_in_use_ - std::min(memory_in_use_, reclaimable);
+            for (std::size_t k = 0; k <= priority; ++k) {
+              reclaimable += class_queued_memory_[k].load(std::memory_order_seq_cst);
+            }
+            const std::size_t in_use = memory_in_use_.load(std::memory_order_seq_cst);
+            const std::size_t rest = in_use - std::min(in_use, reclaimable);
             // rest == 0 falls under the oversized-runs-alone rule (see
             // queue_has_space): with nothing else holding memory the
             // newcomer is admissible no matter its footprint.
             if (rest > 0 && rest + accounted > options_.memory_capacity_bytes) {
-              finish_without_running(std::move(pending), JobOutcome::kShed,
-                                     "rejected at admission: footprint cannot fit "
-                                     "even after shedding every job it outranks");
-              lock.unlock();
-              drain_cv_.notify_all();
+              Lane& lane = *lanes_[pending.lane];
+              std::lock_guard guard(lane.mutex);
+              stamp_arrival_locked(lane, pending);
+              finish_without_running_locked(
+                  lane, std::move(pending), JobOutcome::kShed,
+                  "rejected at admission: footprint cannot fit "
+                  "even after shedding every job it outranks");
               return Admission::kRejected;
             }
           }
           // Shed until the newcomer fits. One victim suffices when a queue
           // cap binds; under the memory cap several small jobs may have to
           // go to make room for one big footprint. Each round either
-          // dequeues a victim (finite queues, so the loop terminates) or
-          // gives up and sheds the newcomer.
+          // dequeues a victim, observes the runner freeing space, or gives
+          // up and sheds the newcomer.
           while (!queue_has_space(priority, accounted)) {
             // Prefer shedding within the class whose cap was hit; when only
             // a dispatcher-wide cap binds, shed the oldest job of the
             // lowest non-empty class the newcomer does not outrank.
             const ClassPolicy& cp = options_.classes[priority];
-            std::size_t victim_class = theta_.size();
-            if (cp.queue_capacity != 0 && buffers_[priority].size() >= cp.queue_capacity) {
+            std::size_t victim_class = priorities_;
+            if (cp.queue_capacity != 0 &&
+                class_queued_[priority].load(std::memory_order_seq_cst) >=
+                    cp.queue_capacity) {
               victim_class = priority;
             } else {
               for (std::size_t k = 0; k <= priority; ++k) {
-                if (!buffers_[k].empty()) {
+                if (class_queued_[k].load(std::memory_order_seq_cst) > 0) {
                   victim_class = k;
                   break;
                 }
               }
             }
-            if (victim_class == theta_.size()) {
-              finish_without_running(std::move(pending), JobOutcome::kShed,
-                                     "rejected at admission: no queued job to shed "
-                                     "that it outranks");
-              lock.unlock();
-              drain_cv_.notify_all();
+            if (victim_class == priorities_) {
+              Lane& lane = *lanes_[pending.lane];
+              std::lock_guard guard(lane.mutex);
+              stamp_arrival_locked(lane, pending);
+              finish_without_running_locked(lane, std::move(pending), JobOutcome::kShed,
+                                            "rejected at admission: no queued job to shed "
+                                            "that it outranks");
               return Admission::kRejected;
             }
-            Pending victim = std::move(buffers_[victim_class].front());
-            buffers_[victim_class].pop_front();
-            --queued_total_;
-            --in_flight_;
-            queued_memory_[victim_class] -=
-                std::min(queued_memory_[victim_class], victim.record.memory_bytes);
-            release_memory_locked(victim.record);
-            if (!depth_gauges_.empty()) {
-              depth_gauges_[victim_class]->set(
-                  static_cast<double>(buffers_[victim_class].size()));
+            Pending victim;
+            if (!pop_oldest_of_class(victim_class, victim)) {
+              // The runner emptied that class between the count and the
+              // pop; whatever it freed is re-checked by the loop guard.
+              continue;
             }
-            finish_without_running(std::move(victim), JobOutcome::kShed,
-                                   "shed for arriving priority-" +
-                                       std::to_string(priority) + " job");
-            shed_victim = true;
+            memory_in_use_.fetch_sub(victim.record.memory_bytes,
+                                     std::memory_order_seq_cst);
+            if (memory_gauge_ != nullptr) {
+              memory_gauge_->set(
+                  static_cast<double>(memory_in_use_.load(std::memory_order_relaxed)));
+            }
+            {
+              Lane& vlane = *lanes_[victim.lane];
+              std::lock_guard guard(vlane.mutex);
+              finish_without_running_locked(vlane, std::move(victim), JobOutcome::kShed,
+                                            "shed for arriving priority-" +
+                                                std::to_string(priority) + " job");
+            }
+            if (in_flight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+              notify_drain_if_done();
+            }
           }
           break;
         }
       }
     }
-
-    buffers_[priority].push_back(std::move(pending));
-    ++queued_total_;
-    ++in_flight_;
-    memory_in_use_ += accounted;
-    queued_memory_[priority] += accounted;
-    if (memory_gauge_ != nullptr) {
-      memory_gauge_->set(static_cast<double>(memory_in_use_));
-    }
-    if (!depth_gauges_.empty()) {
-      depth_gauges_[priority]->set(static_cast<double>(buffers_[priority].size()));
-    }
+    Lane& lane = *lanes_[pending.lane];
+    std::lock_guard guard(lane.mutex);
+    stamp_arrival_locked(lane, pending);
+    enqueue_locked(lane, std::move(pending));
   }
-  work_cv_.notify_one();
-  if (shed_victim) drain_cv_.notify_all();
+  wake_runner();
   return Admission::kAdmitted;
 }
 
 std::vector<DiasDispatcher::JobRecord> DiasDispatcher::drain() {
-  std::unique_lock lock(mutex_);
-  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
-  auto out = std::move(completed_);
-  completed_.clear();
-  lock.unlock();
+  drain_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock lock(drain_mutex_);
+    drain_cv_.wait(lock,
+                   [this] { return in_flight_.load(std::memory_order_seq_cst) == 0; });
+  }
+  drain_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  std::vector<JobRecord> out;
+  for (const auto& lane : lanes_) {
+    std::lock_guard guard(lane->mutex);
+    if (out.empty()) {
+      out = std::move(lane->completed);
+    } else {
+      out.insert(out.end(), std::make_move_iterator(lane->completed.begin()),
+                 std::make_move_iterator(lane->completed.end()));
+    }
+    lane->completed.clear();
+  }
   std::stable_sort(out.begin(), out.end(), [](const JobRecord& a, const JobRecord& b) {
     return std::tie(a.completion_s, a.arrival_s, a.seq) <
            std::tie(b.completion_s, b.arrival_s, b.seq);
@@ -319,91 +631,204 @@ std::vector<DiasDispatcher::JobRecord> DiasDispatcher::drain() {
 }
 
 void DiasDispatcher::set_theta(std::size_t priority, double theta) {
-  DIAS_EXPECTS(priority < theta_.size(), "priority out of range");
+  DIAS_EXPECTS(priority < priorities_, "priority out of range");
   DIAS_EXPECTS(theta >= 0.0 && theta <= 1.0, "drop ratios must be in [0,1]");
-  std::lock_guard lock(mutex_);
-  theta_[priority] = theta;
+  theta_[priority].store(theta, std::memory_order_seq_cst);
   if (!theta_gauges_.empty()) theta_gauges_[priority]->set(theta);
 }
 
 double DiasDispatcher::theta(std::size_t priority) const {
-  DIAS_EXPECTS(priority < theta_.size(), "priority out of range");
-  std::lock_guard lock(mutex_);
-  return theta_[priority];
+  DIAS_EXPECTS(priority < priorities_, "priority out of range");
+  return theta_[priority].load(std::memory_order_seq_cst);
 }
 
 DiasDispatcher::LoadSnapshot DiasDispatcher::load_snapshot() const {
-  std::lock_guard lock(mutex_);
   LoadSnapshot snap;
+  snap.admit_seq_lo = next_seq_.load(std::memory_order_seq_cst);
   snap.uptime_s = now_s();
-  snap.busy_s = busy_accum_s_;
-  if (running_active_) snap.busy_s += snap.uptime_s - running_start_s_;
-  snap.classes = loads_;
-  for (std::size_t k = 0; k < buffers_.size(); ++k) {
-    snap.classes[k].queue_depth = buffers_[k].size();
-    snap.classes[k].queued_memory_bytes = queued_memory_[k];
+  {
+    std::lock_guard lock(runner_mutex_);
+    snap.busy_s = busy_accum_s_;
+    if (running_active_) snap.busy_s += snap.uptime_s - running_start_s_;
   }
-  snap.memory_in_use_bytes = memory_in_use_;
+  snap.classes.assign(priorities_, ClassLoad{});
+  // One lane at a time: each per-lane view is exact (taken under that
+  // lane's mutex); cross-lane skew is bounded by the submissions admitted
+  // during the scan, i.e. admit_seq_hi - admit_seq_lo.
+  for (const auto& lane_ptr : lanes_) {
+    Lane& lane = *lane_ptr;
+    std::lock_guard guard(lane.mutex);
+    for (std::size_t k = 0; k < priorities_; ++k) {
+      ClassLoad& acc = snap.classes[k];
+      const ClassLoad& partial = lane.loads[k];
+      acc.arrivals += partial.arrivals;
+      acc.completed += partial.completed;
+      acc.shed += partial.shed;
+      acc.cancelled += partial.cancelled;
+      acc.failed += partial.failed;
+      acc.queue_depth += lane.normal[k].size() + lane.penalized[k].size();
+      acc.penalized_depth += lane.penalized[k].size();
+    }
+  }
+  for (std::size_t k = 0; k < priorities_; ++k) {
+    snap.classes[k].queued_memory_bytes =
+        class_queued_memory_[k].load(std::memory_order_seq_cst);
+    snap.classes[k].profiled_memory_bytes =
+        static_cast<std::size_t>(memory_profile_[k].load(std::memory_order_seq_cst));
+  }
+  snap.memory_in_use_bytes = memory_in_use_.load(std::memory_order_seq_cst);
   snap.memory_capacity_bytes = options_.memory_capacity_bytes;
+  if (ledger_ != nullptr) {
+    const FairShareLedger::Summary summary = ledger_->summary(snap.uptime_s);
+    snap.tenants_tracked = summary.tracked;
+    snap.tenants_active = summary.active;
+    snap.tenants_over_quota = summary.over_quota;
+    snap.tenant_fairness_index = summary.fairness_index;
+    snap.tenant_bursts = tenant_bursts_.load(std::memory_order_relaxed);
+    snap.tenant_deflated = tenant_deflated_.load(std::memory_order_relaxed);
+    snap.tenant_deprioritized = tenant_deprioritized_.load(std::memory_order_relaxed);
+    snap.tenant_shed = tenant_shed_.load(std::memory_order_relaxed);
+    if (tenant_fairness_gauge_ != nullptr) {
+      tenant_fairness_gauge_->set(summary.fairness_index);
+    }
+    if (tenant_over_quota_gauge_ != nullptr) {
+      tenant_over_quota_gauge_->set(static_cast<double>(summary.over_quota));
+    }
+  }
+  snap.admit_seq_hi = next_seq_.load(std::memory_order_seq_cst);
   return snap;
+}
+
+DiasDispatcher::Candidate DiasDispatcher::scan_heads() const {
+  // Lock-free: reads only the published head mirrors. Highest class first;
+  // within a class, compliant work before penalized, smallest admit seq
+  // first — exactly the order the single-lane dispatcher pops.
+  Candidate best;
+  for (std::size_t cls = priorities_; cls-- > 0;) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const std::uint64_t seq = lanes_[i]->head_normal[cls].load(std::memory_order_seq_cst);
+      if (seq != kEmptySeq && (!best.found || seq < best.seq)) {
+        best.found = true;
+        best.lane = i;
+        best.cls = cls;
+        best.penalized = false;
+        best.seq = seq;
+      }
+    }
+    if (best.found) return best;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const std::uint64_t seq =
+          lanes_[i]->head_penalized[cls].load(std::memory_order_seq_cst);
+      if (seq != kEmptySeq && (!best.found || seq < best.seq)) {
+        best.found = true;
+        best.lane = i;
+        best.cls = cls;
+        best.penalized = true;
+        best.seq = seq;
+      }
+    }
+    if (best.found) return best;
+  }
+  return best;
+}
+
+bool DiasDispatcher::acquire_next_job(Pending& out) {
+  for (;;) {
+    const bool stop = stopping_.load(std::memory_order_seq_cst);
+    Candidate cand = scan_heads();
+    if (cand.found) {
+      // Stability rescan: a submit that fully published before a scan is
+      // always seen by it, so re-scanning until two passes agree closes
+      // the window where lane A's older job lands between our reads of
+      // lane A and lane B. (Submits still racing the final scan are
+      // legitimate nondeterminism.) Bounded to stay live under a storm.
+      for (int i = 0; i < 4; ++i) {
+        const Candidate again = scan_heads();
+        if (!again.found) {
+          cand.found = false;
+          break;
+        }
+        if (again.lane == cand.lane && again.cls == cand.cls &&
+            again.seq == cand.seq && again.penalized == cand.penalized) {
+          break;
+        }
+        cand = again;
+      }
+      if (!cand.found) continue;
+      Lane& lane = *lanes_[cand.lane];
+      std::lock_guard guard(lane.mutex);
+      auto& queue = (cand.penalized ? lane.penalized : lane.normal)[cand.cls];
+      if (queue.empty() || queue.front().record.seq != cand.seq) {
+        continue;  // a shed victim took it first; rescan
+      }
+      out = std::move(queue.front());
+      queue.pop_front();
+      publish_heads_locked(lane, cand.cls);
+      queued_total_.fetch_sub(1, std::memory_order_seq_cst);
+      class_queued_[cand.cls].fetch_sub(1, std::memory_order_seq_cst);
+      class_queued_memory_[cand.cls].fetch_sub(out.record.memory_bytes,
+                                               std::memory_order_seq_cst);
+      if (!depth_gauges_.empty()) {
+        depth_gauges_[cand.cls]->set(
+            static_cast<double>(class_queued_[cand.cls].load(std::memory_order_relaxed)));
+      }
+      return true;
+    }
+    if (stop) return false;  // the scan above ran after stopping was observed
+    // Park. The idle flag + post-flag rescan (inside the wait predicate,
+    // under the runner mutex) pairs with wake_runner(); see there.
+    std::unique_lock lock(runner_mutex_);
+    runner_idle_.store(true, std::memory_order_seq_cst);
+    work_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_seq_cst) || scan_heads().found;
+    });
+    runner_idle_.store(false, std::memory_order_seq_cst);
+  }
 }
 
 void DiasDispatcher::dispatcher_loop() {
   for (;;) {
     Pending job;
-    bool have_job = false;
-    double theta = 0.0;
-    {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] {
-        if (stopping_) return true;
-        for (const auto& b : buffers_) {
-          if (!b.empty()) return true;
-        }
-        return false;
-      });
-      // Head of the highest non-empty priority buffer.
-      for (std::size_t k = buffers_.size(); k-- > 0;) {
-        if (!buffers_[k].empty()) {
-          job = std::move(buffers_[k].front());
-          buffers_[k].pop_front();
-          --queued_total_;
-          queued_memory_[k] -= std::min(queued_memory_[k], job.record.memory_bytes);
-          if (!depth_gauges_.empty()) {
-            depth_gauges_[k]->set(static_cast<double>(buffers_[k].size()));
-          }
-          have_job = true;
-          break;
-        }
+    if (!acquire_next_job(job)) return;
+    // The dequeue freed a queue slot (memory stays accounted while the job
+    // runs); only submitters actually waiting are woken.
+    notify_space_if_blocked();
+
+    const std::size_t p = job.record.priority;
+    const double deadline_abs = job.record.arrival_s + options_.classes[p].deadline_s;
+    if (now_s() >= deadline_abs) {
+      // Expired while queued: terminal kCancelled, the body never runs.
+      memory_in_use_.fetch_sub(job.record.memory_bytes, std::memory_order_seq_cst);
+      if (memory_gauge_ != nullptr) {
+        memory_gauge_->set(
+            static_cast<double>(memory_in_use_.load(std::memory_order_relaxed)));
       }
-      if (!have_job && stopping_) return;
-      if (have_job) {
-        space_cv_.notify_all();
-        const std::size_t p = job.record.priority;
-        const double deadline_abs =
-            job.record.arrival_s + options_.classes[p].deadline_s;
-        if (now_s() >= deadline_abs) {
-          // Expired while queued: terminal kCancelled, the body never runs.
-          release_memory_locked(job.record);
-          finish_without_running(std::move(job), JobOutcome::kCancelled,
-                                 "deadline exceeded before start");
-          --in_flight_;
-          lock.unlock();
-          space_cv_.notify_all();
-          drain_cv_.notify_all();
-          continue;
-        }
-        theta = theta_[p];
-        job.record.theta = theta;
-        job.record.start_s = now_s();
-        running_active_ = true;
-        running_token_ = job.token;
-        running_deadline_abs_s_ = deadline_abs;
-        running_start_s_ = job.record.start_s;
-        deadline_cv_.notify_all();
+      {
+        Lane& lane = *lanes_[job.lane];
+        std::lock_guard guard(lane.mutex);
+        finish_without_running_locked(lane, std::move(job), JobOutcome::kCancelled,
+                                      "deadline exceeded before start");
       }
+      notify_space_if_blocked();
+      if (in_flight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        notify_drain_if_done();
+      }
+      continue;
     }
-    if (!have_job) continue;
+
+    const double theta = effective_theta(job);
+    job.record.theta = theta;
+    job.record.start_s = now_s();
+    {
+      std::lock_guard lock(runner_mutex_);
+      running_active_ = true;
+      running_token_ = job.token;
+      running_deadline_abs_s_ = deadline_abs;
+      running_start_s_ = job.record.start_s;
+    }
+    // Only a finite deadline can flip the watchdog's wait predicate, and
+    // the watchdog is the cv's only waiter.
+    if (deadline_abs != kInf) deadline_cv_.notify_one();
 
     // Non-preemptive: the job runs to completion (or its terminal outcome)
     // before the next dispatch.
@@ -421,6 +846,7 @@ void DiasDispatcher::dispatcher_loop() {
     JobContext ctx;
     ctx.theta = theta;
     ctx.priority = job.record.priority;
+    ctx.tenant = job.record.tenant;
     ctx.token = job.token;
     ctx.memory_bytes = job.record.memory_bytes;
     try {
@@ -455,29 +881,44 @@ void DiasDispatcher::dispatcher_loop() {
     }
 
     {
-      std::lock_guard lock(mutex_);
+      std::lock_guard lock(runner_mutex_);
       busy_accum_s_ += job.record.completion_s - job.record.start_s;
       running_active_ = false;
-      running_deadline_abs_s_ = std::numeric_limits<double>::infinity();
+      running_deadline_abs_s_ = kInf;
       running_token_ = CancellationToken{};
-      release_memory_locked(job.record);
-      update_memory_profile_locked(job.record.priority, job.declared_memory);
-      note_outcome_locked(job.record);
-      completed_.push_back(std::move(job.record));
-      --in_flight_;
     }
-    space_cv_.notify_all();
-    deadline_cv_.notify_all();
-    drain_cv_.notify_all();
+    memory_in_use_.fetch_sub(job.record.memory_bytes, std::memory_order_seq_cst);
+    if (memory_gauge_ != nullptr) {
+      memory_gauge_->set(
+          static_cast<double>(memory_in_use_.load(std::memory_order_relaxed)));
+    }
+    update_memory_profile(p, job.declared_memory);
+    if (ledger_ != nullptr && job.record.tenant.has_value()) {
+      ledger_->note_completion(job.record.tenant, job.record.execution_s(), now_s());
+    }
+    {
+      Lane& lane = *lanes_[job.lane];
+      std::lock_guard guard2(lane.mutex);
+      note_outcome_locked(lane, job.record);
+      lane.completed.push_back(std::move(job.record));
+    }
+    // Gated notifies (the PR-5 code broadcast all three cvs after every
+    // job): space only when the freed memory can unblock a registered
+    // waiter; drain only when this was the last in-flight job; the
+    // deadline cv not at all — the watchdog re-arms from the *next* job's
+    // start, and a stale wait_until deadline wakes it into a no-op check.
+    notify_space_if_blocked();
+    if (in_flight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      notify_drain_if_done();
+    }
   }
 }
 
 void DiasDispatcher::deadline_loop() {
-  std::unique_lock lock(mutex_);
+  std::unique_lock lock(runner_mutex_);
   for (;;) {
-    if (stopping_) return;
-    if (!running_active_ ||
-        running_deadline_abs_s_ == std::numeric_limits<double>::infinity()) {
+    if (stopping_.load(std::memory_order_seq_cst)) return;
+    if (!running_active_ || running_deadline_abs_s_ == kInf) {
       deadline_cv_.wait(lock);
       continue;
     }
@@ -489,7 +930,7 @@ void DiasDispatcher::deadline_loop() {
         // Fire the running job's token; the job unwinds cooperatively at
         // its next cancellation point. One shot per job.
         running_token_.request_cancel();
-        running_deadline_abs_s_ = std::numeric_limits<double>::infinity();
+        running_deadline_abs_s_ = kInf;
       }
     }
   }

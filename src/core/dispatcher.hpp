@@ -12,20 +12,52 @@
 // class can carry a response-time deadline enforced by cooperative
 // cancellation, and every submitted job — whether it ran or not — ends in
 // exactly one terminal JobOutcome recorded in its JobRecord.
+//
+// Sharded submission plane (ISSUE 7). PR 5's dispatcher serialized every
+// submit(), dequeue, completion, and load_snapshot() on one mutex — fine
+// for benchmarks, a bottleneck under a many-thread submission storm. The
+// plane is now striped into N MPSC lanes (DispatcherOptions::lanes;
+// per-core by default, tenant-group-affine when a TenantId is supplied):
+//
+//   * submit() stamps the global admit sequence and enqueues under *its
+//     lane's* mutex only; submissions on different lanes never touch the
+//     same lock. Global accounting (queued totals, per-class depths,
+//     aggregate memory) is lock-free atomics.
+//   * The JobRecord store is striped the same way: a job's terminal record
+//     lands in its lane's completed segment; drain() merges the segments
+//     and applies the documented stable order, which is byte-identical to
+//     the single-lane dispatcher's (FCFS within class is preserved because
+//     the runner always dequeues the smallest admit_seq among the lane
+//     heads of the chosen class — see dispatcher.cpp).
+//   * Bounded admission (queue caps / memory capacity) still needs a
+//     consistent check-then-act against global capacity, so *bounded*
+//     configurations serialize submissions on a dedicated admission mutex
+//     (never held by the runner); unbounded configurations — the
+//     submission-storm fast path — skip it entirely.
+//
+// Multi-tenancy (ISSUE 7): submit() overloads take a TenantId; with
+// DispatcherOptions::tenant.enabled a FairShareLedger (core/tenant.hpp)
+// tracks per-tenant long-term usage and burst credits and the dispatcher
+// applies its over-quota ladder — deflate (theta floor) before
+// deprioritize (behind the class's compliant work) before shed.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cancellation.hpp"
+#include "core/tenant.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/sprint_governor.hpp"
@@ -77,6 +109,20 @@ struct ClassPolicy {
   double deadline_s = std::numeric_limits<double>::infinity();
 };
 
+// Multi-tenant fairness policy (ISSUE 7).
+struct MultiTenantOptions {
+  // When false, TenantId arguments are recorded in JobRecords but no
+  // ledger runs and no over-quota response fires.
+  bool enabled = false;
+  FairShareOptions ledger;
+  // Drop-ratio floor applied to jobs of a tenant at the kDeflate (or
+  // deeper) ladder stage: the job runs with
+  // max(class theta, deflate_theta). Keep it at or below the class's
+  // accuracy-derived ceiling (Deflator::plan constraints) so the tenant
+  // response never violates an accuracy contract.
+  double deflate_theta = 0.5;
+};
+
 struct DispatcherOptions {
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   // Cap on total queued jobs across all classes; 0 = unbounded.
@@ -90,8 +136,18 @@ struct DispatcherOptions {
   // would deadlock.
   std::size_t memory_capacity_bytes = 0;
   // EWMA weight for the per-class memory profile learned from declared
-  // footprints of finished jobs.
+  // footprints. The profile is seeded by the *first declared sample at
+  // submission time* (not first completion), so the cold-start window in
+  // which undeclared jobs were admitted with a near-zero estimate closes
+  // as soon as any job of the class declares a footprint.
   double memory_profile_alpha = 0.3;
+  // Number of striped submission lanes. 0 = auto (one per hardware
+  // thread, capped at 16); 1 reproduces the PR-5 single-lane plane
+  // bit-for-bit. Lane choice never affects semantics, only contention:
+  // drain() ordering and within-class FCFS are lane-count-invariant.
+  std::size_t lanes = 0;
+  // Per-tenant fair-share policy; see MultiTenantOptions.
+  MultiTenantOptions tenant;
   // Per-class policy; classes beyond the vector use the defaults
   // (unbounded, no deadline). Sized/padded to the theta vector on
   // construction.
@@ -110,6 +166,7 @@ class DiasDispatcher {
   struct JobContext {
     double theta = 0.0;
     std::size_t priority = 0;
+    TenantId tenant{};
     // The footprint admission accounted for this job (declared, or the
     // class profile) — e.g. a sensible ShuffleOptions::memory_budget_bytes.
     std::size_t memory_bytes = 0;
@@ -120,6 +177,10 @@ class DiasDispatcher {
   struct JobRecord {
     std::size_t priority = 0;
     std::uint64_t seq = 0;      // arrival sequence number (global, 0-based)
+    TenantId tenant{};          // 0 = untenanted
+    // Ladder stage the fair-share ledger assigned at admission (kNone
+    // without a ledger or for untenanted jobs).
+    TenantAction tenant_action = TenantAction::kNone;
     double arrival_s = 0.0;     // seconds since dispatcher start
     double start_s = 0.0;       // when the engine picked it up (0 if never ran)
     double completion_s = 0.0;  // when it reached its terminal outcome
@@ -144,7 +205,8 @@ class DiasDispatcher {
 
   // Point-in-time load view for the adaptive overload controller.
   struct ClassLoad {
-    std::size_t queue_depth = 0;   // queued, not yet started
+    std::size_t queue_depth = 0;   // queued, not yet started (both subqueues)
+    std::size_t penalized_depth = 0;  // deprioritized within the class
     std::uint64_t arrivals = 0;    // cumulative submits (admitted or not)
     std::uint64_t completed = 0;
     std::uint64_t shed = 0;
@@ -163,6 +225,23 @@ class DiasDispatcher {
     // pressure signal.
     std::size_t memory_in_use_bytes = 0;
     std::size_t memory_capacity_bytes = 0;
+    // Staleness bound of this merged view: the global admit sequence read
+    // before the first lane was visited and after the last. Every per-lane
+    // view is internally consistent (taken under that lane's mutex); the
+    // only possible skew is submissions racing the scan, and there were at
+    // most (admit_seq_hi - admit_seq_lo) of them. Both values are equal
+    // when the snapshot is exact.
+    std::uint64_t admit_seq_lo = 0;
+    std::uint64_t admit_seq_hi = 0;
+    // Tenant-plane aggregates (all zero / 1.0 without a ledger).
+    std::size_t tenants_tracked = 0;
+    std::size_t tenants_active = 0;
+    std::size_t tenants_over_quota = 0;
+    double tenant_fairness_index = 1.0;
+    std::uint64_t tenant_bursts = 0;        // admissions covered by credits
+    std::uint64_t tenant_deflated = 0;      // jobs given the deflate theta floor
+    std::uint64_t tenant_deprioritized = 0;
+    std::uint64_t tenant_shed = 0;          // jobs shed by the ladder
     std::vector<ClassLoad> classes;
     std::size_t total_queue_depth() const {
       std::size_t d = 0;
@@ -180,26 +259,33 @@ class DiasDispatcher {
   DiasDispatcher(const DiasDispatcher&) = delete;
   DiasDispatcher& operator=(const DiasDispatcher&) = delete;
 
-  std::size_t priorities() const { return theta_.size(); }
+  std::size_t priorities() const { return priorities_; }
+  std::size_t lanes() const { return lanes_.size(); }
 
   // Enqueues a job. Returns kAdmitted unless admission control turned it
-  // away (kReject policy, or kShedOldestLowest with nothing to shed); a
-  // turned-away job still yields a terminal JobRecord with outcome kShed.
-  // Under kBlock this call blocks while the target queue is full.
-  // `memory_bytes` declares the job's expected memory footprint (0 = not
-  // declared: admission falls back to the class's profiled EWMA, which is
-  // 0 until some job of the class declared one). Admission counts the
-  // footprint against DispatcherOptions::memory_capacity_bytes alongside
-  // queue depth.
+  // away (kReject policy, kShedOldestLowest with nothing to shed, or the
+  // tenant ladder's kShed stage); a turned-away job still yields a
+  // terminal JobRecord with outcome kShed. Under kBlock this call blocks
+  // while the target queue is full. `memory_bytes` declares the job's
+  // expected memory footprint (0 = not declared: admission falls back to
+  // the class's profiled EWMA). The TenantId overloads attribute the job
+  // to a tenant; with MultiTenantOptions::enabled the fair-share ledger's
+  // over-quota ladder applies.
   Admission submit(std::size_t priority, JobFn job, std::size_t memory_bytes = 0);
   Admission submit(std::size_t priority, ContextJobFn job, std::size_t memory_bytes = 0);
+  Admission submit(std::size_t priority, TenantId tenant, JobFn job,
+                   std::size_t memory_bytes = 0);
+  Admission submit(std::size_t priority, TenantId tenant, ContextJobFn job,
+                   std::size_t memory_bytes = 0);
 
   // Blocks until every admitted job reached a terminal outcome, then
   // returns the records. Ordering is stable and documented: ascending
   // completion time, ties broken by arrival time, then by arrival
   // sequence number — so two zero-duration jobs (or a shed burst stamped
-  // with one clock reading) always drain in submission order. The
-  // dispatcher stays usable afterwards.
+  // with one clock reading) always drain in submission order. The order
+  // is lane-count-invariant: a sharded dispatcher drains byte-identically
+  // to the single-lane one for the same admitted sequence. The dispatcher
+  // stays usable afterwards.
   std::vector<JobRecord> drain();
 
   // Replaces class k's drop ratio for jobs dispatched from now on (the
@@ -210,14 +296,24 @@ class DiasDispatcher {
 
   // Cheap, thread-safe snapshot of queue depths and cumulative outcome
   // counts; the overload controller samples this to estimate arrival
-  // rates and utilization.
+  // rates and utilization. Lock-striped: the snapshot visits one lane at
+  // a time and never stalls submissions on other lanes; see
+  // LoadSnapshot::admit_seq_lo/hi for the documented staleness bound.
   LoadSnapshot load_snapshot() const;
+
+  // The fair-share ledger, or nullptr when MultiTenantOptions::enabled is
+  // false. Callers may set per-tenant weights or sample per-tenant stats;
+  // the ledger lives exactly as long as the dispatcher.
+  FairShareLedger* tenant_ledger() { return ledger_.get(); }
+  const FairShareLedger* tenant_ledger() const { return ledger_.get(); }
 
   // Attaches metric/trace sinks (either may be null; null detaches). Every
   // dispatched job then emits a "dispatcher.job" span (priority, theta,
   // queueing/response times, outcome) and bumps per-class outcome
-  // counters and queue-depth gauges. Attach before the first submit; not
-  // synchronized with the dispatcher thread beyond the submit ordering.
+  // counters and queue-depth gauges; with a ledger, tenant ladder counters
+  // and a fairness-index gauge (refreshed by load_snapshot()) are exported
+  // too. Attach before the first submit; not synchronized with the
+  // dispatcher thread beyond the submit ordering.
   void attach_observability(obs::Registry* metrics, obs::Tracer* tracer);
 
   // Attaches a sprint governor (null detaches): every dispatched job then
@@ -230,6 +326,8 @@ class DiasDispatcher {
   void attach_sprint_governor(runtime::SprintGovernor* governor);
 
  private:
+  static constexpr std::uint64_t kEmptySeq = std::numeric_limits<std::uint64_t>::max();
+
   struct Pending {
     ContextJobFn fn;
     JobRecord record;
@@ -238,52 +336,118 @@ class DiasDispatcher {
     // profile when the job finishes. record.memory_bytes holds what
     // admission actually accounted.
     std::size_t declared_memory = 0;
+    std::size_t lane = 0;      // striped segment owning this job's record
+    bool penalized = false;    // queued behind the class's compliant work
+  };
+
+  // One striped submission lane: an MPSC front (many submitters, the one
+  // runner) plus this stripe's segment of the JobRecord store. Heads of
+  // the per-class deques are mirrored into atomics so the runner can scan
+  // for the next job without touching any lane lock.
+  struct alignas(64) Lane {
+    mutable std::mutex mutex;
+    std::vector<std::deque<Pending>> normal;     // per class, seq-ordered
+    std::vector<std::deque<Pending>> penalized;  // per class, seq-ordered
+    std::vector<JobRecord> completed;            // this stripe's record segment
+    std::vector<ClassLoad> loads;                // per-class counters
+    std::unique_ptr<std::atomic<std::uint64_t>[]> head_normal;     // [classes]
+    std::unique_ptr<std::atomic<std::uint64_t>[]> head_penalized;  // [classes]
+  };
+
+  struct Candidate {
+    bool found = false;
+    std::size_t lane = 0;
+    std::size_t cls = 0;
+    bool penalized = false;
+    std::uint64_t seq = 0;
   };
 
   void dispatcher_loop();
   void deadline_loop();
   double now_s() const;
-  // Admission bookkeeping; callers hold mutex_.
+
+  std::size_t pick_lane(TenantId tenant) const;
+  // Lock-free scan of the lane head mirrors: best dispatchable job
+  // (highest class; compliant before penalized; smallest admit seq).
+  Candidate scan_heads() const;
+  // Pops the next job into `out`; false when (stopping and) nothing is
+  // queued. Blocks on the runner cv while idle.
+  bool acquire_next_job(Pending& out);
+  // Re-publishes a lane's head mirrors for class `cls`; lane lock held.
+  void publish_heads_locked(Lane& lane, std::size_t cls);
+  // Stamps the admit seq and counts the arrival; lane lock held.
+  void stamp_arrival_locked(Lane& lane, Pending& pending);
+  // Pushes an admitted (seq-stamped) job and updates global accounting;
+  // lane lock held.
+  void enqueue_locked(Lane& lane, Pending&& pending);
+  // Terminal record for a job that never ran; lane lock held.
+  void finish_without_running_locked(Lane& lane, Pending&& pending, JobOutcome outcome,
+                                     std::string why);
+  void note_outcome_locked(Lane& lane, const JobRecord& record);
+  // Global-capacity admission check against the lock-free accounting;
+  // admission_mutex_ held (bounded configurations only).
   bool queue_has_space(std::size_t priority, std::size_t memory_bytes) const;
-  void finish_without_running(Pending&& pending, JobOutcome outcome, std::string why);
-  void note_outcome_locked(const JobRecord& record);
-  // Returns the job's accounted footprint to the pool and updates the gauge.
-  void release_memory_locked(const JobRecord& record);
-  // Folds a finished job's declared footprint into its class profile.
-  void update_memory_profile_locked(std::size_t priority, std::size_t declared);
+  // Pops the globally oldest queued job of `cls` (penalized first);
+  // admission_mutex_ held. Returns false when the class is empty.
+  bool pop_oldest_of_class(std::size_t cls, Pending& out);
+  // Wakes the runner iff it parked itself idle.
+  void wake_runner();
+  // Wakes blocked submitters / drain waiters iff any are present.
+  void notify_space_if_blocked();
+  void notify_drain_if_done();
+  // Seeds / folds a declared footprint into the class profile.
+  void seed_memory_profile(std::size_t priority, std::size_t declared);
+  void update_memory_profile(std::size_t priority, std::size_t declared);
+  double effective_theta(const Pending& pending) const;
 
-  std::vector<double> theta_;  // guarded by mutex_ (set_theta is dynamic)
+  std::size_t priorities_ = 0;
+  std::unique_ptr<std::atomic<double>[]> theta_;  // per class, lock-free
   DispatcherOptions options_;
+  bool bounded_ = false;  // any queue/memory cap configured
   std::chrono::steady_clock::time_point epoch_;
+  std::unique_ptr<FairShareLedger> ledger_;  // null unless tenant.enabled
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   // signals the dispatcher
-  std::condition_variable drain_cv_;  // signals drain() waiters
-  std::condition_variable space_cv_;  // signals blocked kBlock submitters
-  std::condition_variable deadline_cv_;  // signals the deadline watchdog
-  std::vector<std::deque<Pending>> buffers_;
-  std::vector<JobRecord> completed_;
-  std::size_t queued_total_ = 0;
-  std::size_t in_flight_ = 0;
-  std::uint64_t next_seq_ = 0;
-  bool stopping_ = false;
+  // Striped submission lanes + record segments.
+  std::vector<std::unique_ptr<Lane>> lanes_;
 
-  // Memory accounting (guarded by mutex_): aggregate accounted footprint
-  // of queued + running jobs, per-class queued footprint, and the per-class
-  // EWMA profile of declared footprints.
-  std::size_t memory_in_use_ = 0;
-  std::vector<std::size_t> queued_memory_;
-  std::vector<double> memory_profile_;
+  // Lock-free global accounting.
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::size_t> queued_total_{0};
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::size_t> memory_in_use_{0};
+  std::unique_ptr<std::atomic<std::size_t>[]> class_queued_;         // [classes]
+  std::unique_ptr<std::atomic<std::size_t>[]> class_queued_memory_;  // [classes]
+  std::unique_ptr<std::atomic<double>[]> memory_profile_;            // [classes]
+  std::atomic<bool> stopping_{false};
 
-  // Running-job state for the deadline watchdog (guarded by mutex_).
-  bool running_active_ = false;
-  CancellationToken running_token_;
+  // Tenant ladder counters (lock-free; mirrored into LoadSnapshot).
+  std::atomic<std::uint64_t> tenant_bursts_{0};
+  std::atomic<std::uint64_t> tenant_deflated_{0};
+  std::atomic<std::uint64_t> tenant_deprioritized_{0};
+  std::atomic<std::uint64_t> tenant_shed_{0};
+
+  // Bounded-admission plane: serializes capacity check-then-enqueue so
+  // caps cannot be oversubscribed by racing submitters. Never taken by
+  // the runner; unbounded configurations never take it at all.
+  std::mutex admission_mutex_;
+  std::condition_variable space_cv_;
+  std::atomic<int> blocked_submitters_{0};
+
+  // Runner parking + running-job state for the deadline watchdog.
+  mutable std::mutex runner_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable deadline_cv_;
+  std::atomic<bool> runner_idle_{false};
+  bool running_active_ = false;                   // guarded by runner_mutex_
+  CancellationToken running_token_;               // guarded by runner_mutex_
   double running_deadline_abs_s_ = std::numeric_limits<double>::infinity();
-  double running_start_s_ = 0.0;
-  double busy_accum_s_ = 0.0;
+  double running_start_s_ = 0.0;                  // guarded by runner_mutex_
+  double busy_accum_s_ = 0.0;                     // guarded by runner_mutex_
 
-  // Cumulative per-class outcome counts (guarded by mutex_).
-  std::vector<ClassLoad> loads_;
+  // Drain rendezvous.
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::atomic<int> drain_waiters_{0};
 
   obs::Tracer* tracer_ = nullptr;                  // set before first submit
   runtime::SprintGovernor* governor_ = nullptr;    // set before first submit
@@ -296,6 +460,12 @@ class DiasDispatcher {
   obs::HistogramMetric* response_hist_ = nullptr;
   obs::HistogramMetric* queueing_hist_ = nullptr;
   obs::Gauge* memory_gauge_ = nullptr;
+  obs::Counter* tenant_burst_counter_ = nullptr;
+  obs::Counter* tenant_deflated_counter_ = nullptr;
+  obs::Counter* tenant_deprioritized_counter_ = nullptr;
+  obs::Counter* tenant_shed_counter_ = nullptr;
+  obs::Gauge* tenant_fairness_gauge_ = nullptr;
+  obs::Gauge* tenant_over_quota_gauge_ = nullptr;
 
   std::thread dispatcher_;
   std::thread deadline_watchdog_;

@@ -27,6 +27,9 @@ OverloadController::OverloadController(core::DiasDispatcher& dispatcher,
   DIAS_EXPECTS(config_.memory_high_bytes == 0 ||
                    config_.memory_low_bytes <= config_.memory_high_bytes,
                "memory hysteresis band must have low <= high");
+  DIAS_EXPECTS(config_.tenant_overquota_high == 0 ||
+                   config_.tenant_overquota_low <= config_.tenant_overquota_high,
+               "tenant hysteresis band must have low <= high");
   DIAS_EXPECTS(config_.min_hold_s >= 0.0, "min_hold_s must be >= 0");
   DIAS_EXPECTS(config_.theta_ceiling.empty() || config_.theta_ceiling.size() == n,
                "theta_ceiling must be empty or one per class");
@@ -67,6 +70,8 @@ OverloadController::OverloadController(core::DiasDispatcher& dispatcher,
     utilization_gauge_ = &metrics->gauge("overload.utilization");
     memory_gauge_ = &metrics->gauge("overload.memory_in_use_bytes");
     memory_pressure_gauge_ = &metrics->gauge("overload.memory_pressure");
+    tenant_pressure_gauge_ = &metrics->gauge("overload.tenant_pressure");
+    tenants_over_quota_gauge_ = &metrics->gauge("overload.tenants_over_quota");
     replans_counter_ = &metrics->counter("overload.replans");
     escalations_counter_ = &metrics->counter("overload.escalations");
     relaxations_counter_ = &metrics->counter("overload.relaxations");
@@ -153,10 +158,27 @@ void OverloadController::sample_once() {
       memory_pressure_ = false;
     }
   }
-  if (depth >= config_.queue_depth_high || (memory_enabled && memory_pressure_)) {
+  // Tenant trigger (ISSUE 7): sustained multi-tenant contention — many
+  // tenants simultaneously over their fair share — is plant-wide overload
+  // even while queues are still short, because the ledger's ladder is
+  // already deferring/shedding their work. Same sticky-band shape as the
+  // memory trigger.
+  tenants_over_quota_ = snap.tenants_over_quota;
+  tenant_fairness_index_ = snap.tenant_fairness_index;
+  const bool tenant_enabled = config_.tenant_overquota_high != 0;
+  if (tenant_enabled) {
+    if (tenants_over_quota_ >= config_.tenant_overquota_high) {
+      tenant_pressure_ = true;
+    } else if (tenants_over_quota_ <= config_.tenant_overquota_low) {
+      tenant_pressure_ = false;
+    }
+  }
+  if (depth >= config_.queue_depth_high || (memory_enabled && memory_pressure_) ||
+      (tenant_enabled && tenant_pressure_)) {
     overloaded_ = true;
   } else if (depth <= config_.queue_depth_low &&
-             (!memory_enabled || !memory_pressure_)) {
+             (!memory_enabled || !memory_pressure_) &&
+             (!tenant_enabled || !tenant_pressure_)) {
     overloaded_ = false;
   }
   if (overloaded_gauge_ != nullptr) overloaded_gauge_->set(overloaded_ ? 1.0 : 0.0);
@@ -166,6 +188,12 @@ void OverloadController::sample_once() {
   }
   if (memory_pressure_gauge_ != nullptr) {
     memory_pressure_gauge_->set(memory_pressure_ ? 1.0 : 0.0);
+  }
+  if (tenant_pressure_gauge_ != nullptr) {
+    tenant_pressure_gauge_->set(tenant_pressure_ ? 1.0 : 0.0);
+  }
+  if (tenants_over_quota_gauge_ != nullptr) {
+    tenants_over_quota_gauge_->set(static_cast<double>(tenants_over_quota_));
   }
 
   // Plan switches are rate-limited; within the hold window the previous
@@ -238,6 +266,9 @@ OverloadController::Status OverloadController::status() const {
   s.overloaded = overloaded_;
   s.memory_pressure = memory_pressure_;
   s.memory_in_use_bytes = memory_in_use_bytes_;
+  s.tenant_pressure = tenant_pressure_;
+  s.tenants_over_quota = tenants_over_quota_;
+  s.tenant_fairness_index = tenant_fairness_index_;
   s.samples = samples_;
   s.replans = replans_;
   s.escalations = escalations_;

@@ -58,6 +58,14 @@ struct OverloadControllerConfig {
   // relaxes back to the baseline plan.
   std::size_t memory_high_bytes = 0;
   std::size_t memory_low_bytes = 0;
+  // Hysteresis band on the number of over-quota tenants reported by the
+  // dispatcher's FairShareLedger (ISSUE 7). 0 disables the trigger. When
+  // enabled, sustained multi-tenant contention escalates deflation for
+  // everyone *before* queues build: the ladder already degrades the
+  // over-quota tenants individually, and this trigger additionally treats
+  // "many tenants simultaneously over quota" as plant-wide overload.
+  std::size_t tenant_overquota_high = 0;
+  std::size_t tenant_overquota_low = 0;
   // Minimum seconds between installed plan changes (escalate or relax).
   double min_hold_s = 2.0;
   // Optional per-class ceilings on installed theta; empty = derive each
@@ -76,6 +84,12 @@ class OverloadController {
     // not yet back down to memory_low_bytes).
     bool memory_pressure = false;
     std::size_t memory_in_use_bytes = 0;
+    // True while the tenant trigger alone would hold the controller in the
+    // overloaded state (over-quota tenant count at or above
+    // tenant_overquota_high and not yet back down to tenant_overquota_low).
+    bool tenant_pressure = false;
+    std::size_t tenants_over_quota = 0;
+    double tenant_fairness_index = 1.0;
     std::uint64_t samples = 0;
     std::uint64_t replans = 0;      // deflator grid searches triggered
     std::uint64_t escalations = 0;  // installed plans that raised some theta
@@ -133,6 +147,9 @@ class OverloadController {
   bool overloaded_ = false;
   bool memory_pressure_ = false;
   std::size_t memory_in_use_bytes_ = 0;
+  bool tenant_pressure_ = false;
+  std::size_t tenants_over_quota_ = 0;
+  double tenant_fairness_index_ = 1.0;
   bool have_sample_ = false;
   double last_uptime_s_ = 0.0;
   double last_busy_s_ = 0.0;
@@ -155,6 +172,8 @@ class OverloadController {
   obs::Gauge* utilization_gauge_ = nullptr;
   obs::Gauge* memory_gauge_ = nullptr;
   obs::Gauge* memory_pressure_gauge_ = nullptr;
+  obs::Gauge* tenant_pressure_gauge_ = nullptr;
+  obs::Gauge* tenants_over_quota_gauge_ = nullptr;
   obs::Counter* replans_counter_ = nullptr;
   obs::Counter* escalations_counter_ = nullptr;
   obs::Counter* relaxations_counter_ = nullptr;

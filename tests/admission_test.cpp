@@ -475,20 +475,26 @@ TEST(AdmissionTest, InfeasibleFootprintRejectedWithoutSheddingQueue) {
 
   std::atomic<int> survivors{0};
   dispatcher.submit(0, [&](double) { ++survivors; }, 200);
-  dispatcher.submit(0, [&](double) { ++survivors; }, 0);  // frees nothing if shed
+  // Undeclared footprint: the class profile was seeded by the 600-byte
+  // declaration at submit time (cold-start fix), so this job is accounted
+  // at 600 bytes — 800 in use + 600 can never fit even after shedding the
+  // 200-byte queued job (600 running + 600 > 1000), so it too is rejected
+  // up front with the queue intact.
+  EXPECT_EQ(dispatcher.submit(0, [&](double) { ++survivors; }, 0),
+            Admission::kRejected);
 
-  // 900 bytes can never fit: shedding both queued jobs still leaves the
-  // 600-byte running job, and 600 + 900 > 1000.
+  // 900 bytes can never fit either: shedding the queued job still leaves
+  // the 600-byte running job, and 600 + 900 > 1000.
   EXPECT_EQ(dispatcher.submit(1, [&](double) { ++survivors; }, 900),
             Admission::kRejected);
 
   release = true;
   const auto records = dispatcher.drain();
   ASSERT_EQ(records.size(), 4u);
-  // Only the infeasible newcomer was shed; the queue survived intact.
-  EXPECT_EQ(count_outcome(records, JobOutcome::kShed), 1u);
-  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 3u);
-  EXPECT_EQ(survivors.load(), 2);
+  // Only the infeasible newcomers were shed; the queue survived intact.
+  EXPECT_EQ(count_outcome(records, JobOutcome::kShed), 2u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 2u);
+  EXPECT_EQ(survivors.load(), 1);
 }
 
 TEST(AdmissionTest, OversizedJobAdmittedWhenNothingElseHoldsMemory) {
@@ -532,6 +538,40 @@ TEST(AdmissionTest, ProfiledFootprintFeedsAdmissionForUndeclaredJobs) {
   EXPECT_EQ(dispatcher.submit(0, [](double) {}), Admission::kRejected);
   release = true;
   dispatcher.drain();
+}
+
+// Satellite (ISSUE 7): the cold-start window. The profile used to be fed
+// only at *completion*, so while the first declaring job of a class was
+// still queued or running, undeclared jobs of the class were admitted with
+// a near-zero estimate. The profile is now seeded from the first declared
+// sample at submission time, closing the window before the job ever runs.
+TEST(AdmissionTest, ProfileSeededAtSubmitClosesColdStartWindow) {
+  DispatcherOptions opts;
+  opts.admission = AdmissionPolicy::kReject;
+  opts.memory_capacity_bytes = 1500;
+  DiasDispatcher dispatcher({0.0}, opts);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  dispatcher.submit(
+      0,
+      [&](double) {
+        started = true;
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+      },
+      1000);
+  while (!started.load()) std::this_thread::sleep_for(1ms);
+  // The 1000-byte declaration has NOT completed, yet it already seeded the
+  // class profile, so an undeclared job is accounted at 1000 bytes:
+  // 1000 running + 1000 profiled > 1500 capacity.
+  EXPECT_EQ(dispatcher.load_snapshot().classes[0].profiled_memory_bytes, 1000u);
+  EXPECT_EQ(dispatcher.submit(0, [](double) {}), Admission::kRejected);
+  release = true;
+  const auto records = dispatcher.drain();
+  EXPECT_EQ(count_outcome(records, JobOutcome::kShed), 1u);
+  EXPECT_EQ(count_outcome(records, JobOutcome::kCompleted), 1u);
+  // The completion-time EWMA fold of the same first sample is idempotent.
+  EXPECT_EQ(dispatcher.load_snapshot().classes[0].profiled_memory_bytes, 1000u);
 }
 
 TEST(AdmissionTest, LoadSnapshotReportsMemoryAccounting) {

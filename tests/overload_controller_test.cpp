@@ -264,6 +264,12 @@ TEST(OverloadControllerTest, Validation) {
   EXPECT_THROW(
       OverloadController(dispatcher, make_deflator(), constraints(), bad_memory_band),
       dias::precondition_error);
+  auto bad_tenant_band = manual_config();
+  bad_tenant_band.tenant_overquota_high = 1;
+  bad_tenant_band.tenant_overquota_low = 2;
+  EXPECT_THROW(
+      OverloadController(dispatcher, make_deflator(), constraints(), bad_tenant_band),
+      dias::precondition_error);
   auto bad_ceiling = manual_config();
   bad_ceiling.theta_ceiling = {0.5};
   EXPECT_THROW(
@@ -360,6 +366,52 @@ TEST(OverloadControllerTest, MemoryBandIsStickyBetweenThresholds) {
   controller.sample_once();
   EXPECT_FALSE(controller.status().memory_pressure);  // 0 <= low
   EXPECT_FALSE(controller.status().overloaded);
+}
+
+// --- tenant pressure as a deflation trigger (ISSUE 7) ----------------------
+
+TEST(OverloadControllerTest, TenantPressureTriggersOverloadAndRelaxes) {
+  core::DispatcherOptions dopts;
+  dopts.tenant.enabled = true;
+  dopts.tenant.ledger.burst_credit_s = 0.0;
+  // A 50 ms usage halflife so the over-quota signal decays within the
+  // test: the trigger clears by aging, not by any queue movement.
+  dopts.tenant.ledger.usage_halflife_s = 0.05;
+  DiasDispatcher dispatcher({0.0, 0.0}, dopts);
+  obs::Registry reg;
+  auto cfg = manual_config();
+  cfg.queue_depth_high = 1000;  // depth can never trip; tenants are on their own
+  cfg.tenant_overquota_high = 2;
+  cfg.tenant_overquota_low = 0;
+  OverloadController controller(dispatcher, make_deflator(), constraints(), cfg, &reg);
+
+  // Two tenants burn far past their fair share (the third stays tiny so
+  // the plant is genuinely contended, fair = 1/3 slot each).
+  auto* ledger = dispatcher.tenant_ledger();
+  ASSERT_NE(ledger, nullptr);
+  ledger->note_completion(core::TenantId{1}, 50.0, 0.0);
+  ledger->note_completion(core::TenantId{2}, 50.0, 0.0);
+  ledger->note_completion(core::TenantId{3}, 0.001, 0.0);
+
+  controller.sample_once();
+  auto status = controller.status();
+  EXPECT_TRUE(status.overloaded) << "2 over-quota tenants >= high 2";
+  EXPECT_TRUE(status.tenant_pressure);
+  EXPECT_GE(status.tenants_over_quota, 2u);
+  EXPECT_LT(status.tenant_fairness_index, 1.0);
+  EXPECT_GE(status.replans, 1u);  // tenant overload drove a grid search
+  EXPECT_DOUBLE_EQ(reg.gauge("overload.tenant_pressure").value(), 1.0);
+  EXPECT_GE(reg.gauge("overload.tenants_over_quota").value(), 2.0);
+
+  // Queue depth is zero throughout; only the usage EWMA aging can clear
+  // the trigger. After many halflives both hogs are back under share.
+  std::this_thread::sleep_for(600ms);
+  controller.sample_once();
+  status = controller.status();
+  EXPECT_FALSE(status.tenant_pressure);
+  EXPECT_FALSE(status.overloaded);
+  EXPECT_EQ(status.tenants_over_quota, 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("overload.tenant_pressure").value(), 0.0);
 }
 
 }  // namespace
