@@ -23,6 +23,7 @@
 #include "engine/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/adaptive_planner.hpp"
 #include "runtime/overload_controller.hpp"
 #include "runtime/sprint_governor.hpp"
 #include "storage/block_store.hpp"
@@ -70,6 +71,10 @@ void usage(const char* prog) {
       "                                stay byte-identical (0 = unbounded, default)\n"
       "  --spill-dir <path>            BlockStore root for spilled shuffle segments\n"
       "                                (default: a throwaway dir under /tmp)\n"
+      "  --adaptive-plan               let an AdaptivePlanner read the engine's own\n"
+      "                                metrics and re-plan each stage (combiner,\n"
+      "                                partition width, single-thread route) over\n"
+      "                                three rounds; prints the per-stage decisions\n"
       "runtime sprinting (elastic pool + sprint governor on the real engine):\n"
       "  --runtime-sprint              run bursty two-class traffic through the\n"
       "                                real dispatcher; the high class sprints by\n"
@@ -116,8 +121,9 @@ void usage(const char* prog) {
 // failure.
 int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
                          std::uint64_t seed, const engine::FaultToleranceOptions& fault,
-                         std::size_t shuffle_budget, std::string spill_dir, bool csv,
-                         obs::Registry* metrics, obs::Tracer* tracer) {
+                         std::size_t shuffle_budget, std::string spill_dir,
+                         bool adaptive_plan, bool csv, obs::Registry* metrics,
+                         obs::Tracer* tracer) {
   workload::TextCorpusParams params;
   params.posts = rows;
   params.seed = seed;
@@ -128,7 +134,18 @@ int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
   opts.seed = seed;
   opts.fault = fault;
   engine::Engine eng(opts);
-  eng.attach_observability(metrics, tracer);
+  // The planner reads the engine's own registry, so --adaptive-plan
+  // stands one up even when no --metrics-out sink was requested.
+  obs::Registry local_registry;
+  obs::Registry* registry = metrics;
+  if (adaptive_plan && registry == nullptr) registry = &local_registry;
+  eng.attach_observability(registry, tracer);
+  std::optional<runtime::AdaptivePlanner> planner;
+  if (adaptive_plan) {
+    runtime::AdaptivePlannerConfig pcfg;
+    pcfg.workers = opts.workers;
+    planner.emplace(registry, pcfg, registry, tracer);
+  }
 
   // A finite budget needs somewhere to spill: stand up a BlockStore on the
   // requested directory (or a throwaway one) and attach it as the engine's
@@ -155,10 +172,17 @@ int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
 
   const auto ds = eng.parallelize(corpus.rows, partitions);
 
+  // With a planner, run three rounds so the metric loop has signals to
+  // converge on; the stage log below then shows each round's plan taking
+  // effect. Counts are identical across rounds by the determinism
+  // contract (see stage_plan.hpp).
+  const int rounds = adaptive_plan ? 3 : 1;
   analytics::WordCountResult result;
   try {
-    result = analytics::word_count(eng, ds, std::max<std::size_t>(partitions / 4, 1),
-                                   theta, shuffle);
+    for (int round = 0; round < rounds; ++round) {
+      result = analytics::word_count(eng, ds, std::max<std::size_t>(partitions / 4, 1),
+                                     theta, shuffle, planner ? &*planner : nullptr);
+    }
   } catch (const engine::TaskFailedError& e) {
     std::fprintf(stderr, "job failed: %s\n", e.what());
     if (scratch_spill_dir) std::filesystem::remove_all(spill_dir);
@@ -196,6 +220,31 @@ int run_engine_wordcount(double theta, std::size_t rows, std::size_t partitions,
     std::printf("  %zu distinct words, executed fraction %.3f, %.1f ms\n",
                 result.counts.size(), result.executed_fraction(),
                 1000.0 * result.duration_s);
+  }
+  if (planner) {
+    const auto pstatus = planner->status();
+    if (csv) {
+      std::printf("planner_decisions,%llu\nplanner_switches,%llu\n",
+                  static_cast<unsigned long long>(pstatus.decisions),
+                  static_cast<unsigned long long>(pstatus.switches));
+    } else {
+      std::printf("  adaptive planner: %llu decisions, %llu switches over %d rounds\n",
+                  static_cast<unsigned long long>(pstatus.decisions),
+                  static_cast<unsigned long long>(pstatus.switches), rounds);
+      // Final knob positions, as exported by the planner's own gauges
+      // (-1 = undecided / stage default).
+      for (const char* stage : {"wordcount/map", "wordcount"}) {
+        const std::string prefix = std::string("planner.") + stage + ".";
+        const auto gauge = [&](const char* knob) {
+          const obs::Gauge* g = registry->find_gauge(prefix + knob);
+          return g == nullptr ? -1.0 : g->value();
+        };
+        std::printf("    %-14s combine=%+.0f single_thread=%.0f partitions=%.0f "
+                    "speculate=%+.0f\n",
+                    stage, gauge("combine"), gauge("single_thread"), gauge("partitions"),
+                    gauge("speculate"));
+      }
+    }
   }
   if (spill) {
     const auto stats = spill->stats();
@@ -568,6 +617,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
 
   bool engine_wordcount = false;
+  bool adaptive_plan = false;
   bool runtime_sprint = false;
   bool runtime_overload = false;
   core::AdmissionPolicy admission = core::AdmissionPolicy::kShedOldestLowest;
@@ -640,6 +690,8 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (arg == "--engine-wordcount") {
       engine_wordcount = true;
+    } else if (arg == "--adaptive-plan") {
+      adaptive_plan = true;
     } else if (arg == "--runtime-sprint") {
       runtime_sprint = true;
     } else if (arg == "--runtime-overload") {
@@ -741,7 +793,7 @@ int main(int argc, char** argv) {
   if (engine_wordcount) {
     const int rc = run_engine_wordcount(theta.empty() ? 0.2 : theta.front(), rows,
                                         partitions, seed, fault, shuffle_budget_bytes,
-                                        std::move(spill_dir), csv,
+                                        std::move(spill_dir), adaptive_plan, csv,
                                         want_obs ? &obs_metrics : nullptr,
                                         want_obs ? &obs_tracer : nullptr);
     if (!flush_observability(metrics_out, trace_out, obs_metrics, obs_tracer)) return 1;

@@ -89,6 +89,15 @@ PageRankResult page_rank(engine::Engine& eng, const engine::Dataset<workload::Ed
           engine::StageOptions opts;
           opts.name = "pagerank/sum-" + std::to_string(it);
           opts.droppable = false;
+          if (options.planner != nullptr) {
+            // Double sums: relocating knobs only (order_insensitive stays
+            // false, masking combiner/buffer changes).
+            engine::StageTraits traits;
+            traits.name = "pagerank/sum";
+            traits.default_partitions = options.partitions;
+            traits.input_partitions = options.partitions;
+            opts.plan = options.planner->plan_for(traits);
+          }
           return opts;
         }(),
         options.shuffle);

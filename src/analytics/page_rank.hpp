@@ -34,6 +34,14 @@ struct PageRankOptions {
   // Applied to every shuffle (adjacency build + per-iteration sums); a
   // finite memory_budget_bytes spills through the engine's backend.
   engine::ShuffleOptions shuffle;
+  // Optional per-stage planner, consulted only for the per-iteration rank
+  // sums. The adjacency build is deliberately static: its partitioning
+  // fixes the (src, seq) merge order of every downstream floating-point
+  // shuffle, so adapting it would break bitwise reproducibility. The sum
+  // stages are double additions — order-sensitive — so their traits leave
+  // order_insensitive false and the planner may only relocate work
+  // (partitions / single-thread / speculation / spill), never reorder it.
+  engine::PlanSource* planner = nullptr;
 };
 
 // Runs PageRank over the (undirected, canonical) edge list; each edge

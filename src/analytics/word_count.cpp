@@ -10,7 +10,7 @@ namespace dias::analytics {
 
 WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::string>& rows,
                            std::size_t reduce_partitions, double drop_override,
-                           engine::ShuffleOptions shuffle) {
+                           engine::ShuffleOptions shuffle, engine::PlanSource* planner) {
   eng.clear_stage_log();
 
   // Map: parse rows -> (word, 1) pairs. This is the droppable stage.
@@ -18,6 +18,15 @@ WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::strin
   map_opts.name = "wordcount/map";
   map_opts.droppable = true;
   map_opts.drop_ratio_override = drop_override;
+  if (planner != nullptr) {
+    // No shuffle on the map stage: only the speculation knob applies.
+    engine::StageTraits traits;
+    traits.name = "wordcount/map";
+    traits.allow_repartition = false;
+    traits.allow_single_thread = false;
+    traits.allow_spill_hint = false;
+    map_opts.plan = planner->plan_for(traits);
+  }
   auto pairs = eng.map_partitions(
       rows,
       [](const std::vector<std::string>& part) {
@@ -39,6 +48,15 @@ WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::strin
   reduce_opts.name = "wordcount";
   reduce_opts.droppable = false;
   shuffle.combine = true;
+  if (planner != nullptr) {
+    // The reduce is a uint64 sum — bitwise order-insensitive — so every
+    // knob (combiner included) is plan-safe.
+    engine::StageTraits traits;
+    traits.name = "wordcount";
+    traits.default_partitions = reduce_partitions;
+    traits.order_insensitive = true;
+    reduce_opts.plan = planner->plan_for(traits);
+  }
   auto reduced = eng.reduce_by_key(
       pairs, [](std::uint64_t a, std::uint64_t b) { return a + b; }, reduce_partitions,
       reduce_opts, shuffle);

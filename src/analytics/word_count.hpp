@@ -39,10 +39,15 @@ struct WordCountResult {
 // (or `drop_override` when >= 0) applied to the map stage. `shuffle`
 // configures the reduce-by-key shuffle — notably memory_budget_bytes,
 // which lets the job run on inputs far larger than worker memory by
-// spilling through the engine's attached backend.
+// spilling through the engine's attached backend. A non-null `planner`
+// (typically runtime::AdaptivePlanner) is consulted at each stage
+// boundary: the map stage exposes only the speculation knob, while the
+// reduce stage — a uint64 sum, bitwise order-insensitive — exposes every
+// knob including the combiner toggle.
 WordCountResult word_count(engine::Engine& eng, const engine::Dataset<std::string>& rows,
                            std::size_t reduce_partitions = 20, double drop_override = -1.0,
-                           engine::ShuffleOptions shuffle = {});
+                           engine::ShuffleOptions shuffle = {},
+                           engine::PlanSource* planner = nullptr);
 
 // Exact single-threaded reference count (no engine, no dropping).
 WordCounts exact_word_count(const std::vector<std::string>& rows);

@@ -187,6 +187,15 @@ DeflatorPlan Deflator::plan(std::span<const ClassConstraint> constraints) const 
 }
 
 void Deflator::publish_plan(const DeflatorPlan& plan) const {
+  if (options_.metrics != nullptr) {
+    // The per-theta gauges below are overwritten on every re-plan, so a
+    // test (or dashboard) watching them cannot tell "no re-plan yet" from
+    // "re-planned to the same value". The monotonic counters disambiguate:
+    // replans counts every solve, plans_infeasible the subset that found
+    // no feasible plan.
+    options_.metrics->counter("deflator.replans").add(1);
+    if (!plan.feasible) options_.metrics->counter("deflator.plans_infeasible").add(1);
+  }
   if (options_.metrics != nullptr && plan.feasible) {
     for (std::size_t k = 0; k < plan.theta.size(); ++k) {
       options_.metrics->gauge("deflator.theta.k" + std::to_string(k)).set(plan.theta[k]);

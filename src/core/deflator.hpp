@@ -79,9 +79,12 @@ class Deflator {
     std::uint64_t tail_seed = 1;
     // Optional observability sinks (not owned; may be null). With a
     // registry, plan() publishes the chosen theta_k and Tk per class as
-    // gauges ("deflator.theta.kK" / "deflator.timeout_s.kK"); with a
-    // tracer it emits one "deflator.plan" event per decision carrying
-    // feasibility, the objective, and the per-class choices.
+    // gauges ("deflator.theta.kK" / "deflator.timeout_s.kK"), bumps the
+    // monotonic "deflator.replans" counter on every solve (and
+    // "deflator.plans_infeasible" when no feasible plan exists) so tests
+    // can count re-plans instead of sleeping; with a tracer it emits one
+    // "deflator.plan" event per decision carrying feasibility, the
+    // objective, and the per-class choices.
     obs::Registry* metrics = nullptr;
     obs::Tracer* tracer = nullptr;
   };

@@ -33,6 +33,19 @@ std::size_t default_shuffle_budget() {
 
 }  // namespace detail
 
+std::string StagePlan::summary() const {
+  auto tri = [](const std::optional<bool>& v) {
+    return !v.has_value() ? std::string("-") : (*v ? std::string("on") : std::string("off"));
+  };
+  auto num = [](const std::optional<std::size_t>& v) {
+    return v.has_value() ? std::to_string(*v) : std::string("-");
+  };
+  return "combine=" + tri(combine) +
+         " parts=" + (partitions > 0 ? std::to_string(partitions) : std::string("-")) +
+         " st=" + std::string(single_thread ? "1" : "0") + " spec=" + tri(speculate) +
+         " buf=" + num(target_buffer_bytes) + " spill=" + num(spill_budget_bytes);
+}
+
 const char* to_string(EngineStageKind kind) {
   switch (kind) {
     case EngineStageKind::kMap:
@@ -77,6 +90,7 @@ void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
     obs_.shuffle_restored_bytes = &metrics->counter("engine.shuffle.spill_restored_bytes");
     obs_.shuffle_merge_stream_s =
         &metrics->histogram("engine.shuffle.merge_stream_s", 0.0, 10.0, 200);
+    obs_.shuffle_merge_skew = &metrics->gauge("engine.shuffle.merge_skew");
     // Handed to each shuffle's sink through its SpillPolicy, so the
     // overflow lane bumps this engine's counter and no other; the raw
     // shuffle_fallback_locks() atomic keeps counting regardless.
@@ -126,15 +140,33 @@ void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
 
 void Engine::note_shuffle_merge(std::size_t records, std::uint64_t restored_segments,
                                 std::uint64_t restored_bytes,
-                                const std::vector<double>& stream_s) {
+                                const std::vector<double>& stream_s,
+                                const std::vector<std::size_t>& bucket_records) {
   DIAS_EXPECTS(!stage_log_.empty(), "shuffle accounting needs a logged stage");
   StageInfo& info = stage_log_.back();
   info.shuffle_records_in = records;
   info.shuffle_restored_segments = static_cast<std::size_t>(restored_segments);
   info.shuffle_restored_bytes = static_cast<std::size_t>(restored_bytes);
+  // Merge load imbalance: max bucket record count over the mean. 1.0 for
+  // empty or perfectly even merges; >= 1.0 otherwise.
+  double skew = 1.0;
+  if (!bucket_records.empty()) {
+    std::size_t total = 0;
+    std::size_t heaviest = 0;
+    for (const std::size_t r : bucket_records) {
+      total += r;
+      heaviest = std::max(heaviest, r);
+    }
+    if (total > 0) {
+      skew = static_cast<double>(heaviest) *
+             static_cast<double>(bucket_records.size()) / static_cast<double>(total);
+    }
+  }
+  info.shuffle_merge_skew = skew;
   if (obs_.shuffle_restored_segments != nullptr) {
     obs_.shuffle_restored_segments->add(restored_segments);
     obs_.shuffle_restored_bytes->add(restored_bytes);
+    obs_.shuffle_merge_skew->set(skew);
     for (const double s : stream_s) {
       if (s > 0.0) obs_.shuffle_merge_stream_s->observe(s);
     }
@@ -146,7 +178,38 @@ void Engine::note_shuffle_merge(std::size_t records, std::uint64_t restored_segm
                         {"executed_buckets", std::uint64_t{info.executed_partitions}},
                         {"total_buckets", std::uint64_t{info.total_partitions}},
                         {"restored_segments", restored_segments},
-                        {"restored_bytes", restored_bytes}});
+                        {"restored_bytes", restored_bytes},
+                        {"merge_skew", skew}});
+  }
+}
+
+void Engine::apply_stage_plan(const StagePlan& plan, ShuffleOptions& shuffle,
+                              std::size_t& out_partitions, double merge_theta,
+                              bool entry_spillable, std::size_t entry_bytes) {
+  if (plan.combine.has_value()) shuffle.combine = *plan.combine;
+  if (plan.target_buffer_bytes.has_value()) {
+    // Keep a sane floor so a degenerate plan cannot force per-record ships.
+    shuffle.target_buffer_bytes = std::max<std::size_t>(*plan.target_buffer_bytes, 64);
+  }
+  if (merge_theta <= 0.0) {
+    if (plan.single_thread) {
+      out_partitions = 1;
+    } else if (plan.partitions > 0) {
+      out_partitions = plan.partitions;
+    }
+  }
+  if (plan.spill_budget_bytes.has_value()) {
+    const std::size_t budget = *plan.spill_budget_bytes;
+    if (budget == 0) {
+      // Explicit "stay resident" hint.
+      shuffle.memory_budget_bytes = 0;
+    } else if (entry_spillable &&
+               (shuffle.spill != nullptr || spill_ != nullptr)) {
+      // Advisory: clamp to one record so the hint passes budget validation.
+      shuffle.memory_budget_bytes = std::max(budget, entry_bytes);
+    }
+    // Unspillable entries or no backend: leave the static budget alone —
+    // a hint must never become a config_error.
   }
 }
 
@@ -196,18 +259,29 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
 
   obs::Tracer::SpanId span = 0;
   if (obs_.tracer != nullptr) {
-    span = obs_.tracer->begin_span(
-        "engine.stage", {{"stage", opts.name},
-                         {"kind", to_string(kind)},
-                         {"seq", stage_seq},
-                         {"total_partitions", n},
-                         {"theta", theta},
-                         {"droppable", opts.droppable}});
+    std::vector<obs::Field> fields{{"stage", opts.name},
+                                   {"kind", to_string(kind)},
+                                   {"seq", stage_seq},
+                                   {"total_partitions", n},
+                                   {"theta", theta},
+                                   {"droppable", opts.droppable}};
+    if (opts.plan && !opts.plan->is_identity()) {
+      fields.push_back({"plan", opts.plan->summary()});
+    }
+    span = obs_.tracer->begin_span("engine.stage", std::move(fields));
+  }
+
+  // Stage-effective fault policy: a StagePlan may toggle speculation for
+  // this stage only. Exactly-once body completion keeps the toggle
+  // content-preserving, so plans may flip it freely.
+  FaultToleranceOptions eff_fault = options_.fault;
+  if (opts.plan && opts.plan->speculate.has_value()) {
+    eff_fault.speculation = *opts.plan->speculate;
   }
 
   const CancellationToken* cancel = cancel_token();
   const auto stage_start = std::chrono::steady_clock::now();
-  if (!options_.fault.active()) {
+  if (!eff_fault.active()) {
     if (cancel == nullptr) {
       // Legacy zero-overhead path: no retry bookkeeping, no per-task state.
       info.executed_partitions = selected.size();
@@ -248,7 +322,7 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
       info.attempts = info.executed_partitions;
     }
   } else {
-    run_stage_fault_tolerant(selected, opts, info, stage_seq, body);
+    run_stage_fault_tolerant(selected, opts, info, stage_seq, eff_fault, body);
   }
   const auto stage_end = std::chrono::steady_clock::now();
   info.duration_s = std::chrono::duration<double>(stage_end - stage_start).count();
@@ -302,9 +376,9 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
 void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
                                       const StageOptions& opts, StageInfo& info,
                                       std::uint64_t stage_seq,
+                                      const FaultToleranceOptions& ft,
                                       const std::function<void(std::size_t)>& body) {
   const std::size_t n_sel = selected.size();
-  const FaultToleranceOptions& ft = options_.fault;
   const CancellationToken* cancel = cancel_token();
   // Injection may be scoped to droppable stages; retry/speculation still
   // guard against genuine (user-code) failures on immune stages.

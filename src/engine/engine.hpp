@@ -24,6 +24,7 @@
 #include "engine/dataset.hpp"
 #include "engine/fault.hpp"
 #include "engine/shuffle.hpp"
+#include "engine/stage_plan.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -92,6 +93,10 @@ struct StageInfo {
   std::size_t shuffle_spill_bytes = 0;
   std::size_t shuffle_restored_segments = 0;
   std::size_t shuffle_restored_bytes = 0;
+  // Merge-stage load imbalance: max bucket record count over the mean
+  // (1.0 = perfectly even; only meaningful on the merge stage). The
+  // adaptive planner reads the exported gauge to resize partition counts.
+  double shuffle_merge_skew = 1.0;
 };
 
 struct StageOptions {
@@ -100,6 +105,11 @@ struct StageOptions {
   bool droppable = true;
   // Overrides the engine-wide drop ratio when >= 0.
   double drop_ratio_override = -1.0;
+  // Adaptive execution overrides (ISSUE 8): when set, run_stage applies
+  // the plan's speculation toggle and the shuffle entry points apply its
+  // combiner / partition / single-thread / buffer / spill knobs. Absent
+  // (the default), every path is byte-identical to the pre-plan engine.
+  std::optional<StagePlan> plan;
 };
 
 // The paper's modified Spark hook: which of the n partitions still need to
@@ -346,6 +356,12 @@ class Engine {
                       StageOptions opts = {}, ShuffleOptions shuffle = {}) {
     DIAS_EXPECTS(out_partitions >= 1, "need at least one output partition");
     using Entry = std::pair<T, char>;
+    if (opts.plan && !opts.plan->is_identity()) {
+      // distinct's merge is never droppable, so repartitioning is always
+      // content-preserving here (first-appearance order is per element).
+      apply_stage_plan(*opts.plan, shuffle, out_partitions, /*merge_theta=*/0.0,
+                       detail::is_spillable<Entry>::value, sizeof(Entry));
+    }
     const detail::SpillPolicy spill_policy = make_spill_policy<Entry>(shuffle);
     const bool spill_active = spill_policy.backend != nullptr;
     detail::ShuffleSink<T, char> sink(pool_.workers(), out_partitions, spill_policy);
@@ -406,9 +422,11 @@ class Engine {
     std::atomic<std::uint64_t> restored_segments{0};
     std::atomic<std::uint64_t> restored_bytes{0};
     std::vector<double> stream_s(out_partitions, 0.0);
+    std::vector<std::size_t> bucket_records(out_partitions, 0);
     StageOptions merge_opts;
     merge_opts.name = opts.name + "/merge";
     merge_opts.droppable = false;
+    merge_opts.plan = opts.plan;  // per-stage speculation rides along
     run_stage(out_partitions, merge_opts, EngineStageKind::kReduce, [&](std::size_t b) {
       detail::FlatMap<T, char> unique;
       std::size_t records = 0;
@@ -432,12 +450,13 @@ class Engine {
       // Every segment consumed: free the bucket (spilled storage included).
       // Never throws, so the completed body cannot be retried half-freed.
       sink.commit_bucket(b);
+      bucket_records[b] = records;
       merged.fetch_add(records, std::memory_order_relaxed);
       out[b].reserve(unique.size());
       for (auto& entry : unique.entries()) out[b].push_back(std::move(entry.first));
     });
     note_shuffle_merge(merged.load(), restored_segments.load(), restored_bytes.load(),
-                       stream_s);
+                       stream_s, bucket_records);
     return Dataset<T>(std::move(out));
   }
 
@@ -524,6 +543,17 @@ class Engine {
     using Entry = std::pair<K, A>;
     DIAS_EXPECTS(out_partitions >= 1, "need at least one output partition");
 
+    if (opts.plan && !opts.plan->is_identity()) {
+      // Repartitioning a droppable merge stage running with theta > 0
+      // would change which buckets drop; apply_stage_plan skips the
+      // partition knobs there (the others stay content-preserving).
+      const double merge_theta =
+          opts.droppable ? (opts.drop_ratio_override >= 0.0 ? opts.drop_ratio_override
+                                                            : options_.drop_ratio)
+                         : 0.0;
+      apply_stage_plan(*opts.plan, shuffle, out_partitions, merge_theta,
+                       detail::is_spillable<Entry>::value, sizeof(Entry));
+    }
     const detail::SpillPolicy spill_policy = make_spill_policy<Entry>(shuffle);
     const bool spill_active = spill_policy.backend != nullptr;
     detail::ShuffleSink<K, A> sink(pool_.workers(), out_partitions, spill_policy);
@@ -535,6 +565,7 @@ class Engine {
     StageOptions write_opts;
     write_opts.name = opts.name + "/shuffle";
     write_opts.droppable = false;
+    write_opts.plan = opts.plan;  // per-stage speculation rides along
     run_stage(in.partitions(), write_opts, EngineStageKind::kShuffleWrite,
               [&](std::size_t p) {
                 const std::size_t slot = pool_.current_slot();
@@ -620,6 +651,7 @@ class Engine {
     // Per-bucket seconds spent streaming spilled segments back; one merge
     // task per bucket, so no synchronization needed.
     std::vector<double> stream_s(out_partitions, 0.0);
+    std::vector<std::size_t> bucket_records(out_partitions, 0);
     StageOptions merge_opts = opts;
     merge_opts.name = opts.name + "/reduce";
     run_stage(out_partitions, merge_opts, EngineStageKind::kReduce, [&](std::size_t b) {
@@ -647,11 +679,12 @@ class Engine {
       // Every segment consumed: free the bucket (spilled storage included).
       // Never throws, so the completed body cannot be retried half-freed.
       sink.commit_bucket(b);
+      bucket_records[b] = records;
       merged.fetch_add(records, std::memory_order_relaxed);
       out[b] = std::move(acc.entries());
     });
     note_shuffle_merge(merged.load(), restored_segments.load(), restored_bytes.load(),
-                       stream_s);
+                       stream_s, bucket_records);
     return Dataset<std::pair<K, A>>(std::move(out));
   }
 
@@ -697,10 +730,22 @@ class Engine {
                  const std::function<void(std::size_t)>& body);
 
   // The fault-tolerant execution loop (retry + speculation + degradation).
+  // `ft` is the stage-effective policy: options_.fault with any StagePlan
+  // speculation override already applied.
   void run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
                                 const StageOptions& opts, StageInfo& info,
                                 std::uint64_t stage_seq,
+                                const FaultToleranceOptions& ft,
                                 const std::function<void(std::size_t)>& body);
+
+  // Applies an adaptive plan to a shuffle's effective knobs in place.
+  // `merge_theta` > 0 suppresses the partition knobs (bucket count is part
+  // of drop semantics there); the spill hint is applied only when
+  // `entry_spillable` and a backend is reachable, clamped to one record of
+  // `entry_bytes`, so a plan can never turn into a config_error.
+  void apply_stage_plan(const StagePlan& plan, ShuffleOptions& shuffle,
+                        std::size_t& out_partitions, double merge_theta,
+                        bool entry_spillable, std::size_t entry_bytes);
 
   // The installed cancellation token, or null when detached.
   const CancellationToken* cancel_token() const {
@@ -756,7 +801,8 @@ class Engine {
                           std::uint64_t spill_segments, std::uint64_t spill_bytes);
   void note_shuffle_merge(std::size_t records, std::uint64_t restored_segments,
                           std::uint64_t restored_bytes,
-                          const std::vector<double>& stream_s);
+                          const std::vector<double>& stream_s,
+                          const std::vector<std::size_t>& bucket_records);
 
   // Metric handles cached at attach time; all null when detached.
   struct ObsHooks {
@@ -782,6 +828,8 @@ class Engine {
     obs::Counter* shuffle_restored_segments = nullptr;
     obs::Counter* shuffle_restored_bytes = nullptr;
     obs::HistogramMetric* shuffle_merge_stream_s = nullptr;
+    // Last merge's max/mean bucket load ratio; the planner's skew input.
+    obs::Gauge* shuffle_merge_skew = nullptr;
     // Bumped by the sink's overflow lane; scoped per engine via SpillPolicy.
     obs::Counter* shuffle_fallback_locks = nullptr;
   };

@@ -10,11 +10,11 @@
 //      name lookup happens once, at registration, never per update.
 //   3. Snapshots are safe while recording: readers take the registry mutex
 //      only to walk the (append-only) name tables; individual metric reads
-//      are atomic loads or take the per-histogram mutex.
+//      are atomic loads or a seqlock-validated optimistic copy.
 //
-// Histograms are backed by the existing dias::Welford (exact streaming
+// Histograms reproduce the math of dias::Welford (exact streaming
 // mean/stddev/min/max) plus dias::Histogram (fixed bins, approximate
-// quantiles), per the repo's stats primitives.
+// quantiles), restated over atomics so snapshots cannot tear.
 #pragma once
 
 #include <atomic>
@@ -25,8 +25,6 @@
 #include <mutex>
 #include <string>
 #include <vector>
-
-#include "common/stats.hpp"
 
 namespace dias::obs {
 
@@ -56,10 +54,19 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-// Distribution metric: exact moments (Welford) + binned quantiles
-// (Histogram). observe() takes a per-metric mutex — callers on genuinely
-// hot paths should batch observations (the engine records task times once
-// per stage, not once per task).
+// Distribution metric: exact moments (Welford recurrence) + binned
+// quantiles (fixed bins over [lo, hi), clamped like dias::Histogram).
+//
+// Writers serialize on a per-metric mutex and publish through a seqlock
+// (`seq_` is odd while an observe() is mutating); every mutated field is a
+// relaxed atomic. stats() is therefore an optimistic, non-blocking read:
+// it copies a candidate state without taking the mutex and retries when
+// the sequence number shows a concurrent write — so a snapshot can never
+// observe a torn (count, mean, m2) tuple, and snapshotting never blocks
+// recording. After a bounded number of collisions the reader falls back
+// to the writer mutex, guaranteeing progress under a write storm.
+// Callers on genuinely hot paths should still batch observations (the
+// engine records task times once per stage, not once per task).
 class HistogramMetric {
  public:
   HistogramMetric(double lo, double hi, std::size_t bins);
@@ -79,9 +86,30 @@ class HistogramMetric {
   Stats stats() const;
 
  private:
-  mutable std::mutex mu_;
-  Welford welford_;
-  Histogram bins_;
+  // Raw state copied out by one (possibly torn — the seq check decides)
+  // read attempt, finalized into Stats only once proven consistent.
+  struct Raw {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> bins;
+  };
+  void copy_raw(Raw& out) const;
+  Stats finalize(const Raw& raw) const;
+  double quantile(const Raw& raw, double q) const;
+
+  mutable std::mutex mu_;  // serializes writers (and the reader fallback)
+  std::atomic<std::uint64_t> seq_{0};  // odd while a write is in flight
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> mean_{0.0};
+  std::atomic<double> m2_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  const double lo_;
+  const double width_;
+  std::vector<std::atomic<std::uint64_t>> bins_;
 };
 
 // Point-in-time copy of every registered metric, detached from the
@@ -123,9 +151,11 @@ class Registry {
 
   // Non-registering lookups: nullptr when the name is absent or is a
   // different kind. Lets a sampler (the overload controller reading the
-  // engine's busy-worker gauge) observe a metric without creating it.
+  // engine's busy-worker gauge, the adaptive planner reading stage-time
+  // histograms) observe a metric without creating it.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
+  const HistogramMetric* find_histogram(const std::string& name) const;
 
   MetricsSnapshot snapshot() const;
   std::string to_json() const { return snapshot().to_json(); }

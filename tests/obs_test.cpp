@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -339,6 +340,72 @@ TEST(ObsIntegrationTest, EngineMetricsDeterministicUnderFixedSeed) {
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.executed + a.dropped, 20u);
   EXPECT_EQ(a.dropped, 6u);  // ceil(20 * 0.7) = 14 kept
+}
+
+// Seqlock regression (ISSUE 8): a histogram snapshot racing observe() used
+// to be able to read a torn (count, mean, m2) tuple — e.g. the new count
+// with the old sum — visible as impossible aggregate values. With the
+// optimistic retry read, every snapshot must be internally consistent: we
+// hammer one histogram from writer threads that only ever record values
+// from {0, 10} while reader threads continuously snapshot and check the
+// invariants any *consistent* prefix of that stream satisfies.
+TEST(RegistryTest, ConcurrentHistogramSnapshotsAreConsistent) {
+  Registry registry;
+  auto& hist = registry.histogram("stress.h", 0.0, 10.0, 20);
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&hist, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        hist.observe((i + static_cast<std::uint64_t>(w)) % 2 == 0 ? 0.0 : 10.0);
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&hist, &stop, &torn] {
+      std::size_t last_count = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto s = hist.stats();
+        if (s.count == 0) continue;
+        // Counts only grow.
+        if (s.count < last_count) torn.fetch_add(1);
+        last_count = s.count;
+        // Every observation is 0 or 10, so any consistent prefix has
+        // bounds inside {0, 10} and an integral sum (mean * count must be
+        // a multiple of 10, the torn-pair smoking gun).
+        if (!(s.min == 0.0 || s.min == 10.0)) torn.fetch_add(1);
+        if (!(s.max == 0.0 || s.max == 10.0)) torn.fetch_add(1);
+        const double sum = s.mean * static_cast<double>(s.count);
+        const double remainder = std::fmod(sum + 0.5, 10.0);
+        if (std::abs(remainder - 0.5) > 1e-6 * (1.0 + sum)) torn.fetch_add(1);
+        if (s.mean < 0.0 || s.mean > 10.0) torn.fetch_add(1);
+        if (s.p50 < 0.0 || s.p50 > 10.0) torn.fetch_add(1);
+        if (s.p99 < 0.0 || s.p99 > 10.0) torn.fetch_add(1);
+        // Registry-level snapshots exercise the same read path.
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0u);
+
+  // Quiescent totals are exact: the seqlock write path loses nothing.
+  const auto s = hist.stats();
+  EXPECT_EQ(s.count, kWriters * kPerWriter);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 10.0);
+  EXPECT_NEAR(s.mean, 5.0, 1e-9);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].stats.count, kWriters * kPerWriter);
 }
 
 TEST(ObsIntegrationTest, DetachedEngineRecordsNothing) {

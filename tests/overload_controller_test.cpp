@@ -140,6 +140,52 @@ TEST(OverloadControllerTest, OverloadEscalatesThetaWithinCeiling) {
   EXPECT_DOUBLE_EQ(reg.gauge("overload.state").value(), 0.0);
 }
 
+// ISSUE 8 satellite: the deflator's plan *gauges* are overwritten on every
+// re-plan, so a test watching them cannot count grid searches (re-planning
+// to the same theta is invisible) and used to have to sleep and infer. The
+// monotonic "deflator.replans" counter makes the count directly
+// assertable: the controller runs exactly one grid search at construction
+// (the baseline plan) plus one per Status::replans.
+TEST(OverloadControllerTest, DeflatorReplanCounterTracksGridSearches) {
+  obs::Registry reg;
+  core::Deflator::Options deflator_opts;
+  deflator_opts.metrics = &reg;
+  Deflator deflator({profile(0.02), profile(0.005)},
+                    core::AccuracyProfile::paper_word_count(), deflator_opts);
+  DiasDispatcher dispatcher({0.0, 0.0});
+  OverloadController controller(dispatcher, std::move(deflator), constraints(),
+                                manual_config());
+  EXPECT_EQ(reg.counter("deflator.replans").value(), 1u);  // baseline plan
+
+  controller.sample_once();  // arrival baseline; idle, so no re-plan
+  EXPECT_EQ(reg.counter("deflator.replans").value(),
+            1u + controller.status().replans);
+
+  // Jam the runner and pile up a burst to force an escalation re-plan.
+  std::atomic<bool> release{false};
+  dispatcher.submit(0, [&](double) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  for (int i = 0; i < 8; ++i) {
+    dispatcher.submit(0, [](double) {});
+  }
+  std::this_thread::sleep_for(5ms);
+  controller.sample_once();
+  const auto overloaded = controller.status();
+  EXPECT_GE(overloaded.replans, 1u);
+  EXPECT_EQ(reg.counter("deflator.replans").value(), 1u + overloaded.replans);
+
+  // Recovery re-plan (relaxation) keeps the counter in lockstep, and the
+  // counter never moves backwards.
+  release = true;
+  dispatcher.drain();
+  controller.sample_once();
+  const auto relaxed = controller.status();
+  EXPECT_GE(relaxed.replans, overloaded.replans);
+  EXPECT_EQ(reg.counter("deflator.replans").value(), 1u + relaxed.replans);
+}
+
 TEST(OverloadControllerTest, ExplicitCeilingsClampEscalation) {
   DiasDispatcher dispatcher({0.0, 0.0});
   auto cfg = manual_config();

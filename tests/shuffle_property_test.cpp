@@ -333,6 +333,70 @@ TEST(FlatMapTest, InsertionOrderDedupAndGrowth) {
   EXPECT_EQ(map.size(), 1u);
 }
 
+// Metamorphic properties (ISSUE 8): transformations of the *configuration*
+// or the *input presentation* that provably preserve the reduced relation
+// must leave the result unchanged. These are the invariants the adaptive
+// planner leans on when it rewrites partition counts or toggles the
+// combiner mid-run, so the battery is tagged tsan+asan in CMake.
+TEST(ShuffleMetamorphicTest, InvariantUnderInputPermutation) {
+  std::uint64_t seed = 5000;
+  for (const double skew : {0.0, 3.0}) {
+    SCOPED_TRACE(testing::Message() << "skew=" << skew);
+    auto records = make_records(++seed, 6000, 211, skew);
+    const auto run = [&](const std::vector<KV>& input) {
+      Engine eng(engine_opts(seed));
+      const auto ds = eng.parallelize(input, 5);
+      return sorted_collect(eng.reduce_by_key(
+          ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 6));
+    };
+    const auto baseline = run(records);
+    // Seeded Fisher-Yates: same multiset, different presentation order
+    // (hence different per-partition slices and combiner fold orders).
+    Rng rng(seed * 7 + 1);
+    for (std::size_t i = records.size(); i > 1; --i) {
+      std::swap(records[i - 1], records[rng.uniform_int(i)]);
+    }
+    EXPECT_EQ(run(records), baseline);
+  }
+}
+
+TEST(ShuffleMetamorphicTest, InvariantUnderPartitionCountChanges) {
+  const auto records = make_records(6001, 5000, 173, 1.5);
+  const auto run = [&](std::size_t in_p, std::size_t out_p) {
+    Engine eng(engine_opts(6001));
+    const auto ds = eng.parallelize(records, in_p);
+    return sorted_collect(eng.reduce_by_key(
+        ds, [](std::int64_t a, std::int64_t b) { return a + b; }, out_p));
+  };
+  const auto baseline = run(4, 4);
+  for (const std::size_t in_p : {1, 3, 9}) {
+    for (const std::size_t out_p : {1, 5, 16}) {
+      SCOPED_TRACE(testing::Message() << "in=" << in_p << " out=" << out_p);
+      EXPECT_EQ(run(in_p, out_p), baseline);
+    }
+  }
+}
+
+TEST(ShuffleMetamorphicTest, InvariantUnderCombinerToggleAndBufferSize) {
+  const auto records = make_records(6002, 8000, 131, 2.0);
+  const auto run = [&](bool combine, std::size_t buffer_bytes) {
+    Engine eng(engine_opts(6002));
+    const auto ds = eng.parallelize(records, 6);
+    ShuffleOptions shuffle;
+    shuffle.combine = combine;
+    shuffle.target_buffer_bytes = buffer_bytes;
+    return sorted_collect(eng.reduce_by_key(
+        ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 7, {}, shuffle));
+  };
+  const auto baseline = run(true, 1 << 20);
+  for (const bool combine : {true, false}) {
+    for (const std::size_t buffer : {std::size_t{512}, std::size_t{16384}}) {
+      SCOPED_TRACE(testing::Message() << "combine=" << combine << " buffer=" << buffer);
+      EXPECT_EQ(run(combine, buffer), baseline);
+    }
+  }
+}
+
 TEST(ShufflePropertyTest, StringKeysWorkEndToEnd) {
   Rng rng(123);
   std::vector<std::pair<std::string, std::int64_t>> records;
