@@ -1,0 +1,241 @@
+// Per-worker-slot bump arenas backing shuffle segment storage (ISSUE 9).
+//
+// The shuffle write path used to allocate one heap vector per (flush,
+// bucket) segment — on a wide machine that is out_partitions × flushes
+// malloc/free pairs per input partition, all contending on the global
+// allocator. A SegmentArena replaces them with bump-pointer allocation
+// from chunks owned by one worker slot: allocation is a pointer add,
+// deallocation is a no-op, and the chunks are recycled wholesale at the
+// stage epoch boundary (Engine resets every slot arena after the merge
+// phase consumed the sink).
+//
+// Determinism: the arena is a pure relocation of segment bytes. It never
+// changes what a segment contains, how segments are bounded, or the
+// (src, seq) merge order — only which allocator hands out the backing
+// memory. The scale determinism battery sweeps arena on/off to prove it.
+//
+// Threading contract (asserted by the engine's use, exercised by
+// arena_test):
+//   - allocate() is single-owner: only the owning slot's worker thread
+//     allocates, and only during the shuffle write phase.
+//   - deallocate() may race with itself from other threads (merge tasks
+//     release segments from many workers); it only touches atomics and
+//     per-allocation ASan shadow, never the bump state.
+//   - reset() is exclusive: the engine calls it from the driver thread
+//     after the stage barrier, when no segment from the previous epoch is
+//     alive. A container that outlives its epoch is a lifetime bug; under
+//     AddressSanitizer recycled chunk memory is poisoned, so use-after-
+//     recycle faults loudly instead of silently reading stale bytes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DIAS_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DIAS_ARENA_ASAN 1
+#endif
+#endif
+#ifdef DIAS_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace dias::engine::detail {
+
+inline void arena_poison(const void* p, std::size_t n) {
+#ifdef DIAS_ARENA_ASAN
+  __asan_poison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+inline void arena_unpoison(const void* p, std::size_t n) {
+#ifdef DIAS_ARENA_ASAN
+  __asan_unpoison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+class SegmentArena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{256} << 10;  // 256 KiB
+  // Offsets are kept 8-byte aligned so no two live allocations ever share
+  // an ASan shadow granule — concurrent deallocate() poisoning from merge
+  // tasks must never write the same shadow byte.
+  static constexpr std::size_t kMinAlign = 8;
+
+  explicit SegmentArena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes < 1024 ? 1024 : chunk_bytes) {}
+
+  ~SegmentArena() {
+    // ASan requires user-poisoned regions to be clean before the backing
+    // allocation is returned to the real allocator.
+    for (auto& chunk : chunks_) arena_unpoison(chunk.data.get(), chunk.size);
+  }
+
+  SegmentArena(const SegmentArena&) = delete;
+  SegmentArena& operator=(const SegmentArena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (align < kMinAlign) align = kMinAlign;
+    while (active_ < chunks_.size()) {
+      Chunk& chunk = chunks_[active_];
+      const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+      const std::size_t offset =
+          static_cast<std::size_t>(((base + chunk.used + align - 1) & ~(std::uintptr_t{align} - 1)) -
+                                   base);
+      if (offset + bytes <= chunk.size) {
+        chunk.used = offset + bytes;
+        if (chunk.used > chunk.high_water) chunk.high_water = chunk.used;
+        std::byte* p = chunk.data.get() + offset;
+        arena_unpoison(p, bytes);
+        return p;
+      }
+      // Leave the remainder dead until the next epoch; the whole chunk is
+      // recycled by reset() regardless of how full it got.
+      ++active_;
+    }
+    const std::size_t size = bytes + align > chunk_bytes_ ? bytes + align : chunk_bytes_;
+    if (size > chunk_bytes_) oversize_allocs_.fetch_add(1, std::memory_order_relaxed);
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size, 0, 0});
+    Chunk& chunk = chunks_.back();
+    arena_poison(chunk.data.get(), chunk.size);
+    return allocate(bytes, align);  // recurse once into the fresh chunk
+  }
+
+  // No-op release: bump memory is reclaimed only by reset(). Poisons the
+  // region under ASan so any later read through a stale pointer (an
+  // entry vector outliving its segment) faults immediately. Safe to call
+  // concurrently from many threads for distinct allocations.
+  void deallocate(const void* p, std::size_t bytes) noexcept {
+    arena_poison(p, bytes);
+    freed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  // Starts a new epoch: every chunk is recycled (bump offset back to 0)
+  // and all chunk memory is poisoned/scribbled dead until re-allocated.
+  // Exclusive: no allocation from any epoch may be live.
+  void reset() {
+    for (auto& chunk : chunks_) {
+      if (chunk.used != 0) ++recycled_chunks_;
+      // Unpoison before the debug scribble (parts are already poisoned by
+      // deallocate), then re-poison the whole capacity for the new epoch.
+      arena_unpoison(chunk.data.get(), chunk.size);
+#ifndef NDEBUG
+      // Deterministic garbage: a container that survives reset() and is
+      // read without ASan still sees obviously-wrong bytes, not stale
+      // previous-epoch values that happen to look correct.
+      if (chunk.high_water != 0) std::memset(chunk.data.get(), 0xAB, chunk.high_water);
+#endif
+      arena_poison(chunk.data.get(), chunk.size);
+      chunk.used = 0;
+      chunk.high_water = 0;
+    }
+    active_ = 0;
+    ++epoch_;
+  }
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t reserved_bytes() const {
+    std::size_t total = 0;
+    for (const auto& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+  // Bytes bumped out this epoch (high-water across chunks, not netted
+  // against deallocate — bump memory is not reusable within an epoch).
+  std::size_t used_bytes() const {
+    std::size_t total = 0;
+    for (const auto& chunk : chunks_) total += chunk.high_water;
+    return total;
+  }
+  std::uint64_t recycled_chunks() const { return recycled_chunks_; }
+  std::uint64_t oversize_allocs() const {
+    return oversize_allocs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_bytes() const {
+    return freed_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;        // bump offset, this epoch
+    std::size_t high_water = 0;  // max bump offset, this epoch
+  };
+
+  const std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // index of the chunk currently being bumped
+  std::uint64_t epoch_ = 0;
+  std::uint64_t recycled_chunks_ = 0;
+  std::atomic<std::uint64_t> oversize_allocs_{0};
+  std::atomic<std::uint64_t> freed_bytes_{0};  // deallocate() may race
+};
+
+// Minimal allocator adapter: null arena -> global operator new/delete
+// (default-constructed segments, the overflow lane, tests), non-null ->
+// bump allocation with no-op deallocate. Equality compares the arena
+// pointer, so containers only swap/steal buffers between equal arenas;
+// propagation on move/swap keeps the allocator with its buffer.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(SegmentArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (arena_ != nullptr) {
+      arena_->deallocate(p, n * sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  SegmentArena* arena() const noexcept { return arena_; }
+
+ private:
+  SegmentArena* arena_ = nullptr;
+};
+
+template <typename T, typename U>
+bool operator==(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) noexcept {
+  return a.arena() == b.arena();
+}
+template <typename T, typename U>
+bool operator!=(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) noexcept {
+  return a.arena() != b.arena();
+}
+
+// The vector type shuffle segments store their entries in; a default-
+// constructed one is heap-backed and behaves exactly like std::vector.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace dias::engine::detail

@@ -95,7 +95,36 @@ void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
     // overflow lane bumps this engine's counter and no other; the raw
     // shuffle_fallback_locks() atomic keeps counting regardless.
     obs_.shuffle_fallback_locks = &metrics->counter("engine.shuffle.fallback_locks");
+    obs_.arena_chunks = &metrics->gauge("engine.shuffle.arena_chunks");
+    obs_.arena_reserved_bytes = &metrics->gauge("engine.shuffle.arena_reserved_bytes");
+    obs_.arena_recycled_chunks = &metrics->counter("engine.shuffle.arena_recycled_chunks");
+    // Re-base like the pool does: a re-attach to the same registry must add
+    // only future deltas, a fresh registry gets full history at next reset.
+    published_arena_recycled_ = obs_.arena_recycled_chunks->value();
     pool_.attach_metrics(*metrics, "engine.pool");
+  } else {
+    pool_.detach_metrics();
+  }
+}
+
+void Engine::reset_arenas() {
+  if (arenas_.empty()) return;
+  double chunks = 0.0;
+  double reserved = 0.0;
+  std::uint64_t recycled = 0;
+  for (auto& arena : arenas_) {
+    arena->reset();
+    chunks += static_cast<double>(arena->chunk_count());
+    reserved += static_cast<double>(arena->reserved_bytes());
+    recycled += arena->recycled_chunks();
+  }
+  if (obs_.arena_chunks != nullptr) {
+    obs_.arena_chunks->set(chunks);
+    obs_.arena_reserved_bytes->set(reserved);
+    if (recycled > published_arena_recycled_) {
+      obs_.arena_recycled_chunks->add(recycled - published_arena_recycled_);
+    }
+    published_arena_recycled_ = recycled;
   }
 }
 

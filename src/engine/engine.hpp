@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -161,10 +162,22 @@ class Engine {
     // (no injection, 1 attempt, no speculation) keeps run_stage on the
     // legacy zero-overhead path.
     FaultToleranceOptions fault;
+    // --- hot-path scaling knobs (ISSUE 9) ---------------------------------
+    // Both default on; outputs are byte-identical either way (the scale
+    // determinism battery sweeps the off settings), so the only reason to
+    // disable them is A/B measurement.
+    // Batched wave submission: run_indexed enqueues one wave descriptor
+    // per stage instead of one packaged lane per worker slot.
+    bool batched_waves = true;
+    // Per-worker-slot bump arenas backing shuffle segment storage,
+    // recycled at each shuffle's epoch boundary. A pure relocation: same
+    // bytes, same (src, seq) order, no malloc churn.
+    bool shuffle_arena = true;
   };
 
   explicit Engine(Options options)
-      : options_(options), pool_(options.workers, options.reserve_workers),
+      : options_(options),
+        pool_(options.workers, options.reserve_workers, options.batched_waves),
         rng_(options.seed), injector_(options.fault.injection) {
     DIAS_EXPECTS(options.drop_ratio >= 0.0 && options.drop_ratio <= 1.0,
                  "drop ratio must be in [0,1]");
@@ -173,6 +186,12 @@ class Engine {
     DIAS_EXPECTS(options.fault.speculation_quantile > 0.0 &&
                      options.fault.speculation_quantile <= 1.0,
                  "speculation quantile must be in (0,1]");
+    if (options.shuffle_arena) {
+      arenas_.reserve(pool_.workers());
+      for (std::size_t i = 0; i < pool_.workers(); ++i) {
+        arenas_.push_back(std::make_unique<detail::SegmentArena>());
+      }
+    }
   }
 
   const Options& options() const { return options_; }
@@ -364,6 +383,9 @@ class Engine {
     }
     const detail::SpillPolicy spill_policy = make_spill_policy<Entry>(shuffle);
     const bool spill_active = spill_policy.backend != nullptr;
+    // Declared before the sink: destroyed after it, so the arenas are
+    // recycled only once no segment from this shuffle is alive.
+    ArenaEpochGuard arena_guard(*this);
     detail::ShuffleSink<T, char> sink(pool_.workers(), out_partitions, spill_policy);
     std::atomic<std::size_t> records_in{0};
     std::atomic<std::size_t> records_out{0};
@@ -374,21 +396,19 @@ class Engine {
       const std::size_t slot = pool_.current_slot();
       std::hash<T> hasher;
       detail::FlatMap<T, char> seen;
+      detail::RadixScratch radix;
       std::size_t seq = 0;
       std::size_t shipped = 0;
       std::size_t accounted_scratch = 0;
       records_in.fetch_add(in.partition(p).size(), std::memory_order_relaxed);
-      auto ship = [&] {
-        std::vector<std::vector<Entry>> split(out_partitions);
-        for (auto& entry : seen.entries()) {
-          split[hasher(entry.first) % out_partitions].push_back(std::move(entry));
-        }
-        for (std::size_t b = 0; b < out_partitions; ++b) {
-          if (split[b].empty()) continue;
-          shipped += split[b].size();
-          detail::guard_spill_io(spill_active, opts.name, p,
-                                 [&] { sink.push(slot, b, {p, seq, std::move(split[b])}); });
-        }
+      auto ship = [&](std::vector<Entry>&& entries) {
+        detail::radix_split(
+            std::move(entries), out_partitions, hasher, radix, slot_arena(slot),
+            [&](std::size_t b, detail::ArenaVector<Entry>&& seg) {
+              shipped += seg.size();
+              detail::guard_spill_io(spill_active, opts.name, p,
+                                     [&] { sink.push(slot, b, {p, seq, std::move(seg)}); });
+            });
         ++seq;
       };
       for (const auto& x : in.partition(p)) {
@@ -402,12 +422,17 @@ class Engine {
                                  [&] { sink.adjust_scratch(slot, delta); });
         }
         if (seen.approx_bytes() > shuffle.target_buffer_bytes) {
-          ship();
+          auto full = std::move(seen.entries());
           seen.clear();
+          ship(std::move(full));
           flushes.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      if (!seen.empty()) ship();
+      if (!seen.empty()) {
+        auto full = std::move(seen.entries());
+        seen.clear();
+        ship(std::move(full));
+      }
       if (spill_active && accounted_scratch != 0) {
         sink.adjust_scratch(slot, -static_cast<std::ptrdiff_t>(accounted_scratch));
       }
@@ -556,6 +581,10 @@ class Engine {
     }
     const detail::SpillPolicy spill_policy = make_spill_policy<Entry>(shuffle);
     const bool spill_active = spill_policy.backend != nullptr;
+    // Declared before the sink: destroyed after it, so the arenas are
+    // recycled only once no segment from this shuffle is alive (merge
+    // outputs are heap-backed, so nothing escapes the epoch).
+    ArenaEpochGuard arena_guard(*this);
     detail::ShuffleSink<K, A> sink(pool_.workers(), out_partitions, spill_policy);
     std::atomic<std::size_t> records_in{0};
     std::atomic<std::size_t> records_out{0};
@@ -574,20 +603,21 @@ class Engine {
                 records_in.fetch_add(part.size(), std::memory_order_relaxed);
                 std::size_t shipped = 0;
                 std::size_t seq = 0;
+                detail::RadixScratch radix;
                 // Splits a finished combiner scratch (or raw batch) into
-                // per-bucket segments and hands them to the sink.
+                // per-bucket segments and hands them to the sink. The radix
+                // split computes the same hasher(key) % buckets assignment
+                // and preserves input order per bucket, so segments are
+                // byte-identical to the old push-one-at-a-time loop.
                 auto ship = [&](std::vector<Entry>&& entries) {
-                  std::vector<std::vector<Entry>> split(out_partitions);
-                  for (auto& entry : entries) {
-                    split[hasher(entry.first) % out_partitions].push_back(std::move(entry));
-                  }
-                  for (std::size_t b = 0; b < out_partitions; ++b) {
-                    if (split[b].empty()) continue;
-                    shipped += split[b].size();
-                    detail::guard_spill_io(spill_active, write_opts.name, p, [&] {
-                      sink.push(slot, b, {p, seq, std::move(split[b])});
-                    });
-                  }
+                  detail::radix_split(
+                      std::move(entries), out_partitions, hasher, radix, slot_arena(slot),
+                      [&](std::size_t b, detail::ArenaVector<Entry>&& seg) {
+                        shipped += seg.size();
+                        detail::guard_spill_io(spill_active, write_opts.name, p, [&] {
+                          sink.push(slot, b, {p, seq, std::move(seg)});
+                        });
+                      });
                   ++seq;
                 };
                 if (shuffle.combine) {
@@ -752,6 +782,38 @@ class Engine {
     return cancel_.has_value() ? &*cancel_ : nullptr;
   }
 
+  // --- shuffle segment arenas (ISSUE 9) -----------------------------------
+  // One bump-pointer arena per worker slot; shuffle write tasks allocate
+  // their segment entry storage from their own slot's arena (single-owner,
+  // no lock), and the chunks are recycled once per shuffle via
+  // ArenaEpochGuard. Empty when Options::shuffle_arena is false — every
+  // segment then falls back to the heap through the null-arena allocator.
+  detail::SegmentArena* slot_arena(std::size_t slot) {
+    if (slot >= arenas_.size()) return nullptr;  // covers kNoSlot + arena-off
+    return arenas_[slot].get();
+  }
+
+  // Recycles every slot arena (epoch bump) and publishes arena stats.
+  // Callers must guarantee no arena-backed segment is still alive — in
+  // practice: the ShuffleSink of the finished shuffle has been destroyed.
+  void reset_arenas();
+
+  // Scoped epoch: declared before a shuffle's sink so its destructor runs
+  // after the sink's, recycling the arenas exactly when the last segment
+  // of that shuffle is gone. run_stage joins all task futures before
+  // returning (including on the fault-tolerant path), so no write task can
+  // still be allocating when the guard fires.
+  class ArenaEpochGuard {
+   public:
+    explicit ArenaEpochGuard(Engine& engine) : engine_(engine) {}
+    ~ArenaEpochGuard() { engine_.reset_arenas(); }
+    ArenaEpochGuard(const ArenaEpochGuard&) = delete;
+    ArenaEpochGuard& operator=(const ArenaEpochGuard&) = delete;
+
+   private:
+    Engine& engine_;
+  };
+
   // Resolves ShuffleOptions into the sink's spill policy for a shuffle
   // whose segment entries have type `Entry`. Unbounded budgets resolve to
   // the inert default policy; an explicit finite budget demands a backend
@@ -832,6 +894,10 @@ class Engine {
     obs::Gauge* shuffle_merge_skew = nullptr;
     // Bumped by the sink's overflow lane; scoped per engine via SpillPolicy.
     obs::Counter* shuffle_fallback_locks = nullptr;
+    // Segment-arena telemetry, refreshed at each epoch reset.
+    obs::Gauge* arena_chunks = nullptr;
+    obs::Gauge* arena_reserved_bytes = nullptr;
+    obs::Counter* arena_recycled_chunks = nullptr;
   };
 
   Options options_;
@@ -842,6 +908,11 @@ class Engine {
   std::optional<CancellationToken> cancel_;  // null = cancellation detached
   std::uint64_t stage_seq_ = 0;  // stages run since construction; injector key
   std::vector<StageInfo> stage_log_;
+  // Per-slot segment arenas (see slot_arena); indexed by stable slot id,
+  // empty when shuffle_arena is off.
+  std::vector<std::unique_ptr<detail::SegmentArena>> arenas_;
+  // recycled_chunks total already published to obs (counters are deltas).
+  std::uint64_t published_arena_recycled_ = 0;
   ObsHooks obs_;
 };
 

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "engine/arena.hpp"
 #include "engine/spill.hpp"
 #include "obs/metrics.hpp"
 
@@ -196,15 +197,65 @@ class FlatMap {
 // is a loud error, never a silent zero-entry merge.
 template <typename K, typename A>
 struct ShuffleSegment {
+  using EntryVec = ArenaVector<std::pair<K, A>>;
+
   std::size_t src = 0;
   std::size_t seq = 0;
-  std::vector<std::pair<K, A>> entries;
+  // Arena-backed when the write task ran on a slot with a SegmentArena
+  // (heap-backed otherwise — default construction, the overflow lane);
+  // either way the bytes, boundaries and order are identical.
+  EntryVec entries;
   std::uint64_t spill_id = 0;
   std::size_t spill_entries = 0;
   std::size_t spill_bytes = 0;
   bool spilled = false;
   bool consumed = false;
 };
+
+// Reusable scratch for radix_split: one bucket id per entry plus a bucket
+// histogram. Owned per write task, reused across its combiner flushes so
+// the pass-1 buffers are allocated once per stage, not once per flush.
+struct RadixScratch {
+  std::vector<std::uint32_t> bucket_of;
+  std::vector<std::size_t> counts;
+};
+
+// Radix-style two-pass hash partitioner for the shuffle write path
+// (ISSUE 9 tentpole d). Pass 1 is a tight hash-only loop that writes each
+// entry's bucket id into flat scratch and builds the per-bucket histogram
+// (no data movement, SIMD/prefetch friendly); pass 2 reserves each bucket
+// segment at its exact final size — from `arena` when one is supplied —
+// and scatters entries in input order. The scatter is stable, and the
+// bucket assignment is the same `hasher(key) % buckets` the old push_back
+// loop used, so every emitted segment is byte-for-byte what the one-pass
+// code produced; only allocation traffic changes (one exact-sized
+// allocation per non-empty bucket instead of geometric growth).
+// `emit(bucket, ArenaVector<Entry>&&)` is called in ascending bucket order
+// for non-empty buckets only.
+template <typename Entry, typename Hasher, typename Emit>
+void radix_split(std::vector<Entry>&& entries, std::size_t buckets, const Hasher& hasher,
+                 RadixScratch& scratch, SegmentArena* arena, Emit&& emit) {
+  const std::size_t n = entries.size();
+  scratch.bucket_of.resize(n);
+  scratch.counts.assign(buckets, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::uint32_t>(hasher(entries[i].first) % buckets);
+    scratch.bucket_of[i] = b;
+    ++scratch.counts[b];
+  }
+  std::vector<ArenaVector<Entry>> split;
+  split.reserve(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    split.emplace_back(ArenaAllocator<Entry>(arena));
+    if (scratch.counts[b] != 0) split.back().reserve(scratch.counts[b]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    split[scratch.bucket_of[i]].push_back(std::move(entries[i]));
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (!split[b].empty()) emit(b, std::move(split[b]));
+  }
+}
 
 // Sink configuration resolved by the Engine for one shuffle: the
 // effective budget, the backend to spill through, and the registry
@@ -353,7 +404,7 @@ class ShuffleSink {
       segment.consumed = true;
       const std::size_t count = segment.entries.size();
       for (auto& entry : segment.entries) fn(std::move(entry));
-      std::vector<Entry>().swap(segment.entries);
+      release_entries(segment);
       return count;
     }
     if constexpr (kSpillable) {
@@ -389,7 +440,7 @@ class ShuffleSink {
         }
         segment.spilled = false;
       }
-      std::vector<Entry>().swap(segment.entries);
+      release_entries(segment);
       segment.consumed = true;
     };
     for (auto& state : slots_) {
@@ -412,7 +463,18 @@ class ShuffleSink {
   }
 
  private:
-  struct SlotState {
+  // Frees a segment's entry storage through ITS OWN allocator: swapping in
+  // a plain std::vector would be UB once entries are arena-backed (unequal
+  // allocators), and for arena memory "free" is a no-op anyway — the bytes
+  // come back at the engine's epoch reset.
+  static void release_entries(Segment& segment) {
+    typename Segment::EntryVec(segment.entries.get_allocator()).swap(segment.entries);
+  }
+
+  // Cache-line aligned: each slot's state is written only by its owning
+  // worker during the write phase; without the padding, neighboring slots'
+  // push bookkeeping would false-share one line.
+  struct alignas(obs::kCacheLineBytes) SlotState {
     explicit SlotState(std::size_t buckets) : buckets(buckets) {}
     std::vector<std::vector<Segment>> buckets;
     // Bytes of this slot's resident segment entries — lets maybe_spill
@@ -442,7 +504,7 @@ class ShuffleSink {
       segment.spill_entries = segment.entries.size();
       segment.spill_bytes = encoded.size();
       segment.spilled = true;
-      std::vector<Entry>().swap(segment.entries);
+      release_entries(segment);
       state.resident_bytes -= bytes;
       resident_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
       spilled_segments_.fetch_add(1, std::memory_order_relaxed);
@@ -456,9 +518,11 @@ class ShuffleSink {
   std::vector<std::vector<Segment>> overflow_;  // [bucket], under overflow_mu_
   // Estimated resident footprint: segment entry storage across all slots
   // plus reported combiner scratch. Relaxed is fine — the value only
-  // decides when to relocate bytes, never what they are.
-  std::atomic<std::size_t> resident_bytes_{0};
-  std::atomic<std::uint64_t> spilled_segments_{0};
+  // decides when to relocate bytes, never what they are. Every slot's
+  // budgeted push RMWs this word, so it gets its own cache line away from
+  // the colder spill counters (and the members above).
+  alignas(obs::kCacheLineBytes) std::atomic<std::size_t> resident_bytes_{0};
+  alignas(obs::kCacheLineBytes) std::atomic<std::uint64_t> spilled_segments_{0};
   std::atomic<std::uint64_t> spilled_bytes_{0};
   std::atomic<std::uint64_t> restored_segments_{0};
 };

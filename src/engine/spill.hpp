@@ -228,8 +228,11 @@ struct SpillCodec<std::vector<T>, std::enable_if_t<is_spillable<T>::value>> {
 
 inline constexpr std::uint32_t kSpillMagic = 0x44535031;  // "DSP1"
 
-template <typename Entry>
-std::string encode_spill_segment(const std::vector<Entry>& entries) {
+// Accepts any contiguous Entry container (std::vector with any allocator —
+// arena-backed segment vectors encode the same bytes as heap ones).
+template <typename EntryVec>
+std::string encode_spill_segment(const EntryVec& entries) {
+  using Entry = typename EntryVec::value_type;
   std::string out;
   out.append(reinterpret_cast<const char*>(&kSpillMagic), sizeof(kSpillMagic));
   const std::uint64_t count = entries.size();

@@ -21,8 +21,46 @@ thread_local WorkerIdentity tl_worker;
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t workers, std::size_t reserve)
-    : base_(workers), active_limit_(workers) {
+// One stage wave: the single queue entry behind a batched run_indexed.
+// `next` is the only word every lane hammers, so it gets its own cache
+// line away from the mutex-guarded bookkeeping. Lane bookkeeping
+// (entered/exited/executed/retired) is guarded by the POOL's mutex_ —
+// lanes enter only while the wave sits un-retired at the queue front, and
+// retirement pops it in the same critical section, so `entered` is frozen
+// once `retired` is set and the last lane out (exited == entered after
+// retirement) owns completion.
+struct ThreadPool::Wave {
+  Wave(const std::function<void(std::size_t)>& body_in, std::size_t count_in,
+       const CancellationToken* cancel_in)
+      : body(body_in), count(count_in), cancel(cancel_in) {}
+
+  // Borrowed from the caller's frame: run_indexed blocks on the latch
+  // until every lane is done using it.
+  const std::function<void(std::size_t)>& body;
+  const std::size_t count;
+  const CancellationToken* const cancel;
+
+  // Hot: one fetch_add per index, from every lane concurrently.
+  alignas(obs::kCacheLineBytes) std::atomic<std::size_t> next{0};
+
+  // Cold bookkeeping, guarded by ThreadPool::mutex_.
+  alignas(obs::kCacheLineBytes) std::size_t entered = 0;
+  std::size_t exited = 0;
+  std::size_t executed = 0;  // bodies actually run (< count under cancel)
+  bool retired = false;      // removed from the queue; no new lanes
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  // Completion latch the caller blocks on.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+};
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t reserve, bool batched_waves)
+    : base_(workers), active_limit_(workers), batched_waves_(batched_waves),
+      executed_(workers + reserve + 1) {
   DIAS_EXPECTS(workers >= 1, "thread pool needs at least one worker");
   const std::size_t total = workers + reserve;
   threads_.reserve(total);
@@ -52,10 +90,12 @@ std::size_t ThreadPool::lease_extra_workers(std::size_t extra) {
     active = active_limit_;
   }
   // Freshly activated slots sleep on the same cv as everyone else; wake the
-  // whole pool so they re-check the gate and start pulling queued work.
+  // whole pool so they re-check the gate and start pulling queued work —
+  // including a wave already in flight at the queue front.
   if (granted > 0) cv_.notify_all();
-  if (auto* g = active_workers_gauge_.load(std::memory_order_relaxed)) {
-    g->set(static_cast<double>(active));
+  std::lock_guard m(metrics_mu_);
+  if (active_workers_gauge_ != nullptr) {
+    active_workers_gauge_->set(static_cast<double>(active));
   }
   return granted;
 }
@@ -69,8 +109,16 @@ void ThreadPool::release_extra_workers(std::size_t count) {
     active_limit_ -= count;
     active = active_limit_;
   }
-  if (auto* g = active_workers_gauge_.load(std::memory_order_relaxed)) {
-    g->set(static_cast<double>(active));
+  // A submit() that read the gate as fully-active and issued notify_one can
+  // race this release: its single wakeup may land on a slot this call just
+  // gated, which re-checks the predicate and goes back to sleep, stranding
+  // the queued task with every base worker still asleep. Waking the pool
+  // after lowering the gate closes that window — any active worker re-checks
+  // the queue here.
+  if (count > 0) cv_.notify_all();
+  std::lock_guard m(metrics_mu_);
+  if (active_workers_gauge_ != nullptr) {
+    active_workers_gauge_->set(static_cast<double>(active));
   }
 }
 
@@ -84,32 +132,37 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  // Busy/completed metrics are updated inside the wrapper, *before* the
-  // future is fulfilled: callers may detach metrics and destroy the
-  // registry as soon as their futures resolve, so no metric pointer may be
-  // touched after the promise is set (the worker loop's epilogue would
-  // race that teardown).
+  // The accounting epilogue runs *before* the future is fulfilled: callers
+  // may detach metrics and destroy the registry as soon as their futures
+  // resolve, so no registry handle may be touched after the promise is set
+  // (publication is ordered before it).
   std::packaged_task<void()> packaged([this, fn = std::move(task)] {
-    auto* busy = busy_workers_.load(std::memory_order_relaxed);
-    if (busy) busy->add(1.0);
+    busy_count_.fetch_add(1, std::memory_order_relaxed);
+    publish_metrics();  // busy gauge reflects the task while it runs
+    const std::size_t slot = current_slot();
+    auto epilogue = [this, slot] {
+      note_executed(slot, 1);
+      busy_count_.fetch_sub(1, std::memory_order_relaxed);
+      publish_metrics();
+    };
     try {
       fn();
     } catch (...) {
-      if (busy) busy->add(-1.0);
-      if (auto* c = tasks_completed_.load(std::memory_order_relaxed)) c->add();
+      epilogue();
       throw;
     }
-    if (busy) busy->add(-1.0);
-    if (auto* c = tasks_completed_.load(std::memory_order_relaxed)) c->add();
+    epilogue();
   });
   auto future = packaged.get_future();
-  std::size_t depth;
   bool gated;
   {
     std::lock_guard lock(mutex_);
     DIAS_EXPECTS(!stopping_, "submit on a stopping thread pool");
-    queue_.push(std::move(packaged));
-    depth = queue_.size();
+    // Count before the task becomes runnable, so a mid-storm snapshot can
+    // never observe completed > submitted.
+    submitted_total_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(Item{std::move(packaged), nullptr});
+    queue_size_.store(queue_.size(), std::memory_order_relaxed);
     gated = active_limit_ < threads_.size();
   }
   // With dormant slots, notify_one could land on a gated worker that goes
@@ -120,38 +173,115 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   } else {
     cv_.notify_one();
   }
-  if (auto* c = tasks_submitted_.load(std::memory_order_relaxed)) c->add();
-  if (auto* g = queue_depth_.load(std::memory_order_relaxed)) {
-    g->set(static_cast<double>(depth));
-  }
+  publish_metrics();
   return future;
 }
 
+void ThreadPool::publish_metrics() {
+  std::lock_guard lock(metrics_mu_);
+  publish_metrics_locked();
+}
+
+void ThreadPool::publish_metrics_locked() {
+  if (tasks_submitted_ == nullptr) return;
+  const std::uint64_t submitted = submitted_total_.load(std::memory_order_relaxed);
+  const std::uint64_t completed = executed_.value();
+  const std::uint64_t waves = waves_total_.load(std::memory_order_relaxed);
+  tasks_submitted_->add(submitted - published_submitted_);
+  tasks_completed_->add(completed - published_completed_);
+  waves_counter_->add(waves - published_waves_);
+  published_submitted_ = submitted;
+  published_completed_ = completed;
+  published_waves_ = waves;
+  queue_depth_->set(static_cast<double>(queue_size_.load(std::memory_order_relaxed)));
+  busy_workers_->set(static_cast<double>(busy_count_.load(std::memory_order_relaxed)));
+}
+
 void ThreadPool::attach_metrics(obs::Registry& registry, const std::string& prefix) {
-  registry.gauge(prefix + ".workers").set(static_cast<double>(workers()));
-  auto& active = registry.gauge(prefix + ".active_workers");
-  active.set(static_cast<double>(active_workers()));
-  tasks_submitted_.store(&registry.counter(prefix + ".tasks_submitted"),
-                         std::memory_order_relaxed);
-  tasks_completed_.store(&registry.counter(prefix + ".tasks_completed"),
-                         std::memory_order_relaxed);
-  queue_depth_.store(&registry.gauge(prefix + ".queue_depth"),
-                     std::memory_order_relaxed);
-  busy_workers_.store(&registry.gauge(prefix + ".busy_workers"),
-                      std::memory_order_relaxed);
-  active_workers_gauge_.store(&active, std::memory_order_relaxed);
+  auto& workers_gauge = registry.gauge(prefix + ".workers");
+  auto& active_gauge = registry.gauge(prefix + ".active_workers");
+  auto& submitted = registry.counter(prefix + ".tasks_submitted");
+  auto& completed = registry.counter(prefix + ".tasks_completed");
+  auto& waves = registry.counter(prefix + ".waves");
+  auto& depth_gauge = registry.gauge(prefix + ".queue_depth");
+  auto& busy_gauge = registry.gauge(prefix + ".busy_workers");
+  const double active_now = static_cast<double>(active_workers());
+  std::lock_guard lock(metrics_mu_);
+  tasks_submitted_ = &submitted;
+  tasks_completed_ = &completed;
+  waves_counter_ = &waves;
+  queue_depth_ = &depth_gauge;
+  busy_workers_ = &busy_gauge;
+  active_workers_gauge_ = &active_gauge;
+  workers_gauge.set(static_cast<double>(workers()));
+  active_gauge.set(active_now);
+  // Re-base against the counters' current values: a fresh registry gets
+  // the pool's full history, re-attaching the same registry adds only the
+  // delta — never a double count, whatever ran before attach.
+  published_submitted_ = submitted.value();
+  published_completed_ = completed.value();
+  published_waves_ = waves.value();
+  publish_metrics_locked();
+}
+
+void ThreadPool::detach_metrics() {
+  std::lock_guard lock(metrics_mu_);
+  tasks_submitted_ = nullptr;
+  tasks_completed_ = nullptr;
+  waves_counter_ = nullptr;
+  queue_depth_ = nullptr;
+  busy_workers_ = nullptr;
+  active_workers_gauge_ = nullptr;
 }
 
 void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::size_t)>& task,
                              const CancellationToken* cancel) {
   if (count == 0) return;
-  // One index-stealing lane per worker *slot*: each lane pulls the next
-  // index off a shared atomic counter until the range is exhausted (or the
-  // cancellation token fires). Every started index runs even when some
-  // throw; the first observed error is rethrown at the end. Lanes beyond
-  // the active limit wait in the queue — if a lease activates more slots
-  // mid-stage they start stealing immediately, and at stage tail they find
-  // the range exhausted and return.
+  if (!batched_waves_) {
+    run_indexed_legacy(count, task, cancel);
+    return;
+  }
+  auto wave = std::make_shared<Wave>(task, count, cancel);
+  {
+    std::lock_guard lock(mutex_);
+    DIAS_EXPECTS(!stopping_, "run_indexed on a stopping thread pool");
+    // Count before the wave becomes joinable, so a mid-storm snapshot can
+    // never observe completed > submitted.
+    submitted_total_.fetch_add(count, std::memory_order_relaxed);
+    waves_total_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(Item{{}, wave});
+    queue_size_.store(queue_.size(), std::memory_order_relaxed);
+  }
+  // Waves want every active worker, dormant-slot race included.
+  cv_.notify_all();
+  publish_metrics();
+  // A worker of this pool calling run_indexed lends its own slot as a lane
+  // (nested stages can never deadlock a small pool); foreign callers just
+  // wait — bodies must only run on slotted workers.
+  if (tl_worker.pool == this) {
+    bool entered = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (!wave->retired) {
+        ++wave->entered;
+        entered = true;
+      }
+    }
+    if (entered) run_wave_lane(wave, tl_worker.slot);
+  }
+  {
+    std::unique_lock lock(wave->done_mu);
+    wave->done_cv.wait(lock, [&] { return wave->done; });
+  }
+  if (wave->first_error) std::rethrow_exception(wave->first_error);
+}
+
+void ThreadPool::run_indexed_legacy(std::size_t count,
+                                    const std::function<void(std::size_t)>& task,
+                                    const CancellationToken* cancel) {
+  // One index-stealing lane per worker *slot*, each a full packaged task:
+  // the pre-wave submission path, kept as the determinism battery's
+  // reference and for pools constructed with batched_waves = false.
   const std::size_t lanes = std::min(count, workers());
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
@@ -177,6 +307,53 @@ void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::si
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::run_wave_lane(const std::shared_ptr<Wave>& wave, std::size_t slot) {
+  busy_count_.fetch_add(1, std::memory_order_relaxed);
+  publish_metrics();  // busy gauge reflects the lane while it runs
+  std::size_t executed = 0;
+  for (;;) {
+    if (wave->cancel != nullptr && wave->cancel->cancelled()) break;
+    const std::size_t i = wave->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= wave->count) break;
+    try {
+      wave->body(i);
+    } catch (...) {
+      std::lock_guard lock(wave->error_mu);
+      if (!wave->first_error) wave->first_error = std::current_exception();
+    }
+    ++executed;
+  }
+  note_executed(slot, executed);
+  busy_count_.fetch_sub(1, std::memory_order_relaxed);
+  bool complete = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (!wave->retired) {
+      wave->retired = true;
+      // An un-retired wave is always the queue front: plain tasks behind
+      // it stay queued until the wave's range is drained, and retirement
+      // pops it in this same critical section so no lane can enter late.
+      if (!queue_.empty() && queue_.front().wave.get() == wave.get()) {
+        queue_.pop_front();
+        queue_size_.store(queue_.size(), std::memory_order_relaxed);
+      }
+    }
+    wave->executed += executed;
+    ++wave->exited;
+    complete = wave->retired && wave->exited == wave->entered;
+  }
+  if (complete) {
+    // Publish before tripping the latch: the caller may tear down the
+    // registry as soon as run_indexed returns.
+    publish_metrics();
+    {
+      std::lock_guard lock(wave->done_mu);
+      wave->done = true;
+    }
+    wave->done_cv.notify_all();
+  }
+}
+
 std::size_t ThreadPool::pending() {
   std::lock_guard lock(mutex_);
   return queue_.size();
@@ -186,25 +363,45 @@ void ThreadPool::worker_loop(std::size_t slot) {
   tl_worker = WorkerIdentity{this, slot};
   for (;;) {
     std::packaged_task<void()> task;
-    std::size_t depth;
+    std::shared_ptr<Wave> wave;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this, slot] {
         return stopping_ || (slot < active_limit_ && !queue_.empty());
       });
       if (queue_.empty() || slot >= active_limit_) {
-        // Only reachable when stopping: active workers drain the queue,
-        // gated workers leave whatever is queued to the active ones.
+        // Only reachable when stopping: active workers drain the queue
+        // (plain tasks and waves alike), gated workers leave whatever is
+        // queued to the active ones.
         return;
       }
-      task = std::move(queue_.front());
-      queue_.pop();
-      depth = queue_.size();
+      Item& front = queue_.front();
+      if (front.wave != nullptr) {
+        if (front.wave->retired) {
+          // Already drained — possible when a nested wave was enqueued
+          // behind its outer wave and finished (caller lane) before ever
+          // reaching the front. Retirement only pops a wave that IS the
+          // front, so the leftover descriptor is discarded here; entering
+          // it would break the entered-freezes-after-retire invariant.
+          queue_.pop_front();
+          queue_size_.store(queue_.size(), std::memory_order_relaxed);
+          continue;
+        }
+        // Join the wave in place: it stays at the front so every active
+        // worker (and any slot a lease activates mid-wave) can enter.
+        wave = front.wave;
+        ++wave->entered;
+      } else {
+        task = std::move(front.task);
+        queue_.pop_front();
+        queue_size_.store(queue_.size(), std::memory_order_relaxed);
+      }
     }
-    if (auto* g = queue_depth_.load(std::memory_order_relaxed)) {
-      g->set(static_cast<double>(depth));
+    if (wave != nullptr) {
+      run_wave_lane(wave, slot);
+    } else {
+      task();
     }
-    task();
   }
 }
 

@@ -136,6 +136,14 @@ HistogramMetric& Registry::histogram(const std::string& name, double lo, double 
   return *slot;
 }
 
+ShardedCounter& Registry::sharded_counter(const std::string& name, std::size_t shards) {
+  std::lock_guard lock(mu_);
+  check_kind(name, Kind::kShardedCounter);
+  auto& slot = sharded_[name];
+  if (!slot) slot = std::make_unique<ShardedCounter>(shards);
+  return *slot;
+}
+
 const Counter* Registry::find_counter(const std::string& name) const {
   std::lock_guard lock(mu_);
   const auto it = counters_.find(name);
@@ -154,11 +162,22 @@ const HistogramMetric* Registry::find_histogram(const std::string& name) const {
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+const ShardedCounter* Registry::find_sharded_counter(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = sharded_.find(name);
+  return it == sharded_.end() ? nullptr : it->second.get();
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard lock(mu_);
-  snap.counters.reserve(counters_.size());
+  snap.counters.reserve(counters_.size() + sharded_.size());
   for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
+  // Sharded counters export as one folded entry; re-sort so the combined
+  // counter list stays name-ordered (JSON output is diffed in tests).
+  for (const auto& [name, c] : sharded_) snap.counters.push_back({name, c->value()});
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
   snap.gauges.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
   snap.histograms.reserve(histograms_.size());

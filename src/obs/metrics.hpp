@@ -54,6 +54,45 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// Cache-line size used to pad per-shard / per-worker-slot hot counters.
+// 64 bytes covers x86-64 and most AArch64 parts; over-padding wastes a few
+// bytes, under-padding would silently reintroduce false sharing.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Cache-line-padded sharded counter for per-worker hot paths: each shard
+// lives on its own cache line, so writers that stick to their own shard
+// (worker slot id) never bounce a line between cores the way a single
+// Counter's fetch_add does. value() folds the shards; reads are relaxed,
+// so a concurrent fold is a consistent-enough snapshot for export, not a
+// linearizable total. Out-of-range shard ids wrap instead of faulting —
+// a foreign thread with no slot can always use `shards() - 1`.
+class ShardedCounter {
+ public:
+  explicit ShardedCounter(std::size_t shards) : cells_(shards == 0 ? 1 : shards) {}
+
+  std::size_t shards() const { return cells_.size(); }
+
+  void add(std::size_t shard, std::uint64_t n = 1) {
+    cells_[shard % cells_.size()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t shard_value(std::size_t shard) const {
+    return cells_[shard % cells_.size()].v.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) total += cell.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::vector<Cell> cells_;
+};
+
 // Distribution metric: exact moments (Welford recurrence) + binned
 // quantiles (fixed bins over [lo, hi), clamped like dias::Histogram).
 //
@@ -148,6 +187,10 @@ class Registry {
   Gauge& gauge(const std::string& name);
   HistogramMetric& histogram(const std::string& name, double lo, double hi,
                              std::size_t bins);
+  // A sharded counter's shard count is fixed by its first registration
+  // (later calls return the same metric regardless of `shards`). Snapshots
+  // fold a sharded counter into a single counter entry under its name.
+  ShardedCounter& sharded_counter(const std::string& name, std::size_t shards);
 
   // Non-registering lookups: nullptr when the name is absent or is a
   // different kind. Lets a sampler (the overload controller reading the
@@ -156,12 +199,13 @@ class Registry {
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const HistogramMetric* find_histogram(const std::string& name) const;
+  const ShardedCounter* find_sharded_counter(const std::string& name) const;
 
   MetricsSnapshot snapshot() const;
   std::string to_json() const { return snapshot().to_json(); }
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kShardedCounter };
   void check_kind(const std::string& name, Kind kind);
 
   mutable std::mutex mu_;
@@ -169,6 +213,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>> sharded_;
 };
 
 }  // namespace dias::obs

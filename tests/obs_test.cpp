@@ -254,6 +254,109 @@ TEST(ObsIntegrationTest, ThreadPoolMetricsCountTasks) {
   EXPECT_DOUBLE_EQ(reg.gauge("pool.workers").value(), 3.0);
 }
 
+// --- sharded counter (ISSUE 9) ---------------------------------------------
+
+TEST(ShardedCounterTest, FoldsAcrossShards) {
+  ShardedCounter c(4);
+  EXPECT_EQ(c.shards(), 4u);
+  c.add(0, 5);
+  c.add(1);
+  c.add(3, 10);
+  EXPECT_EQ(c.shard_value(0), 5u);
+  EXPECT_EQ(c.shard_value(1), 1u);
+  EXPECT_EQ(c.shard_value(2), 0u);
+  EXPECT_EQ(c.value(), 16u);
+}
+
+TEST(ShardedCounterTest, OutOfRangeShardWrapsInsteadOfCorrupting) {
+  ShardedCounter c(3);
+  c.add(7, 2);  // 7 % 3 == 1
+  EXPECT_EQ(c.shard_value(1), 2u);
+  EXPECT_EQ(c.value(), 2u);
+  ShardedCounter zero(0);  // degenerate: clamps to one shard
+  zero.add(42);
+  EXPECT_EQ(zero.value(), 1u);
+}
+
+TEST(ShardedCounterTest, ConcurrentAddsAreExact) {
+  ShardedCounter c(8);
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < kAdds; ++i) c.add(static_cast<std::size_t>(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(RegistryTest, ShardedCounterFoldsIntoSnapshot) {
+  Registry reg;
+  ShardedCounter& c = reg.sharded_counter("pool.executed", 4);
+  c.add(0, 7);
+  c.add(2, 3);
+  reg.counter("plain").add(1);
+  EXPECT_EQ(reg.find_sharded_counter("pool.executed"), &c);
+  EXPECT_EQ(reg.find_sharded_counter("missing"), nullptr);
+  const auto snap = reg.snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "pool.executed") {
+      found = true;
+      EXPECT_EQ(value, 10u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Snapshot counters stay name-sorted with the folded entries merged in.
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LE(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  // Name collisions across kinds still throw.
+  EXPECT_THROW(reg.counter("pool.executed"), dias::precondition_error);
+  EXPECT_THROW(reg.sharded_counter("plain", 2), dias::precondition_error);
+}
+
+// Attaching the registry in the middle of a submit/wave storm must be
+// race-safe AND exact-after-quiesce: the pool re-bases and publishes its
+// full internal totals, so the old attach-before-submit footgun is gone.
+TEST(ObsIntegrationTest, AttachMetricsMidStormIsExactAfterQuiesce) {
+  Registry reg;
+  engine::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::atomic<bool> stop{false};
+  std::thread submitter([&] {
+    while (!stop.load()) {
+      pool.submit([&ran] { ++ran; }).get();
+    }
+  });
+  std::thread indexer([&] {
+    while (!stop.load()) {
+      pool.run_indexed(16, [&ran](std::size_t) { ++ran; });
+    }
+  });
+  // Let the storm run un-attached, then attach mid-flight.
+  while (ran.load() < 500) std::this_thread::yield();
+  pool.attach_metrics(reg, "pool");
+  while (ran.load() < 1500) std::this_thread::yield();
+  stop = true;
+  submitter.join();
+  indexer.join();
+  // Quiesced: every published count matches the pool's internal truth.
+  EXPECT_EQ(reg.counter("pool.tasks_completed").value(),
+            static_cast<std::uint64_t>(ran.load()));
+  EXPECT_EQ(reg.counter("pool.tasks_completed").value(), pool.tasks_executed());
+  EXPECT_EQ(reg.counter("pool.tasks_submitted").value(),
+            reg.counter("pool.tasks_completed").value());
+  EXPECT_GT(reg.counter("pool.waves").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("pool.queue_depth").value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("pool.busy_workers").value(), 0.0);
+  // Re-attaching must not double-count history.
+  pool.attach_metrics(reg, "pool");
+  EXPECT_EQ(reg.counter("pool.tasks_completed").value(), pool.tasks_executed());
+}
+
 // --- engine integration -----------------------------------------------------
 
 engine::Engine::Options engine_opts(double drop = 0.0) {

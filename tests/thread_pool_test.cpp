@@ -5,8 +5,10 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -338,6 +340,155 @@ TEST(ThreadPoolStressTest, LeaseReleaseChurnWhileRunning) {
   submitter.join();
   EXPECT_EQ(indexed_done.load(), 30 * 64);
   EXPECT_GT(submitted_done.load(), 0);
+}
+
+// --- wave submission (ISSUE 9): shutdown / cancellation / lease races ------
+
+// Destroying the pool while a wave is still queued behind blocked workers
+// must drain the wave, not drop it: every index runs exactly once and the
+// stage caller unblocks.
+TEST(WaveStressTest, ShutdownWithPendingWaveDrainsAllIndices) {
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<std::uint8_t>> runs(kCount);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::optional<ThreadPool> pool;
+  pool.emplace(2);
+  // Park both workers so the wave cannot start.
+  std::vector<std::future<void>> blockers;
+  for (int i = 0; i < 2; ++i) blockers.push_back(pool->submit([open] { open.wait(); }));
+  while (pool->pending() > 0) std::this_thread::yield();
+  std::thread stage([&] {
+    pool->run_indexed(kCount, [&](std::size_t i) { runs[i].fetch_add(1); });
+  });
+  // One queue entry for the whole 64-index wave.
+  while (pool->pending() == 0) std::this_thread::yield();
+  EXPECT_EQ(pool->pending(), 1u);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.set_value();
+  });
+  pool.reset();  // destructor races the release; the wave must still drain
+  stage.join();
+  releaser.join();
+  for (auto& f : blockers) f.get();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(runs[i].load(), 1u) << "index " << i;
+  }
+}
+
+// Cancellation mid-wave: started bodies finish, no index runs twice, the
+// abandoned remainder never runs, and the workers come free for new work.
+TEST(WaveStressTest, CancellationMidWaveIsExactlyOncePerStartedIndex) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 5000;
+  std::vector<std::atomic<std::uint8_t>> runs(kCount);
+  std::atomic<int> executed{0};
+  CancellationToken token;
+  pool.run_indexed(
+      kCount,
+      [&](std::size_t i) {
+        if (executed.fetch_add(1) == 200) token.request_cancel();
+        runs[i].fetch_add(1);
+      },
+      &token);
+  int total = 0;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const int n = runs[i].load();
+    ASSERT_LE(n, 1) << "index " << i << " ran twice";
+    total += n;
+  }
+  EXPECT_EQ(total, executed.load());
+  EXPECT_LT(total, static_cast<int>(kCount));  // the tail really was abandoned
+  EXPECT_GE(total, 201);                       // everything started did finish
+  // The pool is fully reusable after an abandoned wave.
+  std::atomic<int> after{0};
+  pool.run_indexed(100, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 100);
+}
+
+// A lease granted mid-wave must wake the reserve into the SAME wave (no
+// lost wakeup) without ever double-running an index.
+TEST(WaveStressTest, LeaseGrowthMidWaveNoLostWakeupNoDoubleRun) {
+  ThreadPool pool(1, 3);
+  constexpr std::size_t kCount = 256;
+  std::vector<std::atomic<std::uint8_t>> runs(kCount);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> started{0};
+  std::thread stage([&] {
+    pool.run_indexed(kCount, [&](std::size_t i) {
+      ++started;
+      const int now = ++concurrent;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      runs[i].fetch_add(1);
+      --concurrent;
+    });
+  });
+  while (started.load() == 0) std::this_thread::yield();
+  EXPECT_EQ(pool.lease_extra_workers(3), 3u);
+  stage.join();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(runs[i].load(), 1u) << "index " << i;
+  }
+  // The reserve really joined the in-flight wave.
+  EXPECT_GE(peak.load(), 2);
+  pool.release_extra_workers(3);
+}
+
+// A stage body calling run_indexed on its own pool must never deadlock:
+// the worker lends its slot to the nested wave (caller-lane participation),
+// so progress is guaranteed even with every worker inside the outer wave.
+TEST(WaveStressTest, NestedRunIndexedOnOwnPoolCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.run_indexed(4, [&](std::size_t) {
+    pool.run_indexed(8, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+// The legacy one-submit-per-lane path stays available behind the ctor flag
+// and keeps the same contract (the scale battery compares result bytes of
+// both modes; this pins the executable behavior).
+TEST(WaveStressTest, LegacySubmissionPathKeepsContract) {
+  ThreadPool pool(4, 0, /*batched_waves=*/false);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<std::uint8_t>> runs(kCount);
+  pool.run_indexed(kCount, [&](std::size_t i) { runs[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(runs[i].load(), 1u) << "index " << i;
+  }
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run_indexed(100,
+                                [&](std::size_t i) {
+                                  if (i == 13) throw std::runtime_error("boom");
+                                  ++ran;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 99);
+}
+
+// Many concurrent waves from many threads: waves queue FIFO, each retires
+// exactly once, and executed-task accounting stays exact.
+TEST(WaveStressTest, ConcurrentWavesFromManyThreadsAllComplete) {
+  ThreadPool pool(4);
+  const std::uint64_t before = pool.tasks_executed();
+  std::atomic<int> total{0};
+  std::vector<std::thread> stages;
+  for (int t = 0; t < 6; ++t) {
+    stages.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.run_indexed(37, [&](std::size_t) { ++total; });
+      }
+    });
+  }
+  for (auto& s : stages) s.join();
+  EXPECT_EQ(total.load(), 6 * 20 * 37);
+  EXPECT_EQ(pool.tasks_executed() - before, 6u * 20u * 37u);
 }
 
 }  // namespace
