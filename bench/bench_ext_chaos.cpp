@@ -1,0 +1,158 @@
+// Extension: disabled-chaos overhead gate (ISSUE 10 satellite e).
+//
+// The chaos plane adds a hook to every hot subsystem (task bodies, wave
+// lanes, spill/storage I/O, admission, arena allocation). Its contract is
+// that a *disarmed* hook costs one relaxed atomic load and a predictable
+// branch — cheap enough that shipping the hooks always-on is free. This
+// bench verifies that on the spill-shuffle hot path, the densest hook
+// consumer, and fails when the bound is violated.
+//
+// Wall-clock A/B on a noisy one-core CI box cannot resolve a <1% delta,
+// so the gate is measured structurally instead:
+//
+//   E = hook crossings on the workload, counted by arming every point at
+//       rate 0 (decisions run, nothing ever fires) and reading the
+//       plane's evaluation census;
+//   c = per-call cost of a disarmed hook, microbenched over 10M calls;
+//   W = disarmed workload wall time (min over reps).
+//
+// Gate: E * c <= 1% of W. The A/B wall times are printed for reference.
+//
+// Run with --quick in CI for a smaller input and fewer reps.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/scenarios.hpp"
+#include "chaos/chaos.hpp"
+#include "engine/engine.hpp"
+#include "storage/block_store.hpp"
+#include "storage/spill_store.hpp"
+
+namespace {
+
+using namespace dias;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Config {
+  bool quick = false;
+  std::size_t records() const { return quick ? (1u << 18) : (1u << 20); }
+  int reps() const { return quick ? 3 : 5; }
+};
+
+// Spilled reduce_by_key: every rep crosses the engine-task, spill-write,
+// storage-write, spill-open/read and storage-read hooks.
+double run_shuffle(const Config& cfg, const std::filesystem::path& root) {
+  storage::BlockStoreOptions store_opts;
+  store_opts.root = root;
+  store_opts.block_bytes = 1 << 16;
+  storage::BlockStore store(store_opts);
+  storage::BlockStoreSpill spill(store, "bench");
+
+  engine::Engine::Options opts;
+  opts.workers = 4;
+  engine::Engine eng(opts);
+  eng.set_spill_backend(&spill);
+
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> records;
+  records.reserve(cfg.records());
+  for (std::size_t i = 0; i < cfg.records(); ++i) {
+    records.emplace_back(static_cast<std::uint32_t>(i % 4096), 1);
+  }
+  const auto ds = eng.parallelize(std::move(records), 32);
+  engine::ShuffleOptions shuffle;
+  shuffle.target_buffer_bytes = 1 << 15;
+  shuffle.memory_budget_bytes = 1 << 18;  // forces spilling
+  const double t0 = now_s();
+  const auto reduced = eng.reduce_by_key(
+      ds, [](std::uint64_t a, std::uint64_t b) { return a + b; }, 8, {}, shuffle);
+  const double wall = now_s() - t0;
+  if (reduced.total_size() != 4096) std::abort();  // wrong answer: no gate at all
+  return wall;
+}
+
+double min_wall(const Config& cfg, const std::filesystem::path& root, const char* tag) {
+  double best = 1e300;
+  for (int r = 0; r < cfg.reps(); ++r) {
+    const auto dir = root / (std::string(tag) + "-" + std::to_string(r));
+    best = std::min(best, run_shuffle(cfg, dir));
+    std::filesystem::remove_all(dir);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) cfg.quick = true;
+  }
+  bench::print_header("Extension: chaos plane disabled-overhead gate");
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("dias_bench_chaos_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+
+  auto& plane = chaos::ChaosPlane::instance();
+  plane.clear();
+
+  // 1. Disarmed wall time (the shipping configuration).
+  const double disarmed_s = min_wall(cfg, root, "off");
+
+  // 2. Hook census: arm everything at rate 0 so each crossing runs a full
+  //    decision but nothing ever fires, then count the evaluations.
+  chaos::PointSpec zero;
+  zero.rate = 0.0;
+  const std::uint64_t evals_before = plane.evaluations();
+  plane.install(chaos::ChaosSchedule::uniform(1, zero));
+  const double armed_s = min_wall(cfg, root, "armed");
+  plane.clear();
+  const std::uint64_t crossings =
+      (plane.evaluations() - evals_before) / static_cast<std::uint64_t>(cfg.reps());
+
+  // 3. Disarmed per-hook cost: the relaxed load + branch every call site
+  //    pays when chaos is off.
+  chaos::InjectionPoint& probe = plane.point("bench.disarmed-probe");
+  constexpr std::uint64_t kProbeCalls = 10'000'000;
+  std::uint64_t sink = 0;
+  const double p0 = now_s();
+  for (std::uint64_t i = 0; i < kProbeCalls; ++i) {
+    sink += probe.armed() ? 1 : 0;
+  }
+  const double per_hook_s = (now_s() - p0) / static_cast<double>(kProbeCalls);
+  if (sink != 0) std::abort();  // probe must stay disarmed
+
+  const double overhead_s = static_cast<double>(crossings) * per_hook_s;
+  const double overhead_pct = 100.0 * overhead_s / disarmed_s;
+  const double ab_pct = 100.0 * (armed_s - disarmed_s) / disarmed_s;
+
+  std::printf("  %zu records, %d reps, min-of-reps walls\n\n",
+              cfg.records(), cfg.reps());
+  std::printf("  disarmed shuffle wall           %10.2f ms\n", 1000.0 * disarmed_s);
+  std::printf("  armed rate-0 shuffle wall       %10.2f ms  (%+.1f%% vs disarmed; "
+              "reference only, full decisions run)\n",
+              1000.0 * armed_s, ab_pct);
+  std::printf("  hook crossings per run          %10llu\n",
+              static_cast<unsigned long long>(crossings));
+  std::printf("  disarmed cost per hook          %10.2f ns\n", 1e9 * per_hook_s);
+  std::printf("  disabled-chaos overhead         %10.4f%% of the hot path\n",
+              overhead_pct);
+  std::printf("\n  BENCH {\"bench\":\"ext_chaos\",\"crossings\":%llu,"
+              "\"hook_ns\":%.3f,\"wall_ms\":%.2f,\"overhead_pct\":%.4f}\n",
+              static_cast<unsigned long long>(crossings), 1e9 * per_hook_s,
+              1000.0 * disarmed_s, overhead_pct);
+  std::printf("  budget: disabled overhead must stay under 1%%  [%s]\n",
+              overhead_pct < 1.0 ? "OK" : "OVER BUDGET");
+  std::filesystem::remove_all(root);
+  return overhead_pct < 1.0 ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analytics/word_count.hpp"
+#include "chaos/chaos.hpp"
 #include "core/controller.hpp"
 #include "core/dispatcher.hpp"
 #include "engine/engine.hpp"
@@ -66,6 +67,15 @@ void usage(const char* prog) {
       "  --fault-all-stages            inject into non-droppable stages too (a dead\n"
       "                                task there aborts the job with TaskFailedError)\n"
       "  --fault-seed <n>              injector seed (default 99)\n"
+      "  --chaos-seed <n>              chaos plane seed (default 0); same seed =>\n"
+      "                                the same injection decisions\n"
+      "  --chaos-rate <p>              arm every chaos injection point with throw\n"
+      "                                faults at rate p (spill writes degrade via\n"
+      "                                the circuit breaker, tasks retry)\n"
+      "  --chaos-points <spec>         full chaos grammar, e.g.\n"
+      "                                'spill.write=throw:0.2,pool.wave=stall:0.05:20'\n"
+      "                                (shapes: throw|stall|corrupt; selectors may\n"
+      "                                end in '*')\n"
       "  --shuffle-budget-bytes <n>    hard cap on resident shuffle memory; overflow\n"
       "                                spills through a BlockStore and the results\n"
       "                                stay byte-identical (0 = unbounded, default)\n"
@@ -643,6 +653,9 @@ int main(int argc, char** argv) {
   fault.injection.straggler_delay_ms = 50.0;
   fault.injection.droppable_only = true;
   fault.injection.seed = 99;
+  std::uint64_t chaos_seed = 0;
+  double chaos_rate = 0.0;
+  std::string chaos_points;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -758,9 +771,37 @@ int main(int argc, char** argv) {
       fault.injection.droppable_only = false;
     } else if (arg == "--fault-seed") {
       fault.injection.seed = std::stoull(next());
+    } else if (arg == "--chaos-seed") {
+      chaos_seed = std::stoull(next());
+    } else if (arg == "--chaos-rate") {
+      chaos_rate = std::stod(next());
+    } else if (arg == "--chaos-points") {
+      chaos_points = next();
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (chaos_rate > 0.0 || !chaos_points.empty()) {
+    try {
+      chaos::ChaosSchedule schedule;
+      schedule.seed = chaos_seed;
+      if (!chaos_points.empty()) {
+        schedule.points = chaos::ChaosSchedule::parse_points(chaos_points);
+      } else {
+        // --chaos-rate alone: arm every injection point with throws.
+        chaos::PointSpec spec;
+        spec.shape = chaos::Shape::kThrow;
+        spec.rate = chaos_rate;
+        schedule.points.emplace_back("*", spec);
+      }
+      chaos::ChaosPlane::instance().install(schedule);
+      std::fprintf(stderr, "chaos: armed (seed %llu)\n",
+                   static_cast<unsigned long long>(chaos_seed));
+    } catch (const dias::config_error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
   }

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "chaos/chaos.hpp"
 #include "common/error.hpp"
 #include "engine/thread_pool.hpp"
 
@@ -418,6 +419,27 @@ Admission DiasDispatcher::submit(std::size_t priority, TenantId tenant, ContextJ
   pending.declared_memory = memory_bytes;
   pending.record.arrival_s = now_s();
   pending.lane = pick_lane(tenant);
+
+  // dispatcher.admit chaos point. kStall delays admission (bounded — no
+  // token exists yet at this point); kThrow sheds the job through the same
+  // terminal path as the tenant ladder, so chaos never leaks a job that
+  // ends in no JobOutcome.
+  static chaos::InjectionPoint& chaos_admit =
+      chaos::ChaosPlane::instance().point(chaos::points::kDispatcherAdmit);
+  if (chaos_admit.armed()) {
+    try {
+      chaos_admit.inject(priority, pending.lane, chaos_admit.next_op());
+    } catch (const chaos::ChaosError&) {
+      Lane& lane = *lanes_[pending.lane];
+      std::lock_guard guard(lane.mutex);
+      DIAS_EXPECTS(!stopping_.load(std::memory_order_seq_cst),
+                   "submit on a stopping dispatcher");
+      stamp_arrival_locked(lane, pending);
+      finish_without_running_locked(lane, std::move(pending), JobOutcome::kShed,
+                                    "shed by chaos injection at admission");
+      return Admission::kRejected;
+    }
+  }
 
   if (memory_bytes > 0) seed_memory_profile(priority, memory_bytes);
 

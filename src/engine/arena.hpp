@@ -47,6 +47,8 @@
 #include <sanitizer/asan_interface.h>
 #endif
 
+#include "chaos/chaos.hpp"
+
 namespace dias::engine::detail {
 
 inline void arena_poison(const void* p, std::size_t n) {
@@ -88,6 +90,14 @@ class SegmentArena {
   SegmentArena& operator=(const SegmentArena&) = delete;
 
   void* allocate(std::size_t bytes, std::size_t align) {
+    // engine.arena.alloc chaos point. Allocations have no scheduling-
+    // independent identity, so the coordinate is a per-point op counter;
+    // a kThrow here surfaces as a task failure the engine's FT path
+    // absorbs (chaos arming forces that path). Disarmed cost: one
+    // relaxed load behind the static-init guard.
+    static chaos::InjectionPoint& chaos_alloc =
+        chaos::ChaosPlane::instance().point(chaos::points::kArenaAlloc);
+    if (chaos_alloc.armed()) chaos_alloc.inject(chaos_alloc.next_op(), bytes);
     if (align < kMinAlign) align = kMinAlign;
     while (active_ < chunks_.size()) {
       Chunk& chunk = chunks_[active_];

@@ -1,6 +1,8 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+
+#include "chaos/chaos.hpp"
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -95,6 +97,14 @@ void Engine::attach_observability(obs::Registry* metrics, obs::Tracer* tracer) {
     // overflow lane bumps this engine's counter and no other; the raw
     // shuffle_fallback_locks() atomic keeps counting regardless.
     obs_.shuffle_fallback_locks = &metrics->counter("engine.shuffle.fallback_locks");
+    obs_.spill_breaker_state = &metrics->gauge("engine.spill.breaker_state");
+    obs_.spill_breaker_trips = &metrics->counter("engine.spill.breaker_trips");
+    obs_.spill_write_failures = &metrics->counter("engine.spill.write_failures");
+    obs_.spill_fallback_segments = &metrics->counter("engine.spill.fallback_segments");
+    // Re-base like the arena counter: re-attaching the same registry adds
+    // only deltas, a fresh registry gets full history at the next publish.
+    published_breaker_trips_ = obs_.spill_breaker_trips->value();
+    obs_.spill_breaker_state->set(SpillBreaker::state_value(spill_breaker_.state()));
     obs_.arena_chunks = &metrics->gauge("engine.shuffle.arena_chunks");
     obs_.arena_reserved_bytes = &metrics->gauge("engine.shuffle.arena_reserved_bytes");
     obs_.arena_recycled_chunks = &metrics->counter("engine.shuffle.arena_recycled_chunks");
@@ -130,7 +140,9 @@ void Engine::reset_arenas() {
 
 void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
                                 std::size_t bytes, std::size_t flushes, bool combine,
-                                std::uint64_t spill_segments, std::uint64_t spill_bytes) {
+                                std::uint64_t spill_segments, std::uint64_t spill_bytes,
+                                std::uint64_t fallback_segments,
+                                std::uint64_t write_failures) {
   DIAS_EXPECTS(!stage_log_.empty(), "shuffle accounting needs a logged stage");
   StageInfo& info = stage_log_.back();
   info.shuffle_records_in = records_in;
@@ -139,6 +151,9 @@ void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
   info.shuffle_flushes = flushes;
   info.shuffle_spill_segments = static_cast<std::size_t>(spill_segments);
   info.shuffle_spill_bytes = static_cast<std::size_t>(spill_bytes);
+  info.shuffle_spill_fallback_segments = static_cast<std::size_t>(fallback_segments);
+  info.shuffle_spill_write_failures = static_cast<std::size_t>(write_failures);
+  info.spill_breaker_open = spill_breaker_.open();
   // No records in means nothing was combined away; report a neutral 1.0.
   const double ratio =
       records_in == 0
@@ -152,6 +167,14 @@ void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
     obs_.shuffle_combine_ratio->observe(ratio);
     obs_.shuffle_spill_segments->add(spill_segments);
     obs_.shuffle_spill_bytes->add(spill_bytes);
+    obs_.spill_fallback_segments->add(fallback_segments);
+    obs_.spill_write_failures->add(write_failures);
+    obs_.spill_breaker_state->set(SpillBreaker::state_value(spill_breaker_.state()));
+    const std::uint64_t trips = spill_breaker_.trips();
+    if (trips > published_breaker_trips_) {
+      obs_.spill_breaker_trips->add(trips - published_breaker_trips_);
+      published_breaker_trips_ = trips;
+    }
   }
   if (obs_.tracer != nullptr) {
     obs_.tracer->event("engine.shuffle.write",
@@ -163,7 +186,10 @@ void Engine::note_shuffle_write(std::size_t records_in, std::size_t records_out,
                         {"combine", combine},
                         {"combine_ratio", ratio},
                         {"spill_segments", spill_segments},
-                        {"spill_bytes", spill_bytes}});
+                        {"spill_bytes", spill_bytes},
+                        {"spill_fallback_segments", fallback_segments},
+                        {"spill_write_failures", write_failures},
+                        {"breaker_open", info.spill_breaker_open}});
   }
 }
 
@@ -309,8 +335,12 @@ void Engine::run_stage(std::size_t n, const StageOptions& opts, EngineStageKind 
   }
 
   const CancellationToken* cancel = cancel_token();
+  // An armed chaos plane may fail or stall any task body, so the run needs
+  // the fault-tolerant path's absorption machinery even when the policy
+  // itself is inert. Disarmed cost: one relaxed load.
+  const bool chaos_armed = chaos::ChaosPlane::instance().armed();
   const auto stage_start = std::chrono::steady_clock::now();
-  if (!eff_fault.active()) {
+  if (!eff_fault.active() && !chaos_armed) {
     if (cancel == nullptr) {
       // Legacy zero-overhead path: no retry bookkeeping, no per-task state.
       info.executed_partitions = selected.size();
@@ -412,6 +442,10 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
   // Injection may be scoped to droppable stages; retry/speculation still
   // guard against genuine (user-code) failures on immune stages.
   const bool inject = !(ft.injection.droppable_only && !opts.droppable);
+  // Chaos engine.task point: fires per attempt alongside the injector,
+  // with the same scheduling-independent coordinates.
+  static chaos::InjectionPoint& chaos_task =
+      chaos::ChaosPlane::instance().point(chaos::points::kEngineTask);
   const auto cancel_requested = [cancel] {
     return cancel != nullptr && cancel->cancelled();
   };
@@ -429,6 +463,9 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
     std::atomic<bool> spec_launched{false};
     std::atomic<bool> spec_won{false};
     std::atomic<bool> failed{false};            // primary exhausted its budget
+    // steady_clock ns of the current primary attempt's start; -1 before the
+    // first attempt. The stall watchdog measures elapsed time against it.
+    std::atomic<std::int64_t> attempt_start_ns{-1};
     double task_time_s = 0.0;                   // winner's time, under exec_mu
   };
   std::vector<TaskState> tasks(n_sel);
@@ -468,9 +505,25 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
       if (cancel_requested()) break;
       st.attempts.fetch_add(1, std::memory_order_relaxed);
       st.primary_attempts.fetch_add(1, std::memory_order_relaxed);
+      st.attempt_start_ns.store(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count(),
+          std::memory_order_relaxed);
       if (delay_ms > 0.0) interruptible_sleep_ms(delay_ms, st.done, cancel);
       if (st.done.load(std::memory_order_acquire) || cancel_requested()) break;
       bool attempt_failed = inject && injector_.should_fail(stage_seq, part, attempt);
+      if (!attempt_failed && chaos_task.armed()) {
+        try {
+          // kThrow is absorbed here like an injected fault; kStall sleeps
+          // (bounded, cancel-aware) and leaves the attempt healthy, so the
+          // watchdog — not the retry budget — is what rescues a stalled task.
+          chaos_task.inject(stage_seq, part, static_cast<std::uint64_t>(attempt),
+                            cancel);
+        } catch (const chaos::ChaosError&) {
+          attempt_failed = true;
+        }
+      }
       if (!attempt_failed) {
         try {
           execute_body(idx, /*speculative=*/false);
@@ -483,8 +536,9 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
       }
       if (attempt == ft.max_attempts) {
         st.failed.store(true, std::memory_order_release);
-      } else if (ft.retry_backoff_ms > 0.0) {
-        interruptible_sleep_ms(ft.retry_backoff_ms * attempt, st.done, cancel);
+      } else {
+        const double backoff = backoff_delay_ms(ft, stage_seq, part, attempt);
+        if (backoff > 0.0) interruptible_sleep_ms(backoff, st.done, cancel);
       }
     }
     st.primary_finished.store(true, std::memory_order_release);
@@ -515,25 +569,75 @@ void Engine::run_stage_fault_tolerant(const std::vector<std::size_t>& selected,
     futures.push_back(pool_.submit([&primary, i] { primary(i); }));
   }
 
-  if (ft.speculation && n_sel > 0) {
-    // Spark-style tail speculation: once the quantile of tasks succeeded,
-    // re-submit every task that is still in flight.
+  if ((ft.speculation || ft.stall_watchdog) && n_sel > 0) {
+    // Monitor loop: quantile speculation (Spark-style tail copies once the
+    // quantile of tasks succeeded) and the stall watchdog (an immediate
+    // copy for any task whose current attempt exceeds the stall threshold)
+    // share one ticker. Exactly-once body completion makes both launches
+    // content-preserving, so their timing never changes result bytes.
     const auto threshold = std::min(
         n_sel, static_cast<std::size_t>(std::ceil(
                    ft.speculation_quantile * static_cast<double>(n_sel) - 1e-12)));
-    {
-      std::unique_lock lock(progress_mu);
-      progress_cv.wait(
-          lock, [&] { return succeeded >= threshold || primaries_done == n_sel; });
-    }
-    for (std::size_t i = 0; i < n_sel; ++i) {
+    const auto now_ns = [] {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+    // At most one copy per task, launched only while its primary is still
+    // in flight — the same rule the one-shot quantile pass always applied.
+    auto launch_copy = [&](std::size_t i) {
       TaskState& st = tasks[i];
       if (st.done.load(std::memory_order_acquire) ||
-          st.primary_finished.load(std::memory_order_acquire)) {
-        continue;
+          st.primary_finished.load(std::memory_order_acquire) ||
+          st.spec_launched.load(std::memory_order_relaxed)) {
+        return;
       }
       st.spec_launched.store(true, std::memory_order_relaxed);
       futures.push_back(pool_.submit([&speculative, i] { speculative(i); }));
+    };
+    bool quantile_fired = !ft.speculation;
+    while (true) {
+      std::size_t done_now = 0;
+      std::size_t succ_now = 0;
+      {
+        std::unique_lock lock(progress_mu);
+        progress_cv.wait_for(lock, std::chrono::milliseconds(5), [&] {
+          return primaries_done == n_sel ||
+                 (!quantile_fired && succeeded >= threshold);
+        });
+        done_now = primaries_done;
+        succ_now = succeeded;
+      }
+      if (!quantile_fired && succ_now >= threshold) {
+        quantile_fired = true;
+        for (std::size_t i = 0; i < n_sel; ++i) launch_copy(i);
+      }
+      if (ft.stall_watchdog) {
+        // Live threshold: the larger of the absolute floor and a multiple
+        // of the observed task-time p95 (cold or detached histograms
+        // contribute nothing, leaving the floor). A slow-but-uniform stage
+        // raises its own bar; a wedged outlier trips it.
+        double stall_ms = ft.stall_threshold_ms;
+        if (obs_.task_time_s != nullptr && ft.stall_p95_multiplier > 0.0) {
+          const auto hstats = obs_.task_time_s->stats();
+          if (hstats.count > 0) {
+            stall_ms = std::max(stall_ms, ft.stall_p95_multiplier * hstats.p95 * 1e3);
+          }
+        }
+        if (stall_ms > 0.0) {
+          const std::int64_t now = now_ns();
+          for (std::size_t i = 0; i < n_sel; ++i) {
+            const std::int64_t t0 =
+                tasks[i].attempt_start_ns.load(std::memory_order_relaxed);
+            if (t0 < 0) continue;
+            if (static_cast<double>(now - t0) * 1e-6 >= stall_ms) launch_copy(i);
+          }
+        }
+      }
+      if (done_now == n_sel) break;
+      // Without the watchdog there is nothing left to monitor after the
+      // quantile pass fired — preserve the one-shot behaviour exactly.
+      if (quantile_fired && !ft.stall_watchdog) break;
     }
   }
   // Task-level errors were consumed by the attempt loops; anything escaping

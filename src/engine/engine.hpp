@@ -94,6 +94,16 @@ struct StageInfo {
   std::size_t shuffle_spill_bytes = 0;
   std::size_t shuffle_restored_segments = 0;
   std::size_t shuffle_restored_bytes = 0;
+  // Spill-breaker accounting (ISSUE 10 satellite b): segments that stayed
+  // resident because the breaker denied the write or the backend failed
+  // it, the raw write failures behind them, and whether the engine's
+  // breaker was tripped (open/half-open) when the stage finished. Lets
+  // callers distinguish "degraded to in-memory under a sick disk" from
+  // "retried clean": fallback > 0 means the budget was overshot on
+  // purpose, while results stay byte-identical either way.
+  std::size_t shuffle_spill_fallback_segments = 0;
+  std::size_t shuffle_spill_write_failures = 0;
+  bool spill_breaker_open = false;
   // Merge-stage load imbalance: max bucket record count over the mean
   // (1.0 = perfectly even; only meaningful on the merge stage). The
   // adaptive planner reads the exported gauge to resize partition counts.
@@ -173,12 +183,21 @@ class Engine {
     // recycled at each shuffle's epoch boundary. A pure relocation: same
     // bytes, same (src, seq) order, no malloc churn.
     bool shuffle_arena = true;
+    // --- spill circuit breaker (ISSUE 10) ---------------------------------
+    // Governs every spill write of this engine (see SpillBreaker): after
+    // `spill_breaker.failure_threshold` consecutive backend failures the
+    // shuffle trips to the in-memory fallback instead of burning task
+    // attempts on a dead disk. `spill_breaker_enabled = false` restores
+    // the PR 6 semantics (write failures surface as TaskFailedError).
+    bool spill_breaker_enabled = true;
+    SpillBreaker::Options spill_breaker;
   };
 
   explicit Engine(Options options)
       : options_(options),
         pool_(options.workers, options.reserve_workers, options.batched_waves),
-        rng_(options.seed), injector_(options.fault.injection) {
+        rng_(options.seed), injector_(options.fault.injection),
+        spill_breaker_(options.spill_breaker) {
     DIAS_EXPECTS(options.drop_ratio >= 0.0 && options.drop_ratio <= 1.0,
                  "drop ratio must be in [0,1]");
     DIAS_EXPECTS(options.fault.max_attempts >= 1, "need at least one attempt per task");
@@ -186,6 +205,10 @@ class Engine {
     DIAS_EXPECTS(options.fault.speculation_quantile > 0.0 &&
                      options.fault.speculation_quantile <= 1.0,
                  "speculation quantile must be in (0,1]");
+    DIAS_EXPECTS(options.fault.retry_backoff_cap_ms >= 0.0 &&
+                     options.fault.stall_threshold_ms >= 0.0 &&
+                     options.fault.stall_p95_multiplier >= 0.0,
+                 "backoff cap and stall thresholds must be >= 0");
     if (options.shuffle_arena) {
       arenas_.reserve(pool_.workers());
       for (std::size_t i = 0; i < pool_.workers(); ++i) {
@@ -211,6 +234,9 @@ class Engine {
     DIAS_EXPECTS(fault.retry_backoff_ms >= 0.0, "retry backoff must be >= 0");
     DIAS_EXPECTS(fault.speculation_quantile > 0.0 && fault.speculation_quantile <= 1.0,
                  "speculation quantile must be in (0,1]");
+    DIAS_EXPECTS(fault.retry_backoff_cap_ms >= 0.0 && fault.stall_threshold_ms >= 0.0 &&
+                     fault.stall_p95_multiplier >= 0.0,
+                 "backoff cap and stall thresholds must be >= 0");
     options_.fault = fault;
     injector_ = FaultInjector(fault.injection);
   }
@@ -238,6 +264,11 @@ class Engine {
   // a concurrently running stage.
   void set_spill_backend(SpillBackend* backend) { spill_ = backend; }
   SpillBackend* spill_backend() const { return spill_; }
+  // The engine's spill circuit breaker. State persists across shuffles —
+  // a disk that died in stage 3 stays tripped in stage 4 — until the
+  // caller resets it (e.g. per job, or after replacing the backend).
+  SpillBreaker& spill_breaker() { return spill_breaker_; }
+  const SpillBreaker& spill_breaker() const { return spill_breaker_; }
 
   // --- observability ------------------------------------------------------
   // Attaches metric/trace sinks (either may be null; null detaches). With a
@@ -441,7 +472,8 @@ class Engine {
     });
     note_shuffle_write(records_in.load(), records_out.load(), bytes.load(),
                        flushes.load(), /*combine=*/true, sink.spilled_segments(),
-                       sink.spilled_bytes());
+                       sink.spilled_bytes(), sink.fallback_segments(),
+                       sink.write_failures());
     std::vector<std::vector<T>> out(out_partitions);
     std::atomic<std::size_t> merged{0};
     std::atomic<std::uint64_t> restored_segments{0};
@@ -672,7 +704,8 @@ class Engine {
               });
     note_shuffle_write(records_in.load(), records_out.load(), bytes.load(),
                        flushes.load(), shuffle.combine, sink.spilled_segments(),
-                       sink.spilled_bytes());
+                       sink.spilled_bytes(), sink.fallback_segments(),
+                       sink.write_failures());
 
     std::vector<std::vector<Entry>> out(out_partitions);
     std::atomic<std::size_t> merged{0};
@@ -852,6 +885,7 @@ class Engine {
       }
       policy.budget_bytes = budget;
       policy.backend = backend;
+      if (options_.spill_breaker_enabled) policy.breaker = &spill_breaker_;
       return policy;
     }
   }
@@ -860,7 +894,9 @@ class Engine {
   // stage (stage_log_.back()) and publish metrics + a tracer event.
   void note_shuffle_write(std::size_t records_in, std::size_t records_out,
                           std::size_t bytes, std::size_t flushes, bool combine,
-                          std::uint64_t spill_segments, std::uint64_t spill_bytes);
+                          std::uint64_t spill_segments, std::uint64_t spill_bytes,
+                          std::uint64_t fallback_segments = 0,
+                          std::uint64_t write_failures = 0);
   void note_shuffle_merge(std::size_t records, std::uint64_t restored_segments,
                           std::uint64_t restored_bytes,
                           const std::vector<double>& stream_s,
@@ -898,6 +934,13 @@ class Engine {
     obs::Gauge* arena_chunks = nullptr;
     obs::Gauge* arena_reserved_bytes = nullptr;
     obs::Counter* arena_recycled_chunks = nullptr;
+    // Spill-breaker telemetry (ISSUE 10): state gauge (0 closed,
+    // 1 half-open, 2 open), cumulative trips, and the shuffle-write
+    // fallback accounting.
+    obs::Gauge* spill_breaker_state = nullptr;
+    obs::Counter* spill_breaker_trips = nullptr;
+    obs::Counter* spill_write_failures = nullptr;
+    obs::Counter* spill_fallback_segments = nullptr;
   };
 
   Options options_;
@@ -913,6 +956,9 @@ class Engine {
   std::vector<std::unique_ptr<detail::SegmentArena>> arenas_;
   // recycled_chunks total already published to obs (counters are deltas).
   std::uint64_t published_arena_recycled_ = 0;
+  SpillBreaker spill_breaker_;
+  // Breaker trip total already published to obs (counters are deltas).
+  std::uint64_t published_breaker_trips_ = 0;
   ObsHooks obs_;
 };
 

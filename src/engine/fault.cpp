@@ -1,8 +1,11 @@
 #include "engine/fault.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
+
+#include "chaos/chaos.hpp"
 
 namespace dias::engine {
 
@@ -20,31 +23,37 @@ void interruptible_sleep_ms(double ms, const std::atomic<bool>& done,
 
 namespace {
 
-// splitmix64 finalizer: a strong 64-bit mixer, also used to seed the
-// engine Rng. Applied over a running hash of the decision coordinates it
-// gives an independent uniform draw per (seed, stage, partition, attempt,
-// salt) tuple without any shared state.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-double uniform_draw(std::uint64_t seed, std::uint64_t stage_seq, std::uint64_t partition,
-                    std::uint64_t attempt, std::uint64_t salt) {
-  std::uint64_t h = mix(seed + salt);
-  h = mix(h ^ stage_seq);
-  h = mix(h ^ partition);
-  h = mix(h ^ attempt);
-  // Top 53 bits -> [0, 1), the same conversion the Rng uses.
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
+// The decision core lives in the chaos plane now (ISSUE 10 subsumed the
+// injector's plumbing): splitmix64 over the coordinate tuple, top 53 bits
+// to [0, 1). Salts keep the injector's historical draws — and therefore
+// every seeded experiment — bit-identical to PR 1.
+using chaos::detail::uniform_draw;
 
 constexpr std::uint64_t kFailSalt = 0xFA11;
 constexpr std::uint64_t kStragglerSalt = 0x51F0;
+constexpr std::uint64_t kBackoffSalt = 0xB0FF;
 
 }  // namespace
+
+double backoff_delay_ms(const FaultToleranceOptions& ft, std::uint64_t stage_seq,
+                        std::size_t partition, int attempt) {
+  const double base = ft.retry_backoff_ms;
+  if (base <= 0.0 || attempt < 1) return 0.0;
+  if (ft.backoff == BackoffPolicy::kLinear) {
+    return base * static_cast<double>(attempt);
+  }
+  // Decorrelated jitter, recomputed iteratively from attempt 1 so the
+  // function stays stateless: each step draws its own hashed uniform, so
+  // the whole curve is a pure function of (seed, stage, partition).
+  const double cap = std::max(ft.retry_backoff_cap_ms, base);
+  double delay = std::min(base, cap);
+  for (int k = 2; k <= attempt; ++k) {
+    const double u = uniform_draw(ft.injection.seed, stage_seq, partition,
+                                  static_cast<std::uint64_t>(k), kBackoffSalt);
+    delay = std::min(cap, base + u * (3.0 * delay - base));
+  }
+  return delay;
+}
 
 FaultInjector::FaultInjector(FaultConfig config) : config_(config) {
   DIAS_EXPECTS(config_.fail_prob >= 0.0 && config_.fail_prob <= 1.0,

@@ -81,6 +81,20 @@ class FaultInjector {
   FaultConfig config_;
 };
 
+// How retry delays grow with the attempt number (ISSUE 10 satellite a).
+enum class BackoffPolicy {
+  // PR 1's reference curve: sleep attempt * retry_backoff_ms, uncapped.
+  // Kept reachable for the legacy determinism reference.
+  kLinear,
+  // Capped decorrelated jitter (the AWS "decorrelated" variant, made
+  // stateless): d_1 = base, d_k = min(cap, base + u_k * (3 d_{k-1} - base))
+  // with u_k an independent uniform drawn from the injection seed and the
+  // (stage, partition, attempt) coordinates — deterministic under a fixed
+  // seed, de-synchronized across tasks so retry storms never stampede the
+  // same instant.
+  kDecorrelatedJitter,
+};
+
 // Engine-wide fault-tolerance policy. The default configuration (one
 // attempt, no injection, no speculation) makes the engine bypass the
 // fault-tolerant execution path entirely, keeping the zero-fault hot path
@@ -89,19 +103,44 @@ struct FaultToleranceOptions {
   FaultConfig injection;
   // Attempts per task before it is declared dead (>= 1; 1 = no retry).
   int max_attempts = 1;
-  // Linear backoff between attempts: sleep attempt * retry_backoff_ms.
+  // Base backoff between attempts; how it scales with the attempt number
+  // is the BackoffPolicy's choice. 0 = no backoff under either policy.
   double retry_backoff_ms = 0.0;
+  BackoffPolicy backoff = BackoffPolicy::kDecorrelatedJitter;
+  // Ceiling for kDecorrelatedJitter delays (kLinear stays the exact
+  // uncapped PR 1 curve).
+  double retry_backoff_cap_ms = 250.0;
   // Spark-style speculation: once `speculation_quantile` of a stage's
   // tasks succeeded, re-submit a copy of every still-running task; the
   // first copy to complete the partition wins, the loser is discarded.
   bool speculation = false;
   double speculation_quantile = 0.75;
 
+  // --- stall watchdog (ISSUE 10 tentpole, hardening 2) --------------------
+  // Watch running tasks for stalls and speculate a copy of any task whose
+  // current attempt exceeds the stall threshold — immediately, without
+  // waiting for the speculation quantile. The threshold is
+  //   max(stall_threshold_ms, stall_p95_multiplier * live task-time p95)
+  // with the live p95 read from the attached obs histogram (engine.task_
+  // time_s); detached or cold histograms contribute 0, leaving the
+  // absolute floor. Speculation is content-preserving (exactly-once body
+  // completion), so the timing-dependent launch decision never changes
+  // result bytes — only when a healthy copy starts.
+  bool stall_watchdog = false;
+  double stall_threshold_ms = 0.0;      // absolute floor; 0 = p95 term only
+  double stall_p95_multiplier = 4.0;
+
   // True when run_stage must take the fault-tolerant path at all.
   bool active() const {
-    return max_attempts > 1 || speculation || FaultInjector(injection).enabled();
+    return max_attempts > 1 || speculation || stall_watchdog ||
+           FaultInjector(injection).enabled();
   }
 };
+
+// Delay to sleep after failed attempt `attempt` (1-based), per the
+// policy's curve. Pure: deterministic for fixed (options, coordinates).
+double backoff_delay_ms(const FaultToleranceOptions& ft, std::uint64_t stage_seq,
+                        std::size_t partition, int attempt);
 
 // A task exhausted its retry budget on a stage that may not degrade.
 // `detail`, when non-empty, carries the underlying cause (e.g. a spill

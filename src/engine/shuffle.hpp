@@ -60,6 +60,7 @@
 
 #include "common/error.hpp"
 #include "engine/arena.hpp"
+#include "engine/breaker.hpp"
 #include "engine/spill.hpp"
 #include "obs/metrics.hpp"
 
@@ -269,6 +270,14 @@ struct SpillPolicy {
   // destroyed registry's) counter. The owning registry must outlive the
   // shuffle — the same lifetime every other engine counter already has.
   obs::Counter* fallback_counter = nullptr;
+  // Circuit breaker governing spill WRITES (ISSUE 10). With a breaker
+  // attached, a failed or breaker-denied write keeps the segment resident
+  // (spilling is pure relocation, so in-memory is always a sound
+  // fallback) and feeds the breaker; reads are never denied but their
+  // failures feed it too. Null (the default, and every directly
+  // constructed test sink) keeps the PR 6 semantics: write failures
+  // propagate out of push() like any spill I/O error.
+  SpillBreaker* breaker = nullptr;
 };
 
 // Collection point between the two phases. Writers append segments to
@@ -408,11 +417,24 @@ class ShuffleSink {
       return count;
     }
     if constexpr (kSpillable) {
-      SpillCursor cursor(policy_.backend->open(segment.spill_id));
-      const std::size_t count = decode_spill_segment<Entry>(cursor, fn);
-      if (count != segment.spill_entries) {
-        throw error("corrupt spill segment: entry count mismatch");
+      // Stream-back feeds the breaker: reads are never denied (the data
+      // lives only on the backend), but their failures count — a disk
+      // that cannot be read should stop taking writes. A user-functor
+      // throw mid-stream is indistinguishable here and counts too; that
+      // only makes the breaker trip conservatively, and it gates nothing
+      // but writes.
+      std::size_t count = 0;
+      try {
+        SpillCursor cursor(policy_.backend->open(segment.spill_id));
+        count = decode_spill_segment<Entry>(cursor, fn);
+        if (count != segment.spill_entries) {
+          throw error("corrupt spill segment: entry count mismatch");
+        }
+      } catch (const error&) {
+        if (policy_.breaker != nullptr) policy_.breaker->record_failure();
+        throw;
       }
+      if (policy_.breaker != nullptr) policy_.breaker->record_success();
       restored_segments_.fetch_add(1, std::memory_order_relaxed);
       return count;
     } else {
@@ -461,6 +483,14 @@ class ShuffleSink {
   std::uint64_t restored_segments() const {
     return restored_segments_.load(std::memory_order_relaxed);
   }
+  // Segments that stayed resident because the breaker denied the write or
+  // the backend failed it ("degraded to in-memory", vs "retried clean").
+  std::uint64_t fallback_segments() const {
+    return fallback_segments_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t write_failures() const {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Frees a segment's entry storage through ITS OWN allocator: swapping in
@@ -498,9 +528,32 @@ class ShuffleSink {
 
   void spill_segment(SlotState& state, Segment& segment) {
     if constexpr (kSpillable) {
+      // Breaker-governed write: an open breaker keeps the segment resident
+      // without touching the dead backend; a failed write does the same
+      // and records the failure. Either way the shuffle degrades to the
+      // in-memory path it already supports bit-for-bit — the budget is
+      // overshot, the bytes are intact.
+      if (policy_.breaker != nullptr && !policy_.breaker->allow()) {
+        fallback_segments_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       const std::size_t bytes = segment.entries.size() * sizeof(Entry);
       const std::string encoded = encode_spill_segment(segment.entries);
-      segment.spill_id = policy_.backend->write(encoded);
+      std::uint64_t id = 0;
+      if (policy_.breaker != nullptr) {
+        try {
+          id = policy_.backend->write(encoded);
+        } catch (const error&) {
+          policy_.breaker->record_failure();
+          write_failures_.fetch_add(1, std::memory_order_relaxed);
+          fallback_segments_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        policy_.breaker->record_success();
+      } else {
+        id = policy_.backend->write(encoded);
+      }
+      segment.spill_id = id;
       segment.spill_entries = segment.entries.size();
       segment.spill_bytes = encoded.size();
       segment.spilled = true;
@@ -525,6 +578,8 @@ class ShuffleSink {
   alignas(obs::kCacheLineBytes) std::atomic<std::uint64_t> spilled_segments_{0};
   std::atomic<std::uint64_t> spilled_bytes_{0};
   std::atomic<std::uint64_t> restored_segments_{0};
+  std::atomic<std::uint64_t> fallback_segments_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
 };
 
 }  // namespace detail

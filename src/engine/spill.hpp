@@ -16,10 +16,15 @@
 //     Types without a codec still compile and shuffle in memory; asking
 //     them to spill is a config_error at shuffle entry.
 //   * encode/decode_spill_segment — the segment wire format: a 4-byte
-//     magic, a 64-bit entry count, then the entries back to back. The
+//     magic, a 64-bit entry count, the entries back to back, then a
+//     trailing 64-bit FNV-1a checksum over everything before it. The
 //     decoder streams entries out of bounded chunks (never materializing
 //     the segment) and treats any mismatch — bad magic, truncation,
-//     trailing bytes, an entry-count lie — as a corrupt segment.
+//     trailing bytes, an entry-count lie, a checksum miss — as a corrupt
+//     segment. The checksum is what turns a flipped payload byte (which
+//     framing alone can decode into plausible-but-wrong entries) into a
+//     detected fault; the chaos plane's corrupt-on-write shape is the
+//     regression test for exactly that.
 //
 // Spilling never changes *what* segments exist, only *where* they live:
 // segment boundaries stay a pure function of the input and
@@ -81,8 +86,21 @@ class SpillBackend {
 
 namespace detail {
 
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a_update(std::uint64_t h, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
 // Pull cursor over a SpillReader: bounds-checked reads across chunk
-// boundaries, so decoders never hold more than one backend chunk.
+// boundaries, so decoders never hold more than one backend chunk. Keeps a
+// running FNV-1a over every byte it hands out, so the segment decoder can
+// verify the trailing checksum without a second pass.
 class SpillCursor {
  public:
   explicit SpillCursor(std::unique_ptr<SpillReader> reader)
@@ -97,6 +115,7 @@ class SpillCursor {
       }
       const std::size_t take = std::min(n, chunk_.size() - pos_);
       std::memcpy(out, chunk_.data() + pos_, take);
+      hash_ = fnv1a_update(hash_, chunk_.data() + pos_, take);
       pos_ += take;
       out += take;
       n -= take;
@@ -113,10 +132,15 @@ class SpillCursor {
       }
       const std::size_t take = std::min(n, chunk_.size() - pos_);
       dst.append(chunk_.data() + pos_, take);
+      hash_ = fnv1a_update(hash_, chunk_.data() + pos_, take);
       pos_ += take;
       n -= take;
     }
   }
+
+  // FNV-1a over all bytes consumed so far. Snapshot *before* reading a
+  // stored checksum so the checksum bytes themselves stay out of the hash.
+  std::uint64_t hash() const { return hash_; }
 
   // True when no bytes remain (pulls the next chunk to find out).
   bool exhausted() {
@@ -147,6 +171,7 @@ class SpillCursor {
   std::string chunk_;
   std::size_t pos_ = 0;
   std::size_t bytes_streamed_ = 0;
+  std::uint64_t hash_ = kFnvOffset;
 };
 
 // Binary serde for spillable types. The primary template is left
@@ -226,7 +251,7 @@ struct SpillCodec<std::vector<T>, std::enable_if_t<is_spillable<T>::value>> {
   }
 };
 
-inline constexpr std::uint32_t kSpillMagic = 0x44535031;  // "DSP1"
+inline constexpr std::uint32_t kSpillMagic = 0x44535032;  // "DSP2": checksummed
 
 // Accepts any contiguous Entry container (std::vector with any allocator —
 // arena-backed segment vectors encode the same bytes as heap ones).
@@ -238,11 +263,18 @@ std::string encode_spill_segment(const EntryVec& entries) {
   const std::uint64_t count = entries.size();
   out.append(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const auto& e : entries) SpillCodec<Entry>::encode(e, out);
+  const std::uint64_t checksum = fnv1a_update(kFnvOffset, out.data(), out.size());
+  out.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   return out;
 }
 
 // Streams the segment's entries into `fn(Entry&&)` in stored order and
-// returns the entry count. Every framing violation throws dias::error.
+// returns the entry count. Every framing or checksum violation throws
+// dias::error. The decoder is single-pass, so `fn` may see entries from a
+// segment whose checksum later fails; callers must discard the attempt's
+// partial state on throw — the shuffle merge does (a failed merge attempt
+// drops its accumulator, and resident segments are copied, not consumed,
+// whenever a backend is attached).
 template <typename Entry, typename Fn>
 std::size_t decode_spill_segment(SpillCursor& in, Fn&& fn) {
   std::uint32_t magic = 0;
@@ -258,6 +290,12 @@ std::size_t decode_spill_segment(SpillCursor& in, Fn&& fn) {
   in.read(&count, sizeof(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     fn(SpillCodec<Entry>::decode(in));
+  }
+  const std::uint64_t computed = in.hash();
+  std::uint64_t stored = 0;
+  in.read(&stored, sizeof(stored));
+  if (stored != computed) {
+    throw error("corrupt spill segment: checksum mismatch");
   }
   if (!in.exhausted()) {
     throw error("corrupt spill segment: trailing bytes");

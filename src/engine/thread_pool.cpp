@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <utility>
 
+#include "chaos/chaos.hpp"
 #include "common/error.hpp"
 
 namespace dias::engine {
@@ -31,14 +33,17 @@ thread_local WorkerIdentity tl_worker;
 // retirement) owns completion.
 struct ThreadPool::Wave {
   Wave(const std::function<void(std::size_t)>& body_in, std::size_t count_in,
-       const CancellationToken* cancel_in)
-      : body(body_in), count(count_in), cancel(cancel_in) {}
+       const CancellationToken* cancel_in, std::uint64_t seq_in)
+      : body(body_in), count(count_in), cancel(cancel_in), seq(seq_in) {}
 
   // Borrowed from the caller's frame: run_indexed blocks on the latch
   // until every lane is done using it.
   const std::function<void(std::size_t)>& body;
   const std::size_t count;
   const CancellationToken* const cancel;
+  // Monotonic per-pool wave id: the scheduling-independent coordinate the
+  // pool.wave chaos point hashes together with the stolen index.
+  const std::uint64_t seq;
 
   // Hot: one fetch_add per index, from every lane concurrently.
   alignas(obs::kCacheLineBytes) std::atomic<std::size_t> next{0};
@@ -241,7 +246,8 @@ void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::si
     run_indexed_legacy(count, task, cancel);
     return;
   }
-  auto wave = std::make_shared<Wave>(task, count, cancel);
+  auto wave = std::make_shared<Wave>(task, count, cancel,
+                                     wave_seq_.fetch_add(1, std::memory_order_relaxed));
   {
     std::lock_guard lock(mutex_);
     DIAS_EXPECTS(!stopping_, "run_indexed on a stopping thread pool");
@@ -269,9 +275,51 @@ void ThreadPool::run_indexed(std::size_t count, const std::function<void(std::si
     }
     if (entered) run_wave_lane(wave, tl_worker.slot);
   }
-  {
+  if (cancel == nullptr) {
     std::unique_lock lock(wave->done_mu);
     wave->done_cv.wait(lock, [&] { return wave->done; });
+  } else {
+    // Hardened latch (ISSUE 10): the wait ticks instead of blocking
+    // unconditionally, and once the job's token fires the waiter retires
+    // the wave itself — no new lanes can join, and if no lane ever entered
+    // the waiter trips the latch directly instead of hoping one will.
+    // Lanes already inside re-check the token per index and injected
+    // stalls are bounded (chaos::kMaxStallMs), so the in-flight remainder
+    // drains and the lane-side last-out publication fires; the borrowed
+    // body reference stays valid until then by construction.
+    bool early_retired = false;
+    for (;;) {
+      {
+        std::unique_lock lock(wave->done_mu);
+        if (wave->done_cv.wait_for(lock, std::chrono::milliseconds(10),
+                                   [&] { return wave->done; })) {
+          break;
+        }
+      }
+      if (early_retired || !cancel->cancelled()) continue;
+      early_retired = true;
+      bool complete = false;
+      {
+        std::lock_guard lock(mutex_);
+        if (!wave->retired) {
+          wave->retired = true;
+          // Same pop-if-front rule as lane-side retirement: a nested wave
+          // that never reached the front is discarded by worker_loop.
+          if (!queue_.empty() && queue_.front().wave.get() == wave.get()) {
+            queue_.pop_front();
+            queue_size_.store(queue_.size(), std::memory_order_relaxed);
+          }
+        }
+        complete = wave->exited == wave->entered;
+      }
+      if (complete) {
+        {
+          std::lock_guard lock(wave->done_mu);
+          wave->done = true;
+        }
+        wave->done_cv.notify_all();
+      }
+    }
   }
   if (wave->first_error) std::rethrow_exception(wave->first_error);
 }
@@ -308,6 +356,13 @@ void ThreadPool::run_indexed_legacy(std::size_t count,
 }
 
 void ThreadPool::run_wave_lane(const std::shared_ptr<Wave>& wave, std::size_t slot) {
+  // pool.wave chaos point: per stolen index, before the body. kStall holds
+  // the lane (bounded by chaos::kMaxStallMs, waking early on the wave's
+  // token) — the shape the latch hardening and the stall watchdog are
+  // tested against. kThrow lands in the wave's error slot like a body
+  // failure would.
+  static chaos::InjectionPoint& chaos_wave =
+      chaos::ChaosPlane::instance().point(chaos::points::kPoolWave);
   busy_count_.fetch_add(1, std::memory_order_relaxed);
   publish_metrics();  // busy gauge reflects the lane while it runs
   std::size_t executed = 0;
@@ -316,6 +371,7 @@ void ThreadPool::run_wave_lane(const std::shared_ptr<Wave>& wave, std::size_t sl
     const std::size_t i = wave->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= wave->count) break;
     try {
+      if (chaos_wave.armed()) chaos_wave.inject(wave->seq, i, 0, wave->cancel);
       wave->body(i);
     } catch (...) {
       std::lock_guard lock(wave->error_mu);

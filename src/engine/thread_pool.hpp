@@ -178,6 +178,7 @@ class ThreadPool {
   // Per-slot executed-body cells, one cache line each (+1 shard for
   // slotless callers, which exist only in tests poking submit wrappers).
   obs::ShardedCounter executed_;
+  std::atomic<std::uint64_t> wave_seq_{0};  // chaos coordinate for pool.wave
   std::atomic<std::uint64_t> submitted_total_{0};
   std::atomic<std::uint64_t> waves_total_{0};
   std::atomic<std::int64_t> busy_count_{0};

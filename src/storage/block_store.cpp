@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "chaos/chaos.hpp"
 #include "common/error.hpp"
 
 namespace dias::storage {
@@ -46,9 +47,34 @@ std::filesystem::path BlockStore::block_path(const std::string& name, std::size_
   return file_dir(name) / os.str();
 }
 
+namespace {
+
+// storage.write / storage.read chaos points, shared by every BlockStore
+// method of that class. Coordinates: the file-name hash plus a block (or
+// op) index, so a given (seed, file, block) decision is stable however
+// the work is scheduled. kCorrupt is a spill-writer concern; here it is
+// ignored (the checksum/replica machinery is exercised by the dedicated
+// corruption tests).
+chaos::InjectionPoint& storage_write_point() {
+  static chaos::InjectionPoint& p =
+      chaos::ChaosPlane::instance().point(chaos::points::kStorageWrite);
+  return p;
+}
+
+chaos::InjectionPoint& storage_read_point() {
+  static chaos::InjectionPoint& p =
+      chaos::ChaosPlane::instance().point(chaos::points::kStorageRead);
+  return p;
+}
+
+}  // namespace
+
 FileMetadata BlockStore::write_lines(const std::string& name,
                                      const std::vector<std::string>& lines) {
   check_name(name);
+  if (storage_write_point().armed()) {
+    storage_write_point().inject(chaos::detail::fnv1a(name), lines.size());
+  }
   const auto dir = file_dir(name);
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
@@ -91,6 +117,9 @@ FileMetadata BlockStore::write_lines(const std::string& name,
 
 FileMetadata BlockStore::write_bytes(const std::string& name, const std::string& data) {
   check_name(name);
+  if (storage_write_point().armed()) {
+    storage_write_point().inject(chaos::detail::fnv1a(name), data.size());
+  }
   const auto dir = file_dir(name);
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
@@ -167,6 +196,9 @@ std::vector<std::uint64_t> BlockStore::load_checksums(const std::string& name,
 
 std::string BlockStore::read_block_raw(const std::string& name, std::size_t block,
                                        std::uint64_t expected) const {
+  if (storage_read_point().armed()) {
+    storage_read_point().inject(chaos::detail::fnv1a(name), block);
+  }
   for (int r = 0; r < options_.replication; ++r) {
     std::ifstream in(block_path(name, block, r), std::ios::binary);
     if (!in.good()) continue;

@@ -302,13 +302,111 @@ TEST_F(SpillFaultTest, ReadFaultsSurfaceAsTaskFailedError) {
   }
 }
 
-TEST_F(SpillFaultTest, WriteFaultSurfacesAsTaskFailedError) {
+// ISSUE 10 satellite (b): spilling is pure relocation, so a failed spill
+// write is absorbable — the segment simply stays resident. The breaker
+// trips after the consecutive-failure threshold and the shuffle degrades
+// to in-memory with an exact answer, surfacing the event through StageInfo
+// fault accounting instead of a TaskFailedError.
+TEST_F(SpillFaultTest, WriteFaultTripsBreakerAndDegradesToInMemory) {
   auto store = make_store(4096);
   FaultySpill spill(store, FaultySpill::Mode::kFailWrite);
   engine::Engine::Options opts;
   opts.workers = 4;
   engine::Engine eng(opts);
-  EXPECT_THROW(run_spilled_shuffle(eng, spill), engine::TaskFailedError);
+  eng.set_spill_backend(&spill);
+  const auto ds = eng.parallelize(records(), 8);
+  engine::StageOptions sopts;
+  sopts.droppable = false;
+  engine::ShuffleOptions shuffle;
+  shuffle.target_buffer_bytes = 2048;
+  shuffle.memory_budget_bytes = 4096;
+  const auto reduced = eng.reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 6, sopts, shuffle);
+
+  auto all = reduced.collect();
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 701u);
+  for (const auto& [key, count] : all) {
+    EXPECT_EQ(count, 10000 / 701 + (key < 10000 % 701 ? 1 : 0)) << "key " << key;
+  }
+  EXPECT_EQ(eng.spill_breaker().state(), engine::SpillBreaker::State::kOpen);
+  EXPECT_GE(eng.spill_breaker().trips(), 1u);
+  // StageInfo distinguishes "degraded to in-memory" (fallback segments,
+  // breaker open) from "retried clean" (retries with no fallback).
+  std::size_t fallback = 0;
+  std::size_t write_failures = 0;
+  bool breaker_open_logged = false;
+  for (const auto& s : eng.stage_log()) {
+    fallback += s.shuffle_spill_fallback_segments;
+    write_failures += s.shuffle_spill_write_failures;
+    breaker_open_logged = breaker_open_logged || s.spill_breaker_open;
+  }
+  EXPECT_GT(fallback, 0u);
+  EXPECT_GT(write_failures, 0u);
+  EXPECT_TRUE(breaker_open_logged);
+  // Nothing landed on disk, so nothing was restored from it.
+  EXPECT_EQ(spill.stats().segments_written, 0u);
+}
+
+// Writes succeed, then the device "fills": the breaker trips mid-shuffle
+// and the merge consumes a mix of restored (healthy writes) and resident
+// (fallback) segments — byte-identically to a clean run.
+class FailAfterNSpill final : public engine::SpillBackend {
+ public:
+  FailAfterNSpill(BlockStore& store, int healthy)
+      : inner_(store, "failafter"), healthy_(healthy) {}
+
+  std::uint64_t write(const std::string& bytes) override {
+    if (healthy_.fetch_sub(1) <= 0) {
+      throw dias::error("injected fault: spill device full");
+    }
+    return inner_.write(bytes);
+  }
+  std::unique_ptr<engine::SpillReader> open(std::uint64_t handle) override {
+    return inner_.open(handle);
+  }
+  void release(std::uint64_t handle) override { inner_.release(handle); }
+  engine::SpillStats stats() const override { return inner_.stats(); }
+
+ private:
+  BlockStoreSpill inner_;
+  std::atomic<int> healthy_;
+};
+
+TEST_F(SpillFaultTest, BreakerTripsMidShuffleWithByteIdenticalResult) {
+  auto store = make_store(4096);
+  FailAfterNSpill spill(store, /*healthy=*/3);
+  engine::Engine::Options opts;
+  opts.workers = 4;
+  engine::Engine eng(opts);
+  eng.set_spill_backend(&spill);
+  const auto ds = eng.parallelize(records(), 8);
+  engine::StageOptions sopts;
+  sopts.droppable = false;
+  engine::ShuffleOptions shuffle;
+  shuffle.target_buffer_bytes = 2048;
+  shuffle.memory_budget_bytes = 4096;
+  const auto reduced = eng.reduce_by_key(
+      ds, [](std::int64_t a, std::int64_t b) { return a + b; }, 6, sopts, shuffle);
+
+  auto all = reduced.collect();
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 701u);
+  for (const auto& [key, count] : all) {
+    EXPECT_EQ(count, 10000 / 701 + (key < 10000 % 701 ? 1 : 0)) << "key " << key;
+  }
+  // Both worlds really happened: healthy segments hit the device and were
+  // restored, failed ones stayed resident.
+  EXPECT_EQ(spill.stats().segments_written, 3u);
+  EXPECT_GE(eng.spill_breaker().trips(), 1u);
+  std::size_t fallback = 0;
+  std::size_t restored = 0;
+  for (const auto& s : eng.stage_log()) {
+    fallback += s.shuffle_spill_fallback_segments;
+    restored += s.shuffle_restored_segments;
+  }
+  EXPECT_GT(fallback, 0u);
+  EXPECT_GT(restored, 0u);
 }
 
 TEST_F(SpillFaultTest, RetryPathExhaustsAttemptsOnPermanentFault) {

@@ -152,6 +152,108 @@ TEST(FaultOptionsTest, ActiveDetection) {
   EXPECT_TRUE(ft.active());
 }
 
+TEST(FaultOptionsTest, StallWatchdogActivatesFaultPath) {
+  FaultToleranceOptions ft;
+  ft.stall_watchdog = true;
+  EXPECT_TRUE(ft.active());
+}
+
+// --- retry backoff curves (ISSUE 10 satellite a) ---------------------------
+
+TEST(BackoffTest, LinearPolicyIsExactPR1Curve) {
+  FaultToleranceOptions ft;
+  ft.backoff = BackoffPolicy::kLinear;
+  ft.retry_backoff_ms = 7.0;
+  ft.retry_backoff_cap_ms = 10.0;  // the legacy curve ignores the cap
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(backoff_delay_ms(ft, 3, 5, attempt), 7.0 * attempt);
+  }
+}
+
+TEST(BackoffTest, DecorrelatedJitterDeterministicCappedAndDesynchronized) {
+  FaultToleranceOptions ft;
+  ft.backoff = BackoffPolicy::kDecorrelatedJitter;
+  ft.retry_backoff_ms = 10.0;
+  ft.retry_backoff_cap_ms = 80.0;
+  ft.injection.seed = 42;
+
+  // Deterministic: the whole curve is a pure function of the coordinates.
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double d = backoff_delay_ms(ft, 1, 2, attempt);
+    EXPECT_DOUBLE_EQ(d, backoff_delay_ms(ft, 1, 2, attempt));
+    EXPECT_GE(d, 10.0);  // never below base
+    EXPECT_LE(d, 80.0);  // never above cap
+  }
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(ft, 1, 2, 1), 10.0);  // first retry = base
+
+  // Desynchronized: distinct tasks draw distinct delays at the same
+  // attempt, so a retry storm never stampedes one instant.
+  std::set<double> delays;
+  for (std::size_t part = 0; part < 16; ++part) {
+    delays.insert(backoff_delay_ms(ft, 1, part, 4));
+  }
+  EXPECT_GT(delays.size(), 8u);
+
+  // A different seed reshuffles the jitter.
+  FaultToleranceOptions other = ft;
+  other.injection.seed = 43;
+  bool any_difference = false;
+  for (int attempt = 2; attempt <= 8; ++attempt) {
+    any_difference = any_difference || backoff_delay_ms(other, 1, 2, attempt) !=
+                                           backoff_delay_ms(ft, 1, 2, attempt);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BackoffTest, ZeroBaseMeansNoDelayUnderEitherPolicy) {
+  FaultToleranceOptions ft;
+  ft.retry_backoff_ms = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(ft, 0, 0, 3), 0.0);
+  ft.backoff = BackoffPolicy::kLinear;
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(ft, 0, 0, 3), 0.0);
+  ft.retry_backoff_ms = 5.0;
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(ft, 0, 0, 0), 0.0);  // no attempt yet
+}
+
+// --- stall watchdog --------------------------------------------------------
+
+TEST(FaultStallWatchdogTest, StalledTaskIsSpeculatedBeforeQuantile) {
+  // Every primary straggles for far longer than the stall threshold;
+  // quantile speculation is OFF, so only the watchdog can launch copies.
+  // Speculative copies skip the injected delay, win exactly once per
+  // partition, and the stage's content stays exact.
+  Engine::Options o = eng_opts();
+  o.workers = 4;
+  o.fault.injection.straggler_prob = 1.0;
+  o.fault.injection.straggler_delay_ms = 400.0;
+  o.fault.speculation = false;
+  o.fault.stall_watchdog = true;
+  o.fault.stall_threshold_ms = 25.0;
+  o.fault.stall_p95_multiplier = 0.0;  // absolute floor only: no registry attached
+  Engine eng(o);
+
+  constexpr std::size_t kTasks = 3;
+  const auto ds = eng.parallelize(iota_vec(30), kTasks);
+  std::array<std::atomic<int>, kTasks> executions{};
+  eng.clear_stage_log();
+  StageOptions so;
+  so.name = "watchdog";
+  const auto out = eng.map_partitions_indexed(
+      ds,
+      [&](std::size_t p, const std::vector<int>& part) {
+        executions[p].fetch_add(1);
+        return part;
+      },
+      so);
+  EXPECT_EQ(out.total_size(), 30u);
+
+  const StageInfo& info = eng.stage_log().back();
+  EXPECT_EQ(info.executed_partitions, kTasks);
+  EXPECT_GE(info.speculative_launched, 1u);
+  EXPECT_GE(info.speculative_wins, 1u);
+  for (const auto& count : executions) EXPECT_EQ(count.load(), 1);
+}
+
 TEST(FaultOptionsTest, EngineValidatesPolicy) {
   Engine::Options o = eng_opts();
   o.fault.max_attempts = 0;

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 
@@ -489,6 +490,82 @@ TEST(WaveStressTest, ConcurrentWavesFromManyThreadsAllComplete) {
   for (auto& s : stages) s.join();
   EXPECT_EQ(total.load(), 6 * 20 * 37);
   EXPECT_EQ(pool.tasks_executed() - before, 6u * 20u * 37u);
+}
+
+// --- chaos stall injection (ISSUE 10 satellite c) --------------------------
+
+// Every lane stalls before every body, yet the wave completes each index
+// exactly once — injected stalls are latency, never lost or doubled work.
+TEST(WaveChaosTest, MidWaveStallsPreserveExactlyOnceExecution) {
+  chaos::ChaosSchedule schedule;
+  schedule.seed = 7;
+  schedule.points.push_back(
+      {chaos::points::kPoolWave,
+       chaos::PointSpec{/*rate=*/0.5, chaos::Shape::kStall, /*stall_ms=*/5.0}});
+  chaos::ScopedChaos scoped(schedule);
+
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 200;
+  std::vector<std::atomic<std::uint8_t>> runs(kCount);
+  pool.run_indexed(kCount, [&](std::size_t i) { runs[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(runs[i].load(), 1u) << "index " << i;
+  }
+}
+
+// The hardened latch: a cancelled run_indexed whose wave no lane can ever
+// enter (the only worker is wedged on an unrelated task) must return by
+// retiring the wave itself instead of waiting for a lane that will never
+// come. Pre-hardening this hangs forever — the blocker is only released
+// AFTER run_indexed returns.
+TEST(WaveChaosTest, CancelledWaveWithWedgedLaneCannotHangRunIndexed) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  auto blocker = pool.submit([released] { released.wait(); });
+
+  CancellationToken token;
+  token.request_cancel();  // fired before the wave is even queued
+  std::atomic<int> ran{0};
+  pool.run_indexed(64, [&](std::size_t) { ++ran; }, &token);
+  EXPECT_EQ(ran.load(), 0);  // no lane ever entered, nothing executed
+
+  release.set_value();  // only now may the worker come free
+  blocker.get();
+  // The abandoned wave descriptor must not poison the queue afterwards.
+  std::atomic<int> after{0};
+  pool.run_indexed(32, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 32);
+}
+
+// Lanes mid-stall when the token fires: the injected sleep is cancel-aware
+// and bounded, so the wave drains promptly instead of serving out the full
+// stall schedule.
+TEST(WaveChaosTest, CancellationCutsInjectedStallsShort) {
+  chaos::ChaosSchedule schedule;
+  schedule.seed = 11;
+  schedule.points.push_back(
+      {chaos::points::kPoolWave,
+       chaos::PointSpec{/*rate=*/1.0, chaos::Shape::kStall, /*stall_ms=*/1500.0}});
+  chaos::ScopedChaos scoped(schedule);
+
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 64;  // 64 × 1.5 s serial worst case
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread firer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    token.request_cancel();
+  });
+  pool.run_indexed(kCount, [&](std::size_t) { ++ran; }, &token);
+  firer.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Generous bound for loaded CI machines: well under even four full
+  // uncancelled stalls, let alone the 24 s serial schedule.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            5000);
+  EXPECT_LT(ran.load(), static_cast<int>(kCount));
 }
 
 }  // namespace
